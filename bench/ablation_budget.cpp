@@ -1,0 +1,98 @@
+// Ablation — migration budget for incremental re-consolidation.
+//
+// After churn, how many live migrations buy how many freed PMs?  Sweeps
+// the move budget on a drifted cluster and reports the frontier, plus
+// the full-replan reference point (unbounded moves).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "placement/budget.h"
+#include "placement/replan.h"
+
+int main() {
+  using namespace burstq;
+  using burstq::bench::banner;
+  using burstq::bench::open_csv;
+
+  // A drifted cluster: 500 VMs arrived one by one (first-fit in arrival
+  // order, no clustering), then 40% departed — the classic churn pattern
+  // that leaves half-empty PMs scattered across the fleet.
+  Rng rng(11011);
+  auto full = pattern_instance(SpikePattern::kEqual, 500, 500,
+                               paper_onoff_params(), rng);
+  QueuingFfdOptions opt;
+  const MapCalTable table(opt.max_vms_per_pm, paper_onoff_params(), opt.rho);
+
+  Placement arrival_order(full.n_vms(), full.n_pms());
+  for (std::size_t i = 0; i < full.n_vms(); ++i) {
+    const VmId vm{i};
+    for (std::size_t j = 0; j < full.n_pms(); ++j) {
+      if (fits_with_reservation(full, arrival_order, vm, PmId{j}, table)) {
+        arrival_order.assign(vm, PmId{j});
+        break;
+      }
+    }
+  }
+  // Departures: keep a random 60%, re-index the survivors.
+  ProblemInstance inst;
+  inst.pms = full.pms;
+  Placement drifted(300, full.n_pms());  // filled below
+  {
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < full.n_vms(); ++i)
+      if (rng.next_double() < 0.6) survivors.push_back(i);
+    survivors.resize(300);  // deterministic size for the table below
+    inst.vms.reserve(survivors.size());
+    for (std::size_t new_id = 0; new_id < survivors.size(); ++new_id) {
+      inst.vms.push_back(full.vms[survivors[new_id]]);
+      drifted.assign(VmId{new_id},
+                     arrival_order.pm_of(VmId{survivors[new_id]}));
+    }
+  }
+
+  const auto fresh = replan(inst, drifted, opt);
+
+  auto csv = open_csv("ablation_budget.csv");
+  csv.row({"budget", "moves_spent", "pms_before", "pms_after",
+           "pms_freed"});
+
+  banner("Migration-budget ablation (arrival-order drifted cluster of "
+         "300 VMs)");
+  ConsoleTable out(
+      {"move budget", "moves spent", "PMs before", "PMs after", "freed"});
+  for (const std::size_t budget : {0u, 5u, 10u, 20u, 40u, 80u, 160u}) {
+    Placement work = drifted;
+    const auto r = consolidate_with_budget(inst, work, table, budget);
+    out.add_row({std::to_string(budget), std::to_string(r.moves.size()),
+                 std::to_string(r.pms_before), std::to_string(r.pms_after),
+                 std::to_string(r.pms_freed())});
+    csv.begin_row();
+    csv.field(budget)
+        .field(r.moves.size())
+        .field(r.pms_before)
+        .field(r.pms_after)
+        .field(r.pms_freed());
+    csv.end_row();
+  }
+  out.add_row({"replan (ref)", std::to_string(fresh.plan.move_count()),
+               std::to_string(fresh.plan.pms_before),
+               std::to_string(fresh.plan.pms_after),
+               std::to_string(fresh.plan.pms_freed())});
+  csv.begin_row();
+  csv.field("replan")
+      .field(fresh.plan.move_count())
+      .field(fresh.plan.pms_before)
+      .field(fresh.plan.pms_after)
+      .field(fresh.plan.pms_freed());
+  csv.end_row();
+
+  out.print(std::cout);
+  csv.flush();
+  std::cout << "\n[ablation_budget] the first few dozen moves buy most of "
+               "the consolidation; the full replan squeezes the remainder "
+               "at a much higher migration bill.  CSV: "
+               "bench_out/ablation_budget.csv\n";
+  return 0;
+}

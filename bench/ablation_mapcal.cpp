@@ -1,0 +1,67 @@
+// Ablation — MapCal backends: the paper's O(k^3) pipeline (Eq. 12 matrix
+// + Gaussian elimination) vs direct power iteration of Eq. 13 vs the
+// closed-form Binomial quantile (exact because the k chains are
+// independent).  All three must return the same K; their costs differ by
+// orders of magnitude.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "queuing/mapcal.h"
+
+namespace {
+
+using namespace burstq;
+
+const OnOffParams kParams{0.01, 0.09};
+
+void BM_MapCalGaussian(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        map_cal_blocks(k, kParams, 0.01, StationaryMethod::kGaussian));
+}
+
+void BM_MapCalPower(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        map_cal_blocks(k, kParams, 0.01, StationaryMethod::kPower));
+}
+
+void BM_MapCalClosedForm(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        map_cal_blocks(k, kParams, 0.01, StationaryMethod::kClosedForm));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MapCalGaussian)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_MapCalPower)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_MapCalClosedForm)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+int main(int argc, char** argv) {
+  // Agreement check before timing: all backends must give identical K.
+  for (std::size_t k = 1; k <= 64; ++k) {
+    const auto g = burstq::map_cal_blocks(
+        k, kParams, 0.01, burstq::StationaryMethod::kGaussian);
+    const auto p = burstq::map_cal_blocks(
+        k, kParams, 0.01, burstq::StationaryMethod::kPower);
+    const auto c = burstq::map_cal_blocks(
+        k, kParams, 0.01, burstq::StationaryMethod::kClosedForm);
+    if (g != c || p != c) {
+      std::fprintf(stderr,
+                   "BACKEND DISAGREEMENT at k=%zu: gauss=%zu power=%zu "
+                   "closed=%zu\n",
+                   k, g, p, c);
+      return 1;
+    }
+  }
+  std::printf("[ablation_mapcal] all backends agree on K for k in [1, 64]\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

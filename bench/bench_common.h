@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every fig*/ablation* binary prints a paper-style console table and drops
+// the same series as CSV into bench_out/ (created next to the working
+// directory) so the figures can be re-plotted.
+
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace burstq::bench {
+
+/// Directory for CSV dumps; created on first use.
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Opens a CSV in the output directory.
+inline CsvWriter open_csv(const std::string& name) {
+  return CsvWriter(out_dir() + "/" + name);
+}
+
+/// Prints a banner separating experiment sections.
+inline void banner(const std::string& text) {
+  std::cout << "\n" << text << "\n"
+            << std::string(text.size(), '-') << "\n";
+}
+
+}  // namespace burstq::bench

@@ -1,0 +1,88 @@
+// Figure 10 — time-order patterns of migration events: cumulative
+// migrations per strategy over the evaluation period, one Rb = Re run
+// (the paper notes the same shape holds for the other patterns).
+//
+// Expected: RB/RB-EX burst early (over-tight initial packing); RB keeps
+// migrating throughout (cycle migration); QUEUE stays essentially flat.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using namespace burstq;
+
+SimReport run_strategy(const ProblemInstance& inst,
+                       const PlacementResult& placed, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.slots = 100;
+  cfg.webserver_workload = true;
+  ClusterSimulator sim(inst, placed.placement, cfg, Rng(seed));
+  return sim.run();
+}
+
+}  // namespace
+
+int main() {
+  using burstq::bench::banner;
+  using burstq::bench::open_csv;
+
+  Rng rng(31337);
+  const auto inst = table_i_instance(SpikePattern::kEqual, 80, 80,
+                                     paper_onoff_params(), rng);
+  const auto queue = queuing_ffd(inst).result;
+  const auto rb = ffd_by_normal(inst);
+  const auto rbex = ffd_reserved(inst, 0.3);
+
+  const std::uint64_t sim_seed = 4242;
+  const SimReport rep_q = run_strategy(inst, queue, sim_seed);
+  const SimReport rep_rb = run_strategy(inst, rb, sim_seed);
+  const SimReport rep_ex = run_strategy(inst, rbex, sim_seed);
+
+  auto csv = open_csv("fig10_timeline.csv");
+  csv.row({"slot", "queue_cum_migrations", "rb_cum_migrations",
+           "rbex_cum_migrations", "queue_pms", "rb_pms", "rbex_pms"});
+
+  banner("Figure 10 — cumulative migrations over time (Rb=Re pattern)");
+  ConsoleTable table({"slot", "QUEUE cum", "RB cum", "RB-EX cum",
+                      "QUEUE PMs", "RB PMs", "RB-EX PMs"});
+  std::size_t cq = 0;
+  std::size_t crb = 0;
+  std::size_t cex = 0;
+  for (std::size_t t = 0; t < rep_q.migrations_per_slot.size(); ++t) {
+    cq += rep_q.migrations_per_slot[t];
+    crb += rep_rb.migrations_per_slot[t];
+    cex += rep_ex.migrations_per_slot[t];
+    csv.begin_row();
+    csv.field(static_cast<std::size_t>(t))
+        .field(cq)
+        .field(crb)
+        .field(cex)
+        .field(rep_q.pms_used_timeline[t])
+        .field(rep_rb.pms_used_timeline[t])
+        .field(rep_ex.pms_used_timeline[t]);
+    csv.end_row();
+    if (t % 10 == 9 || t == 0) {
+      table.add_row({std::to_string(t), std::to_string(cq),
+                     std::to_string(crb), std::to_string(cex),
+                     std::to_string(rep_q.pms_used_timeline[t]),
+                     std::to_string(rep_rb.pms_used_timeline[t]),
+                     std::to_string(rep_ex.pms_used_timeline[t])});
+    }
+  }
+  table.print(std::cout);
+  csv.flush();
+
+  std::cout << "\ntotals: QUEUE " << rep_q.total_migrations << " (failed "
+            << rep_q.failed_migrations << "), RB " << rep_rb.total_migrations
+            << " (failed " << rep_rb.failed_migrations << "), RB-EX "
+            << rep_ex.total_migrations << " (failed "
+            << rep_ex.failed_migrations << ")\n";
+  std::cout << "[fig10] CSV written to bench_out/fig10_timeline.csv\n";
+  return 0;
+}

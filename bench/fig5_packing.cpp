@@ -1,0 +1,90 @@
+// Figure 5 — packing result: number of PMs used by QUEUE vs FFD-by-Rp
+// (RP) vs FFD-by-Rb (RB) for the three workload patterns.
+//
+// Paper settings: rho = 0.01, d = 16, p_on = 0.01, p_off = 0.09,
+// C in [80, 100]; Rb/Re ranges per pattern (see core/scenario.h).
+// The paper reports QUEUE saving ~30% vs RP at Rb = Re and up to ~45%
+// at large spike sizes.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "placement/sbp.h"
+
+namespace {
+
+using namespace burstq;
+
+struct Cell {
+  double rp = 0, queue = 0, rb = 0, sbp = 0;
+};
+
+Cell run_cell(SpikePattern pattern, std::size_t n, std::size_t trials) {
+  Cell c;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed =
+        std::uint64_t{0x5eed} * static_cast<std::uint64_t>(t + 1) +
+        static_cast<std::uint64_t>(static_cast<int>(pattern));
+    Rng rng(seed);
+    // Ample PM pool: peak packing needs the most machines.
+    const auto inst =
+        pattern_instance(pattern, n, n, paper_onoff_params(), rng);
+    c.rp += static_cast<double>(ffd_by_peak(inst).pms_used());
+    c.queue += static_cast<double>(queuing_ffd(inst).result.pms_used());
+    c.rb += static_cast<double>(ffd_by_normal(inst).pms_used());
+    // SBP at epsilon = rho: the normal-distribution related-work baseline.
+    c.sbp += static_cast<double>(sbp_normal(inst, 0.01).pms_used());
+  }
+  const auto tn = static_cast<double>(trials);
+  c.rp /= tn;
+  c.queue /= tn;
+  c.rb /= tn;
+  c.sbp /= tn;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using burstq::bench::banner;
+  using burstq::bench::open_csv;
+
+  const std::size_t kTrials = 5;
+  const std::vector<std::size_t> kSizes{100, 200, 400, 800};
+
+  auto csv = open_csv("fig5_packing.csv");
+  csv.row({"pattern", "n_vms", "rp_pms", "queue_pms", "sbp_pms", "rb_pms",
+           "queue_savings_vs_rp"});
+
+  for (const auto pattern : burstq::all_patterns()) {
+    banner("Figure 5 (" + burstq::pattern_name(pattern) +
+           ") — avg PMs used over " + std::to_string(kTrials) + " trials");
+    burstq::ConsoleTable table(
+        {"n VMs", "RP", "QUEUE", "SBP", "RB", "QUEUE saving vs RP"});
+    for (const auto n : kSizes) {
+      const Cell c = run_cell(pattern, n, kTrials);
+      const double savings = 1.0 - c.queue / c.rp;
+      table.add_row({std::to_string(n), burstq::ConsoleTable::num(c.rp, 1),
+                     burstq::ConsoleTable::num(c.queue, 1),
+                     burstq::ConsoleTable::num(c.sbp, 1),
+                     burstq::ConsoleTable::num(c.rb, 1),
+                     burstq::ConsoleTable::percent(savings)});
+      csv.begin_row();
+      csv.field(burstq::pattern_name(pattern))
+          .field(n)
+          .field(c.rp)
+          .field(c.queue)
+          .field(c.sbp)
+          .field(c.rb)
+          .field(savings);
+      csv.end_row();
+    }
+    table.print(std::cout);
+  }
+  csv.flush();
+  std::cout << "\n[fig5] CSV written to bench_out/fig5_packing.csv\n";
+  return 0;
+}

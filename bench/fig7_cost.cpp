@@ -1,0 +1,65 @@
+// Figure 7 — computation cost of Algorithm 2 (getting the placement
+// matrix X) for various d and n, measured with google-benchmark.
+//
+// The paper reports millisecond-level cost whose variation with n is
+// "not even distinguishable"; d dominates through the O(d^4) mapping(k)
+// precomputation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.h"
+#include "placement/queuing_ffd.h"
+
+namespace {
+
+using namespace burstq;
+
+void BM_QueuingFfd(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  Rng rng(42);
+  const auto inst =
+      pattern_instance(SpikePattern::kEqual, n, n, paper_onoff_params(), rng);
+  QueuingFfdOptions opt;
+  opt.max_vms_per_pm = d;
+  for (auto _ : state) {
+    auto out = queuing_ffd(inst, opt);
+    benchmark::DoNotOptimize(out.result.placement.pms_used());
+  }
+  state.SetLabel("d=" + std::to_string(d) + " n=" + std::to_string(n));
+}
+
+// The mapping-table precomputation alone (Algorithm 2 lines 1-6, O(d^4)).
+void BM_MapCalTable(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    MapCalTable table(d, paper_onoff_params(), 0.01);
+    benchmark::DoNotOptimize(table.blocks(d));
+  }
+}
+
+// The placement loop alone, with the table amortized away.
+void BM_PlacementOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  const auto inst =
+      pattern_instance(SpikePattern::kEqual, n, n, paper_onoff_params(), rng);
+  QueuingFfdOptions opt;
+  const MapCalTable table(opt.max_vms_per_pm, paper_onoff_params(), opt.rho);
+  for (auto _ : state) {
+    auto result = queuing_ffd_with_table(inst, table, opt);
+    benchmark::DoNotOptimize(result.placement.pms_used());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_QueuingFfd)
+    ->ArgsProduct({{8, 12, 16, 20}, {100, 200, 400, 800, 1600}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapCalTable)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlacementOnly)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Micro-benchmarks of the numeric substrates, for performance-regression
+// tracking: RNG throughput, matrix kernels, the Eq. 12 builder, the two
+// linear-algebra stationary solvers, and the Poisson-binomial DP.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/gaussian.h"
+#include "linalg/power_iteration.h"
+#include "markov/aggregate_chain.h"
+#include "prob/poisson_binomial.h"
+
+namespace {
+
+using namespace burstq;
+
+const OnOffParams kP{0.01, 0.09};
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+
+void BM_RngBernoulli(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bernoulli(0.1));
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a(n, n);
+  Matrix b(n, n);
+  Rng rng(2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.next_double();
+      b(i, j) = rng.next_double();
+    }
+  for (auto _ : state) {
+    auto c = a.multiply(b);
+    benchmark::DoNotOptimize(c(0, 0));
+  }
+}
+
+void BM_TransitionMatrix(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto p = aggregate_transition_matrix(k, kP);
+    benchmark::DoNotOptimize(p(0, 0));
+  }
+}
+
+void BM_StationaryGaussian(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix p = aggregate_transition_matrix(k, kP);
+  for (auto _ : state) {
+    auto pi = stationary_distribution_gaussian(p);
+    benchmark::DoNotOptimize(pi->front());
+  }
+}
+
+void BM_StationaryPower(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix p = aggregate_transition_matrix(k, kP);
+  for (auto _ : state) {
+    auto res = stationary_distribution_power(p);
+    benchmark::DoNotOptimize(res->distribution.front());
+  }
+}
+
+void BM_PoissonBinomialPmf(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> qs(k);
+  for (auto& q : qs) q = rng.next_double() * 0.5;
+  for (auto _ : state) {
+    auto pmf = poisson_binomial_pmf(qs);
+    benchmark::DoNotOptimize(pmf.front());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RngNextU64);
+BENCHMARK(BM_RngBernoulli);
+BENCHMARK(BM_MatrixMultiply)->Arg(17)->Arg(65);
+BENCHMARK(BM_TransitionMatrix)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_StationaryGaussian)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_StationaryPower)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_PoissonBinomialPmf)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

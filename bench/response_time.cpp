@@ -1,0 +1,85 @@
+// Extension experiment — user-visible performance of each packing.
+//
+// The paper measures performance via CVR and migration counts; this bench
+// closes the loop to what a user of the hosted web servers experiences:
+// request latency (Little's law over the backlog process) under each
+// packing strategy, on the Table I web workload.  No migration — the
+// packing's own headroom is the only defense.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "placement/sbp.h"
+#include "sim/request_sim.h"
+
+namespace {
+
+using namespace burstq;
+
+struct Row {
+  const char* name;
+  PlacementResult placed;
+};
+
+}  // namespace
+
+int main() {
+  using burstq::bench::banner;
+  using burstq::bench::open_csv;
+
+  auto csv = open_csv("response_time.csv");
+  csv.row({"pattern", "strategy", "pms", "mean_latency_s", "p95_vm_s",
+           "worst_vm_s", "served_fraction", "utilization"});
+
+  for (const auto pattern : all_patterns()) {
+    Rng rng(606 + static_cast<std::uint64_t>(pattern));
+    const auto inst =
+        table_i_instance(pattern, 100, 100, paper_onoff_params(), rng);
+
+    std::vector<Row> rows;
+    rows.push_back({"RP", ffd_by_peak(inst)});
+    rows.push_back({"QUEUE", queuing_ffd(inst).result});
+    rows.push_back({"SBP", sbp_normal(inst)});
+    rows.push_back({"RB-EX", ffd_reserved(inst, 0.3)});
+    rows.push_back({"RB", ffd_by_normal(inst)});
+
+    banner("Response time (" + pattern_name(pattern) +
+           ") — request-level simulation, 200 slots, no migration");
+    ConsoleTable out({"strategy", "PMs", "mean latency (s)",
+                      "p95 VM latency (s)", "worst VM (s)", "served",
+                      "util"});
+    for (auto& row : rows) {
+      if (!row.placed.complete()) continue;
+      RequestSimConfig cfg;
+      cfg.slots = 200;
+      const auto rep = simulate_request_performance(
+          inst, row.placed.placement, cfg, Rng(707));
+      const double served_frac = rep.total_served / rep.total_arrivals;
+      out.add_row({row.name, std::to_string(row.placed.pms_used()),
+                   ConsoleTable::num(rep.mean_latency_seconds, 2),
+                   ConsoleTable::num(rep.p95_vm_latency_seconds, 2),
+                   ConsoleTable::num(rep.worst_vm_latency_seconds, 1),
+                   ConsoleTable::percent(served_frac),
+                   ConsoleTable::percent(rep.mean_utilization)});
+      csv.begin_row();
+      csv.field(pattern_name(pattern))
+          .field(row.name)
+          .field(row.placed.pms_used())
+          .field(rep.mean_latency_seconds)
+          .field(rep.p95_vm_latency_seconds)
+          .field(rep.worst_vm_latency_seconds)
+          .field(served_frac)
+          .field(rep.mean_utilization);
+      csv.end_row();
+    }
+    out.print(std::cout);
+  }
+  csv.flush();
+  std::cout << "\n[response_time] QUEUE buys near-RP latency at far fewer "
+               "PMs; RB's latency diverges (starved spikes never drain).  "
+               "CSV: bench_out/response_time.csv\n";
+  return 0;
+}

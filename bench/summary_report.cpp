@@ -1,0 +1,160 @@
+// Reproduction summary — one binary that re-measures every headline
+// claim at reduced scale and prints a paper-vs-measured verdict table
+// (the machine-checked companion to EXPERIMENTS.md).
+
+#include <chrono>
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using namespace burstq;
+
+struct Claim {
+  std::string id;
+  std::string paper;
+  std::string measured;
+  bool pass;
+};
+
+double savings_vs_rp(SpikePattern pattern, std::size_t trials) {
+  double rp = 0.0;
+  double q = 0.0;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    Rng rng(9090 + seed);
+    const auto inst =
+        pattern_instance(pattern, 400, 300, paper_onoff_params(), rng);
+    rp += static_cast<double>(ffd_by_peak(inst).pms_used());
+    q += static_cast<double>(queuing_ffd(inst).result.pms_used());
+  }
+  return 1.0 - q / rp;
+}
+
+}  // namespace
+
+int main() {
+  using burstq::bench::banner;
+
+  std::vector<Claim> claims;
+  const auto pct = [](double f) { return ConsoleTable::percent(f); };
+
+  // --- Figure 5: consolidation ratios ---------------------------------
+  {
+    const double large = savings_vs_rp(SpikePattern::kLargeSpike, 4);
+    const double equal = savings_vs_rp(SpikePattern::kEqual, 4);
+    const double small = savings_vs_rp(SpikePattern::kSmallSpike, 4);
+    claims.push_back({"Fig5 large spikes", "~45% fewer PMs than RP",
+                      pct(large), large > 0.35});
+    claims.push_back({"Fig5 normal spikes", "~30% fewer PMs than RP",
+                      pct(equal), equal > 0.18});
+    claims.push_back({"Fig5 ordering", "saving: large > equal > small",
+                      pct(large) + " > " + pct(equal) + " > " + pct(small),
+                      large > equal && equal > small});
+  }
+
+  // --- Figure 6: CVR bounded for QUEUE, disastrous for RB --------------
+  {
+    Rng rng(9191);
+    const auto inst = pattern_instance(SpikePattern::kEqual, 250, 200,
+                                       paper_onoff_params(), rng);
+    const auto queue = queuing_ffd(inst);
+    const auto rb = ffd_by_normal(inst);
+    const auto cvr_q =
+        simulate_cvr(inst, queue.result.placement, 10000, Rng(9192));
+    const auto cvr_rb = simulate_cvr(inst, rb.placement, 10000, Rng(9192));
+    double mq = 0.0;
+    double mrb = 0.0;
+    std::size_t uq = 0;
+    std::size_t urb = 0;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      if (queue.result.placement.count_on(PmId{j}) > 0) {
+        mq += cvr_q[j];
+        ++uq;
+      }
+      if (rb.placement.count_on(PmId{j}) > 0) {
+        mrb += cvr_rb[j];
+        ++urb;
+      }
+    }
+    mq /= static_cast<double>(uq);
+    mrb /= static_cast<double>(urb);
+    claims.push_back({"Fig6 QUEUE CVR", "bounded by rho = 1%",
+                      ConsoleTable::num(mq, 4), mq <= 0.015});
+    claims.push_back({"Fig6 RB CVR", "disastrous",
+                      ConsoleTable::num(mrb, 4), mrb > 0.1});
+  }
+
+  // --- Figure 9/10: migration behaviour --------------------------------
+  {
+    const auto factory = [](Rng& rng) {
+      return table_i_instance(SpikePattern::kEqual, 70, 70,
+                              paper_onoff_params(), rng);
+    };
+    TrialConfig cfg;
+    cfg.trials = 5;
+    cfg.base_seed = 9393;
+    cfg.sim.slots = 100;
+    cfg.sim.webserver_workload = true;
+    const auto q = run_trials(
+        factory,
+        [](const ProblemInstance& i) { return queuing_ffd(i).result; }, cfg);
+    const auto rb = run_trials(
+        factory, [](const ProblemInstance& i) { return ffd_by_normal(i); },
+        cfg);
+    const auto ex = run_trials(
+        factory,
+        [](const ProblemInstance& i) { return ffd_reserved(i, 0.3); }, cfg);
+    claims.push_back(
+        {"Fig9 QUEUE migrations", "very few",
+         ConsoleTable::num(q.migrations.mean(), 1),
+         q.migrations.mean() < 5.0});
+    claims.push_back(
+        {"Fig9 RB migrations", "unacceptably many, constant",
+         ConsoleTable::num(rb.migrations.mean(), 1),
+         rb.migrations.mean() > 4.0 * std::max(1.0, q.migrations.mean())});
+    claims.push_back(
+        {"Fig9 RB-EX between", "alleviates RB to some extent",
+         ConsoleTable::num(ex.migrations.mean(), 1),
+         ex.migrations.mean() < rb.migrations.mean() &&
+             ex.migrations.mean() >= q.migrations.mean() - 1.0});
+    claims.push_back(
+        {"Fig9 cycle migration", "RB ends with fewest PMs",
+         ConsoleTable::num(rb.pms_end.mean(), 1) + " vs QUEUE " +
+             ConsoleTable::num(q.pms_end.mean(), 1),
+         rb.pms_end.mean() <= q.pms_end.mean() + 0.5});
+  }
+
+  // --- Figure 7: computation cost --------------------------------------
+  {
+    Rng rng(9494);
+    const auto inst = pattern_instance(SpikePattern::kEqual, 800, 800,
+                                       paper_onoff_params(), rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = queuing_ffd(inst);
+    const auto ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    claims.push_back({"Fig7 cost", "millisecond-level (d = 16, n = 800)",
+                      ConsoleTable::num(ms, 1) + " ms",
+                      out.result.complete() && ms < 1000.0});
+  }
+
+  banner("burstq reproduction summary");
+  ConsoleTable table({"claim", "paper", "measured", "verdict"});
+  bool all_pass = true;
+  for (const auto& c : claims) {
+    table.add_row({c.id, c.paper, c.measured, c.pass ? "PASS" : "FAIL"});
+    all_pass = all_pass && c.pass;
+  }
+  table.print(std::cout);
+  std::cout << "\n" << (all_pass ? "ALL CLAIMS REPRODUCED" : "SOME CLAIMS FAILED")
+            << " (" << claims.size() << " checks)\n";
+  return all_pass ? 0 : 1;
+}

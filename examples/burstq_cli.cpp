@@ -1,0 +1,222 @@
+// burstq_cli — command-line multi-tool.
+//
+//   burstq_cli place   --vms specs.csv [--strategy ...] [...]
+//       consolidate a fleet; VM->PM mapping CSV on stdout
+//   burstq_cli analyze --vms specs.csv --mapping map.csv [...]
+//       per-PM reservation report for an existing mapping
+//   burstq_cli fit     --trace demands.csv
+//       estimate (p_on,p_off,rb,re) per VM from a demand trace;
+//       VM spec CSV on stdout (feed it back into `place`)
+//
+// Exit codes: 0 success, 1 bad usage/input, 2 some VMs could not be
+// placed (place subcommand only).
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.h"
+#include "core/consolidator.h"
+#include "fit/estimator.h"
+#include "fit/instance_io.h"
+#include "fit/trace_io.h"
+#include "placement/hetero_ffd.h"
+#include "placement/quantile_ffd.h"
+#include "placement/sbp.h"
+
+namespace {
+
+using namespace burstq;
+
+int usage_all() {
+  std::cerr
+      << "usage: burstq_cli <place|analyze|fit> [options]\n"
+         "  place    consolidate VM specs onto a PM fleet\n"
+         "  analyze  report per-PM reservations of an existing mapping\n"
+         "  fit      estimate ON-OFF specs from a demand trace CSV\n"
+         "run 'burstq_cli <subcommand> --help-usage x' for options\n";
+  return 1;
+}
+
+ProblemInstance load_instance(const ArgParser& args) {
+  ProblemInstance inst;
+  inst.vms = read_vm_specs_csv(args.get("vms"));
+  if (args.has("pms-file")) {
+    inst.pms = read_pm_specs_csv(args.get("pms-file"));
+  } else {
+    const auto m = args.has("pms")
+                       ? static_cast<std::size_t>(args.get_int("pms"))
+                       : inst.vms.size();
+    inst.pms.assign(m, PmSpec{args.get_double("capacity")});
+  }
+  return inst;
+}
+
+QueuingFfdOptions load_options(const ArgParser& args) {
+  QueuingFfdOptions opt;
+  opt.rho = args.get_double("rho");
+  opt.max_vms_per_pm = static_cast<std::size_t>(args.get_int("d"));
+  return opt;
+}
+
+int cmd_place(int argc, const char* const* argv) {
+  ArgParser args("burstq_cli place", "consolidate a fleet");
+  args.add_option("vms", "CSV of VM specs (p_on,p_off,rb,re)");
+  args.add_option("strategy",
+                  "queue | rp | rb | rbex | sbp | hetero | quantile",
+                  "queue");
+  args.add_option("capacity", "uniform PM capacity", "96");
+  args.add_option("pms", "PM pool size (default: one per VM)");
+  args.add_option("pms-file", "CSV of PM capacities");
+  args.add_option("rho", "CVR budget", "0.01");
+  args.add_option("d", "max VMs per PM", "16");
+  args.add_flag("quiet", "suppress the stderr summary");
+  if (!args.parse(argc, argv) || !args.has("vms")) {
+    std::cerr << (args.error().empty() ? "--vms is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+
+  const auto inst = load_instance(args);
+  const auto opt = load_options(args);
+  const std::string strategy = args.get("strategy");
+
+  const PlacementResult placed = [&]() -> PlacementResult {
+    if (strategy == "queue") return queuing_ffd(inst, opt).result;
+    if (strategy == "rp") return ffd_by_peak(inst, opt.max_vms_per_pm);
+    if (strategy == "rb") return ffd_by_normal(inst, opt.max_vms_per_pm);
+    if (strategy == "rbex")
+      return ffd_reserved(inst, 0.3, opt.max_vms_per_pm);
+    if (strategy == "sbp")
+      return sbp_normal(inst, opt.rho, opt.max_vms_per_pm);
+    if (strategy == "hetero") {
+      HeteroFfdOptions hopt;
+      hopt.rho = opt.rho;
+      hopt.max_vms_per_pm = opt.max_vms_per_pm;
+      return queuing_ffd_hetero(inst, hopt);
+    }
+    if (strategy == "quantile") {
+      QuantileFfdOptions qopt;
+      qopt.reservation.rho = opt.rho;
+      qopt.max_vms_per_pm = opt.max_vms_per_pm;
+      return queuing_ffd_quantile(inst, qopt);
+    }
+    throw InvalidArgument("unknown strategy: " + strategy);
+  }();
+
+  std::cout << "vm,pm\n";
+  for (std::size_t i = 0; i < inst.n_vms(); ++i) {
+    const PmId pm = placed.placement.pm_of(VmId{i});
+    std::cout << i << "," << (pm.valid() ? std::to_string(pm.value) : "-")
+              << "\n";
+  }
+  if (!args.flag("quiet")) {
+    const Consolidator consolidator(opt);
+    const auto analysis = consolidator.analyze(inst, placed.placement);
+    std::cerr << "strategy=" << strategy << " vms=" << inst.n_vms()
+              << " pms_used=" << placed.pms_used()
+              << " unplaced=" << placed.unplaced.size()
+              << " worst_cvr_bound=" << analysis.worst_cvr_bound
+              << " total_reserved=" << analysis.total_reserved << "\n";
+  }
+  return placed.complete() ? 0 : 2;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  ArgParser args("burstq_cli analyze",
+                 "per-PM reservation report for an existing mapping");
+  args.add_option("vms", "CSV of VM specs");
+  args.add_option("mapping", "CSV with header vm,pm (as `place` emits)");
+  args.add_option("capacity", "uniform PM capacity", "96");
+  args.add_option("pms", "PM pool size (default: one per VM)");
+  args.add_option("pms-file", "CSV of PM capacities");
+  args.add_option("rho", "CVR budget", "0.01");
+  args.add_option("d", "max VMs per PM", "16");
+  if (!args.parse(argc, argv) || !args.has("vms") || !args.has("mapping")) {
+    std::cerr << (args.error().empty() ? "--vms and --mapping are required"
+                                       : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+
+  const auto inst = load_instance(args);
+  Placement placement(inst.n_vms(), inst.n_pms());
+  {
+    std::ifstream in(args.get("mapping"));
+    if (!in.is_open()) {
+      std::cerr << "cannot open mapping: " << args.get("mapping") << "\n";
+      return 1;
+    }
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      std::string vm_s;
+      std::string pm_s;
+      std::getline(ss, vm_s, ',');
+      std::getline(ss, pm_s, ',');
+      if (pm_s == "-" || pm_s.empty()) continue;
+      placement.assign(VmId{std::stoul(vm_s)}, PmId{std::stoul(pm_s)});
+    }
+  }
+
+  const Consolidator consolidator(load_options(args));
+  const auto analysis = consolidator.analyze(inst, placement);
+  std::cout << "pm,vms,blocks,block_size,reserved,rb_sum,capacity,"
+               "cvr_bound\n";
+  for (const auto& pm : analysis.pms) {
+    std::cout << pm.pm << "," << pm.vms << "," << pm.blocks << ","
+              << pm.block_size << "," << pm.reserved << "," << pm.rb_sum
+              << "," << pm.capacity << "," << pm.cvr_bound << "\n";
+  }
+  std::cerr << "pms_used=" << analysis.pms_used
+            << " worst_cvr_bound=" << analysis.worst_cvr_bound << "\n";
+  return 0;
+}
+
+int cmd_fit(int argc, const char* const* argv) {
+  ArgParser args("burstq_cli fit",
+                 "estimate ON-OFF specs from a demand-trace CSV "
+                 "(header slot,vm0,vm1,...)");
+  args.add_option("trace", "demand trace CSV (fit/trace_io format)");
+  if (!args.parse(argc, argv) || !args.has("trace")) {
+    std::cerr << (args.error().empty() ? "--trace is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+  const auto trace = read_demand_trace_csv(args.get("trace"));
+  const std::size_t n_vms = trace.front().size();
+  std::cout << "p_on,p_off,rb,re\n";
+  std::vector<double> series(trace.size());
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    for (std::size_t t = 0; t < trace.size(); ++t) series[t] = trace[t][i];
+    const auto fit = fit_onoff_from_trace(series);
+    std::cout << fit.spec.onoff.p_on << "," << fit.spec.onoff.p_off << ","
+              << fit.spec.rb << "," << fit.spec.re << "\n";
+    if (!fit.bursty)
+      std::cerr << "vm" << i << ": trace never switches level (treated as "
+                << "non-bursty)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_all();
+  const std::string sub = argv[1];
+  try {
+    if (sub == "place") return cmd_place(argc - 1, argv + 1);
+    if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (sub == "fit") return cmd_fit(argc - 1, argv + 1);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage_all();
+}

@@ -1,0 +1,78 @@
+// Datacenter consolidation — the paper's motivating scenario at scale.
+//
+// A cloud operator has 1000 VMs with heterogeneous bursty workloads and
+// wants to pack them onto as few PMs as possible while keeping each PM's
+// capacity-violation ratio under 1%.  This example compares all four
+// strategies end to end (packing, analytic reservation, dynamic
+// simulation with live migration) and prints an operator-style report.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/consolidator.h"
+#include "core/scenario.h"
+
+int main() {
+  using namespace burstq;
+
+  // A mixed fleet: 60% normal spikes, 20% small, 20% large; switch
+  // probabilities vary slightly per VM (the consolidator rounds them).
+  Rng rng(20130520);
+  ProblemInstance inst;
+  for (int i = 0; i < 1000; ++i) {
+    const double roll = rng.next_double();
+    const SpikePattern pattern =
+        roll < 0.6 ? SpikePattern::kEqual
+                   : (roll < 0.8 ? SpikePattern::kSmallSpike
+                                 : SpikePattern::kLargeSpike);
+    const auto ranges = ranges_for_pattern(pattern);
+    VmSpec v;
+    v.onoff.p_on = rng.uniform(0.008, 0.012);
+    v.onoff.p_off = rng.uniform(0.08, 0.10);
+    v.rb = rng.uniform(ranges.rb_lo, ranges.rb_hi);
+    v.re = rng.uniform(ranges.re_lo, ranges.re_hi);
+    inst.vms.push_back(v);
+  }
+  for (int j = 0; j < 1000; ++j)
+    inst.pms.push_back(PmSpec{rng.uniform(80.0, 100.0)});
+
+  const Consolidator consolidator;
+  SimConfig sim;
+  sim.slots = 100;
+  sim.webserver_workload = true;
+
+  std::cout << "Consolidating 1000 bursty VMs (rho = 1%, d = 16)\n\n";
+  ConsoleTable table({"strategy", "PMs initial", "PMs end", "migrations",
+                      "failed", "mean CVR", "energy (kWh)"});
+  std::size_t rp_pms = 0;
+  std::size_t queue_pms = 0;
+  for (const auto strat : {Strategy::kQueue, Strategy::kPeak,
+                           Strategy::kNormal, Strategy::kReserved}) {
+    const auto placed = consolidator.place(inst, strat);
+    if (!placed.complete()) {
+      std::cout << strategy_name(strat) << ": " << placed.unplaced.size()
+                << " VMs could not be placed!\n";
+      continue;
+    }
+    const auto report =
+        consolidator.simulate(inst, placed.placement, sim, 7);
+    if (strat == Strategy::kPeak) rp_pms = placed.pms_used();
+    if (strat == Strategy::kQueue) queue_pms = placed.pms_used();
+    table.add_row({strategy_name(strat), std::to_string(placed.pms_used()),
+                   std::to_string(report.pms_used_end),
+                   std::to_string(report.total_migrations),
+                   std::to_string(report.failed_migrations),
+                   ConsoleTable::num(report.mean_cvr, 4),
+                   ConsoleTable::num(report.energy_wh / 1000.0, 2)});
+  }
+  table.print(std::cout);
+
+  if (rp_pms > 0) {
+    const double saving =
+        1.0 - static_cast<double>(queue_pms) / static_cast<double>(rp_pms);
+    std::cout << "\nQUEUE saves " << ConsoleTable::percent(saving)
+              << " of the PMs peak provisioning would need, with the CVR "
+                 "still bounded.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Multi-dimensional packing — the Section IV-E extension: VMs demanding
+// CPU *and* memory, consolidated with per-dimension queuing reservation,
+// versus the "correlated dimensions" shortcut that projects everything
+// onto one dimension and reuses the full Algorithm 2.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "placement/multidim.h"
+#include "placement/queuing_ffd.h"
+
+int main() {
+  using namespace burstq;
+
+  // 2-D fleet: dimension 0 = CPU shares, dimension 1 = memory units.
+  // CPU and memory demands are drawn independently (uncorrelated), which
+  // is the case where the paper says the per-dimension algorithm with
+  // plain First Fit is required.
+  Rng rng(404);
+  MultiProblemInstance inst;
+  for (int i = 0; i < 200; ++i) {
+    MultiVmSpec v;
+    v.onoff = OnOffParams{0.01, 0.09};
+    v.dims = 2;
+    v.rb = {rng.uniform(2, 12), rng.uniform(2, 12)};
+    v.re = {rng.uniform(2, 12), rng.uniform(2, 12)};
+    inst.vms.push_back(v);
+  }
+  for (int j = 0; j < 200; ++j) {
+    MultiPmSpec p;
+    p.dims = 2;
+    p.capacity = {90.0, 90.0};
+    inst.pms.push_back(p);
+  }
+
+  // Path 1: per-dimension reservation + First Fit.
+  const auto multi = multidim_queuing_first_fit(inst);
+
+  // Path 2: pretend the dimensions are correlated, project with equal
+  // weights, run the full 1-D Algorithm 2.  (Unsound for uncorrelated
+  // loads — a VM can fit the weighted sum yet overflow one dimension —
+  // but a useful upper bound on packing density.)
+  const auto projected = project_correlated(inst, {0.5, 0.5});
+  const auto flat = queuing_ffd(projected);
+
+  ConsoleTable table({"approach", "PMs used", "unplaced", "sound per-dim?"});
+  table.add_row({"per-dimension queue + First Fit",
+                 std::to_string(multi.pms_used),
+                 std::to_string(multi.unplaced.size()), "yes"});
+  table.add_row({"projected 1-D (equal weights) + Alg. 2",
+                 std::to_string(flat.result.pms_used()),
+                 std::to_string(flat.result.unplaced.size()),
+                 "only if dims correlated"});
+  table.print(std::cout);
+
+  // Show a per-PM view of the 2-D reservation for the first few PMs.
+  const MapCalTable mapping(16, OnOffParams{0.01, 0.09}, 0.01);
+  std::cout << "\nper-PM reservation (first 5 used PMs):\n";
+  std::size_t shown = 0;
+  for (std::size_t j = 0; j < inst.pms.size() && shown < 5; ++j) {
+    std::vector<const MultiVmSpec*> hosted;
+    for (std::size_t i = 0; i < inst.vms.size(); ++i)
+      if (multi.pm_of[i] == j) hosted.push_back(&inst.vms[i]);
+    if (hosted.empty()) continue;
+    ++shown;
+    const auto blocks = mapping.blocks(hosted.size());
+    double max_cpu = 0;
+    double max_mem = 0;
+    for (auto* v : hosted) {
+      max_cpu = std::max(max_cpu, v->re[0]);
+      max_mem = std::max(max_mem, v->re[1]);
+    }
+    std::cout << "  PM " << j << ": " << hosted.size() << " VMs, "
+              << blocks << " blocks -> reserve (cpu "
+              << ConsoleTable::num(max_cpu * static_cast<double>(blocks), 1)
+              << ", mem "
+              << ConsoleTable::num(max_mem * static_cast<double>(blocks), 1)
+              << ")\n";
+  }
+  return 0;
+}

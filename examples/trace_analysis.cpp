@@ -1,0 +1,91 @@
+// Trace analysis — close the loop from monitoring data to consolidation.
+//
+// A real operator does not know (p_on, p_off, Rb, Re); they have demand
+// traces.  This example:
+//   1. records a week of slotted demand for a synthetic fleet (standing
+//     in for the monitoring system's export)
+//   2. writes/reads it as CSV (fit/trace_io)
+//   3. fits the ON-OFF model per VM (fit/estimator)
+//   4. consolidates with Algorithm 2 on the *fitted* specs
+//   5. replays the ORIGINAL trace against the placement to check that the
+//      CVR target holds on data the fit never promised to match exactly
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "fit/estimator.h"
+#include "fit/trace_io.h"
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+
+int main() {
+  using namespace burstq;
+
+  // 1. Ground-truth fleet the "monitoring system" observed: heterogeneous
+  // everything.
+  Rng rng(777);
+  ProblemInstance truth;
+  for (int i = 0; i < 60; ++i) {
+    VmSpec v;
+    v.onoff.p_on = rng.uniform(0.008, 0.03);
+    v.onoff.p_off = rng.uniform(0.06, 0.2);
+    v.rb = rng.uniform(4, 18);
+    v.re = rng.uniform(4, 18);
+    truth.vms.push_back(v);
+  }
+  truth.pms = {PmSpec{90.0}};  // placeholder; traces only need the VMs
+
+  const std::size_t kWeek = 20160;  // 7 days of 30s slots
+  const auto trace = record_demand_trace(truth, kWeek, Rng(778));
+
+  // 2. Round-trip through CSV, as a monitoring export would arrive.
+  const std::string path = "trace_analysis_demands.csv";
+  write_demand_trace_csv(path, trace);
+  const auto imported = read_demand_trace_csv(path);
+  std::cout << "recorded " << imported.size() << " slots x "
+            << imported.front().size() << " VMs -> " << path << "\n\n";
+
+  // 3. Fit the four-tuple per VM.
+  std::vector<PmSpec> fleet(60, PmSpec{90.0});
+  const auto fitted = instance_from_traces(imported, fleet);
+
+  ConsoleTable sample({"vm", "true (pon,poff,Rb,Re)", "fitted"});
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& t = truth.vms[i];
+    const auto& f = fitted.vms[i];
+    auto fmt = [](const VmSpec& v) {
+      return "(" + ConsoleTable::num(v.onoff.p_on, 3) + ", " +
+             ConsoleTable::num(v.onoff.p_off, 3) + ", " +
+             ConsoleTable::num(v.rb, 1) + ", " + ConsoleTable::num(v.re, 1) +
+             ")";
+    };
+    sample.add_row({std::to_string(i), fmt(t), fmt(f)});
+  }
+  sample.print(std::cout);
+
+  // 4. Consolidate on the fitted model.
+  const auto outcome = queuing_ffd(fitted);
+  std::cout << "\nconsolidated onto " << outcome.result.pms_used()
+            << " PMs (rho = 0.01)\n";
+
+  // 5. Replay the original trace against the placement.
+  std::size_t violations = 0;
+  std::size_t pm_slots = 0;
+  for (const auto& row : imported) {
+    for (std::size_t j = 0; j < fitted.n_pms(); ++j) {
+      const PmId pm{j};
+      if (outcome.result.placement.count_on(pm) == 0) continue;
+      double load = 0.0;
+      for (std::size_t i : outcome.result.placement.vms_on(pm))
+        load += row[i];
+      ++pm_slots;
+      if (load > fitted.pms[j].capacity) ++violations;
+    }
+  }
+  const double cvr =
+      static_cast<double>(violations) / static_cast<double>(pm_slots);
+  std::cout << "replaying the recorded week: aggregate CVR = "
+            << ConsoleTable::num(cvr, 5) << " (target rho = 0.01)\n";
+  return cvr <= 0.02 ? 0 : 1;  // fail loudly if the fit badly mis-served
+}

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the CSVs the bench binaries drop in
+bench_out/.
+
+Usage:
+    for b in build/bench/*; do $b; done    # generates bench_out/*.csv
+    python3 scripts/plot_figures.py [bench_out] [out_dir]
+
+Requires matplotlib; exits gracefully with a message if it is absent
+(the console tables printed by the benches carry the same data).
+"""
+
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib not available; the bench console tables carry "
+             "the same data")
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig5(rows, out):
+    patterns = sorted({r["pattern"] for r in rows})
+    fig, axes = plt.subplots(1, len(patterns), figsize=(4 * len(patterns), 3.2),
+                             sharey=False)
+    for ax, pattern in zip(axes, patterns):
+        sub = [r for r in rows if r["pattern"] == pattern]
+        ns = [int(r["n_vms"]) for r in sub]
+        for key, label in [("rp_pms", "RP"), ("queue_pms", "QUEUE"),
+                           ("sbp_pms", "SBP"), ("rb_pms", "RB")]:
+            ax.plot(ns, [float(r[key]) for r in sub], marker="o", label=label)
+        ax.set_title(pattern, fontsize=9)
+        ax.set_xlabel("VMs")
+        ax.set_ylabel("PMs used")
+    axes[0].legend(fontsize=8)
+    fig.suptitle("Figure 5 — packing result")
+    fig.tight_layout()
+    fig.savefig(out / "fig5_packing.png", dpi=150)
+
+
+def plot_fig9(rows, out):
+    patterns = sorted({r["pattern"] for r in rows})
+    fig, axes = plt.subplots(1, 2, figsize=(9, 3.2))
+    width = 0.25
+    strategies = ["QUEUE", "RB", "RB-EX"]
+    for axis_idx, (key, title) in enumerate(
+            [("migrations", "total migrations"), ("pms_end", "PMs at end")]):
+        ax = axes[axis_idx]
+        for si, strat in enumerate(strategies):
+            xs, ys, lo, hi = [], [], [], []
+            for pi, pattern in enumerate(patterns):
+                row = next(r for r in rows
+                           if r["pattern"] == pattern and r["strategy"] == strat)
+                xs.append(pi + (si - 1) * width)
+                ys.append(float(row[f"{key}_avg"]))
+                lo.append(ys[-1] - float(row[f"{key}_min"]))
+                hi.append(float(row[f"{key}_max"]) - ys[-1])
+            ax.bar(xs, ys, width=width, label=strat,
+                   yerr=[lo, hi], capsize=3)
+        ax.set_xticks(range(len(patterns)))
+        ax.set_xticklabels([p.split(" ")[0] for p in patterns], fontsize=8)
+        ax.set_title(f"Figure 9 — {title}", fontsize=10)
+    axes[0].legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out / "fig9_migration.png", dpi=150)
+
+
+def plot_fig10(rows, out):
+    fig, ax = plt.subplots(figsize=(6, 3.2))
+    slots = [int(r["slot"]) for r in rows]
+    for key, label in [("queue_cum_migrations", "QUEUE"),
+                       ("rb_cum_migrations", "RB"),
+                       ("rbex_cum_migrations", "RB-EX")]:
+        ax.plot(slots, [int(r[key]) for r in rows], label=label)
+    ax.set_xlabel("slot")
+    ax.set_ylabel("cumulative migrations")
+    ax.set_title("Figure 10 — time-order pattern of migration events")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out / "fig10_timeline.png", dpi=150)
+
+
+def plot_fig8(rows, out):
+    fig, ax = plt.subplots(figsize=(7, 2.8))
+    slots = [int(r["slot"]) for r in rows]
+    ax.plot(slots, [float(r["demand_units"]) for r in rows], lw=0.7)
+    ax.set_xlabel("slot (30 s)")
+    ax.set_ylabel("demand (units)")
+    ax.set_title("Figure 8 — sample generated workload")
+    fig.tight_layout()
+    fig.savefig(out / "fig8_workload.png", dpi=150)
+
+
+def plot_generic_grouped(rows, xkey, ykey, group, title, fname, out):
+    fig, ax = plt.subplots(figsize=(6, 3.2))
+    series = defaultdict(list)
+    for r in rows:
+        series[r[group]].append((r[xkey], float(r[ykey])))
+    for name, pts in series.items():
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                label=name)
+    ax.set_xlabel(xkey)
+    ax.set_ylabel(ykey)
+    ax.set_title(title)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out / fname, dpi=150)
+
+
+def main():
+    src = Path(sys.argv[1] if len(sys.argv) > 1 else "bench_out")
+    out = Path(sys.argv[2] if len(sys.argv) > 2 else "bench_out/plots")
+    out.mkdir(parents=True, exist_ok=True)
+
+    plotters = {
+        "fig5_packing.csv": plot_fig5,
+        "fig8_workload.csv": plot_fig8,
+        "fig9_migration.csv": plot_fig9,
+        "fig10_timeline.csv": plot_fig10,
+    }
+    for fname, fn in plotters.items():
+        path = src / fname
+        if path.exists():
+            fn(read_csv(path), out)
+            print(f"plotted {fname}")
+        else:
+            print(f"skipped {fname} (run the bench first)")
+
+    extras = [
+        ("ablation_rho.csv", "rho", "pms_used", None,
+         "rho vs PMs used", "ablation_rho.png"),
+        ("ablation_delta.csv", "delta", "migrations_avg", None,
+         "RB-EX delta vs migrations", "ablation_delta.png"),
+    ]
+    for fname, xk, yk, _, title, png in extras:
+        path = src / fname
+        if not path.exists():
+            continue
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(5, 3))
+        ax.plot([r[xk] for r in rows], [float(r[yk]) for r in rows],
+                marker="o")
+        ax.set_xlabel(xk)
+        ax.set_ylabel(yk)
+        ax.set_title(title)
+        fig.tight_layout()
+        fig.savefig(out / png, dpi=150)
+        print(f"plotted {fname}")
+
+    print(f"plots in {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#include "common/args.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace burstq {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add_option(const std::string& key,
+                                 const std::string& help,
+                                 std::optional<std::string> default_value) {
+  BURSTQ_REQUIRE(find(key) == nullptr, "duplicate option --" + key);
+  specs_.emplace_back(key, Spec{help, false, std::move(default_value)});
+  return *this;
+}
+
+ArgParser& ArgParser::add_flag(const std::string& key,
+                               const std::string& help) {
+  BURSTQ_REQUIRE(find(key) == nullptr, "duplicate flag --" + key);
+  specs_.emplace_back(key, Spec{help, true, std::nullopt});
+  return *this;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& key) const {
+  for (const auto& [k, spec] : specs_)
+    if (k == key) return &spec;
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  values_.clear();
+  flags_.clear();
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + token;
+      return false;
+    }
+    const std::string key = token.substr(2);
+    const Spec* spec = find(key);
+    if (spec == nullptr) {
+      error_ = "unknown option --" + key;
+      return false;
+    }
+    if (spec->is_flag) {
+      flags_[key] = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "option --" + key + " requires a value";
+      return false;
+    }
+    values_[key] = argv[++i];
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  if (values_.count(key)) return true;
+  const Spec* spec = find(key);
+  return spec != nullptr && spec->default_value.has_value();
+}
+
+std::string ArgParser::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  const Spec* spec = find(key);
+  BURSTQ_REQUIRE(spec != nullptr, "undeclared option --" + key);
+  BURSTQ_REQUIRE(spec->default_value.has_value(),
+                 "option --" + key + " was not supplied");
+  return *spec->default_value;
+}
+
+double ArgParser::get_double(const std::string& key) const {
+  const std::string s = get(key);
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  BURSTQ_REQUIRE(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+                 "option --" + key + " expects a number, got '" + s + "'");
+  return v;
+}
+
+long long ArgParser::get_int(const std::string& key) const {
+  const std::string s = get(key);
+  long long v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  BURSTQ_REQUIRE(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+                 "option --" + key + " expects an integer, got '" + s + "'");
+  return v;
+}
+
+bool ArgParser::flag(const std::string& key) const {
+  const auto it = flags_.find(key);
+  return it != flags_.end() && it->second;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_ << " [options]\n" << description_ << "\n\n";
+  for (const auto& [key, spec] : specs_) {
+    oss << "  --" << key;
+    if (!spec.is_flag) oss << " <value>";
+    oss << "  " << spec.help;
+    if (spec.default_value) oss << " (default: " << *spec.default_value << ")";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace burstq

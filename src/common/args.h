@@ -1,0 +1,62 @@
+// Minimal command-line flag parser for the example tools.
+//
+// Supports "--key value" pairs and boolean "--flag" switches declared up
+// front, with typed accessors, defaults, and a generated usage string.
+// Deliberately tiny: the CLI tools need exactly this and nothing more.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace burstq {
+
+class ArgParser {
+ public:
+  /// `program` and `description` feed the usage text.
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a --key that takes a value.  `help` appears in usage().
+  ArgParser& add_option(const std::string& key, const std::string& help,
+                        std::optional<std::string> default_value =
+                            std::nullopt);
+
+  /// Declares a boolean --key switch (no value).
+  ArgParser& add_flag(const std::string& key, const std::string& help);
+
+  /// Parses argv.  Returns false (and sets error()) on unknown keys,
+  /// missing values, or a missing required option.
+  bool parse(int argc, const char* const* argv);
+
+  /// True when the option was supplied or has a default.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// String value; throws InvalidArgument when absent.
+  [[nodiscard]] std::string get(const std::string& key) const;
+  /// Numeric value; throws InvalidArgument when absent or malformed.
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] long long get_int(const std::string& key) const;
+  /// Flag state (false when not supplied).
+  [[nodiscard]] bool flag(const std::string& key) const;
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag{false};
+    std::optional<std::string> default_value;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::string error_;
+
+  [[nodiscard]] const Spec* find(const std::string& key) const;
+};
+
+}  // namespace burstq

@@ -1,0 +1,91 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace burstq {
+
+std::string csv_escape(std::string_view s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_format(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  BURSTQ_REQUIRE(out_.is_open(), "cannot open CSV output file: " + path);
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  begin_row();
+  for (auto f : fields) field(f);
+  end_row();
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  begin_row();
+  for (const auto& f : fields) field(std::string_view{f});
+  end_row();
+}
+
+CsvWriter& CsvWriter::begin_row() {
+  BURSTQ_REQUIRE(!row_open_, "begin_row called with a row already open");
+  row_open_ = true;
+  first_field_ = true;
+  return *this;
+}
+
+void CsvWriter::write_field(std::string_view s) {
+  BURSTQ_REQUIRE(row_open_, "field written outside begin_row/end_row");
+  if (!first_field_) out_ << ',';
+  first_field_ = false;
+  out_ << csv_escape(s);
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  write_field(s);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  write_field(csv_format(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t v) {
+  write_field(std::to_string(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long v) {
+  write_field(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  BURSTQ_REQUIRE(row_open_, "end_row without begin_row");
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace burstq

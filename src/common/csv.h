@@ -1,0 +1,51 @@
+// Minimal RFC-4180-ish CSV writer used by the benchmark harnesses to dump
+// figure data series next to the human-readable console tables.
+
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace burstq {
+
+/// Streams rows to a CSV file.  Fields containing commas, quotes or
+/// newlines are quoted; numeric overloads format with full precision.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating.  Throws InvalidArgument when the
+  /// file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row from string fields.
+  void row(std::initializer_list<std::string_view> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// Fluent per-field interface: csv.begin_row().field("a").field(1.5).end_row();
+  CsvWriter& begin_row();
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::size_t v);
+  CsvWriter& field(long long v);
+  void end_row();
+
+  /// Flushes buffered output to disk.
+  void flush();
+
+ private:
+  void write_field(std::string_view s);
+
+  std::ofstream out_;
+  bool row_open_{false};
+  bool first_field_{true};
+};
+
+/// Escapes one CSV field (exposed for testing).
+std::string csv_escape(std::string_view s);
+
+/// Formats a double compactly but round-trippably.
+std::string csv_format(double v);
+
+}  // namespace burstq

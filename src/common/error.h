@@ -1,0 +1,69 @@
+// Error handling policy for burstq.
+//
+// Precondition violations on the public API throw burstq::InvalidArgument;
+// internal invariant breakage throws burstq::InternalError.  Hot loops in
+// the simulator use BURSTQ_ASSERT, which compiles to nothing in release
+// builds with BURSTQ_DISABLE_ASSERTS defined.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace burstq {
+
+/// Thrown when a caller passes arguments outside a function's documented
+/// domain (e.g. probabilities outside (0,1], negative capacities).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+
+[[noreturn]] inline void throw_internal(const std::string& what) {
+  throw InternalError(what);
+}
+
+}  // namespace detail
+
+/// Validates a documented precondition of a public entry point.
+#define BURSTQ_REQUIRE(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << __func__ << ": requirement failed: " << (msg) << " ["     \
+           << #cond << "]";                                             \
+      ::burstq::detail::throw_invalid(oss_.str());                      \
+    }                                                                   \
+  } while (false)
+
+/// Checks an internal invariant; failure indicates a bug in burstq itself.
+#if defined(BURSTQ_DISABLE_ASSERTS)
+#define BURSTQ_ASSERT(cond, msg) \
+  do {                           \
+  } while (false)
+#else
+#define BURSTQ_ASSERT(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream oss_;                                        \
+      oss_ << __func__ << ": internal invariant violated: " << (msg)  \
+           << " [" << #cond << "]";                                   \
+      ::burstq::detail::throw_internal(oss_.str());                   \
+    }                                                                 \
+  } while (false)
+#endif
+
+}  // namespace burstq

@@ -1,0 +1,58 @@
+// Shared-memory parallelism for the experiment harnesses.
+//
+// Monte-Carlo trials (Figures 6 and 9 repeat each setting 10+ times) are
+// embarrassingly parallel, so the runner fans trials out over a ThreadPool.
+// Determinism is preserved by deriving one Rng per trial index *before*
+// dispatch; results are written to per-index slots so no ordering matters.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace burstq {
+
+/// Fixed-size worker pool executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Jobs must not throw; exceptions escaping a job
+  /// terminate the process (they indicate library bugs, not data errors).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_{0};
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) across a transient pool.  Blocks until done.
+/// fn must be safe to invoke concurrently for distinct indices.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace burstq

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace burstq {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: used only for seeding / stream derivation.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // All-zero state is the one invalid state; splitmix64 output of any seed
+  // cannot produce four zero words in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  BURSTQ_REQUIRE(lo <= hi, "uniform bounds must satisfy lo <= hi");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  BURSTQ_REQUIRE(n > 0, "next_below requires n > 0");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BURSTQ_REQUIRE(lo <= hi, "uniform_int bounds must satisfy lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) {
+  BURSTQ_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0,1]");
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  BURSTQ_REQUIRE(mean > 0.0, "exponential requires mean > 0");
+  // Inverse CDF; next_double() < 1 so the log argument is in (0, 1].
+  return -mean * std::log1p(-next_double());
+}
+
+std::int64_t Rng::geometric(double p) {
+  BURSTQ_REQUIRE(p > 0.0 && p <= 1.0, "geometric requires p in (0,1]");
+  if (p == 1.0) return 1;
+  const double u = 1.0 - next_double();  // in (0, 1]
+  return 1 + static_cast<std::int64_t>(std::floor(std::log(u) /
+                                                  std::log1p(-p)));
+}
+
+Rng Rng::split() {
+  // Derive a child seed from fresh output; child re-expands via SplitMix64.
+  return Rng(next_u64());
+}
+
+}  // namespace burstq

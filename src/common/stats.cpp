@@ -1,0 +1,187 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace burstq {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  BURSTQ_REQUIRE(n_ > 0, "mean of empty RunningStats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  BURSTQ_REQUIRE(n_ > 1, "variance requires at least two observations");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  BURSTQ_REQUIRE(n_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  BURSTQ_REQUIRE(n_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double SampleSet::mean() const {
+  BURSTQ_REQUIRE(!xs_.empty(), "mean of empty SampleSet");
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double SampleSet::min() const {
+  BURSTQ_REQUIRE(!xs_.empty(), "min of empty SampleSet");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::max() const {
+  BURSTQ_REQUIRE(!xs_.empty(), "max of empty SampleSet");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::quantile(double q) const {
+  BURSTQ_REQUIRE(!xs_.empty(), "quantile of empty SampleSet");
+  BURSTQ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must lie in [0,1]");
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double SampleSet::ci95_halfwidth() const {
+  BURSTQ_REQUIRE(xs_.size() > 1, "ci95 requires at least two observations");
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : xs_) ss += (x - m) * (x - m);
+  const double var = ss / static_cast<double>(xs_.size() - 1);
+  return 1.959963984540054 * std::sqrt(var / static_cast<double>(xs_.size()));
+}
+
+ChiSquareResult chi_square_gof(const std::vector<std::size_t>& counts,
+                               const std::vector<double>& expected_probs,
+                               double min_expected_fraction) {
+  BURSTQ_REQUIRE(counts.size() == expected_probs.size(),
+                 "counts and probabilities must align");
+  BURSTQ_REQUIRE(counts.size() >= 2, "need at least two bins");
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  BURSTQ_REQUIRE(total > 0, "no observations");
+  double prob_sum = 0.0;
+  for (double p : expected_probs) {
+    BURSTQ_REQUIRE(p >= 0.0, "negative expected probability");
+    prob_sum += p;
+  }
+  BURSTQ_REQUIRE(std::abs(prob_sum - 1.0) < 1e-6,
+                 "expected probabilities must sum to 1");
+
+  // Pool low-expectation bins left-to-right into a running accumulator.
+  std::vector<double> pooled_probs;
+  std::vector<double> pooled_counts;
+  double acc_p = 0.0;
+  double acc_c = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    acc_p += expected_probs[i];
+    acc_c += static_cast<double>(counts[i]);
+    if (acc_p >= min_expected_fraction) {
+      pooled_probs.push_back(acc_p);
+      pooled_counts.push_back(acc_c);
+      acc_p = 0.0;
+      acc_c = 0.0;
+    }
+  }
+  if (acc_p > 0.0 || acc_c > 0.0) {
+    if (pooled_probs.empty()) {
+      pooled_probs.push_back(acc_p);
+      pooled_counts.push_back(acc_c);
+    } else {
+      pooled_probs.back() += acc_p;
+      pooled_counts.back() += acc_c;
+    }
+  }
+
+  ChiSquareResult r;
+  const auto n = static_cast<double>(total);
+  for (std::size_t i = 0; i < pooled_probs.size(); ++i) {
+    const double expect = n * pooled_probs[i];
+    if (expect <= 0.0) continue;
+    const double diff = pooled_counts[i] - expect;
+    r.statistic += diff * diff / expect;
+  }
+  r.degrees_of_freedom =
+      pooled_probs.size() > 1 ? pooled_probs.size() - 1 : 0;
+  return r;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  BURSTQ_REQUIRE(lo < hi, "histogram range must be non-empty");
+  BURSTQ_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  double idx = (x - lo_) / width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  BURSTQ_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  BURSTQ_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  BURSTQ_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+}  // namespace burstq

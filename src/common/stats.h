@@ -1,0 +1,112 @@
+// Streaming and batch statistics used by the experiment harnesses.
+//
+// RunningStats implements Welford's numerically-stable online mean/variance;
+// SampleSet keeps the raw observations for percentiles and min/avg/max bars
+// (Figure 9 in the paper reports average plus min/max whiskers over 10
+// runs); Histogram buckets values for workload-shape diagnostics.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace burstq {
+
+/// Welford online accumulator: O(1) memory mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of observations.  Requires count() > 0.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance.  Requires count() > 1.
+  [[nodiscard]] double variance() const;
+  /// Sample standard deviation.  Requires count() > 1.
+  [[nodiscard]] double stddev() const;
+  /// Smallest observation.  Requires count() > 0.
+  [[nodiscard]] double min() const;
+  /// Largest observation.  Requires count() > 0.
+  [[nodiscard]] double max() const;
+  /// Sum of observations.
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Batch sample container with quantile queries.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated quantile, q in [0,1].  Requires non-empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean.  Requires count() > 1.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Pearson chi-square goodness-of-fit statistic for observed counts
+/// against expected probabilities.  Bins with expected probability below
+/// `min_expected_fraction` are pooled into their neighbor to keep the
+/// approximation valid.  Returns the statistic and the degrees of freedom
+/// (pooled bins - 1); callers compare against a critical value.
+struct ChiSquareResult {
+  double statistic{0.0};
+  std::size_t degrees_of_freedom{0};
+};
+
+/// Requires counts.size() == expected_probabilities.size() >= 2, total
+/// count > 0, probabilities summing to ~1.
+ChiSquareResult chi_square_gof(const std::vector<std::size_t>& counts,
+                               const std::vector<double>& expected_probs,
+                               double min_expected_fraction = 1e-4);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of all observations landing in `bin`; 0 if empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace burstq

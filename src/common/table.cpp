@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace burstq {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BURSTQ_REQUIRE(!header_.empty(), "table header must be non-empty");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  BURSTQ_REQUIRE(cells.size() == header_.size(),
+                 "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::size_t total = 0;
+  for (auto w : width) total += w + 3;
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    os << std::string(std::max<std::size_t>(total, title_.size()), '=')
+       << '\n';
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << cells[c];
+      if (c + 1 < cells.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string ConsoleTable::num(std::size_t v) { return std::to_string(v); }
+
+std::string ConsoleTable::percent(double fraction, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+      << '%';
+  return oss.str();
+}
+
+}  // namespace burstq

@@ -1,0 +1,41 @@
+// Console table rendering for benchmark output.
+//
+// Every bench binary prints the paper's figure/table as aligned rows so the
+// reproduction can be eyeballed against the paper without plotting.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace burstq {
+
+/// Accumulates rows of string cells and renders them with aligned columns,
+/// a header rule and an optional title banner.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to the given stream.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Helpers for formatting numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace burstq

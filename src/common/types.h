@@ -1,0 +1,58 @@
+// Core value types shared by every burstq subsystem.
+//
+// The paper treats resource amounts as abstract one-dimensional quantities
+// (memory in its evaluation, but explicitly "any one-dimensional resource
+// type").  We model amounts as double so that fractional reservations and
+// utilization ratios compose without lossy rounding; identifiers are strong
+// integer wrappers so a VM index can never be passed where a PM index is
+// expected.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace burstq {
+
+/// One-dimensional resource amount (e.g. MB of memory, CPU shares).
+using Resource = double;
+
+/// Discrete simulation time, measured in slots of length sigma.
+using TimeSlot = std::int64_t;
+
+/// Strongly-typed index.  Tag disambiguates VM vs PM identifiers.
+template <typename Tag>
+struct Id {
+  std::size_t value{invalid_value};
+
+  static constexpr std::size_t invalid_value =
+      std::numeric_limits<std::size_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::size_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != invalid_value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct VmTag {};
+struct PmTag {};
+
+/// Index of a virtual machine within a problem instance.
+using VmId = Id<VmTag>;
+/// Index of a physical machine within a problem instance.
+using PmId = Id<PmTag>;
+
+}  // namespace burstq
+
+template <typename Tag>
+struct std::hash<burstq::Id<Tag>> {
+  std::size_t operator()(burstq::Id<Tag> id) const noexcept {
+    return std::hash<std::size_t>{}(id.value);
+  }
+};

@@ -1,0 +1,94 @@
+#include "core/consolidator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace burstq {
+
+double PlacementAnalysis::savings_vs(std::size_t reference_pms) const {
+  if (reference_pms == 0) return 0.0;
+  return 1.0 - static_cast<double>(pms_used) /
+                   static_cast<double>(reference_pms);
+}
+
+Consolidator::Consolidator(QueuingFfdOptions options) : options_(options) {
+  options_.validate();
+}
+
+PlacementResult Consolidator::place(const ProblemInstance& inst,
+                                    Strategy strategy, double delta) const {
+  switch (strategy) {
+    case Strategy::kQueue:
+      return queuing_ffd(inst, options_).result;
+    case Strategy::kPeak:
+      return ffd_by_peak(inst, options_.max_vms_per_pm);
+    case Strategy::kNormal:
+      return ffd_by_normal(inst, options_.max_vms_per_pm);
+    case Strategy::kReserved:
+      return ffd_reserved(inst, delta, options_.max_vms_per_pm);
+    case Strategy::kSbp:
+      return sbp_normal(inst, options_.rho, options_.max_vms_per_pm);
+    case Strategy::kHetero: {
+      HeteroFfdOptions hopt;
+      hopt.rho = options_.rho;
+      hopt.max_vms_per_pm = options_.max_vms_per_pm;
+      hopt.cluster_buckets = options_.cluster_buckets;
+      return queuing_ffd_hetero(inst, hopt);
+    }
+    case Strategy::kQuantile: {
+      QuantileFfdOptions qopt;
+      qopt.reservation.rho = options_.rho;
+      qopt.max_vms_per_pm = options_.max_vms_per_pm;
+      qopt.cluster_buckets = options_.cluster_buckets;
+      return queuing_ffd_quantile(inst, qopt);
+    }
+  }
+  BURSTQ_ASSERT(false, "unknown Strategy");
+  return ffd_by_peak(inst, options_.max_vms_per_pm);
+}
+
+PlacementAnalysis Consolidator::analyze(const ProblemInstance& inst,
+                                        const Placement& placement) const {
+  inst.validate();
+  const OnOffParams params =
+      round_uniform_params(inst.vms, options_.rounding);
+  // The analysis table must cover the largest actual co-location, which a
+  // non-QUEUE placement may push past the configured d.
+  std::size_t max_k = options_.max_vms_per_pm;
+  for (std::size_t j = 0; j < placement.n_pms(); ++j)
+    max_k = std::max(max_k, placement.count_on(PmId{j}));
+  const MapCalTable table(max_k, params, options_.rho, options_.method);
+
+  PlacementAnalysis out;
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    const std::size_t k = placement.count_on(pm);
+    if (k == 0) continue;
+    PmAnalysis a;
+    a.pm = j;
+    a.vms = k;
+    a.blocks = table.blocks(k);
+    a.block_size = max_re_on(inst, placement, pm);
+    a.reserved = a.block_size * static_cast<double>(a.blocks);
+    a.rb_sum = total_rb_on(inst, placement, pm);
+    a.capacity = inst.pms[j].capacity;
+    a.cvr_bound = table.cvr_bound(k);
+    a.utilization_normal = a.rb_sum / a.capacity;
+    out.total_reserved += a.reserved;
+    out.worst_cvr_bound = std::max(out.worst_cvr_bound, a.cvr_bound);
+    out.pms.push_back(a);
+  }
+  out.pms_used = out.pms.size();
+  return out;
+}
+
+SimReport Consolidator::simulate(const ProblemInstance& inst,
+                                 const Placement& placement,
+                                 const SimConfig& config,
+                                 std::uint64_t seed) const {
+  ClusterSimulator sim(inst, placement, config, Rng(seed));
+  return sim.run();
+}
+
+}  // namespace burstq

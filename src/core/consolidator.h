@@ -1,0 +1,77 @@
+// Consolidator — the top-level facade of burstq.
+//
+// Wraps placement (Algorithm 2 plus the paper's baselines), analytic
+// reservation reporting, and simulation behind one object a downstream
+// user configures once.  Typical use:
+//
+//   burstq::Consolidator c;                    // paper-default options
+//   auto outcome = c.place(instance, burstq::Strategy::kQueue);
+//   auto analysis = c.analyze(instance, outcome.placement);
+//   auto report = c.simulate(instance, outcome.placement, simcfg, seed);
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/baselines.h"
+#include "placement/hetero_ffd.h"
+#include "placement/quantile_ffd.h"
+#include "placement/queuing_ffd.h"
+#include "placement/sbp.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq {
+
+/// Per-PM analytic view of a placement under the reservation rule.
+struct PmAnalysis {
+  std::size_t pm{0};
+  std::size_t vms{0};           ///< k
+  std::size_t blocks{0};        ///< mapping(k)
+  Resource block_size{0.0};     ///< max Re of hosted VMs
+  Resource reserved{0.0};       ///< blocks * block_size
+  Resource rb_sum{0.0};
+  Resource capacity{0.0};
+  double cvr_bound{0.0};        ///< analytic CVR (Eq. 16)
+  double utilization_normal{0.0};  ///< rb_sum / capacity
+};
+
+struct PlacementAnalysis {
+  std::vector<PmAnalysis> pms;  ///< used PMs only
+  std::size_t pms_used{0};
+  Resource total_reserved{0.0};
+  double worst_cvr_bound{0.0};
+
+  /// Consolidation ratio versus a reference PM count (e.g. RP's):
+  /// 1 - used/reference.
+  [[nodiscard]] double savings_vs(std::size_t reference_pms) const;
+};
+
+class Consolidator {
+ public:
+  explicit Consolidator(QueuingFfdOptions options = {});
+
+  /// Runs the chosen strategy.  kQueue is Algorithm 2; kReserved uses
+  /// `delta` (others ignore it).
+  [[nodiscard]] PlacementResult place(const ProblemInstance& inst,
+                                      Strategy strategy,
+                                      double delta = 0.3) const;
+
+  /// Analytic per-PM report for any placement (the mapping table is built
+  /// from the instance's rounded parameters and the configured rho/d).
+  [[nodiscard]] PlacementAnalysis analyze(const ProblemInstance& inst,
+                                          const Placement& placement) const;
+
+  /// Simulates a placement with the dynamic scheduler.
+  [[nodiscard]] SimReport simulate(const ProblemInstance& inst,
+                                   const Placement& placement,
+                                   const SimConfig& config,
+                                   std::uint64_t seed) const;
+
+  [[nodiscard]] const QueuingFfdOptions& options() const { return options_; }
+
+ private:
+  QueuingFfdOptions options_;
+};
+
+}  // namespace burstq

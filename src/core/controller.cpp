@@ -1,0 +1,264 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "placement/budget.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+void ControllerConfig::validate() const {
+  ffd.validate();
+  policy.validate();
+  power.validate();
+  BURSTQ_REQUIRE(sigma_seconds > 0.0, "slot length must be positive");
+}
+
+CloudController::CloudController(std::vector<PmSpec> pms,
+                                 ControllerConfig config, Rng rng)
+    : pms_(std::move(pms)),
+      config_(config),
+      rng_(rng),
+      table_(config.ffd.max_vms_per_pm, OnOffParams{}, config.ffd.rho,
+             config.ffd.method),
+      on_pm_(pms_.size()),
+      tracker_(pms_.empty() ? 1 : pms_.size(), config.policy.cvr_window),
+      meter_(config.power, config.sigma_seconds) {
+  BURSTQ_REQUIRE(!pms_.empty(), "controller needs at least one PM");
+  config_.validate();
+  for (const auto& p : pms_) p.validate();
+}
+
+std::vector<VmSpec> CloudController::hosted_specs(PmId pm) const {
+  std::vector<VmSpec> out;
+  out.reserve(on_pm_[pm.value].size());
+  for (std::size_t s : on_pm_[pm.value]) out.push_back(tenants_[s].spec);
+  return out;
+}
+
+std::optional<PmId> CloudController::first_fit(const VmSpec& vm) const {
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const PmId pm{j};
+    if (fits_with_reservation_specs(hosted_specs(pm), vm,
+                                    pms_[j].capacity, table_))
+      return pm;
+  }
+  return std::nullopt;
+}
+
+std::optional<TenantId> CloudController::admit(const VmSpec& vm) {
+  vm.validate();
+  const auto pm = first_fit(vm);
+  if (!pm) {
+    ++stats_.rejections;
+    return std::nullopt;
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = tenants_.size();
+    tenants_.emplace_back();
+  }
+  Tenant& t = tenants_[slot];
+  t.spec = vm;
+  t.chain = OnOffChain(vm.onoff);
+  t.chain.reset_stationary(rng_);
+  t.pm = *pm;
+  t.live = true;
+  on_pm_[pm->value].push_back(slot);
+  ++stats_.admissions;
+  ++stats_.vms_hosted;
+  return TenantId{slot};
+}
+
+void CloudController::depart(TenantId id) {
+  BURSTQ_REQUIRE(
+      id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live,
+      "depart on an invalid or dead tenant");
+  Tenant& t = tenants_[id.slot];
+  auto& list = on_pm_[t.pm.value];
+  const auto it = std::find(list.begin(), list.end(), id.slot);
+  BURSTQ_ASSERT(it != list.end(), "controller PM lists out of sync");
+  list.erase(it);
+  t.live = false;
+  free_slots_.push_back(id.slot);
+  ++stats_.departures;
+  --stats_.vms_hosted;
+}
+
+void CloudController::run_scheduler(const std::vector<Resource>& /*load*/,
+                                    std::vector<Resource>& mutable_load) {
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const PmId source{j};
+    if (on_pm_[j].empty()) continue;
+    if (tracker_.windowed_cvr(source) <= config_.policy.rho) continue;
+
+    // Victim: the spiking tenant with the largest demand, falling back
+    // to the largest-demand tenant overall (same rule as select_victim).
+    std::size_t best_on = 0;
+    double best_on_demand = -1.0;
+    std::size_t best_any = on_pm_[j].front();
+    double best_any_demand = -1.0;
+    for (std::size_t s : on_pm_[j]) {
+      const Tenant& t = tenants_[s];
+      const double d = t.spec.demand(t.chain.state());
+      if (t.chain.on() && d > best_on_demand) {
+        best_on_demand = d;
+        best_on = s;
+      }
+      if (d > best_any_demand) {
+        best_any_demand = d;
+        best_any = s;
+      }
+    }
+    const std::size_t victim_slot =
+        best_on_demand >= 0.0 ? best_on : best_any;
+    Tenant& victim = tenants_[victim_slot];
+    const double vdemand = victim.spec.demand(victim.chain.state());
+
+    // Target: reservation-aware by default in the controller — this is
+    // the burstiness-aware component an operator deploys.
+    std::optional<PmId> target;
+    for (std::size_t p = 0; p < pms_.size(); ++p) {
+      const PmId cand{p};
+      if (cand == source) continue;
+      if (fits_with_reservation_specs(hosted_specs(cand), victim.spec,
+                                      pms_[p].capacity, table_)) {
+        target = cand;
+        break;
+      }
+    }
+    if (target) {
+      auto& list = on_pm_[j];
+      list.erase(std::find(list.begin(), list.end(), victim_slot));
+      on_pm_[target->value].push_back(victim_slot);
+      victim.pm = *target;
+      mutable_load[j] -= vdemand;
+      mutable_load[target->value] += vdemand;
+      ++stats_.runtime_migrations;
+      tracker_.reset_window(source);
+      tracker_.reset_window(*target);
+    } else {
+      ++stats_.failed_migrations;
+      tracker_.reset_window(source);
+    }
+  }
+}
+
+void CloudController::run_maintenance() {
+  ++stats_.maintenance_windows;
+  if (stats_.vms_hosted == 0) return;
+
+  // Recalibrate the mapping table to the current population (IV-E).
+  std::vector<VmSpec> live;
+  std::vector<std::size_t> slot_of;  // compact index -> tenant slot
+  live.reserve(stats_.vms_hosted);
+  for (std::size_t s = 0; s < tenants_.size(); ++s) {
+    if (!tenants_[s].live) continue;
+    live.push_back(tenants_[s].spec);
+    slot_of.push_back(s);
+  }
+  const OnOffParams rounded =
+      round_uniform_params(live, config_.ffd.rounding);
+  table_ = MapCalTable(config_.ffd.max_vms_per_pm, rounded,
+                       config_.ffd.rho, config_.ffd.method);
+
+  // Compact instance + placement view for the budget consolidator.
+  ProblemInstance inst;
+  inst.vms = live;
+  inst.pms = pms_;
+  Placement view(live.size(), pms_.size());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    view.assign(VmId{i}, tenants_[slot_of[i]].pm);
+
+  const auto result = consolidate_with_budget(
+      inst, view, table_, config_.maintenance_budget);
+
+  // Apply the executed moves back to the live fleet.
+  for (const auto& move : result.moves) {
+    const std::size_t s = slot_of[move.vm.value];
+    auto& from_list = on_pm_[move.from.value];
+    from_list.erase(std::find(from_list.begin(), from_list.end(), s));
+    on_pm_[move.to.value].push_back(s);
+    tenants_[s].pm = move.to;
+    ++stats_.maintenance_migrations;
+  }
+}
+
+void CloudController::tick() {
+  ++stats_.slots;
+
+  // 1. Workload evolution + demands.
+  std::vector<Resource> load(pms_.size(), 0.0);
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    for (std::size_t s : on_pm_[j]) {
+      Tenant& t = tenants_[s];
+      t.chain.step(rng_);
+      load[j] += t.spec.demand(t.chain.state());
+    }
+  }
+
+  // 2. Violation bookkeeping.
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    if (on_pm_[j].empty()) continue;
+    tracker_.record(PmId{j},
+                    load[j] > pms_[j].capacity * (1.0 + kCapacityEpsilon));
+  }
+
+  // 3. Dynamic scheduling.
+  run_scheduler(load, load);
+
+  // 4. Energy.
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    if (on_pm_[j].empty()) continue;
+    meter_.add_pm_slot(load[j] / pms_[j].capacity);
+  }
+
+  // 5. Maintenance window.
+  if (config_.maintenance_every > 0 &&
+      stats_.slots % config_.maintenance_every == 0)
+    run_maintenance();
+
+  stats_.pms_used = pms_used();
+  stats_.mean_cvr = tracker_.mean_cvr();
+  stats_.max_cvr = tracker_.max_cvr();
+  stats_.energy_wh = meter_.watt_hours();
+}
+
+std::size_t CloudController::pms_used() const {
+  std::size_t used = 0;
+  for (const auto& list : on_pm_)
+    if (!list.empty()) ++used;
+  return used;
+}
+
+PmId CloudController::pm_of(TenantId id) const {
+  BURSTQ_REQUIRE(
+      id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live,
+      "pm_of on an invalid or dead tenant");
+  return tenants_[id.slot].pm;
+}
+
+const VmSpec& CloudController::spec_of(TenantId id) const {
+  BURSTQ_REQUIRE(
+      id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live,
+      "spec_of on an invalid or dead tenant");
+  return tenants_[id.slot].spec;
+}
+
+bool CloudController::reservation_invariant_holds() const {
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const auto hosted = hosted_specs(PmId{j});
+    if (hosted.empty()) continue;
+    if (hosted.size() > table_.max_vms_per_pm()) return false;
+    if (reserved_footprint_specs(hosted, table_) >
+        pms_[j].capacity * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace burstq

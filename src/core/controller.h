@@ -1,0 +1,121 @@
+// CloudController — the closed-loop integration of everything burstq
+// implements: burstiness-aware admission (Eq. 17), slotted workload
+// evolution, CVR-triggered live migration (the dynamic scheduler), and
+// periodic budget-bounded maintenance consolidation.
+//
+// This is the shape of the component an operator would actually deploy:
+// the paper's Algorithm 2 handles initial/batch placement, Section IV-E's
+// online rules handle churn, and the runtime loop keeps the performance
+// constraint honest while reclaiming PMs during maintenance windows.
+//
+// The controller owns a *dynamic* fleet: VMs arrive and depart at any
+// slot, so it keeps its own per-VM chains rather than a fixed
+// WorkloadEnsemble.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/queuing_ffd.h"
+#include "queuing/mapcal.h"
+#include "sim/energy.h"
+#include "sim/metrics.h"
+#include "sim/migration.h"
+
+namespace burstq {
+
+struct ControllerConfig {
+  QueuingFfdOptions ffd{};        ///< admission rule (rho, d, clustering)
+  MigrationPolicy policy{};       ///< runtime scheduler
+  double sigma_seconds{30.0};
+  PowerModel power{};
+  /// Run a maintenance consolidation every this many slots (0 = never).
+  std::size_t maintenance_every{0};
+  /// Live-migration budget per maintenance window.
+  std::size_t maintenance_budget{20};
+
+  void validate() const;
+};
+
+/// Stable handle for an admitted VM.
+struct TenantId {
+  std::size_t slot{static_cast<std::size_t>(-1)};
+  [[nodiscard]] bool valid() const {
+    return slot != static_cast<std::size_t>(-1);
+  }
+  friend bool operator==(TenantId a, TenantId b) { return a.slot == b.slot; }
+};
+
+/// Rolling counters exposed after every tick.
+struct ControllerStats {
+  std::size_t slots{0};
+  std::size_t vms_hosted{0};
+  std::size_t pms_used{0};
+  std::size_t admissions{0};
+  std::size_t rejections{0};
+  std::size_t departures{0};
+  std::size_t runtime_migrations{0};   ///< scheduler-triggered
+  std::size_t maintenance_migrations{0};
+  std::size_t failed_migrations{0};
+  std::size_t maintenance_windows{0};
+  double mean_cvr{0.0};  ///< cumulative, over PMs that hosted VMs
+  double max_cvr{0.0};
+  double energy_wh{0.0};
+};
+
+class CloudController {
+ public:
+  CloudController(std::vector<PmSpec> pms, ControllerConfig config,
+                  Rng rng);
+
+  /// Admits one VM via first-fit under Eq. (17); the chain starts in its
+  /// stationary state.  Returns nullopt (and counts a rejection) when no
+  /// PM can take it.
+  std::optional<TenantId> admit(const VmSpec& vm);
+
+  /// Removes a VM.  Throws on dead/invalid handles.
+  void depart(TenantId id);
+
+  /// Advances one slot: workload step, violation bookkeeping, dynamic
+  /// scheduling, energy metering, and — when due — the maintenance
+  /// consolidation.
+  void tick();
+
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pms_used() const;
+  [[nodiscard]] PmId pm_of(TenantId id) const;
+  [[nodiscard]] const VmSpec& spec_of(TenantId id) const;
+
+  /// Verifies the reservation invariant over the current fleet.
+  [[nodiscard]] bool reservation_invariant_holds() const;
+
+ private:
+  struct Tenant {
+    VmSpec spec;
+    OnOffChain chain{OnOffParams{}};
+    PmId pm{};
+    bool live{false};
+  };
+
+  [[nodiscard]] std::vector<VmSpec> hosted_specs(PmId pm) const;
+  std::optional<PmId> first_fit(const VmSpec& vm) const;
+  void run_scheduler(const std::vector<Resource>& load,
+                     std::vector<Resource>& mutable_load);
+  void run_maintenance();
+
+  std::vector<PmSpec> pms_;
+  ControllerConfig config_;
+  Rng rng_;
+  MapCalTable table_;
+  std::vector<Tenant> tenants_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<std::vector<std::size_t>> on_pm_;  ///< tenant slots per PM
+  CvrTracker tracker_;
+  EnergyMeter meter_;
+  ControllerStats stats_;
+};
+
+}  // namespace burstq

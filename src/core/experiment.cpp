@@ -1,0 +1,73 @@
+#include "core/experiment.h"
+
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace burstq {
+
+TrialSummary run_trials(const InstanceFactory& make_instance,
+                        const PlacementFactory& make_placement,
+                        const TrialConfig& config) {
+  BURSTQ_REQUIRE(config.trials > 0, "need at least one trial");
+  config.sim.validate();
+
+  struct TrialOut {
+    double migrations, failed, pms_initial, pms_end, mean_cvr, max_cvr,
+        energy;
+  };
+  std::vector<TrialOut> outs(config.trials);
+
+  // Derive all trial seeds up front so results are independent of the
+  // parallel schedule.
+  std::vector<std::uint64_t> seeds(config.trials);
+  {
+    Rng seeder(config.base_seed);
+    for (auto& s : seeds) s = seeder.next_u64();
+  }
+
+  parallel_for(
+      config.trials,
+      [&](std::size_t t) {
+        Rng rng(seeds[t]);
+        const ProblemInstance inst = make_instance(rng);
+        const PlacementResult placed = make_placement(inst);
+        BURSTQ_ASSERT(placed.complete(),
+                      "trial placement left VMs unplaced; provision more PMs");
+        ClusterSimulator sim(inst, placed.placement, config.sim, rng.split());
+        const SimReport rep = sim.run();
+        outs[t] = TrialOut{static_cast<double>(rep.total_migrations),
+                           static_cast<double>(rep.failed_migrations),
+                           static_cast<double>(placed.pms_used()),
+                           static_cast<double>(rep.pms_used_end),
+                           rep.mean_cvr,
+                           rep.max_cvr,
+                           rep.energy_wh};
+      },
+      config.threads);
+
+  TrialSummary s;
+  for (const auto& o : outs) {
+    s.migrations.add(o.migrations);
+    s.failed.add(o.failed);
+    s.pms_initial.add(o.pms_initial);
+    s.pms_end.add(o.pms_end);
+    s.mean_cvr.add(o.mean_cvr);
+    s.max_cvr.add(o.max_cvr);
+    s.energy_wh.add(o.energy);
+  }
+  return s;
+}
+
+std::string summarize_cell(const SampleSet& s, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << s.mean() << " ("
+      << s.min() << ".." << s.max() << ")";
+  return oss.str();
+}
+
+}  // namespace burstq

@@ -1,0 +1,54 @@
+// Repeated-trial experiment runner.
+//
+// The paper runs "each experiment setting for 10 times and gather[s] the
+// statistical result" (average plus min/max whiskers, Figure 9).  Trials
+// are independent Monte-Carlo repetitions, so they run in parallel with
+// per-trial Rngs derived deterministically from (base_seed, trial index).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+#include "core/consolidator.h"
+
+namespace burstq {
+
+/// Statistics of one (pattern, strategy) cell of Figure 9.
+struct TrialSummary {
+  SampleSet migrations;      ///< total successful migrations per trial
+  SampleSet failed;          ///< failed migrations per trial
+  SampleSet pms_initial;     ///< PMs used by the initial packing
+  SampleSet pms_end;         ///< PMs used at the end of the period
+  SampleSet mean_cvr;        ///< mean cumulative CVR per trial
+  SampleSet max_cvr;
+  SampleSet energy_wh;
+};
+
+/// Builds a fresh problem instance for a trial.
+using InstanceFactory = std::function<ProblemInstance(Rng&)>;
+/// Produces the initial placement for a trial instance.
+using PlacementFactory =
+    std::function<PlacementResult(const ProblemInstance&)>;
+
+struct TrialConfig {
+  std::size_t trials{10};
+  std::uint64_t base_seed{42};
+  std::size_t threads{0};  ///< 0 = hardware concurrency
+  SimConfig sim{};
+};
+
+/// Runs `config.trials` end-to-end trials (instance -> placement ->
+/// dynamic simulation) and aggregates the reports.  Trials whose placement
+/// leaves VMs unplaced throw InternalError — experiment setups must
+/// provision enough PMs.
+TrialSummary run_trials(const InstanceFactory& make_instance,
+                        const PlacementFactory& make_placement,
+                        const TrialConfig& config);
+
+/// Formats "avg (min..max)" for a Figure-9-style cell.
+std::string summarize_cell(const SampleSet& s, int precision = 1);
+
+}  // namespace burstq

@@ -1,0 +1,114 @@
+#include "core/scenario.h"
+
+#include "common/error.h"
+
+namespace burstq {
+
+std::vector<SpikePattern> all_patterns() {
+  return {SpikePattern::kEqual, SpikePattern::kSmallSpike,
+          SpikePattern::kLargeSpike};
+}
+
+std::string pattern_name(SpikePattern p) {
+  switch (p) {
+    case SpikePattern::kEqual:
+      return "Rb=Re (normal spikes)";
+    case SpikePattern::kSmallSpike:
+      return "Rb>Re (small spikes)";
+    case SpikePattern::kLargeSpike:
+      return "Rb<Re (large spikes)";
+  }
+  return "?";
+}
+
+InstanceRanges ranges_for_pattern(SpikePattern p) {
+  InstanceRanges r;  // capacity defaults to [80, 100] for all patterns
+  switch (p) {
+    case SpikePattern::kEqual:
+      r.rb_lo = 2.0;
+      r.rb_hi = 20.0;
+      r.re_lo = 2.0;
+      r.re_hi = 20.0;
+      break;
+    case SpikePattern::kSmallSpike:
+      r.rb_lo = 12.0;
+      r.rb_hi = 20.0;
+      r.re_lo = 2.0;
+      r.re_hi = 10.0;
+      break;
+    case SpikePattern::kLargeSpike:
+      r.rb_lo = 2.0;
+      r.rb_hi = 10.0;
+      r.re_lo = 12.0;
+      r.re_hi = 20.0;
+      break;
+  }
+  return r;
+}
+
+OnOffParams paper_onoff_params() { return OnOffParams{0.01, 0.09}; }
+
+namespace {
+
+// Size classes in resource units; 1 unit = 100 users (small = 400 users).
+constexpr Resource kSmall = 4.0;
+constexpr Resource kMedium = 8.0;
+constexpr Resource kLarge = 16.0;
+
+std::size_t users_of(Resource units) {
+  return static_cast<std::size_t>(units * 100.0);
+}
+
+TableIRow make_row(SpikePattern p, const char* rbc, const char* rec,
+                   Resource rb, Resource re) {
+  return TableIRow{p,  rbc, rec, rb, re, users_of(rb), users_of(rb + re)};
+}
+
+}  // namespace
+
+std::vector<TableIRow> table_i() {
+  return {
+      make_row(SpikePattern::kEqual, "small", "small", kSmall, kSmall),
+      make_row(SpikePattern::kEqual, "medium", "medium", kMedium, kMedium),
+      make_row(SpikePattern::kEqual, "large", "large", kLarge, kLarge),
+      make_row(SpikePattern::kSmallSpike, "medium", "small", kMedium, kSmall),
+      make_row(SpikePattern::kSmallSpike, "large", "medium", kLarge, kMedium),
+      make_row(SpikePattern::kLargeSpike, "small", "medium", kSmall, kMedium),
+      make_row(SpikePattern::kLargeSpike, "medium", "large", kMedium, kLarge),
+  };
+}
+
+std::vector<TableIRow> table_i_rows(SpikePattern p) {
+  std::vector<TableIRow> out;
+  for (auto& row : table_i())
+    if (row.pattern == p) out.push_back(row);
+  return out;
+}
+
+ProblemInstance table_i_instance(SpikePattern p, std::size_t n_vms,
+                                 std::size_t n_pms,
+                                 const OnOffParams& params, Rng& rng) {
+  BURSTQ_REQUIRE(n_vms > 0 && n_pms > 0, "instance must be non-empty");
+  params.validate();
+  const std::vector<TableIRow> rows = table_i_rows(p);
+  BURSTQ_ASSERT(!rows.empty(), "pattern has no Table I rows");
+
+  ProblemInstance inst;
+  inst.vms.reserve(n_vms);
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    const TableIRow& row = rows[rng.next_below(rows.size())];
+    inst.vms.push_back(VmSpec{params, row.rb, row.re});
+  }
+  inst.pms.reserve(n_pms);
+  for (std::size_t j = 0; j < n_pms; ++j)
+    inst.pms.push_back(PmSpec{rng.uniform(80.0, 100.0)});
+  return inst;
+}
+
+ProblemInstance pattern_instance(SpikePattern p, std::size_t n_vms,
+                                 std::size_t n_pms,
+                                 const OnOffParams& params, Rng& rng) {
+  return random_instance(n_vms, n_pms, params, ranges_for_pattern(p), rng);
+}
+
+}  // namespace burstq

@@ -1,0 +1,74 @@
+// Experiment scenarios: the paper's workload patterns and Table I.
+//
+// Section V distinguishes three spike patterns — Rb = Re (normal spikes),
+// Rb > Re (small spikes), Rb < Re (large spikes) — realized two ways:
+//   * Figure 5/6: Rb, Re drawn uniformly from per-pattern ranges,
+//     capacities from [80, 100]
+//   * Figure 9/10 (Table I): small/medium/large classes sized by how many
+//     web users a VM accommodates (400/800/1600 normal), with specific
+//     (Rb class, Re class) combinations per pattern
+// One resource unit corresponds to 100 users (so "small" = 4 units).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+enum class SpikePattern {
+  kEqual,       ///< Rb = Re, "normal spike size"
+  kSmallSpike,  ///< Rb > Re, "small spike size"
+  kLargeSpike,  ///< Rb < Re, "large spike size"
+};
+
+/// All three patterns, in the paper's presentation order.
+std::vector<SpikePattern> all_patterns();
+
+/// Display name, e.g. "Rb=Re (normal spikes)".
+std::string pattern_name(SpikePattern p);
+
+/// The Figure 5 uniform ranges for a pattern:
+///   Rb = Re:  Rb, Re in [2, 20]
+///   Rb > Re:  Rb in [12, 20], Re in [2, 10]
+///   Rb < Re:  Rb in [2, 10],  Re in [12, 20]
+/// with capacity in [80, 100] for every pattern.
+InstanceRanges ranges_for_pattern(SpikePattern p);
+
+/// The paper's default burstiness: p_on = 0.01, p_off = 0.09
+/// ("spikes usually occur with low frequency and last shortly").
+OnOffParams paper_onoff_params();
+
+/// One row of Table I.
+struct TableIRow {
+  SpikePattern pattern;
+  std::string rb_class;       ///< "small" / "medium" / "large"
+  std::string re_class;
+  Resource rb;                ///< resource units (users / 100)
+  Resource re;
+  std::size_t normal_users;   ///< users accommodated at normal capability
+  std::size_t peak_users;     ///< users accommodated at peak capability
+};
+
+/// The seven Table I rows.
+std::vector<TableIRow> table_i();
+
+/// The Table I rows belonging to one pattern.
+std::vector<TableIRow> table_i_rows(SpikePattern p);
+
+/// Builds a Figure-9-style instance: n VMs drawn uniformly from the
+/// pattern's Table I rows, m PMs with capacity uniform in [80, 100],
+/// shared OnOffParams.
+ProblemInstance table_i_instance(SpikePattern p, std::size_t n_vms,
+                                 std::size_t n_pms,
+                                 const OnOffParams& params, Rng& rng);
+
+/// Builds a Figure-5-style instance from the pattern's uniform ranges.
+ProblemInstance pattern_instance(SpikePattern p, std::size_t n_vms,
+                                 std::size_t n_pms,
+                                 const OnOffParams& params, Rng& rng);
+
+}  // namespace burstq

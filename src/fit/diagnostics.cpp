@@ -1,0 +1,70 @@
+#include "fit/diagnostics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "markov/burstiness.h"
+
+namespace burstq {
+
+BurstinessDiagnostics diagnose_burstiness(std::span<const double> demand,
+                                          std::size_t idc_window) {
+  BURSTQ_REQUIRE(idc_window >= 2, "IDC window must span at least 2 slots");
+  BURSTQ_REQUIRE(demand.size() >= 4 * idc_window,
+                 "series too short for IDC estimation");
+
+  BurstinessDiagnostics d;
+  d.lag1_acf = empirical_autocorrelation(demand, 1);
+
+  const FittedVm fit = fit_onoff_from_trace(demand);
+  d.fitted_decay = correlation_decay(fit.spec.onoff);
+
+  // Non-overlapping window sums.
+  const std::size_t windows = demand.size() / idc_window;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    double s = 0.0;
+    for (std::size_t t = 0; t < idc_window; ++t)
+      s += demand[w * idc_window + t];
+    sum += s;
+    sumsq += s * s;
+  }
+  const double mean = sum / static_cast<double>(windows);
+  const double var =
+      sumsq / static_cast<double>(windows) - mean * mean;
+  BURSTQ_REQUIRE(mean > 0.0, "IDC needs a positive-mean series");
+  d.empirical_idc = var / mean;
+
+  d.bursty = fit.bursty && d.lag1_acf > 0.5;
+  return d;
+}
+
+bool is_bursty(std::span<const double> demand, double acf_threshold) {
+  // A constant series has undefined ACF; treat as non-bursty.
+  double first = demand.empty() ? 0.0 : demand[0];
+  bool constant = true;
+  for (double x : demand) {
+    if (x != first) {
+      constant = false;
+      break;
+    }
+  }
+  if (constant) return false;
+  return empirical_autocorrelation(demand, 1) > acf_threshold;
+}
+
+double acf_fit_error(std::span<const double> demand, const FittedVm& fit,
+                     std::size_t max_lag) {
+  BURSTQ_REQUIRE(max_lag >= 1, "need at least one lag");
+  BURSTQ_REQUIRE(demand.size() > max_lag, "series shorter than max lag");
+  double err = 0.0;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    const double empirical = empirical_autocorrelation(demand, lag);
+    const double model = demand_autocorrelation(fit.spec.onoff, lag);
+    err += std::abs(empirical - model);
+  }
+  return err / static_cast<double>(max_lag);
+}
+
+}  // namespace burstq

@@ -1,0 +1,43 @@
+// Trace diagnostics: is this workload bursty, and does a fitted ON-OFF
+// model actually explain the observed series?
+//
+// burstiness_score combines the two second-order signatures of a
+// two-state modulated workload: slowly decaying autocorrelation (r close
+// to 1) and an index of dispersion well above the uncorrelated baseline.
+// goodness_of_fit compares an observed trace's ACF against the fitted
+// model's geometric prediction over several lags.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "fit/estimator.h"
+
+namespace burstq {
+
+struct BurstinessDiagnostics {
+  double lag1_acf{0.0};        ///< empirical lag-1 autocorrelation
+  double fitted_decay{0.0};    ///< r = 1 - p_on - p_off of the fitted model
+  double empirical_idc{0.0};   ///< window-sum variance / (window * mean)
+  bool bursty{false};          ///< verdict (see is_bursty)
+};
+
+/// Computes the diagnostics of one demand series.  The IDC estimate uses
+/// non-overlapping windows of `idc_window` slots.  Requires the series to
+/// span at least 4 windows and be non-constant.
+BurstinessDiagnostics diagnose_burstiness(std::span<const double> demand,
+                                          std::size_t idc_window = 100);
+
+/// Verdict rule: a workload counts as bursty when its lag-1 ACF exceeds
+/// `acf_threshold` (default 0.5: spikes persist across slots).  Constant
+/// series are never bursty.
+bool is_bursty(std::span<const double> demand, double acf_threshold = 0.5);
+
+/// Mean absolute deviation between the empirical ACF of `demand` and the
+/// fitted model's geometric ACF over lags 1..max_lag.  Small (<~0.05)
+/// means the two-state model explains the trace's memory structure.
+double acf_fit_error(std::span<const double> demand, const FittedVm& fit,
+                     std::size_t max_lag = 10);
+
+}  // namespace burstq

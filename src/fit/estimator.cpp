@@ -1,0 +1,127 @@
+#include "fit/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace burstq {
+
+double two_means_threshold(std::span<const double> values) {
+  BURSTQ_REQUIRE(!values.empty(), "cannot cluster an empty series");
+  const auto [lo_it, hi_it] =
+      std::minmax_element(values.begin(), values.end());
+  double c_lo = *lo_it;
+  double c_hi = *hi_it;
+  if (c_lo == c_hi) return c_lo;
+
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum_lo = 0.0;
+    double sum_hi = 0.0;
+    std::size_t n_lo = 0;
+    std::size_t n_hi = 0;
+    const double boundary = 0.5 * (c_lo + c_hi);
+    for (double v : values) {
+      if (v <= boundary) {
+        sum_lo += v;
+        ++n_lo;
+      } else {
+        sum_hi += v;
+        ++n_hi;
+      }
+    }
+    if (n_lo == 0 || n_hi == 0) return boundary;
+    const double new_lo = sum_lo / static_cast<double>(n_lo);
+    const double new_hi = sum_hi / static_cast<double>(n_hi);
+    if (new_lo == c_lo && new_hi == c_hi) break;
+    c_lo = new_lo;
+    c_hi = new_hi;
+  }
+  return 0.5 * (c_lo + c_hi);
+}
+
+FittedVm fit_onoff_from_trace(std::span<const double> demand) {
+  BURSTQ_REQUIRE(demand.size() >= 2, "trace too short to fit");
+
+  FittedVm fit;
+  fit.threshold = two_means_threshold(demand);
+
+  // Classify and accumulate cluster means.
+  std::vector<bool> on(demand.size());
+  double sum_off = 0.0;
+  double sum_on = 0.0;
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    on[t] = demand[t] > fit.threshold;
+    if (on[t]) {
+      sum_on += demand[t];
+      ++fit.on_slots;
+    } else {
+      sum_off += demand[t];
+      ++fit.off_slots;
+    }
+  }
+
+  const double fallback_p =
+      1.0 / static_cast<double>(demand.size());  // "rarer than observed"
+
+  if (fit.on_slots == 0 || fit.off_slots == 0) {
+    // Never switches: flat workload.  Rb is the overall mean; assume
+    // non-bursty with conservative tiny switch probabilities.
+    fit.bursty = false;
+    fit.spec.rb = (sum_on + sum_off) / static_cast<double>(demand.size());
+    fit.spec.re = 0.0;
+    fit.spec.onoff = OnOffParams{fallback_p, 1.0};
+    return fit;
+  }
+
+  fit.spec.rb = sum_off / static_cast<double>(fit.off_slots);
+  const double rp = sum_on / static_cast<double>(fit.on_slots);
+  fit.spec.re = std::max(0.0, rp - fit.spec.rb);
+
+  // MLE of the geometric dwell parameters.  The final slot has no
+  // successor, so count dwell slots among t in [0, T-2].
+  std::size_t off_dwell = 0;
+  std::size_t on_dwell = 0;
+  std::size_t off_to_on = 0;
+  std::size_t on_to_off = 0;
+  for (std::size_t t = 0; t + 1 < demand.size(); ++t) {
+    if (on[t]) {
+      ++on_dwell;
+      if (!on[t + 1]) ++on_to_off;
+    } else {
+      ++off_dwell;
+      if (on[t + 1]) ++off_to_on;
+    }
+  }
+  auto clamp_p = [fallback_p](std::size_t events, std::size_t dwell) {
+    if (dwell == 0) return fallback_p;
+    const double p =
+        static_cast<double>(events) / static_cast<double>(dwell);
+    return std::clamp(p, fallback_p, 1.0);
+  };
+  fit.spec.onoff.p_on = clamp_p(off_to_on, off_dwell);
+  fit.spec.onoff.p_off = clamp_p(on_to_off, on_dwell);
+  return fit;
+}
+
+ProblemInstance instance_from_traces(const DemandTrace& trace,
+                                     std::vector<PmSpec> pms) {
+  BURSTQ_REQUIRE(!trace.empty(), "empty trace");
+  BURSTQ_REQUIRE(!pms.empty(), "need at least one PM spec");
+  const std::size_t n_vms = trace.front().size();
+  BURSTQ_REQUIRE(n_vms > 0, "trace has no VM columns");
+  for (const auto& row : trace)
+    BURSTQ_REQUIRE(row.size() == n_vms, "ragged demand trace");
+
+  ProblemInstance inst;
+  inst.pms = std::move(pms);
+  inst.vms.reserve(n_vms);
+  std::vector<double> series(trace.size());
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    for (std::size_t t = 0; t < trace.size(); ++t) series[t] = trace[t][i];
+    inst.vms.push_back(fit_onoff_from_trace(series).spec);
+  }
+  return inst;
+}
+
+}  // namespace burstq

@@ -1,0 +1,52 @@
+// Workload characterization: fitting the paper's ON-OFF model to an
+// observed demand trace.
+//
+// The paper assumes the four-tuple (p_on, p_off, Rb, Re) is known; in a
+// real cloud it must be estimated from monitoring data (the model-fitting
+// line of work the paper cites: Mi et al. [5], Casale et al. [21], [22]).
+// The estimator:
+//
+//   1. splits the samples into low/high clusters by 1-D 2-means
+//   2. Rb = mean(low cluster), Rp = mean(high cluster), Re = Rp - Rb
+//   3. p_on  = (# OFF -> ON transitions) / (# slots spent OFF)
+//      p_off = (# ON -> OFF transitions) / (# slots spent ON)
+//
+// which are the maximum-likelihood estimates of the geometric dwell
+// times.  Tests verify parameter recovery on synthetic traces.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "placement/spec.h"
+#include "sim/workload_gen.h"
+
+namespace burstq {
+
+/// Result of fitting one VM's trace.
+struct FittedVm {
+  VmSpec spec;              ///< recovered four-tuple
+  double threshold{0.0};    ///< demand level separating OFF from ON
+  std::size_t on_slots{0};  ///< samples classified ON
+  std::size_t off_slots{0};
+  bool bursty{true};  ///< false when the trace never leaves one level
+};
+
+/// Fits the ON-OFF model to a single demand series (one sample per slot).
+/// Requires at least 2 samples.  Traces that never switch state are
+/// reported with bursty = false, Re = 0 and conservative default switch
+/// probabilities (1 / trace length).
+FittedVm fit_onoff_from_trace(std::span<const double> demand);
+
+/// Fits every VM of a recorded DemandTrace (trace[t][i] = demand of VM i
+/// at slot t) and assembles a ProblemInstance with the given PM fleet.
+ProblemInstance instance_from_traces(const DemandTrace& trace,
+                                     std::vector<PmSpec> pms);
+
+/// 1-D 2-means (Lloyd's algorithm): returns the boundary between the two
+/// clusters, i.e. the midpoint of the final centroids.  Requires a
+/// non-empty input; degenerate (constant) input returns that constant.
+double two_means_threshold(std::span<const double> values);
+
+}  // namespace burstq

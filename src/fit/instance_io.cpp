@@ -1,0 +1,115 @@
+#include "fit/instance_io.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace burstq {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+double parse_double(const std::string& s, std::size_t line_no) {
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  BURSTQ_REQUIRE(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+                 "line " + std::to_string(line_no) +
+                     ": malformed numeric field '" + s + "'");
+  return v;
+}
+
+std::vector<std::vector<double>> read_rows(const std::string& path,
+                                           std::size_t arity) {
+  std::ifstream in(path);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open spec CSV: " + path);
+  std::string line;
+  BURSTQ_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "spec CSV has no header: " + path);
+
+  std::vector<std::vector<double>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.back() == '\r') line.pop_back();
+    const auto fields = split_fields(line);
+    BURSTQ_REQUIRE(fields.size() == arity,
+                   "line " + std::to_string(line_no) + ": expected " +
+                       std::to_string(arity) + " fields");
+    std::vector<double> row;
+    row.reserve(arity);
+    for (const auto& f : fields) row.push_back(parse_double(f, line_no));
+    rows.push_back(std::move(row));
+  }
+  BURSTQ_REQUIRE(!rows.empty(), "spec CSV has no data rows: " + path);
+  return rows;
+}
+
+}  // namespace
+
+void write_vm_specs_csv(const std::string& path,
+                        const std::vector<VmSpec>& vms) {
+  BURSTQ_REQUIRE(!vms.empty(), "refusing to write zero VM specs");
+  CsvWriter csv(path);
+  csv.row({"p_on", "p_off", "rb", "re"});
+  for (const auto& v : vms) {
+    csv.begin_row();
+    csv.field(v.onoff.p_on).field(v.onoff.p_off).field(v.rb).field(v.re);
+    csv.end_row();
+  }
+  csv.flush();
+}
+
+std::vector<VmSpec> read_vm_specs_csv(const std::string& path) {
+  const auto rows = read_rows(path, 4);
+  std::vector<VmSpec> vms;
+  vms.reserve(rows.size());
+  for (const auto& r : rows) {
+    VmSpec v{OnOffParams{r[0], r[1]}, r[2], r[3]};
+    v.validate();
+    vms.push_back(v);
+  }
+  return vms;
+}
+
+void write_pm_specs_csv(const std::string& path,
+                        const std::vector<PmSpec>& pms) {
+  BURSTQ_REQUIRE(!pms.empty(), "refusing to write zero PM specs");
+  CsvWriter csv(path);
+  csv.row({"capacity"});
+  for (const auto& p : pms) {
+    csv.begin_row();
+    csv.field(p.capacity);
+    csv.end_row();
+  }
+  csv.flush();
+}
+
+std::vector<PmSpec> read_pm_specs_csv(const std::string& path) {
+  const auto rows = read_rows(path, 1);
+  std::vector<PmSpec> pms;
+  pms.reserve(rows.size());
+  for (const auto& r : rows) {
+    PmSpec p{r[0]};
+    p.validate();
+    pms.push_back(p);
+  }
+  return pms;
+}
+
+}  // namespace burstq

@@ -1,0 +1,32 @@
+// Problem-instance persistence: CSV round-tripping of VM and PM specs so
+// consolidation inputs can be versioned, diffed and shared between the
+// CLI, the benches and external tooling.
+//
+// VM file format:  header "p_on,p_off,rb,re", one row per VM.
+// PM file format:  header "capacity",        one row per PM.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "placement/spec.h"
+
+namespace burstq {
+
+/// Writes the VM specs of `inst` to `path`.
+void write_vm_specs_csv(const std::string& path,
+                        const std::vector<VmSpec>& vms);
+
+/// Reads VM specs; throws InvalidArgument on malformed rows or specs that
+/// fail validation.
+std::vector<VmSpec> read_vm_specs_csv(const std::string& path);
+
+/// Writes PM specs to `path`.
+void write_pm_specs_csv(const std::string& path,
+                        const std::vector<PmSpec>& pms);
+
+/// Reads PM specs; throws InvalidArgument on malformed input.
+std::vector<PmSpec> read_pm_specs_csv(const std::string& path);
+
+}  // namespace burstq

@@ -1,0 +1,72 @@
+#include "fit/planetlab.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace burstq {
+
+std::vector<double> read_planetlab_file(const std::string& path,
+                                        double scale) {
+  BURSTQ_REQUIRE(scale > 0.0, "scale must be positive");
+  std::ifstream in(path);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open PlanetLab trace: " + path);
+
+  std::vector<double> demand;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Trim leading/trailing spaces (real PlanetLab files have some).
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank line
+    const auto last = line.find_last_not_of(" \t");
+    const std::string token = line.substr(first, last - first + 1);
+    double v = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    BURSTQ_REQUIRE(res.ec == std::errc{} &&
+                       res.ptr == token.data() + token.size(),
+                   path + ":" + std::to_string(line_no) +
+                       ": malformed utilization value '" + token + "'");
+    BURSTQ_REQUIRE(v >= 0.0, path + ":" + std::to_string(line_no) +
+                                 ": negative utilization");
+    demand.push_back(v * scale);
+  }
+  BURSTQ_REQUIRE(!demand.empty(), "PlanetLab trace has no samples: " + path);
+  return demand;
+}
+
+DemandTrace read_planetlab_traces(const std::vector<std::string>& files,
+                                  double scale) {
+  BURSTQ_REQUIRE(!files.empty(), "no trace files given");
+  std::vector<std::vector<double>> columns;
+  columns.reserve(files.size());
+  std::size_t shortest = static_cast<std::size_t>(-1);
+  for (const auto& f : files) {
+    columns.push_back(read_planetlab_file(f, scale));
+    shortest = std::min(shortest, columns.back().size());
+  }
+  BURSTQ_REQUIRE(shortest >= 2, "traces too short after truncation");
+
+  DemandTrace trace(shortest, std::vector<double>(files.size()));
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    for (std::size_t t = 0; t < shortest; ++t) trace[t][i] = columns[i][t];
+  return trace;
+}
+
+void write_planetlab_file(const std::string& path,
+                          const std::vector<double>& demand, double scale) {
+  BURSTQ_REQUIRE(scale > 0.0, "scale must be positive");
+  BURSTQ_REQUIRE(!demand.empty(), "refusing to write an empty trace");
+  std::ofstream out(path);
+  BURSTQ_REQUIRE(out.is_open(), "cannot open for writing: " + path);
+  for (double d : demand)
+    out << static_cast<long long>(std::llround(d / scale)) << '\n';
+}
+
+}  // namespace burstq

@@ -1,0 +1,40 @@
+// PlanetLab-format trace import.
+//
+// The de-facto public dataset for VM-consolidation studies (shipped with
+// CloudSim) stores one file per VM: a single column of integer CPU
+// utilization percentages, one line per 5-minute interval.  This module
+// reads that format into burstq's DemandTrace so the estimator and the
+// trace-replay evaluation run on real-world-shaped data.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/workload_gen.h"
+
+namespace burstq {
+
+/// Reads one PlanetLab-style file: one numeric utilization value per
+/// line (blank lines ignored).  `scale` converts percentage points to
+/// resource units (default 0.2: 100% CPU of a PlanetLab node ~ 20 units,
+/// in the same range as the paper's Rb/Re draws).  Throws InvalidArgument
+/// on malformed lines or an empty file.
+std::vector<double> read_planetlab_file(const std::string& path,
+                                        double scale = 0.2);
+
+/// Reads several files into a DemandTrace (VM i = files[i]).  All files
+/// must have the same number of intervals; longer ones are truncated to
+/// the shortest and a trace shorter than 2 slots is rejected.
+DemandTrace read_planetlab_traces(const std::vector<std::string>& files,
+                                  double scale = 0.2);
+
+/// Writes a demand series in PlanetLab format (for round-trip tests and
+/// for exporting burstq-generated workloads to CloudSim-based tools).
+/// Values are written as their nearest integer percentage after applying
+/// 1/scale.
+void write_planetlab_file(const std::string& path,
+                          const std::vector<double>& demand,
+                          double scale = 0.2);
+
+}  // namespace burstq

@@ -1,0 +1,88 @@
+#include "fit/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace burstq {
+
+void write_demand_trace_csv(const std::string& path,
+                            const DemandTrace& trace) {
+  BURSTQ_REQUIRE(!trace.empty(), "refusing to write an empty trace");
+  const std::size_t n_vms = trace.front().size();
+  BURSTQ_REQUIRE(n_vms > 0, "trace has no VM columns");
+
+  CsvWriter csv(path);
+  csv.begin_row();
+  csv.field("slot");
+  for (std::size_t i = 0; i < n_vms; ++i) csv.field("vm" + std::to_string(i));
+  csv.end_row();
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    BURSTQ_REQUIRE(trace[t].size() == n_vms, "ragged demand trace");
+    csv.begin_row();
+    csv.field(static_cast<std::size_t>(t));
+    for (double v : trace[t]) csv.field(v);
+    csv.end_row();
+  }
+  csv.flush();
+}
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  // Trace CSVs contain no quoted fields; a plain comma split suffices.
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+double parse_double(const std::string& s) {
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  BURSTQ_REQUIRE(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+                 "malformed numeric field in trace CSV: '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+DemandTrace read_demand_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open trace CSV: " + path);
+
+  std::string line;
+  BURSTQ_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "trace CSV has no header row");
+  const std::size_t columns = split_fields(line).size();
+  BURSTQ_REQUIRE(columns >= 2, "trace CSV needs a slot column and >= 1 VM");
+
+  DemandTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto fields = split_fields(line);
+    BURSTQ_REQUIRE(fields.size() == columns,
+                   "trace CSV row has wrong arity");
+    std::vector<double> row;
+    row.reserve(columns - 1);
+    for (std::size_t c = 1; c < columns; ++c)
+      row.push_back(parse_double(fields[c]));
+    trace.push_back(std::move(row));
+  }
+  BURSTQ_REQUIRE(!trace.empty(), "trace CSV has no data rows");
+  return trace;
+}
+
+}  // namespace burstq

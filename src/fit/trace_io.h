@@ -1,0 +1,25 @@
+// Demand-trace persistence: CSV round-tripping so traces recorded from a
+// monitoring system (or from burstq's own simulator) can feed the
+// estimator and the trace-driven experiments.
+//
+// Format: header "slot,vm0,vm1,...", one row per slot.
+
+#pragma once
+
+#include <string>
+
+#include "sim/workload_gen.h"
+
+namespace burstq {
+
+/// Writes trace[t][i] to `path`.  Throws InvalidArgument on I/O failure
+/// or a ragged trace.
+void write_demand_trace_csv(const std::string& path,
+                            const DemandTrace& trace);
+
+/// Reads a trace written by write_demand_trace_csv (or any CSV with a
+/// header row and a leading slot column).  Throws InvalidArgument on
+/// malformed input.
+DemandTrace read_demand_trace_csv(const std::string& path);
+
+}  // namespace burstq

@@ -1,0 +1,87 @@
+#include "linalg/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burstq {
+
+std::optional<std::vector<double>> solve_linear_system(Matrix a,
+                                                       std::vector<double> b) {
+  const std::size_t n = a.rows();
+  BURSTQ_REQUIRE(a.cols() == n, "solve_linear_system requires a square A");
+  BURSTQ_REQUIRE(b.size() == n, "right-hand side length mismatch");
+
+  // Forward elimination with partial (row) pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(a(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) return std::nullopt;  // numerically singular
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv_pivot = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> stationary_distribution_gaussian(
+    const Matrix& p) {
+  const std::size_t n = p.rows();
+  BURSTQ_REQUIRE(n > 0 && p.cols() == n,
+                 "stationary distribution needs a square non-empty P");
+  BURSTQ_REQUIRE(p.is_row_stochastic(1e-9),
+                 "P must be row-stochastic for a stationary distribution");
+
+  // Build (P^T - I); replace the final row with the normalization equation
+  // sum(pi) = 1, restoring full rank.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = p(j, i) - (i == j ? 1.0 : 0.0);
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+
+  auto x = solve_linear_system(std::move(a), std::move(b));
+  if (!x) return std::nullopt;
+
+  // Clamp roundoff negatives and re-normalize so downstream CDF sums are
+  // well-behaved probabilities.
+  double sum = 0.0;
+  for (double& v : *x) {
+    if (v < 0.0) {
+      BURSTQ_ASSERT(v > -1e-9, "stationary solve produced a large negative");
+      v = 0.0;
+    }
+    sum += v;
+  }
+  if (sum <= 0.0) return std::nullopt;
+  for (double& v : *x) v /= sum;
+  return x;
+}
+
+}  // namespace burstq

@@ -1,0 +1,36 @@
+// Gaussian elimination, the linear-algebra workhorse of Algorithm 1.
+//
+// The paper solves the homogeneous system Pi * P = Pi (Eq. 14) by Gaussian
+// elimination.  That system is rank-deficient by exactly one (the rows of
+// P^T - I sum to zero), so we replace one equation with the normalization
+// sum(pi) = 1 and solve the resulting non-singular square system with
+// partial pivoting.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace burstq {
+
+/// Solves A x = b with partial pivoting.  Returns nullopt when A is
+/// (numerically) singular.  Requires A square and b.size() == A.rows().
+std::optional<std::vector<double>> solve_linear_system(Matrix a,
+                                                       std::vector<double> b);
+
+/// Stationary distribution of a row-stochastic transition matrix P:
+/// the probability vector pi with pi P = pi and sum(pi) = 1, obtained by
+/// Gaussian elimination on (P^T - I | 0) with the last equation replaced by
+/// the normalization row.  This is exactly the paper's Algorithm 1 step 3.
+///
+/// Requires P square with at least one row.  Throws InvalidArgument when P
+/// is not row-stochastic; returns nullopt when elimination degenerates
+/// (cannot happen for an irreducible chain, but callers must not crash on
+/// adversarial input).  Tiny negative entries produced by roundoff are
+/// clamped to zero and the result re-normalized.
+std::optional<std::vector<double>> stationary_distribution_gaussian(
+    const Matrix& p);
+
+}  // namespace burstq

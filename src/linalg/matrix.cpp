@@ -1,0 +1,82 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burstq {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    BURSTQ_REQUIRE(row.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  BURSTQ_REQUIRE(cols_ == rhs.rows_, "shape mismatch in Matrix::multiply");
+  Matrix out(rows_, rhs.cols_);
+  // ikj loop order: the innermost loop walks both `out` and `rhs`
+  // contiguously, which matters even at (d+1)^2 sizes when the consolidator
+  // evaluates many k values.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+std::vector<double> Matrix::left_multiply(const std::vector<double>& v) const {
+  BURSTQ_REQUIRE(v.size() == rows_, "vector length mismatch in left_multiply");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += vi * (*this)(i, j);
+  }
+  return out;
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+  if (rows_ == 0 || rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double p = (*this)(i, j);
+      if (p < -tol) return false;
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > tol * static_cast<double>(cols_)) return false;
+  }
+  return true;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  BURSTQ_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+}  // namespace burstq

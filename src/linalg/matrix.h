@@ -1,0 +1,69 @@
+// Dense row-major matrix of doubles.
+//
+// Sized for the paper's workload: transition matrices are (k+1)x(k+1) with
+// k <= d (the per-PM VM cap, 16 in the evaluation), so simplicity and
+// cache-friendly contiguous storage beat any sparse representation.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.h"
+
+namespace burstq {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Construction from nested braces: Matrix{{1,2},{3,4}}.  All rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    BURSTQ_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    BURSTQ_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix product; requires cols() == rhs.rows().
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Row-vector * matrix: result[j] = sum_i v[i] * M(i, j).
+  /// Requires v.size() == rows().
+  [[nodiscard]] std::vector<double> left_multiply(
+      const std::vector<double>& v) const;
+
+  /// True when every row sums to 1 within tol and entries are >= -tol.
+  [[nodiscard]] bool is_row_stochastic(double tol = 1e-12) const;
+
+  /// Max-abs elementwise difference; requires equal shapes.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace burstq

@@ -1,0 +1,34 @@
+#include "linalg/power_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burstq {
+
+std::optional<PowerIterationResult> stationary_distribution_power(
+    const Matrix& p, double tol, std::size_t max_iterations) {
+  const std::size_t n = p.rows();
+  BURSTQ_REQUIRE(n > 0 && p.cols() == n, "power iteration needs square P");
+  BURSTQ_REQUIRE(p.is_row_stochastic(1e-9), "P must be row-stochastic");
+
+  // Pi0 = (1, 0, ..., 0): the queue starts empty (paper Section IV-B).
+  std::vector<double> pi(n, 0.0);
+  pi[0] = 1.0;
+
+  for (std::size_t it = 1; it <= max_iterations; ++it) {
+    std::vector<double> next = p.left_multiply(pi);
+    // Re-normalize to damp accumulated roundoff drift.
+    double sum = 0.0;
+    for (double v : next) sum += v;
+    for (double& v : next) v /= sum;
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      delta = std::max(delta, std::abs(next[i] - pi[i]));
+    pi = std::move(next);
+    if (delta < tol) return PowerIterationResult{std::move(pi), it, delta};
+  }
+  return std::nullopt;
+}
+
+}  // namespace burstq

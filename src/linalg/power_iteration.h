@@ -1,0 +1,30 @@
+// Power iteration on a stochastic matrix: the textbook definition of the
+// limiting distribution, Pi = lim Pi0 * P^t (paper Eq. 13).
+//
+// Algorithm 1 uses Gaussian elimination instead; we keep this direct method
+// as an independent oracle (tests assert both agree) and as the baseline in
+// bench/ablation_mapcal.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace burstq {
+
+struct PowerIterationResult {
+  std::vector<double> distribution;  ///< stationary probability vector
+  std::size_t iterations{0};         ///< steps until convergence
+  double residual{0.0};              ///< final max-abs change per step
+};
+
+/// Iterates pi_{t+1} = pi_t P from pi_0 = (1, 0, ..., 0) until the max-abs
+/// change drops below `tol` or `max_iterations` is reached.  Returns
+/// nullopt when it fails to converge (periodic or reducible chains).
+/// Requires P square, row-stochastic.
+std::optional<PowerIterationResult> stationary_distribution_power(
+    const Matrix& p, double tol = 1e-13, std::size_t max_iterations = 200000);
+
+}  // namespace burstq

@@ -1,0 +1,89 @@
+#include "markov/aggregate_chain.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/gaussian.h"
+#include "linalg/power_iteration.h"
+#include "prob/binomial.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+
+Matrix aggregate_transition_matrix(std::size_t k, const OnOffParams& params) {
+  params.validate();
+  const auto ki = static_cast<std::int64_t>(k);
+  Matrix p(k + 1, k + 1);
+
+  // Eq. (12): p_ij = sum_r C(i,r) p_off^r (1-p_off)^(i-r)
+  //                        * C(k-i, j-i+r) p_on^(j-i+r) (1-p_on)^(k-j-r)
+  // where r counts ON->OFF departures and j-i+r counts OFF->ON arrivals.
+  for (std::int64_t i = 0; i <= ki; ++i) {
+    for (std::int64_t j = 0; j <= ki; ++j) {
+      double acc = 0.0;
+      for (std::int64_t r = 0; r <= i; ++r) {
+        const std::int64_t arrivals = j - i + r;
+        if (arrivals < 0 || arrivals > ki - i) continue;
+        acc += binomial_pmf(i, r, params.p_off) *
+               binomial_pmf(ki - i, arrivals, params.p_on);
+      }
+      p(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = acc;
+    }
+  }
+  BURSTQ_ASSERT(p.is_row_stochastic(1e-9),
+                "Eq.(12) matrix failed row-stochastic check");
+  return p;
+}
+
+std::vector<double> aggregate_stationary_distribution(
+    std::size_t k, const OnOffParams& params, StationaryMethod method) {
+  params.validate();
+  switch (method) {
+    case StationaryMethod::kClosedForm:
+      // theta is a sum of k independent Bernoulli(q) indicators in steady
+      // state, hence exactly Binomial(k, q).
+      return binomial_pmf_vector(static_cast<std::int64_t>(k),
+                                 params.stationary_on_probability());
+    case StationaryMethod::kGaussian: {
+      const Matrix p = aggregate_transition_matrix(k, params);
+      auto pi = stationary_distribution_gaussian(p);
+      BURSTQ_ASSERT(pi.has_value(),
+                    "Gaussian stationary solve failed on an irreducible chain");
+      return std::move(*pi);
+    }
+    case StationaryMethod::kPower: {
+      const Matrix p = aggregate_transition_matrix(k, params);
+      auto res = stationary_distribution_power(p);
+      BURSTQ_ASSERT(res.has_value(),
+                    "power iteration failed on an aperiodic chain");
+      return std::move(res->distribution);
+    }
+  }
+  BURSTQ_ASSERT(false, "unknown StationaryMethod");
+  return {};
+}
+
+std::vector<double> simulate_occupancy(std::size_t k,
+                                       const OnOffParams& params,
+                                       std::size_t slots, Rng& rng) {
+  params.validate();
+  BURSTQ_REQUIRE(slots > 0, "simulate_occupancy needs at least one slot");
+  std::vector<OnOffChain> chains(k, OnOffChain(params));
+  for (auto& c : chains) c.reset_stationary(rng);
+
+  std::vector<std::size_t> counts(k + 1, 0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::size_t on = 0;
+    for (auto& c : chains) {
+      if (c.on()) ++on;
+      c.step(rng);
+    }
+    ++counts[on];
+  }
+  std::vector<double> freq(k + 1);
+  for (std::size_t i = 0; i <= k; ++i)
+    freq[i] = static_cast<double>(counts[i]) / static_cast<double>(slots);
+  return freq;
+}
+
+}  // namespace burstq

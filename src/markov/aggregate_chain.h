@@ -1,0 +1,48 @@
+// The aggregate chain theta(t): number of simultaneously-ON VMs among k
+// collocated independent ON-OFF chains (paper Section IV-B, Figure 4).
+//
+// theta(t+1) = theta(t) - O(t) + I(t) with O ~ B(theta, p_off) and
+// I ~ B(k - theta, p_on) independent, giving the one-step transition
+// probabilities of Eq. (12).  In queuing terms this is a discrete-time,
+// finite-source Geom/Geom/K system with no waiting room.
+//
+// Three stationary-distribution backends are provided:
+//   * kGaussian   — the paper's Algorithm 1 (Eq. 14 via Gaussian elimination)
+//   * kPower      — direct evaluation of Eq. (13), Pi = lim Pi0 P^t
+//   * kClosedForm — Binomial(k, p_on/(p_on+p_off)), exact because the k
+//                   chains are independent
+// Tests pin all three to each other; benches compare their cost.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "markov/onoff.h"
+
+namespace burstq {
+
+enum class StationaryMethod { kGaussian, kPower, kClosedForm };
+
+/// Returns the (k+1)x(k+1) one-step transition matrix P of theta(t) per
+/// Eq. (12).  Row i, column j is P[theta(t+1)=j | theta(t)=i].
+/// Requires k >= 0 and valid params.
+Matrix aggregate_transition_matrix(std::size_t k, const OnOffParams& params);
+
+/// Stationary distribution of theta(t), length k+1, computed with the
+/// chosen backend.  Throws InternalError if a numeric backend fails to
+/// produce a distribution (cannot happen for valid params — the chain is
+/// irreducible and aperiodic, Proposition 1 of the paper).
+std::vector<double> aggregate_stationary_distribution(
+    std::size_t k, const OnOffParams& params,
+    StationaryMethod method = StationaryMethod::kGaussian);
+
+/// Simulates k independent chains for `slots` steps and returns the
+/// empirical occupancy histogram of theta (length k+1, sums to 1).  Used by
+/// property tests as a model-free oracle.
+std::vector<double> simulate_occupancy(std::size_t k,
+                                       const OnOffParams& params,
+                                       std::size_t slots, Rng& rng);
+
+}  // namespace burstq

@@ -1,0 +1,56 @@
+#include "markov/burstiness.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace burstq {
+
+double correlation_decay(const OnOffParams& params) {
+  params.validate();
+  return 1.0 - params.p_on - params.p_off;
+}
+
+double demand_autocorrelation(const OnOffParams& params, std::size_t t) {
+  return std::pow(correlation_decay(params), static_cast<double>(t));
+}
+
+double demand_variance(const OnOffParams& params, double re) {
+  params.validate();
+  BURSTQ_REQUIRE(re >= 0.0, "spike size must be non-negative");
+  const double q = params.stationary_on_probability();
+  return q * (1.0 - q) * re * re;
+}
+
+double index_of_dispersion(const OnOffParams& params, double rb, double re) {
+  params.validate();
+  BURSTQ_REQUIRE(rb >= 0.0 && re >= 0.0, "demand levels must be non-negative");
+  const double q = params.stationary_on_probability();
+  const double mean = rb + q * re;
+  BURSTQ_REQUIRE(mean > 0.0, "index of dispersion needs positive mean demand");
+  const double var = demand_variance(params, re);
+  const double r = correlation_decay(params);
+  // Var[sum_{s<t} W(s)] ~ t * var * (1+r)/(1-r) for a geometrically
+  // correlated process; normalize by t * mean.
+  return var / mean * (1.0 + r) / (1.0 - r);
+}
+
+double empirical_autocorrelation(std::span<const double> series,
+                                 std::size_t t) {
+  BURSTQ_REQUIRE(series.size() > t, "series shorter than requested lag");
+  const auto n = series.size();
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double denom = 0.0;
+  for (double x : series) denom += (x - mean) * (x - mean);
+  BURSTQ_REQUIRE(denom > 0.0, "constant series has undefined ACF");
+
+  double num = 0.0;
+  for (std::size_t s = 0; s + t < n; ++s)
+    num += (series[s] - mean) * (series[s + t] - mean);
+  return num / denom;
+}
+
+}  // namespace burstq

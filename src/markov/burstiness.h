@@ -1,0 +1,53 @@
+// Burstiness diagnostics of the ON-OFF demand process.
+//
+// The model-fitting literature the paper builds on (Mi et al. [5],
+// Casale et al. [21][22]) characterizes burstiness by the demand
+// process's second-order structure.  For a two-state chain these have
+// closed forms:
+//
+//   lag-t autocorrelation  ACF(t) = (1 - p_on - p_off)^t
+//   demand variance        Var    = q (1 - q) Re^2
+//   index of dispersion    IDC    = lim Var[sum_{s<=t} W(s)] / (t E[W])
+//                                 = (Var/E[W]) * (1 + r) / (1 - r),
+//                                   r = 1 - p_on - p_off
+//
+// These let tests and the trace estimator cross-check a fitted model
+// against an observed trace beyond first moments, and quantify "how
+// bursty" a workload is on a common scale (IDC shrinks to a
+// Poisson-like baseline as r -> 0 and grows without bound as spikes
+// lengthen).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "markov/onoff.h"
+
+namespace burstq {
+
+/// Correlation decay factor r = 1 - p_on - p_off of the two-state chain.
+/// |r| < 1 for valid parameters; r near 1 means long-memory (bursty).
+double correlation_decay(const OnOffParams& params);
+
+/// Analytic lag-t autocorrelation of the stationary demand process.
+/// ACF(0) = 1.  Demand is an affine function of the ON indicator, so its
+/// ACF equals the indicator's.
+double demand_autocorrelation(const OnOffParams& params, std::size_t t);
+
+/// Stationary demand variance of one VM with spike size re:
+/// q (1 - q) re^2.  Requires re >= 0.
+double demand_variance(const OnOffParams& params, double re);
+
+/// Asymptotic index of dispersion for counts of the demand process of a
+/// VM with normal level rb and spike size re.  Dimensionless; requires
+/// rb + q re > 0 (positive mean demand) and re >= 0.
+double index_of_dispersion(const OnOffParams& params, double rb, double re);
+
+/// Empirical lag-t autocorrelation of a series (biased estimator, the
+/// standard choice for ACF plots).  Requires series.size() > t and a
+/// non-constant series.
+double empirical_autocorrelation(std::span<const double> series,
+                                 std::size_t t);
+
+}  // namespace burstq

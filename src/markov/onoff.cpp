@@ -1,0 +1,53 @@
+#include "markov/onoff.h"
+
+#include "common/error.h"
+
+namespace burstq {
+
+void OnOffParams::validate() const {
+  BURSTQ_REQUIRE(p_on > 0.0 && p_on <= 1.0, "p_on must lie in (0, 1]");
+  BURSTQ_REQUIRE(p_off > 0.0 && p_off <= 1.0, "p_off must lie in (0, 1]");
+}
+
+double OnOffParams::stationary_on_probability() const {
+  return p_on / (p_on + p_off);
+}
+
+double OnOffParams::expected_spike_duration() const { return 1.0 / p_off; }
+
+double OnOffParams::expected_gap_duration() const { return 1.0 / p_on; }
+
+OnOffChain::OnOffChain(OnOffParams params, VmState initial)
+    : params_(params), state_(initial) {
+  params_.validate();
+}
+
+VmState OnOffChain::step(Rng& rng) {
+  if (state_ == VmState::kOn) {
+    if (rng.bernoulli(params_.p_off)) state_ = VmState::kOff;
+  } else {
+    if (rng.bernoulli(params_.p_on)) state_ = VmState::kOn;
+  }
+  return state_;
+}
+
+void OnOffChain::reset_stationary(Rng& rng) {
+  state_ = rng.bernoulli(params_.stationary_on_probability())
+               ? VmState::kOn
+               : VmState::kOff;
+}
+
+std::vector<VmState> generate_state_trace(const OnOffParams& params,
+                                          std::size_t slots, Rng& rng,
+                                          bool start_stationary) {
+  OnOffChain chain(params);
+  if (start_stationary) chain.reset_stationary(rng);
+  std::vector<VmState> trace;
+  trace.reserve(slots);
+  if (slots == 0) return trace;
+  trace.push_back(chain.state());
+  for (std::size_t t = 1; t < slots; ++t) trace.push_back(chain.step(rng));
+  return trace;
+}
+
+}  // namespace burstq

@@ -1,0 +1,69 @@
+// The paper's workload model: a discrete-time two-state (ON/OFF) Markov
+// chain per VM (Figure 2).
+//
+// State OFF = normal traffic, demand Rb.  State ON = traffic surge, demand
+// Rp = Rb + Re.  p_on is the OFF->ON switch probability per slot (spike
+// frequency); p_off is the ON->OFF switch probability (1 / expected spike
+// duration).  Spike durations and gaps are therefore geometric.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace burstq {
+
+enum class VmState : std::uint8_t { kOff = 0, kOn = 1 };
+
+/// Parameters of one two-state chain.  Probabilities must lie in (0, 1]
+/// for the chain to be irreducible (the paper assumes p_on, p_off > 0).
+struct OnOffParams {
+  double p_on{0.01};   ///< P[OFF -> ON] per slot
+  double p_off{0.09};  ///< P[ON -> OFF] per slot
+
+  /// Validates 0 < p <= 1 for both switch probabilities.
+  void validate() const;
+
+  /// Stationary probability of being ON: q = p_on / (p_on + p_off).
+  [[nodiscard]] double stationary_on_probability() const;
+
+  /// Expected spike duration in slots: 1 / p_off.
+  [[nodiscard]] double expected_spike_duration() const;
+
+  /// Expected gap between spikes in slots: 1 / p_on.
+  [[nodiscard]] double expected_gap_duration() const;
+};
+
+/// A single simulatable ON-OFF chain.
+class OnOffChain {
+ public:
+  /// Starts in OFF (the paper's queue starts empty: Pi0 = (1,0,...,0)).
+  explicit OnOffChain(OnOffParams params, VmState initial = VmState::kOff);
+
+  [[nodiscard]] VmState state() const { return state_; }
+  [[nodiscard]] bool on() const { return state_ == VmState::kOn; }
+  [[nodiscard]] const OnOffParams& params() const { return params_; }
+
+  /// Advances one slot; returns the new state.
+  VmState step(Rng& rng);
+
+  /// Draws the state directly from the stationary law (used to start
+  /// simulations in steady state and skip burn-in).
+  void reset_stationary(Rng& rng);
+
+  void reset(VmState s) { state_ = s; }
+
+ private:
+  OnOffParams params_;
+  VmState state_;
+};
+
+/// Generates a state trace of `slots` steps (including the initial state at
+/// index 0), for trace-driven tests and the Figure 8 workload sample.
+std::vector<VmState> generate_state_trace(const OnOffParams& params,
+                                          std::size_t slots, Rng& rng,
+                                          bool start_stationary = true);
+
+}  // namespace burstq

@@ -1,0 +1,78 @@
+#include "markov/transient.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/gaussian.h"
+#include "markov/aggregate_chain.h"
+
+namespace burstq {
+
+std::vector<double> aggregate_distribution_at(std::size_t k,
+                                              const OnOffParams& params,
+                                              std::size_t t,
+                                              std::size_t initial_on) {
+  BURSTQ_REQUIRE(initial_on <= k, "initial ON count exceeds k");
+  const Matrix p = aggregate_transition_matrix(k, params);
+  std::vector<double> dist(k + 1, 0.0);
+  dist[initial_on] = 1.0;
+  for (std::size_t step = 0; step < t; ++step)
+    dist = p.left_multiply(dist);
+  return dist;
+}
+
+double expected_slots_to_overflow(std::size_t k, const OnOffParams& params,
+                                  std::size_t servers,
+                                  std::size_t initial_on) {
+  BURSTQ_REQUIRE(servers < k,
+                 "with servers >= k overflow never happens (infinite time)");
+  BURSTQ_REQUIRE(initial_on <= servers,
+                 "the start state must not itself overflow");
+  const Matrix p = aggregate_transition_matrix(k, params);
+
+  // Transient states 0..servers; everything above is absorbing.  Solve
+  // (I - Q) x = 1: x[i] = expected slots to absorption from state i.
+  const std::size_t n = servers + 1;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = (i == j ? 1.0 : 0.0) - p(i, j);
+  const std::vector<double> ones(n, 1.0);
+  const auto x = solve_linear_system(a, ones);
+  BURSTQ_ASSERT(x.has_value(),
+                "fundamental system is non-singular for an irreducible chain");
+  return (*x)[initial_on];
+}
+
+double mean_slots_between_overflows(std::size_t k,
+                                    const OnOffParams& params,
+                                    std::size_t servers) {
+  BURSTQ_REQUIRE(servers < k,
+                 "with servers >= k overflow never happens (infinite time)");
+  const auto pi = aggregate_stationary_distribution(
+      k, params, StationaryMethod::kClosedForm);
+  double overflow = 0.0;
+  for (std::size_t i = servers + 1; i <= k; ++i) overflow += pi[i];
+  BURSTQ_ASSERT(overflow > 0.0, "positive q implies positive overflow mass");
+  return 1.0 / overflow;
+}
+
+std::size_t mixing_slots(std::size_t k, const OnOffParams& params,
+                         double eps, std::size_t max_slots) {
+  BURSTQ_REQUIRE(eps > 0.0, "eps must be positive");
+  const Matrix p = aggregate_transition_matrix(k, params);
+  const auto pi = aggregate_stationary_distribution(
+      k, params, StationaryMethod::kClosedForm);
+
+  std::vector<double> dist(k + 1, 0.0);
+  dist[0] = 1.0;
+  for (std::size_t t = 0; t <= max_slots; ++t) {
+    double tv = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) tv += std::abs(dist[i] - pi[i]);
+    if (tv <= eps) return t;
+    dist = p.left_multiply(dist);
+  }
+  return max_slots;
+}
+
+}  // namespace burstq

@@ -1,0 +1,55 @@
+// Transient analysis of the aggregate theta(t) chain.
+//
+// The stationary law (Eq. 13's limit) answers "what fraction of time is
+// the PM overloaded"; operators also ask *when*: how is theta distributed
+// t slots after consolidation (the system starts with the queue empty,
+// Pi0 = (1,0,...,0)), how long until the first capacity violation, and
+// how quickly the chain forgets its start.  All three reduce to standard
+// Markov-chain computations on the Eq. (12) matrix:
+//
+//   distribution_at        Pi0 P^t            (finite-t version of Eq. 13)
+//   expected_first_passage E[min{t : theta(t) > K}] via the fundamental
+//                          system (I - Q) x = 1 over transient states
+//   mixing_slots           smallest t with ||Pi0 P^t - Pi||_1 <= eps
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/onoff.h"
+
+namespace burstq {
+
+/// Distribution of theta(t) after exactly `t` slots, starting from
+/// `initial_on` VMs ON at t = 0.  Length k+1.
+std::vector<double> aggregate_distribution_at(std::size_t k,
+                                              const OnOffParams& params,
+                                              std::size_t t,
+                                              std::size_t initial_on = 0);
+
+/// Expected number of slots until theta first exceeds `servers`, starting
+/// from `initial_on` ON VMs (initial_on must be <= servers: the start
+/// state must itself be non-overflowing).  Computed exactly by solving
+/// (I - Q) x = 1 where Q is the transition matrix restricted to states
+/// {0..servers}.  Requires servers < k (otherwise overflow is impossible
+/// and the expectation is infinite — rejected).
+double expected_slots_to_overflow(std::size_t k, const OnOffParams& params,
+                                  std::size_t servers,
+                                  std::size_t initial_on = 0);
+
+/// Expected slots between overflow episodes in steady state: by renewal
+/// reward, 1 / P[theta > K] per overflowing slot; this helper reports the
+/// reciprocal of the stationary overflow probability.  Infinite (rejected)
+/// when servers >= k.
+double mean_slots_between_overflows(std::size_t k,
+                                    const OnOffParams& params,
+                                    std::size_t servers);
+
+/// Smallest t such that the total-variation distance between Pi0 P^t and
+/// the stationary law is <= eps (Pi0 = all OFF).  Bounded search up to
+/// `max_slots`; returns max_slots if not reached.
+std::size_t mixing_slots(std::size_t k, const OnOffParams& params,
+                         double eps = 1e-3, std::size_t max_slots = 100000);
+
+}  // namespace burstq

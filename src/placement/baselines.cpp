@@ -1,0 +1,85 @@
+#include "placement/baselines.h"
+
+#include "common/error.h"
+#include "placement/cluster.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+namespace {
+
+/// First-fit under "aggregate key(vm) <= budget-fraction * C" with a VM cap.
+PlacementResult ffd_by_key(const ProblemInstance& inst,
+                           std::span<const std::size_t> order,
+                           double (*key)(const VmSpec&),
+                           double capacity_fraction,
+                           std::size_t max_vms_per_pm) {
+  const FitPredicate fits = [&, key, capacity_fraction, max_vms_per_pm](
+                                const Placement& placement, VmId vm,
+                                PmId pm) {
+    if (placement.count_on(pm) + 1 > max_vms_per_pm) return false;
+    Resource load = key(inst.vms[vm.value]);
+    for (std::size_t i : placement.vms_on(pm)) load += key(inst.vms[i]);
+    const Resource budget = inst.pms[pm.value].capacity * capacity_fraction;
+    return load <= budget * (1.0 + kCapacityEpsilon);
+  };
+  return first_fit_place(inst, order, fits);
+}
+
+double key_peak(const VmSpec& v) { return v.rp(); }
+double key_normal(const VmSpec& v) { return v.rb; }
+
+}  // namespace
+
+PlacementResult ffd_by_peak(const ProblemInstance& inst,
+                            std::size_t max_vms_per_pm) {
+  inst.validate();
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  return ffd_by_key(inst, order_by_peak_desc(inst.vms), key_peak, 1.0,
+                    max_vms_per_pm);
+}
+
+PlacementResult ffd_by_normal(const ProblemInstance& inst,
+                              std::size_t max_vms_per_pm) {
+  inst.validate();
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  return ffd_by_key(inst, order_by_normal_desc(inst.vms), key_normal, 1.0,
+                    max_vms_per_pm);
+}
+
+PlacementResult ffd_reserved(const ProblemInstance& inst, double delta,
+                             std::size_t max_vms_per_pm) {
+  inst.validate();
+  BURSTQ_REQUIRE(delta >= 0.0 && delta < 1.0, "delta must lie in [0, 1)");
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  return ffd_by_key(inst, order_by_normal_desc(inst.vms), key_normal,
+                    1.0 - delta, max_vms_per_pm);
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kQueue:
+      return "QUEUE";
+    case Strategy::kPeak:
+      return "RP";
+    case Strategy::kNormal:
+      return "RB";
+    case Strategy::kReserved:
+      return "RB-EX";
+    case Strategy::kSbp:
+      return "SBP";
+    case Strategy::kHetero:
+      return "HETERO";
+    case Strategy::kQuantile:
+      return "QUANTILE";
+  }
+  return "?";
+}
+
+std::vector<Strategy> all_strategies() {
+  return {Strategy::kQueue,    Strategy::kPeak,   Strategy::kNormal,
+          Strategy::kReserved, Strategy::kSbp,    Strategy::kHetero,
+          Strategy::kQuantile};
+}
+
+}  // namespace burstq

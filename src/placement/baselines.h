@@ -1,0 +1,56 @@
+// The paper's comparison strategies (Section V):
+//
+//   RP    — FFD by Rp: provision every VM for its peak.  Zero capacity
+//           violations ever, but the most PMs.
+//   RB    — FFD by Rb: provision for normal load only.  Fewest PMs,
+//           "disastrous" CVR and constant cycle migration.
+//   RB-EX — FFD by Rb but keep a delta-fraction of every PM unallocated
+//           ("reserve at least delta-percentile resources on each PM"),
+//           the burstiness-agnostic middle ground; paper uses delta = 0.3.
+//
+// All baselines honor the same per-PM VM cap d as QueuingFFD so the
+// comparison isolates the packing rule.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/first_fit.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+/// FFD by peak demand Rp (paper "RP").  Feasible iff sum of Rp <= C.
+PlacementResult ffd_by_peak(const ProblemInstance& inst,
+                            std::size_t max_vms_per_pm = 16);
+
+/// FFD by normal demand Rb (paper "RB").  Feasible iff sum of Rb <= C.
+PlacementResult ffd_by_normal(const ProblemInstance& inst,
+                              std::size_t max_vms_per_pm = 16);
+
+/// FFD by Rb with a delta-fraction headroom reservation (paper "RB-EX").
+/// Feasible iff sum of Rb <= (1 - delta) * C.  Requires delta in [0, 1).
+PlacementResult ffd_reserved(const ProblemInstance& inst, double delta = 0.3,
+                             std::size_t max_vms_per_pm = 16);
+
+/// Identifier for strategy dispatch in the experiment runner, the
+/// Consolidator facade and the benches.  The first four are the paper's
+/// strategies; the rest are burstq's baselines/extensions.
+enum class Strategy {
+  kQueue,     ///< Algorithm 2 (QueuingFFD)
+  kPeak,      ///< FFD by Rp ("RP")
+  kNormal,    ///< FFD by Rb ("RB")
+  kReserved,  ///< FFD by Rb with delta headroom ("RB-EX")
+  kSbp,       ///< stochastic bin packing, normal approximation
+  kHetero,    ///< exact Poisson-binomial reservation (no rounding)
+  kQuantile,  ///< exact extra-demand quantile reservation
+};
+
+/// Display name (QUEUE / RP / RB / RB-EX / SBP / HETERO / QUANTILE).
+const char* strategy_name(Strategy s);
+
+/// All strategies, paper's first.
+std::vector<Strategy> all_strategies();
+
+}  // namespace burstq

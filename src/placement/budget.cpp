@@ -1,0 +1,98 @@
+#include "placement/budget.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace burstq {
+
+namespace {
+
+/// Attempts to empty `source`; returns the move list (empty = impossible
+/// within budget).  Rolls back partial progress on failure so the
+/// placement is untouched unless the evacuation fully succeeds.
+std::vector<PlannedMove> try_evacuate(const ProblemInstance& inst,
+                                      Placement& placement,
+                                      const MapCalTable& table, PmId source,
+                                      std::size_t budget) {
+  const std::vector<std::size_t> vms = placement.vms_on(source);  // copy
+  if (vms.empty() || vms.size() > budget) return {};
+
+  std::vector<PlannedMove> moves;
+  for (std::size_t i : vms) {
+    const VmId vm{i};
+    placement.unassign(vm);
+    bool placed = false;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId target{j};
+      if (target == source) continue;
+      // Never *open* a PM: the point is shrinking the footprint.
+      if (placement.count_on(target) == 0) continue;
+      if (fits_with_reservation(inst, placement, vm, target, table)) {
+        placement.assign(vm, target);
+        moves.push_back(PlannedMove{vm, source, target});
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Roll back: restore this VM and undo prior moves.
+      placement.assign(vm, source);
+      for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+        placement.unassign(it->vm);
+        placement.assign(it->vm, it->from);
+      }
+      return {};
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+BudgetConsolidationResult consolidate_with_budget(
+    const ProblemInstance& inst, Placement& placement,
+    const MapCalTable& table, std::size_t max_moves) {
+  inst.validate();
+  BURSTQ_REQUIRE(placement.vms_assigned() == inst.n_vms(),
+                 "placement must assign every VM");
+  BURSTQ_REQUIRE(placement.n_pms() == inst.n_pms(),
+                 "placement shape must match the instance");
+
+  BudgetConsolidationResult result;
+  result.pms_before = placement.pms_used();
+  result.budget_left = max_moves;
+
+  for (;;) {
+    // Candidate source PMs, cheapest to evacuate first.
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const std::size_t count = placement.count_on(PmId{j});
+      if (count > 0 && count <= result.budget_left)
+        candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                return placement.count_on(PmId{a}) <
+                       placement.count_on(PmId{b});
+              });
+
+    bool progressed = false;
+    for (std::size_t j : candidates) {
+      auto moves = try_evacuate(inst, placement, table, PmId{j},
+                                result.budget_left);
+      if (moves.empty()) continue;
+      result.budget_left -= moves.size();
+      for (auto& m : moves) result.moves.push_back(m);
+      progressed = true;
+      break;  // re-rank: the cluster just changed
+    }
+    if (!progressed) break;
+  }
+
+  result.pms_after = placement.pms_used();
+  return result;
+}
+
+}  // namespace burstq

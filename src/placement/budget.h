@@ -1,0 +1,42 @@
+// Migration-budget-bounded consolidation.
+//
+// A full replan (placement/replan.h) may demand more live migrations than
+// a maintenance window allows.  This module consolidates incrementally
+// under an explicit move budget: repeatedly pick the used PM that is
+// cheapest to evacuate (fewest VMs), try to re-place each of its VMs on
+// the other PMs under Eq. (17), and commit the evacuation only if the
+// whole PM empties within the remaining budget.  Every intermediate state
+// is feasible by construction (each move is individually checked), so
+// the procedure can stop at any time — unlike applying a prefix of a
+// replan() plan, which may transit through infeasible states.
+
+#pragma once
+
+#include <vector>
+
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+#include "placement/replan.h"
+
+namespace burstq {
+
+struct BudgetConsolidationResult {
+  std::vector<PlannedMove> moves;  ///< executed moves, in order
+  std::size_t pms_before{0};
+  std::size_t pms_after{0};
+  std::size_t budget_left{0};
+
+  [[nodiscard]] std::size_t pms_freed() const {
+    return pms_before - pms_after;
+  }
+};
+
+/// Consolidates `placement` in place, spending at most `max_moves`
+/// migrations.  Feasibility of every move is checked against `table`
+/// (Eq. 17); the source PM of an evacuation is excluded as a target for
+/// its own VMs.  Requires a complete placement matching `inst`.
+BudgetConsolidationResult consolidate_with_budget(
+    const ProblemInstance& inst, Placement& placement,
+    const MapCalTable& table, std::size_t max_moves);
+
+}  // namespace burstq

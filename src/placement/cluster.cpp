@@ -1,0 +1,75 @@
+#include "placement/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace burstq {
+
+std::vector<std::size_t> cluster_by_re(const std::vector<VmSpec>& vms,
+                                       std::size_t bucket_count) {
+  BURSTQ_REQUIRE(bucket_count >= 1, "need at least one cluster bucket");
+  BURSTQ_REQUIRE(!vms.empty(), "cannot cluster zero VMs");
+
+  double lo = vms.front().re;
+  double hi = lo;
+  for (const auto& v : vms) {
+    lo = std::min(lo, v.re);
+    hi = std::max(hi, v.re);
+  }
+
+  std::vector<std::size_t> cluster(vms.size(), 0);
+  if (hi <= lo) return cluster;  // all spikes equal: one cluster
+
+  const double width = (hi - lo) / static_cast<double>(bucket_count);
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    auto b = static_cast<std::size_t>((vms[i].re - lo) / width);
+    cluster[i] = std::min(b, bucket_count - 1);  // hi lands in the top bucket
+  }
+  return cluster;
+}
+
+std::vector<std::size_t> queuing_ffd_order(const std::vector<VmSpec>& vms,
+                                           std::size_t bucket_count) {
+  const std::vector<std::size_t> cluster = cluster_by_re(vms, bucket_count);
+
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (cluster[a] != cluster[b])
+                return cluster[a] > cluster[b];  // high-Re buckets first
+              if (vms[a].rb != vms[b].rb) return vms[a].rb > vms[b].rb;
+              return a < b;
+            });
+  return order;
+}
+
+namespace {
+
+template <typename Key>
+std::vector<std::size_t> order_desc(const std::vector<VmSpec>& vms,
+                                    Key key) {
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ka = key(vms[a]);
+    const double kb = key(vms[b]);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> order_by_peak_desc(const std::vector<VmSpec>& vms) {
+  return order_desc(vms, [](const VmSpec& v) { return v.rp(); });
+}
+
+std::vector<std::size_t> order_by_normal_desc(const std::vector<VmSpec>& vms) {
+  return order_desc(vms, [](const VmSpec& v) { return v.rb; });
+}
+
+}  // namespace burstq

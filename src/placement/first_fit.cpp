@@ -1,0 +1,63 @@
+#include "placement/first_fit.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace burstq {
+
+PlacementResult first_fit_place(const ProblemInstance& inst,
+                                std::span<const std::size_t> order,
+                                const FitPredicate& fits) {
+  inst.validate();
+  BURSTQ_REQUIRE(order.size() == inst.n_vms(),
+                 "visit order must cover every VM exactly once");
+  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
+
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    bool placed = false;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (fits(result.placement, vm, pm)) {
+        result.placement.assign(vm, pm);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+  return result;
+}
+
+PlacementResult best_fit_place(const ProblemInstance& inst,
+                               std::span<const std::size_t> order,
+                               const FitPredicate& fits,
+                               const SlackFunction& slack) {
+  inst.validate();
+  BURSTQ_REQUIRE(order.size() == inst.n_vms(),
+                 "visit order must cover every VM exactly once");
+  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
+
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    PmId best{};
+    double best_slack = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (!fits(result.placement, vm, pm)) continue;
+      const double s = slack(result.placement, vm, pm);
+      if (s < best_slack) {
+        best_slack = s;
+        best = pm;
+      }
+    }
+    if (best.valid())
+      result.placement.assign(vm, best);
+    else
+      result.unplaced.push_back(vm);
+  }
+  return result;
+}
+
+}  // namespace burstq

@@ -1,0 +1,52 @@
+// Generic first-fit / best-fit placement drivers.
+//
+// Every strategy in the paper (QUEUE, RP, RB, RB-EX) is "order the VMs,
+// then put each on the first/best PM where a feasibility predicate holds".
+// Factoring the driver out keeps each strategy to an order + a predicate
+// and guarantees they differ in nothing else — important for a fair
+// comparison.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "placement/placement.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+/// Outcome of a placement strategy.
+struct PlacementResult {
+  Placement placement;
+  std::vector<VmId> unplaced;  ///< VMs no PM could accept (in visit order)
+
+  [[nodiscard]] std::size_t pms_used() const { return placement.pms_used(); }
+  [[nodiscard]] bool complete() const { return unplaced.empty(); }
+};
+
+/// Feasibility predicate: may `vm` join `pm` given the current partial
+/// placement?  Must be monotone in PM load (adding VMs never makes an
+/// infeasible move feasible) for first-fit semantics to be meaningful.
+using FitPredicate =
+    std::function<bool(const Placement&, VmId vm, PmId pm)>;
+
+/// Places VMs in `order` onto the lowest-indexed PM satisfying `fits`.
+/// VMs that fit nowhere are collected in `unplaced` (not thrown: callers
+/// like the online consolidator treat that as "power on another PM").
+PlacementResult first_fit_place(const ProblemInstance& inst,
+                                std::span<const std::size_t> order,
+                                const FitPredicate& fits);
+
+/// Best-fit variant (ablation): among feasible PMs pick the one whose
+/// remaining slack under `slack` is smallest after insertion.
+using SlackFunction =
+    std::function<double(const Placement&, VmId vm, PmId pm)>;
+
+PlacementResult best_fit_place(const ProblemInstance& inst,
+                               std::span<const std::size_t> order,
+                               const FitPredicate& fits,
+                               const SlackFunction& slack);
+
+}  // namespace burstq

@@ -1,0 +1,75 @@
+#include "placement/hetero_ffd.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "placement/cluster.h"
+#include "placement/placement.h"
+#include "queuing/hetero.h"
+
+namespace burstq {
+
+void HeteroFfdOptions::validate() const {
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  BURSTQ_REQUIRE(cluster_buckets >= 1, "need at least one cluster bucket");
+}
+
+namespace {
+
+/// Footprint of a host set given its exact block count.
+double exact_footprint(const ProblemInstance& inst,
+                       const std::vector<std::size_t>& members, double rho) {
+  std::vector<OnOffParams> params;
+  params.reserve(members.size());
+  Resource block = 0.0;
+  Resource rb_sum = 0.0;
+  for (std::size_t i : members) {
+    params.push_back(inst.vms[i].onoff);
+    block = std::max(block, inst.vms[i].re);
+    rb_sum += inst.vms[i].rb;
+  }
+  const std::size_t blocks = map_cal_hetero_blocks(params, rho);
+  return block * static_cast<double>(blocks) + rb_sum;
+}
+
+}  // namespace
+
+bool fits_with_exact_reservation(const ProblemInstance& inst,
+                                 const Placement& placement, VmId vm,
+                                 PmId pm, const HeteroFfdOptions& options) {
+  const std::size_t k_new = placement.count_on(pm) + 1;
+  if (k_new > options.max_vms_per_pm) return false;
+  std::vector<std::size_t> members = placement.vms_on(pm);
+  members.push_back(vm.value);
+  return exact_footprint(inst, members, options.rho) <=
+         inst.pms[pm.value].capacity * (1.0 + kCapacityEpsilon);
+}
+
+PlacementResult queuing_ffd_hetero(const ProblemInstance& inst,
+                                   const HeteroFfdOptions& options) {
+  inst.validate();
+  options.validate();
+  const auto order = queuing_ffd_order(inst.vms, options.cluster_buckets);
+  const FitPredicate fits = [&](const Placement& p, VmId vm, PmId pm) {
+    return fits_with_exact_reservation(inst, p, vm, pm, options);
+  };
+  return first_fit_place(inst, order, fits);
+}
+
+bool placement_satisfies_exact_reservation(const ProblemInstance& inst,
+                                           const Placement& placement,
+                                           const HeteroFfdOptions& options) {
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    const auto& members = placement.vms_on(pm);
+    if (members.empty()) continue;
+    if (members.size() > options.max_vms_per_pm) return false;
+    if (exact_footprint(inst, members, options.rho) >
+        inst.pms[j].capacity * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace burstq

@@ -1,0 +1,45 @@
+// Heterogeneity-exact consolidation — burstq's extension of Algorithm 2.
+//
+// Instead of rounding per-VM (p_on, p_off) to one uniform pair, the
+// feasibility check recomputes the *exact* block count for the candidate
+// host set from the Poisson-binomial law of its ON-count (queuing/hetero).
+// Eq. (17) becomes
+//
+//   max(Re over T u {v}) * K_exact(T u {v}) + sum(Rb) <= C
+//
+// Each check costs O(k^2) (the Poisson-binomial DP), versus O(1) table
+// lookups for the rounded scheme — the price of exactness that
+// bench/ablation_hetero quantifies.
+
+#pragma once
+
+#include "placement/first_fit.h"
+#include "placement/queuing_ffd.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+struct HeteroFfdOptions {
+  double rho{0.01};
+  std::size_t max_vms_per_pm{16};
+  std::size_t cluster_buckets{8};
+
+  void validate() const;
+};
+
+/// Eq. (17) with the exact heterogeneous block count.
+bool fits_with_exact_reservation(const ProblemInstance& inst,
+                                 const Placement& placement, VmId vm,
+                                 PmId pm, const HeteroFfdOptions& options);
+
+/// QueuingFFD with exact per-PM reservation (same cluster/sort order as
+/// Algorithm 2, no parameter rounding).
+PlacementResult queuing_ffd_hetero(const ProblemInstance& inst,
+                                   const HeteroFfdOptions& options = {});
+
+/// Post-hoc validation mirroring placement_satisfies_reservation.
+bool placement_satisfies_exact_reservation(const ProblemInstance& inst,
+                                           const Placement& placement,
+                                           const HeteroFfdOptions& options);
+
+}  // namespace burstq

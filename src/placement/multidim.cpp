@@ -1,0 +1,149 @@
+#include "placement/multidim.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+void MultiVmSpec::validate() const {
+  onoff.validate();
+  BURSTQ_REQUIRE(dims >= 1 && dims <= kMaxDims,
+                 "VM dimension count out of range");
+  for (std::size_t d = 0; d < dims; ++d) {
+    BURSTQ_REQUIRE(rb[d] >= 0.0, "multi-dim Rb must be non-negative");
+    BURSTQ_REQUIRE(re[d] >= 0.0, "multi-dim Re must be non-negative");
+  }
+}
+
+void MultiPmSpec::validate() const {
+  BURSTQ_REQUIRE(dims >= 1 && dims <= kMaxDims,
+                 "PM dimension count out of range");
+  for (std::size_t d = 0; d < dims; ++d)
+    BURSTQ_REQUIRE(capacity[d] > 0.0, "multi-dim capacity must be positive");
+}
+
+void MultiProblemInstance::validate() const {
+  BURSTQ_REQUIRE(!vms.empty() && !pms.empty(), "instance must be non-empty");
+  const std::size_t d = vms.front().dims;
+  for (const auto& v : vms) {
+    v.validate();
+    BURSTQ_REQUIRE(v.dims == d, "all VMs must share a dimension count");
+  }
+  for (const auto& p : pms) {
+    p.validate();
+    BURSTQ_REQUIRE(p.dims == d, "PM dimension count must match the VMs");
+  }
+}
+
+std::size_t MultiProblemInstance::dims() const {
+  BURSTQ_REQUIRE(!vms.empty(), "dims() of an empty instance");
+  return vms.front().dims;
+}
+
+bool multidim_fits(const std::vector<const MultiVmSpec*>& hosted,
+                   const MultiVmSpec& candidate, const MultiPmSpec& pm,
+                   const MapCalTable& table) {
+  const std::size_t k_new = hosted.size() + 1;
+  if (k_new > table.max_vms_per_pm()) return false;
+  const auto blocks = static_cast<double>(table.blocks(k_new));
+
+  for (std::size_t d = 0; d < candidate.dims; ++d) {
+    Resource block = candidate.re[d];
+    Resource rb_sum = candidate.rb[d];
+    for (const MultiVmSpec* v : hosted) {
+      block = std::max(block, v->re[d]);
+      rb_sum += v->rb[d];
+    }
+    if (block * blocks + rb_sum >
+        pm.capacity[d] * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+MultiPlacementResult multidim_queuing_first_fit(
+    const MultiProblemInstance& inst, const QueuingFfdOptions& options) {
+  inst.validate();
+  options.validate();
+
+  // One uniform (p_on, p_off) pair, as in the 1-D algorithm.
+  std::vector<VmSpec> flat;
+  flat.reserve(inst.vms.size());
+  for (const auto& v : inst.vms)
+    flat.push_back(VmSpec{v.onoff, 0.0, 0.0});
+  const OnOffParams params = round_uniform_params(flat, options.rounding);
+  const MapCalTable table(options.max_vms_per_pm, params, options.rho,
+                          options.method);
+
+  // FFD order by the dominant (largest) Rb component.
+  std::vector<std::size_t> order(inst.vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto dominant = [&](std::size_t i) {
+    const auto& v = inst.vms[i];
+    return *std::max_element(v.rb.begin(), v.rb.begin() +
+                             static_cast<std::ptrdiff_t>(v.dims));
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ka = dominant(a);
+    const double kb = dominant(b);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+
+  MultiPlacementResult result;
+  result.pm_of.assign(inst.vms.size(), MultiPlacementResult::npos);
+  std::vector<std::vector<const MultiVmSpec*>> hosted(inst.pms.size());
+
+  for (std::size_t vi : order) {
+    bool placed = false;
+    for (std::size_t j = 0; j < inst.pms.size(); ++j) {
+      if (multidim_fits(hosted[j], inst.vms[vi], inst.pms[j], table)) {
+        hosted[j].push_back(&inst.vms[vi]);
+        result.pm_of[vi] = j;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) result.unplaced.push_back(vi);
+  }
+  for (const auto& h : hosted)
+    if (!h.empty()) ++result.pms_used;
+  return result;
+}
+
+ProblemInstance project_correlated(const MultiProblemInstance& inst,
+                                   const std::vector<double>& weights) {
+  inst.validate();
+  BURSTQ_REQUIRE(weights.size() == inst.dims(),
+                 "one weight per dimension required");
+  double wsum = 0.0;
+  for (double w : weights) {
+    BURSTQ_REQUIRE(w >= 0.0, "projection weights must be non-negative");
+    wsum += w;
+  }
+  BURSTQ_REQUIRE(wsum > 0.0, "projection weights must not all be zero");
+
+  ProblemInstance out;
+  out.vms.reserve(inst.vms.size());
+  for (const auto& v : inst.vms) {
+    VmSpec s;
+    s.onoff = v.onoff;
+    for (std::size_t d = 0; d < v.dims; ++d) {
+      s.rb += weights[d] * v.rb[d];
+      s.re += weights[d] * v.re[d];
+    }
+    out.vms.push_back(s);
+  }
+  out.pms.reserve(inst.pms.size());
+  for (const auto& p : inst.pms) {
+    Resource c = 0.0;
+    for (std::size_t d = 0; d < p.dims; ++d) c += weights[d] * p.capacity[d];
+    out.pms.push_back(PmSpec{c});
+  }
+  return out;
+}
+
+}  // namespace burstq

@@ -1,0 +1,81 @@
+// Multi-dimensional consolidation (paper Section IV-E).
+//
+// "If each dimension of resources is correlated we can map them to one
+// dimension and apply the original algorithms; otherwise our queuing
+// algorithm should be applied to each dimension ... independently.  In
+// this case the original two-step consolidation scheme is not applicable,
+// so we need to use a simpler heuristic such as First Fit and performance
+// constraints should be satisfied on all dimensions."
+//
+// mapping(k) depends only on (k, p_on, p_off, rho), so one MapCalTable
+// serves every dimension; the reservation check is applied per dimension.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "placement/first_fit.h"
+#include "placement/queuing_ffd.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+/// Maximum supported resource dimensions (CPU, memory, disk I/O, network).
+inline constexpr std::size_t kMaxDims = 4;
+
+/// A VM demanding resources along `dims` dimensions; while ON, dimension d
+/// demands rb[d] + re[d].
+struct MultiVmSpec {
+  OnOffParams onoff;
+  std::size_t dims{1};
+  std::array<Resource, kMaxDims> rb{};
+  std::array<Resource, kMaxDims> re{};
+
+  void validate() const;
+};
+
+struct MultiPmSpec {
+  std::size_t dims{1};
+  std::array<Resource, kMaxDims> capacity{};
+
+  void validate() const;
+};
+
+struct MultiProblemInstance {
+  std::vector<MultiVmSpec> vms;
+  std::vector<MultiPmSpec> pms;
+
+  /// Validates specs and that every VM/PM agrees on the dimension count.
+  void validate() const;
+  [[nodiscard]] std::size_t dims() const;
+};
+
+/// Per-dimension Eq. (17): candidate may join iff for every dimension d,
+/// max(Re[d]) * mapping(k+1) + sum(Rb[d]) <= C[d].
+bool multidim_fits(const std::vector<const MultiVmSpec*>& hosted,
+                   const MultiVmSpec& candidate, const MultiPmSpec& pm,
+                   const MapCalTable& table);
+
+struct MultiPlacementResult {
+  std::vector<std::size_t> pm_of;  ///< PM index per VM; npos = unplaced
+  std::size_t pms_used{0};
+  std::vector<std::size_t> unplaced;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// First-fit multi-dimensional consolidation with per-dimension queuing
+/// reservation.  VMs are visited in descending order of their largest Rb
+/// component (the FFD analogue without the 1-D clustering step).
+MultiPlacementResult multidim_queuing_first_fit(
+    const MultiProblemInstance& inst, const QueuingFfdOptions& options = {});
+
+/// The "correlated dimensions" path: projects each VM/PM onto one
+/// dimension via non-negative weights (sum > 0) so the full Algorithm 2
+/// applies.  weights.size() must equal inst.dims().
+ProblemInstance project_correlated(const MultiProblemInstance& inst,
+                                   const std::vector<double>& weights);
+
+}  // namespace burstq

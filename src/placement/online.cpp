@@ -1,0 +1,180 @@
+#include "placement/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "placement/cluster.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+OnlineConsolidator::OnlineConsolidator(std::vector<PmSpec> pms,
+                                       QueuingFfdOptions options,
+                                       OnOffParams initial_params)
+    : pms_(std::move(pms)),
+      options_(options),
+      params_(initial_params),
+      table_(options.max_vms_per_pm, initial_params, options.rho,
+             options.method),
+      on_pm_(pms_.size()) {
+  BURSTQ_REQUIRE(!pms_.empty(), "online consolidator needs at least one PM");
+  options_.validate();
+  for (const auto& p : pms_) p.validate();
+}
+
+std::vector<VmSpec> OnlineConsolidator::hosted_specs(PmId pm) const {
+  std::vector<VmSpec> out;
+  out.reserve(on_pm_[pm.value].size());
+  for (std::size_t s : on_pm_[pm.value]) out.push_back(slots_[s].spec);
+  return out;
+}
+
+std::optional<PmId> OnlineConsolidator::find_first_fit(
+    const VmSpec& vm) const {
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const PmId pm{j};
+    const std::vector<VmSpec> hosted = hosted_specs(pm);
+    if (fits_with_reservation_specs(hosted, vm, pms_[j].capacity, table_))
+      return pm;
+  }
+  return std::nullopt;
+}
+
+VmHandle OnlineConsolidator::install(const VmSpec& vm, PmId pm) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  slots_[slot] = Slot{vm, pm, true};
+  on_pm_[pm.value].push_back(slot);
+  ++live_count_;
+  return VmHandle{slot};
+}
+
+std::optional<VmHandle> OnlineConsolidator::add_vm(const VmSpec& vm) {
+  vm.validate();
+  const auto pm = find_first_fit(vm);
+  if (!pm) return std::nullopt;
+  return install(vm, *pm);
+}
+
+std::vector<std::optional<VmHandle>> OnlineConsolidator::add_batch(
+    const std::vector<VmSpec>& batch) {
+  std::vector<std::optional<VmHandle>> handles(batch.size());
+  if (batch.empty()) return handles;
+  for (const auto& v : batch) v.validate();
+
+  // "When a batch of new VMs arrives, we use the same scheme as
+  // Algorithm 2": cluster-by-Re visit order over the batch.
+  const std::vector<std::size_t> order =
+      queuing_ffd_order(batch, options_.cluster_buckets);
+  for (std::size_t idx : order) {
+    const auto pm = find_first_fit(batch[idx]);
+    if (pm) handles[idx] = install(batch[idx], *pm);
+  }
+  return handles;
+}
+
+void OnlineConsolidator::remove_vm(VmHandle h) {
+  BURSTQ_REQUIRE(h.valid() && h.slot < slots_.size() && slots_[h.slot].live,
+                 "remove_vm on an invalid or dead handle");
+  Slot& slot = slots_[h.slot];
+  auto& list = on_pm_[slot.pm.value];
+  const auto it = std::find(list.begin(), list.end(), h.slot);
+  BURSTQ_ASSERT(it != list.end(), "online PM lists out of sync");
+  list.erase(it);
+  slot.live = false;
+  free_slots_.push_back(h.slot);
+  --live_count_;
+  // The queue size on the PM is implicitly "recalculated": reservation is
+  // a pure function of the remaining hosted set, which just shrank, so the
+  // invariant can only get slacker.
+}
+
+std::size_t OnlineConsolidator::recalibrate(double tolerance) {
+  if (live_count_ == 0) return 0;
+
+  std::vector<VmSpec> live;
+  live.reserve(live_count_);
+  for (const auto& s : slots_)
+    if (s.live) live.push_back(s.spec);
+
+  const OnOffParams fresh = round_uniform_params(live, options_.rounding);
+  if (std::abs(fresh.p_on - params_.p_on) <= tolerance &&
+      std::abs(fresh.p_off - params_.p_off) <= tolerance)
+    return 0;
+
+  params_ = fresh;
+  table_ = MapCalTable(options_.max_vms_per_pm, params_, options_.rho,
+                       options_.method);
+
+  // Repair pass: a burstier population can make existing PMs violate
+  // Eq. (17) under the new table.  Evict newest-first (cheapest to move in
+  // an incremental system) and re-place via first-fit.
+  std::size_t migrations = 0;
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const PmId pm{j};
+    while (!on_pm_[j].empty()) {
+      const std::vector<VmSpec> hosted = hosted_specs(pm);
+      if (hosted.size() <= table_.max_vms_per_pm() &&
+          reserved_footprint_specs(hosted, table_) <=
+              pms_[j].capacity * (1.0 + kCapacityEpsilon))
+        break;
+      const std::size_t victim = on_pm_[j].back();
+      on_pm_[j].pop_back();
+      slots_[victim].live = false;
+      --live_count_;
+      const VmSpec spec = slots_[victim].spec;
+      free_slots_.push_back(victim);
+      // Re-admit elsewhere; count as one migration either way (if nowhere
+      // fits the VM is dropped, which callers can detect via vms_hosted()).
+      ++migrations;
+      add_vm(spec);
+    }
+  }
+  return migrations;
+}
+
+std::size_t OnlineConsolidator::pms_used() const {
+  std::size_t used = 0;
+  for (const auto& list : on_pm_)
+    if (!list.empty()) ++used;
+  return used;
+}
+
+PmId OnlineConsolidator::pm_of(VmHandle h) const {
+  BURSTQ_REQUIRE(h.valid() && h.slot < slots_.size() && slots_[h.slot].live,
+                 "pm_of on an invalid or dead handle");
+  return slots_[h.slot].pm;
+}
+
+const VmSpec& OnlineConsolidator::spec_of(VmHandle h) const {
+  BURSTQ_REQUIRE(h.valid() && h.slot < slots_.size() && slots_[h.slot].live,
+                 "spec_of on an invalid or dead handle");
+  return slots_[h.slot].spec;
+}
+
+std::size_t OnlineConsolidator::count_on(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < on_pm_.size(), "PM index out of range");
+  return on_pm_[pm.value].size();
+}
+
+bool OnlineConsolidator::reservation_invariant_holds() const {
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    const auto hosted = hosted_specs(PmId{j});
+    if (hosted.empty()) continue;
+    if (hosted.size() > table_.max_vms_per_pm()) return false;
+    if (reserved_footprint_specs(hosted, table_) >
+        pms_[j].capacity * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace burstq

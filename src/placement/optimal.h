@@ -1,0 +1,41 @@
+// Exact minimum-PM consolidation for small instances, by branch and
+// bound.
+//
+// The consolidation problem (Eq. 6) is NP-hard (bin packing is the
+// special case Re = 0), so Algorithm 2 is a heuristic.  For instances of
+// a dozen-odd VMs the exact optimum is computable, which lets
+// bench/ablation_optimality measure QueuingFFD's optimality gap — a
+// question the paper leaves open.
+//
+// Restriction: all PMs must have equal capacity (the B&B exploits PM
+// symmetry: opening "a new PM" is a single canonical branch).  This
+// matches how the gap experiment draws instances.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "placement/spec.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+struct OptimalOptions {
+  std::size_t max_vms{18};       ///< refuse instances larger than this
+  std::size_t max_vms_per_pm{16};
+  std::size_t node_limit{20'000'000};  ///< search-effort safety valve
+
+  void validate() const;
+};
+
+/// Minimum number of PMs that can host all VMs under the reservation rule
+/// Eq. (17) with block counts from `table`.  Returns nullopt when the
+/// node limit is exhausted before the search completes, or when even one
+/// VM per PM does not fit.  Throws InvalidArgument for instances with
+/// more than max_vms VMs or non-uniform capacities.
+std::optional<std::size_t> optimal_pm_count(const ProblemInstance& inst,
+                                            const MapCalTable& table,
+                                            const OptimalOptions& options = {});
+
+}  // namespace burstq

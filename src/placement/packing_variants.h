@@ -1,0 +1,41 @@
+// Alternative packing heuristics under the reservation constraint.
+//
+// Algorithm 2 uses First Fit (Decreasing, via the cluster/sort order).
+// Bin-packing folklore offers Next Fit (cheaper, worse) and Worst Fit
+// (spreads load, best for balancing).  Implementing them under the same
+// Eq. 17 predicate isolates the heuristic choice — bench/ablation_packing
+// measures what FFD buys over the alternatives and what Best Fit adds.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "placement/first_fit.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+/// Next-fit: keep one open PM; when the next VM does not fit, move on to
+/// the following PM and never look back.  O(n) placements.
+PlacementResult next_fit_place(const ProblemInstance& inst,
+                               std::span<const std::size_t> order,
+                               const FitPredicate& fits);
+
+/// Worst-fit: among feasible PMs pick the one with the *largest* slack
+/// (the opposite of best-fit), preferring already-used PMs over opening
+/// a new one only through the slack value itself.
+PlacementResult worst_fit_place(const ProblemInstance& inst,
+                                std::span<const std::size_t> order,
+                                const FitPredicate& fits,
+                                const SlackFunction& slack);
+
+/// Convenience: the four packing heuristics under Eq. 17 with the
+/// Algorithm-2 visit order.  `heuristic` is one of "first", "best",
+/// "worst", "next"; throws InvalidArgument otherwise.
+PlacementResult queuing_pack(const ProblemInstance& inst,
+                             const MapCalTable& table,
+                             const std::string& heuristic,
+                             std::size_t cluster_buckets = 8);
+
+}  // namespace burstq

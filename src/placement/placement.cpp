@@ -1,0 +1,146 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace burstq {
+
+Placement::Placement(std::size_t n_vms, std::size_t n_pms)
+    : pm_of_(n_vms), vms_on_(n_pms) {
+  BURSTQ_REQUIRE(n_vms > 0, "placement needs at least one VM slot");
+  BURSTQ_REQUIRE(n_pms > 0, "placement needs at least one PM slot");
+}
+
+void Placement::assign(VmId vm, PmId pm) {
+  BURSTQ_REQUIRE(vm.value < pm_of_.size(), "VM index out of range");
+  BURSTQ_REQUIRE(pm.value < vms_on_.size(), "PM index out of range");
+  BURSTQ_REQUIRE(!pm_of_[vm.value].valid(), "VM is already assigned");
+  pm_of_[vm.value] = pm;
+  auto& list = vms_on_[pm.value];
+  if (list.empty()) ++pms_used_;
+  list.push_back(vm.value);
+  ++vms_assigned_;
+}
+
+void Placement::unassign(VmId vm) {
+  BURSTQ_REQUIRE(vm.value < pm_of_.size(), "VM index out of range");
+  const PmId pm = pm_of_[vm.value];
+  BURSTQ_REQUIRE(pm.valid(), "VM is not assigned");
+  auto& list = vms_on_[pm.value];
+  const auto it = std::find(list.begin(), list.end(), vm.value);
+  BURSTQ_ASSERT(it != list.end(), "assignment lists out of sync");
+  list.erase(it);
+  if (list.empty()) --pms_used_;
+  pm_of_[vm.value] = PmId{};
+  --vms_assigned_;
+}
+
+PmId Placement::pm_of(VmId vm) const {
+  BURSTQ_REQUIRE(vm.value < pm_of_.size(), "VM index out of range");
+  return pm_of_[vm.value];
+}
+
+const std::vector<std::size_t>& Placement::vms_on(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < vms_on_.size(), "PM index out of range");
+  return vms_on_[pm.value];
+}
+
+Resource total_rb_on(const ProblemInstance& inst, const Placement& placement,
+                     PmId pm) {
+  Resource sum = 0.0;
+  for (std::size_t i : placement.vms_on(pm)) sum += inst.vms[i].rb;
+  return sum;
+}
+
+Resource max_re_on(const ProblemInstance& inst, const Placement& placement,
+                   PmId pm) {
+  Resource m = 0.0;
+  for (std::size_t i : placement.vms_on(pm))
+    m = std::max(m, inst.vms[i].re);
+  return m;
+}
+
+Resource reserved_footprint(const ProblemInstance& inst,
+                            const Placement& placement, PmId pm,
+                            const MapCalTable& table) {
+  const std::size_t k = placement.count_on(pm);
+  if (k == 0) return 0.0;
+  return max_re_on(inst, placement, pm) *
+             static_cast<double>(table.blocks(k)) +
+         total_rb_on(inst, placement, pm);
+}
+
+bool fits_with_reservation(const ProblemInstance& inst,
+                           const Placement& placement, VmId vm, PmId pm,
+                           const MapCalTable& table) {
+  const std::size_t k_new = placement.count_on(pm) + 1;
+  if (k_new > table.max_vms_per_pm()) return false;
+
+  const VmSpec& v = inst.vms[vm.value];
+  // Eq. (17): max(Re_i, max Re already placed) * mapping(|T|+1)
+  //           + Rb_i + sum Rb already placed  <=  C_j
+  const Resource block = std::max(v.re, max_re_on(inst, placement, pm));
+  const Resource footprint = block * static_cast<double>(table.blocks(k_new)) +
+                             v.rb + total_rb_on(inst, placement, pm);
+  const Resource cap = inst.pms[pm.value].capacity;
+  return footprint <= cap * (1.0 + kCapacityEpsilon);
+}
+
+Resource reserved_footprint_specs(std::span<const VmSpec> hosted,
+                                  const MapCalTable& table) {
+  if (hosted.empty()) return 0.0;
+  Resource block = 0.0;
+  Resource rb_sum = 0.0;
+  for (const auto& v : hosted) {
+    block = std::max(block, v.re);
+    rb_sum += v.rb;
+  }
+  return block * static_cast<double>(table.blocks(hosted.size())) + rb_sum;
+}
+
+bool fits_with_reservation_specs(std::span<const VmSpec> hosted,
+                                 const VmSpec& candidate, Resource capacity,
+                                 const MapCalTable& table) {
+  const std::size_t k_new = hosted.size() + 1;
+  if (k_new > table.max_vms_per_pm()) return false;
+  Resource block = candidate.re;
+  Resource rb_sum = candidate.rb;
+  for (const auto& v : hosted) {
+    block = std::max(block, v.re);
+    rb_sum += v.rb;
+  }
+  const Resource footprint =
+      block * static_cast<double>(table.blocks(k_new)) + rb_sum;
+  return footprint <= capacity * (1.0 + kCapacityEpsilon);
+}
+
+bool placement_satisfies_reservation(const ProblemInstance& inst,
+                                     const Placement& placement,
+                                     const MapCalTable& table) {
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    const std::size_t k = placement.count_on(pm);
+    if (k == 0) continue;
+    if (k > table.max_vms_per_pm()) return false;
+    const Resource cap = inst.pms[j].capacity;
+    if (reserved_footprint(inst, placement, pm, table) >
+        cap * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+bool placement_satisfies_initial_capacity(const ProblemInstance& inst,
+                                          const Placement& placement) {
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    if (placement.count_on(pm) == 0) continue;
+    const Resource cap = inst.pms[j].capacity;
+    if (total_rb_on(inst, placement, pm) > cap * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace burstq

@@ -1,0 +1,106 @@
+// The VM-to-PM mapping X (paper Eq. "X = [x_ij]") plus constraint checks.
+//
+// Stored as a dense assignment vector (one PmId per VM) with per-PM VM
+// lists maintained incrementally, so feasibility checks during first-fit
+// and online churn are O(VMs on that PM).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "placement/spec.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+class Placement {
+ public:
+  /// Empty mapping over n VMs and m PMs; every VM starts unassigned.
+  Placement(std::size_t n_vms, std::size_t n_pms);
+
+  /// Assigns `vm` to `pm`.  The VM must currently be unassigned.
+  void assign(VmId vm, PmId pm);
+
+  /// Removes `vm` from its PM.  The VM must currently be assigned.
+  void unassign(VmId vm);
+
+  /// PM hosting `vm`; invalid Id when unassigned.
+  [[nodiscard]] PmId pm_of(VmId vm) const;
+
+  [[nodiscard]] bool assigned(VmId vm) const { return pm_of(vm).valid(); }
+
+  /// Indices of VMs currently on `pm` (in assignment order).
+  [[nodiscard]] const std::vector<std::size_t>& vms_on(PmId pm) const;
+
+  [[nodiscard]] std::size_t count_on(PmId pm) const {
+    return vms_on(pm).size();
+  }
+
+  /// Number of PMs hosting at least one VM — the paper's objective (Eq. 6).
+  [[nodiscard]] std::size_t pms_used() const { return pms_used_; }
+
+  /// Number of VMs currently assigned.
+  [[nodiscard]] std::size_t vms_assigned() const { return vms_assigned_; }
+
+  [[nodiscard]] std::size_t n_vms() const { return pm_of_.size(); }
+  [[nodiscard]] std::size_t n_pms() const { return vms_on_.size(); }
+
+ private:
+  std::vector<PmId> pm_of_;
+  std::vector<std::vector<std::size_t>> vms_on_;
+  std::size_t pms_used_{0};
+  std::size_t vms_assigned_{0};
+};
+
+/// Aggregate Rb of the VMs on `pm`.
+Resource total_rb_on(const ProblemInstance& inst, const Placement& placement,
+                     PmId pm);
+
+/// Largest Re of the VMs on `pm` (0 when empty) — the uniform block size
+/// the paper reserves ("conservatively set to the maximum Re of the hosted
+/// VMs").
+Resource max_re_on(const ProblemInstance& inst, const Placement& placement,
+                   PmId pm);
+
+/// Left-hand side of Eq. (17) for the PM as currently loaded: reserved
+/// queue size plus aggregate Rb.
+Resource reserved_footprint(const ProblemInstance& inst,
+                            const Placement& placement, PmId pm,
+                            const MapCalTable& table);
+
+/// Eq. (17): can `vm` be added to `pm` under the reservation rule?
+/// False when the PM already hosts table.max_vms_per_pm() VMs (the paper's
+/// per-PM cap d).
+bool fits_with_reservation(const ProblemInstance& inst,
+                           const Placement& placement, VmId vm, PmId pm,
+                           const MapCalTable& table);
+
+/// Eq. (17) on an explicit host list: can `candidate` join a PM of the
+/// given capacity currently hosting `hosted`?  Used by the online
+/// consolidator, which manages its own VM containers.
+bool fits_with_reservation_specs(std::span<const VmSpec> hosted,
+                                 const VmSpec& candidate, Resource capacity,
+                                 const MapCalTable& table);
+
+/// Reserved footprint (Eq. 17 LHS) of an explicit host list.
+Resource reserved_footprint_specs(std::span<const VmSpec> hosted,
+                                  const MapCalTable& table);
+
+/// Post-hoc validation that every used PM satisfies Eq. (17); used by
+/// tests and by online rebuilds.
+bool placement_satisfies_reservation(const ProblemInstance& inst,
+                                     const Placement& placement,
+                                     const MapCalTable& table);
+
+/// Eq. (3) at t = 0 (all VMs OFF): aggregate Rb on each PM within capacity.
+bool placement_satisfies_initial_capacity(const ProblemInstance& inst,
+                                          const Placement& placement);
+
+/// Relative tolerance used in capacity comparisons so that reservation
+/// arithmetic on doubles never rejects an exactly-full PM.
+inline constexpr double kCapacityEpsilon = 1e-9;
+
+}  // namespace burstq

@@ -1,0 +1,75 @@
+#include "placement/quantile_ffd.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "placement/cluster.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+void QuantileFfdOptions::validate() const {
+  reservation.validate();
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  BURSTQ_REQUIRE(cluster_buckets >= 1, "need at least one cluster bucket");
+}
+
+double quantile_footprint(std::span<const VmSpec> hosted,
+                          const QuantileReservationOptions& options) {
+  std::vector<double> re;
+  std::vector<double> q;
+  re.reserve(hosted.size());
+  q.reserve(hosted.size());
+  double rb_sum = 0.0;
+  for (const auto& v : hosted) {
+    re.push_back(v.re);
+    q.push_back(v.onoff.stationary_on_probability());
+    rb_sum += v.rb;
+  }
+  return exact_quantile_reservation(re, q, options) + rb_sum;
+}
+
+bool fits_with_quantile_reservation(const ProblemInstance& inst,
+                                    const Placement& placement, VmId vm,
+                                    PmId pm,
+                                    const QuantileFfdOptions& options) {
+  const std::size_t k_new = placement.count_on(pm) + 1;
+  if (k_new > options.max_vms_per_pm) return false;
+  std::vector<VmSpec> hosted;
+  hosted.reserve(k_new);
+  for (std::size_t i : placement.vms_on(pm)) hosted.push_back(inst.vms[i]);
+  hosted.push_back(inst.vms[vm.value]);
+  return quantile_footprint(hosted, options.reservation) <=
+         inst.pms[pm.value].capacity * (1.0 + kCapacityEpsilon);
+}
+
+PlacementResult queuing_ffd_quantile(const ProblemInstance& inst,
+                                     const QuantileFfdOptions& options) {
+  inst.validate();
+  options.validate();
+  const auto order = queuing_ffd_order(inst.vms, options.cluster_buckets);
+  const FitPredicate fits = [&](const Placement& p, VmId vm, PmId pm) {
+    return fits_with_quantile_reservation(inst, p, vm, pm, options);
+  };
+  return first_fit_place(inst, order, fits);
+}
+
+bool placement_satisfies_quantile_reservation(
+    const ProblemInstance& inst, const Placement& placement,
+    const QuantileFfdOptions& options) {
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    const auto& members = placement.vms_on(pm);
+    if (members.empty()) continue;
+    if (members.size() > options.max_vms_per_pm) return false;
+    std::vector<VmSpec> hosted;
+    hosted.reserve(members.size());
+    for (std::size_t i : members) hosted.push_back(inst.vms[i]);
+    if (quantile_footprint(hosted, options.reservation) >
+        inst.pms[j].capacity * (1.0 + kCapacityEpsilon))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace burstq

@@ -1,0 +1,52 @@
+// Consolidation under the exact quantile reservation — the burstq
+// extension that replaces the paper's uniform max-Re blocks with the
+// true (1 - rho)-quantile of the host set's extra-demand distribution
+// (see queuing/quantile_reservation.h).
+//
+// Feasibility:  R*(T u {v}) + sum(Rb) <= C
+//
+// Properties relative to Algorithm 2:
+//   * sound for arbitrary mixes of Re AND (p_on, p_off) — no rounding,
+//     no uniform-block slack, no reliance on Re clustering
+//   * tighter or equal packing (R* <= mapping(k) * max(Re) always)
+//   * costlier feasibility check: O(k * sum(Re)/grid) per candidate
+
+#pragma once
+
+#include <span>
+
+#include "placement/first_fit.h"
+#include "placement/spec.h"
+#include "queuing/quantile_reservation.h"
+
+namespace burstq {
+
+struct QuantileFfdOptions {
+  QuantileReservationOptions reservation{};
+  std::size_t max_vms_per_pm{16};
+  std::size_t cluster_buckets{8};  ///< kept for order parity with Alg. 2
+
+  void validate() const;
+};
+
+/// R* + sum(Rb) for an explicit host set.
+double quantile_footprint(std::span<const VmSpec> hosted,
+                          const QuantileReservationOptions& options);
+
+/// Feasibility of adding `vm` to `pm` under the quantile reservation.
+bool fits_with_quantile_reservation(const ProblemInstance& inst,
+                                    const Placement& placement, VmId vm,
+                                    PmId pm,
+                                    const QuantileFfdOptions& options);
+
+/// QueuingFFD with the exact quantile reservation (same visit order as
+/// Algorithm 2 so the comparison isolates the reservation rule).
+PlacementResult queuing_ffd_quantile(const ProblemInstance& inst,
+                                     const QuantileFfdOptions& options = {});
+
+/// Post-hoc validation.
+bool placement_satisfies_quantile_reservation(
+    const ProblemInstance& inst, const Placement& placement,
+    const QuantileFfdOptions& options);
+
+}  // namespace burstq

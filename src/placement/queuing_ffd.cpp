@@ -1,0 +1,99 @@
+#include "placement/queuing_ffd.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "placement/cluster.h"
+
+namespace burstq {
+
+OnOffParams round_uniform_params(const std::vector<VmSpec>& vms,
+                                 RoundingPolicy policy) {
+  BURSTQ_REQUIRE(!vms.empty(), "cannot round parameters of zero VMs");
+  OnOffParams out;
+  switch (policy) {
+    case RoundingPolicy::kMean: {
+      double sum_on = 0.0;
+      double sum_off = 0.0;
+      for (const auto& v : vms) {
+        sum_on += v.onoff.p_on;
+        sum_off += v.onoff.p_off;
+      }
+      out.p_on = sum_on / static_cast<double>(vms.size());
+      out.p_off = sum_off / static_cast<double>(vms.size());
+      break;
+    }
+    case RoundingPolicy::kConservative: {
+      out.p_on = 0.0;
+      out.p_off = 1.0;
+      for (const auto& v : vms) {
+        out.p_on = std::max(out.p_on, v.onoff.p_on);
+        out.p_off = std::min(out.p_off, v.onoff.p_off);
+      }
+      break;
+    }
+  }
+  out.validate();
+  return out;
+}
+
+void QueuingFfdOptions::validate() const {
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+  BURSTQ_REQUIRE(cluster_buckets >= 1, "need at least one cluster bucket");
+}
+
+namespace {
+
+PlacementResult run_placement(const ProblemInstance& inst,
+                              const MapCalTable& table,
+                              const QueuingFfdOptions& options) {
+  const std::vector<std::size_t> order =
+      queuing_ffd_order(inst.vms, options.cluster_buckets);
+
+  const FitPredicate fits = [&](const Placement& placement, VmId vm,
+                                PmId pm) {
+    return fits_with_reservation(inst, placement, vm, pm, table);
+  };
+
+  if (options.use_best_fit) {
+    const SlackFunction slack = [&](const Placement& placement, VmId vm,
+                                    PmId pm) {
+      // Slack after hypothetical insertion; smaller = tighter = "best".
+      const VmSpec& v = inst.vms[vm.value];
+      const std::size_t k_new = placement.count_on(pm) + 1;
+      const Resource block = std::max(v.re, max_re_on(inst, placement, pm));
+      const Resource footprint =
+          block * static_cast<double>(table.blocks(k_new)) + v.rb +
+          total_rb_on(inst, placement, pm);
+      return inst.pms[pm.value].capacity - footprint;
+    };
+    return best_fit_place(inst, order, fits, slack);
+  }
+  return first_fit_place(inst, order, fits);
+}
+
+}  // namespace
+
+QueuingFfdOutcome queuing_ffd(const ProblemInstance& inst,
+                              const QueuingFfdOptions& options) {
+  inst.validate();
+  options.validate();
+
+  const OnOffParams params =
+      round_uniform_params(inst.vms, options.rounding);
+  MapCalTable table(options.max_vms_per_pm, params, options.rho,
+                    options.method);
+  PlacementResult result = run_placement(inst, table, options);
+  return QueuingFfdOutcome{std::move(result), std::move(table), params};
+}
+
+PlacementResult queuing_ffd_with_table(const ProblemInstance& inst,
+                                       const MapCalTable& table,
+                                       const QueuingFfdOptions& options) {
+  inst.validate();
+  options.validate();
+  return run_placement(inst, table, options);
+}
+
+}  // namespace burstq

@@ -1,0 +1,53 @@
+#include "placement/replan.h"
+
+#include "common/error.h"
+
+namespace burstq {
+
+MigrationPlan plan_migrations(const Placement& current,
+                              const Placement& target) {
+  BURSTQ_REQUIRE(current.n_vms() == target.n_vms() &&
+                     current.n_pms() == target.n_pms(),
+                 "placements cover different fleets");
+  BURSTQ_REQUIRE(current.vms_assigned() == current.n_vms(),
+                 "current placement has unassigned VMs");
+  BURSTQ_REQUIRE(target.vms_assigned() == target.n_vms(),
+                 "target placement has unassigned VMs");
+
+  MigrationPlan plan;
+  plan.pms_before = current.pms_used();
+  plan.pms_after = target.pms_used();
+  for (std::size_t i = 0; i < current.n_vms(); ++i) {
+    const VmId vm{i};
+    const PmId from = current.pm_of(vm);
+    const PmId to = target.pm_of(vm);
+    if (from != to) plan.moves.push_back(PlannedMove{vm, from, to});
+  }
+  return plan;
+}
+
+void apply_plan(Placement& placement, const MigrationPlan& plan) {
+  for (const auto& move : plan.moves) {
+    BURSTQ_REQUIRE(placement.pm_of(move.vm) == move.from,
+                   "plan is stale: VM is no longer on the expected PM");
+    placement.unassign(move.vm);
+    placement.assign(move.vm, move.to);
+  }
+}
+
+ReplanResult replan(const ProblemInstance& inst, const Placement& current,
+                    const QueuingFfdOptions& options) {
+  inst.validate();
+  BURSTQ_REQUIRE(current.n_vms() == inst.n_vms() &&
+                     current.n_pms() == inst.n_pms(),
+                 "current placement does not match the instance");
+
+  ReplanResult result{queuing_ffd(inst, options).result, {}};
+  BURSTQ_REQUIRE(result.fresh.complete(),
+                 "re-planning could not place every VM; aborting rather "
+                 "than shrinking the fleet");
+  result.plan = plan_migrations(current, result.fresh.placement);
+  return result;
+}
+
+}  // namespace burstq

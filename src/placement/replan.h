@@ -1,0 +1,60 @@
+// Periodic re-consolidation: compute a fresh Algorithm-2 placement for
+// the current fleet and express the difference from the running placement
+// as an explicit migration plan.
+//
+// After hours of online churn (arrivals filling first-fit holes,
+// departures stranding VMs on half-empty PMs) the live mapping drifts
+// away from what Algorithm 2 would produce from scratch.  Operators
+// periodically re-plan and execute the delta during a maintenance window;
+// the number of moves is the cost of that window.
+
+#pragma once
+
+#include <vector>
+
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+
+/// One live migration in a plan.
+struct PlannedMove {
+  VmId vm{};
+  PmId from{};
+  PmId to{};
+};
+
+struct MigrationPlan {
+  std::vector<PlannedMove> moves;  ///< VMs whose PM differs
+  std::size_t pms_before{0};
+  std::size_t pms_after{0};
+
+  [[nodiscard]] std::size_t move_count() const { return moves.size(); }
+  /// PMs the plan empties out (candidates for power-off).
+  [[nodiscard]] std::size_t pms_freed() const {
+    return pms_before > pms_after ? pms_before - pms_after : 0;
+  }
+};
+
+/// Diffs two placements over the same instance shape.  Both must assign
+/// every VM (partial placements are rejected — a plan must be executable).
+MigrationPlan plan_migrations(const Placement& current,
+                              const Placement& target);
+
+/// Executes a plan in place.  Validates each move against the current
+/// assignment (from must match) and throws InvalidArgument otherwise,
+/// leaving earlier moves applied — callers treat plans as all-or-review.
+void apply_plan(Placement& placement, const MigrationPlan& plan);
+
+struct ReplanResult {
+  PlacementResult fresh;  ///< the from-scratch Algorithm 2 placement
+  MigrationPlan plan;     ///< delta from the running placement
+};
+
+/// Runs Algorithm 2 from scratch on `inst` and diffs against `current`.
+/// Throws InvalidArgument when the fresh placement cannot host every VM
+/// (re-planning must never lose capacity that the current placement has).
+ReplanResult replan(const ProblemInstance& inst, const Placement& current,
+                    const QueuingFfdOptions& options = {});
+
+}  // namespace burstq

@@ -1,0 +1,38 @@
+// Stochastic bin packing (SBP) baseline — the related-work family the
+// paper contrasts itself against ([6] Wang-Meng-Zhang, [10] Chen et al.,
+// [18] Breitgand-Epstein): model each VM's demand as an independent
+// normal random variable and pack by "effective size".
+//
+// Under the ON-OFF model, VM i's stationary demand has
+//   mean     mu_i    = Rb + q * Re
+//   variance sigma_i = q (1 - q) Re^2
+// A PM is feasible for a set S when
+//   sum(mu) + z_{1-eps} * sqrt(sum(sigma^2)) <= C
+// i.e. P[aggregate demand > C] <~ eps by the normal approximation.
+//
+// SBP captures *amplitude* variability but not *time* correlation: it has
+// no notion of spike duration, which is exactly the dimension the paper's
+// Markov model adds.  bench/fig5 carries SBP as a fourth strategy so the
+// difference is visible.
+
+#pragma once
+
+#include "placement/first_fit.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+/// Mean of VM demand under the stationary ON-OFF law.
+double sbp_mean_demand(const VmSpec& v);
+
+/// Variance of VM demand under the stationary ON-OFF law.
+double sbp_demand_variance(const VmSpec& v);
+
+/// Normal-approximation stochastic bin packing: FFD by mean demand with
+/// the effective-size feasibility rule at overflow probability `epsilon`.
+/// Requires epsilon in (0, 1).
+PlacementResult sbp_normal(const ProblemInstance& inst,
+                           double epsilon = 0.01,
+                           std::size_t max_vms_per_pm = 16);
+
+}  // namespace burstq

@@ -1,0 +1,50 @@
+#include "prob/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+
+double binomial_cdf(std::int64_t n, std::int64_t x, double p) {
+  BURSTQ_REQUIRE(n >= 0, "binomial_cdf requires n >= 0");
+  BURSTQ_REQUIRE(p >= 0.0 && p <= 1.0, "binomial_cdf requires p in [0,1]");
+  if (x < 0) return 0.0;
+  if (x >= n) return 1.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i <= x; ++i) acc += binomial_pmf(n, i, p);
+  return std::min(acc, 1.0);
+}
+
+std::int64_t binomial_quantile(std::int64_t n, double prob, double p) {
+  BURSTQ_REQUIRE(n >= 0, "binomial_quantile requires n >= 0");
+  BURSTQ_REQUIRE(prob >= 0.0 && prob <= 1.0,
+                 "binomial_quantile requires prob in [0,1]");
+  BURSTQ_REQUIRE(p >= 0.0 && p <= 1.0, "binomial_quantile requires p in [0,1]");
+  double acc = 0.0;
+  for (std::int64_t x = 0; x <= n; ++x) {
+    acc += binomial_pmf(n, x, p);
+    if (acc >= prob) return x;
+  }
+  return n;  // prob == 1 with accumulated roundoff
+}
+
+std::vector<double> binomial_pmf_vector(std::int64_t n, double p) {
+  BURSTQ_REQUIRE(n >= 0, "binomial_pmf_vector requires n >= 0");
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+  for (std::int64_t x = 0; x <= n; ++x)
+    pmf[static_cast<std::size_t>(x)] = binomial_pmf(n, x, p);
+  return pmf;
+}
+
+double binomial_mean(std::int64_t n, double p) {
+  return static_cast<double>(n) * p;
+}
+
+double binomial_variance(std::int64_t n, double p) {
+  return static_cast<double>(n) * p * (1.0 - p);
+}
+
+}  // namespace burstq

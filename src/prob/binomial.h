@@ -1,0 +1,32 @@
+// Binomial distribution queries.
+//
+// The aggregate ON-count theta(t) of k independent ON-OFF chains has the
+// *exact* stationary law Binomial(k, q) with q = p_on / (p_on + p_off):
+// each VM's two-state chain has stationary ON-probability q, and the VMs
+// are independent.  burstq uses this closed form both as a fast MapCal
+// backend and as the oracle the O(k^3) pipeline is tested against.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace burstq {
+
+/// P[Binomial(n, p) <= x].  Clamps to [0,1]; x < 0 gives 0, x >= n gives 1.
+double binomial_cdf(std::int64_t n, std::int64_t x, double p);
+
+/// Smallest x with P[Binomial(n,p) <= x] >= prob.  Requires prob in [0,1];
+/// always returns a value in [0, n].
+std::int64_t binomial_quantile(std::int64_t n, double prob, double p);
+
+/// Full pmf vector of length n+1.  Sums to 1 within roundoff.
+std::vector<double> binomial_pmf_vector(std::int64_t n, double p);
+
+/// Mean n*p.
+double binomial_mean(std::int64_t n, double p);
+
+/// Variance n*p*(1-p).
+double binomial_variance(std::int64_t n, double p);
+
+}  // namespace burstq

@@ -1,0 +1,47 @@
+#include "prob/combinatorics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace burstq {
+
+double log_factorial(std::int64_t x) {
+  BURSTQ_REQUIRE(x >= 0, "log_factorial requires x >= 0");
+  return std::lgamma(static_cast<double>(x) + 1.0);
+}
+
+double log_choose(std::int64_t n, std::int64_t x) {
+  BURSTQ_REQUIRE(n >= 0 && x >= 0 && x <= n, "log_choose requires 0<=x<=n");
+  return log_factorial(n) - log_factorial(x) - log_factorial(n - x);
+}
+
+double binomial_coefficient(std::int64_t n, std::int64_t x) {
+  BURSTQ_REQUIRE(n >= 0, "binomial_coefficient requires n >= 0");
+  if (x < 0 || x > n) return 0.0;  // the paper's zero-extension convention
+  if (x == 0 || x == n) return 1.0;
+  // Exact multiplicative form while it fits a double exactly (n <= 60ish);
+  // beyond that, lgamma's relative error (~1e-15) is more than enough.
+  if (n <= 60) {
+    double r = 1.0;
+    const std::int64_t kk = x < n - x ? x : n - x;
+    for (std::int64_t i = 1; i <= kk; ++i)
+      r = r * static_cast<double>(n - kk + i) / static_cast<double>(i);
+    return std::round(r);
+  }
+  return std::exp(log_choose(n, x));
+}
+
+double binomial_pmf(std::int64_t n, std::int64_t x, double p) {
+  BURSTQ_REQUIRE(n >= 0, "binomial_pmf requires n >= 0");
+  BURSTQ_REQUIRE(p >= 0.0 && p <= 1.0, "binomial_pmf requires p in [0,1]");
+  if (x < 0 || x > n) return 0.0;
+  if (p == 0.0) return x == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return x == n ? 1.0 : 0.0;
+  const double log_pmf = log_choose(n, x) +
+                         static_cast<double>(x) * std::log(p) +
+                         static_cast<double>(n - x) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+}  // namespace burstq

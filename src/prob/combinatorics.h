@@ -1,0 +1,29 @@
+// Binomial coefficients and related combinatorics, evaluated in log space.
+//
+// Eq. (12) of the paper multiplies binomial coefficients by powers of small
+// probabilities; for k up to a few hundred a naive product under/overflows,
+// so every probability mass is assembled as exp(log-terms).  The paper's
+// convention "C(n, x) = 0 when x > n or x < 0" is preserved.
+
+#pragma once
+
+#include <cstdint>
+
+namespace burstq {
+
+/// Natural log of x! for x >= 0, via lgamma.  log(0!) == 0.
+double log_factorial(std::int64_t x);
+
+/// Natural log of C(n, x).  Requires 0 <= x <= n (use binomial_coefficient
+/// for the paper's zero-extension convention).
+double log_choose(std::int64_t n, std::int64_t x);
+
+/// C(n, x) with the paper's convention: 0 when x < 0 or x > n; exact for
+/// small arguments, lgamma-based otherwise.  Requires n >= 0.
+double binomial_coefficient(std::int64_t n, std::int64_t x);
+
+/// P[Binomial(n, p) == x]: C(n,x) p^x (1-p)^(n-x), 0 outside support.
+/// Requires n >= 0 and p in [0, 1].  Handles the p==0 / p==1 edges exactly.
+double binomial_pmf(std::int64_t n, std::int64_t x, double p);
+
+}  // namespace burstq

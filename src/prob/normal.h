@@ -1,0 +1,20 @@
+// Standard normal CDF and quantile.
+//
+// Used by the stochastic-bin-packing baseline (related work [6], [10],
+// [18] of the paper model VM demand as a normal random variable and pack
+// by an effective size mu + z * sigma) and by the web-server workload's
+// renewal-CLT generator.
+
+#pragma once
+
+namespace burstq {
+
+/// Phi(x): standard normal CDF, via erfc.  Accurate to ~1e-15.
+double normal_cdf(double x);
+
+/// Phi^{-1}(p) for p in (0, 1): Acklam's rational approximation refined
+/// with one Halley step (absolute error < 1e-9 over the full range).
+/// Throws InvalidArgument outside (0, 1).
+double normal_quantile(double p);
+
+}  // namespace burstq

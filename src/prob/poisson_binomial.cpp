@@ -1,0 +1,64 @@
+#include "prob/poisson_binomial.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace burstq {
+
+std::vector<double> poisson_binomial_pmf(std::span<const double> qs) {
+  for (double q : qs)
+    BURSTQ_REQUIRE(q >= 0.0 && q <= 1.0,
+                   "Poisson-binomial needs q in [0, 1]");
+  // DP over variables: after processing i variables, pmf[x] is the
+  // probability the partial sum equals x.
+  std::vector<double> pmf(qs.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t processed = 0;
+  for (double q : qs) {
+    ++processed;
+    // Walk x downward so pmf[x-1] still refers to the previous round.
+    for (std::size_t x = processed; x >= 1; --x)
+      pmf[x] = pmf[x] * (1.0 - q) + pmf[x - 1] * q;
+    pmf[0] *= 1.0 - q;
+  }
+  return pmf;
+}
+
+double poisson_binomial_cdf(std::span<const double> qs, std::int64_t x) {
+  if (x < 0) return 0.0;
+  const auto k = static_cast<std::int64_t>(qs.size());
+  if (x >= k) return 1.0;
+  const auto pmf = poisson_binomial_pmf(qs);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i <= x; ++i)
+    acc += pmf[static_cast<std::size_t>(i)];
+  return std::min(acc, 1.0);
+}
+
+std::int64_t poisson_binomial_quantile(std::span<const double> qs,
+                                       double prob) {
+  BURSTQ_REQUIRE(prob >= 0.0 && prob <= 1.0,
+                 "quantile probability must lie in [0, 1]");
+  const auto pmf = poisson_binomial_pmf(qs);
+  double acc = 0.0;
+  for (std::size_t x = 0; x < pmf.size(); ++x) {
+    acc += pmf[x];
+    if (acc >= prob) return static_cast<std::int64_t>(x);
+  }
+  return static_cast<std::int64_t>(qs.size());
+}
+
+double poisson_binomial_mean(std::span<const double> qs) {
+  double m = 0.0;
+  for (double q : qs) m += q;
+  return m;
+}
+
+double poisson_binomial_variance(std::span<const double> qs) {
+  double v = 0.0;
+  for (double q : qs) v += q * (1.0 - q);
+  return v;
+}
+
+}  // namespace burstq

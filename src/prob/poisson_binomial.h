@@ -1,0 +1,40 @@
+// Poisson-binomial distribution: the law of a sum of independent,
+// *non-identically* distributed Bernoulli variables.
+//
+// When collocated VMs have heterogeneous (p_on, p_off), the stationary
+// ON-count theta is exactly PoissonBinomial(q_1, ..., q_k) with
+// q_i = p_on_i / (p_on_i + p_off_i) — the chains remain independent, only
+// their ON-probabilities differ.  The paper sidesteps heterogeneity by
+// rounding to uniform parameters (Section IV-E); burstq additionally
+// offers the exact law so the rounding policies can be evaluated against
+// ground truth (see queuing/hetero.h and bench/ablation_hetero).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace burstq {
+
+/// Full pmf of PoissonBinomial(qs): vector of length qs.size() + 1 where
+/// element x is P[sum == x].  Computed by the standard O(k^2) dynamic
+/// program, which is numerically stable (all operations are convex
+/// combinations of probabilities).  Requires every q in [0, 1].
+std::vector<double> poisson_binomial_pmf(std::span<const double> qs);
+
+/// P[PoissonBinomial(qs) <= x]; 0 for x < 0, 1 for x >= k.
+double poisson_binomial_cdf(std::span<const double> qs, std::int64_t x);
+
+/// Smallest x with CDF(x) >= prob; always in [0, k].  Requires prob in
+/// [0, 1].
+std::int64_t poisson_binomial_quantile(std::span<const double> qs,
+                                       double prob);
+
+/// Mean: sum of qs.
+double poisson_binomial_mean(std::span<const double> qs);
+
+/// Variance: sum of q(1-q).
+double poisson_binomial_variance(std::span<const double> qs);
+
+}  // namespace burstq

@@ -1,0 +1,121 @@
+#include "queuing/discrete_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/gaussian.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+
+void DiscreteQueueModel::validate() const {
+  BURSTQ_REQUIRE(arrival_p >= 0.0 && arrival_p <= 1.0,
+                 "arrival probability must lie in [0, 1]");
+  BURSTQ_REQUIRE(service_p > 0.0 && service_p <= 1.0,
+                 "service probability must lie in (0, 1]");
+  BURSTQ_REQUIRE(servers >= 1, "need at least one server");
+  BURSTQ_REQUIRE(capacity >= servers,
+                 "capacity must cover at least the servers");
+}
+
+Matrix discrete_queue_transition_matrix(const DiscreteQueueModel& model) {
+  model.validate();
+  const std::size_t n_states = model.capacity + 1;
+  Matrix p(n_states, n_states);
+
+  // From state n: arrival (accepted when n < N), then Binomial departures
+  // among the busy servers (the arrival may start service immediately).
+  for (std::size_t n = 0; n < n_states; ++n) {
+    struct Branch {
+      double prob;
+      std::size_t occupancy;  // after the arrival phase
+    };
+    std::vector<Branch> branches;
+    if (n < model.capacity) {
+      branches.push_back({model.arrival_p, n + 1});
+      branches.push_back({1.0 - model.arrival_p, n});
+    } else {
+      branches.push_back({1.0, n});  // arrival (if any) is blocked
+    }
+    for (const auto& b : branches) {
+      if (b.prob == 0.0) continue;
+      const auto busy =
+          static_cast<std::int64_t>(std::min(b.occupancy, model.servers));
+      for (std::int64_t d = 0; d <= busy; ++d) {
+        const std::size_t next =
+            b.occupancy - static_cast<std::size_t>(d);
+        p(n, next) += b.prob * binomial_pmf(busy, d, model.service_p);
+      }
+    }
+  }
+  BURSTQ_ASSERT(p.is_row_stochastic(1e-9),
+                "discrete queue matrix failed stochasticity");
+  return p;
+}
+
+DiscreteQueueMetrics analyze_discrete_queue(const DiscreteQueueModel& model) {
+  const Matrix p = discrete_queue_transition_matrix(model);
+  auto pi = stationary_distribution_gaussian(p);
+  BURSTQ_ASSERT(pi.has_value(), "queue chain is irreducible for mu > 0");
+
+  DiscreteQueueMetrics m;
+  m.stationary = std::move(*pi);
+  const auto c = static_cast<double>(model.servers);
+  // Busy servers are counted after the arrival phase (that is when
+  // service happens), so flow balance holds exactly:
+  //   throughput = mu * E[busy] = lambda * (1 - blocking).
+  double busy_post = 0.0;
+  for (std::size_t n = 0; n < m.stationary.size(); ++n) {
+    const auto nn = static_cast<double>(n);
+    m.mean_in_system += nn * m.stationary[n];
+    m.mean_in_queue += std::max(0.0, nn - c) * m.stationary[n];
+    if (n < model.capacity) {
+      busy_post += m.stationary[n] *
+                   (model.arrival_p * std::min(nn + 1.0, c) +
+                    (1.0 - model.arrival_p) * std::min(nn, c));
+    } else {
+      busy_post += m.stationary[n] * std::min(nn, c);
+    }
+  }
+  m.server_utilization = busy_post / c;
+  m.blocking_probability = m.stationary.back();
+  m.throughput = model.arrival_p * (1.0 - m.blocking_probability);
+  BURSTQ_ASSERT(std::abs(m.throughput - model.service_p * busy_post) < 1e-9,
+                "flow balance violated: analytics are inconsistent");
+  m.mean_wait_slots =
+      m.throughput > 0.0 ? m.mean_in_system / m.throughput : 0.0;
+  return m;
+}
+
+DiscreteQueueSimResult simulate_discrete_queue(
+    const DiscreteQueueModel& model, std::size_t slots, Rng& rng) {
+  model.validate();
+  BURSTQ_REQUIRE(slots > 0, "needs at least one slot");
+
+  DiscreteQueueSimResult result;
+  result.occupancy.assign(model.capacity + 1, 0.0);
+  std::size_t n = 0;
+  for (std::size_t t = 0; t < slots; ++t) {
+    result.occupancy[n] += 1.0;  // state at slot start (matches analytics)
+    // Arrival phase.
+    if (rng.bernoulli(model.arrival_p)) {
+      ++result.arrivals;
+      if (n < model.capacity)
+        ++n;
+      else
+        ++result.blocked;
+    }
+    // Service phase.
+    const std::size_t busy = std::min(n, model.servers);
+    std::size_t departures = 0;
+    for (std::size_t s = 0; s < busy; ++s)
+      if (rng.bernoulli(model.service_p)) ++departures;
+    n -= departures;
+    result.served += departures;
+  }
+  for (double& f : result.occupancy) f /= static_cast<double>(slots);
+  return result;
+}
+
+}  // namespace burstq

@@ -1,0 +1,68 @@
+// General discrete-time multi-server queue with finite capacity —
+// the textbook family (Tian et al., "Discrete Time Queuing Theory") that
+// the paper's finite-source no-waiting-room system is a member of.
+//
+// Model (early-arrival convention): each slot,
+//   1. with probability lambda one customer arrives; if the system holds
+//      capacity customers already, the arrival is blocked and lost
+//   2. each of the min(n, servers) busy servers completes its customer
+//      independently with probability mu
+// State = number in system (queue + service), in {0..capacity}.  The
+// one-step transition matrix is built numerically and solved with the
+// same stationary machinery as the paper's Algorithm 1, so this module
+// doubles as an independent exercise of that code path on a different
+// chain family.
+//
+// Special cases: servers = 1 -> Geo/Geo/1/N; capacity = servers ->
+// the discrete Erlang-loss analogue; capacity large -> Geo/Geo/c.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace burstq {
+
+struct DiscreteQueueModel {
+  double arrival_p{0.1};   ///< lambda: P[one arrival per slot]
+  double service_p{0.5};   ///< mu: per-busy-server completion probability
+  std::size_t servers{1};  ///< c
+  std::size_t capacity{10};  ///< N >= c: max customers in system
+
+  void validate() const;
+};
+
+struct DiscreteQueueMetrics {
+  std::vector<double> stationary;   ///< pi over states 0..N
+  double mean_in_system{0.0};       ///< E[L]
+  double mean_in_queue{0.0};        ///< E[max(L - c, 0)]
+  double blocking_probability{0.0}; ///< P[arrival lost] = pi_N (PASTA-like
+                                    ///< for Bernoulli arrivals)
+  double throughput{0.0};           ///< accepted arrivals per slot
+  double mean_wait_slots{0.0};      ///< W via Little's law: E[L]/throughput
+  double server_utilization{0.0};   ///< E[min(L, c)] / c
+};
+
+/// Builds the one-step transition matrix of the model.
+Matrix discrete_queue_transition_matrix(const DiscreteQueueModel& model);
+
+/// Solves the stationary law and derives the standard metrics.
+DiscreteQueueMetrics analyze_discrete_queue(const DiscreteQueueModel& model);
+
+/// Simulates the queue for `slots` slots and reports the empirical
+/// occupancy distribution plus blocked/accepted counts (oracle for the
+/// analytics).
+struct DiscreteQueueSimResult {
+  std::vector<double> occupancy;  ///< empirical state frequencies
+  std::size_t arrivals{0};
+  std::size_t blocked{0};
+  std::size_t served{0};
+};
+
+DiscreteQueueSimResult simulate_discrete_queue(
+    const DiscreteQueueModel& model, std::size_t slots, Rng& rng);
+
+}  // namespace burstq

@@ -1,0 +1,59 @@
+#include "queuing/geom_queue.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "markov/aggregate_chain.h"
+#include "prob/binomial.h"
+#include "prob/combinatorics.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+GeomQueueMetrics analyze_geom_queue(std::size_t k, std::size_t servers,
+                                    const OnOffParams& params) {
+  BURSTQ_REQUIRE(k >= 1, "queue needs at least one source");
+  BURSTQ_REQUIRE(servers <= k, "more servers than sources is never needed");
+  params.validate();
+
+  const std::vector<double> pi = aggregate_stationary_distribution(
+      k, params, StationaryMethod::kClosedForm);
+
+  GeomQueueMetrics m;
+  m.sources = k;
+  m.servers = servers;
+  for (std::size_t i = 0; i <= k; ++i) {
+    const auto theta = static_cast<double>(i);
+    const double busy = std::min(theta, static_cast<double>(servers));
+    m.mean_on_sources += theta * pi[i];
+    m.mean_busy_servers += busy * pi[i];
+    if (i > servers) {
+      m.overflow_probability += pi[i];
+      m.expected_overflow_excess +=
+          (theta - static_cast<double>(servers)) * pi[i];
+    }
+  }
+  m.server_utilization =
+      servers == 0 ? 0.0 : m.mean_busy_servers / static_cast<double>(servers);
+  return m;
+}
+
+std::size_t min_servers_for_overflow(std::size_t k, const OnOffParams& params,
+                                     double rho) {
+  BURSTQ_REQUIRE(k >= 1, "queue needs at least one source");
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  params.validate();
+  // Overflow probability P[theta > K] = 1 - BinomialCDF(K); the smallest K
+  // with CDF >= 1 - rho is the Binomial quantile.  Shares map_cal's tie
+  // epsilon so both entry points make identical boundary decisions.
+  const double q = params.stationary_on_probability();
+  double cdf = 0.0;
+  for (std::size_t servers = 0; servers < k; ++servers) {
+    cdf += binomial_pmf(static_cast<std::int64_t>(k),
+                        static_cast<std::int64_t>(servers), q);
+    if (cdf >= 1.0 - rho - kCdfTieEpsilon) return servers;
+  }
+  return k;
+}
+
+}  // namespace burstq

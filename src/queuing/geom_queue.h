@@ -1,0 +1,40 @@
+// Analytic metrics of the discrete-time finite-source Geom/Geom/K queue
+// with no waiting room — the queuing-theory formalization of a PM hosting
+// k bursty VMs with K reserved spike blocks (paper Section IV-B, citing
+// Tian et al., "Discrete Time Queuing Theory").
+//
+// Sources: k ON-OFF VMs.  Servers: K spike blocks.  A VM turning ON
+// "enters service"; with no waiting room, an ON-count above K overflows the
+// PM capacity (a violation) rather than queueing.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/onoff.h"
+
+namespace burstq {
+
+/// Steady-state metrics of the k-source, K-server system.
+struct GeomQueueMetrics {
+  std::size_t sources{0};       ///< k: hosted VMs
+  std::size_t servers{0};       ///< K: reserved blocks
+  double overflow_probability{0.0};  ///< P[theta > K] = analytic CVR
+  double mean_busy_servers{0.0};     ///< E[min(theta, K)]
+  double mean_on_sources{0.0};       ///< E[theta] = k q
+  double server_utilization{0.0};    ///< E[min(theta,K)] / K (0 if K == 0)
+  double expected_overflow_excess{0.0};  ///< E[(theta - K)^+], spill depth
+};
+
+/// Computes the metrics from the exact stationary law of theta.
+/// Requires k >= 1, servers <= k, valid params.
+GeomQueueMetrics analyze_geom_queue(std::size_t k, std::size_t servers,
+                                    const OnOffParams& params);
+
+/// Smallest K achieving overflow probability <= rho (equivalent to
+/// Algorithm 1's Eq. 15, expressed in queuing terms).
+std::size_t min_servers_for_overflow(std::size_t k, const OnOffParams& params,
+                                     double rho);
+
+}  // namespace burstq

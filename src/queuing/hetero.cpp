@@ -1,0 +1,52 @@
+#include "queuing/hetero.h"
+
+#include "common/error.h"
+#include "prob/poisson_binomial.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+std::vector<double> stationary_on_probabilities(
+    std::span<const OnOffParams> params) {
+  std::vector<double> qs;
+  qs.reserve(params.size());
+  for (const auto& p : params) {
+    p.validate();
+    qs.push_back(p.stationary_on_probability());
+  }
+  return qs;
+}
+
+HeteroMapCalResult map_cal_hetero(std::span<const OnOffParams> params,
+                                  double rho) {
+  BURSTQ_REQUIRE(!params.empty(), "map_cal_hetero needs at least one VM");
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+
+  const std::vector<double> qs = stationary_on_probabilities(params);
+  HeteroMapCalResult result;
+  result.stationary = poisson_binomial_pmf(qs);
+
+  double cdf = 0.0;
+  std::size_t chosen = params.size();
+  for (std::size_t m = 0; m < result.stationary.size(); ++m) {
+    cdf += result.stationary[m];
+    if (cdf >= 1.0 - rho - kCdfTieEpsilon) {
+      chosen = m;
+      break;
+    }
+  }
+  result.blocks = chosen;
+
+  double mass = 0.0;
+  for (std::size_t m = 0; m <= chosen && m < result.stationary.size(); ++m)
+    mass += result.stationary[m];
+  result.cvr_bound = mass >= 1.0 ? 0.0 : 1.0 - mass;
+  return result;
+}
+
+std::size_t map_cal_hetero_blocks(std::span<const OnOffParams> params,
+                                  double rho) {
+  return map_cal_hetero(params, rho).blocks;
+}
+
+}  // namespace burstq

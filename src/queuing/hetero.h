@@ -1,0 +1,46 @@
+// Exact reservation for heterogeneous burstiness — an extension beyond
+// the paper.
+//
+// Section IV-E handles per-VM (p_on, p_off) by rounding to uniform values
+// and running Algorithm 1.  Because the chains stay independent, the
+// stationary ON-count of a heterogeneous group is exactly
+// PoissonBinomial(q_1, ..., q_k); the block count can therefore be
+// computed without any rounding error:
+//
+//   K = min { K : P[PoissonBinomial(q) <= K] >= 1 - rho }
+//
+// This module provides that exact MapCal plus the induced CVR bound.
+// bench/ablation_hetero measures what the paper's rounding policies cost
+// relative to it.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "markov/onoff.h"
+
+namespace burstq {
+
+struct HeteroMapCalResult {
+  std::size_t blocks{0};
+  double cvr_bound{0.0};
+  std::vector<double> stationary;  ///< Poisson-binomial pmf of theta
+};
+
+/// Exact Algorithm-1 analogue for VMs with individual parameters.
+/// Requires at least one entry; every params element must be valid;
+/// rho in [0, 1).
+HeteroMapCalResult map_cal_hetero(std::span<const OnOffParams> params,
+                                  double rho);
+
+/// Convenience: blocks only.
+std::size_t map_cal_hetero_blocks(std::span<const OnOffParams> params,
+                                  double rho);
+
+/// Stationary ON-probabilities q_i of each chain (helper for callers that
+/// maintain incremental state).
+std::vector<double> stationary_on_probabilities(
+    std::span<const OnOffParams> params);
+
+}  // namespace burstq

@@ -1,0 +1,69 @@
+#include "queuing/mapcal.h"
+
+#include "common/error.h"
+
+namespace burstq {
+
+MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
+                     StationaryMethod method) {
+  BURSTQ_REQUIRE(k >= 1, "map_cal requires at least one VM");
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "map_cal requires rho in [0, 1)");
+  params.validate();
+
+  MapCalResult result;
+  result.stationary = aggregate_stationary_distribution(k, params, method);
+
+  // Eq. (15): smallest K with CDF(K) >= 1 - rho.  Searching from 0 also
+  // covers K = k (no reduction) when rho is tighter than even pi_k allows.
+  double cdf = 0.0;
+  std::size_t chosen = k;
+  for (std::size_t m = 0; m <= k; ++m) {
+    cdf += result.stationary[m];
+    if (cdf >= 1.0 - rho - kCdfTieEpsilon) {
+      chosen = m;
+      break;
+    }
+  }
+  result.blocks = chosen;
+
+  // Eq. (16): CVR = 1 - sum_{m<=K} pi_m (clamped against roundoff).
+  double mass = 0.0;
+  for (std::size_t m = 0; m <= chosen; ++m) mass += result.stationary[m];
+  result.cvr_bound = mass >= 1.0 ? 0.0 : 1.0 - mass;
+  return result;
+}
+
+std::size_t map_cal_blocks(std::size_t k, const OnOffParams& params,
+                           double rho, StationaryMethod method) {
+  return map_cal(k, params, rho, method).blocks;
+}
+
+MapCalTable::MapCalTable(std::size_t max_vms_per_pm,
+                         const OnOffParams& params, double rho,
+                         StationaryMethod method)
+    : params_(params), rho_(rho) {
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1,
+                 "MapCalTable requires max_vms_per_pm >= 1");
+  params_.validate();
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "MapCalTable requires rho in [0,1)");
+
+  blocks_.resize(max_vms_per_pm + 1, 0);
+  cvr_bounds_.resize(max_vms_per_pm + 1, 0.0);
+  for (std::size_t k = 1; k <= max_vms_per_pm; ++k) {
+    const MapCalResult r = map_cal(k, params_, rho_, method);
+    blocks_[k] = r.blocks;
+    cvr_bounds_[k] = r.cvr_bound;
+  }
+}
+
+std::size_t MapCalTable::blocks(std::size_t k) const {
+  BURSTQ_REQUIRE(k < blocks_.size(), "mapping(k) queried beyond table");
+  return blocks_[k];
+}
+
+double MapCalTable::cvr_bound(std::size_t k) const {
+  BURSTQ_REQUIRE(k < cvr_bounds_.size(), "cvr_bound(k) queried beyond table");
+  return cvr_bounds_[k];
+}
+
+}  // namespace burstq

@@ -1,0 +1,79 @@
+// Algorithm 1 (MapCal) of the paper: how many spike blocks K must a PM
+// hosting k ON-OFF VMs reserve so that the capacity violation ratio stays
+// below rho?
+//
+//   1. Build the (k+1)x(k+1) transition matrix P of theta(t)   (Eq. 12)
+//   2. Form the homogeneous system Pi P = Pi                   (Eq. 14)
+//   3. Solve by Gaussian elimination (with sum(pi)=1)
+//   4. K = min { K : sum_{m<=K} pi_m >= 1 - rho }              (Eq. 15)
+//
+// The resulting CVR equals 1 - CDF(K) <= rho                    (Eq. 16).
+//
+// MapCalTable precomputes mapping(k) for k in [1, d] exactly as Algorithm 2
+// lines 1-6 do, so placement runs in O(1) per feasibility check.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/aggregate_chain.h"
+
+namespace burstq {
+
+/// Tolerance for ties at the CDF boundary: when sum(pi_0..pi_K) equals
+/// 1 - rho exactly in real arithmetic (e.g. k = 2, q = 0.1, rho = 0.01),
+/// floating-point noise must not flip the decision between backends.  Ties
+/// resolve in favor of fewer blocks, so the achieved CVR may exceed rho by
+/// at most this epsilon.
+inline constexpr double kCdfTieEpsilon = 1e-9;
+
+struct MapCalResult {
+  std::size_t blocks{0};  ///< K: number of reserved spike blocks
+  double cvr_bound{0.0};  ///< 1 - sum_{m<=K} pi_m, the analytic CVR (Eq. 16)
+  std::vector<double> stationary;  ///< pi_0..pi_k of theta(t)
+};
+
+/// Runs Algorithm 1 for one PM with k hosted VMs and CVR budget rho.
+/// Requires k >= 1, rho in [0, 1), valid params.  Returns K in [0, k]:
+/// K = k means no reduction is possible within the budget (this subsumes
+/// the paper's "K < k" search — if even K = k-1 misses the budget the PM
+/// must keep one block per VM, which gives CVR 0 like provisioning for
+/// peak).  rho >= 1 would make reservation pointless and is rejected.
+MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
+                     StationaryMethod method = StationaryMethod::kGaussian);
+
+/// Convenience: just K.
+std::size_t map_cal_blocks(std::size_t k, const OnOffParams& params,
+                           double rho,
+                           StationaryMethod method = StationaryMethod::kGaussian);
+
+/// The mapping(k) table of Algorithm 2 (lines 1-6): mapping(k) blocks are
+/// needed when k VMs share a PM.  Index 0 is 0 by definition.
+class MapCalTable {
+ public:
+  /// Precomputes mapping(k) for k in [1, max_vms_per_pm].
+  MapCalTable(std::size_t max_vms_per_pm, const OnOffParams& params,
+              double rho,
+              StationaryMethod method = StationaryMethod::kGaussian);
+
+  /// mapping(k); requires k <= max_vms_per_pm().
+  [[nodiscard]] std::size_t blocks(std::size_t k) const;
+
+  /// Analytic CVR bound achieved at k VMs (Eq. 16).
+  [[nodiscard]] double cvr_bound(std::size_t k) const;
+
+  [[nodiscard]] std::size_t max_vms_per_pm() const {
+    return blocks_.size() - 1;
+  }
+  [[nodiscard]] const OnOffParams& params() const { return params_; }
+  [[nodiscard]] double rho() const { return rho_; }
+
+ private:
+  OnOffParams params_;
+  double rho_;
+  std::vector<std::size_t> blocks_;
+  std::vector<double> cvr_bounds_;
+};
+
+}  // namespace burstq

@@ -1,0 +1,67 @@
+#include "queuing/quantile_reservation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+void QuantileReservationOptions::validate() const {
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  BURSTQ_REQUIRE(grid_step > 0.0, "grid step must be positive");
+}
+
+std::vector<double> extra_demand_distribution(std::span<const double> re,
+                                              std::span<const double> q,
+                                              double grid_step) {
+  BURSTQ_REQUIRE(re.size() == q.size(), "one q per Re required");
+  BURSTQ_REQUIRE(grid_step > 0.0, "grid step must be positive");
+
+  // Each VM's spike size in grid units, rounded UP (soundness: the
+  // modeled spike is never smaller than the real one).
+  std::vector<std::size_t> units;
+  units.reserve(re.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    BURSTQ_REQUIRE(re[i] >= 0.0, "spike sizes must be non-negative");
+    BURSTQ_REQUIRE(q[i] >= 0.0 && q[i] <= 1.0, "q must lie in [0, 1]");
+    const auto u =
+        static_cast<std::size_t>(std::ceil(re[i] / grid_step - 1e-12));
+    units.push_back(u);
+    total += u;
+  }
+
+  // Convolution DP, identical in spirit to the Poisson-binomial pmf but
+  // with per-VM jump sizes.
+  std::vector<double> pmf(total + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t reach = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const std::size_t u = units[i];
+    const double qi = q[i];
+    if (u == 0 || qi == 0.0) continue;  // contributes nothing
+    reach += u;
+    for (std::size_t g = reach + 1; g-- > u;)
+      pmf[g] = pmf[g] * (1.0 - qi) + pmf[g - u] * qi;
+    for (std::size_t g = u; g-- > 0;) pmf[g] *= 1.0 - qi;
+  }
+  return pmf;
+}
+
+double exact_quantile_reservation(std::span<const double> re,
+                                  std::span<const double> q,
+                                  const QuantileReservationOptions& options) {
+  options.validate();
+  if (re.empty()) return 0.0;
+  const auto pmf = extra_demand_distribution(re, q, options.grid_step);
+  double cdf = 0.0;
+  for (std::size_t g = 0; g < pmf.size(); ++g) {
+    cdf += pmf[g];
+    if (cdf >= 1.0 - options.rho - kCdfTieEpsilon)
+      return static_cast<double>(g) * options.grid_step;
+  }
+  return static_cast<double>(pmf.size() - 1) * options.grid_step;
+}
+
+}  // namespace burstq

@@ -1,0 +1,256 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+
+void SimConfig::validate() const {
+  BURSTQ_REQUIRE(slots > 0, "simulation needs at least one slot");
+  BURSTQ_REQUIRE(sigma_seconds > 0.0, "slot length must be positive");
+  BURSTQ_REQUIRE(users_per_unit > 0.0, "users_per_unit must be positive");
+  policy.validate();
+  power.validate();
+}
+
+ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
+                                   const Placement& initial,
+                                   SimConfig config, Rng rng)
+    : inst_(&inst),
+      placement_(initial),
+      config_(config),
+      rng_(rng),
+      ensemble_(inst, rng_.split(), config.start_stationary),
+      demand_cache_(inst.n_vms(), 0.0) {
+  inst.validate();
+  config_.validate();
+  BURSTQ_REQUIRE(initial.vms_assigned() == inst.n_vms(),
+                 "initial placement must assign every VM");
+  BURSTQ_REQUIRE(initial.n_pms() == inst.n_pms(),
+                 "placement PM count must match the instance");
+
+  if (config_.policy.target == TargetSelection::kReservationAware) {
+    // The burstiness-aware scheduler judges targets by Eq. (17); size the
+    // table so even baseline placements that overshoot d can be checked.
+    std::size_t max_k = config_.policy.max_vms_per_pm;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j)
+      max_k = std::max(max_k, initial.count_on(PmId{j}) + 1);
+    reservation_table_.emplace(max_k, round_uniform_params(inst.vms),
+                               config_.policy.rho);
+  }
+
+  if (config_.webserver_workload) {
+    web_.reserve(inst.n_vms());
+    for (const auto& v : inst.vms) {
+      WebServerParams wp;
+      wp.sigma_seconds = config_.sigma_seconds;
+      wp.users_per_unit = config_.users_per_unit;
+      const double nu = std::max(1.0, std::round(v.rb * wp.users_per_unit));
+      const double pu = std::max(nu, std::round(v.rp() * wp.users_per_unit));
+      wp.normal_users = static_cast<std::size_t>(nu);
+      wp.peak_users = static_cast<std::size_t>(pu);
+      web_.emplace_back(wp);
+    }
+  }
+}
+
+void ClusterSimulator::compute_loads(std::vector<Resource>& load,
+                                     std::vector<Resource>& demand) const {
+  std::fill(load.begin(), load.end(), 0.0);
+  for (std::size_t j = 0; j < inst_->n_pms(); ++j)
+    for (std::size_t i : placement_.vms_on(PmId{j})) load[j] += demand[i];
+  // Mid-migration VMs still burden their source (live-migration copy
+  // traffic and the "noticeable CPU usage on the host PM" the paper cites).
+  for (const auto& mig : in_flight_) load[mig.source_pm] += demand[mig.vm];
+}
+
+SimReport ClusterSimulator::run() {
+  BURSTQ_REQUIRE(!ran_, "ClusterSimulator::run() may only be called once");
+  ran_ = true;
+
+  const std::size_t m = inst_->n_pms();
+  CvrTracker tracker(m, config_.policy.cvr_window);
+  EnergyMeter meter(config_.power, config_.sigma_seconds);
+  SimReport report;
+  report.pms_used_timeline.reserve(config_.slots);
+  report.migrations_per_slot.reserve(config_.slots);
+
+  std::vector<Resource> load(m, 0.0);
+  std::vector<VmState> states(inst_->n_vms());
+  std::vector<Resource> capacity(m);
+  for (std::size_t j = 0; j < m; ++j) capacity[j] = inst_->pms[j].capacity;
+
+  for (std::size_t t = 0; t < config_.slots; ++t) {
+    if (t > 0) ensemble_.step();
+
+    // 1-2. demands and per-PM loads.
+    for (std::size_t i = 0; i < inst_->n_vms(); ++i) {
+      states[i] = ensemble_.state(i);
+      if (!config_.webserver_workload) {
+        demand_cache_[i] = inst_->vms[i].demand(states[i]);
+      } else if (config_.webserver_exact) {
+        demand_cache_[i] = web_[i].requests_to_demand(
+            web_[i].sample_requests_exact(states[i], rng_));
+      } else {
+        demand_cache_[i] = web_[i].sample_demand(states[i], rng_);
+      }
+    }
+    compute_loads(load, demand_cache_);
+
+    // 3. violation bookkeeping (only PMs that actually carry load state).
+    for (std::size_t j = 0; j < m; ++j) {
+      if (placement_.count_on(PmId{j}) == 0) continue;
+      const bool violated =
+          load[j] > capacity[j] * (1.0 + kCapacityEpsilon);
+      tracker.record(PmId{j}, violated);
+    }
+
+    // 4. dynamic scheduling: one eviction per PM per slot when the recent
+    // CVR breaches rho.
+    std::size_t migrations_this_slot = 0;
+    if (config_.enable_migration) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const PmId source{j};
+        if (placement_.count_on(source) == 0) continue;
+        if (tracker.windowed_cvr(source) <= config_.policy.rho) continue;
+
+        const auto victim = select_victim_policy(
+            config_.policy.victim, *inst_, placement_.vms_on(source),
+            demand_cache_, states);
+        BURSTQ_ASSERT(victim.has_value(), "non-empty PM had no victim");
+        const Resource vdemand = demand_cache_[victim->value];
+
+        std::optional<PmId> target;
+        if (config_.policy.target == TargetSelection::kReservationAware) {
+          for (std::size_t p = 0; p < m; ++p) {
+            const PmId cand{p};
+            if (cand == source) continue;
+            if (fits_with_reservation(*inst_, placement_, *victim, cand,
+                                      *reservation_table_)) {
+              target = cand;
+              break;
+            }
+          }
+        } else {
+          std::vector<std::size_t> counts(m);
+          for (std::size_t p = 0; p < m; ++p)
+            counts[p] = placement_.count_on(PmId{p});
+          target = select_target(source, vdemand, load, capacity, counts,
+                                 config_.policy.max_vms_per_pm);
+        }
+
+        if (target) {
+          placement_.unassign(*victim);
+          placement_.assign(*victim, *target);
+          load[target->value] += vdemand;
+          if (config_.policy.cost_slots > 0) {
+            // Source keeps carrying the copy for cost_slots more slots.
+            in_flight_.push_back(
+                InFlight{victim->value, j, config_.policy.cost_slots});
+          } else {
+            load[j] -= vdemand;
+          }
+          report.events.push_back(MigrationEvent{
+              static_cast<TimeSlot>(t), *victim, source, *target});
+          ++migrations_this_slot;
+          tracker.reset_window(source);
+          tracker.reset_window(*target);
+        } else {
+          report.events.push_back(MigrationEvent{
+              static_cast<TimeSlot>(t), *victim, source, PmId{}});
+          ++report.failed_migrations;
+          // Cooldown: without a reset the trigger would re-fire every slot
+          // even though the cluster has no room anywhere.
+          tracker.reset_window(source);
+        }
+      }
+    }
+
+    // 5. usage + energy.
+    std::size_t used = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool active =
+          placement_.count_on(PmId{j}) > 0 ||
+          std::any_of(in_flight_.begin(), in_flight_.end(),
+                      [j](const InFlight& f) { return f.source_pm == j; });
+      if (!active) continue;
+      ++used;
+      meter.add_pm_slot(load[j] / capacity[j]);
+    }
+    report.pms_used_timeline.push_back(used);
+    report.migrations_per_slot.push_back(migrations_this_slot);
+    report.pms_used_max = std::max(report.pms_used_max, used);
+    report.total_migrations += migrations_this_slot;
+
+    // 6. migration copies complete.
+    for (auto& f : in_flight_) --f.remaining;
+    std::erase_if(in_flight_, [](const InFlight& f) { return f.remaining == 0; });
+  }
+
+  report.pms_used_end = report.pms_used_timeline.back();
+  report.pm_cvr.resize(m);
+  for (std::size_t j = 0; j < m; ++j) report.pm_cvr[j] = tracker.cvr(PmId{j});
+  report.mean_cvr = tracker.mean_cvr();
+  report.max_cvr = tracker.max_cvr();
+  report.energy_wh = meter.watt_hours();
+  return report;
+}
+
+std::vector<std::vector<bool>> record_violation_trace(
+    const ProblemInstance& inst, const Placement& placement,
+    std::size_t slots, Rng rng, bool start_stationary) {
+  BURSTQ_REQUIRE(slots > 0, "needs at least one slot");
+  BURSTQ_REQUIRE(placement.vms_assigned() == inst.n_vms(),
+                 "placement must assign every VM");
+
+  WorkloadEnsemble ensemble(inst, rng, start_stationary);
+  std::vector<std::vector<bool>> violated(
+      inst.n_pms(), std::vector<bool>(slots, false));
+
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (t > 0) ensemble.step();
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (placement.count_on(pm) == 0) continue;
+      Resource loadj = 0.0;
+      for (std::size_t i : placement.vms_on(pm)) loadj += ensemble.demand(i);
+      violated[j][t] =
+          loadj > inst.pms[j].capacity * (1.0 + kCapacityEpsilon);
+    }
+  }
+  return violated;
+}
+
+std::vector<double> simulate_cvr(const ProblemInstance& inst,
+                                 const Placement& placement,
+                                 std::size_t slots, Rng rng,
+                                 bool start_stationary) {
+  BURSTQ_REQUIRE(slots > 0, "simulate_cvr needs at least one slot");
+  BURSTQ_REQUIRE(placement.vms_assigned() == inst.n_vms(),
+                 "placement must assign every VM");
+
+  WorkloadEnsemble ensemble(inst, rng, start_stationary);
+  std::vector<std::size_t> violations(inst.n_pms(), 0);
+
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (t > 0) ensemble.step();
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (placement.count_on(pm) == 0) continue;
+      Resource loadj = 0.0;
+      for (std::size_t i : placement.vms_on(pm)) loadj += ensemble.demand(i);
+      if (loadj > inst.pms[j].capacity * (1.0 + kCapacityEpsilon))
+        ++violations[j];
+    }
+  }
+
+  std::vector<double> cvr(inst.n_pms(), 0.0);
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    cvr[j] = static_cast<double>(violations[j]) / static_cast<double>(slots);
+  return cvr;
+}
+
+}  // namespace burstq

@@ -1,0 +1,122 @@
+// The dynamic cluster simulator — burstq's substitute for the paper's Xen
+// Cloud Platform testbed (Section V-D).
+//
+// Slotted time (slot length sigma = 30s in the paper).  Each slot:
+//   1. every VM's ON-OFF chain advances; demand is either the rectangular
+//      Rb/Rp level or a noisy web-server request count around it
+//   2. per-PM aggregate load is computed (VMs mid-migration load both
+//      machines, modelling live-migration copy overhead)
+//   3. capacity violations are recorded per PM (CVR bookkeeping)
+//   4. the dynamic scheduler reacts: a PM whose recent CVR exceeds rho
+//      evicts one VM to the first PM that *currently looks* able to take
+//      it (observed load, not reservations — the source of the paper's
+//      "idle deception")
+//   5. active-PM count and energy are accumulated
+//
+// The simulator never consults the placement strategy that produced the
+// initial mapping: exactly as on the paper's testbed, strategies differ
+// only in where VMs start and how much headroom that leaves.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/placement.h"
+#include "placement/spec.h"
+#include "sim/energy.h"
+#include "sim/metrics.h"
+#include "sim/migration.h"
+#include "sim/webserver.h"
+#include "sim/workload_gen.h"
+
+namespace burstq {
+
+struct SimConfig {
+  std::size_t slots{100};         ///< evaluation period (paper: 100 sigma)
+  double sigma_seconds{30.0};     ///< slot length
+  MigrationPolicy policy{};       ///< trigger threshold, window, cost
+  PowerModel power{};             ///< for energy reporting
+  bool webserver_workload{false}; ///< noisy request-driven demand (Sec V-D)
+  bool webserver_exact{false};    ///< web mode: exact per-user renewal
+                                  ///< simulation instead of the renewal-CLT
+                                  ///< approximation (slower; use for small
+                                  ///< fleets or validation runs)
+  double users_per_unit{100.0};   ///< web mode: users per resource unit
+  bool start_stationary{true};    ///< draw initial states from steady state
+  bool enable_migration{true};    ///< false = pure CVR observation (Fig 6)
+
+  void validate() const;
+};
+
+struct SimReport {
+  std::size_t total_migrations{0};   ///< successful migrations
+  std::size_t failed_migrations{0};  ///< trigger fired but no target PM
+  std::size_t pms_used_end{0};       ///< active PMs at the last slot
+  std::size_t pms_used_max{0};
+  std::vector<std::size_t> pms_used_timeline;    ///< per slot
+  std::vector<std::size_t> migrations_per_slot;  ///< per slot (successful)
+  std::vector<MigrationEvent> events;            ///< Figure 10 log
+  std::vector<double> pm_cvr;  ///< cumulative CVR per PM (Eq. 4)
+  double mean_cvr{0.0};        ///< over PMs that hosted VMs at some point
+  double max_cvr{0.0};
+  double energy_wh{0.0};
+};
+
+class ClusterSimulator {
+ public:
+  /// Simulates `inst` starting from `initial` placement.  The placement is
+  /// copied; migrations mutate the copy.  Unplaced VMs are not allowed —
+  /// pass a complete placement.
+  ClusterSimulator(const ProblemInstance& inst, const Placement& initial,
+                   SimConfig config, Rng rng);
+
+  /// Runs the configured number of slots and returns the report.
+  /// Callable once.
+  SimReport run();
+
+  /// Current (possibly migrated) placement; valid after run().
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+
+ private:
+  [[nodiscard]] Resource vm_demand(std::size_t i) const;
+  void compute_loads(std::vector<Resource>& load,
+                     std::vector<Resource>& demand) const;
+
+  const ProblemInstance* inst_;
+  Placement placement_;
+  SimConfig config_;
+  Rng rng_;
+  WorkloadEnsemble ensemble_;
+  std::vector<WebServerWorkload> web_;  ///< per VM, only in web mode
+  std::vector<Resource> demand_cache_;  ///< demand of each VM this slot
+
+  struct InFlight {
+    std::size_t vm;
+    std::size_t source_pm;
+    std::size_t remaining;
+  };
+  std::vector<InFlight> in_flight_;
+  /// Present only under TargetSelection::kReservationAware.
+  std::optional<MapCalTable> reservation_table_;
+  bool ran_{false};
+};
+
+/// Convenience for the Figure 6 experiment: per-PM cumulative CVR of a
+/// fixed placement (no migration) after `slots` steps of rectangular
+/// ON-OFF demand.
+std::vector<double> simulate_cvr(const ProblemInstance& inst,
+                                 const Placement& placement,
+                                 std::size_t slots, Rng rng,
+                                 bool start_stationary = true);
+
+/// Like simulate_cvr but returns the full per-PM violation record
+/// (result[pm][slot]), from which both CVR and violation-episode
+/// statistics (sim/metrics.h) derive.  Same RNG consumption pattern as
+/// simulate_cvr: identical seeds give identical violation sets.
+std::vector<std::vector<bool>> record_violation_trace(
+    const ProblemInstance& inst, const Placement& placement,
+    std::size_t slots, Rng rng, bool start_stationary = true);
+
+}  // namespace burstq

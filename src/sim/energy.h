@@ -1,0 +1,60 @@
+// Energy accounting.
+//
+// The paper equates "number of PMs used at the end of the evaluation
+// period" with overall energy consumption (web servers run indefinitely,
+// so the steady-state PM count dominates the integral).  We additionally
+// integrate a standard linear server power model so the energy claim can
+// be reported in physical units.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace burstq {
+
+/// Linear power model: P(u) = idle + (busy - idle) * u for utilization
+/// u in [0, 1]; an unused (off) PM draws nothing.
+struct PowerModel {
+  double idle_watts{150.0};
+  double busy_watts{250.0};
+
+  void validate() const {
+    BURSTQ_REQUIRE(idle_watts >= 0.0, "idle power must be non-negative");
+    BURSTQ_REQUIRE(busy_watts >= idle_watts,
+                   "busy power must be >= idle power");
+  }
+
+  /// Instantaneous draw at utilization u (clamped to [0, 1]).
+  [[nodiscard]] double watts(double utilization) const {
+    const double u =
+        utilization < 0.0 ? 0.0 : (utilization > 1.0 ? 1.0 : utilization);
+    return idle_watts + (busy_watts - idle_watts) * u;
+  }
+};
+
+/// Accumulates energy over slots.
+class EnergyMeter {
+ public:
+  EnergyMeter(PowerModel model, double slot_seconds)
+      : model_(model), slot_seconds_(slot_seconds) {
+    model_.validate();
+    BURSTQ_REQUIRE(slot_seconds > 0.0, "slot length must be positive");
+  }
+
+  /// Adds one active PM-slot at the given utilization.
+  void add_pm_slot(double utilization) {
+    joules_ += model_.watts(utilization) * slot_seconds_;
+  }
+
+  [[nodiscard]] double joules() const { return joules_; }
+  [[nodiscard]] double watt_hours() const { return joules_ / 3600.0; }
+
+ private:
+  PowerModel model_;
+  double slot_seconds_;
+  double joules_{0.0};
+};
+
+}  // namespace burstq

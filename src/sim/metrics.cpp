@@ -1,0 +1,98 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace burstq {
+
+CvrTracker::CvrTracker(std::size_t n_pms, std::size_t window)
+    : total_(n_pms), window_size_(window) {
+  BURSTQ_REQUIRE(n_pms > 0, "CvrTracker needs at least one PM");
+  BURSTQ_REQUIRE(window > 0, "CVR window must be positive");
+}
+
+void CvrTracker::record(PmId pm, bool violated) {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  PerPm& s = total_[pm.value];
+  ++s.observed;
+  if (violated) ++s.violated;
+  s.window.push_back(violated);
+  if (violated) ++s.window_violations;
+  if (s.window.size() > window_size_) {
+    if (s.window.front()) --s.window_violations;
+    s.window.pop_front();
+  }
+}
+
+double CvrTracker::cvr(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  const PerPm& s = total_[pm.value];
+  if (s.observed == 0) return 0.0;
+  return static_cast<double>(s.violated) / static_cast<double>(s.observed);
+}
+
+double CvrTracker::windowed_cvr(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  const PerPm& s = total_[pm.value];
+  if (s.window.empty()) return 0.0;
+  return static_cast<double>(s.window_violations) /
+         static_cast<double>(s.window.size());
+}
+
+void CvrTracker::reset_window(PmId pm) {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  total_[pm.value].window.clear();
+  total_[pm.value].window_violations = 0;
+}
+
+std::size_t CvrTracker::observed_slots(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  return total_[pm.value].observed;
+}
+
+std::size_t CvrTracker::violations(PmId pm) const {
+  BURSTQ_REQUIRE(pm.value < total_.size(), "PM index out of range");
+  return total_[pm.value].violated;
+}
+
+EpisodeStats violation_episodes(const std::vector<bool>& violated) {
+  EpisodeStats s;
+  std::size_t run = 0;
+  for (bool v : violated) {
+    if (v) {
+      ++run;
+      ++s.violated_slots;
+      s.longest = std::max(s.longest, run);
+    } else {
+      if (run > 0) ++s.episodes;
+      run = 0;
+    }
+  }
+  if (run > 0) ++s.episodes;
+  s.mean_length = s.episodes == 0
+                      ? 0.0
+                      : static_cast<double>(s.violated_slots) /
+                            static_cast<double>(s.episodes);
+  return s;
+}
+
+double CvrTracker::mean_cvr() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < total_.size(); ++j) {
+    if (total_[j].observed == 0) continue;
+    sum += cvr(PmId{j});
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double CvrTracker::max_cvr() const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < total_.size(); ++j)
+    m = std::max(m, cvr(PmId{j}));
+  return m;
+}
+
+}  // namespace burstq

@@ -1,0 +1,81 @@
+// Runtime metrics collected by the simulator.
+//
+// CvrTracker measures the paper's capacity violation ratio per PM (Eq. 4)
+// both cumulatively and over a sliding window (the dynamic scheduler's
+// migration trigger works on recent CVR, tolerating old history).
+// MigrationEvent records the Figure 10 time-ordered migration log.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace burstq {
+
+/// Per-PM violation bookkeeping.
+class CvrTracker {
+ public:
+  /// Tracks `n_pms` machines with a sliding window of `window` slots.
+  CvrTracker(std::size_t n_pms, std::size_t window);
+
+  /// Records slot outcomes; call once per slot per PM.
+  void record(PmId pm, bool violated);
+
+  /// Cumulative CVR (Eq. 4): violations / observed slots; 0 if unobserved.
+  [[nodiscard]] double cvr(PmId pm) const;
+
+  /// CVR over the last `window` slots (or fewer early on).
+  [[nodiscard]] double windowed_cvr(PmId pm) const;
+
+  /// Clears the sliding window of one PM (after a migration changes its
+  /// hosted set, old violations no longer describe the new configuration).
+  void reset_window(PmId pm);
+
+  [[nodiscard]] std::size_t observed_slots(PmId pm) const;
+  [[nodiscard]] std::size_t violations(PmId pm) const;
+  [[nodiscard]] std::size_t n_pms() const { return total_.size(); }
+
+  /// Mean cumulative CVR over PMs that were observed at least once.
+  [[nodiscard]] double mean_cvr() const;
+  /// Largest cumulative CVR over all PMs.
+  [[nodiscard]] double max_cvr() const;
+
+ private:
+  struct PerPm {
+    std::size_t observed{0};
+    std::size_t violated{0};
+    std::deque<bool> window;
+    std::size_t window_violations{0};
+  };
+  std::vector<PerPm> total_;
+  std::size_t window_size_;
+};
+
+/// Violation *episode* statistics: lengths of maximal runs of consecutive
+/// violated slots.  Two placements with identical CVR can differ sharply
+/// here — a duration-blind packing (e.g. SBP) concentrates its violations
+/// into long episodes while the queuing reservation spreads them thin.
+struct EpisodeStats {
+  std::size_t episodes{0};       ///< number of maximal violation runs
+  std::size_t violated_slots{0};
+  std::size_t longest{0};        ///< longest run, in slots
+  double mean_length{0.0};       ///< violated_slots / episodes (0 if none)
+};
+
+/// Computes episode statistics from a per-slot violation record.
+EpisodeStats violation_episodes(const std::vector<bool>& violated);
+
+/// One live-migration event (Figure 10's unit of observation).
+struct MigrationEvent {
+  TimeSlot slot{0};
+  VmId vm{};
+  PmId from{};
+  PmId to{};  ///< invalid when no target PM was found (failed migration)
+
+  [[nodiscard]] bool failed() const { return !to.valid(); }
+};
+
+}  // namespace burstq

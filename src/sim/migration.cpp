@@ -1,0 +1,78 @@
+#include "sim/migration.h"
+
+#include "common/error.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+void MigrationPolicy::validate() const {
+  BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+  BURSTQ_REQUIRE(cvr_window > 0, "CVR window must be positive");
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
+}
+
+std::optional<VmId> select_victim(std::span<const std::size_t> vms_on_pm,
+                                  std::span<const Resource> demand,
+                                  std::span<const VmState> state) {
+  std::optional<VmId> best_on;
+  Resource best_on_demand = -1.0;
+  std::optional<VmId> best_any;
+  Resource best_any_demand = -1.0;
+
+  for (std::size_t i : vms_on_pm) {
+    const Resource d = demand[i];
+    if (state[i] == VmState::kOn && d > best_on_demand) {
+      best_on_demand = d;
+      best_on = VmId{i};
+    }
+    if (d > best_any_demand) {
+      best_any_demand = d;
+      best_any = VmId{i};
+    }
+  }
+  return best_on ? best_on : best_any;
+}
+
+std::optional<VmId> select_victim_policy(
+    VictimSelection policy, const ProblemInstance& inst,
+    std::span<const std::size_t> vms_on_pm, std::span<const Resource> demand,
+    std::span<const VmState> state) {
+  if (policy == VictimSelection::kLargestOnDemand)
+    return select_victim(vms_on_pm, demand, state);
+
+  std::optional<VmId> best;
+  double best_key = 0.0;
+  for (std::size_t i : vms_on_pm) {
+    // kSmallestRb minimizes rb (less memory to copy); kLargestRe evicts
+    // the biggest potential spike.
+    const double key = policy == VictimSelection::kSmallestRb
+                           ? -inst.vms[i].rb
+                           : inst.vms[i].re;
+    if (!best || key > best_key) {
+      best_key = key;
+      best = VmId{i};
+    }
+  }
+  return best;
+}
+
+std::optional<PmId> select_target(PmId source, Resource victim_demand,
+                                  std::span<const Resource> pm_load,
+                                  std::span<const Resource> pm_capacity,
+                                  std::span<const std::size_t> pm_vm_count,
+                                  std::size_t max_vms) {
+  BURSTQ_REQUIRE(pm_load.size() == pm_capacity.size() &&
+                     pm_load.size() == pm_vm_count.size(),
+                 "per-PM spans must agree in length");
+  for (std::size_t j = 0; j < pm_load.size(); ++j) {
+    const PmId pm{j};
+    if (pm == source) continue;
+    if (pm_vm_count[j] + 1 > max_vms) continue;
+    if (pm_load[j] + victim_demand <=
+        pm_capacity[j] * (1.0 + kCapacityEpsilon))
+      return pm;
+  }
+  return std::nullopt;
+}
+
+}  // namespace burstq

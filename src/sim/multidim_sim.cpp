@@ -1,0 +1,62 @@
+#include "sim/multidim_sim.h"
+
+#include "common/error.h"
+#include "markov/onoff.h"
+#include "placement/placement.h"
+
+namespace burstq {
+
+std::vector<double> simulate_cvr_multidim(
+    const MultiProblemInstance& inst, const std::vector<std::size_t>& pm_of,
+    std::size_t slots, Rng rng, bool start_stationary) {
+  inst.validate();
+  BURSTQ_REQUIRE(slots > 0, "needs at least one slot");
+  BURSTQ_REQUIRE(pm_of.size() == inst.vms.size(),
+                 "pm_of must cover every VM");
+  for (std::size_t pm : pm_of)
+    BURSTQ_REQUIRE(pm < inst.pms.size(),
+                   "placement incomplete or PM index out of range");
+
+  const std::size_t dims = inst.dims();
+  std::vector<OnOffChain> chains;
+  chains.reserve(inst.vms.size());
+  for (const auto& v : inst.vms) {
+    OnOffChain c(v.onoff);
+    if (start_stationary) c.reset_stationary(rng);
+    chains.push_back(c);
+  }
+
+  std::vector<std::size_t> violations(inst.pms.size(), 0);
+  std::vector<std::array<Resource, kMaxDims>> load(inst.pms.size());
+
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (t > 0)
+      for (auto& c : chains) c.step(rng);
+
+    for (auto& l : load) l.fill(0.0);
+    for (std::size_t i = 0; i < inst.vms.size(); ++i) {
+      const auto& v = inst.vms[i];
+      const bool on = chains[i].on();
+      for (std::size_t d = 0; d < dims; ++d)
+        load[pm_of[i]][d] += v.rb[d] + (on ? v.re[d] : 0.0);
+    }
+
+    for (std::size_t j = 0; j < inst.pms.size(); ++j) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        if (load[j][d] >
+            inst.pms[j].capacity[d] * (1.0 + kCapacityEpsilon)) {
+          ++violations[j];
+          break;  // one violated dimension flags the slot
+        }
+      }
+    }
+  }
+
+  std::vector<double> cvr(inst.pms.size(), 0.0);
+  for (std::size_t j = 0; j < inst.pms.size(); ++j)
+    cvr[j] =
+        static_cast<double>(violations[j]) / static_cast<double>(slots);
+  return cvr;
+}
+
+}  // namespace burstq

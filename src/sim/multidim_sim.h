@@ -1,0 +1,24 @@
+// CVR simulation for the multi-dimensional extension (Section IV-E).
+//
+// Mirrors simulate_cvr for MultiProblemInstance: a PM-slot counts as
+// violated when the aggregate demand exceeds capacity in ANY dimension
+// ("performance constraints should be satisfied on all dimensions").
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/multidim.h"
+
+namespace burstq {
+
+/// Per-PM cumulative CVR of a multi-dimensional placement after `slots`
+/// steps of rectangular ON-OFF demand.  `pm_of` follows
+/// MultiPlacementResult::pm_of (npos entries are rejected — the placement
+/// must be complete).
+std::vector<double> simulate_cvr_multidim(
+    const MultiProblemInstance& inst, const std::vector<std::size_t>& pm_of,
+    std::size_t slots, Rng rng, bool start_stationary = true);
+
+}  // namespace burstq

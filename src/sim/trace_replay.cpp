@@ -1,0 +1,51 @@
+#include "sim/trace_replay.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace burstq {
+
+TraceReplayReport replay_trace_cvr(const DemandTrace& trace,
+                                   const Placement& placement,
+                                   const std::vector<Resource>& capacity) {
+  BURSTQ_REQUIRE(!trace.empty(), "empty trace");
+  BURSTQ_REQUIRE(placement.vms_assigned() == placement.n_vms(),
+                 "placement must assign every VM");
+  BURSTQ_REQUIRE(trace.front().size() == placement.n_vms(),
+                 "trace VM count must match the placement");
+  BURSTQ_REQUIRE(capacity.size() == placement.n_pms(),
+                 "one capacity per PM required");
+
+  const std::size_t m = placement.n_pms();
+  std::vector<std::size_t> violations(m, 0);
+  std::vector<Resource> load(m, 0.0);
+
+  for (const auto& row : trace) {
+    BURSTQ_REQUIRE(row.size() == placement.n_vms(), "ragged demand trace");
+    std::fill(load.begin(), load.end(), 0.0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      load[placement.pm_of(VmId{i}).value] += row[i];
+    for (std::size_t j = 0; j < m; ++j)
+      if (load[j] > capacity[j] * (1.0 + kCapacityEpsilon)) ++violations[j];
+  }
+
+  TraceReplayReport report;
+  report.slots = trace.size();
+  report.pm_cvr.resize(m);
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    report.pm_cvr[j] = static_cast<double>(violations[j]) /
+                       static_cast<double>(trace.size());
+    report.max_cvr = std::max(report.max_cvr, report.pm_cvr[j]);
+    if (placement.count_on(PmId{j}) > 0) {
+      sum += report.pm_cvr[j];
+      ++used;
+    }
+  }
+  report.mean_cvr = used == 0 ? 0.0 : sum / static_cast<double>(used);
+  return report;
+}
+
+}  // namespace burstq

@@ -1,0 +1,32 @@
+// Trace-driven CVR evaluation: replay a recorded (or imported) demand
+// trace against a placement instead of sampling the ON-OFF model.
+//
+// This is how a fitted model is validated against reality (see
+// examples/trace_analysis): the placement was computed from estimated
+// parameters, the replay uses the raw observations.
+
+#pragma once
+
+#include <vector>
+
+#include "placement/placement.h"
+#include "sim/workload_gen.h"
+
+namespace burstq {
+
+struct TraceReplayReport {
+  std::vector<double> pm_cvr;  ///< per PM, over the trace length
+  double mean_cvr{0.0};        ///< over PMs hosting at least one VM
+  double max_cvr{0.0};
+  std::size_t slots{0};
+};
+
+/// Replays trace[t][i] (demand of VM i at slot t) against `placement`
+/// with the given per-PM capacities.  Requires a complete placement, a
+/// non-empty non-ragged trace matching the VM count, and one capacity per
+/// PM.
+TraceReplayReport replay_trace_cvr(const DemandTrace& trace,
+                                   const Placement& placement,
+                                   const std::vector<Resource>& capacity);
+
+}  // namespace burstq

@@ -1,0 +1,103 @@
+#include "sim/webserver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace burstq {
+
+ThinkTimeMoments think_time_moments(double mean, double floor) {
+  BURSTQ_REQUIRE(mean > 0.0, "think-time mean must be positive");
+  BURSTQ_REQUIRE(floor >= 0.0, "think-time floor must be non-negative");
+  const double a = floor;
+  const double e = std::exp(-a / mean);
+  ThinkTimeMoments m;
+  // E[max(a,X)] = a + E[(X-a)^+] = a + mean * e   (memorylessness)
+  m.mean = a + mean * e;
+  // E[max(a,X)^2] = a^2 P[X<=a] + E[X^2; X>a]
+  //              = a^2 (1-e) + e * (a^2 + 2*mean*a + 2*mean^2)
+  //              = a^2 + 2*mean*(a + mean)*e
+  const double second = a * a + 2.0 * mean * (a + mean) * e;
+  m.variance = second - m.mean * m.mean;
+  BURSTQ_ASSERT(m.variance >= 0.0, "negative think-time variance");
+  return m;
+}
+
+void WebServerParams::validate() const {
+  BURSTQ_REQUIRE(normal_users >= 1, "need at least one normal user");
+  BURSTQ_REQUIRE(peak_users >= normal_users,
+                 "peak users must be >= normal users");
+  BURSTQ_REQUIRE(sigma_seconds > 0.0, "slot length must be positive");
+  BURSTQ_REQUIRE(think_mean > 0.0, "think-time mean must be positive");
+  BURSTQ_REQUIRE(think_floor >= 0.0 && think_floor < 10.0 * think_mean,
+                 "think-time floor out of sane range");
+  BURSTQ_REQUIRE(users_per_unit > 0.0, "users_per_unit must be positive");
+}
+
+WebServerWorkload::WebServerWorkload(WebServerParams params)
+    : params_(params),
+      moments_(think_time_moments(params.think_mean, params.think_floor)),
+      unit_requests_(params.users_per_unit * params.sigma_seconds /
+                     moments_.mean) {
+  params_.validate();
+}
+
+double WebServerWorkload::expected_requests(VmState state) const {
+  return static_cast<double>(users(state)) * params_.sigma_seconds /
+         moments_.mean;
+}
+
+double WebServerWorkload::sample_requests_exact(VmState state,
+                                                Rng& rng) const {
+  const std::size_t n = users(state);
+  const double a = params_.think_floor;
+  const double m = params_.think_mean;
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    // Count renewals of X = max(floor, Exp(mean)) within one slot.  For a
+    // *stationary* renewal process the time to the first arrival follows
+    // the equilibrium (forward-recurrence) distribution with density
+    // S(x)/mu — sampled here by inverting its CDF:
+    //   x <= a:  CDF = x/mu            (S = 1)
+    //   x >  a:  CDF = (a + m(1-e^{-(x-a)/m}))/mu
+    // A uniform phase start instead would over-count by 1/2 request per
+    // user per slot (renewal-theory inspection paradox).  Inverting the
+    // x > a branch: t = a - m ln(1 - (y - a)/(mu - a)), since
+    // mu - a = m e^{-a/m} is the integral of the survival tail.
+    const double y = rng.next_double() * moments_.mean;
+    double t =
+        y <= a ? y : a - m * std::log1p(-(y - a) / (moments_.mean - a));
+    while (t < params_.sigma_seconds) {
+      ++total;
+      t += std::max(a, rng.exponential(m));
+    }
+  }
+  return static_cast<double>(total);
+}
+
+double WebServerWorkload::sample_requests_gaussian(VmState state,
+                                                   Rng& rng) const {
+  const auto n = static_cast<double>(users(state));
+  const double t = params_.sigma_seconds;
+  const double mu = moments_.mean;
+  // Renewal CLT: count per user ~ Normal(t/mu, t*sigma^2/mu^3).
+  const double mean = n * t / mu;
+  const double var = n * t * moments_.variance / (mu * mu * mu);
+  // Box-Muller.
+  const double u1 = std::max(rng.next_double(), 1e-300);
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::max(0.0, mean + std::sqrt(var) * z);
+}
+
+Resource WebServerWorkload::requests_to_demand(double requests) const {
+  return requests / unit_requests_;
+}
+
+Resource WebServerWorkload::sample_demand(VmState state, Rng& rng) const {
+  return requests_to_demand(sample_requests_gaussian(state, rng));
+}
+
+}  // namespace burstq

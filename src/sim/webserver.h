@@ -1,0 +1,90 @@
+// Web-server request workload (paper Section V-D).
+//
+// "We develop programs in VMs to simulate web servers dealing with
+// computation-intensive user requests.  When a spike occurs, more users
+// than usual are visiting the server.  Users are sending requests to the
+// server periodically, and the period for a user to send request (think
+// time) follows negative exponential distribution with mean=1.  Since in
+// reality the user think time cannot be infinitely small, we set a lower
+// limit=0.1.  The workload is quantified by request number."
+//
+// Each VM therefore serves `normal_users` while OFF and `peak_users`
+// while ON (Table I maps small/medium/large to 400/800/1600 normal users,
+// doubling-ish at peak).  Per slot of sigma seconds, the request count is
+// the sum over users of a renewal process with inter-arrival
+// max(think_floor, Exp(think_mean)).
+//
+// Two generators are provided: an exact per-user renewal simulation (the
+// reference, O(requests) per slot) and a renewal-CLT Gaussian
+// approximation (O(1) per slot, used by the big Figure 9 sweeps).  Tests
+// pin the approximation's mean/variance to the exact generator.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "markov/onoff.h"
+
+namespace burstq {
+
+/// Moments of the truncated think time max(floor, Exp(mean)).
+struct ThinkTimeMoments {
+  double mean{0.0};
+  double variance{0.0};
+};
+
+/// Closed-form moments: with X ~ Exp(mean), a = floor,
+///   E[max(a,X)]  = a + mean * exp(-a/mean)
+///   E[max(a,X)^2]= a^2 + 2*mean*(a+mean)*exp(-a/mean)
+ThinkTimeMoments think_time_moments(double mean, double floor);
+
+struct WebServerParams {
+  std::size_t normal_users{400};  ///< active users while OFF
+  std::size_t peak_users{800};    ///< active users while ON
+  double sigma_seconds{30.0};     ///< slot length (paper sigma = 30s)
+  double think_mean{1.0};         ///< exponential think-time mean
+  double think_floor{0.1};        ///< lower limit on think time
+  double users_per_unit{100.0};   ///< demand-unit scaling (users -> Resource)
+
+  void validate() const;
+};
+
+/// Per-slot request/demand generator for one web-server VM.
+class WebServerWorkload {
+ public:
+  explicit WebServerWorkload(WebServerParams params);
+
+  /// Expected requests in one slot given the chain state.
+  [[nodiscard]] double expected_requests(VmState state) const;
+
+  /// Draws the request count for a slot: exact per-user renewal counting.
+  [[nodiscard]] double sample_requests_exact(VmState state, Rng& rng) const;
+
+  /// Draws the request count for a slot via the renewal central limit
+  /// theorem: N ~ Normal(t/mu, t*var/mu^3) per user, summed, clamped >= 0.
+  [[nodiscard]] double sample_requests_gaussian(VmState state,
+                                                Rng& rng) const;
+
+  /// Converts a request count to resource units: one unit corresponds to
+  /// the steady request rate of `users_per_unit` users.
+  [[nodiscard]] Resource requests_to_demand(double requests) const;
+
+  /// Convenience: sampled demand for a slot (Gaussian path).
+  [[nodiscard]] Resource sample_demand(VmState state, Rng& rng) const;
+
+  [[nodiscard]] const WebServerParams& params() const { return params_; }
+  [[nodiscard]] const ThinkTimeMoments& moments() const { return moments_; }
+
+ private:
+  [[nodiscard]] std::size_t users(VmState state) const {
+    return state == VmState::kOn ? params_.peak_users : params_.normal_users;
+  }
+
+  WebServerParams params_;
+  ThinkTimeMoments moments_;
+  double unit_requests_;  ///< expected requests/slot of users_per_unit users
+};
+
+}  // namespace burstq

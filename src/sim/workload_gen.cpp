@@ -1,0 +1,57 @@
+#include "sim/workload_gen.h"
+
+#include "common/error.h"
+
+namespace burstq {
+
+WorkloadEnsemble::WorkloadEnsemble(const ProblemInstance& inst, Rng rng,
+                                   bool start_stationary)
+    : inst_(&inst), rng_(rng) {
+  inst.validate();
+  chains_.reserve(inst.n_vms());
+  for (const auto& v : inst.vms) {
+    OnOffChain chain(v.onoff);
+    if (start_stationary) chain.reset_stationary(rng_);
+    chains_.push_back(chain);
+  }
+}
+
+void WorkloadEnsemble::step() {
+  for (auto& c : chains_) c.step(rng_);
+}
+
+Resource WorkloadEnsemble::demand(std::size_t vm) const {
+  BURSTQ_ASSERT(vm < chains_.size(), "VM index out of range");
+  return inst_->vms[vm].demand(chains_[vm].state());
+}
+
+VmState WorkloadEnsemble::state(std::size_t vm) const {
+  BURSTQ_ASSERT(vm < chains_.size(), "VM index out of range");
+  return chains_[vm].state();
+}
+
+std::size_t WorkloadEnsemble::on_count() const {
+  std::size_t on = 0;
+  for (const auto& c : chains_)
+    if (c.on()) ++on;
+  return on;
+}
+
+DemandTrace record_demand_trace(const ProblemInstance& inst,
+                                std::size_t slots, Rng rng,
+                                bool start_stationary) {
+  BURSTQ_REQUIRE(slots > 0, "trace needs at least one slot");
+  WorkloadEnsemble ensemble(inst, rng, start_stationary);
+  DemandTrace trace;
+  trace.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::vector<Resource> row(inst.n_vms());
+    for (std::size_t i = 0; i < inst.n_vms(); ++i)
+      row[i] = ensemble.demand(i);
+    trace.push_back(std::move(row));
+    ensemble.step();
+  }
+  return trace;
+}
+
+}  // namespace burstq

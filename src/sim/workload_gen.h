@@ -1,0 +1,55 @@
+// Demand-trace generation for a consolidation instance.
+//
+// WorkloadEnsemble owns one ON-OFF chain per VM and advances them in lock
+// step, exposing per-VM demand W_i(t) (Eq. 3's load terms).  This is the
+// driver for the no-migration CVR evaluation (Figure 6): "packing VMs and
+// running them simulatively to assess the performance".
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "markov/onoff.h"
+#include "placement/spec.h"
+
+namespace burstq {
+
+class WorkloadEnsemble {
+ public:
+  /// One chain per VM in `inst`.  When `start_stationary`, initial states
+  /// are drawn from each chain's stationary law (skips burn-in); otherwise
+  /// all VMs start OFF like the paper's Pi0.
+  WorkloadEnsemble(const ProblemInstance& inst, Rng rng,
+                   bool start_stationary = true);
+
+  /// Advances every chain one slot.
+  void step();
+
+  /// Demand of VM i at the current slot.
+  [[nodiscard]] Resource demand(std::size_t vm) const;
+
+  /// Current chain state of VM i.
+  [[nodiscard]] VmState state(std::size_t vm) const;
+
+  /// Number of VMs currently ON.
+  [[nodiscard]] std::size_t on_count() const;
+
+  [[nodiscard]] std::size_t n_vms() const { return chains_.size(); }
+
+ private:
+  const ProblemInstance* inst_;
+  Rng rng_;
+  std::vector<OnOffChain> chains_;
+};
+
+/// A recorded per-VM demand trace: trace[t][i] = W_i(t).  Used by tests
+/// that need to replay identical workloads against different placements.
+using DemandTrace = std::vector<std::vector<Resource>>;
+
+/// Records `slots` steps of demands for all VMs of `inst`.
+DemandTrace record_demand_trace(const ProblemInstance& inst,
+                                std::size_t slots, Rng rng,
+                                bool start_stationary = true);
+
+}  // namespace burstq

@@ -1,0 +1,132 @@
+// Tests for the aggregate theta(t) chain: Eq. (12) transition matrix and
+// the three stationary-distribution backends, which must all agree with
+// each other and with long-run simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "markov/aggregate_chain.h"
+#include "prob/binomial.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+namespace {
+
+TEST(TransitionMatrix, ShapeAndStochasticity) {
+  const OnOffParams p{0.01, 0.09};
+  for (std::size_t k : {1u, 2u, 5u, 16u}) {
+    const Matrix m = aggregate_transition_matrix(k, p);
+    EXPECT_EQ(m.rows(), k + 1);
+    EXPECT_EQ(m.cols(), k + 1);
+    EXPECT_TRUE(m.is_row_stochastic(1e-10)) << "k=" << k;
+  }
+}
+
+TEST(TransitionMatrix, KOneMatchesTwoStateChain) {
+  const OnOffParams p{0.3, 0.4};
+  const Matrix m = aggregate_transition_matrix(1, p);
+  EXPECT_NEAR(m(0, 0), 1 - p.p_on, 1e-14);
+  EXPECT_NEAR(m(0, 1), p.p_on, 1e-14);
+  EXPECT_NEAR(m(1, 0), p.p_off, 1e-14);
+  EXPECT_NEAR(m(1, 1), 1 - p.p_off, 1e-14);
+}
+
+TEST(TransitionMatrix, KTwoHandComputedEntry) {
+  // From state 1 (one ON, one OFF) to state 1: either neither switches or
+  // both switch: (1-p_off)(1-p_on) + p_off * p_on.
+  const OnOffParams p{0.2, 0.5};
+  const Matrix m = aggregate_transition_matrix(2, p);
+  EXPECT_NEAR(m(1, 1), (1 - 0.5) * (1 - 0.2) + 0.5 * 0.2, 1e-14);
+  // From state 0 to state 2: both OFF VMs switch ON: p_on^2.
+  EXPECT_NEAR(m(0, 2), 0.2 * 0.2, 1e-14);
+  // From state 2 to state 0: both ON VMs switch OFF: p_off^2.
+  EXPECT_NEAR(m(2, 0), 0.5 * 0.5, 1e-14);
+}
+
+TEST(TransitionMatrix, AllEntriesPositiveForInteriorParams) {
+  // Proposition 1's argument relies on p_ij > 0.
+  const Matrix m = aggregate_transition_matrix(4, OnOffParams{0.1, 0.2});
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      EXPECT_GT(m(i, j), 0.0) << i << "," << j;
+}
+
+// Property sweep: Gaussian == power == closed form across (k, p_on, p_off).
+using ParamTuple = std::tuple<std::size_t, double, double>;
+
+class StationaryAgreement : public ::testing::TestWithParam<ParamTuple> {};
+
+TEST_P(StationaryAgreement, AllThreeBackendsAgree) {
+  const auto [k, p_on, p_off] = GetParam();
+  const OnOffParams p{p_on, p_off};
+  const auto gauss =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kGaussian);
+  const auto power =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kPower);
+  const auto closed =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kClosedForm);
+  ASSERT_EQ(gauss.size(), k + 1);
+  ASSERT_EQ(power.size(), k + 1);
+  ASSERT_EQ(closed.size(), k + 1);
+  for (std::size_t i = 0; i <= k; ++i) {
+    EXPECT_NEAR(gauss[i], closed[i], 1e-9)
+        << "i=" << i << " k=" << k << " pon=" << p_on << " poff=" << p_off;
+    EXPECT_NEAR(power[i], closed[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST_P(StationaryAgreement, StationaryIsFixedPointOfP) {
+  const auto [k, p_on, p_off] = GetParam();
+  const OnOffParams p{p_on, p_off};
+  const Matrix m = aggregate_transition_matrix(k, p);
+  const auto pi =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kGaussian);
+  const auto piP = m.left_multiply(pi);
+  for (std::size_t i = 0; i <= k; ++i) EXPECT_NEAR(piP[i], pi[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, StationaryAgreement,
+    ::testing::Values(
+        ParamTuple{1, 0.01, 0.09}, ParamTuple{2, 0.01, 0.09},
+        ParamTuple{4, 0.01, 0.09}, ParamTuple{8, 0.01, 0.09},
+        ParamTuple{16, 0.01, 0.09}, ParamTuple{16, 0.5, 0.5},
+        ParamTuple{8, 0.9, 0.1}, ParamTuple{8, 0.1, 0.9},
+        ParamTuple{12, 0.05, 0.05}, ParamTuple{3, 0.99, 0.99},
+        ParamTuple{24, 0.02, 0.2}, ParamTuple{6, 0.3, 0.7}));
+
+TEST(StationaryDistribution, ClosedFormIsBinomial) {
+  const OnOffParams p{0.01, 0.09};
+  const std::size_t k = 10;
+  const auto pi =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kClosedForm);
+  const double q = p.stationary_on_probability();
+  for (std::size_t i = 0; i <= k; ++i)
+    EXPECT_DOUBLE_EQ(pi[i],
+                     binomial_pmf(static_cast<std::int64_t>(k),
+                                  static_cast<std::int64_t>(i), q));
+}
+
+TEST(SimulatedOccupancy, MatchesStationaryLaw) {
+  const OnOffParams p{0.05, 0.15};  // q = 0.25, fast mixing
+  const std::size_t k = 6;
+  Rng rng(101);
+  const auto freq = simulate_occupancy(k, p, 400000, rng);
+  const auto pi =
+      aggregate_stationary_distribution(k, p, StationaryMethod::kClosedForm);
+  for (std::size_t i = 0; i <= k; ++i)
+    EXPECT_NEAR(freq[i], pi[i], 0.01) << "state " << i;
+}
+
+TEST(SimulatedOccupancy, FrequenciesSumToOne) {
+  Rng rng(5);
+  const auto freq = simulate_occupancy(4, OnOffParams{0.2, 0.3}, 10000, rng);
+  double sum = 0.0;
+  for (double f : freq) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace burstq

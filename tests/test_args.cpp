@@ -1,0 +1,114 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "common/args.h"
+#include "common/error.h"
+
+namespace burstq {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("tool", "does things");
+  p.add_option("input", "input file");
+  p.add_option("rho", "CVR budget", "0.01");
+  p.add_flag("verbose", "print more");
+  return p;
+}
+
+TEST(ArgParser, ParsesOptionsAndFlags) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--input", "x.csv", "--verbose"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.get("input"), "x.csv");
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_DOUBLE_EQ(p.get_double("rho"), 0.01);  // default
+}
+
+TEST(ArgParser, DefaultsApplyOnlyWhenDeclared) {
+  auto p = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_FALSE(p.has("input"));
+  EXPECT_TRUE(p.has("rho"));
+  EXPECT_THROW((void)p.get("input"), InvalidArgument);
+}
+
+TEST(ArgParser, OverridesDefault) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--rho", "0.05"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_DOUBLE_EQ(p.get_double("rho"), 0.05);
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--bogus", "1"};
+  EXPECT_FALSE(p.parse(3, argv));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--input"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.error().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsPositional) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "loose"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, NumericValidation) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--rho", "abc"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_THROW((void)p.get_double("rho"), InvalidArgument);
+  EXPECT_THROW((void)p.get_int("rho"), InvalidArgument);
+}
+
+TEST(ArgParser, GetIntParsesIntegers) {
+  ArgParser p("t", "d");
+  p.add_option("n", "count", "42");
+  const char* argv[] = {"t"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("n"), 42);
+}
+
+TEST(ArgParser, FlagDefaultsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_FALSE(p.flag("verbose"));
+}
+
+TEST(ArgParser, UsageMentionsEverything) {
+  const auto p = make_parser();
+  const auto u = p.usage();
+  EXPECT_NE(u.find("--input"), std::string::npos);
+  EXPECT_NE(u.find("--rho"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("default: 0.01"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateDeclarationThrows) {
+  ArgParser p("t", "d");
+  p.add_option("x", "h");
+  EXPECT_THROW(p.add_option("x", "h2"), InvalidArgument);
+  EXPECT_THROW(p.add_flag("x", "h3"), InvalidArgument);
+}
+
+TEST(ArgParser, ReparseResetsState) {
+  auto p = make_parser();
+  const char* argv1[] = {"tool", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv1));
+  EXPECT_TRUE(p.flag("verbose"));
+  const char* argv2[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv2));
+  EXPECT_FALSE(p.flag("verbose"));
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,134 @@
+// Tests for the RP / RB / RB-EX baselines, including the ordering
+// relations the paper's Figure 5 relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n_vms, std::size_t n_pms,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n_vms, n_pms, kP, InstanceRanges{}, rng);
+}
+
+double sum_key_on(const ProblemInstance& inst, const Placement& p,
+                  PmId pm, double (*key)(const VmSpec&)) {
+  double s = 0.0;
+  for (std::size_t i : p.vms_on(pm)) s += key(inst.vms[i]);
+  return s;
+}
+
+double key_rp(const VmSpec& v) { return v.rp(); }
+double key_rb(const VmSpec& v) { return v.rb; }
+
+TEST(FfdByPeak, NeverExceedsCapacityAtPeak) {
+  const auto inst = typical_instance(200, 120, 1);
+  const auto r = ffd_by_peak(inst);
+  ASSERT_TRUE(r.complete());
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(sum_key_on(inst, r.placement, PmId{j}, key_rp),
+              inst.pms[j].capacity * (1.0 + 1e-9));
+}
+
+TEST(FfdByNormal, NormalLoadWithinCapacity) {
+  const auto inst = typical_instance(200, 120, 2);
+  const auto r = ffd_by_normal(inst);
+  ASSERT_TRUE(r.complete());
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(sum_key_on(inst, r.placement, PmId{j}, key_rb),
+              inst.pms[j].capacity * (1.0 + 1e-9));
+}
+
+TEST(FfdReserved, HonorsHeadroom) {
+  const auto inst = typical_instance(200, 120, 3);
+  const double delta = 0.3;
+  const auto r = ffd_reserved(inst, delta);
+  ASSERT_TRUE(r.complete());
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(sum_key_on(inst, r.placement, PmId{j}, key_rb),
+              inst.pms[j].capacity * (1.0 - delta) * (1.0 + 1e-9));
+}
+
+TEST(FfdReserved, DeltaZeroEqualsRb) {
+  const auto inst = typical_instance(100, 60, 4);
+  const auto rb = ffd_by_normal(inst);
+  const auto ex0 = ffd_reserved(inst, 0.0);
+  EXPECT_EQ(rb.pms_used(), ex0.pms_used());
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    EXPECT_EQ(rb.placement.pm_of(VmId{i}), ex0.placement.pm_of(VmId{i}));
+}
+
+TEST(FfdReserved, InvalidDeltaThrows) {
+  const auto inst = typical_instance(5, 5, 5);
+  EXPECT_THROW(ffd_reserved(inst, 1.0), InvalidArgument);
+  EXPECT_THROW(ffd_reserved(inst, -0.1), InvalidArgument);
+}
+
+TEST(Baselines, RespectVmCap) {
+  const auto inst = typical_instance(60, 60, 6);
+  for (const auto& r :
+       {ffd_by_peak(inst, 2), ffd_by_normal(inst, 2), ffd_reserved(inst, 0.3, 2)}) {
+    for (std::size_t j = 0; j < inst.n_pms(); ++j)
+      EXPECT_LE(r.placement.count_on(PmId{j}), 2u);
+  }
+}
+
+// The Figure 5 ordering: RB <= QUEUE <= RP in PMs used, and RB-EX above
+// RB.  FFD is a heuristic, so the ordering is not a per-instance theorem
+// (packing anomalies can shift a bin or two); we allow a 2-PM slack per
+// instance and require the strict ordering on average across seeds.
+class BaselineOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineOrdering, PmCountsOrderedWithSlack) {
+  const auto inst = typical_instance(200, 150, GetParam());
+  const auto rp = ffd_by_peak(inst);
+  const auto rb = ffd_by_normal(inst);
+  const auto rbex = ffd_reserved(inst, 0.3);
+  const auto queue = queuing_ffd(inst);
+  ASSERT_TRUE(rp.complete());
+  ASSERT_TRUE(rb.complete());
+  ASSERT_TRUE(rbex.complete());
+  ASSERT_TRUE(queue.result.complete());
+
+  EXPECT_LE(rb.pms_used(), queue.result.pms_used() + 2);
+  EXPECT_LE(queue.result.pms_used(), rp.pms_used() + 2);
+  EXPECT_GE(rbex.pms_used() + 2, rb.pms_used());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineOrdering,
+                         ::testing::Range<std::uint64_t>(10, 25));
+
+TEST(BaselineOrdering, StrictOnAverage) {
+  double rp_sum = 0.0;
+  double rb_sum = 0.0;
+  double q_sum = 0.0;
+  for (std::uint64_t seed = 10; seed < 25; ++seed) {
+    const auto inst = typical_instance(200, 150, seed);
+    rp_sum += static_cast<double>(ffd_by_peak(inst).pms_used());
+    rb_sum += static_cast<double>(ffd_by_normal(inst).pms_used());
+    q_sum += static_cast<double>(queuing_ffd(inst).result.pms_used());
+  }
+  EXPECT_LT(rb_sum, q_sum);
+  EXPECT_LT(q_sum, rp_sum);
+  // The headline claim: QUEUE saves a substantial fraction vs RP.
+  EXPECT_LT(q_sum, 0.9 * rp_sum);
+}
+
+TEST(StrategyName, AllNamed) {
+  EXPECT_STREQ(strategy_name(Strategy::kQueue), "QUEUE");
+  EXPECT_STREQ(strategy_name(Strategy::kPeak), "RP");
+  EXPECT_STREQ(strategy_name(Strategy::kNormal), "RB");
+  EXPECT_STREQ(strategy_name(Strategy::kReserved), "RB-EX");
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,108 @@
+// Unit tests for Binomial cdf / quantile / pmf-vector helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "prob/binomial.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+namespace {
+
+TEST(BinomialCdf, MonotoneAndBounded) {
+  const std::int64_t n = 20;
+  const double p = 0.3;
+  double prev = -1.0;
+  for (std::int64_t x = 0; x <= n; ++x) {
+    const double c = binomial_cdf(n, x, p);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(binomial_cdf(n, n, p), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(n, -1, p), 0.0);
+}
+
+TEST(BinomialCdf, MatchesPmfSum) {
+  const std::int64_t n = 16;
+  const double p = 0.1;
+  double acc = 0.0;
+  for (std::int64_t x = 0; x < n; ++x) {
+    acc += binomial_pmf(n, x, p);
+    EXPECT_NEAR(binomial_cdf(n, x, p), acc, 1e-12);
+  }
+}
+
+TEST(BinomialQuantile, InvertsTheCdf) {
+  const std::int64_t n = 16;
+  const double p = 0.1;
+  for (const double prob : {0.5, 0.9, 0.99, 0.999}) {
+    const std::int64_t q = binomial_quantile(n, prob, p);
+    EXPECT_GE(binomial_cdf(n, q, p), prob);
+    if (q > 0) {
+      EXPECT_LT(binomial_cdf(n, q - 1, p), prob);
+    }
+  }
+}
+
+TEST(BinomialQuantile, Extremes) {
+  EXPECT_EQ(binomial_quantile(10, 0.0, 0.5), 0);
+  EXPECT_EQ(binomial_quantile(10, 1.0, 0.5), 10);
+  EXPECT_EQ(binomial_quantile(10, 0.5, 0.0), 0);
+  EXPECT_EQ(binomial_quantile(10, 0.5, 1.0), 10);
+}
+
+TEST(BinomialQuantile, MonotoneInProb) {
+  const std::int64_t n = 32;
+  const double p = 0.2;
+  std::int64_t prev = 0;
+  for (double prob = 0.05; prob < 1.0; prob += 0.05) {
+    const std::int64_t q = binomial_quantile(n, prob, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(BinomialPmfVector, SumsToOneAndMatchesScalar) {
+  const std::int64_t n = 16;
+  const double p = 0.1;
+  const auto v = binomial_pmf_vector(n, p);
+  ASSERT_EQ(v.size(), static_cast<std::size_t>(n) + 1);
+  double sum = 0.0;
+  for (std::int64_t x = 0; x <= n; ++x) {
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(x)], binomial_pmf(n, x, p));
+    sum += v[static_cast<std::size_t>(x)];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BinomialMoments, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(binomial_mean(10, 0.3), 3.0);
+  EXPECT_DOUBLE_EQ(binomial_variance(10, 0.3), 2.1);
+}
+
+TEST(BinomialMoments, MatchEmpiricalPmf) {
+  const std::int64_t n = 24;
+  const double p = 0.15;
+  const auto v = binomial_pmf_vector(n, p);
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::int64_t x = 0; x <= n; ++x) {
+    const auto d = static_cast<double>(x);
+    mean += d * v[static_cast<std::size_t>(x)];
+    second += d * d * v[static_cast<std::size_t>(x)];
+  }
+  EXPECT_NEAR(mean, binomial_mean(n, p), 1e-10);
+  EXPECT_NEAR(second - mean * mean, binomial_variance(n, p), 1e-10);
+}
+
+TEST(Binomial, InvalidArgumentsThrow) {
+  EXPECT_THROW(binomial_cdf(-1, 0, 0.5), InvalidArgument);
+  EXPECT_THROW(binomial_quantile(5, -0.1, 0.5), InvalidArgument);
+  EXPECT_THROW(binomial_quantile(5, 0.5, 2.0), InvalidArgument);
+  EXPECT_THROW(binomial_pmf_vector(-2, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,113 @@
+// Tests for migration-budget-bounded consolidation.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/budget.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n, std::size_t m,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n, m, kP, InstanceRanges{}, rng);
+}
+
+/// A deliberately wasteful starting point: one VM per PM.
+Placement sparse_placement(const ProblemInstance& inst) {
+  Placement p(inst.n_vms(), inst.n_pms());
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    p.assign(VmId{i}, PmId{i});
+  return p;
+}
+
+TEST(BudgetConsolidation, ZeroBudgetDoesNothing) {
+  const auto inst = typical_instance(30, 30, 1);
+  auto placement = sparse_placement(inst);
+  const MapCalTable table(16, kP, 0.01);
+  const auto r = consolidate_with_budget(inst, placement, table, 0);
+  EXPECT_TRUE(r.moves.empty());
+  EXPECT_EQ(r.pms_before, r.pms_after);
+  EXPECT_EQ(r.budget_left, 0u);
+}
+
+TEST(BudgetConsolidation, FreesPmsWithinBudget) {
+  const auto inst = typical_instance(30, 30, 2);
+  auto placement = sparse_placement(inst);
+  const MapCalTable table(16, kP, 0.01);
+  const auto r = consolidate_with_budget(inst, placement, table, 10);
+  EXPECT_LE(r.moves.size(), 10u);
+  EXPECT_GT(r.pms_freed(), 0u);
+  EXPECT_EQ(r.pms_after, placement.pms_used());
+  EXPECT_EQ(r.budget_left, 10u - r.moves.size());
+}
+
+TEST(BudgetConsolidation, EveryIntermediateStateFeasible) {
+  const auto inst = typical_instance(40, 40, 3);
+  auto placement = sparse_placement(inst);
+  const MapCalTable table(16, kP, 0.01);
+  const auto r = consolidate_with_budget(inst, placement, table, 25);
+  // Final state satisfies Eq. 17 (each move was individually validated).
+  EXPECT_TRUE(placement_satisfies_reservation(inst, placement, table));
+  // Replay the moves on a fresh copy: every prefix must be feasible too.
+  Placement replay = sparse_placement(inst);
+  for (const auto& move : r.moves) {
+    replay.unassign(move.vm);
+    replay.assign(move.vm, move.to);
+    EXPECT_TRUE(placement_satisfies_reservation(inst, replay, table));
+  }
+}
+
+TEST(BudgetConsolidation, LargerBudgetFreesAtLeastAsMuch) {
+  const auto inst = typical_instance(40, 40, 4);
+  const MapCalTable table(16, kP, 0.01);
+  std::size_t prev_freed = 0;
+  for (const std::size_t budget : {5u, 15u, 40u}) {
+    auto placement = sparse_placement(inst);
+    const auto r =
+        consolidate_with_budget(inst, placement, table, budget);
+    EXPECT_GE(r.pms_freed(), prev_freed) << "budget " << budget;
+    prev_freed = r.pms_freed();
+  }
+}
+
+TEST(BudgetConsolidation, UnlimitedBudgetApproachesFreshPacking) {
+  const auto inst = typical_instance(60, 60, 5);
+  auto placement = sparse_placement(inst);
+  QueuingFfdOptions opt;
+  const MapCalTable table(opt.max_vms_per_pm, kP, opt.rho);
+  const auto r = consolidate_with_budget(inst, placement, table, 1000);
+  const auto fresh = queuing_ffd_with_table(inst, table, opt);
+  ASSERT_TRUE(fresh.complete());
+  // Greedy evacuation won't beat FFD-from-scratch but must get close
+  // (within 50% more PMs) and strictly better than the sparse start.
+  EXPECT_LT(r.pms_after, r.pms_before);
+  EXPECT_LE(static_cast<double>(r.pms_after),
+            1.5 * static_cast<double>(fresh.pms_used()));
+}
+
+TEST(BudgetConsolidation, NeverOpensEmptyPms) {
+  const auto inst = typical_instance(30, 60, 6);  // plenty of spare PMs
+  auto placement = sparse_placement(inst);
+  const std::size_t before = placement.pms_used();
+  const MapCalTable table(16, kP, 0.01);
+  (void)consolidate_with_budget(inst, placement, table, 20);
+  EXPECT_LE(placement.pms_used(), before);
+}
+
+TEST(BudgetConsolidation, RejectsPartialPlacement) {
+  const auto inst = typical_instance(5, 5, 7);
+  Placement partial(5, 5);
+  partial.assign(VmId{0}, PmId{0});
+  const MapCalTable table(16, kP, 0.01);
+  EXPECT_THROW(consolidate_with_budget(inst, partial, table, 5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

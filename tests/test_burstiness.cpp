@@ -1,0 +1,122 @@
+// Tests for burstiness diagnostics (ACF, variance, index of dispersion).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "markov/burstiness.h"
+#include "markov/onoff.h"
+
+namespace burstq {
+namespace {
+
+TEST(CorrelationDecay, KnownValues) {
+  EXPECT_NEAR(correlation_decay(OnOffParams{0.01, 0.09}), 0.9, 1e-15);
+  EXPECT_NEAR(correlation_decay(OnOffParams{0.5, 0.5}), 0.0, 1e-15);
+  EXPECT_NEAR(correlation_decay(OnOffParams{0.9, 0.9}), -0.8, 1e-15);
+}
+
+TEST(DemandAutocorrelation, GeometricDecay) {
+  const OnOffParams p{0.01, 0.09};  // r = 0.9
+  EXPECT_DOUBLE_EQ(demand_autocorrelation(p, 0), 1.0);
+  EXPECT_NEAR(demand_autocorrelation(p, 1), 0.9, 1e-15);
+  EXPECT_NEAR(demand_autocorrelation(p, 10), std::pow(0.9, 10.0), 1e-12);
+}
+
+TEST(DemandAutocorrelation, MatchesEmpiricalTrace) {
+  const OnOffParams p{0.05, 0.15};  // r = 0.8
+  Rng rng(1);
+  OnOffChain chain(p);
+  chain.reset_stationary(rng);
+  std::vector<double> series;
+  for (int t = 0; t < 400000; ++t) {
+    series.push_back(chain.on() ? 1.0 : 0.0);
+    chain.step(rng);
+  }
+  for (std::size_t lag : {1u, 2u, 5u, 10u}) {
+    EXPECT_NEAR(empirical_autocorrelation(series, lag),
+                demand_autocorrelation(p, lag), 0.02)
+        << "lag " << lag;
+  }
+}
+
+TEST(DemandVariance, ClosedForm) {
+  const OnOffParams p{0.01, 0.09};  // q = 0.1
+  EXPECT_NEAR(demand_variance(p, 10.0), 0.1 * 0.9 * 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(demand_variance(p, 0.0), 0.0);
+}
+
+TEST(IndexOfDispersion, GrowsWithSpikeLength) {
+  // Same q = 0.1, increasingly long spikes (smaller p_off with p_on
+  // scaled to keep q): IDC must increase.
+  double prev = 0.0;
+  for (const double scale : {1.0, 0.5, 0.25, 0.1}) {
+    const OnOffParams p{0.01 * scale, 0.09 * scale};
+    const double idc = index_of_dispersion(p, 10.0, 10.0);
+    EXPECT_GT(idc, prev);
+    prev = idc;
+  }
+}
+
+TEST(IndexOfDispersion, UncorrelatedBaseline) {
+  // p_on + p_off = 1 (r = 0): IDC reduces to Var/Mean.
+  const OnOffParams p{0.5, 0.5};
+  const double rb = 4.0;
+  const double re = 8.0;
+  const double mean = rb + 0.5 * re;
+  const double var = 0.25 * re * re;
+  EXPECT_NEAR(index_of_dispersion(p, rb, re), var / mean, 1e-12);
+}
+
+TEST(IndexOfDispersion, MatchesSimulatedCountVariance) {
+  // Window-sum variance over long windows approaches IDC * window * mean.
+  const OnOffParams p{0.05, 0.15};  // r = 0.8
+  const double rb = 2.0;
+  const double re = 6.0;
+  const double idc = index_of_dispersion(p, rb, re);
+
+  Rng rng(3);
+  OnOffChain chain(p);
+  chain.reset_stationary(rng);
+  const std::size_t window = 500;
+  std::vector<double> sums;
+  for (int w = 0; w < 4000; ++w) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < window; ++t) {
+      sum += rb + (chain.on() ? re : 0.0);
+      chain.step(rng);
+    }
+    sums.push_back(sum);
+  }
+  double mean = 0.0;
+  for (double s : sums) mean += s;
+  mean /= static_cast<double>(sums.size());
+  double var = 0.0;
+  for (double s : sums) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(sums.size() - 1);
+  EXPECT_NEAR(var / mean, idc, 0.15 * idc);
+}
+
+TEST(IndexOfDispersion, InvalidInputsThrow) {
+  EXPECT_THROW(index_of_dispersion(OnOffParams{0.1, 0.1}, 0.0, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(index_of_dispersion(OnOffParams{0.1, 0.1}, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(EmpiricalAcf, LagZeroIsOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(empirical_autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(EmpiricalAcf, ErrorsOnDegenerateInput) {
+  const std::vector<double> constant(10, 3.0);
+  EXPECT_THROW(empirical_autocorrelation(constant, 1), InvalidArgument);
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(empirical_autocorrelation(tiny, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

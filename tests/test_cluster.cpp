@@ -1,0 +1,118 @@
+// Tests for Re-similarity clustering and visit orders (Algorithm 2 lines
+// 7-9 and the baseline FFD orders).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/cluster.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+std::vector<VmSpec> make_vms(std::initializer_list<std::pair<double, double>>
+                                 rb_re) {
+  std::vector<VmSpec> vms;
+  for (auto [rb, re] : rb_re) vms.push_back(VmSpec{kP, rb, re});
+  return vms;
+}
+
+TEST(ClusterByRe, EqualReCollapsesToOneCluster) {
+  const auto vms = make_vms({{1, 5}, {2, 5}, {3, 5}});
+  const auto c = cluster_by_re(vms, 4);
+  EXPECT_EQ(c, (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST(ClusterByRe, SimilarReShareCluster) {
+  const auto vms = make_vms({{1, 2.0}, {1, 2.1}, {1, 19.9}, {1, 20.0}});
+  const auto c = cluster_by_re(vms, 4);
+  EXPECT_EQ(c[0], c[1]);
+  EXPECT_EQ(c[2], c[3]);
+  EXPECT_NE(c[0], c[2]);
+}
+
+TEST(ClusterByRe, AllIdsWithinRange) {
+  Rng rng(3);
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 500; ++i)
+    vms.push_back(VmSpec{kP, 1.0, rng.uniform(2.0, 20.0)});
+  const auto c = cluster_by_re(vms, 8);
+  for (auto id : c) EXPECT_LT(id, 8u);
+}
+
+TEST(ClusterByRe, MonotoneInRe) {
+  // Higher Re never lands in a lower bucket.
+  const auto vms = make_vms({{1, 2}, {1, 8}, {1, 14}, {1, 20}});
+  const auto c = cluster_by_re(vms, 3);
+  EXPECT_LE(c[0], c[1]);
+  EXPECT_LE(c[1], c[2]);
+  EXPECT_LE(c[2], c[3]);
+}
+
+TEST(ClusterByRe, InvalidArgsThrow) {
+  EXPECT_THROW(cluster_by_re({}, 4), InvalidArgument);
+  EXPECT_THROW(cluster_by_re(make_vms({{1, 1}}), 0), InvalidArgument);
+}
+
+TEST(QueuingFfdOrder, IsAPermutation) {
+  Rng rng(7);
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 300; ++i)
+    vms.push_back(VmSpec{kP, rng.uniform(2, 20), rng.uniform(2, 20)});
+  auto order = queuing_ffd_order(vms, 8);
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(QueuingFfdOrder, ClustersDescendingByRe) {
+  Rng rng(9);
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 200; ++i)
+    vms.push_back(VmSpec{kP, rng.uniform(2, 20), rng.uniform(2, 20)});
+  const auto cluster = cluster_by_re(vms, 6);
+  const auto order = queuing_ffd_order(vms, 6);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(cluster[order[i - 1]], cluster[order[i]]);
+}
+
+TEST(QueuingFfdOrder, RbDescendingWithinCluster) {
+  Rng rng(11);
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 200; ++i)
+    vms.push_back(VmSpec{kP, rng.uniform(2, 20), rng.uniform(2, 20)});
+  const auto cluster = cluster_by_re(vms, 6);
+  const auto order = queuing_ffd_order(vms, 6);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (cluster[order[i - 1]] == cluster[order[i]]) {
+      EXPECT_GE(vms[order[i - 1]].rb, vms[order[i]].rb);
+    }
+  }
+}
+
+TEST(QueuingFfdOrder, DeterministicTieBreak) {
+  const auto vms = make_vms({{5, 5}, {5, 5}, {5, 5}});
+  const auto order = queuing_ffd_order(vms, 4);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BaselineOrders, PeakDescending) {
+  const auto vms = make_vms({{1, 10}, {8, 1}, {3, 3}});  // Rp: 11, 9, 6
+  EXPECT_EQ(order_by_peak_desc(vms), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BaselineOrders, NormalDescending) {
+  const auto vms = make_vms({{1, 10}, {8, 1}, {3, 3}});  // Rb: 1, 8, 3
+  EXPECT_EQ(order_by_normal_desc(vms), (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(BaselineOrders, StableOnTies) {
+  const auto vms = make_vms({{5, 1}, {5, 2}, {5, 3}});
+  EXPECT_EQ(order_by_normal_desc(vms), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,297 @@
+// Tests for the dynamic cluster simulator: conservation invariants, CVR
+// behaviour, migration phenomena and report consistency.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/cluster_sim.h"
+#include "sim/metrics.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n_vms, std::size_t n_pms,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n_vms, n_pms, kP, InstanceRanges{}, rng);
+}
+
+TEST(SimConfig, Validation) {
+  SimConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  SimConfig bad = ok;
+  bad.slots = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.sigma_seconds = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(ClusterSimulator, RejectsIncompletePlacement) {
+  const auto inst = typical_instance(10, 10, 1);
+  Placement partial(inst.n_vms(), inst.n_pms());
+  partial.assign(VmId{0}, PmId{0});  // 9 VMs unassigned
+  EXPECT_THROW(ClusterSimulator(inst, partial, SimConfig{}, Rng(1)),
+               InvalidArgument);
+}
+
+TEST(ClusterSimulator, RunOnlyOnce) {
+  const auto inst = typical_instance(20, 20, 2);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  ClusterSimulator sim(inst, placed.placement, SimConfig{}, Rng(2));
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), InvalidArgument);
+}
+
+TEST(ClusterSimulator, ReportShapesConsistent) {
+  const auto inst = typical_instance(40, 40, 3);
+  const auto placed = queuing_ffd(inst);
+  ASSERT_TRUE(placed.result.complete());
+  SimConfig cfg;
+  cfg.slots = 60;
+  ClusterSimulator sim(inst, placed.result.placement, cfg, Rng(3));
+  const SimReport rep = sim.run();
+  EXPECT_EQ(rep.pms_used_timeline.size(), 60u);
+  EXPECT_EQ(rep.migrations_per_slot.size(), 60u);
+  EXPECT_EQ(rep.pm_cvr.size(), inst.n_pms());
+  EXPECT_EQ(rep.pms_used_end, rep.pms_used_timeline.back());
+  EXPECT_LE(rep.pms_used_end, rep.pms_used_max);
+  const std::size_t mig_sum = std::accumulate(
+      rep.migrations_per_slot.begin(), rep.migrations_per_slot.end(),
+      std::size_t{0});
+  EXPECT_EQ(mig_sum, rep.total_migrations);
+  // Every successful event appears once in the log.
+  std::size_t ok_events = 0;
+  for (const auto& e : rep.events)
+    if (!e.failed()) ++ok_events;
+  EXPECT_EQ(ok_events, rep.total_migrations);
+  EXPECT_EQ(rep.events.size() - ok_events, rep.failed_migrations);
+  EXPECT_GT(rep.energy_wh, 0.0);
+}
+
+TEST(ClusterSimulator, VmConservation) {
+  const auto inst = typical_instance(50, 50, 4);
+  const auto placed = ffd_by_normal(inst);
+  ASSERT_TRUE(placed.complete());
+  SimConfig cfg;
+  cfg.slots = 80;
+  ClusterSimulator sim(inst, placed.placement, cfg, Rng(4));
+  (void)sim.run();
+  // After all migrations, every VM is still assigned exactly once.
+  const Placement& final = sim.placement();
+  EXPECT_EQ(final.vms_assigned(), inst.n_vms());
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    total += final.count_on(PmId{j});
+  EXPECT_EQ(total, inst.n_vms());
+}
+
+TEST(ClusterSimulator, DeterministicGivenSeed) {
+  const auto inst = typical_instance(30, 30, 5);
+  const auto placed = ffd_by_normal(inst);
+  ASSERT_TRUE(placed.complete());
+  SimConfig cfg;
+  cfg.slots = 50;
+  ClusterSimulator a(inst, placed.placement, cfg, Rng(77));
+  ClusterSimulator b(inst, placed.placement, cfg, Rng(77));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.total_migrations, rb.total_migrations);
+  EXPECT_EQ(ra.pms_used_timeline, rb.pms_used_timeline);
+  EXPECT_DOUBLE_EQ(ra.energy_wh, rb.energy_wh);
+}
+
+TEST(ClusterSimulator, PeakPlacementNeverViolatesWithRectangularDemand) {
+  const auto inst = typical_instance(60, 60, 6);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  SimConfig cfg;
+  cfg.slots = 100;
+  ClusterSimulator sim(inst, placed.placement, cfg, Rng(6));
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.total_migrations, 0u);
+  EXPECT_DOUBLE_EQ(rep.max_cvr, 0.0);
+}
+
+TEST(ClusterSimulator, MigrationDisabledObservesOnly) {
+  const auto inst = typical_instance(60, 60, 7);
+  const auto placed = ffd_by_normal(inst);
+  ASSERT_TRUE(placed.complete());
+  SimConfig cfg;
+  cfg.slots = 100;
+  cfg.enable_migration = false;
+  ClusterSimulator sim(inst, placed.placement, cfg, Rng(7));
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.total_migrations, 0u);
+  EXPECT_TRUE(rep.events.empty());
+  // RB packs by Rb only, so violations must occur.
+  EXPECT_GT(rep.max_cvr, 0.0);
+  // PM count never changes without migrations.
+  for (auto used : rep.pms_used_timeline)
+    EXPECT_EQ(used, placed.pms_used());
+}
+
+TEST(ClusterSimulator, QueuePlacementKeepsCvrNearRho) {
+  // Statistical: QUEUE's analytic bound is rho = 0.01 per PM; the observed
+  // mean CVR without migration should stay well under a small multiple.
+  const auto inst = typical_instance(120, 80, 8);
+  const auto placed = queuing_ffd(inst);
+  ASSERT_TRUE(placed.result.complete());
+  SimConfig cfg;
+  cfg.slots = 4000;
+  cfg.enable_migration = false;
+  ClusterSimulator sim(inst, placed.result.placement, cfg, Rng(8));
+  const auto rep = sim.run();
+  EXPECT_LE(rep.mean_cvr, 0.02);
+}
+
+TEST(ClusterSimulator, RbMigratesMoreThanQueue) {
+  // The Figure 9(a) headline shape on one seed.
+  const auto inst = typical_instance(80, 80, 9);
+  const auto rb = ffd_by_normal(inst);
+  const auto queue = queuing_ffd(inst);
+  ASSERT_TRUE(rb.complete());
+  ASSERT_TRUE(queue.result.complete());
+  SimConfig cfg;
+  cfg.slots = 100;
+  ClusterSimulator sim_rb(inst, rb.placement, cfg, Rng(9));
+  ClusterSimulator sim_q(inst, queue.result.placement, cfg, Rng(9));
+  const auto rep_rb = sim_rb.run();
+  const auto rep_q = sim_q.run();
+  EXPECT_GT(rep_rb.total_migrations, rep_q.total_migrations);
+}
+
+TEST(ClusterSimulator, WebserverModeRuns) {
+  const auto inst = typical_instance(30, 30, 10);
+  const auto placed = queuing_ffd(inst);
+  ASSERT_TRUE(placed.result.complete());
+  SimConfig cfg;
+  cfg.slots = 40;
+  cfg.webserver_workload = true;
+  ClusterSimulator sim(inst, placed.result.placement, cfg, Rng(10));
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.pms_used_timeline.size(), 40u);
+  EXPECT_GT(rep.energy_wh, 0.0);
+}
+
+TEST(SimulateCvr, PeakPlacementZeroEverywhere) {
+  const auto inst = typical_instance(50, 50, 11);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  const auto cvr = simulate_cvr(inst, placed.placement, 500, Rng(11));
+  for (double c : cvr) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(SimulateCvr, QueueBoundedRbNot) {
+  const auto inst = typical_instance(100, 80, 12);
+  const auto queue = queuing_ffd(inst);
+  const auto rb = ffd_by_normal(inst);
+  ASSERT_TRUE(queue.result.complete());
+  ASSERT_TRUE(rb.complete());
+  const std::size_t slots = 5000;
+  const auto cvr_q = simulate_cvr(inst, queue.result.placement, slots,
+                                  Rng(12));
+  const auto cvr_rb = simulate_cvr(inst, rb.placement, slots, Rng(12));
+  double mean_q = 0.0;
+  double mean_rb = 0.0;
+  std::size_t used_q = 0;
+  std::size_t used_rb = 0;
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    if (queue.result.placement.count_on(PmId{j}) > 0) {
+      mean_q += cvr_q[j];
+      ++used_q;
+    }
+    if (rb.placement.count_on(PmId{j}) > 0) {
+      mean_rb += cvr_rb[j];
+      ++used_rb;
+    }
+  }
+  mean_q /= static_cast<double>(used_q);
+  mean_rb /= static_cast<double>(used_rb);
+  EXPECT_LE(mean_q, 0.02);       // near the rho = 0.01 budget
+  EXPECT_GT(mean_rb, 5 * mean_q);  // RB is "disastrous" in comparison
+}
+
+TEST(ClusterSimulator, ExactWebserverModeAgreesWithGaussian) {
+  // Tiny fleet so the exact per-user renewal path is cheap.  Both web
+  // modes must produce statistically indistinguishable PM usage; the
+  // exact mode exists as the validation oracle for the CLT path.
+  ProblemInstance inst;
+  for (int i = 0; i < 6; ++i)
+    inst.vms.push_back(VmSpec{kP, 0.2, 0.2});  // 20 users normal, 40 peak
+  for (int j = 0; j < 6; ++j) inst.pms.push_back(PmSpec{1.0});
+  const auto placed = queuing_ffd(inst);
+  ASSERT_TRUE(placed.result.complete());
+
+  SimConfig cfg;
+  cfg.slots = 200;
+  cfg.webserver_workload = true;
+  cfg.webserver_exact = true;
+  ClusterSimulator exact(inst, placed.result.placement, cfg, Rng(21));
+  const auto rep_exact = exact.run();
+  cfg.webserver_exact = false;
+  ClusterSimulator gauss(inst, placed.result.placement, cfg, Rng(21));
+  const auto rep_gauss = gauss.run();
+
+  EXPECT_EQ(rep_exact.pms_used_timeline.size(), 200u);
+  // Same order of magnitude of violations/migrations; identical fleets.
+  EXPECT_NEAR(static_cast<double>(rep_exact.pms_used_end),
+              static_cast<double>(rep_gauss.pms_used_end), 2.0);
+}
+
+TEST(RecordViolationTrace, ConsistentWithSimulateCvr) {
+  const auto inst = typical_instance(60, 60, 14);
+  const auto placed = queuing_ffd(inst);
+  ASSERT_TRUE(placed.result.complete());
+  const std::size_t slots = 2000;
+  const auto trace =
+      record_violation_trace(inst, placed.result.placement, slots, Rng(15));
+  const auto cvr = simulate_cvr(inst, placed.result.placement, slots,
+                                Rng(15));
+  ASSERT_EQ(trace.size(), inst.n_pms());
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    std::size_t violations = 0;
+    for (bool v : trace[j])
+      if (v) ++violations;
+    EXPECT_NEAR(static_cast<double>(violations) /
+                    static_cast<double>(slots),
+                cvr[j], 1e-12)
+        << "pm " << j;
+  }
+}
+
+TEST(ViolationEpisodeStructure, SpikeDurationShowsInEpisodeLength) {
+  // The same placement run under longer spikes (smaller p_off at equal
+  // q) must violate in longer episodes — the time dimension the paper's
+  // Markov model captures and amplitude-only models miss.
+  auto mean_episode = [](double p_on, double p_off) {
+    ProblemInstance inst;
+    for (int i = 0; i < 12; ++i)
+      inst.vms.push_back(VmSpec{OnOffParams{p_on, p_off}, 5.0, 10.0});
+    inst.pms = {PmSpec{70.0}};  // rb 60 + one spike fits; two spikes violate
+    Placement p(12, 1);
+    for (std::size_t i = 0; i < 12; ++i) p.assign(VmId{i}, PmId{0});
+    const auto trace = record_violation_trace(inst, p, 60000, Rng(16));
+    return violation_episodes(trace[0]).mean_length;
+  };
+  // q = 0.1 in both cases; spikes 4x longer in the second.
+  const double fast = mean_episode(0.04, 0.36);
+  const double slow = mean_episode(0.01, 0.09);
+  EXPECT_GT(slow, 1.5 * fast);
+}
+
+TEST(SimulateCvr, RequiresCompletePlacement) {
+  const auto inst = typical_instance(5, 5, 13);
+  Placement partial(5, 5);
+  EXPECT_THROW(simulate_cvr(inst, partial, 10, Rng(13)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

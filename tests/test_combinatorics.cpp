@@ -1,0 +1,106 @@
+// Unit tests for log-space combinatorics and the binomial pmf.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "prob/combinatorics.h"
+
+namespace burstq {
+namespace {
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-14);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-14);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-11);
+}
+
+TEST(LogFactorial, NegativeThrows) {
+  EXPECT_THROW(log_factorial(-1), InvalidArgument);
+}
+
+TEST(LogChoose, KnownValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 5)), 252.0, 1e-8);
+  EXPECT_NEAR(log_choose(7, 0), 0.0, 1e-13);
+  EXPECT_NEAR(log_choose(7, 7), 0.0, 1e-13);
+}
+
+TEST(LogChoose, OutOfDomainThrows) {
+  EXPECT_THROW(log_choose(3, 4), InvalidArgument);
+  EXPECT_THROW(log_choose(3, -1), InvalidArgument);
+}
+
+TEST(BinomialCoefficient, ExactSmallValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(16, 8), 12870.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(52, 5), 2598960.0);
+}
+
+TEST(BinomialCoefficient, PaperZeroConvention) {
+  // The paper defines C(n, x) = 0 when x > n or x < 0 (Eq. 12 context).
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, -1), 0.0);
+}
+
+TEST(BinomialCoefficient, LargeArgumentsViaLgamma) {
+  // C(100, 50) ~ 1.0089e29; relative accuracy ~1e-12 is plenty.
+  const double v = binomial_coefficient(100, 50);
+  EXPECT_NEAR(v / 1.0089134454556417e29, 1.0, 1e-10);
+}
+
+TEST(BinomialCoefficient, PascalIdentityHolds) {
+  for (std::int64_t n = 1; n <= 40; ++n)
+    for (std::int64_t x = 1; x < n; ++x)
+      EXPECT_DOUBLE_EQ(binomial_coefficient(n, x),
+                       binomial_coefficient(n - 1, x - 1) +
+                           binomial_coefficient(n - 1, x))
+          << "n=" << n << " x=" << x;
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const double p : {0.01, 0.1, 0.5, 0.9}) {
+    for (const std::int64_t n : {1, 5, 16, 64}) {
+      double sum = 0.0;
+      for (std::int64_t x = 0; x <= n; ++x) sum += binomial_pmf(n, x, p);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialPmf, KnownValues) {
+  EXPECT_NEAR(binomial_pmf(2, 1, 0.5), 0.5, 1e-14);
+  EXPECT_NEAR(binomial_pmf(10, 0, 0.1), std::pow(0.9, 10), 1e-13);
+  EXPECT_NEAR(binomial_pmf(3, 2, 0.25), 3 * 0.0625 * 0.75, 1e-13);
+}
+
+TEST(BinomialPmf, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, OutsideSupportIsZero) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, -1, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 6, 0.3), 0.0);
+}
+
+TEST(BinomialPmf, InvalidArgsThrow) {
+  EXPECT_THROW(binomial_pmf(-1, 0, 0.5), InvalidArgument);
+  EXPECT_THROW(binomial_pmf(5, 2, -0.1), InvalidArgument);
+  EXPECT_THROW(binomial_pmf(5, 2, 1.1), InvalidArgument);
+}
+
+TEST(BinomialPmf, NoUnderflowAtModerateSizes) {
+  // Direct products would underflow around n=2000, log-space must not.
+  const double v = binomial_pmf(2000, 1000, 0.5);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+}  // namespace
+}  // namespace burstq

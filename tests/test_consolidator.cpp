@@ -1,0 +1,145 @@
+// Tests for the Consolidator facade.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/consolidator.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n_vms, std::size_t n_pms,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n_vms, n_pms, kP, InstanceRanges{}, rng);
+}
+
+TEST(Consolidator, DispatchesAllStrategies) {
+  const auto inst = typical_instance(100, 80, 1);
+  const Consolidator c;
+  const auto q = c.place(inst, Strategy::kQueue);
+  const auto rp = c.place(inst, Strategy::kPeak);
+  const auto rb = c.place(inst, Strategy::kNormal);
+  const auto ex = c.place(inst, Strategy::kReserved, 0.3);
+  EXPECT_TRUE(q.complete());
+  EXPECT_TRUE(rp.complete());
+  EXPECT_TRUE(rb.complete());
+  EXPECT_TRUE(ex.complete());
+  // Strategies genuinely differ.
+  EXPECT_NE(q.pms_used(), rp.pms_used());
+}
+
+TEST(Consolidator, AnalyzeReportsUsedPmsOnly) {
+  const auto inst = typical_instance(60, 80, 2);
+  const Consolidator c;
+  const auto placed = c.place(inst, Strategy::kQueue);
+  const auto analysis = c.analyze(inst, placed.placement);
+  EXPECT_EQ(analysis.pms_used, placed.pms_used());
+  EXPECT_EQ(analysis.pms.size(), placed.pms_used());
+  for (const auto& pm : analysis.pms) {
+    EXPECT_GT(pm.vms, 0u);
+    EXPECT_LE(pm.cvr_bound, c.options().rho + 1e-12);
+    // Eq. 17 holds: reserved + rb_sum within capacity.
+    EXPECT_LE(pm.reserved + pm.rb_sum, pm.capacity * (1.0 + 1e-9));
+    EXPECT_GE(pm.utilization_normal, 0.0);
+    EXPECT_LE(pm.utilization_normal, 1.0 + 1e-9);
+  }
+  EXPECT_LE(analysis.worst_cvr_bound, c.options().rho + 1e-12);
+  EXPECT_GT(analysis.total_reserved, 0.0);
+}
+
+TEST(Consolidator, AnalyzeHandlesOverpackedBaselines) {
+  // RB placements can exceed d; analyze must extend its table, not throw.
+  QueuingFfdOptions opt;
+  opt.max_vms_per_pm = 4;
+  const Consolidator c(opt);
+  const auto inst = typical_instance(80, 80, 3);
+  const auto rb = ffd_by_normal(inst, 16);  // up to 16 VMs per PM
+  const auto analysis = c.analyze(inst, rb.placement);
+  EXPECT_EQ(analysis.pms_used, rb.pms_used());
+}
+
+TEST(Consolidator, SavingsVsReference) {
+  PlacementAnalysis a;
+  a.pms_used = 70;
+  EXPECT_NEAR(a.savings_vs(100), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(a.savings_vs(0), 0.0);
+}
+
+TEST(Consolidator, SimulateEndToEnd) {
+  const auto inst = typical_instance(50, 50, 4);
+  const Consolidator c;
+  const auto placed = c.place(inst, Strategy::kQueue);
+  SimConfig cfg;
+  cfg.slots = 30;
+  const auto rep = c.simulate(inst, placed.placement, cfg, 99);
+  EXPECT_EQ(rep.pms_used_timeline.size(), 30u);
+  // Same seed, same result.
+  const auto rep2 = c.simulate(inst, placed.placement, cfg, 99);
+  EXPECT_EQ(rep.total_migrations, rep2.total_migrations);
+  EXPECT_DOUBLE_EQ(rep.energy_wh, rep2.energy_wh);
+}
+
+TEST(Consolidator, InvalidOptionsThrow) {
+  QueuingFfdOptions bad;
+  bad.rho = -1.0;
+  EXPECT_THROW(Consolidator{bad}, InvalidArgument);
+}
+
+TEST(Consolidator, AllStrategiesEnumerated) {
+  const auto all = all_strategies();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all.front(), Strategy::kQueue);
+  // Names are distinct and non-empty.
+  std::set<std::string> names;
+  for (const auto s : all) names.insert(strategy_name(s));
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(Consolidator, ExtensionStrategiesDispatch) {
+  const auto inst = typical_instance(120, 100, 5);
+  const Consolidator c;
+  for (const auto strat :
+       {Strategy::kSbp, Strategy::kHetero, Strategy::kQuantile}) {
+    const auto placed = c.place(inst, strat);
+    EXPECT_TRUE(placed.complete()) << strategy_name(strat);
+    EXPECT_GT(placed.pms_used(), 0u);
+    // Analysis works on any placement.
+    const auto analysis = c.analyze(inst, placed.placement);
+    EXPECT_EQ(analysis.pms_used, placed.pms_used());
+  }
+}
+
+TEST(Consolidator, FacadeMatchesDirectExtensionCalls) {
+  const auto inst = typical_instance(80, 60, 6);
+  const Consolidator c;
+  const auto via_facade = c.place(inst, Strategy::kQuantile);
+  QuantileFfdOptions qopt;
+  qopt.reservation.rho = c.options().rho;
+  qopt.max_vms_per_pm = c.options().max_vms_per_pm;
+  qopt.cluster_buckets = c.options().cluster_buckets;
+  const auto direct = queuing_ffd_quantile(inst, qopt);
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    EXPECT_EQ(via_facade.placement.pm_of(VmId{i}),
+              direct.placement.pm_of(VmId{i}));
+}
+
+TEST(Consolidator, QuantileNeverLooserThanQueue) {
+  // The exact quantile packs at least as tight as the block scheme on
+  // the same facade configuration (modulo one PM of grid slack).
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const auto inst = typical_instance(150, 120, seed);
+    const Consolidator c;
+    const auto queue = c.place(inst, Strategy::kQueue);
+    const auto quant = c.place(inst, Strategy::kQuantile);
+    ASSERT_TRUE(queue.complete() && quant.complete());
+    EXPECT_LE(quant.pms_used(), queue.pms_used() + 1) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace burstq

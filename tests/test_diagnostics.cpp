@@ -1,0 +1,102 @@
+// Tests for trace burstiness diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fit/diagnostics.h"
+#include "markov/onoff.h"
+
+namespace burstq {
+namespace {
+
+std::vector<double> onoff_series(const OnOffParams& p, double rb, double re,
+                                 std::size_t slots, std::uint64_t seed) {
+  Rng rng(seed);
+  OnOffChain chain(p);
+  chain.reset_stationary(rng);
+  std::vector<double> out;
+  out.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    out.push_back(rb + (chain.on() ? re : 0.0));
+    chain.step(rng);
+  }
+  return out;
+}
+
+std::vector<double> white_noise_series(std::size_t slots,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t)
+    out.push_back(rng.uniform(8.0, 12.0));
+  return out;
+}
+
+TEST(Diagnostics, BurstyWorkloadDetected) {
+  const auto series =
+      onoff_series(OnOffParams{0.01, 0.09}, 10.0, 10.0, 100000, 1);
+  const auto d = diagnose_burstiness(series);
+  EXPECT_TRUE(d.bursty);
+  EXPECT_NEAR(d.lag1_acf, 0.9, 0.05);     // r = 0.9
+  EXPECT_NEAR(d.fitted_decay, 0.9, 0.05);
+  // Long-memory spikes inflate the IDC far above the iid baseline.
+  EXPECT_GT(d.empirical_idc, 5.0);
+  EXPECT_TRUE(is_bursty(series));
+}
+
+TEST(Diagnostics, WhiteNoiseNotBursty) {
+  const auto series = white_noise_series(100000, 2);
+  EXPECT_FALSE(is_bursty(series));
+  const auto d = diagnose_burstiness(series);
+  EXPECT_LT(d.lag1_acf, 0.1);
+  EXPECT_FALSE(d.bursty);
+}
+
+TEST(Diagnostics, ConstantSeriesNotBursty) {
+  const std::vector<double> flat(1000, 5.0);
+  EXPECT_FALSE(is_bursty(flat));
+}
+
+TEST(Diagnostics, FastSwitchingNotBursty) {
+  // p_on + p_off ~ 1: no memory even though two levels exist.
+  const auto series =
+      onoff_series(OnOffParams{0.5, 0.5}, 10.0, 10.0, 100000, 3);
+  EXPECT_FALSE(is_bursty(series));
+}
+
+TEST(Diagnostics, ShortSeriesRejected) {
+  const std::vector<double> tiny(50, 1.0);
+  EXPECT_THROW(diagnose_burstiness(tiny, 100), InvalidArgument);
+  EXPECT_THROW(diagnose_burstiness(tiny, 1), InvalidArgument);
+}
+
+TEST(AcfFitError, SmallForTrueModel) {
+  const OnOffParams truth{0.02, 0.1};
+  const auto series = onoff_series(truth, 8.0, 6.0, 200000, 4);
+  const FittedVm fit = fit_onoff_from_trace(series);
+  EXPECT_LT(acf_fit_error(series, fit), 0.05);
+}
+
+TEST(AcfFitError, LargeForWrongModel) {
+  // Fit a slow chain, test it against a fast series: the geometric ACFs
+  // disagree badly.
+  const auto slow_series =
+      onoff_series(OnOffParams{0.01, 0.04}, 8.0, 6.0, 100000, 5);
+  const auto fast_series =
+      onoff_series(OnOffParams{0.4, 0.4}, 8.0, 6.0, 100000, 6);
+  const FittedVm slow_fit = fit_onoff_from_trace(slow_series);
+  EXPECT_GT(acf_fit_error(fast_series, slow_fit), 0.3);
+}
+
+TEST(AcfFitError, ValidatesArguments) {
+  const auto series = onoff_series(OnOffParams{0.1, 0.2}, 5, 5, 1000, 7);
+  const FittedVm fit = fit_onoff_from_trace(series);
+  EXPECT_THROW(acf_fit_error(series, fit, 0), InvalidArgument);
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(acf_fit_error(tiny, fit, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

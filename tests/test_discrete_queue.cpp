@@ -1,0 +1,126 @@
+// Tests for the general discrete-time queue substrate.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "queuing/discrete_queue.h"
+
+namespace burstq {
+namespace {
+
+TEST(DiscreteQueueModel, Validation) {
+  DiscreteQueueModel ok;
+  EXPECT_NO_THROW(ok.validate());
+  DiscreteQueueModel bad = ok;
+  bad.arrival_p = 1.5;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.service_p = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.capacity = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);  // capacity < servers
+}
+
+TEST(DiscreteQueue, MatrixIsStochastic) {
+  for (const auto& m :
+       {DiscreteQueueModel{0.3, 0.5, 1, 5}, DiscreteQueueModel{0.7, 0.2, 3, 8},
+        DiscreteQueueModel{0.05, 0.9, 2, 2}}) {
+    EXPECT_TRUE(
+        discrete_queue_transition_matrix(m).is_row_stochastic(1e-10));
+  }
+}
+
+TEST(DiscreteQueue, EmptySystemStaysEmptyWithoutArrivals) {
+  const DiscreteQueueModel m{0.0, 0.5, 1, 4};
+  const Matrix p = discrete_queue_transition_matrix(m);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  const auto metrics = analyze_discrete_queue(m);
+  EXPECT_NEAR(metrics.mean_in_system, 0.0, 1e-12);
+  EXPECT_NEAR(metrics.stationary[0], 1.0, 1e-12);
+}
+
+TEST(DiscreteQueue, SingleServerLowLoadMostlyEmpty) {
+  const DiscreteQueueModel m{0.1, 0.9, 1, 10};
+  const auto metrics = analyze_discrete_queue(m);
+  EXPECT_GT(metrics.stationary[0], 0.85);
+  EXPECT_LT(metrics.blocking_probability, 1e-6);
+  EXPECT_NEAR(metrics.throughput, 0.1, 1e-6);
+}
+
+TEST(DiscreteQueue, SaturatedQueueBlocksOften) {
+  // lambda near 1, slow single server: the system pins at capacity.
+  const DiscreteQueueModel m{0.95, 0.2, 1, 6};
+  const auto metrics = analyze_discrete_queue(m);
+  EXPECT_GT(metrics.blocking_probability, 0.5);
+  EXPECT_GT(metrics.mean_in_system, 4.0);
+  // Throughput is service-limited: ~mu when always busy.
+  EXPECT_NEAR(metrics.throughput, 0.2, 0.02);
+}
+
+TEST(DiscreteQueue, UtilizationMatchesThroughput) {
+  // Flow balance: accepted arrivals = served = utilization * c * mu.
+  const DiscreteQueueModel m{0.4, 0.3, 2, 12};
+  const auto metrics = analyze_discrete_queue(m);
+  EXPECT_NEAR(metrics.server_utilization * 2.0 * 0.3, metrics.throughput,
+              1e-9);
+}
+
+TEST(DiscreteQueue, MoreServersShrinkQueue) {
+  DiscreteQueueModel one{0.5, 0.3, 1, 20};
+  DiscreteQueueModel three{0.5, 0.3, 3, 20};
+  EXPECT_GT(analyze_discrete_queue(one).mean_in_queue,
+            analyze_discrete_queue(three).mean_in_queue);
+}
+
+TEST(DiscreteQueue, ErlangLossCaseHasNoQueue) {
+  // capacity == servers: nobody ever waits.
+  const DiscreteQueueModel m{0.6, 0.4, 3, 3};
+  const auto metrics = analyze_discrete_queue(m);
+  EXPECT_NEAR(metrics.mean_in_queue, 0.0, 1e-12);
+}
+
+using QueueParam = std::tuple<double, double, std::size_t, std::size_t>;
+
+class DiscreteQueueSimAgreement
+    : public ::testing::TestWithParam<QueueParam> {};
+
+TEST_P(DiscreteQueueSimAgreement, StationaryMatchesSimulation) {
+  const auto [lambda, mu, servers, capacity] = GetParam();
+  const DiscreteQueueModel m{lambda, mu, servers, capacity};
+  const auto analytics = analyze_discrete_queue(m);
+  Rng rng(5);
+  const auto sim = simulate_discrete_queue(m, 400000, rng);
+  for (std::size_t n = 0; n <= capacity; ++n)
+    EXPECT_NEAR(sim.occupancy[n], analytics.stationary[n], 0.01)
+        << "state " << n;
+  // Empirical blocking fraction vs analytic.
+  if (sim.arrivals > 0) {
+    const double blocked = static_cast<double>(sim.blocked) /
+                           static_cast<double>(sim.arrivals);
+    EXPECT_NEAR(blocked, analytics.blocking_probability, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DiscreteQueueSimAgreement,
+    ::testing::Values(QueueParam{0.2, 0.5, 1, 6}, QueueParam{0.6, 0.3, 2, 8},
+                      QueueParam{0.9, 0.25, 4, 10},
+                      QueueParam{0.05, 0.8, 1, 3},
+                      QueueParam{0.5, 0.5, 3, 3}));
+
+TEST(DiscreteQueueSim, CountsConserve) {
+  const DiscreteQueueModel m{0.5, 0.4, 2, 7};
+  Rng rng(9);
+  const auto sim = simulate_discrete_queue(m, 50000, rng);
+  // served <= accepted arrivals; occupancy frequencies sum to 1.
+  EXPECT_LE(sim.served, sim.arrivals - sim.blocked + m.capacity);
+  double sum = 0.0;
+  for (double f : sim.occupancy) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,49 @@
+// Tests for the power model and energy meter.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/energy.h"
+
+namespace burstq {
+namespace {
+
+TEST(PowerModel, LinearInterpolation) {
+  PowerModel m{100.0, 200.0};
+  EXPECT_DOUBLE_EQ(m.watts(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.watts(1.0), 200.0);
+  EXPECT_DOUBLE_EQ(m.watts(0.5), 150.0);
+}
+
+TEST(PowerModel, ClampsUtilization) {
+  PowerModel m{100.0, 200.0};
+  EXPECT_DOUBLE_EQ(m.watts(-0.5), 100.0);
+  EXPECT_DOUBLE_EQ(m.watts(2.0), 200.0);
+}
+
+TEST(PowerModel, Validation) {
+  EXPECT_NO_THROW((PowerModel{100, 200}.validate()));
+  EXPECT_THROW((PowerModel{-1, 200}.validate()), InvalidArgument);
+  EXPECT_THROW((PowerModel{300, 200}.validate()), InvalidArgument);
+}
+
+TEST(EnergyMeter, AccumulatesExactly) {
+  EnergyMeter meter(PowerModel{100.0, 200.0}, 3600.0);  // 1h slots
+  meter.add_pm_slot(0.0);  // 100 Wh
+  meter.add_pm_slot(1.0);  // 200 Wh
+  EXPECT_DOUBLE_EQ(meter.watt_hours(), 300.0);
+  EXPECT_DOUBLE_EQ(meter.joules(), 300.0 * 3600.0);
+}
+
+TEST(EnergyMeter, ThirtySecondSlots) {
+  EnergyMeter meter(PowerModel{150.0, 250.0}, 30.0);
+  for (int i = 0; i < 120; ++i) meter.add_pm_slot(0.5);  // one hour total
+  EXPECT_NEAR(meter.watt_hours(), 200.0, 1e-9);
+}
+
+TEST(EnergyMeter, InvalidSlotLengthThrows) {
+  EXPECT_THROW(EnergyMeter(PowerModel{}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

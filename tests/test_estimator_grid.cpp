@@ -1,0 +1,91 @@
+// Parameter-recovery grid for the ON-OFF estimator: across a lattice of
+// (p_on, p_off, Rb, Re) the fitted four-tuple must recover the truth
+// within statistical tolerance, and the recovered model must reproduce
+// the trace's second-order structure (ACF fit error).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fit/diagnostics.h"
+#include "fit/estimator.h"
+#include "markov/onoff.h"
+#include "sim/webserver.h"
+
+namespace burstq {
+namespace {
+
+using GridParam = std::tuple<double, double, double, double>;
+
+class EstimatorGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(EstimatorGrid, RecoversTruthWithinTolerance) {
+  const auto [p_on, p_off, rb, re] = GetParam();
+  const OnOffParams truth{p_on, p_off};
+  Rng rng(static_cast<std::uint64_t>(p_on * 1e6) +
+          static_cast<std::uint64_t>(p_off * 1e3) + 7);
+  OnOffChain chain(truth);
+  chain.reset_stationary(rng);
+  std::vector<double> series;
+  const std::size_t slots = 150000;
+  series.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    series.push_back(rb + (chain.on() ? re : 0.0));
+    chain.step(rng);
+  }
+
+  const FittedVm fit = fit_onoff_from_trace(series);
+  ASSERT_TRUE(fit.bursty);
+  EXPECT_NEAR(fit.spec.rb, rb, 0.02 * rb + 1e-9);
+  EXPECT_NEAR(fit.spec.re, re, 0.02 * re + 1e-9);
+  // Switch probabilities: relative tolerance scales with sqrt of the
+  // number of dwell periods observed.
+  EXPECT_NEAR(fit.spec.onoff.p_on, p_on, 0.25 * p_on);
+  EXPECT_NEAR(fit.spec.onoff.p_off, p_off, 0.25 * p_off);
+  // Second-order structure: the fitted geometric ACF explains the trace.
+  EXPECT_LT(acf_fit_error(series, fit), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, EstimatorGrid,
+    ::testing::Values(GridParam{0.01, 0.09, 10.0, 10.0},  // paper default
+                      GridParam{0.005, 0.05, 20.0, 5.0},  // rare long spikes
+                      GridParam{0.05, 0.30, 5.0, 15.0},   // frequent short
+                      GridParam{0.02, 0.02, 8.0, 8.0},    // symmetric slow
+                      GridParam{0.10, 0.40, 12.0, 3.0},   // fast small
+                      GridParam{0.01, 0.30, 4.0, 18.0}    // rare tall
+                      ));
+
+class WebExactGaussianGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(WebExactGaussianGrid, GeneratorsAgreeAcrossScales) {
+  const auto [users, sigma] = GetParam();
+  WebServerParams wp;
+  wp.normal_users = users;
+  wp.peak_users = users * 2;
+  wp.sigma_seconds = sigma;
+  const WebServerWorkload w(wp);
+  Rng rng(users + static_cast<std::uint64_t>(sigma));
+  RunningStats exact;
+  RunningStats gauss;
+  for (int i = 0; i < 250; ++i) {
+    exact.add(w.sample_requests_exact(VmState::kOff, rng));
+    gauss.add(w.sample_requests_gaussian(VmState::kOff, rng));
+  }
+  EXPECT_NEAR(gauss.mean(), exact.mean(), 0.03 * exact.mean())
+      << "users=" << users << " sigma=" << sigma;
+  EXPECT_NEAR(exact.mean(), w.expected_requests(VmState::kOff),
+              0.03 * exact.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, WebExactGaussianGrid,
+    ::testing::Combine(::testing::Values(std::size_t{10}, std::size_t{40},
+                                         std::size_t{160}),
+                       ::testing::Values(10.0, 30.0)));
+
+}  // namespace
+}  // namespace burstq

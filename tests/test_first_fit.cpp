@@ -1,0 +1,118 @@
+// Tests for the generic first-fit / best-fit drivers.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "placement/first_fit.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance simple_instance(std::size_t n_vms, std::size_t n_pms,
+                                double rb, double cap) {
+  ProblemInstance inst;
+  for (std::size_t i = 0; i < n_vms; ++i)
+    inst.vms.push_back(VmSpec{kP, rb, 1.0});
+  for (std::size_t j = 0; j < n_pms; ++j) inst.pms.push_back(PmSpec{cap});
+  return inst;
+}
+
+FitPredicate capacity_fit(const ProblemInstance& inst) {
+  return [&inst](const Placement& p, VmId vm, PmId pm) {
+    Resource load = inst.vms[vm.value].rb;
+    for (std::size_t i : p.vms_on(pm)) load += inst.vms[i].rb;
+    return load <= inst.pms[pm.value].capacity;
+  };
+}
+
+std::vector<std::size_t> iota_order(std::size_t n) {
+  std::vector<std::size_t> o(n);
+  std::iota(o.begin(), o.end(), 0);
+  return o;
+}
+
+TEST(FirstFit, PacksSequentially) {
+  // 4 VMs of size 5 onto PMs of capacity 10: two per PM.
+  const auto inst = simple_instance(4, 4, 5.0, 10.0);
+  const auto r = first_fit_place(inst, iota_order(4), capacity_fit(inst));
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.pms_used(), 2u);
+  EXPECT_EQ(r.placement.pm_of(VmId{0}), PmId{0});
+  EXPECT_EQ(r.placement.pm_of(VmId{1}), PmId{0});
+  EXPECT_EQ(r.placement.pm_of(VmId{2}), PmId{1});
+  EXPECT_EQ(r.placement.pm_of(VmId{3}), PmId{1});
+}
+
+TEST(FirstFit, CollectsUnplaced) {
+  // 3 VMs of size 8 but only one PM of capacity 10.
+  const auto inst = simple_instance(3, 1, 8.0, 10.0);
+  const auto r = first_fit_place(inst, iota_order(3), capacity_fit(inst));
+  EXPECT_FALSE(r.complete());
+  ASSERT_EQ(r.unplaced.size(), 2u);
+  EXPECT_EQ(r.unplaced[0], VmId{1});
+  EXPECT_EQ(r.unplaced[1], VmId{2});
+  EXPECT_EQ(r.pms_used(), 1u);
+}
+
+TEST(FirstFit, HonorsVisitOrder) {
+  const auto inst = simple_instance(2, 2, 6.0, 10.0);
+  const std::vector<std::size_t> order{1, 0};
+  const auto r = first_fit_place(inst, order, capacity_fit(inst));
+  // VM1 visited first -> PM0; VM0 doesn't fit there -> PM1.
+  EXPECT_EQ(r.placement.pm_of(VmId{1}), PmId{0});
+  EXPECT_EQ(r.placement.pm_of(VmId{0}), PmId{1});
+}
+
+TEST(FirstFit, WrongOrderLengthThrows) {
+  const auto inst = simple_instance(3, 1, 1.0, 10.0);
+  const std::vector<std::size_t> short_order{0, 1};
+  EXPECT_THROW(first_fit_place(inst, short_order, capacity_fit(inst)),
+               InvalidArgument);
+}
+
+TEST(BestFit, PrefersTightestPm) {
+  // PM0 cap 10, PM1 cap 6.  VM of size 5: best-fit slack favors PM1.
+  ProblemInstance inst;
+  inst.vms.push_back(VmSpec{kP, 5.0, 1.0});
+  inst.pms = {PmSpec{10.0}, PmSpec{6.0}};
+  const SlackFunction slack = [&inst](const Placement& p, VmId vm, PmId pm) {
+    Resource load = inst.vms[vm.value].rb;
+    for (std::size_t i : p.vms_on(pm)) load += inst.vms[i].rb;
+    return inst.pms[pm.value].capacity - load;
+  };
+  const auto r =
+      best_fit_place(inst, iota_order(1), capacity_fit(inst), slack);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.placement.pm_of(VmId{0}), PmId{1});
+}
+
+TEST(BestFit, FallsBackToUnplaced) {
+  const auto inst = simple_instance(2, 1, 8.0, 10.0);
+  const SlackFunction slack = [](const Placement&, VmId, PmId) {
+    return 0.0;
+  };
+  const auto r =
+      best_fit_place(inst, iota_order(2), capacity_fit(inst), slack);
+  EXPECT_EQ(r.unplaced.size(), 1u);
+}
+
+TEST(BestFit, EquivalentToFirstFitWhenOnePmFeasible) {
+  const auto inst = simple_instance(4, 2, 9.0, 10.0);  // one VM per PM
+  const SlackFunction slack = [&inst](const Placement& p, VmId vm, PmId pm) {
+    Resource load = inst.vms[vm.value].rb;
+    for (std::size_t i : p.vms_on(pm)) load += inst.vms[i].rb;
+    return inst.pms[pm.value].capacity - load;
+  };
+  const auto ff = first_fit_place(inst, iota_order(4), capacity_fit(inst));
+  const auto bf =
+      best_fit_place(inst, iota_order(4), capacity_fit(inst), slack);
+  EXPECT_EQ(ff.pms_used(), bf.pms_used());
+  EXPECT_EQ(ff.unplaced.size(), bf.unplaced.size());
+}
+
+}  // namespace
+}  // namespace burstq

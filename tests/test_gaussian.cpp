@@ -1,0 +1,118 @@
+// Unit tests for Gaussian elimination and the stationary-distribution
+// solver (Algorithm 1's numeric core).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/gaussian.h"
+
+namespace burstq {
+namespace {
+
+TEST(SolveLinearSystem, Known2x2) {
+  // x + y = 3 ; 2x - y = 0  =>  x = 1, y = 2
+  Matrix a{{1, 1}, {2, -1}};
+  auto x = solve_linear_system(a, {3.0, 0.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  auto x = solve_linear_system(a, {5.0, 7.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 5.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularReturnsNullopt) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(solve_linear_system(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinearSystem, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(SolveLinearSystem, RhsLengthMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(solve_linear_system(a, {1.0}), InvalidArgument);
+}
+
+TEST(SolveLinearSystem, Larger5x5RoundTrip) {
+  // Construct A x = b from a known x and verify recovery.
+  Matrix a(5, 5);
+  const std::vector<double> truth{1.0, -2.0, 0.5, 3.0, -1.5};
+  // Diagonally-dominant A for stability.
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      a(i, j) = (i == j) ? 10.0 : static_cast<double>((i * 5 + j) % 3);
+  std::vector<double> b(5, 0.0);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) b[i] += a(i, j) * truth[j];
+  auto x = solve_linear_system(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR((*x)[i], truth[i], 1e-10);
+}
+
+TEST(Stationary, TwoStateChainClosedForm) {
+  // P = [[1-a, a], [b, 1-b]] has stationary (b, a)/(a+b).
+  const double alpha = 0.3;
+  const double beta = 0.1;
+  Matrix p{{1 - alpha, alpha}, {beta, 1 - beta}};
+  auto pi = stationary_distribution_gaussian(p);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], beta / (alpha + beta), 1e-12);
+  EXPECT_NEAR((*pi)[1], alpha / (alpha + beta), 1e-12);
+}
+
+TEST(Stationary, IdentityChainStillSolvable) {
+  // Identity is stochastic but reducible: every distribution is
+  // stationary.  The solver must not crash; it may return any valid
+  // probability vector or nullopt (rank deficiency > 1).
+  const Matrix p = Matrix::identity(3);
+  auto pi = stationary_distribution_gaussian(p);
+  if (pi) {
+    double sum = 0.0;
+    for (double v : *pi) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Stationary, SumsToOneAndNonNegative) {
+  Matrix p{{0.2, 0.5, 0.3}, {0.1, 0.6, 0.3}, {0.4, 0.4, 0.2}};
+  auto pi = stationary_distribution_gaussian(p);
+  ASSERT_TRUE(pi.has_value());
+  double sum = 0.0;
+  for (double v : *pi) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Verify pi P = pi.
+  const auto piP = p.left_multiply(*pi);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(piP[i], (*pi)[i], 1e-12);
+}
+
+TEST(Stationary, RejectsNonStochastic) {
+  Matrix p{{0.5, 0.6}, {0.5, 0.5}};
+  EXPECT_THROW(stationary_distribution_gaussian(p), InvalidArgument);
+}
+
+TEST(Stationary, OneStateChain) {
+  Matrix p{{1.0}};
+  auto pi = stationary_distribution_gaussian(p);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace burstq

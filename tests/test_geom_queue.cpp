@@ -1,0 +1,95 @@
+// Tests for the finite-source Geom/Geom/K analytic metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "queuing/geom_queue.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kParams{0.01, 0.09};  // q = 0.1
+
+TEST(GeomQueue, FullServersNeverOverflow) {
+  const auto m = analyze_geom_queue(8, 8, kParams);
+  EXPECT_DOUBLE_EQ(m.overflow_probability, 0.0);
+  EXPECT_DOUBLE_EQ(m.expected_overflow_excess, 0.0);
+}
+
+TEST(GeomQueue, ZeroServersAlwaysOverflowWhenOn) {
+  const auto m = analyze_geom_queue(4, 0, kParams);
+  // Overflow prob = P[theta > 0] = 1 - (1-q)^4.
+  const double q = kParams.stationary_on_probability();
+  EXPECT_NEAR(m.overflow_probability, 1.0 - std::pow(1.0 - q, 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.server_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_busy_servers, 0.0);
+}
+
+TEST(GeomQueue, MeanOnSourcesIsKQ) {
+  for (std::size_t k : {1u, 4u, 16u}) {
+    const auto m = analyze_geom_queue(k, k / 2, kParams);
+    EXPECT_NEAR(m.mean_on_sources,
+                static_cast<double>(k) * kParams.stationary_on_probability(),
+                1e-10);
+  }
+}
+
+TEST(GeomQueue, OverflowMonotoneInServers) {
+  double prev = 1.0;
+  for (std::size_t servers = 0; servers <= 12; ++servers) {
+    const auto m = analyze_geom_queue(12, servers, kParams);
+    EXPECT_LE(m.overflow_probability, prev + 1e-15);
+    prev = m.overflow_probability;
+  }
+}
+
+TEST(GeomQueue, BusyServersBoundedByServersAndSources) {
+  const auto m = analyze_geom_queue(10, 4, kParams);
+  EXPECT_LE(m.mean_busy_servers, 4.0);
+  EXPECT_LE(m.mean_busy_servers, m.mean_on_sources + 1e-12);
+  EXPECT_GE(m.server_utilization, 0.0);
+  EXPECT_LE(m.server_utilization, 1.0);
+}
+
+TEST(GeomQueue, ExcessConsistentWithOverflow) {
+  const auto m = analyze_geom_queue(12, 2, kParams);
+  // E[(theta-K)^+] >= P[theta > K] (each overflowing state contributes
+  // at least one unit of excess).
+  EXPECT_GE(m.expected_overflow_excess, m.overflow_probability - 1e-12);
+}
+
+TEST(GeomQueue, MinServersMatchesMapCal) {
+  for (std::size_t k = 1; k <= 20; ++k) {
+    for (const double rho : {0.001, 0.01, 0.1}) {
+      EXPECT_EQ(min_servers_for_overflow(k, kParams, rho),
+                map_cal_blocks(k, kParams, rho))
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(GeomQueue, MinServersAchievesBound) {
+  const double rho = 0.01;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const std::size_t servers = min_servers_for_overflow(k, kParams, rho);
+    EXPECT_LE(analyze_geom_queue(k, servers, kParams).overflow_probability,
+              rho + kCdfTieEpsilon);
+    if (servers > 0) {
+      EXPECT_GT(
+          analyze_geom_queue(k, servers - 1, kParams).overflow_probability,
+          rho - kCdfTieEpsilon);
+    }
+  }
+}
+
+TEST(GeomQueue, InvalidArgsThrow) {
+  EXPECT_THROW(analyze_geom_queue(0, 0, kParams), InvalidArgument);
+  EXPECT_THROW(analyze_geom_queue(4, 5, kParams), InvalidArgument);
+  EXPECT_THROW(min_servers_for_overflow(4, kParams, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,158 @@
+// Tests for the heterogeneity-exact reservation (queuing/hetero and
+// placement/hetero_ffd).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/hetero_ffd.h"
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+#include "queuing/hetero.h"
+#include "queuing/mapcal.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq {
+namespace {
+
+TEST(MapCalHetero, UniformInputMatchesMapCal) {
+  const OnOffParams p{0.01, 0.09};
+  for (std::size_t k : {1u, 4u, 8u, 16u}) {
+    const std::vector<OnOffParams> params(k, p);
+    EXPECT_EQ(map_cal_hetero_blocks(params, 0.01),
+              map_cal_blocks(k, p, 0.01))
+        << "k=" << k;
+  }
+}
+
+TEST(MapCalHetero, CvrBoundRespectsRho) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<OnOffParams> params;
+    for (int i = 0; i < 12; ++i)
+      params.push_back(
+          OnOffParams{rng.uniform(0.005, 0.05), rng.uniform(0.05, 0.3)});
+    const auto r = map_cal_hetero(params, 0.01);
+    EXPECT_LE(r.cvr_bound, 0.01 + kCdfTieEpsilon);
+    EXPECT_LE(r.blocks, params.size());
+  }
+}
+
+TEST(MapCalHetero, StationaryIsPoissonBinomial) {
+  const std::vector<OnOffParams> params{
+      {0.01, 0.09},   // q = 0.1
+      {0.05, 0.05},   // q = 0.5
+  };
+  const auto r = map_cal_hetero(params, 0.01);
+  ASSERT_EQ(r.stationary.size(), 3u);
+  EXPECT_NEAR(r.stationary[0], 0.9 * 0.5, 1e-12);
+  EXPECT_NEAR(r.stationary[1], 0.1 * 0.5 + 0.9 * 0.5, 1e-12);
+  EXPECT_NEAR(r.stationary[2], 0.1 * 0.5, 1e-12);
+}
+
+TEST(MapCalHetero, MeanRoundingUnderestimatesForSkewedMix) {
+  // One very bursty VM among many calm ones: rounding to the mean q can
+  // reserve fewer blocks than the exact law requires.  The conservative
+  // policy must reserve at least as much as exact.
+  std::vector<VmSpec> vms;
+  std::vector<OnOffParams> params;
+  for (int i = 0; i < 10; ++i) {
+    const OnOffParams p =
+        i == 0 ? OnOffParams{0.5, 0.05} : OnOffParams{0.005, 0.3};
+    params.push_back(p);
+    vms.push_back(VmSpec{p, 1.0, 1.0});
+  }
+  const std::size_t exact = map_cal_hetero_blocks(params, 0.01);
+  const OnOffParams cons =
+      round_uniform_params(vms, RoundingPolicy::kConservative);
+  const std::size_t conservative =
+      map_cal_blocks(params.size(), cons, 0.01);
+  EXPECT_GE(conservative, exact);
+}
+
+TEST(MapCalHetero, InvalidInputsThrow) {
+  EXPECT_THROW(map_cal_hetero({}, 0.01), InvalidArgument);
+  const std::vector<OnOffParams> ok{{0.1, 0.1}};
+  EXPECT_THROW(map_cal_hetero(ok, 1.0), InvalidArgument);
+  const std::vector<OnOffParams> bad{{0.0, 0.1}};
+  EXPECT_THROW(map_cal_hetero(bad, 0.01), InvalidArgument);
+}
+
+TEST(StationaryOnProbabilities, Computed) {
+  const std::vector<OnOffParams> params{{0.01, 0.09}, {0.2, 0.2}};
+  const auto qs = stationary_on_probabilities(params);
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_NEAR(qs[0], 0.1, 1e-15);
+  EXPECT_NEAR(qs[1], 0.5, 1e-15);
+}
+
+ProblemInstance hetero_instance(std::size_t n, std::size_t m,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  for (std::size_t i = 0; i < n; ++i) {
+    OnOffParams p{rng.uniform(0.005, 0.05), rng.uniform(0.05, 0.3)};
+    inst.vms.push_back(VmSpec{p, rng.uniform(2, 20), rng.uniform(2, 20)});
+  }
+  for (std::size_t j = 0; j < m; ++j)
+    inst.pms.push_back(PmSpec{rng.uniform(80, 100)});
+  return inst;
+}
+
+TEST(HeteroFfd, CompleteAndExactFeasible) {
+  const auto inst = hetero_instance(150, 100, 7);
+  const HeteroFfdOptions opt;
+  const auto placed = queuing_ffd_hetero(inst, opt);
+  EXPECT_TRUE(placed.complete());
+  EXPECT_TRUE(placement_satisfies_exact_reservation(inst, placed.placement,
+                                                    opt));
+}
+
+TEST(HeteroFfd, UniformParamsMatchRoundedAlgorithm) {
+  // With truly uniform parameters the exact scheme reduces to Algorithm 2.
+  Rng rng(9);
+  const auto inst = random_instance(100, 60, OnOffParams{0.01, 0.09},
+                                    InstanceRanges{}, rng);
+  const auto exact = queuing_ffd_hetero(inst);
+  const auto rounded = queuing_ffd(inst);
+  EXPECT_EQ(exact.pms_used(), rounded.result.pms_used());
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    EXPECT_EQ(exact.placement.pm_of(VmId{i}),
+              rounded.result.placement.pm_of(VmId{i}));
+}
+
+TEST(HeteroFfd, SimulatedCvrBounded) {
+  const auto inst = hetero_instance(120, 80, 11);
+  const auto placed = queuing_ffd_hetero(inst);
+  ASSERT_TRUE(placed.complete());
+  const auto cvr = simulate_cvr(inst, placed.placement, 5000, Rng(12));
+  double mean = 0.0;
+  std::size_t used = 0;
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    if (placed.placement.count_on(PmId{j}) == 0) continue;
+    mean += cvr[j];
+    ++used;
+  }
+  EXPECT_LE(mean / static_cast<double>(used), 0.02);
+}
+
+TEST(HeteroFfd, RespectsVmCap) {
+  const auto inst = hetero_instance(40, 40, 13);
+  HeteroFfdOptions opt;
+  opt.max_vms_per_pm = 2;
+  const auto placed = queuing_ffd_hetero(inst, opt);
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(placed.placement.count_on(PmId{j}), 2u);
+}
+
+TEST(HeteroFfdOptions, Validation) {
+  HeteroFfdOptions bad;
+  bad.rho = 1.5;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = HeteroFfdOptions{};
+  bad.max_vms_per_pm = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,100 @@
+// Randomized stress tests for the linear-algebra substrate: residual
+// checks on random systems and stationary-solver cross-validation on
+// random stochastic matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/gaussian.h"
+#include "linalg/power_iteration.h"
+
+namespace burstq {
+namespace {
+
+Matrix random_diagonally_dominant(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + rng.uniform(1.0, 2.0);  // strictly dominant
+  }
+  return a;
+}
+
+Matrix random_stochastic(std::size_t n, Rng& rng) {
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) = rng.uniform(0.01, 1.0);  // strictly positive: irreducible
+      sum += p(i, j);
+    }
+    for (std::size_t j = 0; j < n; ++j) p(i, j) /= sum;
+  }
+  return p;
+}
+
+class LinalgStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinalgStress, SolveResidualTiny) {
+  Rng rng(GetParam() * 1299709);
+  for (const std::size_t n : {2u, 5u, 17u, 33u}) {
+    const Matrix a = random_diagonally_dominant(n, rng);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+    const auto x = solve_linear_system(a, b);
+    ASSERT_TRUE(x.has_value()) << "n=" << n;
+    // Residual ||Ax - b||_inf.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * (*x)[j];
+      EXPECT_NEAR(acc, b[i], 1e-9) << "n=" << n << " row " << i;
+    }
+  }
+}
+
+TEST_P(LinalgStress, StationarySolversAgreeOnRandomChains) {
+  Rng rng(GetParam() * 15485863);
+  for (const std::size_t n : {2u, 6u, 20u}) {
+    const Matrix p = random_stochastic(n, rng);
+    const auto gauss = stationary_distribution_gaussian(p);
+    const auto power = stationary_distribution_power(p);
+    ASSERT_TRUE(gauss.has_value());
+    ASSERT_TRUE(power.has_value());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR((*gauss)[i], power->distribution[i], 1e-8)
+          << "n=" << n << " i=" << i;
+    // pi P = pi.
+    const auto piP = p.left_multiply(*gauss);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(piP[i], (*gauss)[i], 1e-10);
+  }
+}
+
+TEST_P(LinalgStress, TransposeInvolutionAndProductShape) {
+  Rng rng(GetParam() * 32452843);
+  Matrix a(4, 7);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 7; ++j) a(i, j) = rng.uniform(-5, 5);
+  const Matrix att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(att), 0.0);
+  // (AB)^T == B^T A^T.
+  Matrix b(7, 3);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 3; ++j) b(i, j) = rng.uniform(-5, 5);
+  const Matrix lhs = a.multiply(b).transposed();
+  const Matrix rhs = b.transposed().multiply(a.transposed());
+  EXPECT_LT(lhs.max_abs_diff(rhs), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgStress,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,100 @@
+// Unit tests for the dense Matrix type.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "linalg/matrix.h"
+
+namespace burstq {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, BraceConstruction) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedBracesThrow) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(m.multiply(i).max_abs_diff(m), 0.0);
+  EXPECT_DOUBLE_EQ(i.multiply(m).max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix expect{{19, 22}, {43, 50}};
+  EXPECT_DOUBLE_EQ(a.multiply(b).max_abs_diff(expect), 0.0);
+}
+
+TEST(Matrix, RectangularProductShape) {
+  Matrix a(2, 3);
+  Matrix b(3, 4);
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), InvalidArgument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, LeftMultiply) {
+  Matrix m{{1, 2}, {3, 4}};
+  const std::vector<double> v{1.0, 1.0};
+  const auto r = m.left_multiply(v);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(Matrix, LeftMultiplyLengthMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.left_multiply({1.0}), InvalidArgument);
+}
+
+TEST(Matrix, RowStochasticDetection) {
+  Matrix good{{0.25, 0.75}, {1.0, 0.0}};
+  EXPECT_TRUE(good.is_row_stochastic());
+  Matrix bad_sum{{0.5, 0.4}, {1.0, 0.0}};
+  EXPECT_FALSE(bad_sum.is_row_stochastic());
+  Matrix negative{{1.2, -0.2}, {0.5, 0.5}};
+  EXPECT_FALSE(negative.is_row_stochastic());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.is_row_stochastic());
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2.5}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  Matrix c(3, 3);
+  EXPECT_THROW((void)a.max_abs_diff(c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,80 @@
+// Tests for CVR tracking and migration-event records.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/metrics.h"
+
+namespace burstq {
+namespace {
+
+TEST(CvrTracker, CumulativeCvr) {
+  CvrTracker t(2, 4);
+  t.record(PmId{0}, true);
+  t.record(PmId{0}, false);
+  t.record(PmId{0}, false);
+  t.record(PmId{0}, true);
+  EXPECT_DOUBLE_EQ(t.cvr(PmId{0}), 0.5);
+  EXPECT_DOUBLE_EQ(t.cvr(PmId{1}), 0.0);
+  EXPECT_EQ(t.observed_slots(PmId{0}), 4u);
+  EXPECT_EQ(t.violations(PmId{0}), 2u);
+}
+
+TEST(CvrTracker, WindowedCvrSlides) {
+  CvrTracker t(1, 3);
+  t.record(PmId{0}, true);
+  EXPECT_DOUBLE_EQ(t.windowed_cvr(PmId{0}), 1.0);
+  t.record(PmId{0}, false);
+  t.record(PmId{0}, false);
+  EXPECT_NEAR(t.windowed_cvr(PmId{0}), 1.0 / 3.0, 1e-12);
+  t.record(PmId{0}, false);  // the old violation falls out
+  EXPECT_DOUBLE_EQ(t.windowed_cvr(PmId{0}), 0.0);
+  // Cumulative still remembers it.
+  EXPECT_DOUBLE_EQ(t.cvr(PmId{0}), 0.25);
+}
+
+TEST(CvrTracker, ResetWindowKeepsCumulative) {
+  CvrTracker t(1, 5);
+  t.record(PmId{0}, true);
+  t.record(PmId{0}, true);
+  t.reset_window(PmId{0});
+  EXPECT_DOUBLE_EQ(t.windowed_cvr(PmId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.cvr(PmId{0}), 1.0);
+}
+
+TEST(CvrTracker, MeanSkipsUnobserved) {
+  CvrTracker t(3, 4);
+  t.record(PmId{0}, true);   // CVR 1.0
+  t.record(PmId{2}, false);  // CVR 0.0
+  // PM1 never observed -> mean over PM0 and PM2 only.
+  EXPECT_DOUBLE_EQ(t.mean_cvr(), 0.5);
+  EXPECT_DOUBLE_EQ(t.max_cvr(), 1.0);
+}
+
+TEST(CvrTracker, EmptyTrackerZeroes) {
+  CvrTracker t(2, 4);
+  EXPECT_DOUBLE_EQ(t.mean_cvr(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_cvr(), 0.0);
+  EXPECT_DOUBLE_EQ(t.windowed_cvr(PmId{0}), 0.0);
+}
+
+TEST(CvrTracker, InvalidConstructionThrows) {
+  EXPECT_THROW(CvrTracker(0, 4), InvalidArgument);
+  EXPECT_THROW(CvrTracker(2, 0), InvalidArgument);
+}
+
+TEST(CvrTracker, OutOfRangePmThrows) {
+  CvrTracker t(2, 4);
+  EXPECT_THROW(t.record(PmId{5}, true), InvalidArgument);
+  EXPECT_THROW((void)t.cvr(PmId{5}), InvalidArgument);
+}
+
+TEST(MigrationEvent, FailureFlag) {
+  MigrationEvent ok{3, VmId{1}, PmId{0}, PmId{2}};
+  EXPECT_FALSE(ok.failed());
+  MigrationEvent fail{3, VmId{1}, PmId{0}, PmId{}};
+  EXPECT_TRUE(fail.failed());
+}
+
+}  // namespace
+}  // namespace burstq

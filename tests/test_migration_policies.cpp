@@ -1,0 +1,161 @@
+// Tests for the pluggable victim/target migration policies, including
+// the reservation-aware scheduler extension.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/cluster_sim.h"
+#include "sim/migration.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance policy_instance() {
+  // Three VMs with distinct rb/re so each victim policy picks another VM.
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 20.0, 2.0},   // largest rb, smallest re
+              VmSpec{kP, 5.0, 15.0},   // smallest rb, largest re
+              VmSpec{kP, 10.0, 8.0}};  // middle
+  inst.pms = {PmSpec{90.0}, PmSpec{90.0}};
+  return inst;
+}
+
+TEST(VictimPolicy, LargestOnDemandDelegates) {
+  const auto inst = policy_instance();
+  const std::vector<std::size_t> on_pm{0, 1, 2};
+  const std::vector<Resource> demand{20.0, 20.0, 18.0};
+  const std::vector<VmState> state{VmState::kOff, VmState::kOn,
+                                   VmState::kOn};
+  const auto v = select_victim_policy(VictimSelection::kLargestOnDemand,
+                                      inst, on_pm, demand, state);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, VmId{1});  // the largest-demand ON VM
+}
+
+TEST(VictimPolicy, SmallestRbPicksCheapestMove) {
+  const auto inst = policy_instance();
+  const std::vector<std::size_t> on_pm{0, 1, 2};
+  const std::vector<Resource> demand{20.0, 5.0, 10.0};
+  const std::vector<VmState> state(3, VmState::kOff);
+  const auto v = select_victim_policy(VictimSelection::kSmallestRb, inst,
+                                      on_pm, demand, state);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, VmId{1});  // rb = 5 is the smallest
+}
+
+TEST(VictimPolicy, LargestRePicksBurstCulprit) {
+  const auto inst = policy_instance();
+  const std::vector<std::size_t> on_pm{0, 1, 2};
+  const std::vector<Resource> demand{20.0, 5.0, 10.0};
+  const std::vector<VmState> state(3, VmState::kOff);
+  const auto v = select_victim_policy(VictimSelection::kLargestRe, inst,
+                                      on_pm, demand, state);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, VmId{1});  // re = 15 is the largest
+}
+
+TEST(VictimPolicy, EmptyPmNullopt) {
+  const auto inst = policy_instance();
+  const std::vector<std::size_t> empty;
+  const std::vector<Resource> demand{1.0, 1.0, 1.0};
+  const std::vector<VmState> state(3, VmState::kOff);
+  for (auto policy :
+       {VictimSelection::kLargestOnDemand, VictimSelection::kSmallestRb,
+        VictimSelection::kLargestRe}) {
+    EXPECT_FALSE(
+        select_victim_policy(policy, inst, empty, demand, state).has_value());
+  }
+}
+
+ProblemInstance sim_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(80, 80, kP, InstanceRanges{}, rng);
+}
+
+TEST(SchedulerPolicy, AllPolicyCombinationsRunClean) {
+  const auto inst = sim_instance(1);
+  const auto placed = ffd_by_normal(inst);
+  ASSERT_TRUE(placed.complete());
+  for (auto victim :
+       {VictimSelection::kLargestOnDemand, VictimSelection::kSmallestRb,
+        VictimSelection::kLargestRe}) {
+    for (auto target :
+         {TargetSelection::kObservedLoad, TargetSelection::kReservationAware}) {
+      SimConfig cfg;
+      cfg.slots = 40;
+      cfg.policy.victim = victim;
+      cfg.policy.target = target;
+      ClusterSimulator sim(inst, placed.placement, cfg, Rng(2));
+      const auto rep = sim.run();
+      EXPECT_EQ(rep.pms_used_timeline.size(), 40u);
+      EXPECT_EQ(sim.placement().vms_assigned(), inst.n_vms());
+    }
+  }
+}
+
+TEST(SchedulerPolicy, ReservationAwareTargetsSatisfyEq17) {
+  const auto inst = sim_instance(3);
+  const auto placed = ffd_by_normal(inst);  // over-tight: will migrate
+  ASSERT_TRUE(placed.complete());
+  SimConfig cfg;
+  cfg.slots = 100;
+  cfg.policy.target = TargetSelection::kReservationAware;
+  ClusterSimulator sim(inst, placed.placement, cfg, Rng(4));
+  const auto rep = sim.run();
+
+  // Every successful migration target, at the moment of the move, kept
+  // Eq. 17 satisfiable; verify the weaker post-hoc property that targets
+  // never exceeded the VM cap and that migrations did happen.
+  EXPECT_GT(rep.total_migrations, 0u);
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(sim.placement().count_on(PmId{j}),
+              cfg.policy.max_vms_per_pm + 1);
+}
+
+TEST(SchedulerPolicy, ReservationAwareBreaksCycleMigration) {
+  // The burstiness-aware scheduler should need fewer follow-up
+  // migrations than the idle-deception-prone observed-load scheduler on
+  // RB packings: once a VM lands on a PM with genuine (reservation)
+  // headroom it does not bounce again.
+  double observed = 0.0;
+  double aware = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = sim_instance(100 + seed);
+    const auto placed = ffd_by_normal(inst);
+    ASSERT_TRUE(placed.complete());
+    SimConfig cfg;
+    cfg.slots = 100;
+    cfg.policy.target = TargetSelection::kObservedLoad;
+    ClusterSimulator a(inst, placed.placement, cfg, Rng(7 + seed));
+    observed += static_cast<double>(a.run().total_migrations);
+    cfg.policy.target = TargetSelection::kReservationAware;
+    ClusterSimulator b(inst, placed.placement, cfg, Rng(7 + seed));
+    aware += static_cast<double>(b.run().total_migrations);
+  }
+  // Not necessarily dramatic per seed, but the aggregate must not be
+  // worse by more than noise, and typically is clearly better.
+  EXPECT_LE(aware, observed * 1.1);
+}
+
+TEST(SchedulerPolicy, QueuePlacementUnaffectedByTargetPolicy) {
+  // QUEUE placements barely migrate, so the target policy is moot there.
+  const auto inst = sim_instance(9);
+  const auto placed = queuing_ffd(inst).result;
+  ASSERT_TRUE(placed.complete());
+  for (auto target :
+       {TargetSelection::kObservedLoad, TargetSelection::kReservationAware}) {
+    SimConfig cfg;
+    cfg.slots = 100;
+    cfg.policy.target = target;
+    ClusterSimulator sim(inst, placed.placement, cfg, Rng(10));
+    EXPECT_LT(sim.run().total_migrations, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace burstq

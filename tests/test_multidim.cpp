@@ -1,0 +1,158 @@
+// Tests for the multi-dimensional consolidation extension (Section IV-E).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/multidim.h"
+#include "placement/placement.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+MultiVmSpec mvm(std::initializer_list<double> rb,
+                std::initializer_list<double> re, OnOffParams p = kP) {
+  MultiVmSpec v;
+  v.onoff = p;
+  v.dims = rb.size();
+  std::size_t d = 0;
+  for (double x : rb) v.rb[d++] = x;
+  d = 0;
+  for (double x : re) v.re[d++] = x;
+  return v;
+}
+
+MultiPmSpec mpm(std::initializer_list<double> cap) {
+  MultiPmSpec p;
+  p.dims = cap.size();
+  std::size_t d = 0;
+  for (double x : cap) p.capacity[d++] = x;
+  return p;
+}
+
+TEST(MultiSpec, Validation) {
+  EXPECT_NO_THROW(mvm({1, 2}, {3, 4}).validate());
+  MultiVmSpec bad = mvm({1}, {2});
+  bad.rb[0] = -1;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  MultiVmSpec bad_dims = mvm({1}, {1});
+  bad_dims.dims = 9;
+  EXPECT_THROW(bad_dims.validate(), InvalidArgument);
+  EXPECT_THROW(mpm({0.0}).validate(), InvalidArgument);
+}
+
+TEST(MultiInstance, DimensionAgreementEnforced) {
+  MultiProblemInstance inst;
+  inst.vms = {mvm({1, 2}, {1, 2}), mvm({1}, {1})};
+  inst.pms = {mpm({10, 10})};
+  EXPECT_THROW(inst.validate(), InvalidArgument);
+  inst.vms.pop_back();
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.dims(), 2u);
+}
+
+TEST(MultidimFits, ChecksEveryDimension) {
+  const MapCalTable table(4, kP, 0.01);
+  const MultiPmSpec pm = mpm({100, 10});
+  const MultiVmSpec fat_dim1 = mvm({5, 9}, {1, 1});
+  // Alone: dim0 5 + 1*blocks(1) <= 100 ok; dim1 9 + 1 <= 10 ok.
+  EXPECT_TRUE(multidim_fits({}, fat_dim1, pm, table));
+  // Two of them: dim1 18 + blocks(2) > 10 -> reject.
+  std::vector<const MultiVmSpec*> hosted{&fat_dim1};
+  EXPECT_FALSE(multidim_fits(hosted, fat_dim1, pm, table));
+}
+
+TEST(MultidimFits, RespectsVmCap) {
+  const MapCalTable table(1, kP, 0.01);
+  const MultiVmSpec v = mvm({1}, {1});
+  const MultiPmSpec pm = mpm({1000});
+  std::vector<const MultiVmSpec*> hosted{&v};
+  EXPECT_FALSE(multidim_fits(hosted, v, pm, table));
+}
+
+TEST(MultidimPlacement, CompleteOnAmpleCluster) {
+  Rng rng(1);
+  MultiProblemInstance inst;
+  for (int i = 0; i < 60; ++i)
+    inst.vms.push_back(mvm({rng.uniform(2, 10), rng.uniform(2, 10)},
+                           {rng.uniform(2, 10), rng.uniform(2, 10)}));
+  for (int j = 0; j < 40; ++j) inst.pms.push_back(mpm({90, 90}));
+  const auto r = multidim_queuing_first_fit(inst);
+  EXPECT_TRUE(r.unplaced.empty());
+  EXPECT_GT(r.pms_used, 0u);
+  // Every VM has a PM.
+  for (auto pm : r.pm_of) EXPECT_NE(pm, MultiPlacementResult::npos);
+}
+
+TEST(MultidimPlacement, PerDimensionReservationHolds) {
+  Rng rng(2);
+  MultiProblemInstance inst;
+  for (int i = 0; i < 80; ++i)
+    inst.vms.push_back(mvm({rng.uniform(2, 12), rng.uniform(2, 12)},
+                           {rng.uniform(2, 12), rng.uniform(2, 12)}));
+  for (int j = 0; j < 60; ++j) inst.pms.push_back(mpm({85, 95}));
+  QueuingFfdOptions opt;
+  const auto r = multidim_queuing_first_fit(inst, opt);
+  ASSERT_TRUE(r.unplaced.empty());
+
+  // Rebuild the table exactly as the placer did and verify Eq. (17) per
+  // dimension post-hoc.
+  const MapCalTable table(opt.max_vms_per_pm, kP, opt.rho);
+  for (std::size_t j = 0; j < inst.pms.size(); ++j) {
+    std::vector<const MultiVmSpec*> hosted;
+    for (std::size_t i = 0; i < inst.vms.size(); ++i)
+      if (r.pm_of[i] == j) hosted.push_back(&inst.vms[i]);
+    if (hosted.empty()) continue;
+    const auto blocks = static_cast<double>(table.blocks(hosted.size()));
+    for (std::size_t d = 0; d < 2; ++d) {
+      double max_re = 0.0;
+      double rb_sum = 0.0;
+      for (auto* v : hosted) {
+        max_re = std::max(max_re, v->re[d]);
+        rb_sum += v->rb[d];
+      }
+      EXPECT_LE(max_re * blocks + rb_sum,
+                inst.pms[j].capacity[d] * (1.0 + 1e-9))
+          << "pm " << j << " dim " << d;
+    }
+  }
+}
+
+TEST(MultidimPlacement, OneDimMatchesSpecsPredicate) {
+  // In 1-D the multi-dim feasibility degenerates to Eq. (17).
+  const MapCalTable table(8, kP, 0.01);
+  const MultiVmSpec a = mvm({10}, {5});
+  const MultiVmSpec b = mvm({8}, {7});
+  const MultiPmSpec pm = mpm({30});
+  std::vector<const MultiVmSpec*> hosted{&a};
+
+  const std::vector<VmSpec> hosted1{VmSpec{kP, 10, 5}};
+  const VmSpec cand{kP, 8, 7};
+  EXPECT_EQ(multidim_fits(hosted, b, pm, table),
+            fits_with_reservation_specs(hosted1, cand, 30.0, table));
+}
+
+TEST(ProjectCorrelated, WeightedSum) {
+  MultiProblemInstance inst;
+  inst.vms = {mvm({10, 2}, {4, 6})};
+  inst.pms = {mpm({100, 50})};
+  const auto flat = project_correlated(inst, {1.0, 0.5});
+  ASSERT_EQ(flat.n_vms(), 1u);
+  EXPECT_DOUBLE_EQ(flat.vms[0].rb, 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(flat.vms[0].re, 4.0 + 3.0);
+  EXPECT_DOUBLE_EQ(flat.pms[0].capacity, 100.0 + 25.0);
+}
+
+TEST(ProjectCorrelated, BadWeightsThrow) {
+  MultiProblemInstance inst;
+  inst.vms = {mvm({1, 1}, {1, 1})};
+  inst.pms = {mpm({10, 10})};
+  EXPECT_THROW(project_correlated(inst, {1.0}), InvalidArgument);
+  EXPECT_THROW(project_correlated(inst, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(project_correlated(inst, {-1.0, 1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,106 @@
+// Tests for the multi-dimensional CVR simulation.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/multidim.h"
+#include "sim/multidim_sim.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+MultiProblemInstance make_instance(std::size_t n, std::size_t m,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  MultiProblemInstance inst;
+  for (std::size_t i = 0; i < n; ++i) {
+    MultiVmSpec v;
+    v.onoff = kP;
+    v.dims = 2;
+    v.rb = {rng.uniform(2, 10), rng.uniform(2, 10)};
+    v.re = {rng.uniform(2, 10), rng.uniform(2, 10)};
+    inst.vms.push_back(v);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    MultiPmSpec p;
+    p.dims = 2;
+    p.capacity = {90.0, 90.0};
+    inst.pms.push_back(p);
+  }
+  return inst;
+}
+
+TEST(MultidimSim, QueuePlacementBounded) {
+  const auto inst = make_instance(100, 80, 1);
+  const auto placed = multidim_queuing_first_fit(inst);
+  ASSERT_TRUE(placed.unplaced.empty());
+  const auto cvr =
+      simulate_cvr_multidim(inst, placed.pm_of, 8000, Rng(2));
+  double mean = 0.0;
+  std::size_t used = 0;
+  std::vector<bool> has_vm(inst.pms.size(), false);
+  for (std::size_t pm : placed.pm_of) has_vm[pm] = true;
+  for (std::size_t j = 0; j < inst.pms.size(); ++j) {
+    if (!has_vm[j]) {
+      EXPECT_DOUBLE_EQ(cvr[j], 0.0);
+      continue;
+    }
+    mean += cvr[j];
+    ++used;
+  }
+  EXPECT_LE(mean / static_cast<double>(used), 0.02);
+}
+
+TEST(MultidimSim, OverpackedPlacementViolates) {
+  // Cram everything onto PM 0 regardless of capacity: CVR must blow up
+  // (the aggregate Rb alone exceeds capacity, so every slot violates).
+  const auto inst = make_instance(40, 40, 3);
+  std::vector<std::size_t> all_on_zero(inst.vms.size(), 0);
+  const auto cvr =
+      simulate_cvr_multidim(inst, all_on_zero, 200, Rng(4));
+  EXPECT_DOUBLE_EQ(cvr[0], 1.0);
+}
+
+TEST(MultidimSim, ViolationCountsAnyDimension) {
+  // Dimension 1 is tight (capacity 10), dimension 0 huge: a spike in
+  // dim 1 alone must register.
+  MultiProblemInstance inst;
+  MultiVmSpec v;
+  v.onoff = OnOffParams{0.5, 0.5};  // spikes half the time
+  v.dims = 2;
+  v.rb = {1.0, 8.0};
+  v.re = {1.0, 5.0};  // dim1 peak = 13 > 10
+  inst.vms.push_back(v);
+  MultiPmSpec p;
+  p.dims = 2;
+  p.capacity = {1000.0, 10.0};
+  inst.pms.push_back(p);
+
+  const auto cvr = simulate_cvr_multidim(inst, {0}, 20000, Rng(5));
+  EXPECT_NEAR(cvr[0], 0.5, 0.03);  // violated exactly when ON
+}
+
+TEST(MultidimSim, DeterministicPerSeed) {
+  const auto inst = make_instance(30, 30, 6);
+  const auto placed = multidim_queuing_first_fit(inst);
+  ASSERT_TRUE(placed.unplaced.empty());
+  const auto a = simulate_cvr_multidim(inst, placed.pm_of, 500, Rng(7));
+  const auto b = simulate_cvr_multidim(inst, placed.pm_of, 500, Rng(7));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MultidimSim, RejectsIncompletePlacement) {
+  const auto inst = make_instance(5, 5, 8);
+  std::vector<std::size_t> bad(5, MultiPlacementResult::npos);
+  EXPECT_THROW(simulate_cvr_multidim(inst, bad, 10, Rng(9)),
+               InvalidArgument);
+  std::vector<std::size_t> wrong_size(3, 0);
+  EXPECT_THROW(simulate_cvr_multidim(inst, wrong_size, 10, Rng(9)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

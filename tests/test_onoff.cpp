@@ -1,0 +1,115 @@
+// Unit + statistical tests for the two-state ON-OFF workload chain.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "markov/onoff.h"
+
+namespace burstq {
+namespace {
+
+TEST(OnOffParams, Validation) {
+  OnOffParams ok{0.01, 0.09};
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_THROW((OnOffParams{0.0, 0.5}.validate()), InvalidArgument);
+  EXPECT_THROW((OnOffParams{0.5, 0.0}.validate()), InvalidArgument);
+  EXPECT_THROW((OnOffParams{1.5, 0.5}.validate()), InvalidArgument);
+  EXPECT_THROW((OnOffParams{0.5, -0.1}.validate()), InvalidArgument);
+}
+
+TEST(OnOffParams, DerivedQuantities) {
+  OnOffParams p{0.01, 0.09};
+  EXPECT_NEAR(p.stationary_on_probability(), 0.1, 1e-15);
+  EXPECT_NEAR(p.expected_spike_duration(), 1.0 / 0.09, 1e-12);
+  EXPECT_NEAR(p.expected_gap_duration(), 100.0, 1e-12);
+}
+
+TEST(OnOffChain, StartsOffByDefault) {
+  OnOffChain c(OnOffParams{0.5, 0.5});
+  EXPECT_EQ(c.state(), VmState::kOff);
+  EXPECT_FALSE(c.on());
+}
+
+TEST(OnOffChain, DeterministicGivenSeed) {
+  OnOffChain a(OnOffParams{0.3, 0.4});
+  OnOffChain b(OnOffParams{0.3, 0.4});
+  Rng ra(5);
+  Rng rb(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.step(ra), b.step(rb));
+}
+
+TEST(OnOffChain, StationaryOnFraction) {
+  const OnOffParams p{0.01, 0.09};  // q = 0.1
+  OnOffChain c(p);
+  Rng rng(7);
+  c.reset_stationary(rng);
+  const int n = 400000;
+  int on = 0;
+  for (int i = 0; i < n; ++i) {
+    if (c.on()) ++on;
+    c.step(rng);
+  }
+  EXPECT_NEAR(static_cast<double>(on) / n, 0.1, 0.01);
+}
+
+TEST(OnOffChain, MeanSpikeDurationIsOneOverPoff) {
+  const OnOffParams p{0.05, 0.2};
+  OnOffChain c(p);
+  Rng rng(11);
+  // Measure ON-run lengths.
+  std::vector<int> runs;
+  int current = 0;
+  for (int i = 0; i < 500000; ++i) {
+    const bool was_on = c.on();
+    c.step(rng);
+    if (was_on) {
+      ++current;
+      if (!c.on()) {
+        runs.push_back(current);
+        current = 0;
+      }
+    }
+  }
+  ASSERT_GT(runs.size(), 1000u);
+  double sum = 0.0;
+  for (int r : runs) sum += r;
+  EXPECT_NEAR(sum / static_cast<double>(runs.size()), 1.0 / p.p_off, 0.15);
+}
+
+TEST(OnOffChain, ResetStationaryMatchesQ) {
+  const OnOffParams p{0.02, 0.08};  // q = 0.2
+  Rng rng(13);
+  int on = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    OnOffChain c(p);
+    c.reset_stationary(rng);
+    if (c.on()) ++on;
+  }
+  EXPECT_NEAR(static_cast<double>(on) / n, 0.2, 0.01);
+}
+
+TEST(GenerateStateTrace, LengthAndDeterminism) {
+  const OnOffParams p{0.1, 0.3};
+  Rng a(17);
+  Rng b(17);
+  const auto t1 = generate_state_trace(p, 500, a);
+  const auto t2 = generate_state_trace(p, 500, b);
+  EXPECT_EQ(t1.size(), 500u);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(GenerateStateTrace, ColdStartBeginsOff) {
+  const OnOffParams p{0.1, 0.3};
+  Rng rng(19);
+  const auto t = generate_state_trace(p, 10, rng, /*start_stationary=*/false);
+  EXPECT_EQ(t.front(), VmState::kOff);
+}
+
+TEST(GenerateStateTrace, ZeroSlotsEmpty) {
+  Rng rng(23);
+  EXPECT_TRUE(generate_state_trace(OnOffParams{0.1, 0.1}, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace burstq

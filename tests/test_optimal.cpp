@@ -1,0 +1,118 @@
+// Tests for the exact branch-and-bound consolidation baseline.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/optimal.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance uniform_cap_instance(std::size_t n, double cap,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  for (std::size_t i = 0; i < n; ++i)
+    inst.vms.push_back(
+        VmSpec{kP, rng.uniform(2, 20), rng.uniform(2, 20)});
+  for (std::size_t j = 0; j < n; ++j) inst.pms.push_back(PmSpec{cap});
+  return inst;
+}
+
+TEST(Optimal, SingleVmNeedsOnePm) {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 10, 5}};
+  inst.pms = {PmSpec{50}, PmSpec{50}};
+  const MapCalTable table(16, kP, 0.01);
+  const auto opt = optimal_pm_count(inst, table);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 1u);
+}
+
+TEST(Optimal, InfeasibleVmReturnsNullopt) {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 100, 5}};  // Rb alone exceeds any PM
+  inst.pms = {PmSpec{50}};
+  const MapCalTable table(16, kP, 0.01);
+  EXPECT_FALSE(optimal_pm_count(inst, table).has_value());
+}
+
+TEST(Optimal, TwoIncompatibleVmsNeedTwoPms) {
+  // Each VM alone: 30 + 10*1 = 40 <= 45.  Together: rb 60 > 45.
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 30, 10}, VmSpec{kP, 30, 10}};
+  inst.pms = {PmSpec{45}, PmSpec{45}};
+  const MapCalTable table(16, kP, 0.01);
+  const auto opt = optimal_pm_count(inst, table);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 2u);
+}
+
+TEST(Optimal, NeverWorseThanFfd) {
+  const MapCalTable table(16, kP, 0.01);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto inst = uniform_cap_instance(10, 90.0, seed);
+    QueuingFfdOptions opt;
+    const auto ffd = queuing_ffd_with_table(inst, table, opt);
+    ASSERT_TRUE(ffd.complete());
+    const auto exact = optimal_pm_count(inst, table);
+    ASSERT_TRUE(exact.has_value()) << "seed " << seed;
+    EXPECT_LE(*exact, ffd.pms_used()) << "seed " << seed;
+  }
+}
+
+TEST(Optimal, MatchesBruteForceOnTinyInstance) {
+  // 4 identical VMs, capacity fits exactly two per PM -> optimum 2.
+  ProblemInstance inst;
+  for (int i = 0; i < 4; ++i) inst.vms.push_back(VmSpec{kP, 10, 5});
+  for (int j = 0; j < 4; ++j) inst.pms.push_back(PmSpec{25.0});
+  // Two VMs: rb 20 + 5*blocks(2).  blocks(2) with q=0.1, rho=0.01 is 1
+  // (CDF(1) = 0.99 >= 0.99 via the tie rule): footprint 25 <= 25. OK.
+  const MapCalTable table(16, kP, 0.01);
+  const auto opt = optimal_pm_count(inst, table);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 2u);
+}
+
+TEST(Optimal, RejectsNonUniformCapacity) {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 1, 1}};
+  inst.pms = {PmSpec{50}, PmSpec{60}};
+  const MapCalTable table(16, kP, 0.01);
+  EXPECT_THROW(optimal_pm_count(inst, table), InvalidArgument);
+}
+
+TEST(Optimal, RejectsOversizedInstance) {
+  const auto inst = uniform_cap_instance(19, 90.0, 1);
+  const MapCalTable table(16, kP, 0.01);
+  OptimalOptions opt;
+  opt.max_vms = 18;
+  EXPECT_THROW(optimal_pm_count(inst, table, opt), InvalidArgument);
+}
+
+TEST(OptimalOptions, Validation) {
+  OptimalOptions bad;
+  bad.max_vms = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = OptimalOptions{};
+  bad.node_limit = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = OptimalOptions{};
+  bad.max_vms = 30;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(Optimal, NodeLimitReturnsNullopt) {
+  const auto inst = uniform_cap_instance(12, 90.0, 3);
+  const MapCalTable table(16, kP, 0.01);
+  OptimalOptions opt;
+  opt.node_limit = 5;  // absurdly small
+  EXPECT_FALSE(optimal_pm_count(inst, table, opt).has_value());
+}
+
+}  // namespace
+}  // namespace burstq

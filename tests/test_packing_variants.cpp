@@ -1,0 +1,154 @@
+// Tests for the next-fit / worst-fit packing variants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/packing_variants.h"
+#include "placement/queuing_ffd.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance simple_instance(std::size_t n_vms, std::size_t n_pms,
+                                double rb, double cap) {
+  ProblemInstance inst;
+  for (std::size_t i = 0; i < n_vms; ++i)
+    inst.vms.push_back(VmSpec{kP, rb, 1.0});
+  for (std::size_t j = 0; j < n_pms; ++j) inst.pms.push_back(PmSpec{cap});
+  return inst;
+}
+
+FitPredicate capacity_fit(const ProblemInstance& inst) {
+  return [&inst](const Placement& p, VmId vm, PmId pm) {
+    Resource load = inst.vms[vm.value].rb;
+    for (std::size_t i : p.vms_on(pm)) load += inst.vms[i].rb;
+    return load <= inst.pms[pm.value].capacity;
+  };
+}
+
+SlackFunction capacity_slack(const ProblemInstance& inst) {
+  return [&inst](const Placement& p, VmId vm, PmId pm) {
+    Resource load = inst.vms[vm.value].rb;
+    for (std::size_t i : p.vms_on(pm)) load += inst.vms[i].rb;
+    return inst.pms[pm.value].capacity - load;
+  };
+}
+
+std::vector<std::size_t> iota_order(std::size_t n) {
+  std::vector<std::size_t> o(n);
+  std::iota(o.begin(), o.end(), 0);
+  return o;
+}
+
+TEST(NextFit, NeverLooksBack) {
+  // Sizes 6, 6, 3 on capacity 10: NF puts 6|6,3 -> wait: 6 then 6 doesn't
+  // fit PM0 -> open PM1; 3 doesn't go back to PM0 even though it fits.
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 6, 1}, VmSpec{kP, 6, 1}, VmSpec{kP, 3, 1}};
+  inst.pms = {PmSpec{10}, PmSpec{10}, PmSpec{10}};
+  const auto r = next_fit_place(inst, iota_order(3), capacity_fit(inst));
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.placement.pm_of(VmId{0}), PmId{0});
+  EXPECT_EQ(r.placement.pm_of(VmId{1}), PmId{1});
+  EXPECT_EQ(r.placement.pm_of(VmId{2}), PmId{1});  // joined the open PM
+}
+
+TEST(NextFit, CollectsUnplacedWhenPmsExhausted) {
+  const auto inst = simple_instance(5, 2, 8.0, 10.0);
+  const auto r = next_fit_place(inst, iota_order(5), capacity_fit(inst));
+  EXPECT_EQ(r.placement.vms_assigned(), 2u);
+  EXPECT_EQ(r.unplaced.size(), 3u);
+}
+
+TEST(WorstFit, PrefersEmptiestUsedPm) {
+  // PM0 holds 6 (slack 4), PM1 holds 2 (slack 8): worst-fit sends the
+  // next VM of size 3 to PM1.
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 6, 1}, VmSpec{kP, 2, 1}, VmSpec{kP, 3, 1}};
+  inst.pms = {PmSpec{10}, PmSpec{10}, PmSpec{10}};
+  Placement seed(3, 3);
+  const auto fits = capacity_fit(inst);
+  const auto slack = capacity_slack(inst);
+  const std::vector<std::size_t> order{0, 1, 2};
+  const auto r = worst_fit_place(inst, order, fits, slack);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.placement.pm_of(VmId{2}), PmId{1});
+}
+
+TEST(WorstFit, PrefersUsedOverEmptyPm) {
+  // An empty PM always has more raw slack; worst-fit must still prefer a
+  // used feasible PM (otherwise it never consolidates at all).
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 2, 1}, VmSpec{kP, 2, 1}};
+  inst.pms = {PmSpec{10}, PmSpec{10}};
+  const auto r = worst_fit_place(inst, iota_order(2), capacity_fit(inst),
+                                 capacity_slack(inst));
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r.pms_used(), 1u);
+}
+
+TEST(QueuingPack, AllHeuristicsFeasibleAndComplete) {
+  Rng rng(3);
+  const auto inst = random_instance(150, 120, kP, InstanceRanges{}, rng);
+  QueuingFfdOptions opt;
+  const MapCalTable table(opt.max_vms_per_pm, kP, opt.rho);
+  for (const char* h : {"first", "best", "worst", "next"}) {
+    const auto r = queuing_pack(inst, table, h);
+    EXPECT_TRUE(r.complete()) << h;
+    EXPECT_TRUE(placement_satisfies_reservation(inst, r.placement, table))
+        << h;
+  }
+}
+
+TEST(QueuingPack, FirstMatchesQueuingFfd) {
+  Rng rng(4);
+  const auto inst = random_instance(100, 80, kP, InstanceRanges{}, rng);
+  QueuingFfdOptions opt;
+  const MapCalTable table(opt.max_vms_per_pm, kP, opt.rho);
+  const auto pack = queuing_pack(inst, table, "first");
+  const auto ffd = queuing_ffd_with_table(inst, table, opt);
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    EXPECT_EQ(pack.placement.pm_of(VmId{i}), ffd.placement.pm_of(VmId{i}));
+}
+
+TEST(QueuingPack, HeuristicOrderingOnAverage) {
+  // Classic bin-packing folklore says FF/BF beat WF, but under Eq. 17
+  // the uniform max-Re block makes *tight* packing counterproductive:
+  // cramming a big-Re VM into a PM of small-Re VMs inflates the whole
+  // PM's block size.  Worst fit spreads the load and empirically packs
+  // tighter here (a finding bench/ablation_packing quantifies).  The
+  // robust claims: next fit is never better than worst fit, and nothing
+  // beats first fit by a huge margin.
+  double first = 0.0;
+  double best = 0.0;
+  double worst = 0.0;
+  double next = 0.0;
+  const MapCalTable table(16, kP, 0.01);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(100 + seed);
+    const auto inst = random_instance(150, 150, kP, InstanceRanges{}, rng);
+    first += static_cast<double>(queuing_pack(inst, table, "first").pms_used());
+    best += static_cast<double>(queuing_pack(inst, table, "best").pms_used());
+    worst += static_cast<double>(queuing_pack(inst, table, "worst").pms_used());
+    next += static_cast<double>(queuing_pack(inst, table, "next").pms_used());
+  }
+  EXPECT_LE(worst, next);
+  EXPECT_LE(first, next);
+  EXPECT_LE(first, 1.3 * worst);
+  EXPECT_LE(best, 1.3 * next);
+}
+
+TEST(QueuingPack, UnknownHeuristicThrows) {
+  Rng rng(5);
+  const auto inst = random_instance(5, 5, kP, InstanceRanges{}, rng);
+  const MapCalTable table(16, kP, 0.01);
+  EXPECT_THROW(queuing_pack(inst, table, "banana"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

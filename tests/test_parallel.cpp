@@ -1,0 +1,77 @@
+// Unit tests for ThreadPool and parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace burstq {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    std::vector<double> out(64);
+    parallel_for(64, [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += static_cast<double>(k * k);
+      out[i] = acc;
+    }, threads);
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+}  // namespace
+}  // namespace burstq

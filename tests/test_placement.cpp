@@ -1,0 +1,177 @@
+// Tests for the Placement container and the Eq. (17) feasibility checks.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "placement/placement.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kParams{0.01, 0.09};
+
+ProblemInstance small_instance() {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kParams, 10.0, 4.0}, VmSpec{kParams, 8.0, 6.0},
+              VmSpec{kParams, 5.0, 2.0}};
+  inst.pms = {PmSpec{50.0}, PmSpec{40.0}};
+  return inst;
+}
+
+TEST(Placement, AssignUnassignLifecycle) {
+  Placement p(3, 2);
+  EXPECT_EQ(p.pms_used(), 0u);
+  EXPECT_EQ(p.vms_assigned(), 0u);
+  p.assign(VmId{0}, PmId{1});
+  EXPECT_EQ(p.pms_used(), 1u);
+  EXPECT_EQ(p.pm_of(VmId{0}), PmId{1});
+  EXPECT_TRUE(p.assigned(VmId{0}));
+  p.assign(VmId{1}, PmId{1});
+  EXPECT_EQ(p.pms_used(), 1u);
+  EXPECT_EQ(p.count_on(PmId{1}), 2u);
+  p.unassign(VmId{0});
+  EXPECT_EQ(p.count_on(PmId{1}), 1u);
+  EXPECT_FALSE(p.assigned(VmId{0}));
+  p.unassign(VmId{1});
+  EXPECT_EQ(p.pms_used(), 0u);
+}
+
+TEST(Placement, DoubleAssignThrows) {
+  Placement p(2, 2);
+  p.assign(VmId{0}, PmId{0});
+  EXPECT_THROW(p.assign(VmId{0}, PmId{1}), InvalidArgument);
+}
+
+TEST(Placement, UnassignUnassignedThrows) {
+  Placement p(2, 2);
+  EXPECT_THROW(p.unassign(VmId{0}), InvalidArgument);
+}
+
+TEST(Placement, OutOfRangeThrows) {
+  Placement p(2, 2);
+  EXPECT_THROW(p.assign(VmId{5}, PmId{0}), InvalidArgument);
+  EXPECT_THROW(p.assign(VmId{0}, PmId{5}), InvalidArgument);
+  EXPECT_THROW((void)p.pm_of(VmId{9}), InvalidArgument);
+  EXPECT_THROW((void)p.vms_on(PmId{9}), InvalidArgument);
+}
+
+TEST(Placement, VmsOnTracksMembers) {
+  Placement p(3, 2);
+  p.assign(VmId{2}, PmId{0});
+  p.assign(VmId{0}, PmId{0});
+  const auto& list = p.vms_on(PmId{0});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], 2u);
+  EXPECT_EQ(list[1], 0u);
+}
+
+TEST(Aggregates, TotalRbAndMaxRe) {
+  const auto inst = small_instance();
+  Placement p(3, 2);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  EXPECT_DOUBLE_EQ(total_rb_on(inst, p, PmId{0}), 18.0);
+  EXPECT_DOUBLE_EQ(max_re_on(inst, p, PmId{0}), 6.0);
+  EXPECT_DOUBLE_EQ(total_rb_on(inst, p, PmId{1}), 0.0);
+  EXPECT_DOUBLE_EQ(max_re_on(inst, p, PmId{1}), 0.0);
+}
+
+TEST(ReservedFootprint, MatchesEq17Arithmetic) {
+  const auto inst = small_instance();
+  const MapCalTable table(4, kParams, 0.01);
+  Placement p(3, 2);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  const double expected =
+      6.0 * static_cast<double>(table.blocks(2)) + 18.0;
+  EXPECT_DOUBLE_EQ(reserved_footprint(inst, p, PmId{0}, table), expected);
+}
+
+TEST(FitsWithReservation, AcceptsWhenRoomRejectsWhenFull) {
+  const auto inst = small_instance();
+  const MapCalTable table(4, kParams, 0.01);
+  Placement p(3, 2);
+  // PM0 capacity 50: VM0 footprint = 4*blocks(1) + 10.  blocks(1) is 1
+  // (a single VM's spike has probability q = 0.1 > rho).
+  EXPECT_TRUE(fits_with_reservation(inst, p, VmId{0}, PmId{0}, table));
+  p.assign(VmId{0}, PmId{0});
+  EXPECT_TRUE(fits_with_reservation(inst, p, VmId{1}, PmId{0}, table));
+  p.assign(VmId{1}, PmId{0});
+  // Footprint with all three: rb 23 + 6*blocks(3).
+  const bool third_fits =
+      23.0 + 6.0 * static_cast<double>(table.blocks(3)) <= 50.0;
+  EXPECT_EQ(fits_with_reservation(inst, p, VmId{2}, PmId{0}, table),
+            third_fits);
+}
+
+TEST(FitsWithReservation, RespectsVmCap) {
+  // Table with d = 1: second VM must be rejected regardless of capacity.
+  const auto inst = small_instance();
+  const MapCalTable table(1, kParams, 0.01);
+  Placement p(3, 2);
+  p.assign(VmId{0}, PmId{0});
+  EXPECT_FALSE(fits_with_reservation(inst, p, VmId{2}, PmId{0}, table));
+}
+
+TEST(FitsWithReservation, SpecsVariantAgrees) {
+  const auto inst = small_instance();
+  const MapCalTable table(4, kParams, 0.01);
+  Placement p(3, 2);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  const std::vector<VmSpec> hosted{inst.vms[0], inst.vms[1]};
+  EXPECT_EQ(
+      fits_with_reservation(inst, p, VmId{2}, PmId{0}, table),
+      fits_with_reservation_specs(hosted, inst.vms[2], 50.0, table));
+  EXPECT_DOUBLE_EQ(reserved_footprint(inst, p, PmId{0}, table),
+                   reserved_footprint_specs(hosted, table));
+}
+
+TEST(PlacementValidation, ReservationAndInitialCapacity) {
+  const auto inst = small_instance();
+  const MapCalTable table(4, kParams, 0.01);
+  Placement good(3, 2);
+  good.assign(VmId{0}, PmId{0});
+  good.assign(VmId{1}, PmId{1});
+  good.assign(VmId{2}, PmId{1});
+  EXPECT_TRUE(placement_satisfies_reservation(inst, good, table));
+  EXPECT_TRUE(placement_satisfies_initial_capacity(inst, good));
+}
+
+TEST(PlacementValidation, DetectsOverCapacity) {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kParams, 30.0, 1.0}, VmSpec{kParams, 30.0, 1.0}};
+  inst.pms = {PmSpec{40.0}};
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  const MapCalTable table(4, kParams, 0.01);
+  EXPECT_FALSE(placement_satisfies_initial_capacity(inst, p));
+  EXPECT_FALSE(placement_satisfies_reservation(inst, p, table));
+}
+
+TEST(PlacementValidation, DetectsVmCapViolation) {
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kParams, 1.0, 1.0}, VmSpec{kParams, 1.0, 1.0}};
+  inst.pms = {PmSpec{100.0}};
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  const MapCalTable table(1, kParams, 0.01);  // d = 1
+  EXPECT_FALSE(placement_satisfies_reservation(inst, p, table));
+}
+
+TEST(Ids, StrongTypingAndHash) {
+  VmId v{3};
+  PmId m{3};
+  EXPECT_TRUE(v.valid());
+  EXPECT_FALSE(VmId{}.valid());
+  EXPECT_EQ(std::hash<VmId>{}(v), std::hash<VmId>{}(VmId{3}));
+  EXPECT_EQ(v, VmId{3});
+  EXPECT_NE(v, VmId{4});
+  EXPECT_LT(VmId{1}, VmId{2});
+  (void)m;
+}
+
+}  // namespace
+}  // namespace burstq

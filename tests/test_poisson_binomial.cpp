@@ -1,0 +1,136 @@
+// Tests for the Poisson-binomial distribution (heterogeneous theta law).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "prob/binomial.h"
+#include "prob/normal.h"
+#include "prob/poisson_binomial.h"
+
+namespace burstq {
+namespace {
+
+TEST(PoissonBinomial, DegeneratesToBinomialWhenIdentical) {
+  const double q = 0.13;
+  const std::vector<double> qs(12, q);
+  const auto pmf = poisson_binomial_pmf(qs);
+  const auto ref = binomial_pmf_vector(12, q);
+  ASSERT_EQ(pmf.size(), ref.size());
+  for (std::size_t i = 0; i < pmf.size(); ++i)
+    EXPECT_NEAR(pmf[i], ref[i], 1e-13) << "i=" << i;
+}
+
+TEST(PoissonBinomial, EmptyInputIsPointMassAtZero) {
+  const std::vector<double> qs;
+  const auto pmf = poisson_binomial_pmf(qs);
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(PoissonBinomial, HandComputedTwoVariables) {
+  const std::vector<double> qs{0.5, 0.1};
+  const auto pmf = poisson_binomial_pmf(qs);
+  ASSERT_EQ(pmf.size(), 3u);
+  EXPECT_NEAR(pmf[0], 0.5 * 0.9, 1e-15);
+  EXPECT_NEAR(pmf[1], 0.5 * 0.9 + 0.5 * 0.1, 1e-15);
+  EXPECT_NEAR(pmf[2], 0.5 * 0.1, 1e-15);
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> qs;
+    for (int i = 0; i < 30; ++i) qs.push_back(rng.next_double());
+    const auto pmf = poisson_binomial_pmf(qs);
+    double sum = 0.0;
+    for (double p : pmf) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PoissonBinomial, MomentsMatchPmf) {
+  Rng rng(2);
+  std::vector<double> qs;
+  for (int i = 0; i < 25; ++i) qs.push_back(rng.next_double());
+  const auto pmf = poisson_binomial_pmf(qs);
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t x = 0; x < pmf.size(); ++x) {
+    mean += static_cast<double>(x) * pmf[x];
+    second += static_cast<double>(x * x) * pmf[x];
+  }
+  EXPECT_NEAR(mean, poisson_binomial_mean(qs), 1e-10);
+  EXPECT_NEAR(second - mean * mean, poisson_binomial_variance(qs), 1e-9);
+}
+
+TEST(PoissonBinomial, CdfBoundsAndEdges) {
+  const std::vector<double> qs{0.2, 0.5, 0.8};
+  EXPECT_DOUBLE_EQ(poisson_binomial_cdf(qs, -1), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_binomial_cdf(qs, 3), 1.0);
+  double prev = 0.0;
+  for (std::int64_t x = 0; x <= 3; ++x) {
+    const double c = poisson_binomial_cdf(qs, x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(PoissonBinomial, QuantileInvertsCdf) {
+  const std::vector<double> qs{0.1, 0.1, 0.3, 0.6, 0.05};
+  for (const double prob : {0.1, 0.5, 0.9, 0.99}) {
+    const auto x = poisson_binomial_quantile(qs, prob);
+    EXPECT_GE(poisson_binomial_cdf(qs, x), prob);
+    if (x > 0) {
+      EXPECT_LT(poisson_binomial_cdf(qs, x - 1), prob);
+    }
+  }
+}
+
+TEST(PoissonBinomial, MatchesMonteCarlo) {
+  const std::vector<double> qs{0.05, 0.2, 0.4, 0.15};
+  Rng rng(3);
+  std::vector<double> freq(qs.size() + 1, 0.0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    std::size_t sum = 0;
+    for (double q : qs)
+      if (rng.bernoulli(q)) ++sum;
+    freq[sum] += 1.0 / n;
+  }
+  const auto pmf = poisson_binomial_pmf(qs);
+  for (std::size_t x = 0; x < pmf.size(); ++x)
+    EXPECT_NEAR(freq[x], pmf[x], 0.005) << "x=" << x;
+}
+
+TEST(PoissonBinomial, InvalidQThrows) {
+  const std::vector<double> bad{0.5, 1.2};
+  EXPECT_THROW(poisson_binomial_pmf(bad), InvalidArgument);
+  const std::vector<double> neg{-0.1};
+  EXPECT_THROW(poisson_binomial_pmf(neg), InvalidArgument);
+}
+
+TEST(NormalQuantile, RoundTripsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.99), 2.3263478740408408, 1e-8);
+}
+
+TEST(NormalQuantile, OutOfDomainThrows) {
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(-0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,56 @@
+// Unit tests for power iteration, and cross-checks against the Gaussian
+// solver (the two must agree — they are independent implementations of
+// Eq. 13 vs Eq. 14).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "linalg/gaussian.h"
+#include "linalg/power_iteration.h"
+
+namespace burstq {
+namespace {
+
+TEST(PowerIteration, TwoStateClosedForm) {
+  const double alpha = 0.25;
+  const double beta = 0.05;
+  Matrix p{{1 - alpha, alpha}, {beta, 1 - beta}};
+  auto res = stationary_distribution_power(p);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->distribution[0], beta / (alpha + beta), 1e-9);
+  EXPECT_NEAR(res->distribution[1], alpha / (alpha + beta), 1e-9);
+  EXPECT_GT(res->iterations, 0u);
+}
+
+TEST(PowerIteration, AgreesWithGaussian) {
+  Matrix p{{0.7, 0.2, 0.1}, {0.3, 0.5, 0.2}, {0.05, 0.15, 0.8}};
+  auto power = stationary_distribution_power(p);
+  auto gauss = stationary_distribution_gaussian(p);
+  ASSERT_TRUE(power.has_value());
+  ASSERT_TRUE(gauss.has_value());
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(power->distribution[i], (*gauss)[i], 1e-9);
+}
+
+TEST(PowerIteration, PeriodicChainFailsToConverge) {
+  // Two-cycle: period 2, Pi0 P^t oscillates forever.
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_FALSE(stationary_distribution_power(p, 1e-13, 1000).has_value());
+}
+
+TEST(PowerIteration, RejectsNonStochastic) {
+  Matrix p{{0.9, 0.2}, {0.5, 0.5}};
+  EXPECT_THROW(stationary_distribution_power(p), InvalidArgument);
+}
+
+TEST(PowerIteration, DistributionStaysNormalized) {
+  Matrix p{{0.5, 0.5}, {0.25, 0.75}};
+  auto res = stationary_distribution_power(p);
+  ASSERT_TRUE(res.has_value());
+  double sum = 0.0;
+  for (double v : res->distribution) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,137 @@
+// Cross-module property grid: the full analytic pipeline (model ->
+// MapCal -> placement -> simulation) checked for its invariants across a
+// parameter lattice of (pattern, rho, d, seed).  Each case is small; the
+// value is in the breadth of the sweep.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/scenario.h"
+#include "placement/baselines.h"
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+#include "queuing/geom_queue.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq {
+namespace {
+
+using GridParam = std::tuple<SpikePattern, double, std::size_t, std::uint64_t>;
+
+class PipelineGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PipelineGrid, EndToEndInvariants) {
+  const auto [pattern, rho, d, seed] = GetParam();
+  Rng rng(seed);
+  const auto inst =
+      pattern_instance(pattern, 80, 60, paper_onoff_params(), rng);
+
+  QueuingFfdOptions opt;
+  opt.rho = rho;
+  opt.max_vms_per_pm = d;
+  const auto out = queuing_ffd(inst, opt);
+
+  // 1. Placement is complete and feasible.
+  ASSERT_TRUE(out.result.complete());
+  EXPECT_TRUE(
+      placement_satisfies_reservation(inst, out.result.placement, out.table));
+  EXPECT_TRUE(
+      placement_satisfies_initial_capacity(inst, out.result.placement));
+
+  // 2. Table invariants: mapping monotone, bounds within budget.
+  std::size_t prev = 0;
+  for (std::size_t k = 1; k <= d; ++k) {
+    EXPECT_GE(out.table.blocks(k), prev);
+    prev = out.table.blocks(k);
+    EXPECT_LE(out.table.cvr_bound(k), rho + kCdfTieEpsilon);
+  }
+
+  // 3. Per-PM: the analytic overflow probability at the reserved block
+  // count matches the table's bound (independent computation through the
+  // Geom/Geom/K module).
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    const std::size_t k = out.result.placement.count_on(PmId{j});
+    if (k == 0) continue;
+    const auto metrics =
+        analyze_geom_queue(k, out.table.blocks(k), out.rounded_params);
+    EXPECT_NEAR(metrics.overflow_probability, out.table.cvr_bound(k), 1e-9);
+  }
+
+  // 4. Short simulation respects conservation.
+  SimConfig cfg;
+  cfg.slots = 30;
+  cfg.policy.rho = rho;
+  cfg.policy.max_vms_per_pm = d;
+  ClusterSimulator sim(inst, out.result.placement, cfg, rng.split());
+  const auto rep = sim.run();
+  EXPECT_EQ(sim.placement().vms_assigned(), inst.n_vms());
+  EXPECT_LE(rep.mean_cvr, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, PipelineGrid,
+    ::testing::Combine(
+        ::testing::Values(SpikePattern::kEqual, SpikePattern::kSmallSpike,
+                          SpikePattern::kLargeSpike),
+        ::testing::Values(0.001, 0.01, 0.1),
+        ::testing::Values(std::size_t{8}, std::size_t{16}),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2})));
+
+// Analytic CVR bound vs long-run simulation, across rho values: the
+// statistical heart of the reproduction, swept.
+class CvrBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(CvrBudgetSweep, SimulatedCvrTracksBudget) {
+  const auto [rho, seed] = GetParam();
+  Rng rng(seed);
+  const auto inst = pattern_instance(SpikePattern::kEqual, 150, 120,
+                                     paper_onoff_params(), rng);
+  QueuingFfdOptions opt;
+  opt.rho = rho;
+  const auto out = queuing_ffd(inst, opt);
+  ASSERT_TRUE(out.result.complete());
+  const auto cvr =
+      simulate_cvr(inst, out.result.placement, 12000, rng.split());
+  double mean = 0.0;
+  std::size_t used = 0;
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    if (out.result.placement.count_on(PmId{j}) == 0) continue;
+    mean += cvr[j];
+    ++used;
+  }
+  mean /= static_cast<double>(used);
+  // The mean realized CVR must not exceed the budget beyond noise
+  // (tolerance scales with the budget since variance does too).
+  EXPECT_LE(mean, rho * 1.5 + 0.002) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, CvrBudgetSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.005, 0.02, 0.05),
+                       ::testing::Values(std::uint64_t{11},
+                                         std::uint64_t{12})));
+
+// Baseline sanity swept over patterns: RP never violates, RB always
+// packs tightest at t = 0.
+class BaselineGrid : public ::testing::TestWithParam<SpikePattern> {};
+
+TEST_P(BaselineGrid, RpZeroViolationRbTightest) {
+  Rng rng(31 + static_cast<std::uint64_t>(GetParam()));
+  const auto inst =
+      pattern_instance(GetParam(), 120, 100, paper_onoff_params(), rng);
+  const auto rp = ffd_by_peak(inst);
+  const auto rb = ffd_by_normal(inst);
+  ASSERT_TRUE(rp.complete() && rb.complete());
+  const auto cvr = simulate_cvr(inst, rp.placement, 3000, rng.split());
+  for (double c : cvr) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_LE(rb.pms_used(), rp.pms_used());
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, BaselineGrid,
+                         ::testing::ValuesIn(all_patterns()));
+
+}  // namespace
+}  // namespace burstq

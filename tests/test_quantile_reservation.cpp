@@ -1,0 +1,195 @@
+// Tests for the exact quantile reservation and its placement strategy.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/placement.h"
+#include "placement/quantile_ffd.h"
+#include "placement/queuing_ffd.h"
+#include "prob/binomial.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};  // q = 0.1
+
+TEST(ExtraDemandDistribution, SumsToOne) {
+  const std::vector<double> re{4.0, 7.5, 2.25};
+  const std::vector<double> q{0.1, 0.3, 0.5};
+  const auto pmf = extra_demand_distribution(re, q, 0.25);
+  double sum = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ExtraDemandDistribution, SingleVmTwoPoint) {
+  const std::vector<double> re{5.0};
+  const std::vector<double> q{0.2};
+  const auto pmf = extra_demand_distribution(re, q, 1.0);
+  ASSERT_EQ(pmf.size(), 6u);
+  EXPECT_NEAR(pmf[0], 0.8, 1e-15);
+  EXPECT_NEAR(pmf[5], 0.2, 1e-15);
+  for (std::size_t g = 1; g < 5; ++g) EXPECT_DOUBLE_EQ(pmf[g], 0.0);
+}
+
+TEST(ExtraDemandDistribution, MatchesMonteCarlo) {
+  const std::vector<double> re{3.0, 6.0, 2.0};
+  const std::vector<double> q{0.2, 0.1, 0.4};
+  const auto pmf = extra_demand_distribution(re, q, 1.0);
+  Rng rng(1);
+  std::vector<double> freq(pmf.size(), 0.0);
+  const int n = 400000;
+  for (int t = 0; t < n; ++t) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < re.size(); ++i)
+      if (rng.bernoulli(q[i])) e += re[i];
+    freq[static_cast<std::size_t>(e + 0.5)] += 1.0 / n;
+  }
+  for (std::size_t g = 0; g < pmf.size(); ++g)
+    EXPECT_NEAR(freq[g], pmf[g], 0.005) << "g=" << g;
+}
+
+TEST(QuantileReservation, UniformSpikesMatchBinomialBlocks) {
+  // All Re equal: the quantile is exactly (Binomial quantile) * Re.
+  QuantileReservationOptions opt;
+  opt.rho = 0.01;
+  opt.grid_step = 0.5;  // divides Re exactly
+  const double re_val = 8.0;
+  for (std::size_t k : {4u, 8u, 16u}) {
+    const std::vector<double> re(k, re_val);
+    const std::vector<double> q(k, 0.1);
+    const double reservation = exact_quantile_reservation(re, q, opt);
+    const auto blocks = static_cast<double>(
+        binomial_quantile(static_cast<std::int64_t>(k), 0.99, 0.1));
+    EXPECT_NEAR(reservation, blocks * re_val, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(QuantileReservation, NeverExceedsBlockScheme) {
+  // R* <= mapping(k) * max(Re) for any mix (the block scheme covers the
+  // same quantile with uniform-size blocks).
+  Rng rng(2);
+  QuantileReservationOptions qopt;
+  const MapCalTable table(16, kP, 0.01);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 2 + rng.next_below(14);
+    std::vector<double> re(k);
+    std::vector<double> q(k, 0.1);
+    double max_re = 0.0;
+    for (auto& r : re) {
+      r = rng.uniform(1.0, 20.0);
+      max_re = std::max(max_re, r);
+    }
+    const double exact = exact_quantile_reservation(re, q, qopt);
+    const double blocks =
+        static_cast<double>(table.blocks(k)) * max_re;
+    EXPECT_LE(exact, blocks + qopt.grid_step * static_cast<double>(k))
+        << "trial " << trial;
+  }
+}
+
+TEST(QuantileReservation, EdgeCases) {
+  QuantileReservationOptions opt;
+  EXPECT_DOUBLE_EQ(
+      exact_quantile_reservation(std::span<const double>{},
+                                 std::span<const double>{}, opt),
+      0.0);
+  // rho = 0-ish: must reserve everything.
+  opt.rho = 0.0;
+  const std::vector<double> re{4.0, 4.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(exact_quantile_reservation(re, q, opt), 8.0, opt.grid_step);
+  // All q = 0: nothing ever spikes.
+  opt.rho = 0.01;
+  const std::vector<double> q0{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(exact_quantile_reservation(re, q0, opt), 0.0);
+}
+
+TEST(QuantileReservation, MonotoneInRho) {
+  const std::vector<double> re{3.0, 9.0, 6.0, 12.0};
+  const std::vector<double> q(4, 0.15);
+  double prev = 1e9;
+  for (const double rho : {0.001, 0.01, 0.1, 0.5}) {
+    QuantileReservationOptions opt;
+    opt.rho = rho;
+    const double r = exact_quantile_reservation(re, q, opt);
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(QuantileReservation, InvalidInputsThrow) {
+  QuantileReservationOptions opt;
+  const std::vector<double> re{1.0};
+  const std::vector<double> q2{0.1, 0.2};
+  EXPECT_THROW(exact_quantile_reservation(re, q2, opt), InvalidArgument);
+  opt.grid_step = 0.0;
+  const std::vector<double> q1{0.1};
+  EXPECT_THROW(exact_quantile_reservation(re, q1, opt), InvalidArgument);
+}
+
+// --- placement strategy ------------------------------------------------
+
+ProblemInstance typical_instance(std::size_t n, std::size_t m,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n, m, kP, InstanceRanges{}, rng);
+}
+
+TEST(QuantileFfd, CompleteAndFeasible) {
+  const auto inst = typical_instance(150, 100, 3);
+  QuantileFfdOptions opt;
+  const auto placed = queuing_ffd_quantile(inst, opt);
+  EXPECT_TRUE(placed.complete());
+  EXPECT_TRUE(
+      placement_satisfies_quantile_reservation(inst, placed.placement, opt));
+}
+
+TEST(QuantileFfd, NeverWorsePmCountThanBlockScheme) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    const auto inst = typical_instance(200, 150, seed);
+    const auto block = queuing_ffd(inst);
+    const auto quant = queuing_ffd_quantile(inst);
+    ASSERT_TRUE(block.result.complete());
+    ASSERT_TRUE(quant.complete());
+    // Same visit order and an (up to grid rounding) weaker constraint:
+    // the quantile scheme packs at least as tight, modulo one PM of
+    // grid-tie slack.
+    EXPECT_LE(quant.pms_used(), block.result.pms_used() + 1)
+        << "seed " << seed;
+  }
+}
+
+TEST(QuantileFfd, SimulatedCvrBounded) {
+  const auto inst = typical_instance(150, 100, 4);
+  const auto placed = queuing_ffd_quantile(inst);
+  ASSERT_TRUE(placed.complete());
+  const auto cvr = simulate_cvr(inst, placed.placement, 20000, Rng(5));
+  double mean = 0.0;
+  std::size_t used = 0;
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    if (placed.placement.count_on(PmId{j}) == 0) continue;
+    mean += cvr[j];
+    ++used;
+  }
+  // The quantile packs tighter, so the mean CVR sits closer to rho than
+  // the block scheme's — but must still respect the budget statistically.
+  EXPECT_LE(mean / static_cast<double>(used), 0.015);
+}
+
+TEST(QuantileFfd, RespectsVmCap) {
+  const auto inst = typical_instance(40, 40, 6);
+  QuantileFfdOptions opt;
+  opt.max_vms_per_pm = 3;
+  const auto placed = queuing_ffd_quantile(inst, opt);
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_LE(placed.placement.count_on(PmId{j}), 3u);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,125 @@
+// Tests for migration planning and periodic re-consolidation.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/replan.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n, std::size_t m,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n, m, kP, InstanceRanges{}, rng);
+}
+
+TEST(PlanMigrations, IdenticalPlacementsNeedNoMoves) {
+  const auto inst = typical_instance(40, 30, 1);
+  const auto placed = queuing_ffd(inst).result;
+  ASSERT_TRUE(placed.complete());
+  const auto plan = plan_migrations(placed.placement, placed.placement);
+  EXPECT_EQ(plan.move_count(), 0u);
+  EXPECT_EQ(plan.pms_freed(), 0u);
+  EXPECT_EQ(plan.pms_before, plan.pms_after);
+}
+
+TEST(PlanMigrations, DiffListsExactlyTheMovedVms) {
+  Placement a(4, 3);
+  Placement b(4, 3);
+  a.assign(VmId{0}, PmId{0});
+  a.assign(VmId{1}, PmId{0});
+  a.assign(VmId{2}, PmId{1});
+  a.assign(VmId{3}, PmId{2});
+  b.assign(VmId{0}, PmId{0});
+  b.assign(VmId{1}, PmId{1});  // moved
+  b.assign(VmId{2}, PmId{1});
+  b.assign(VmId{3}, PmId{1});  // moved
+  const auto plan = plan_migrations(a, b);
+  ASSERT_EQ(plan.move_count(), 2u);
+  EXPECT_EQ(plan.moves[0].vm, VmId{1});
+  EXPECT_EQ(plan.moves[0].from, PmId{0});
+  EXPECT_EQ(plan.moves[0].to, PmId{1});
+  EXPECT_EQ(plan.moves[1].vm, VmId{3});
+  EXPECT_EQ(plan.pms_before, 3u);
+  EXPECT_EQ(plan.pms_after, 2u);
+  EXPECT_EQ(plan.pms_freed(), 1u);
+}
+
+TEST(PlanMigrations, RejectsPartialPlacements) {
+  Placement full(2, 2);
+  full.assign(VmId{0}, PmId{0});
+  full.assign(VmId{1}, PmId{0});
+  Placement partial(2, 2);
+  partial.assign(VmId{0}, PmId{0});
+  EXPECT_THROW(plan_migrations(partial, full), InvalidArgument);
+  EXPECT_THROW(plan_migrations(full, partial), InvalidArgument);
+}
+
+TEST(PlanMigrations, RejectsShapeMismatch) {
+  Placement a(2, 2);
+  a.assign(VmId{0}, PmId{0});
+  a.assign(VmId{1}, PmId{0});
+  Placement b(3, 2);
+  EXPECT_THROW(plan_migrations(a, b), InvalidArgument);
+}
+
+TEST(ApplyPlan, ReproducesTargetPlacement) {
+  const auto inst = typical_instance(50, 40, 2);
+  // Current: RB packing.  Target: QUEUE packing.
+  auto current = ffd_by_normal(inst);
+  const auto target = queuing_ffd(inst).result;
+  ASSERT_TRUE(current.complete() && target.complete());
+  const auto plan = plan_migrations(current.placement, target.placement);
+  apply_plan(current.placement, plan);
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    EXPECT_EQ(current.placement.pm_of(VmId{i}),
+              target.placement.pm_of(VmId{i}));
+}
+
+TEST(ApplyPlan, StalePlanThrows) {
+  Placement p(2, 2);
+  p.assign(VmId{0}, PmId{1});
+  p.assign(VmId{1}, PmId{1});
+  MigrationPlan plan;
+  plan.moves.push_back(PlannedMove{VmId{0}, PmId{0}, PmId{1}});  // wrong from
+  EXPECT_THROW(apply_plan(p, plan), InvalidArgument);
+}
+
+TEST(Replan, DriftedPlacementGetsConsolidated) {
+  const auto inst = typical_instance(60, 60, 3);
+  // Simulate drift: a deliberately wasteful one-VM-per-PM placement.
+  Placement drifted(inst.n_vms(), inst.n_pms());
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    drifted.assign(VmId{i}, PmId{i});
+  const auto result = replan(inst, drifted);
+  EXPECT_TRUE(result.fresh.complete());
+  EXPECT_LT(result.plan.pms_after, result.plan.pms_before);
+  EXPECT_GT(result.plan.pms_freed(), 0u);
+  // Applying the plan lands exactly on the fresh placement.
+  Placement live = drifted;
+  apply_plan(live, result.plan);
+  EXPECT_EQ(live.pms_used(), result.fresh.pms_used());
+}
+
+TEST(Replan, NoopWhenAlreadyOptimallyPacked) {
+  const auto inst = typical_instance(60, 60, 4);
+  const auto fresh = queuing_ffd(inst).result;
+  ASSERT_TRUE(fresh.complete());
+  const auto result = replan(inst, fresh.placement);
+  EXPECT_EQ(result.plan.move_count(), 0u);
+}
+
+TEST(Replan, MismatchedInstanceThrows) {
+  const auto inst = typical_instance(10, 10, 5);
+  Placement wrong(5, 10);
+  for (std::size_t i = 0; i < 5; ++i) wrong.assign(VmId{i}, PmId{0});
+  EXPECT_THROW(replan(inst, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,131 @@
+// Tests for the request-level performance simulator.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/request_sim.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+ProblemInstance typical_instance(std::size_t n, std::size_t m,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return random_instance(n, m, kP, InstanceRanges{}, rng);
+}
+
+TEST(RequestSimConfig, Validation) {
+  RequestSimConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  RequestSimConfig bad = ok;
+  bad.slots = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.service_demand_seconds = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(RequestSim, RejectsIncompletePlacement) {
+  const auto inst = typical_instance(5, 5, 1);
+  Placement partial(5, 5);
+  EXPECT_THROW(simulate_request_performance(inst, partial,
+                                            RequestSimConfig{}, Rng(1)),
+               InvalidArgument);
+}
+
+TEST(RequestSim, ConservationArrivalsEqualServedPlusBacklog) {
+  const auto inst = typical_instance(30, 30, 2);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  RequestSimConfig cfg;
+  cfg.slots = 50;
+  const auto rep =
+      simulate_request_performance(inst, placed.placement, cfg, Rng(2));
+  EXPECT_NEAR(rep.total_arrivals, rep.total_served + rep.final_backlog,
+              1e-6 * rep.total_arrivals);
+  EXPECT_GT(rep.total_arrivals, 0.0);
+}
+
+TEST(RequestSim, PeakProvisioningKeepsLatencyLow) {
+  // Under RP every VM always receives its full demand; backlogs stay
+  // bounded and latencies tiny (sub-slot).
+  const auto inst = typical_instance(40, 40, 3);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  RequestSimConfig cfg;
+  cfg.slots = 100;
+  const auto rep =
+      simulate_request_performance(inst, placed.placement, cfg, Rng(3));
+  EXPECT_LT(rep.mean_latency_seconds, cfg.sigma_seconds);
+  EXPECT_LT(rep.worst_vm_latency_seconds, 10.0 * cfg.sigma_seconds);
+}
+
+TEST(RequestSim, RbPackingDegradesLatencyVsQueue) {
+  // The headline performance claim made user-visible: packing by Rb
+  // starves spiking VMs and response time blows up relative to QUEUE.
+  const auto inst = typical_instance(120, 100, 4);
+  const auto rb = ffd_by_normal(inst);
+  const auto queue = queuing_ffd(inst);
+  ASSERT_TRUE(rb.complete() && queue.result.complete());
+  RequestSimConfig cfg;
+  cfg.slots = 200;
+  const auto rep_rb =
+      simulate_request_performance(inst, rb.placement, cfg, Rng(5));
+  const auto rep_q = simulate_request_performance(
+      inst, queue.result.placement, cfg, Rng(5));
+  EXPECT_GT(rep_rb.mean_latency_seconds, rep_q.mean_latency_seconds);
+  EXPECT_GT(rep_rb.p95_vm_latency_seconds,
+            2.0 * rep_q.p95_vm_latency_seconds);
+}
+
+TEST(RequestSim, UtilizationSane) {
+  const auto inst = typical_instance(50, 50, 6);
+  const auto placed = queuing_ffd(inst).result;
+  ASSERT_TRUE(placed.complete());
+  RequestSimConfig cfg;
+  cfg.slots = 80;
+  const auto rep =
+      simulate_request_performance(inst, placed.placement, cfg, Rng(6));
+  EXPECT_GT(rep.mean_utilization, 0.0);
+  EXPECT_LE(rep.mean_utilization, 1.0 + 1e-9);
+  ASSERT_EQ(rep.vm_latency_seconds.size(), inst.n_vms());
+  for (double w : rep.vm_latency_seconds) EXPECT_GE(w, 0.0);
+}
+
+TEST(RequestSim, DeterministicPerSeed) {
+  const auto inst = typical_instance(25, 25, 7);
+  const auto placed = ffd_by_peak(inst);
+  ASSERT_TRUE(placed.complete());
+  RequestSimConfig cfg;
+  cfg.slots = 40;
+  const auto a =
+      simulate_request_performance(inst, placed.placement, cfg, Rng(8));
+  const auto b =
+      simulate_request_performance(inst, placed.placement, cfg, Rng(8));
+  EXPECT_DOUBLE_EQ(a.total_served, b.total_served);
+  EXPECT_DOUBLE_EQ(a.mean_latency_seconds, b.mean_latency_seconds);
+}
+
+TEST(RequestSim, HopelesslyOverloadedPmBuildsBacklog) {
+  // Two VMs whose combined Rb alone is double the PM capacity: roughly
+  // half the offered load must remain queued.
+  ProblemInstance inst;
+  inst.vms = {VmSpec{kP, 20.0, 1.0}, VmSpec{kP, 20.0, 1.0}};
+  inst.pms = {PmSpec{20.0}};
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  RequestSimConfig cfg;
+  cfg.slots = 50;
+  const auto rep = simulate_request_performance(inst, p, cfg, Rng(9));
+  EXPECT_GT(rep.final_backlog, 0.3 * rep.total_arrivals);
+  EXPECT_GT(rep.mean_latency_seconds, cfg.sigma_seconds);
+}
+
+}  // namespace
+}  // namespace burstq

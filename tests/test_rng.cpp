@@ -1,0 +1,189 @@
+// Unit tests for the xoshiro256** generator and its distribution helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace burstq {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Child must differ from a fresh copy of the parent's continuation.
+  Rng parent2(7);
+  (void)parent2.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowRange) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_below(10);
+    ASSERT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values reachable
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(17);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowApproxUniform) {
+  Rng rng(23);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 700000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.next_below(n)];
+  for (auto c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 7.0, 0.005);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(29);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-2, 3);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 3);
+    saw_lo = saw_lo || x == -2;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(p)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.01), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(1.01), InvalidArgument);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(41);
+  const double mean = 2.5;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.03);
+  EXPECT_NEAR(var, mean * mean, 0.15);
+}
+
+TEST(Rng, GeometricSupportAndMean) {
+  Rng rng(43);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = rng.geometric(p);
+    ASSERT_GE(x, 1);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.05);
+}
+
+TEST(Rng, GeometricPOneIsAlwaysOne) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1);
+}
+
+TEST(Rng, GeometricRejectsBadP) {
+  Rng rng(47);
+  EXPECT_THROW(rng.geometric(0.0), InvalidArgument);
+  EXPECT_THROW(rng.geometric(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

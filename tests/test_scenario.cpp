@@ -1,0 +1,127 @@
+// Tests for scenario configuration: pattern ranges and Table I.
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace burstq {
+namespace {
+
+TEST(Patterns, AllThreePresent) {
+  const auto ps = all_patterns();
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0], SpikePattern::kEqual);
+  EXPECT_EQ(ps[1], SpikePattern::kSmallSpike);
+  EXPECT_EQ(ps[2], SpikePattern::kLargeSpike);
+}
+
+TEST(Patterns, NamesDistinct) {
+  EXPECT_NE(pattern_name(SpikePattern::kEqual),
+            pattern_name(SpikePattern::kSmallSpike));
+  EXPECT_NE(pattern_name(SpikePattern::kSmallSpike),
+            pattern_name(SpikePattern::kLargeSpike));
+}
+
+TEST(Ranges, MatchFigure5Settings) {
+  const auto eq = ranges_for_pattern(SpikePattern::kEqual);
+  EXPECT_DOUBLE_EQ(eq.rb_lo, 2.0);
+  EXPECT_DOUBLE_EQ(eq.rb_hi, 20.0);
+  EXPECT_DOUBLE_EQ(eq.re_lo, 2.0);
+  EXPECT_DOUBLE_EQ(eq.re_hi, 20.0);
+  const auto small = ranges_for_pattern(SpikePattern::kSmallSpike);
+  EXPECT_DOUBLE_EQ(small.rb_lo, 12.0);
+  EXPECT_DOUBLE_EQ(small.re_hi, 10.0);
+  const auto large = ranges_for_pattern(SpikePattern::kLargeSpike);
+  EXPECT_DOUBLE_EQ(large.rb_hi, 10.0);
+  EXPECT_DOUBLE_EQ(large.re_lo, 12.0);
+  // Capacity [80, 100] for all.
+  for (const auto& r : {eq, small, large}) {
+    EXPECT_DOUBLE_EQ(r.capacity_lo, 80.0);
+    EXPECT_DOUBLE_EQ(r.capacity_hi, 100.0);
+  }
+}
+
+TEST(PaperParams, LowFrequencyShortSpikes) {
+  const auto p = paper_onoff_params();
+  EXPECT_DOUBLE_EQ(p.p_on, 0.01);
+  EXPECT_DOUBLE_EQ(p.p_off, 0.09);
+}
+
+TEST(TableI, SevenRowsWithPaperUserCounts) {
+  const auto rows = table_i();
+  ASSERT_EQ(rows.size(), 7u);
+  // First row: small/small = 400 normal, 800 peak.
+  EXPECT_EQ(rows[0].normal_users, 400u);
+  EXPECT_EQ(rows[0].peak_users, 800u);
+  // medium/medium: 800 -> 1600.
+  EXPECT_EQ(rows[1].normal_users, 800u);
+  EXPECT_EQ(rows[1].peak_users, 1600u);
+  // large/large: 1600 -> 3200.
+  EXPECT_EQ(rows[2].normal_users, 1600u);
+  EXPECT_EQ(rows[2].peak_users, 3200u);
+  // Rb>Re medium/small: 800 -> 1200.
+  EXPECT_EQ(rows[3].normal_users, 800u);
+  EXPECT_EQ(rows[3].peak_users, 1200u);
+  // Rb>Re large/medium: 1600 -> 2400.
+  EXPECT_EQ(rows[4].normal_users, 1600u);
+  EXPECT_EQ(rows[4].peak_users, 2400u);
+  // Rb<Re small/medium: 400 -> 1200.
+  EXPECT_EQ(rows[5].normal_users, 400u);
+  EXPECT_EQ(rows[5].peak_users, 1200u);
+  // Rb<Re medium/large: 800 -> 2400.
+  EXPECT_EQ(rows[6].normal_users, 800u);
+  EXPECT_EQ(rows[6].peak_users, 2400u);
+}
+
+TEST(TableI, PatternFilter) {
+  EXPECT_EQ(table_i_rows(SpikePattern::kEqual).size(), 3u);
+  EXPECT_EQ(table_i_rows(SpikePattern::kSmallSpike).size(), 2u);
+  EXPECT_EQ(table_i_rows(SpikePattern::kLargeSpike).size(), 2u);
+}
+
+TEST(TableI, PatternsConsistentWithSizes) {
+  for (const auto& row : table_i()) {
+    switch (row.pattern) {
+      case SpikePattern::kEqual:
+        EXPECT_DOUBLE_EQ(row.rb, row.re);
+        break;
+      case SpikePattern::kSmallSpike:
+        EXPECT_GT(row.rb, row.re);
+        break;
+      case SpikePattern::kLargeSpike:
+        EXPECT_LT(row.rb, row.re);
+        break;
+    }
+  }
+}
+
+TEST(TableIInstance, DrawsFromPatternRows) {
+  Rng rng(1);
+  const auto inst = table_i_instance(SpikePattern::kLargeSpike, 100, 40,
+                                     paper_onoff_params(), rng);
+  EXPECT_EQ(inst.n_vms(), 100u);
+  EXPECT_EQ(inst.n_pms(), 40u);
+  const auto rows = table_i_rows(SpikePattern::kLargeSpike);
+  for (const auto& v : inst.vms) {
+    bool found = false;
+    for (const auto& row : rows)
+      if (v.rb == row.rb && v.re == row.re) found = true;
+    EXPECT_TRUE(found) << "VM (" << v.rb << "," << v.re
+                       << ") not a Table I row";
+    EXPECT_LT(v.rb, v.re);  // large-spike pattern
+  }
+}
+
+TEST(PatternInstance, HonorsPatternRanges) {
+  Rng rng(2);
+  const auto inst = pattern_instance(SpikePattern::kSmallSpike, 50, 20,
+                                     paper_onoff_params(), rng);
+  for (const auto& v : inst.vms) {
+    EXPECT_GE(v.rb, 12.0);
+    EXPECT_LE(v.re, 10.0);
+    EXPECT_GT(v.rb, v.re);
+  }
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,177 @@
+// Randomized stress tests: long random operation sequences and random
+// instances, checking only invariants (never exact values).  These are
+// the tests most likely to surface state-machine bugs that directed unit
+// tests miss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/hetero_ffd.h"
+#include "placement/online.h"
+#include "placement/placement.h"
+#include "placement/queuing_ffd.h"
+#include "placement/replan.h"
+#include "placement/sbp.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+VmSpec random_vm(Rng& rng) {
+  OnOffParams p{rng.uniform(0.005, 0.2), rng.uniform(0.02, 0.5)};
+  return VmSpec{p, rng.uniform(0.5, 25.0), rng.uniform(0.0, 25.0)};
+}
+
+// --- OnlineConsolidator under a random op mix -------------------------
+
+class OnlineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineStress, InvariantSurvivesRandomChurn) {
+  Rng rng(GetParam());
+  OnlineConsolidator cloud(std::vector<PmSpec>(60, PmSpec{90.0}),
+                           QueuingFfdOptions{}, kP);
+  std::vector<VmHandle> live;
+  std::size_t hosted = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    const double roll = rng.next_double();
+    if (roll < 0.5) {
+      if (const auto h = cloud.add_vm(random_vm(rng))) {
+        live.push_back(*h);
+        ++hosted;
+      }
+    } else if (roll < 0.75 && !live.empty()) {
+      const std::size_t pick = rng.next_below(live.size());
+      cloud.remove_vm(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      --hosted;
+    } else if (roll < 0.85) {
+      std::vector<VmSpec> batch;
+      const auto sz = rng.next_below(8);
+      for (std::uint64_t i = 0; i < sz; ++i)
+        batch.push_back(random_vm(rng));
+      for (const auto& h : cloud.add_batch(batch)) {
+        if (h) {
+          live.push_back(*h);
+          ++hosted;
+        }
+      }
+    } else {
+      const std::size_t migs = cloud.recalibrate();
+      // Repair may drop VMs it cannot re-place; resync our view.
+      if (migs > 0) {
+        std::erase_if(live, [&](VmHandle h) {
+          // A dropped handle throws on pm_of; probe via count.
+          try {
+            (void)cloud.pm_of(h);
+            return false;
+          } catch (const InvalidArgument&) {
+            return true;
+          }
+        });
+        hosted = live.size();
+      }
+    }
+    ASSERT_TRUE(cloud.reservation_invariant_holds()) << "op " << op;
+    ASSERT_EQ(cloud.vms_hosted(), hosted) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStress,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- every placement strategy on random instances ---------------------
+
+class StrategyStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyStress, AllStrategiesProduceValidPlacements) {
+  Rng rng(GetParam() * 7919);
+  ProblemInstance inst;
+  const std::size_t n = 50 + rng.next_below(100);
+  for (std::size_t i = 0; i < n; ++i) inst.vms.push_back(random_vm(rng));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.pms.push_back(PmSpec{rng.uniform(60.0, 120.0)});
+
+  const auto check = [&](const PlacementResult& r) {
+    // No VM on two PMs; every placed VM's PM index sane; per-PM counts
+    // consistent.
+    std::size_t counted = 0;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      for (std::size_t i : r.placement.vms_on(PmId{j})) {
+        ASSERT_EQ(r.placement.pm_of(VmId{i}), PmId{j});
+        ++counted;
+      }
+    }
+    ASSERT_EQ(counted, r.placement.vms_assigned());
+    ASSERT_EQ(r.placement.vms_assigned() + r.unplaced.size(), inst.n_vms());
+    // Placed VMs are never in the unplaced list.
+    for (VmId vm : r.unplaced) ASSERT_FALSE(r.placement.assigned(vm));
+  };
+
+  check(queuing_ffd(inst).result);
+  check(ffd_by_peak(inst));
+  check(ffd_by_normal(inst));
+  check(ffd_reserved(inst, 0.3));
+  check(sbp_normal(inst));
+  check(queuing_ffd_hetero(inst));
+}
+
+TEST_P(StrategyStress, SimulatorConservesVms) {
+  Rng rng(GetParam() * 104729);
+  ProblemInstance inst;
+  const std::size_t n = 30 + rng.next_below(50);
+  for (std::size_t i = 0; i < n; ++i) inst.vms.push_back(random_vm(rng));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.pms.push_back(PmSpec{rng.uniform(60.0, 120.0)});
+
+  const auto placed = ffd_by_normal(inst);
+  if (!placed.complete()) return;  // starved fleet: nothing to simulate
+
+  SimConfig cfg;
+  cfg.slots = 60;
+  cfg.webserver_workload = (GetParam() % 2) == 0;
+  cfg.policy.cost_slots = GetParam() % 3;  // exercise 0-cost migrations too
+  ClusterSimulator sim(inst, placed.placement, cfg, rng.split());
+  const auto rep = sim.run();
+  ASSERT_EQ(sim.placement().vms_assigned(), inst.n_vms());
+  ASSERT_LE(rep.pms_used_end, inst.n_pms());
+  // Energy only accrues for active PMs: bounded by all-PMs-all-slots.
+  PowerModel pm;
+  const double cap = pm.busy_watts * static_cast<double>(inst.n_pms()) *
+                     static_cast<double>(cfg.slots) * cfg.sigma_seconds /
+                     3600.0;
+  ASSERT_LE(rep.energy_wh, cap * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyStress,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- replan round-trips under churn -----------------------------------
+
+TEST(ReplanStress, PlanAlwaysLandsOnFreshPlacement) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 31337);
+    ProblemInstance inst;
+    for (int i = 0; i < 60; ++i) inst.vms.push_back(random_vm(rng));
+    for (int j = 0; j < 60; ++j)
+      inst.pms.push_back(PmSpec{rng.uniform(70.0, 110.0)});
+    // Random (valid) current placement: shuffle then first-fit by Rb.
+    auto current = ffd_by_normal(inst);
+    if (!current.complete()) continue;
+    const auto result = replan(inst, current.placement);
+    Placement live = current.placement;
+    apply_plan(live, result.plan);
+    for (std::size_t i = 0; i < inst.n_vms(); ++i)
+      ASSERT_EQ(live.pm_of(VmId{i}),
+                result.fresh.placement.pm_of(VmId{i}));
+  }
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,82 @@
+// Tests for trace-driven CVR replay.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/queuing_ffd.h"
+#include "sim/cluster_sim.h"
+#include "sim/trace_replay.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+TEST(TraceReplay, HandCheckedViolations) {
+  // 2 VMs on 1 PM of capacity 10; three slots: loads 8, 12, 10.
+  DemandTrace trace{{4.0, 4.0}, {6.0, 6.0}, {5.0, 5.0}};
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  const auto rep = replay_trace_cvr(trace, p, {10.0});
+  EXPECT_NEAR(rep.pm_cvr[0], 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(rep.slots, 3u);
+  EXPECT_NEAR(rep.mean_cvr, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rep.max_cvr, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TraceReplay, MatchesLiveSimulationOnSameTrace) {
+  // Replaying a recorded trace must give the same per-PM CVR as
+  // simulate_cvr when both consume the exact same demand sequence.
+  Rng rng(5);
+  const auto inst = random_instance(60, 50, kP, InstanceRanges{}, rng);
+  const auto placed = queuing_ffd(inst).result;
+  ASSERT_TRUE(placed.complete());
+
+  const std::size_t slots = 3000;
+  const auto trace = record_demand_trace(inst, slots, Rng(6));
+  std::vector<Resource> caps;
+  caps.reserve(inst.n_pms());
+  for (const auto& pm : inst.pms) caps.push_back(pm.capacity);
+  const auto replayed = replay_trace_cvr(trace, placed.placement, caps);
+  const auto live = simulate_cvr(inst, placed.placement, slots, Rng(6));
+  for (std::size_t j = 0; j < inst.n_pms(); ++j)
+    EXPECT_NEAR(replayed.pm_cvr[j], live[j], 1e-12) << "pm " << j;
+}
+
+TEST(TraceReplay, EmptyPmsExcludedFromMean) {
+  DemandTrace trace{{20.0}};
+  Placement p(1, 3);
+  p.assign(VmId{0}, PmId{1});
+  const auto rep = replay_trace_cvr(trace, p, {10.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(rep.pm_cvr[0], 0.0);
+  EXPECT_DOUBLE_EQ(rep.pm_cvr[1], 1.0);
+  EXPECT_DOUBLE_EQ(rep.mean_cvr, 1.0);  // only PM1 hosts a VM
+}
+
+TEST(TraceReplay, ValidatesInput) {
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  EXPECT_THROW(replay_trace_cvr({}, p, {10.0}), InvalidArgument);
+  DemandTrace wrong_vms{{1.0}};
+  EXPECT_THROW(replay_trace_cvr(wrong_vms, p, {10.0}), InvalidArgument);
+  DemandTrace ok{{1.0, 1.0}};
+  EXPECT_THROW(replay_trace_cvr(ok, p, {10.0, 20.0}), InvalidArgument);
+  Placement partial(2, 1);
+  partial.assign(VmId{0}, PmId{0});
+  EXPECT_THROW(replay_trace_cvr(ok, partial, {10.0}), InvalidArgument);
+}
+
+TEST(TraceReplay, RaggedTraceThrows) {
+  Placement p(2, 1);
+  p.assign(VmId{0}, PmId{0});
+  p.assign(VmId{1}, PmId{0});
+  DemandTrace ragged{{1.0, 1.0}, {1.0}};
+  EXPECT_THROW(replay_trace_cvr(ragged, p, {10.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,138 @@
+// Tests for transient / first-passage analysis of the aggregate chain.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "markov/aggregate_chain.h"
+#include "markov/transient.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.01, 0.09};
+
+TEST(TransientDistribution, TimeZeroIsPointMass) {
+  const auto d = aggregate_distribution_at(5, kP, 0, 2);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+}
+
+TEST(TransientDistribution, OneStepMatchesMatrixRow) {
+  const auto d = aggregate_distribution_at(4, kP, 1, 1);
+  const Matrix p = aggregate_transition_matrix(4, kP);
+  for (std::size_t j = 0; j <= 4; ++j) EXPECT_NEAR(d[j], p(1, j), 1e-15);
+}
+
+TEST(TransientDistribution, ConvergesToStationary) {
+  const std::size_t k = 8;
+  const auto late = aggregate_distribution_at(k, kP, 5000, 0);
+  const auto pi =
+      aggregate_stationary_distribution(k, kP, StationaryMethod::kClosedForm);
+  for (std::size_t i = 0; i <= k; ++i) EXPECT_NEAR(late[i], pi[i], 1e-9);
+}
+
+TEST(TransientDistribution, StaysNormalized) {
+  for (std::size_t t : {1u, 10u, 100u}) {
+    const auto d = aggregate_distribution_at(6, kP, t, 3);
+    double sum = 0.0;
+    for (double v : d) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TransientDistribution, BadInitialThrows) {
+  EXPECT_THROW(aggregate_distribution_at(3, kP, 1, 4), InvalidArgument);
+}
+
+TEST(FirstPassage, KOneClosedForm) {
+  // k = 1, servers = 0: time until the single VM first turns ON starting
+  // OFF.  Dwell is geometric: E = 1/p_on.
+  const OnOffParams p{0.2, 0.5};
+  EXPECT_NEAR(expected_slots_to_overflow(1, p, 0, 0), 1.0 / 0.2, 1e-10);
+}
+
+TEST(FirstPassage, MoreServersLastLonger) {
+  double prev = 0.0;
+  for (std::size_t servers = 0; servers < 8; ++servers) {
+    const double t = expected_slots_to_overflow(8, kP, servers, 0);
+    EXPECT_GT(t, prev) << "servers=" << servers;
+    prev = t;
+  }
+}
+
+TEST(FirstPassage, StartingHigherOverflowsSooner) {
+  const double from_empty = expected_slots_to_overflow(8, kP, 4, 0);
+  const double from_full = expected_slots_to_overflow(8, kP, 4, 4);
+  EXPECT_GT(from_empty, from_full);
+}
+
+TEST(FirstPassage, MatchesSimulation) {
+  const OnOffParams p{0.05, 0.2};  // fast chain so simulation is cheap
+  const std::size_t k = 4;
+  const std::size_t servers = 2;
+  const double analytic = expected_slots_to_overflow(k, p, servers, 0);
+
+  Rng rng(11);
+  double total = 0.0;
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<OnOffChain> chains(k, OnOffChain(p));
+    std::size_t t = 0;
+    for (;;) {
+      ++t;
+      std::size_t on = 0;
+      for (auto& c : chains)
+        if (c.step(rng) == VmState::kOn) ++on;
+      if (on > servers) break;
+    }
+    total += static_cast<double>(t);
+  }
+  EXPECT_NEAR(total / trials, analytic, 0.03 * analytic);
+}
+
+TEST(FirstPassage, InvalidArgumentsThrow) {
+  EXPECT_THROW(expected_slots_to_overflow(4, kP, 4, 0), InvalidArgument);
+  EXPECT_THROW(expected_slots_to_overflow(4, kP, 2, 3), InvalidArgument);
+}
+
+TEST(MeanBetweenOverflows, ReciprocalOfTailMass) {
+  const std::size_t k = 10;
+  const std::size_t servers = 3;
+  const auto pi =
+      aggregate_stationary_distribution(k, kP, StationaryMethod::kClosedForm);
+  double tail = 0.0;
+  for (std::size_t i = servers + 1; i <= k; ++i) tail += pi[i];
+  EXPECT_NEAR(mean_slots_between_overflows(k, kP, servers), 1.0 / tail,
+              1e-9);
+}
+
+TEST(MeanBetweenOverflows, MapCalBlocksGiveAtLeastOneOverRho) {
+  // With K = MapCal blocks at rho, overflow slots are at most a rho
+  // fraction, so the mean gap is at least 1/rho.
+  const double rho = 0.01;
+  for (std::size_t k = 4; k <= 16; k += 4) {
+    const std::size_t blocks = map_cal_blocks(k, kP, rho);
+    if (blocks >= k) continue;
+    EXPECT_GE(mean_slots_between_overflows(k, kP, blocks),
+              1.0 / rho - 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(MixingSlots, FastChainMixesFasterThanSlowChain) {
+  const std::size_t slow =
+      mixing_slots(8, OnOffParams{0.01, 0.09}, 1e-3);
+  const std::size_t fast = mixing_slots(8, OnOffParams{0.2, 0.3}, 1e-3);
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(slow, 10u);  // the paper's parameters mix over tens of slots
+}
+
+TEST(MixingSlots, ZeroWhenAlreadyTight) {
+  // eps = 2 is larger than any TV distance (max is 2): mixed at t = 0.
+  EXPECT_EQ(mixing_slots(4, kP, 2.0), 0u);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,129 @@
+// Tests for the web-server request workload (Section V-D driver): think
+// time moments, exact vs Gaussian generators, demand calibration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "sim/webserver.h"
+
+namespace burstq {
+namespace {
+
+TEST(ThinkTimeMoments, ZeroFloorIsPlainExponential) {
+  const auto m = think_time_moments(1.0, 0.0);
+  EXPECT_NEAR(m.mean, 1.0, 1e-12);
+  EXPECT_NEAR(m.variance, 1.0, 1e-12);
+}
+
+TEST(ThinkTimeMoments, PaperValues) {
+  // mean 1, floor 0.1: E = 0.1 + e^-0.1 ~= 1.00484.
+  const auto m = think_time_moments(1.0, 0.1);
+  EXPECT_NEAR(m.mean, 0.1 + std::exp(-0.1), 1e-12);
+  EXPECT_GT(m.variance, 0.0);
+  EXPECT_LT(m.variance, 1.0);  // truncation removes variance
+}
+
+TEST(ThinkTimeMoments, MatchesMonteCarlo) {
+  const auto m = think_time_moments(2.0, 0.5);
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 400000; ++i)
+    s.add(std::max(0.5, rng.exponential(2.0)));
+  EXPECT_NEAR(s.mean(), m.mean, 0.01);
+  EXPECT_NEAR(s.variance(), m.variance, 0.05);
+}
+
+TEST(ThinkTimeMoments, InvalidThrows) {
+  EXPECT_THROW(think_time_moments(0.0, 0.1), InvalidArgument);
+  EXPECT_THROW(think_time_moments(1.0, -0.1), InvalidArgument);
+}
+
+TEST(WebServerParams, Validation) {
+  WebServerParams ok;
+  EXPECT_NO_THROW(ok.validate());
+  WebServerParams bad = ok;
+  bad.peak_users = bad.normal_users - 1;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.normal_users = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = ok;
+  bad.sigma_seconds = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(WebServer, ExpectedRequestsScaleWithUsers) {
+  WebServerParams p;
+  p.normal_users = 400;
+  p.peak_users = 800;
+  const WebServerWorkload w(p);
+  const double off = w.expected_requests(VmState::kOff);
+  const double on = w.expected_requests(VmState::kOn);
+  EXPECT_NEAR(on / off, 2.0, 1e-12);
+  // ~400 users * 30s / 1.005s think time.
+  EXPECT_NEAR(off, 400.0 * 30.0 / (0.1 + std::exp(-0.1)), 1e-9);
+}
+
+TEST(WebServer, ExactGeneratorMatchesExpectation) {
+  WebServerParams p;
+  p.normal_users = 50;  // small so the exact path is fast
+  p.peak_users = 100;
+  const WebServerWorkload w(p);
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < 300; ++i)
+    s.add(w.sample_requests_exact(VmState::kOff, rng));
+  EXPECT_NEAR(s.mean(), w.expected_requests(VmState::kOff),
+              0.02 * w.expected_requests(VmState::kOff));
+}
+
+TEST(WebServer, GaussianMatchesExactMoments) {
+  WebServerParams p;
+  p.normal_users = 50;
+  p.peak_users = 100;
+  const WebServerWorkload w(p);
+  Rng rng(3);
+  RunningStats exact;
+  RunningStats gauss;
+  for (int i = 0; i < 400; ++i) {
+    exact.add(w.sample_requests_exact(VmState::kOn, rng));
+    gauss.add(w.sample_requests_gaussian(VmState::kOn, rng));
+  }
+  EXPECT_NEAR(gauss.mean(), exact.mean(), 0.02 * exact.mean());
+  // Standard deviations agree within a loose statistical band.
+  EXPECT_NEAR(gauss.stddev() / exact.stddev(), 1.0, 0.35);
+}
+
+TEST(WebServer, DemandCalibration) {
+  // 400 normal users with 100 users/unit must average ~4 demand units.
+  WebServerParams p;
+  p.normal_users = 400;
+  p.peak_users = 1200;
+  p.users_per_unit = 100.0;
+  const WebServerWorkload w(p);
+  Rng rng(4);
+  RunningStats off_demand;
+  RunningStats on_demand;
+  for (int i = 0; i < 2000; ++i) {
+    off_demand.add(w.sample_demand(VmState::kOff, rng));
+    on_demand.add(w.sample_demand(VmState::kOn, rng));
+  }
+  EXPECT_NEAR(off_demand.mean(), 4.0, 0.05);
+  EXPECT_NEAR(on_demand.mean(), 12.0, 0.1);
+}
+
+TEST(WebServer, SamplesNonNegative) {
+  WebServerParams p;
+  p.normal_users = 1;
+  p.peak_users = 2;
+  const WebServerWorkload w(p);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i)
+    EXPECT_GE(w.sample_requests_gaussian(VmState::kOff, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,87 @@
+// Tests for WorkloadEnsemble and demand-trace recording.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/workload_gen.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.05, 0.15};  // q = 0.25, fast-mixing for tests
+
+ProblemInstance make_instance(std::size_t n) {
+  ProblemInstance inst;
+  for (std::size_t i = 0; i < n; ++i)
+    inst.vms.push_back(VmSpec{kP, 10.0, 4.0});
+  inst.pms.push_back(PmSpec{100.0});
+  return inst;
+}
+
+TEST(WorkloadEnsemble, DemandTracksState) {
+  const auto inst = make_instance(5);
+  WorkloadEnsemble e(inst, Rng(1));
+  for (int t = 0; t < 100; ++t) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      const double expect =
+          e.state(i) == VmState::kOn ? 14.0 : 10.0;
+      EXPECT_DOUBLE_EQ(e.demand(i), expect);
+    }
+    e.step();
+  }
+}
+
+TEST(WorkloadEnsemble, OnCountConsistent) {
+  const auto inst = make_instance(8);
+  WorkloadEnsemble e(inst, Rng(2));
+  for (int t = 0; t < 50; ++t) {
+    std::size_t on = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      if (e.state(i) == VmState::kOn) ++on;
+    EXPECT_EQ(e.on_count(), on);
+    e.step();
+  }
+}
+
+TEST(WorkloadEnsemble, StationaryOnFraction) {
+  const auto inst = make_instance(4);
+  WorkloadEnsemble e(inst, Rng(3));
+  std::size_t on = 0;
+  const int slots = 200000;
+  for (int t = 0; t < slots; ++t) {
+    on += e.on_count();
+    e.step();
+  }
+  EXPECT_NEAR(static_cast<double>(on) / (4.0 * slots),
+              kP.stationary_on_probability(), 0.01);
+}
+
+TEST(WorkloadEnsemble, ColdStartAllOff) {
+  const auto inst = make_instance(6);
+  WorkloadEnsemble e(inst, Rng(4), /*start_stationary=*/false);
+  EXPECT_EQ(e.on_count(), 0u);
+}
+
+TEST(RecordDemandTrace, ShapeAndDeterminism) {
+  const auto inst = make_instance(3);
+  const auto a = record_demand_trace(inst, 50, Rng(5));
+  const auto b = record_demand_trace(inst, 50, Rng(5));
+  ASSERT_EQ(a.size(), 50u);
+  ASSERT_EQ(a[0].size(), 3u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RecordDemandTrace, ValuesAreRbOrRp) {
+  const auto inst = make_instance(3);
+  const auto trace = record_demand_trace(inst, 200, Rng(6));
+  for (const auto& row : trace)
+    for (double d : row) EXPECT_TRUE(d == 10.0 || d == 14.0) << d;
+}
+
+TEST(RecordDemandTrace, ZeroSlotsThrows) {
+  const auto inst = make_instance(1);
+  EXPECT_THROW(record_demand_trace(inst, 0, Rng(7)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq
