@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapcal.dir/ablation_mapcal.cpp.o"
+  "CMakeFiles/ablation_mapcal.dir/ablation_mapcal.cpp.o.d"
+  "ablation_mapcal"
+  "ablation_mapcal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapcal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

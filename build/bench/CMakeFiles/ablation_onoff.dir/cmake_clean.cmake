@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_onoff.dir/ablation_onoff.cpp.o"
+  "CMakeFiles/ablation_onoff.dir/ablation_onoff.cpp.o.d"
+  "ablation_onoff"
+  "ablation_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rho.dir/ablation_rho.cpp.o"
+  "CMakeFiles/ablation_rho.dir/ablation_rho.cpp.o.d"
+  "ablation_rho"
+  "ablation_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_packing.dir/fig5_packing.cpp.o"
+  "CMakeFiles/fig5_packing.dir/fig5_packing.cpp.o.d"
+  "fig5_packing"
+  "fig5_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

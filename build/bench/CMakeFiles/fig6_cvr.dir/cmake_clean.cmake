@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cvr.dir/fig6_cvr.cpp.o"
+  "CMakeFiles/fig6_cvr.dir/fig6_cvr.cpp.o.d"
+  "fig6_cvr"
+  "fig6_cvr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cost.dir/fig7_cost.cpp.o"
+  "CMakeFiles/fig7_cost.dir/fig7_cost.cpp.o.d"
+  "fig7_cost"
+  "fig7_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_workload.dir/fig8_workload.cpp.o"
+  "CMakeFiles/fig8_workload.dir/fig8_workload.cpp.o.d"
+  "fig8_workload"
+  "fig8_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

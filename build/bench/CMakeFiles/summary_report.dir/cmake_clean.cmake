@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_report.dir/summary_report.cpp.o"
+  "CMakeFiles/summary_report.dir/summary_report.cpp.o.d"
+  "summary_report"
+  "summary_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_cli.dir/burstq_cli.cpp.o"
+  "CMakeFiles/burstq_cli.dir/burstq_cli.cpp.o.d"
+  "burstq_cli"
+  "burstq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_packing.dir/multidim_packing.cpp.o"
+  "CMakeFiles/multidim_packing.dir/multidim_packing.cpp.o.d"
+  "multidim_packing"
+  "multidim_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

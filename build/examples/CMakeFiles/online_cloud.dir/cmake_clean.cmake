@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_cloud.dir/online_cloud.cpp.o"
+  "CMakeFiles/online_cloud.dir/online_cloud.cpp.o.d"
+  "online_cloud"
+  "online_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

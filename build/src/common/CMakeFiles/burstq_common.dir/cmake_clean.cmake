@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_common.dir/args.cpp.o"
+  "CMakeFiles/burstq_common.dir/args.cpp.o.d"
+  "CMakeFiles/burstq_common.dir/csv.cpp.o"
+  "CMakeFiles/burstq_common.dir/csv.cpp.o.d"
+  "CMakeFiles/burstq_common.dir/parallel.cpp.o"
+  "CMakeFiles/burstq_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/burstq_common.dir/rng.cpp.o"
+  "CMakeFiles/burstq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/burstq_common.dir/stats.cpp.o"
+  "CMakeFiles/burstq_common.dir/stats.cpp.o.d"
+  "CMakeFiles/burstq_common.dir/table.cpp.o"
+  "CMakeFiles/burstq_common.dir/table.cpp.o.d"
+  "libburstq_common.a"
+  "libburstq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_core.dir/consolidator.cpp.o"
+  "CMakeFiles/burstq_core.dir/consolidator.cpp.o.d"
+  "CMakeFiles/burstq_core.dir/controller.cpp.o"
+  "CMakeFiles/burstq_core.dir/controller.cpp.o.d"
+  "CMakeFiles/burstq_core.dir/experiment.cpp.o"
+  "CMakeFiles/burstq_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/burstq_core.dir/scenario.cpp.o"
+  "CMakeFiles/burstq_core.dir/scenario.cpp.o.d"
+  "libburstq_core.a"
+  "libburstq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_fit.dir/diagnostics.cpp.o"
+  "CMakeFiles/burstq_fit.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/burstq_fit.dir/estimator.cpp.o"
+  "CMakeFiles/burstq_fit.dir/estimator.cpp.o.d"
+  "CMakeFiles/burstq_fit.dir/instance_io.cpp.o"
+  "CMakeFiles/burstq_fit.dir/instance_io.cpp.o.d"
+  "CMakeFiles/burstq_fit.dir/planetlab.cpp.o"
+  "CMakeFiles/burstq_fit.dir/planetlab.cpp.o.d"
+  "CMakeFiles/burstq_fit.dir/trace_io.cpp.o"
+  "CMakeFiles/burstq_fit.dir/trace_io.cpp.o.d"
+  "libburstq_fit.a"
+  "libburstq_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_linalg.dir/gaussian.cpp.o"
+  "CMakeFiles/burstq_linalg.dir/gaussian.cpp.o.d"
+  "CMakeFiles/burstq_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/burstq_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/burstq_linalg.dir/power_iteration.cpp.o"
+  "CMakeFiles/burstq_linalg.dir/power_iteration.cpp.o.d"
+  "libburstq_linalg.a"
+  "libburstq_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/aggregate_chain.cpp" "src/markov/CMakeFiles/burstq_markov.dir/aggregate_chain.cpp.o" "gcc" "src/markov/CMakeFiles/burstq_markov.dir/aggregate_chain.cpp.o.d"
+  "/root/repo/src/markov/burstiness.cpp" "src/markov/CMakeFiles/burstq_markov.dir/burstiness.cpp.o" "gcc" "src/markov/CMakeFiles/burstq_markov.dir/burstiness.cpp.o.d"
+  "/root/repo/src/markov/onoff.cpp" "src/markov/CMakeFiles/burstq_markov.dir/onoff.cpp.o" "gcc" "src/markov/CMakeFiles/burstq_markov.dir/onoff.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/burstq_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/burstq_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/burstq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/burstq_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_markov.dir/aggregate_chain.cpp.o"
+  "CMakeFiles/burstq_markov.dir/aggregate_chain.cpp.o.d"
+  "CMakeFiles/burstq_markov.dir/burstiness.cpp.o"
+  "CMakeFiles/burstq_markov.dir/burstiness.cpp.o.d"
+  "CMakeFiles/burstq_markov.dir/onoff.cpp.o"
+  "CMakeFiles/burstq_markov.dir/onoff.cpp.o.d"
+  "CMakeFiles/burstq_markov.dir/transient.cpp.o"
+  "CMakeFiles/burstq_markov.dir/transient.cpp.o.d"
+  "libburstq_markov.a"
+  "libburstq_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

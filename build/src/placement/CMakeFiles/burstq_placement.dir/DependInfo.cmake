@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/baselines.cpp" "src/placement/CMakeFiles/burstq_placement.dir/baselines.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/baselines.cpp.o.d"
+  "/root/repo/src/placement/budget.cpp" "src/placement/CMakeFiles/burstq_placement.dir/budget.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/budget.cpp.o.d"
+  "/root/repo/src/placement/cluster.cpp" "src/placement/CMakeFiles/burstq_placement.dir/cluster.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/cluster.cpp.o.d"
+  "/root/repo/src/placement/first_fit.cpp" "src/placement/CMakeFiles/burstq_placement.dir/first_fit.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/first_fit.cpp.o.d"
+  "/root/repo/src/placement/hetero_ffd.cpp" "src/placement/CMakeFiles/burstq_placement.dir/hetero_ffd.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/hetero_ffd.cpp.o.d"
+  "/root/repo/src/placement/multidim.cpp" "src/placement/CMakeFiles/burstq_placement.dir/multidim.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/multidim.cpp.o.d"
+  "/root/repo/src/placement/online.cpp" "src/placement/CMakeFiles/burstq_placement.dir/online.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/online.cpp.o.d"
+  "/root/repo/src/placement/optimal.cpp" "src/placement/CMakeFiles/burstq_placement.dir/optimal.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/optimal.cpp.o.d"
+  "/root/repo/src/placement/packing_variants.cpp" "src/placement/CMakeFiles/burstq_placement.dir/packing_variants.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/packing_variants.cpp.o.d"
+  "/root/repo/src/placement/placement.cpp" "src/placement/CMakeFiles/burstq_placement.dir/placement.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/placement.cpp.o.d"
+  "/root/repo/src/placement/quantile_ffd.cpp" "src/placement/CMakeFiles/burstq_placement.dir/quantile_ffd.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/quantile_ffd.cpp.o.d"
+  "/root/repo/src/placement/queuing_ffd.cpp" "src/placement/CMakeFiles/burstq_placement.dir/queuing_ffd.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/queuing_ffd.cpp.o.d"
+  "/root/repo/src/placement/replan.cpp" "src/placement/CMakeFiles/burstq_placement.dir/replan.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/replan.cpp.o.d"
+  "/root/repo/src/placement/sbp.cpp" "src/placement/CMakeFiles/burstq_placement.dir/sbp.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/sbp.cpp.o.d"
+  "/root/repo/src/placement/spec.cpp" "src/placement/CMakeFiles/burstq_placement.dir/spec.cpp.o" "gcc" "src/placement/CMakeFiles/burstq_placement.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queuing/CMakeFiles/burstq_queuing.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/burstq_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/burstq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/burstq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_placement.dir/baselines.cpp.o"
+  "CMakeFiles/burstq_placement.dir/baselines.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/budget.cpp.o"
+  "CMakeFiles/burstq_placement.dir/budget.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/cluster.cpp.o"
+  "CMakeFiles/burstq_placement.dir/cluster.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/first_fit.cpp.o"
+  "CMakeFiles/burstq_placement.dir/first_fit.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/hetero_ffd.cpp.o"
+  "CMakeFiles/burstq_placement.dir/hetero_ffd.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/multidim.cpp.o"
+  "CMakeFiles/burstq_placement.dir/multidim.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/online.cpp.o"
+  "CMakeFiles/burstq_placement.dir/online.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/optimal.cpp.o"
+  "CMakeFiles/burstq_placement.dir/optimal.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/packing_variants.cpp.o"
+  "CMakeFiles/burstq_placement.dir/packing_variants.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/placement.cpp.o"
+  "CMakeFiles/burstq_placement.dir/placement.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/quantile_ffd.cpp.o"
+  "CMakeFiles/burstq_placement.dir/quantile_ffd.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/queuing_ffd.cpp.o"
+  "CMakeFiles/burstq_placement.dir/queuing_ffd.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/replan.cpp.o"
+  "CMakeFiles/burstq_placement.dir/replan.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/sbp.cpp.o"
+  "CMakeFiles/burstq_placement.dir/sbp.cpp.o.d"
+  "CMakeFiles/burstq_placement.dir/spec.cpp.o"
+  "CMakeFiles/burstq_placement.dir/spec.cpp.o.d"
+  "libburstq_placement.a"
+  "libburstq_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

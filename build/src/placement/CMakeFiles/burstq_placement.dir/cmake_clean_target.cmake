@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libburstq_placement.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/binomial.cpp" "src/prob/CMakeFiles/burstq_prob.dir/binomial.cpp.o" "gcc" "src/prob/CMakeFiles/burstq_prob.dir/binomial.cpp.o.d"
+  "/root/repo/src/prob/combinatorics.cpp" "src/prob/CMakeFiles/burstq_prob.dir/combinatorics.cpp.o" "gcc" "src/prob/CMakeFiles/burstq_prob.dir/combinatorics.cpp.o.d"
+  "/root/repo/src/prob/normal.cpp" "src/prob/CMakeFiles/burstq_prob.dir/normal.cpp.o" "gcc" "src/prob/CMakeFiles/burstq_prob.dir/normal.cpp.o.d"
+  "/root/repo/src/prob/poisson_binomial.cpp" "src/prob/CMakeFiles/burstq_prob.dir/poisson_binomial.cpp.o" "gcc" "src/prob/CMakeFiles/burstq_prob.dir/poisson_binomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_prob.dir/binomial.cpp.o"
+  "CMakeFiles/burstq_prob.dir/binomial.cpp.o.d"
+  "CMakeFiles/burstq_prob.dir/combinatorics.cpp.o"
+  "CMakeFiles/burstq_prob.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/burstq_prob.dir/normal.cpp.o"
+  "CMakeFiles/burstq_prob.dir/normal.cpp.o.d"
+  "CMakeFiles/burstq_prob.dir/poisson_binomial.cpp.o"
+  "CMakeFiles/burstq_prob.dir/poisson_binomial.cpp.o.d"
+  "libburstq_prob.a"
+  "libburstq_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queuing/discrete_queue.cpp" "src/queuing/CMakeFiles/burstq_queuing.dir/discrete_queue.cpp.o" "gcc" "src/queuing/CMakeFiles/burstq_queuing.dir/discrete_queue.cpp.o.d"
+  "/root/repo/src/queuing/geom_queue.cpp" "src/queuing/CMakeFiles/burstq_queuing.dir/geom_queue.cpp.o" "gcc" "src/queuing/CMakeFiles/burstq_queuing.dir/geom_queue.cpp.o.d"
+  "/root/repo/src/queuing/hetero.cpp" "src/queuing/CMakeFiles/burstq_queuing.dir/hetero.cpp.o" "gcc" "src/queuing/CMakeFiles/burstq_queuing.dir/hetero.cpp.o.d"
+  "/root/repo/src/queuing/mapcal.cpp" "src/queuing/CMakeFiles/burstq_queuing.dir/mapcal.cpp.o" "gcc" "src/queuing/CMakeFiles/burstq_queuing.dir/mapcal.cpp.o.d"
+  "/root/repo/src/queuing/quantile_reservation.cpp" "src/queuing/CMakeFiles/burstq_queuing.dir/quantile_reservation.cpp.o" "gcc" "src/queuing/CMakeFiles/burstq_queuing.dir/quantile_reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/burstq_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/burstq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/burstq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_queuing.dir/discrete_queue.cpp.o"
+  "CMakeFiles/burstq_queuing.dir/discrete_queue.cpp.o.d"
+  "CMakeFiles/burstq_queuing.dir/geom_queue.cpp.o"
+  "CMakeFiles/burstq_queuing.dir/geom_queue.cpp.o.d"
+  "CMakeFiles/burstq_queuing.dir/hetero.cpp.o"
+  "CMakeFiles/burstq_queuing.dir/hetero.cpp.o.d"
+  "CMakeFiles/burstq_queuing.dir/mapcal.cpp.o"
+  "CMakeFiles/burstq_queuing.dir/mapcal.cpp.o.d"
+  "CMakeFiles/burstq_queuing.dir/quantile_reservation.cpp.o"
+  "CMakeFiles/burstq_queuing.dir/quantile_reservation.cpp.o.d"
+  "libburstq_queuing.a"
+  "libburstq_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cpp" "src/sim/CMakeFiles/burstq_sim.dir/cluster_sim.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/burstq_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/migration.cpp" "src/sim/CMakeFiles/burstq_sim.dir/migration.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/migration.cpp.o.d"
+  "/root/repo/src/sim/multidim_sim.cpp" "src/sim/CMakeFiles/burstq_sim.dir/multidim_sim.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/multidim_sim.cpp.o.d"
+  "/root/repo/src/sim/request_sim.cpp" "src/sim/CMakeFiles/burstq_sim.dir/request_sim.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/request_sim.cpp.o.d"
+  "/root/repo/src/sim/trace_replay.cpp" "src/sim/CMakeFiles/burstq_sim.dir/trace_replay.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/sim/webserver.cpp" "src/sim/CMakeFiles/burstq_sim.dir/webserver.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/webserver.cpp.o.d"
+  "/root/repo/src/sim/workload_gen.cpp" "src/sim/CMakeFiles/burstq_sim.dir/workload_gen.cpp.o" "gcc" "src/sim/CMakeFiles/burstq_sim.dir/workload_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/burstq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/queuing/CMakeFiles/burstq_queuing.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/burstq_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/burstq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/burstq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstq_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/burstq_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/metrics.cpp.o"
+  "CMakeFiles/burstq_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/migration.cpp.o"
+  "CMakeFiles/burstq_sim.dir/migration.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/multidim_sim.cpp.o"
+  "CMakeFiles/burstq_sim.dir/multidim_sim.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/request_sim.cpp.o"
+  "CMakeFiles/burstq_sim.dir/request_sim.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/trace_replay.cpp.o"
+  "CMakeFiles/burstq_sim.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/webserver.cpp.o"
+  "CMakeFiles/burstq_sim.dir/webserver.cpp.o.d"
+  "CMakeFiles/burstq_sim.dir/workload_gen.cpp.o"
+  "CMakeFiles/burstq_sim.dir/workload_gen.cpp.o.d"
+  "libburstq_sim.a"
+  "libburstq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregate_chain.dir/test_aggregate_chain.cpp.o"
+  "CMakeFiles/test_aggregate_chain.dir/test_aggregate_chain.cpp.o.d"
+  "test_aggregate_chain"
+  "test_aggregate_chain.pdb"
+  "test_aggregate_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregate_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consolidator.dir/test_consolidator.cpp.o"
+  "CMakeFiles/test_consolidator.dir/test_consolidator.cpp.o.d"
+  "test_consolidator"
+  "test_consolidator.pdb"
+  "test_consolidator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consolidator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

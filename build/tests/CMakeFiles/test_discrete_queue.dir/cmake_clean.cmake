@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete_queue.dir/test_discrete_queue.cpp.o"
+  "CMakeFiles/test_discrete_queue.dir/test_discrete_queue.cpp.o.d"
+  "test_discrete_queue"
+  "test_discrete_queue.pdb"
+  "test_discrete_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_grid.dir/test_estimator_grid.cpp.o"
+  "CMakeFiles/test_estimator_grid.dir/test_estimator_grid.cpp.o.d"
+  "test_estimator_grid"
+  "test_estimator_grid.pdb"
+  "test_estimator_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

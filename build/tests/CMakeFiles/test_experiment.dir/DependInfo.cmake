@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/test_experiment.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_experiment.dir/test_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fit/CMakeFiles/burstq_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/burstq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/burstq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/burstq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/queuing/CMakeFiles/burstq_queuing.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/burstq_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/burstq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/burstq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/burstq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

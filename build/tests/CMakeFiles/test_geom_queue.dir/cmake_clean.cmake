@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_queue.dir/test_geom_queue.cpp.o"
+  "CMakeFiles/test_geom_queue.dir/test_geom_queue.cpp.o.d"
+  "test_geom_queue"
+  "test_geom_queue.pdb"
+  "test_geom_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

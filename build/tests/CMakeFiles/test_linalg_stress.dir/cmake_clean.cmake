@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_stress.dir/test_linalg_stress.cpp.o"
+  "CMakeFiles/test_linalg_stress.dir/test_linalg_stress.cpp.o.d"
+  "test_linalg_stress"
+  "test_linalg_stress.pdb"
+  "test_linalg_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapcal.dir/test_mapcal.cpp.o"
+  "CMakeFiles/test_mapcal.dir/test_mapcal.cpp.o.d"
+  "test_mapcal"
+  "test_mapcal.pdb"
+  "test_mapcal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapcal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_policies.dir/test_migration_policies.cpp.o"
+  "CMakeFiles/test_migration_policies.dir/test_migration_policies.cpp.o.d"
+  "test_migration_policies"
+  "test_migration_policies.pdb"
+  "test_migration_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

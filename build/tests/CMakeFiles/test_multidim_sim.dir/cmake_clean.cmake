@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multidim_sim.dir/test_multidim_sim.cpp.o"
+  "CMakeFiles/test_multidim_sim.dir/test_multidim_sim.cpp.o.d"
+  "test_multidim_sim"
+  "test_multidim_sim.pdb"
+  "test_multidim_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multidim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

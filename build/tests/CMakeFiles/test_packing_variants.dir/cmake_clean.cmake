@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_variants.dir/test_packing_variants.cpp.o"
+  "CMakeFiles/test_packing_variants.dir/test_packing_variants.cpp.o.d"
+  "test_packing_variants"
+  "test_packing_variants.pdb"
+  "test_packing_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poisson_binomial.dir/test_poisson_binomial.cpp.o"
+  "CMakeFiles/test_poisson_binomial.dir/test_poisson_binomial.cpp.o.d"
+  "test_poisson_binomial"
+  "test_poisson_binomial.pdb"
+  "test_poisson_binomial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poisson_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

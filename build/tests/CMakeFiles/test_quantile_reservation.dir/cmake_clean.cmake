@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantile_reservation.dir/test_quantile_reservation.cpp.o"
+  "CMakeFiles/test_quantile_reservation.dir/test_quantile_reservation.cpp.o.d"
+  "test_quantile_reservation"
+  "test_quantile_reservation.pdb"
+  "test_quantile_reservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantile_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queuing_ffd.dir/test_queuing_ffd.cpp.o"
+  "CMakeFiles/test_queuing_ffd.dir/test_queuing_ffd.cpp.o.d"
+  "test_queuing_ffd"
+  "test_queuing_ffd.pdb"
+  "test_queuing_ffd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queuing_ffd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replan.dir/test_replan.cpp.o"
+  "CMakeFiles/test_replan.dir/test_replan.cpp.o.d"
+  "test_replan"
+  "test_replan.pdb"
+  "test_replan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbp.dir/test_sbp.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp.cpp.o.d"
+  "test_sbp"
+  "test_sbp.pdb"
+  "test_sbp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webserver.dir/test_webserver.cpp.o"
+  "CMakeFiles/test_webserver.dir/test_webserver.cpp.o.d"
+  "test_webserver"
+  "test_webserver.pdb"
+  "test_webserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
