@@ -156,5 +156,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\n" << (all_pass ? "ALL CLAIMS REPRODUCED" : "SOME CLAIMS FAILED")
             << " (" << claims.size() << " checks)\n";
+  burstq::bench::emit_obs_summary("summary_report");
   return all_pass ? 0 : 1;
 }

@@ -10,11 +10,35 @@
 #include <iostream>
 #include <vector>
 
+#include "common/args.h"
 #include "common/table.h"
 #include "core/controller.h"
+#include "obs/obs.h"
+#include "obs/summary.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace burstq;
+
+  ArgParser args("autopilot", "24h closed-loop operation demo");
+  args.add_option("obs-out",
+                  "record a structured event log here (.jsonl, or .csv "
+                  "for the long format)");
+  args.add_option("obs-level", "event level: off | decisions | detail",
+                  "decisions");
+  args.add_flag("obs-summary", "print a metrics digest on exit");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  if (args.has("obs-out")) {
+    const std::string path = args.get("obs-out");
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    obs::events().open(
+        path, csv ? obs::EventFormat::kCsv : obs::EventFormat::kJsonl,
+        obs::parse_event_level(args.get("obs-level")));
+    obs::events().set_run_label("autopilot");
+  }
 
   ControllerConfig cfg;
   cfg.maintenance_every = 360;  // every 3 hours of 30s slots
@@ -86,5 +110,7 @@ int main() {
             << " maintenance migrations across " << st.maintenance_windows
             << " windows, mean CVR " << st.mean_cvr << " (budget "
             << cfg.ffd.rho << ").\n";
+  if (args.has("obs-out")) obs::events().close();
+  if (args.flag("obs-summary")) obs::print_summary(std::cout);
   return cloud.reservation_invariant_holds() ? 0 : 1;
 }

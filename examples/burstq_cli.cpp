@@ -7,6 +7,13 @@
 //   burstq_cli fit     --trace demands.csv
 //       estimate (p_on,p_off,rb,re) per VM from a demand trace;
 //       VM spec CSV on stdout (feed it back into `place`)
+//   burstq_cli replay  --log flight.jsonl
+//       re-derive CVR totals from a recorded flight log
+//
+// Subcommands that do real work accept --obs-out FILE (record a
+// structured event log; .csv extension switches to the long CSV format),
+// --obs-level off|decisions|detail, and --obs-summary (print a metrics
+// digest to stderr on exit).
 //
 // Exit codes: 0 success, 1 bad usage/input, 2 some VMs could not be
 // placed (place subcommand only).
@@ -17,13 +24,17 @@
 #include <sstream>
 
 #include "common/args.h"
+#include "common/table.h"
 #include "core/consolidator.h"
 #include "fit/estimator.h"
 #include "fit/instance_io.h"
 #include "fit/trace_io.h"
+#include "obs/obs.h"
+#include "obs/summary.h"
 #include "placement/hetero_ffd.h"
 #include "placement/quantile_ffd.h"
 #include "placement/sbp.h"
+#include "sim/flight.h"
 
 namespace {
 
@@ -31,12 +42,40 @@ using namespace burstq;
 
 int usage_all() {
   std::cerr
-      << "usage: burstq_cli <place|analyze|fit> [options]\n"
+      << "usage: burstq_cli <place|analyze|fit|replay> [options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
+         "  replay   re-derive CVR totals from a recorded flight log\n"
          "run 'burstq_cli <subcommand> --help-usage x' for options\n";
   return 1;
+}
+
+ArgParser& add_obs_options(ArgParser& args) {
+  args.add_option("obs-out",
+                  "record a structured event log here (.jsonl; a .csv "
+                  "extension selects the long CSV format)");
+  args.add_option("obs-level", "event level: off | decisions | detail",
+                  "decisions");
+  args.add_flag("obs-summary", "print a metrics digest to stderr on exit");
+  return args;
+}
+
+/// Opens the global event log per --obs-out/--obs-level.
+void open_obs(const ArgParser& args) {
+  if (!args.has("obs-out")) return;
+  const std::string path = args.get("obs-out");
+  const bool csv = path.size() >= 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0;
+  obs::events().open(path,
+                     csv ? obs::EventFormat::kCsv : obs::EventFormat::kJsonl,
+                     obs::parse_event_level(args.get("obs-level")));
+}
+
+/// Closes the event log and honours --obs-summary.
+void finish_obs(const ArgParser& args) {
+  if (args.has("obs-out")) obs::events().close();
+  if (args.flag("obs-summary")) obs::print_summary(std::cerr);
 }
 
 ProblemInstance load_instance(const ArgParser& args) {
@@ -72,16 +111,19 @@ int cmd_place(int argc, const char* const* argv) {
   args.add_option("rho", "CVR budget", "0.01");
   args.add_option("d", "max VMs per PM", "16");
   args.add_flag("quiet", "suppress the stderr summary");
+  add_obs_options(args);
   if (!args.parse(argc, argv) || !args.has("vms")) {
     std::cerr << (args.error().empty() ? "--vms is required" : args.error())
               << "\n\n"
               << args.usage();
     return 1;
   }
+  open_obs(args);
 
   const auto inst = load_instance(args);
   const auto opt = load_options(args);
   const std::string strategy = args.get("strategy");
+  obs::events().set_run_label("place/" + strategy);
 
   const PlacementResult placed = [&]() -> PlacementResult {
     if (strategy == "queue") return queuing_ffd(inst, opt).result;
@@ -121,6 +163,7 @@ int cmd_place(int argc, const char* const* argv) {
               << " worst_cvr_bound=" << analysis.worst_cvr_bound
               << " total_reserved=" << analysis.total_reserved << "\n";
   }
+  finish_obs(args);
   return placed.complete() ? 0 : 2;
 }
 
@@ -134,6 +177,7 @@ int cmd_analyze(int argc, const char* const* argv) {
   args.add_option("pms-file", "CSV of PM capacities");
   args.add_option("rho", "CVR budget", "0.01");
   args.add_option("d", "max VMs per PM", "16");
+  add_obs_options(args);
   if (!args.parse(argc, argv) || !args.has("vms") || !args.has("mapping")) {
     std::cerr << (args.error().empty() ? "--vms and --mapping are required"
                                        : args.error())
@@ -141,6 +185,7 @@ int cmd_analyze(int argc, const char* const* argv) {
               << args.usage();
     return 1;
   }
+  open_obs(args);
 
   const auto inst = load_instance(args);
   Placement placement(inst.n_vms(), inst.n_pms());
@@ -175,6 +220,56 @@ int cmd_analyze(int argc, const char* const* argv) {
   }
   std::cerr << "pms_used=" << analysis.pms_used
             << " worst_cvr_bound=" << analysis.worst_cvr_bound << "\n";
+  finish_obs(args);
+  return 0;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  ArgParser args("burstq_cli replay",
+                 "re-derive CVR totals from a recorded flight log "
+                 "(JSONL, recorded at --obs-level detail)");
+  args.add_option("log", "flight-recorder JSONL file");
+  args.add_flag("per-pm", "also emit per-PM CVR CSV on stdout");
+  if (!args.parse(argc, argv) || !args.has("log")) {
+    std::cerr << (args.error().empty() ? "--log is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+
+  const auto segments = replay_flight_log(args.get("log"));
+  if (segments.empty()) {
+    std::cerr << "no sim.config segments in " << args.get("log")
+              << " (was the run recorded at --obs-level detail?)\n";
+    return 1;
+  }
+
+  ConsoleTable table({"run", "PMs", "slots", "mean CVR", "max CVR",
+                      "migrations", "failed", "window resets"});
+  for (const auto& seg : segments) {
+    table.add_row({seg.label, std::to_string(seg.n_pms),
+                   std::to_string(seg.slots_seen),
+                   ConsoleTable::num(seg.tracker.mean_cvr(), 4),
+                   ConsoleTable::num(seg.tracker.max_cvr(), 4),
+                   std::to_string(seg.migrations),
+                   std::to_string(seg.failed_migrations),
+                   std::to_string(seg.window_resets)});
+  }
+  table.print(std::cerr);
+
+  if (args.flag("per-pm")) {
+    std::cout << "run,pm,observed_slots,violations,cvr,windowed_cvr\n";
+    for (const auto& seg : segments)
+      for (std::size_t j = 0; j < seg.n_pms; ++j) {
+        const PmId pm{j};
+        if (seg.tracker.observed_slots(pm) == 0) continue;
+        std::cout << seg.label << "," << j << ","
+                  << seg.tracker.observed_slots(pm) << ","
+                  << seg.tracker.violations(pm) << ","
+                  << seg.tracker.cvr(pm) << ","
+                  << seg.tracker.windowed_cvr(pm) << "\n";
+      }
+  }
   return 0;
 }
 
@@ -214,6 +309,7 @@ int main(int argc, char** argv) {
     if (sub == "place") return cmd_place(argc - 1, argv + 1);
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (sub == "fit") return cmd_fit(argc - 1, argv + 1);
+    if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace burstq {
 
 std::optional<std::vector<double>> solve_linear_system(Matrix a,
                                                        std::vector<double> b) {
+  BURSTQ_SPAN("linalg.gaussian.solve");
   const std::size_t n = a.rows();
   BURSTQ_REQUIRE(a.cols() == n, "solve_linear_system requires a square A");
   BURSTQ_REQUIRE(b.size() == n, "right-hand side length mismatch");
+  BURSTQ_COUNT("linalg.gaussian.solves", 1);
+  BURSTQ_HIST("linalg.gaussian.n", n);
 
   // Forward elimination with partial (row) pivoting.
   for (std::size_t col = 0; col < n; ++col) {
@@ -49,6 +54,8 @@ std::optional<std::vector<double>> solve_linear_system(Matrix a,
 
 std::optional<std::vector<double>> stationary_distribution_gaussian(
     const Matrix& p) {
+  BURSTQ_SPAN("linalg.stationary.gaussian");
+  BURSTQ_COUNT("linalg.stationary.solves", 1);
   const std::size_t n = p.rows();
   BURSTQ_REQUIRE(n > 0 && p.cols() == n,
                  "stationary distribution needs a square non-empty P");

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace burstq {
 
 std::optional<PowerIterationResult> stationary_distribution_power(
     const Matrix& p, double tol, std::size_t max_iterations) {
+  BURSTQ_SPAN("linalg.stationary.power");
   const std::size_t n = p.rows();
   BURSTQ_REQUIRE(n > 0 && p.cols() == n, "power iteration needs square P");
   BURSTQ_REQUIRE(p.is_row_stochastic(1e-9), "P must be row-stochastic");
@@ -26,7 +29,10 @@ std::optional<PowerIterationResult> stationary_distribution_power(
     for (std::size_t i = 0; i < n; ++i)
       delta = std::max(delta, std::abs(next[i] - pi[i]));
     pi = std::move(next);
-    if (delta < tol) return PowerIterationResult{std::move(pi), it, delta};
+    if (delta < tol) {
+      BURSTQ_HIST("linalg.power.iterations", it);
+      return PowerIterationResult{std::move(pi), it, delta};
+    }
   }
   return std::nullopt;
 }

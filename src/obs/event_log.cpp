@@ -1,0 +1,141 @@
+#include "obs/event_log.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace burstq::obs {
+
+EventLevel parse_event_level(std::string_view text) {
+  if (text == "off" || text == "0") return EventLevel::kOff;
+  if (text == "decisions" || text == "1") return EventLevel::kDecisions;
+  if (text == "detail" || text == "2") return EventLevel::kDetail;
+  throw InvalidArgument("unknown event level: " + std::string(text) +
+                        " (expected off|decisions|detail)");
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string value_text(const Field& f) {
+  switch (f.tag) {
+    case Field::Tag::kInt: return std::to_string(f.i);
+    case Field::Tag::kUint: return std::to_string(f.u);
+    case Field::Tag::kBool: return f.b ? "true" : "false";
+    case Field::Tag::kDouble:
+      // csv_format is round-trippable; JSON has no NaN/inf literals.
+      return std::isfinite(f.d) ? csv_format(f.d) : "null";
+    case Field::Tag::kString: return std::string(f.s);
+  }
+  return {};
+}
+
+}  // namespace
+
+EventLog::~EventLog() { close(); }
+
+void EventLog::open(const std::string& path, EventFormat format,
+                    EventLevel level) {
+  const std::scoped_lock lock(mu_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  BURSTQ_REQUIRE(out_.is_open(), "cannot open event log: " + path);
+  format_ = format;
+  next_id_ = 0;
+  written_.store(0, std::memory_order_relaxed);
+  if (format_ == EventFormat::kCsv) out_ << "id,kind,key,value\n";
+  level_.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void EventLog::close() {
+  const std::scoped_lock lock(mu_);
+  level_.store(static_cast<int>(EventLevel::kOff),
+               std::memory_order_release);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+void EventLog::flush() {
+  const std::scoped_lock lock(mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+void EventLog::emit(EventLevel level, std::string_view kind,
+                    std::initializer_list<Field> fields) {
+  if (!enabled(level)) return;
+
+  // Format outside the lock; only the write is serialized.
+  std::string line;
+  if (format_ == EventFormat::kJsonl) {
+    line = "{\"kind\":\"" + json_escape(kind) + "\"";
+    for (const Field& f : fields) {
+      line += ",\"";
+      line += json_escape(f.key);
+      line += "\":";
+      if (f.tag == Field::Tag::kString) {
+        line += '"';
+        line += json_escape(f.s);
+        line += '"';
+      } else {
+        line += value_text(f);
+      }
+    }
+    line += "}\n";
+  }
+
+  const std::scoped_lock lock(mu_);
+  if (!out_.is_open()) return;
+  if (format_ == EventFormat::kJsonl) {
+    out_ << line;
+  } else {
+    const std::uint64_t id = next_id_++;
+    out_ << id << ',' << csv_escape(kind) << ",,\n";
+    for (const Field& f : fields)
+      out_ << id << ',' << csv_escape(kind) << ',' << csv_escape(f.key)
+           << ',' << csv_escape(value_text(f)) << '\n';
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::set_run_label(std::string label) {
+  const std::scoped_lock lock(mu_);
+  run_label_ = std::move(label);
+}
+
+std::string EventLog::run_label() const {
+  const std::scoped_lock lock(mu_);
+  return run_label_;
+}
+
+EventLog& events() {
+  static EventLog* instance = new EventLog();  // never freed
+  return *instance;
+}
+
+}  // namespace burstq::obs

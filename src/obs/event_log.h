@@ -1,0 +1,126 @@
+// Structured event log — the write side of the flight recorder.
+//
+// Events are append-only records (a kind plus flat key/value fields)
+// streamed to one file as JSONL (one JSON object per line, the replayable
+// format) or CSV (long format: id,kind,key,value — one row per field).
+// Emission is gated twice: a cheap atomic level check first (so a closed
+// or coarse log costs one relaxed load per call site), then a mutex only
+// when a line is actually written.  Events carry no wall-clock
+// timestamps: a recorded run replays deterministically and diffs cleanly
+// across machines; wall time lives in the metrics registry instead.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace burstq::obs {
+
+/// How much a sink records.  kDecisions captures scheduling outcomes
+/// (placements, MapCal results, migrations); kDetail additionally records
+/// per-slot observations — everything replay needs to re-derive CVR.
+enum class EventLevel : int { kOff = 0, kDecisions = 1, kDetail = 2 };
+
+enum class EventFormat { kJsonl, kCsv };
+
+/// Parses "off" | "decisions" | "detail" (or "0" | "1" | "2");
+/// throws InvalidArgument otherwise.
+EventLevel parse_event_level(std::string_view text);
+
+/// One key/value pair of an event.  Implicitly constructible from the
+/// field types instrumentation uses so call sites can write
+/// {"slot", t}, {"rho", 0.01}, {"ok", true}, {"label", name}.
+struct Field {
+  enum class Tag { kInt, kUint, kDouble, kBool, kString };
+
+  std::string_view key;
+  Tag tag{Tag::kInt};
+  long long i{0};
+  unsigned long long u{0};
+  double d{0.0};
+  bool b{false};
+  std::string_view s{};
+
+  template <typename T>
+    requires(std::is_integral_v<T> && std::is_signed_v<T> &&
+             !std::is_same_v<T, bool>)
+  Field(std::string_view k, T v)
+      : key(k), tag(Tag::kInt), i(static_cast<long long>(v)) {}
+
+  template <typename T>
+    requires(std::is_integral_v<T> && std::is_unsigned_v<T> &&
+             !std::is_same_v<T, bool>)
+  Field(std::string_view k, T v)
+      : key(k), tag(Tag::kUint), u(static_cast<unsigned long long>(v)) {}
+
+  Field(std::string_view k, bool v) : key(k), tag(Tag::kBool), b(v) {}
+  Field(std::string_view k, double v) : key(k), tag(Tag::kDouble), d(v) {}
+  Field(std::string_view k, std::string_view v)
+      : key(k), tag(Tag::kString), s(v) {}
+  Field(std::string_view k, const char* v)
+      : key(k), tag(Tag::kString), s(v) {}
+};
+
+/// Append-only structured event sink.  Thread-safe.
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens `path` for writing (truncating) and starts accepting events at
+  /// or below `level`.  Throws InvalidArgument when the file cannot be
+  /// opened.  Reopening closes the previous sink.
+  void open(const std::string& path, EventFormat format,
+            EventLevel level = EventLevel::kDetail);
+
+  /// Flushes and stops accepting events.
+  void close();
+
+  void flush();
+
+  /// True when an event of `level` would be recorded.  One relaxed load.
+  [[nodiscard]] bool enabled(EventLevel level) const noexcept {
+    return level_.load(std::memory_order_relaxed) >= static_cast<int>(level);
+  }
+
+  /// Appends one event; no-op unless enabled(level).
+  void emit(EventLevel level, std::string_view kind,
+            std::initializer_list<Field> fields);
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+  /// Free-form tag recorded into subsequent `sim.config` events so a
+  /// multi-run log (e.g. fig6's pattern x strategy grid) stays
+  /// segmentable.  Empty by default.
+  void set_run_label(std::string label);
+  [[nodiscard]] std::string run_label() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  EventFormat format_{EventFormat::kJsonl};
+  std::atomic<int> level_{static_cast<int>(EventLevel::kOff)};
+  std::atomic<std::uint64_t> written_{0};
+  std::uint64_t next_id_{0};
+  std::string run_label_;
+};
+
+/// Process-wide event log used by the BURSTQ_EVENT macro.
+EventLog& events();
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes
+/// added).  Exposed for tests.
+std::string json_escape(std::string_view s);
+
+}  // namespace burstq::obs

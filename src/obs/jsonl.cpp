@@ -1,0 +1,212 @@
+#include "obs/jsonl.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace burstq::obs {
+
+const EventValue* RecordedEvent::find(std::string_view key) const {
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double RecordedEvent::num(std::string_view key, double fallback) const {
+  const EventValue* v = find(key);
+  return (v != nullptr && v->tag == EventValue::Tag::kNumber) ? v->num
+                                                              : fallback;
+}
+
+std::int64_t RecordedEvent::integer(std::string_view key,
+                                    std::int64_t fallback) const {
+  const EventValue* v = find(key);
+  return (v != nullptr && v->tag == EventValue::Tag::kNumber)
+             ? static_cast<std::int64_t>(std::llround(v->num))
+             : fallback;
+}
+
+std::string_view RecordedEvent::str(std::string_view key) const {
+  const EventValue* v = find(key);
+  return (v != nullptr && v->tag == EventValue::Tag::kString)
+             ? std::string_view(v->str)
+             : std::string_view{};
+}
+
+bool RecordedEvent::boolean(std::string_view key, bool fallback) const {
+  const EventValue* v = find(key);
+  return (v != nullptr && v->tag == EventValue::Tag::kBool) ? v->b : fallback;
+}
+
+namespace {
+
+/// Cursor over one line.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : text[pos]; }
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool parse_string(Cursor& cur, std::string& out, std::string& error) {
+  if (!cur.consume('"')) {
+    error = "expected string";
+    return false;
+  }
+  out.clear();
+  while (!cur.done()) {
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (cur.done()) break;
+    const char esc = cur.text[cur.pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (cur.pos + 4 > cur.text.size()) {
+          error = "truncated \\u escape";
+          return false;
+        }
+        const std::string hex(cur.text.substr(cur.pos, 4));
+        cur.pos += 4;
+        const auto code = static_cast<unsigned>(
+            std::strtoul(hex.c_str(), nullptr, 16));
+        // EventLog only emits \u00XX for control bytes; decode the
+        // Latin-1 range and reject anything beyond it.
+        if (code > 0xFF) {
+          error = "unsupported \\u escape beyond \\u00ff";
+          return false;
+        }
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        error = "unknown escape";
+        return false;
+    }
+  }
+  error = "unterminated string";
+  return false;
+}
+
+bool parse_value(Cursor& cur, EventValue& out, std::string& error) {
+  cur.skip_ws();
+  const char c = cur.peek();
+  if (c == '"') {
+    out.tag = EventValue::Tag::kString;
+    return parse_string(cur, out.str, error);
+  }
+  const std::string_view rest = cur.text.substr(cur.pos);
+  if (rest.starts_with("true")) {
+    out.tag = EventValue::Tag::kBool;
+    out.b = true;
+    cur.pos += 4;
+    return true;
+  }
+  if (rest.starts_with("false")) {
+    out.tag = EventValue::Tag::kBool;
+    out.b = false;
+    cur.pos += 5;
+    return true;
+  }
+  if (rest.starts_with("null")) {
+    out.tag = EventValue::Tag::kNull;
+    cur.pos += 4;
+    return true;
+  }
+  // Number.
+  const std::string buf(rest);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) {
+    error = "expected a value";
+    return false;
+  }
+  out.tag = EventValue::Tag::kNumber;
+  out.num = v;
+  cur.pos += static_cast<std::size_t>(end - buf.c_str());
+  return true;
+}
+
+}  // namespace
+
+std::optional<RecordedEvent> parse_event_line(std::string_view line,
+                                              std::string* error) {
+  std::string err;
+  const auto fail = [&](const std::string& what) -> std::optional<RecordedEvent> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+
+  Cursor cur{line, 0};
+  cur.skip_ws();
+  if (cur.done()) return fail("");  // blank line, not an error
+  if (!cur.consume('{')) return fail("expected '{'");
+
+  RecordedEvent ev;
+  if (cur.consume('}')) return fail("event without a kind");
+  while (true) {
+    std::string key;
+    if (!parse_string(cur, key, err)) return fail(err);
+    if (!cur.consume(':')) return fail("expected ':'");
+    EventValue value;
+    if (!parse_value(cur, value, err)) return fail(err);
+    if (key == "kind") {
+      if (value.tag != EventValue::Tag::kString)
+        return fail("kind must be a string");
+      ev.kind = value.str;
+    } else {
+      ev.fields.emplace_back(std::move(key), std::move(value));
+    }
+    if (cur.consume(',')) continue;
+    if (cur.consume('}')) break;
+    return fail("expected ',' or '}'");
+  }
+  cur.skip_ws();
+  if (!cur.done()) return fail("trailing characters after '}'");
+  if (ev.kind.empty()) return fail("event without a kind");
+  return ev;
+}
+
+std::vector<RecordedEvent> read_events_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open event log: " + path);
+
+  std::vector<RecordedEvent> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string error;
+    auto ev = parse_event_line(line, &error);
+    if (!ev) {
+      if (error.empty()) continue;  // blank line
+      throw InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                            error);
+    }
+    out.push_back(std::move(*ev));
+  }
+  return out;
+}
+
+}  // namespace burstq::obs

@@ -1,0 +1,59 @@
+// Read side of the flight recorder: parses the JSONL event stream the
+// EventLog writes back into flat records.
+//
+// The grammar is deliberately the subset EventLog emits — one flat JSON
+// object per line, scalar values only (numbers, strings, booleans,
+// null).  Nested objects/arrays are rejected; this is a replay format,
+// not a general JSON library.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace burstq::obs {
+
+/// One parsed field value.
+struct EventValue {
+  enum class Tag { kNumber, kString, kBool, kNull };
+  Tag tag{Tag::kNull};
+  double num{0.0};
+  std::string str;
+  bool b{false};
+};
+
+/// One parsed event line.
+struct RecordedEvent {
+  std::string kind;
+  std::vector<std::pair<std::string, EventValue>> fields;  // file order
+
+  [[nodiscard]] const EventValue* find(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+  /// Numeric field, or `fallback` when absent/non-numeric.
+  [[nodiscard]] double num(std::string_view key, double fallback = 0.0) const;
+  /// Numeric field rounded to integer.
+  [[nodiscard]] std::int64_t integer(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+  /// String field, or "" when absent/non-string.
+  [[nodiscard]] std::string_view str(std::string_view key) const;
+  /// Boolean field, or `fallback` when absent/non-bool.
+  [[nodiscard]] bool boolean(std::string_view key, bool fallback = false)
+      const;
+};
+
+/// Parses one JSONL line.  Returns nullopt on malformed input (and sets
+/// `*error` when non-null).  Blank lines return nullopt with empty error.
+std::optional<RecordedEvent> parse_event_line(std::string_view line,
+                                              std::string* error = nullptr);
+
+/// Reads a whole JSONL event file.  Throws InvalidArgument when the file
+/// cannot be opened or any non-blank line is malformed.
+std::vector<RecordedEvent> read_events_jsonl(const std::string& path);
+
+}  // namespace burstq::obs

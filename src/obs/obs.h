@@ -1,0 +1,97 @@
+// burstq observability — umbrella header and instrumentation macros.
+//
+//   BURSTQ_SPAN("mapcal.solve");          // RAII wall timer, nests
+//   BURSTQ_COUNT("placement.fit_checks", n);
+//   BURSTQ_GAUGE("sim.active_pms", v);
+//   BURSTQ_HIST("mapcal.k", k);
+//   BURSTQ_EVENT(obs::EventLevel::kDecisions, "migration",
+//                {"slot", t}, {"vm", vm}, {"ok", true});
+//
+// Span/metric names are dot-separated, lower-case, layer-first
+// ("layer.operation[.unit]") — see docs/OBSERVABILITY.md for the
+// conventions and the registered-name inventory.
+//
+// Compiling with -DBURSTQ_NO_OBS (CMake: -DBURSTQ_NO_OBS=ON) turns every
+// macro into `((void)0)`: arguments are not evaluated, no statics are
+// emitted, and instrumented call sites cost literally nothing.  The obs
+// library itself still builds — direct uses of the registry/event-log
+// classes (summaries, replay tooling, tests) keep working; they simply
+// observe an empty registry.
+
+#pragma once
+
+#include "obs/event_log.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace burstq::obs {
+
+/// True in instrumented builds; false under -DBURSTQ_NO_OBS.  Lets code
+/// skip work that only feeds the obs layer (e.g. building per-slot
+/// violation lists for the flight recorder) without preprocessor noise.
+#ifndef BURSTQ_NO_OBS
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace burstq::obs
+
+#define BURSTQ_OBS_CONCAT_INNER(a, b) a##b
+#define BURSTQ_OBS_CONCAT(a, b) BURSTQ_OBS_CONCAT_INNER(a, b)
+
+#ifndef BURSTQ_NO_OBS
+
+/// Times the enclosing scope under `name`.  One per scope (per line).
+#define BURSTQ_SPAN(name)                                                  \
+  static ::burstq::obs::SpanStat& BURSTQ_OBS_CONCAT(burstq_span_stat_,     \
+                                                    __LINE__) =            \
+      ::burstq::obs::metrics().span(name);                                 \
+  const ::burstq::obs::ScopedSpan BURSTQ_OBS_CONCAT(                       \
+      burstq_span_guard_, __LINE__)(BURSTQ_OBS_CONCAT(burstq_span_stat_,   \
+                                                      __LINE__))
+
+/// Adds `n` to the counter `name`.
+#define BURSTQ_COUNT(name, n)                                             \
+  do {                                                                    \
+    static ::burstq::obs::Counter& burstq_counter_ =                      \
+        ::burstq::obs::metrics().counter(name);                           \
+    burstq_counter_.add(static_cast<std::uint64_t>(n));                   \
+  } while (false)
+
+/// Sets the gauge `name` to `v`.
+#define BURSTQ_GAUGE(name, v)                                             \
+  do {                                                                    \
+    static ::burstq::obs::Gauge& burstq_gauge_ =                          \
+        ::burstq::obs::metrics().gauge(name);                             \
+    burstq_gauge_.set(static_cast<double>(v));                            \
+  } while (false)
+
+/// Records `v` into the histogram `name`.
+#define BURSTQ_HIST(name, v)                                              \
+  do {                                                                    \
+    static ::burstq::obs::Histogram& burstq_hist_ =                       \
+        ::burstq::obs::metrics().histogram(name);                         \
+    burstq_hist_.record(static_cast<std::uint64_t>(v));                   \
+  } while (false)
+
+/// Emits a structured event; fields are evaluated only when a sink is
+/// open at `level` or finer.
+#define BURSTQ_EVENT(level, kind, ...)                                    \
+  do {                                                                    \
+    if (::burstq::obs::events().enabled(level))                           \
+      ::burstq::obs::events().emit(level, kind, {__VA_ARGS__});           \
+  } while (false)
+
+#else  // BURSTQ_NO_OBS
+
+// The value operand is consumed via sizeof — an unevaluated context — so
+// locals that exist only to feed a metric don't warn, yet no code is
+// generated for them.
+#define BURSTQ_SPAN(name) ((void)0)
+#define BURSTQ_COUNT(name, n) ((void)sizeof(n))
+#define BURSTQ_GAUGE(name, v) ((void)sizeof(v))
+#define BURSTQ_HIST(name, v) ((void)sizeof(v))
+#define BURSTQ_EVENT(...) ((void)0)
+
+#endif  // BURSTQ_NO_OBS

@@ -1,0 +1,30 @@
+#include "obs/span.h"
+
+namespace burstq::obs {
+
+namespace {
+
+thread_local ScopedSpan* tls_current = nullptr;
+thread_local std::size_t tls_depth = 0;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(SpanStat& stat) noexcept
+    : stat_(&stat), parent_(tls_current), start_ns_(now_ns()) {
+  tls_current = this;
+  ++tls_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const std::uint64_t end = now_ns();
+  const std::uint64_t wall = end > start_ns_ ? end - start_ns_ : 0;
+  const std::uint64_t self = wall > child_ns_ ? wall - child_ns_ : 0;
+  stat_->record(wall, self);
+  if (parent_ != nullptr) parent_->child_ns_ += wall;
+  tls_current = parent_;
+  --tls_depth;
+}
+
+std::size_t ScopedSpan::active_depth() noexcept { return tls_depth; }
+
+}  // namespace burstq::obs

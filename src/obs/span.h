@@ -1,0 +1,47 @@
+// Scoped trace spans: RAII wall-clock timers aggregated per name.
+//
+// Spans nest: a thread-local stack tracks the active span so each parent
+// learns how much of its wall time was spent inside children, giving the
+// summary both inclusive (total) and exclusive (self) time per name.
+// Prefer the BURSTQ_SPAN("layer.operation") macro in obs/obs.h — it
+// resolves the SpanStat once per call site and vanishes entirely under
+// -DBURSTQ_NO_OBS.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/registry.h"
+
+namespace burstq::obs {
+
+/// Monotonic nanoseconds used by all span timing.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times the enclosing scope and records into `stat` on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanStat& stat) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of the active span on this thread (0 = none); exposed
+  /// for tests.
+  [[nodiscard]] static std::size_t active_depth() noexcept;
+
+ private:
+  SpanStat* stat_;
+  ScopedSpan* parent_;
+  std::uint64_t start_ns_;
+  std::uint64_t child_ns_{0};
+};
+
+}  // namespace burstq::obs

@@ -1,0 +1,142 @@
+#include "obs/summary.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace burstq::obs {
+
+namespace {
+
+std::string ms(std::uint64_t ns) {
+  return ConsoleTable::num(static_cast<double>(ns) / 1e6, 3);
+}
+
+std::string us(double ns) { return ConsoleTable::num(ns / 1e3, 1); }
+
+}  // namespace
+
+void print_summary(std::ostream& os, const MetricsSnapshot& snap,
+                   const SummaryOptions& options) {
+  os << "\n== " << options.title << " ==\n";
+  if (snap.empty()) {
+    os << "(no metrics recorded";
+#ifdef BURSTQ_NO_OBS
+    os << "; built with BURSTQ_NO_OBS";
+#endif
+    os << ")\n";
+    return;
+  }
+
+  if (!snap.spans.empty()) {
+    auto spans = snap.spans;
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanSample& a, const SpanSample& b) {
+                return a.total_ns > b.total_ns;
+              });
+    if (spans.size() > options.top_spans) spans.resize(options.top_spans);
+    ConsoleTable table(
+        {"span", "calls", "total ms", "self ms", "mean us", "max us"});
+    for (const auto& s : spans) {
+      const double mean_ns =
+          s.calls == 0 ? 0.0
+                       : static_cast<double>(s.total_ns) /
+                             static_cast<double>(s.calls);
+      table.add_row({s.name, std::to_string(s.calls), ms(s.total_ns),
+                     ms(s.self_ns), us(mean_ns),
+                     us(static_cast<double>(s.max_ns))});
+    }
+    table.set_title("top spans by total time");
+    table.print(os);
+  }
+
+  if (!snap.counters.empty()) {
+    auto counters = snap.counters;
+    std::sort(counters.begin(), counters.end(),
+              [](const CounterSample& a, const CounterSample& b) {
+                return a.value > b.value;
+              });
+    if (counters.size() > options.top_counters)
+      counters.resize(options.top_counters);
+    ConsoleTable table({"counter", "value"});
+    for (const auto& c : counters)
+      table.add_row({c.name, std::to_string(c.value)});
+    table.set_title("counters");
+    table.print(os);
+  }
+
+  if (!snap.gauges.empty()) {
+    ConsoleTable table({"gauge", "value"});
+    for (const auto& g : snap.gauges)
+      table.add_row({g.name, ConsoleTable::num(g.value, 4)});
+    table.set_title("gauges");
+    table.print(os);
+  }
+
+  if (!snap.histograms.empty()) {
+    ConsoleTable table({"histogram", "count", "mean", "p50", "p99", "max"});
+    for (const auto& h : snap.histograms)
+      table.add_row({h.name, std::to_string(h.hist.count),
+                     ConsoleTable::num(h.hist.mean(), 1),
+                     ConsoleTable::num(h.hist.approx_quantile(0.5), 0),
+                     ConsoleTable::num(h.hist.approx_quantile(0.99), 0),
+                     std::to_string(h.hist.max)});
+    table.set_title("histograms");
+    table.print(os);
+  }
+}
+
+void print_summary(std::ostream& os, const SummaryOptions& options) {
+  print_summary(os, metrics().scrape(), options);
+}
+
+void write_summary_csv(const std::string& path,
+                       const MetricsSnapshot& snap) {
+  CsvWriter csv(path);
+  csv.row({"type", "name", "value", "calls", "total_ns", "self_ns", "mean",
+           "p50", "p99", "max"});
+  for (const auto& c : snap.counters) {
+    csv.begin_row();
+    csv.field("counter").field(c.name).field(static_cast<std::size_t>(
+        c.value));
+    csv.field("").field("").field("").field("").field("").field("").field(
+        "");
+    csv.end_row();
+  }
+  for (const auto& g : snap.gauges) {
+    csv.begin_row();
+    csv.field("gauge").field(g.name).field(g.value);
+    csv.field("").field("").field("").field("").field("").field("").field(
+        "");
+    csv.end_row();
+  }
+  for (const auto& s : snap.spans) {
+    csv.begin_row();
+    csv.field("span").field(s.name).field("");
+    csv.field(static_cast<std::size_t>(s.calls))
+        .field(static_cast<std::size_t>(s.total_ns))
+        .field(static_cast<std::size_t>(s.self_ns));
+    const double mean_ns = s.calls == 0
+                               ? 0.0
+                               : static_cast<double>(s.total_ns) /
+                                     static_cast<double>(s.calls);
+    csv.field(mean_ns).field("").field("").field(
+        static_cast<std::size_t>(s.max_ns));
+    csv.end_row();
+  }
+  for (const auto& h : snap.histograms) {
+    csv.begin_row();
+    csv.field("histogram").field(h.name).field("");
+    csv.field(static_cast<std::size_t>(h.hist.count)).field("").field("");
+    csv.field(h.hist.mean())
+        .field(h.hist.approx_quantile(0.5))
+        .field(h.hist.approx_quantile(0.99))
+        .field(static_cast<std::size_t>(h.hist.max));
+    csv.end_row();
+  }
+  csv.flush();
+}
+
+}  // namespace burstq::obs

@@ -1,0 +1,34 @@
+// Per-run observability summary: a human-readable digest of the metrics
+// registry (top spans by time, counters, gauges, histogram quantiles)
+// plus a machine-readable CSV dump, emitted by the bench harnesses next
+// to their figure CSVs and by the CLI tools on request.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace burstq::obs {
+
+struct SummaryOptions {
+  std::size_t top_spans{12};     ///< spans shown, sorted by total time desc
+  std::size_t top_counters{20};  ///< counters shown, sorted by value desc
+  std::string title{"observability summary"};
+};
+
+/// Renders `snap` as console tables.  Prints a one-line note instead when
+/// the snapshot is empty (e.g. under -DBURSTQ_NO_OBS).
+void print_summary(std::ostream& os, const MetricsSnapshot& snap,
+                   const SummaryOptions& options = {});
+
+/// Scrapes the global registry and prints it.
+void print_summary(std::ostream& os, const SummaryOptions& options = {});
+
+/// Dumps every metric in `snap` as CSV rows:
+///   type,name,value,calls,total_ns,self_ns,mean,p50,p99,max
+/// (columns unused by a metric type are left empty).
+void write_summary_csv(const std::string& path, const MetricsSnapshot& snap);
+
+}  // namespace burstq::obs

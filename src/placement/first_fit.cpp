@@ -3,22 +3,26 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace burstq {
 
 PlacementResult first_fit_place(const ProblemInstance& inst,
                                 std::span<const std::size_t> order,
                                 const FitPredicate& fits) {
+  BURSTQ_SPAN("placement.first_fit");
   inst.validate();
   BURSTQ_REQUIRE(order.size() == inst.n_vms(),
                  "visit order must cover every VM exactly once");
   PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
 
+  std::size_t fit_checks = 0;
   for (std::size_t vi : order) {
     const VmId vm{vi};
     bool placed = false;
     for (std::size_t j = 0; j < inst.n_pms(); ++j) {
       const PmId pm{j};
+      ++fit_checks;
       if (fits(result.placement, vm, pm)) {
         result.placement.assign(vm, pm);
         placed = true;
@@ -27,6 +31,10 @@ PlacementResult first_fit_place(const ProblemInstance& inst,
     }
     if (!placed) result.unplaced.push_back(vm);
   }
+  BURSTQ_COUNT("placement.fit_checks", fit_checks);
+  BURSTQ_COUNT("placement.placed",
+               result.placement.vms_assigned());
+  BURSTQ_COUNT("placement.unplaced", result.unplaced.size());
   return result;
 }
 
@@ -34,17 +42,20 @@ PlacementResult best_fit_place(const ProblemInstance& inst,
                                std::span<const std::size_t> order,
                                const FitPredicate& fits,
                                const SlackFunction& slack) {
+  BURSTQ_SPAN("placement.best_fit");
   inst.validate();
   BURSTQ_REQUIRE(order.size() == inst.n_vms(),
                  "visit order must cover every VM exactly once");
   PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
 
+  std::size_t fit_checks = 0;
   for (std::size_t vi : order) {
     const VmId vm{vi};
     PmId best{};
     double best_slack = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < inst.n_pms(); ++j) {
       const PmId pm{j};
+      ++fit_checks;
       if (!fits(result.placement, vm, pm)) continue;
       const double s = slack(result.placement, vm, pm);
       if (s < best_slack) {
@@ -57,6 +68,10 @@ PlacementResult best_fit_place(const ProblemInstance& inst,
     else
       result.unplaced.push_back(vm);
   }
+  BURSTQ_COUNT("placement.fit_checks", fit_checks);
+  BURSTQ_COUNT("placement.placed",
+               result.placement.vms_assigned());
+  BURSTQ_COUNT("placement.unplaced", result.unplaced.size());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "placement/cluster.h"
 
 namespace burstq {
@@ -45,9 +46,38 @@ void QueuingFfdOptions::validate() const {
 
 namespace {
 
+// Flight-records each admission as a `place` event carrying the Eq. (17)
+// slack at admit time.  FFD never moves a VM after admission, so walking
+// the visit order against the final placement reconstructs the exact
+// per-admit PM state the feasibility check saw.
+[[maybe_unused]] void emit_placement_events(const ProblemInstance& inst,
+                                            std::span<const std::size_t> order,
+                                            const PlacementResult& result,
+                                            const MapCalTable& table) {
+  if (!obs::events().enabled(obs::EventLevel::kDecisions)) return;
+  Placement replayed(inst.n_vms(), inst.n_pms());
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    const PmId pm = result.placement.pm_of(vm);
+    if (!pm.valid()) {
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "place.unplaced",
+                   {"vm", vi});
+      continue;
+    }
+    replayed.assign(vm, pm);
+    [[maybe_unused]] const std::size_t k = replayed.count_on(pm);
+    [[maybe_unused]] const Resource slack =
+        inst.pms[pm.value].capacity -
+        reserved_footprint(inst, replayed, pm, table);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "place", {"vm", vi},
+                 {"pm", pm.value}, {"k", k}, {"slack", slack});
+  }
+}
+
 PlacementResult run_placement(const ProblemInstance& inst,
                               const MapCalTable& table,
                               const QueuingFfdOptions& options) {
+  BURSTQ_SPAN("placement.queuing_ffd");
   const std::vector<std::size_t> order =
       queuing_ffd_order(inst.vms, options.cluster_buckets);
 
@@ -68,9 +98,15 @@ PlacementResult run_placement(const ProblemInstance& inst,
           total_rb_on(inst, placement, pm);
       return inst.pms[pm.value].capacity - footprint;
     };
-    return best_fit_place(inst, order, fits, slack);
+    PlacementResult result = best_fit_place(inst, order, fits, slack);
+    if constexpr (obs::kEnabled)
+      emit_placement_events(inst, order, result, table);
+    return result;
   }
-  return first_fit_place(inst, order, fits);
+  PlacementResult result = first_fit_place(inst, order, fits);
+  if constexpr (obs::kEnabled)
+    emit_placement_events(inst, order, result, table);
+  return result;
 }
 
 }  // namespace

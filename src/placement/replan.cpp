@@ -1,11 +1,13 @@
 #include "placement/replan.h"
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace burstq {
 
 MigrationPlan plan_migrations(const Placement& current,
                               const Placement& target) {
+  BURSTQ_SPAN("placement.plan_migrations");
   BURSTQ_REQUIRE(current.n_vms() == target.n_vms() &&
                      current.n_pms() == target.n_pms(),
                  "placements cover different fleets");
@@ -23,6 +25,11 @@ MigrationPlan plan_migrations(const Placement& current,
     const PmId to = target.pm_of(vm);
     if (from != to) plan.moves.push_back(PlannedMove{vm, from, to});
   }
+  BURSTQ_COUNT("replan.moves", plan.moves.size());
+  BURSTQ_EVENT(obs::EventLevel::kDecisions, "replan",
+               {"moves", plan.moves.size()},
+               {"pms_before", plan.pms_before},
+               {"pms_after", plan.pms_after});
   return plan;
 }
 
@@ -37,6 +44,8 @@ void apply_plan(Placement& placement, const MigrationPlan& plan) {
 
 ReplanResult replan(const ProblemInstance& inst, const Placement& current,
                     const QueuingFfdOptions& options) {
+  BURSTQ_SPAN("placement.replan");
+  BURSTQ_COUNT("replan.calls", 1);
   inst.validate();
   BURSTQ_REQUIRE(current.n_vms() == inst.n_vms() &&
                      current.n_pms() == inst.n_pms(),

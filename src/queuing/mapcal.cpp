@@ -1,14 +1,32 @@
 #include "queuing/mapcal.h"
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace burstq {
 
+namespace {
+
+[[maybe_unused]] std::string_view method_name(StationaryMethod method) {
+  switch (method) {
+    case StationaryMethod::kGaussian: return "gaussian";
+    case StationaryMethod::kPower: return "power";
+    case StationaryMethod::kClosedForm: return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
                      StationaryMethod method) {
+  BURSTQ_SPAN("mapcal.solve");
   BURSTQ_REQUIRE(k >= 1, "map_cal requires at least one VM");
   BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "map_cal requires rho in [0, 1)");
   params.validate();
+
+  BURSTQ_COUNT("mapcal.calls", 1);
+  BURSTQ_HIST("mapcal.k", k);
 
   MapCalResult result;
   result.stationary = aggregate_stationary_distribution(k, params, method);
@@ -30,6 +48,11 @@ MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
   double mass = 0.0;
   for (std::size_t m = 0; m <= chosen; ++m) mass += result.stationary[m];
   result.cvr_bound = mass >= 1.0 ? 0.0 : 1.0 - mass;
+
+  BURSTQ_EVENT(obs::EventLevel::kDecisions, "mapcal", {"k", k},
+               {"rho", rho}, {"blocks", result.blocks},
+               {"cvr_bound", result.cvr_bound},
+               {"method", method_name(method)});
   return result;
 }
 
@@ -42,6 +65,8 @@ MapCalTable::MapCalTable(std::size_t max_vms_per_pm,
                          const OnOffParams& params, double rho,
                          StationaryMethod method)
     : params_(params), rho_(rho) {
+  BURSTQ_SPAN("mapcal.table.build");
+  BURSTQ_COUNT("mapcal.table.builds", 1);
   BURSTQ_REQUIRE(max_vms_per_pm >= 1,
                  "MapCalTable requires max_vms_per_pm >= 1");
   params_.validate();

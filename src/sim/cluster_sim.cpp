@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "placement/queuing_ffd.h"
+#include "sim/flight.h"
 
 namespace burstq {
 
@@ -68,6 +70,7 @@ void ClusterSimulator::compute_loads(std::vector<Resource>& load,
 }
 
 SimReport ClusterSimulator::run() {
+  BURSTQ_SPAN("sim.run");
   BURSTQ_REQUIRE(!ran_, "ClusterSimulator::run() may only be called once");
   ran_ = true;
 
@@ -83,7 +86,13 @@ SimReport ClusterSimulator::run() {
   std::vector<Resource> capacity(m);
   for (std::size_t j = 0; j < m; ++j) capacity[j] = inst_->pms[j].capacity;
 
+  FlightSlotRecorder recorder("cluster_sim", m, config_.slots,
+                              config_.policy.cvr_window, config_.policy.rho);
+  std::vector<std::size_t> obs_active;
+  std::vector<std::size_t> obs_violated;
+
   for (std::size_t t = 0; t < config_.slots; ++t) {
+    BURSTQ_SPAN("sim.slot");
     if (t > 0) ensemble_.step();
 
     // 1-2. demands and per-PM loads.
@@ -101,12 +110,24 @@ SimReport ClusterSimulator::run() {
     compute_loads(load, demand_cache_);
 
     // 3. violation bookkeeping (only PMs that actually carry load state).
+    std::size_t violations_this_slot = 0;
+    if (recorder.enabled()) {
+      obs_active.clear();
+      obs_violated.clear();
+    }
     for (std::size_t j = 0; j < m; ++j) {
       if (placement_.count_on(PmId{j}) == 0) continue;
       const bool violated =
           load[j] > capacity[j] * (1.0 + kCapacityEpsilon);
       tracker.record(PmId{j}, violated);
+      if (violated) ++violations_this_slot;
+      if (recorder.enabled()) {
+        obs_active.push_back(j);
+        if (violated) obs_violated.push_back(j);
+      }
     }
+    recorder.slot(t, obs_active, obs_violated);
+    BURSTQ_COUNT("sim.slot_violations", violations_this_slot);
 
     // 4. dynamic scheduling: one eviction per PM per slot when the recent
     // CVR breaches rho.
@@ -156,15 +177,28 @@ SimReport ClusterSimulator::run() {
           report.events.push_back(MigrationEvent{
               static_cast<TimeSlot>(t), *victim, source, *target});
           ++migrations_this_slot;
+          BURSTQ_COUNT("sim.migrations", 1);
+          BURSTQ_EVENT(obs::EventLevel::kDecisions, "migration", {"t", t},
+                       {"vm", victim->value}, {"from", j},
+                       {"to", target->value}, {"ok", true});
           tracker.reset_window(source);
           tracker.reset_window(*target);
+          BURSTQ_EVENT(obs::EventLevel::kDetail, "window.reset", {"t", t},
+                       {"pm", j});
+          BURSTQ_EVENT(obs::EventLevel::kDetail, "window.reset", {"t", t},
+                       {"pm", target->value});
         } else {
           report.events.push_back(MigrationEvent{
               static_cast<TimeSlot>(t), *victim, source, PmId{}});
           ++report.failed_migrations;
+          BURSTQ_COUNT("sim.migrations_failed", 1);
+          BURSTQ_EVENT(obs::EventLevel::kDecisions, "migration", {"t", t},
+                       {"vm", victim->value}, {"from", j}, {"ok", false});
           // Cooldown: without a reset the trigger would re-fire every slot
           // even though the cluster has no room anywhere.
           tracker.reset_window(source);
+          BURSTQ_EVENT(obs::EventLevel::kDetail, "window.reset", {"t", t},
+                       {"pm", j});
         }
       }
     }
@@ -192,7 +226,11 @@ SimReport ClusterSimulator::run() {
 
   report.pms_used_end = report.pms_used_timeline.back();
   report.pm_cvr.resize(m);
-  for (std::size_t j = 0; j < m; ++j) report.pm_cvr[j] = tracker.cvr(PmId{j});
+  report.pm_windowed_cvr_end.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    report.pm_cvr[j] = tracker.cvr(PmId{j});
+    report.pm_windowed_cvr_end[j] = tracker.windowed_cvr(PmId{j});
+  }
   report.mean_cvr = tracker.mean_cvr();
   report.max_cvr = tracker.max_cvr();
   report.energy_wh = meter.watt_hours();
@@ -210,8 +248,18 @@ std::vector<std::vector<bool>> record_violation_trace(
   std::vector<std::vector<bool>> violated(
       inst.n_pms(), std::vector<bool>(slots, false));
 
+  FlightSlotRecorder recorder("violation_trace", inst.n_pms(), slots,
+                              slots, 0.0);
+  std::vector<std::size_t> obs_active;
+  std::vector<std::size_t> obs_violated;
+
   for (std::size_t t = 0; t < slots; ++t) {
+    BURSTQ_SPAN("sim.slot");
     if (t > 0) ensemble.step();
+    if (recorder.enabled()) {
+      obs_active.clear();
+      obs_violated.clear();
+    }
     for (std::size_t j = 0; j < inst.n_pms(); ++j) {
       const PmId pm{j};
       if (placement.count_on(pm) == 0) continue;
@@ -219,7 +267,12 @@ std::vector<std::vector<bool>> record_violation_trace(
       for (std::size_t i : placement.vms_on(pm)) loadj += ensemble.demand(i);
       violated[j][t] =
           loadj > inst.pms[j].capacity * (1.0 + kCapacityEpsilon);
+      if (recorder.enabled()) {
+        obs_active.push_back(j);
+        if (violated[j][t]) obs_violated.push_back(j);
+      }
     }
+    recorder.slot(t, obs_active, obs_violated);
   }
   return violated;
 }
@@ -235,16 +288,32 @@ std::vector<double> simulate_cvr(const ProblemInstance& inst,
   WorkloadEnsemble ensemble(inst, rng, start_stationary);
   std::vector<std::size_t> violations(inst.n_pms(), 0);
 
+  FlightSlotRecorder recorder("simulate_cvr", inst.n_pms(), slots, slots,
+                              0.0);
+  std::vector<std::size_t> obs_active;
+  std::vector<std::size_t> obs_violated;
+
   for (std::size_t t = 0; t < slots; ++t) {
+    BURSTQ_SPAN("sim.slot");
     if (t > 0) ensemble.step();
+    if (recorder.enabled()) {
+      obs_active.clear();
+      obs_violated.clear();
+    }
     for (std::size_t j = 0; j < inst.n_pms(); ++j) {
       const PmId pm{j};
       if (placement.count_on(pm) == 0) continue;
       Resource loadj = 0.0;
       for (std::size_t i : placement.vms_on(pm)) loadj += ensemble.demand(i);
-      if (loadj > inst.pms[j].capacity * (1.0 + kCapacityEpsilon))
-        ++violations[j];
+      const bool hit =
+          loadj > inst.pms[j].capacity * (1.0 + kCapacityEpsilon);
+      if (hit) ++violations[j];
+      if (recorder.enabled()) {
+        obs_active.push_back(j);
+        if (hit) obs_violated.push_back(j);
+      }
     }
+    recorder.slot(t, obs_active, obs_violated);
   }
 
   std::vector<double> cvr(inst.n_pms(), 0.0);

@@ -59,6 +59,9 @@ struct SimReport {
   std::vector<std::size_t> migrations_per_slot;  ///< per slot (successful)
   std::vector<MigrationEvent> events;            ///< Figure 10 log
   std::vector<double> pm_cvr;  ///< cumulative CVR per PM (Eq. 4)
+  /// Windowed CVR per PM at the final slot (the quantity the migration
+  /// trigger watches); also what flight-log replay must reproduce.
+  std::vector<double> pm_windowed_cvr_end;
   double mean_cvr{0.0};        ///< over PMs that hosted VMs at some point
   double max_cvr{0.0};
   double energy_wh{0.0};

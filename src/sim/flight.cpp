@@ -1,0 +1,135 @@
+#include "sim/flight.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace burstq {
+
+namespace {
+
+// Only the write side (compiled out under BURSTQ_NO_OBS) serializes.
+[[maybe_unused]] std::string join_ids(const std::vector<std::size_t>& ids) {
+  std::string out;
+  for (std::size_t v : ids) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> parse_id_list(std::string_view text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    std::size_t value = 0;
+    const auto [next, ec] =
+        std::from_chars(text.data() + pos, text.data() + text.size(), value);
+    BURSTQ_REQUIRE(ec == std::errc{} && next != text.data() + pos,
+                   "malformed id list: " + std::string(text));
+    out.push_back(value);
+    pos = static_cast<std::size_t>(next - text.data());
+  }
+  return out;
+}
+
+#ifndef BURSTQ_NO_OBS
+
+FlightSlotRecorder::FlightSlotRecorder(std::string_view default_label,
+                                       std::size_t n_pms, std::size_t slots,
+                                       std::size_t window, double rho)
+    : enabled_(obs::events().enabled(obs::EventLevel::kDetail)) {
+  if (!enabled_) return;
+  const std::string run = obs::events().run_label();
+  const std::string_view label = run.empty() ? default_label : run;
+  obs::events().emit(obs::EventLevel::kDetail, "sim.config",
+                     {{"label", label},
+                      {"n_pms", n_pms},
+                      {"slots", slots},
+                      {"window", window},
+                      {"rho", rho}});
+}
+
+void FlightSlotRecorder::slot(std::size_t t,
+                              const std::vector<std::size_t>& active,
+                              const std::vector<std::size_t>& violated) {
+  if (!enabled_) return;
+  const std::string viol = join_ids(violated);
+  if (first_ || active != last_active_) {
+    obs::events().emit(
+        obs::EventLevel::kDetail, "slot.obs",
+        {{"t", t}, {"active", join_ids(active)}, {"viol", viol}});
+    last_active_ = active;
+    first_ = false;
+  } else {
+    obs::events().emit(obs::EventLevel::kDetail, "slot.obs",
+                       {{"t", t}, {"viol", viol}});
+  }
+}
+
+#endif  // BURSTQ_NO_OBS
+
+std::vector<FlightReplaySegment> replay_flight_log(
+    const std::vector<obs::RecordedEvent>& events) {
+  std::vector<FlightReplaySegment> segments;
+  std::vector<std::size_t> active;  // carried across delta-encoded slots
+
+  const auto current = [&]() -> FlightReplaySegment& {
+    BURSTQ_REQUIRE(!segments.empty(),
+                   "flight log event precedes any sim.config header");
+    return segments.back();
+  };
+
+  for (const obs::RecordedEvent& ev : events) {
+    if (ev.kind == "sim.config") {
+      const auto n_pms = static_cast<std::size_t>(ev.integer("n_pms"));
+      auto window = static_cast<std::size_t>(ev.integer("window", 1));
+      BURSTQ_REQUIRE(n_pms > 0, "sim.config without a positive n_pms");
+      if (window == 0) window = 1;
+      segments.emplace_back(std::string(ev.str("label")), n_pms, window,
+                            static_cast<std::size_t>(ev.integer("slots")),
+                            ev.num("rho"));
+      active.clear();
+    } else if (ev.kind == "slot.obs") {
+      FlightReplaySegment& seg = current();
+      if (ev.has("active")) active = parse_id_list(ev.str("active"));
+      const std::vector<std::size_t> violated =
+          parse_id_list(ev.str("viol"));
+      // Same order as the live run: ascending PM id, violation flag by
+      // membership in the violated subset.
+      auto vit = violated.begin();
+      for (std::size_t pm : active) {
+        BURSTQ_REQUIRE(pm < seg.n_pms, "slot.obs PM id out of range");
+        while (vit != violated.end() && *vit < pm) ++vit;
+        const bool hit = vit != violated.end() && *vit == pm;
+        seg.tracker.record(PmId{pm}, hit);
+      }
+      ++seg.slots_seen;
+    } else if (ev.kind == "window.reset") {
+      FlightReplaySegment& seg = current();
+      const auto pm = static_cast<std::size_t>(ev.integer("pm"));
+      BURSTQ_REQUIRE(pm < seg.n_pms, "window.reset PM id out of range");
+      seg.tracker.reset_window(PmId{pm});
+      ++seg.window_resets;
+    } else if (ev.kind == "migration") {
+      FlightReplaySegment& seg = current();
+      if (ev.boolean("ok"))
+        ++seg.migrations;
+      else
+        ++seg.failed_migrations;
+    }
+    // Other kinds (place, mapcal, replan, ...) are not part of CVR replay.
+  }
+  return segments;
+}
+
+std::vector<FlightReplaySegment> replay_flight_log(const std::string& path) {
+  return replay_flight_log(obs::read_events_jsonl(path));
+}
+
+}  // namespace burstq

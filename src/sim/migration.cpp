@@ -1,6 +1,7 @@
 #include "sim/migration.h"
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "placement/placement.h"
 
 namespace burstq {
@@ -37,6 +38,7 @@ std::optional<VmId> select_victim_policy(
     VictimSelection policy, const ProblemInstance& inst,
     std::span<const std::size_t> vms_on_pm, std::span<const Resource> demand,
     std::span<const VmState> state) {
+  BURSTQ_COUNT("sim.victim_selections", 1);
   if (policy == VictimSelection::kLargestOnDemand)
     return select_victim(vms_on_pm, demand, state);
 
@@ -64,6 +66,7 @@ std::optional<PmId> select_target(PmId source, Resource victim_demand,
   BURSTQ_REQUIRE(pm_load.size() == pm_capacity.size() &&
                      pm_load.size() == pm_vm_count.size(),
                  "per-PM spans must agree in length");
+  BURSTQ_COUNT("sim.target_searches", 1);
   for (std::size_t j = 0; j < pm_load.size(); ++j) {
     const PmId pm{j};
     if (pm == source) continue;

@@ -1,0 +1,164 @@
+// Tests for the metrics registry: sharded counters merge across threads,
+// histogram bucketing, snapshot lookup, and reset semantics.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace burstq::obs {
+namespace {
+
+TEST(Counter, AddAndMerge) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, MergesAcrossThreads) {
+  Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i)
+    workers.emplace_back([&c] {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) c.add();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(2.5);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketOf) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  // Everything huge lands in the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), kHistogramBuckets - 1);
+}
+
+TEST(Histogram, SnapshotStats) {
+  Histogram h;
+  for (std::uint64_t v : {5u, 10u, 200u, 0u}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 215u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 200u);
+  EXPECT_DOUBLE_EQ(s.mean(), 215.0 / 4.0);
+  // Quantiles are bucket upper bounds: monotone and bounded by buckets.
+  EXPECT_LE(s.approx_quantile(0.0), s.approx_quantile(0.5));
+  EXPECT_LE(s.approx_quantile(0.5), s.approx_quantile(1.0));
+  EXPECT_GE(s.approx_quantile(1.0), 200.0);
+}
+
+TEST(Histogram, MergesAcrossThreads) {
+  Histogram h;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i)
+    workers.emplace_back([&h, i] {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) h.record(i + 1);
+    });
+  for (auto& w : workers) w.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kThreads);
+}
+
+TEST(SpanStat, RecordAggregates) {
+  SpanStat s;
+  s.record(100, 60);
+  s.record(50, 50);
+  EXPECT_EQ(s.calls(), 2u);
+  EXPECT_EQ(s.total_ns(), 150u);
+  EXPECT_EQ(s.self_ns(), 110u);
+  EXPECT_EQ(s.max_ns(), 100u);
+  s.reset();
+  EXPECT_EQ(s.calls(), 0u);
+}
+
+TEST(MetricsRegistry, InternsPerName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.calls");
+  Counter& b = reg.counter("x.calls");
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("y.calls");
+  EXPECT_NE(&a, &c);
+  // The same name in a different metric family is a different object.
+  (void)reg.gauge("x.calls");
+}
+
+TEST(MetricsRegistry, ScrapeSortedAndLookup) {
+  MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(3.5);
+  reg.histogram("h").record(7);
+  reg.span("s").record(10, 10);
+  const MetricsSnapshot snap = reg.scrape();
+  EXPECT_FALSE(snap.empty());
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "b");
+  ASSERT_NE(snap.counter("b"), nullptr);
+  EXPECT_EQ(snap.counter("b")->value, 2u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+  ASSERT_NE(snap.span("s"), nullptr);
+  EXPECT_EQ(snap.span("s")->calls, 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+}
+
+TEST(MetricsRegistry, ResetKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("r");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // cached reference still usable after reset
+  EXPECT_EQ(reg.scrape().counter("r")->value, 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i)
+    workers.emplace_back([&reg] {
+      for (int n = 0; n < 1000; ++n) {
+        reg.counter("shared").add();
+        reg.histogram("hist").record(static_cast<std::uint64_t>(n));
+      }
+    });
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot snap = reg.scrape();
+  EXPECT_EQ(snap.counter("shared")->value, kThreads * 1000u);
+  EXPECT_EQ(snap.histograms[0].hist.count, kThreads * 1000u);
+}
+
+}  // namespace
+}  // namespace burstq::obs

@@ -1,0 +1,114 @@
+// Tests for scoped trace spans: nesting, self-vs-total attribution, and
+// the BURSTQ_SPAN macro (a no-op under -DBURSTQ_NO_OBS).
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace burstq::obs {
+namespace {
+
+// Burns a little measurable wall time without sleeping.
+void spin() {
+  volatile std::uint64_t x = 0;
+  for (int i = 0; i < 50000; ++i)
+    x = x + static_cast<std::uint64_t>(i);
+}
+
+TEST(ScopedSpan, RecordsOnDestruction) {
+  SpanStat stat;
+  {
+    ScopedSpan span(stat);
+    spin();
+  }
+  EXPECT_EQ(stat.calls(), 1u);
+  EXPECT_GT(stat.total_ns(), 0u);
+  EXPECT_EQ(stat.total_ns(), stat.self_ns());
+  EXPECT_EQ(stat.max_ns(), stat.total_ns());
+}
+
+TEST(ScopedSpan, NestingSplitsSelfFromTotal) {
+  SpanStat outer_stat;
+  SpanStat inner_stat;
+  {
+    ScopedSpan outer(outer_stat);
+    spin();
+    {
+      ScopedSpan inner(inner_stat);
+      spin();
+    }
+    spin();
+  }
+  EXPECT_EQ(outer_stat.calls(), 1u);
+  EXPECT_EQ(inner_stat.calls(), 1u);
+  // Parent total covers the child; parent self excludes it exactly.
+  EXPECT_GE(outer_stat.total_ns(), inner_stat.total_ns());
+  EXPECT_EQ(outer_stat.self_ns(),
+            outer_stat.total_ns() - inner_stat.total_ns());
+  EXPECT_EQ(inner_stat.self_ns(), inner_stat.total_ns());
+}
+
+TEST(ScopedSpan, DepthTracksActiveSpans) {
+  const std::size_t base = ScopedSpan::active_depth();
+  SpanStat stat;
+  {
+    ScopedSpan a(stat);
+    EXPECT_EQ(ScopedSpan::active_depth(), base + 1);
+    {
+      ScopedSpan b(stat);
+      EXPECT_EQ(ScopedSpan::active_depth(), base + 2);
+    }
+    EXPECT_EQ(ScopedSpan::active_depth(), base + 1);
+  }
+  EXPECT_EQ(ScopedSpan::active_depth(), base);
+}
+
+TEST(ScopedSpan, SiblingsAccumulateIntoParent) {
+  SpanStat parent_stat;
+  SpanStat child_stat;
+  {
+    ScopedSpan parent(parent_stat);
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan child(child_stat);
+      spin();
+    }
+  }
+  EXPECT_EQ(child_stat.calls(), 3u);
+  EXPECT_EQ(parent_stat.self_ns(),
+            parent_stat.total_ns() - child_stat.total_ns());
+}
+
+TEST(SpanMacro, CompilesAndAggregates) {
+  const auto snapshot_calls = [] {
+    const auto* s = metrics().scrape().span("test.obs_span.macro");
+    return s == nullptr ? std::uint64_t{0} : s->calls;
+  };
+  const std::uint64_t before = snapshot_calls();
+  {
+    BURSTQ_SPAN("test.obs_span.macro");
+    spin();
+  }
+  if constexpr (kEnabled) {
+    EXPECT_EQ(snapshot_calls(), before + 1);
+  } else {
+    // Under -DBURSTQ_NO_OBS the macro must not register anything.
+    EXPECT_EQ(metrics().scrape().span("test.obs_span.macro"), nullptr);
+  }
+}
+
+TEST(SpanMacro, CounterGaugeHistMacrosRespectKillSwitch) {
+  const std::size_t local = 17;  // only consumed by the macros below
+  BURSTQ_COUNT("test.obs_span.count", local);
+  BURSTQ_GAUGE("test.obs_span.gauge", local);
+  BURSTQ_HIST("test.obs_span.hist", local);
+  const MetricsSnapshot snap = metrics().scrape();
+  if constexpr (kEnabled) {
+    ASSERT_NE(snap.counter("test.obs_span.count"), nullptr);
+    EXPECT_GE(snap.counter("test.obs_span.count")->value, 17u);
+  } else {
+    EXPECT_EQ(snap.counter("test.obs_span.count"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace burstq::obs
