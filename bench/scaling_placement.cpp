@@ -1,0 +1,279 @@
+// Scaling study for the incremental placement engine (see
+// docs/PERFORMANCE.md): first-fit under Eq. (17) with the O(log m)
+// slack-tree descent vs the O(m) linear scan, at 10^4-10^6 VMs.
+//
+// Three drivers are compared on identical instances and visit orders:
+//
+//   naive-walk    unbound Placement: every Eq. (17) check walks the
+//                 hosted list (the pre-aggregate seed behaviour, O(k)
+//                 per check).  Skipped above --walk-cap VMs by default
+//                 because it is quadratic-ish and exists only as the
+//                 historical baseline.
+//   naive         generic first_fit_place driver with a bound Placement:
+//                 O(1) checks, O(m) scan per VM.
+//   incremental   first_fit_place_reservation: slack-tree descent,
+//                 O(log m) per VM.
+//
+// All drivers must produce bit-identical placements; the harness aborts
+// if they diverge.  It also times QueuingFFD end-to-end (naive vs
+// incremental engine, MapCal cache cleared before each run) and verifies
+// the MapCal memoization: a second identical run must perform zero new
+// stationary solves (`mapcal.table.builds` delta == 0).
+//
+// Output: console table, scaling_placement.csv, and a machine-readable
+// BENCH_placement.json in the output directory (bench_out/ or
+// BURSTQ_OUT_DIR).
+//
+// Usage: scaling_placement [--n N] [--large] [--smoke] [--walk-cap N]
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/args.h"
+#include "common/error.h"
+#include "core/scenario.h"
+#include "placement/cluster.h"
+#include "placement/first_fit.h"
+#include "placement/incremental.h"
+#include "placement/queuing_ffd.h"
+#include "placement/spec.h"
+#include "queuing/mapcal.h"
+
+namespace {
+
+using namespace burstq;
+
+template <typename F>
+double time_s(F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The pre-aggregate seed driver: unbound placement, so every Eq. (17)
+/// check re-walks the PM's hosted list.
+PlacementResult first_fit_walk(const ProblemInstance& inst,
+                               const std::vector<std::size_t>& order,
+                               const MapCalTable& table) {
+  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
+  for (const std::size_t vi : order) {
+    const VmId vm{vi};
+    bool placed = false;
+    for (std::size_t j = 0; j < inst.n_pms() && !placed; ++j) {
+      const PmId pm{j};
+      if (fits_with_reservation(inst, result.placement, vm, pm, table)) {
+        result.placement.assign(vm, pm);
+        placed = true;
+      }
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+  return result;
+}
+
+bool same_placement(const ProblemInstance& inst, const PlacementResult& a,
+                    const PlacementResult& b) {
+  if (a.unplaced != b.unplaced) return false;
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    if (a.placement.pm_of(VmId{i}) != b.placement.pm_of(VmId{i}))
+      return false;
+  return true;
+}
+
+std::uint64_t counter_value(const char* name) {
+  const auto snap = obs::metrics().scrape();
+  const auto* sample = snap.counter(name);
+  return sample != nullptr ? sample->value : 0;
+}
+
+struct Row {
+  std::size_t n{0}, m{0};
+  std::string engine;
+  double seconds{0.0};
+  std::size_t pms_used{0};
+  bool identical{true};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using burstq::bench::banner;
+  using burstq::bench::open_csv;
+
+  ArgParser args("scaling_placement",
+                 "incremental vs naive first-fit scaling study");
+  args.add_option("n", "run a single problem size instead of the sweep");
+  args.add_flag("large", "add n = 10^6 to the sweep");
+  args.add_flag("smoke", "tiny run (n = 5000) for CI smoke tests");
+  args.add_option("walk-cap",
+                  "largest n for the quadratic naive-walk baseline", "20000");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  std::vector<std::size_t> sizes{10'000, 100'000};
+  if (args.flag("large")) sizes.push_back(1'000'000);
+  if (args.flag("smoke")) sizes = {5'000};
+  if (args.has("n"))
+    sizes = {static_cast<std::size_t>(args.get_int("n"))};
+  const auto walk_cap = static_cast<std::size_t>(args.get_int("walk-cap"));
+
+  const OnOffParams params = paper_onoff_params();
+  QueuingFfdOptions naive_opt;
+  naive_opt.engine = PlacementEngine::kNaive;
+  QueuingFfdOptions incr_opt;
+  incr_opt.engine = PlacementEngine::kIncremental;
+
+  std::vector<Row> rows;
+  struct EndToEnd {
+    std::size_t n{0};
+    double naive_s{0.0}, incremental_s{0.0}, speedup{0.0};
+  };
+  std::vector<EndToEnd> e2e;
+
+  for (const std::size_t n : sizes) {
+    const std::size_t m = n / 8;
+    Rng rng(4242 + n);
+    const auto inst = random_instance(n, m, params, InstanceRanges{}, rng);
+    const auto order = queuing_ffd_order(inst.vms, naive_opt.cluster_buckets);
+    const MapCalTable table(naive_opt.max_vms_per_pm, params, naive_opt.rho,
+                            naive_opt.method);
+    const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
+      return fits_with_reservation(inst, p, vm, pm, table);
+    };
+
+    banner("first-fit drivers, n = " + std::to_string(n) +
+           " VMs, m = " + std::to_string(m) + " PMs");
+    ConsoleTable out({"engine", "seconds", "PMs used", "identical"});
+
+    PlacementResult incr{Placement(1, 1), {}};
+    IncrementalStats stats;
+    const double incr_s = time_s([&] {
+      incr = first_fit_place_reservation(inst, order, table, &stats);
+    });
+    rows.push_back({n, m, "incremental", incr_s, incr.pms_used(), true});
+
+    PlacementResult naive{Placement(1, 1), {}};
+    const double naive_s =
+        time_s([&] { naive = first_fit_place(inst, order, fits); });
+    const bool naive_same = same_placement(inst, naive, incr);
+    rows.push_back({n, m, "naive", naive_s, naive.pms_used(), naive_same});
+    BURSTQ_REQUIRE(naive_same,
+                   "incremental placement diverged from the naive driver");
+
+    if (n <= walk_cap) {
+      PlacementResult walk{Placement(1, 1), {}};
+      const double walk_s =
+          time_s([&] { walk = first_fit_walk(inst, order, table); });
+      const bool walk_same = same_placement(inst, walk, incr);
+      rows.push_back({n, m, "naive-walk", walk_s, walk.pms_used(), walk_same});
+      BURSTQ_REQUIRE(walk_same,
+                     "incremental placement diverged from the walk baseline");
+    }
+
+    for (auto it = rows.end() - (n <= walk_cap ? 3 : 2); it != rows.end();
+         ++it)
+      out.add_row({it->engine, ConsoleTable::num(it->seconds, 4),
+                   std::to_string(it->pms_used),
+                   it->identical ? "yes" : "NO"});
+    out.add_row({"(tree descents)", std::to_string(stats.tree_descents),
+                 "exact checks", std::to_string(stats.exact_checks)});
+    out.print(std::cout);
+
+    // End-to-end Algorithm 2, cold MapCal cache for both engines.
+    EndToEnd e{n, 0.0, 0.0, 0.0};
+    QueuingFfdOutcome a{{Placement(1, 1), {}},
+                        MapCalTable(1, params, naive_opt.rho),
+                        params};
+    QueuingFfdOutcome b = a;
+    mapcal_table_cache_clear();
+    e.naive_s = time_s([&] { a = queuing_ffd(inst, naive_opt); });
+    mapcal_table_cache_clear();
+    e.incremental_s = time_s([&] { b = queuing_ffd(inst, incr_opt); });
+    BURSTQ_REQUIRE(same_placement(inst, a.result, b.result),
+                   "QueuingFFD engines disagree");
+    e.speedup = e.naive_s / e.incremental_s;
+    e2e.push_back(e);
+    std::cout << "QueuingFFD end-to-end: naive "
+              << ConsoleTable::num(e.naive_s, 4) << " s, incremental "
+              << ConsoleTable::num(e.incremental_s, 4) << " s  ->  "
+              << ConsoleTable::num(e.speedup, 1) << "x\n";
+  }
+
+  // MapCal memoization: a second run with identical (params, rho, d,
+  // method) must not rebuild the table.
+  banner("MapCal table cache");
+  bool cache_ok = true;
+  std::uint64_t builds_delta = 0, hits_delta = 0;
+  {
+    const std::size_t n = sizes.front();
+    Rng rng(991);
+    const auto inst =
+        random_instance(n, n / 8, params, InstanceRanges{}, rng);
+    mapcal_table_cache_clear();
+    (void)queuing_ffd(inst, incr_opt);
+    const std::uint64_t builds0 = counter_value("mapcal.table.builds");
+    const std::uint64_t hits0 = counter_value("mapcal.table.cache_hits");
+    (void)queuing_ffd(inst, incr_opt);
+    builds_delta = counter_value("mapcal.table.builds") - builds0;
+    hits_delta = counter_value("mapcal.table.cache_hits") - hits0;
+    if (obs::kEnabled) {
+      cache_ok = builds_delta == 0 && hits_delta >= 1;
+      BURSTQ_REQUIRE(cache_ok,
+                     "second identical QueuingFFD run rebuilt the MapCal "
+                     "table instead of hitting the cache");
+    }
+    std::cout << "second run: " << builds_delta << " new table builds, "
+              << hits_delta << " cache hits (cache size "
+              << mapcal_table_cache_size() << ")\n";
+  }
+
+  auto csv = open_csv("scaling_placement.csv");
+  csv.row({"n", "m", "engine", "seconds", "pms_used", "identical"});
+  for (const auto& r : rows) {
+    csv.begin_row();
+    csv.field(r.n).field(r.m).field(r.engine).field(r.seconds);
+    csv.field(r.pms_used).field(r.identical ? "yes" : "no");
+    csv.end_row();
+  }
+  csv.flush();
+
+  // Machine-readable summary for CI artifact collection.
+  const std::string json_path =
+      burstq::bench::out_dir() + "/BENCH_placement.json";
+  {
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"scaling_placement\",\n  \"drivers\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      json << "    {\"n\": " << r.n << ", \"m\": " << r.m
+           << ", \"engine\": \"" << r.engine
+           << "\", \"seconds\": " << r.seconds
+           << ", \"pms_used\": " << r.pms_used << ", \"identical\": "
+           << (r.identical ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"queuing_ffd_end_to_end\": [\n";
+    for (std::size_t i = 0; i < e2e.size(); ++i) {
+      const auto& e = e2e[i];
+      json << "    {\"n\": " << e.n << ", \"naive_seconds\": " << e.naive_s
+           << ", \"incremental_seconds\": " << e.incremental_s
+           << ", \"speedup\": " << e.speedup << "}"
+           << (i + 1 < e2e.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"mapcal_cache\": {\"second_run_builds\": "
+         << builds_delta << ", \"second_run_hits\": " << hits_delta
+         << ", \"zero_rebuild_confirmed\": " << (cache_ok ? "true" : "false")
+         << "}\n}\n";
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+
+  burstq::bench::emit_obs_summary("scaling_placement");
+  return 0;
+}

@@ -67,7 +67,7 @@ int main() {
                   static_cast<double>(rp_pms);
     sizing.add_row({ConsoleTable::num(rho, 3),
                     std::to_string(placed.result.pms_used()),
-                    "-" + ConsoleTable::percent(saving)});
+                    std::string("-").append(ConsoleTable::percent(saving))});
   }
   sizing.set_title("Fleet sizing for 500 VMs (peak packing needs " +
                    std::to_string(rp_pms) + " PMs)");

@@ -55,10 +55,12 @@ int main() {
     const auto& t = truth.vms[i];
     const auto& f = fitted.vms[i];
     auto fmt = [](const VmSpec& v) {
-      return "(" + ConsoleTable::num(v.onoff.p_on, 3) + ", " +
-             ConsoleTable::num(v.onoff.p_off, 3) + ", " +
-             ConsoleTable::num(v.rb, 1) + ", " + ConsoleTable::num(v.re, 1) +
-             ")";
+      std::string out = "(";
+      out += ConsoleTable::num(v.onoff.p_on, 3) + ", ";
+      out += ConsoleTable::num(v.onoff.p_off, 3) + ", ";
+      out += ConsoleTable::num(v.rb, 1) + ", ";
+      out += ConsoleTable::num(v.re, 1) + ")";
+      return out;
     };
     sample.add_row({std::to_string(i), fmt(t), fmt(f)});
   }

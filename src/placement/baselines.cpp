@@ -14,9 +14,8 @@ PlacementResult ffd_by_key(const ProblemInstance& inst,
                            double (*key)(const VmSpec&),
                            double capacity_fraction,
                            std::size_t max_vms_per_pm) {
-  const FitPredicate fits = [&, key, capacity_fraction, max_vms_per_pm](
-                                const Placement& placement, VmId vm,
-                                PmId pm) {
+  const auto fits = [&, key, capacity_fraction, max_vms_per_pm](
+                        const Placement& placement, VmId vm, PmId pm) {
     if (placement.count_on(pm) + 1 > max_vms_per_pm) return false;
     Resource load = key(inst.vms[vm.value]);
     for (std::size_t i : placement.vms_on(pm)) load += key(inst.vms[i]);

@@ -1,78 +1,22 @@
 #include "placement/first_fit.h"
 
-#include <limits>
-
 #include "common/error.h"
 #include "obs/obs.h"
 
-namespace burstq {
+namespace burstq::detail {
 
-PlacementResult first_fit_place(const ProblemInstance& inst,
-                                std::span<const std::size_t> order,
-                                const FitPredicate& fits) {
-  BURSTQ_SPAN("placement.first_fit");
+void validate_driver_inputs(const ProblemInstance& inst,
+                            std::span<const std::size_t> order) {
   inst.validate();
   BURSTQ_REQUIRE(order.size() == inst.n_vms(),
                  "visit order must cover every VM exactly once");
-  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
-
-  std::size_t fit_checks = 0;
-  for (std::size_t vi : order) {
-    const VmId vm{vi};
-    bool placed = false;
-    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
-      const PmId pm{j};
-      ++fit_checks;
-      if (fits(result.placement, vm, pm)) {
-        result.placement.assign(vm, pm);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) result.unplaced.push_back(vm);
-  }
-  BURSTQ_COUNT("placement.fit_checks", fit_checks);
-  BURSTQ_COUNT("placement.placed",
-               result.placement.vms_assigned());
-  BURSTQ_COUNT("placement.unplaced", result.unplaced.size());
-  return result;
 }
 
-PlacementResult best_fit_place(const ProblemInstance& inst,
-                               std::span<const std::size_t> order,
-                               const FitPredicate& fits,
-                               const SlackFunction& slack) {
-  BURSTQ_SPAN("placement.best_fit");
-  inst.validate();
-  BURSTQ_REQUIRE(order.size() == inst.n_vms(),
-                 "visit order must cover every VM exactly once");
-  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
-
-  std::size_t fit_checks = 0;
-  for (std::size_t vi : order) {
-    const VmId vm{vi};
-    PmId best{};
-    double best_slack = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
-      const PmId pm{j};
-      ++fit_checks;
-      if (!fits(result.placement, vm, pm)) continue;
-      const double s = slack(result.placement, vm, pm);
-      if (s < best_slack) {
-        best_slack = s;
-        best = pm;
-      }
-    }
-    if (best.valid())
-      result.placement.assign(vm, best);
-    else
-      result.unplaced.push_back(vm);
-  }
+void record_driver_counts(const PlacementResult& result,
+                          std::size_t fit_checks) {
   BURSTQ_COUNT("placement.fit_checks", fit_checks);
-  BURSTQ_COUNT("placement.placed",
-               result.placement.vms_assigned());
+  BURSTQ_COUNT("placement.placed", result.placement.vms_assigned());
   BURSTQ_COUNT("placement.unplaced", result.unplaced.size());
-  return result;
 }
 
-}  // namespace burstq
+}  // namespace burstq::detail

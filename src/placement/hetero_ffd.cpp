@@ -51,7 +51,7 @@ PlacementResult queuing_ffd_hetero(const ProblemInstance& inst,
   inst.validate();
   options.validate();
   const auto order = queuing_ffd_order(inst.vms, options.cluster_buckets);
-  const FitPredicate fits = [&](const Placement& p, VmId vm, PmId pm) {
+  const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
     return fits_with_exact_reservation(inst, p, vm, pm, options);
   };
   return first_fit_place(inst, order, fits);

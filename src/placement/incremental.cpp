@@ -1,0 +1,79 @@
+#include "placement/incremental.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/obs.h"
+#include "placement/pm_slack_tree.h"
+
+namespace burstq {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Conservative admissibility key of PM j given its cached aggregates.
+/// -inf once the per-PM VM cap is reached.
+double admissible_key(const ProblemInstance& inst, const Placement& placement,
+                      PmId pm, const MapCalTable& table) {
+  const std::size_t k_new = placement.count_on(pm) + 1;
+  if (k_new > table.max_vms_per_pm()) return kNegInf;
+  const double cap = inst.pms[pm.value].capacity;
+  const double reserved =
+      placement.re_max_on(pm) * static_cast<double>(table.blocks(k_new)) +
+      placement.rb_sum_on(pm);
+  const double slack = cap * (1.0 + kCapacityEpsilon) - reserved;
+  return slack + kSlackFilterMargin * (std::abs(cap) + std::abs(reserved) + 1.0);
+}
+
+}  // namespace
+
+PlacementResult first_fit_place_reservation(const ProblemInstance& inst,
+                                            std::span<const std::size_t> order,
+                                            const MapCalTable& table,
+                                            IncrementalStats* stats) {
+  BURSTQ_SPAN("placement.first_fit");
+  detail::validate_driver_inputs(inst, order);
+  PlacementResult result{Placement(inst), {}};
+  Placement& placement = result.placement;
+
+  std::vector<double> keys(inst.n_pms());
+  for (std::size_t j = 0; j < keys.size(); ++j)
+    keys[j] = admissible_key(inst, placement, PmId{j}, table);
+  PmSlackTree tree(std::move(keys));
+
+  std::size_t descents = 0;
+  std::size_t checks = 0;
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    const double need = inst.vms[vi].rb;
+    bool placed = false;
+    std::size_t from = 0;
+    for (;;) {
+      ++descents;
+      const std::size_t j = tree.find_first_ge(need, from);
+      if (j == PmSlackTree::npos) break;
+      const PmId pm{j};
+      ++checks;
+      if (fits_with_reservation(inst, placement, vm, pm, table)) {
+        placement.assign(vm, pm);
+        tree.update(j, admissible_key(inst, placement, pm, table));
+        placed = true;
+        break;
+      }
+      from = j + 1;  // conservative filter false positive: keep scanning
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+
+  detail::record_driver_counts(result, checks);
+  BURSTQ_COUNT("placement.tree_descents", descents);
+  if (stats != nullptr) {
+    stats->tree_descents += descents;
+    stats->exact_checks += checks;
+  }
+  return result;
+}
+
+}  // namespace burstq

@@ -18,7 +18,9 @@ OnlineConsolidator::OnlineConsolidator(std::vector<PmSpec> pms,
       params_(initial_params),
       table_(options.max_vms_per_pm, initial_params, options.rho,
              options.method),
-      on_pm_(pms_.size()) {
+      on_pm_(pms_.size()),
+      rb_sum_(pms_.size(), 0.0),
+      re_max_(pms_.size(), 0.0) {
   BURSTQ_REQUIRE(!pms_.empty(), "online consolidator needs at least one PM");
   options_.validate();
   for (const auto& p : pms_) p.validate();
@@ -31,13 +33,34 @@ std::vector<VmSpec> OnlineConsolidator::hosted_specs(PmId pm) const {
   return out;
 }
 
+bool OnlineConsolidator::pm_admits(const VmSpec& vm, PmId pm) const {
+  // Same arithmetic as fits_with_reservation_specs, fed from the cached
+  // per-PM aggregates instead of a walk over the hosted specs.
+  const std::size_t k_new = on_pm_[pm.value].size() + 1;
+  if (k_new > table_.max_vms_per_pm()) return false;
+  const Resource block = std::max(vm.re, re_max_[pm.value]);
+  const Resource footprint =
+      block * static_cast<double>(table_.blocks(k_new)) + vm.rb +
+      rb_sum_[pm.value];
+  return footprint <= pms_[pm.value].capacity * (1.0 + kCapacityEpsilon);
+}
+
+void OnlineConsolidator::recompute_pm_aggregates(PmId pm) {
+  Resource rb = 0.0;
+  Resource re = 0.0;
+  for (std::size_t s : on_pm_[pm.value]) {
+    rb += slots_[s].spec.rb;
+    re = std::max(re, slots_[s].spec.re);
+  }
+  rb_sum_[pm.value] = rb;
+  re_max_[pm.value] = re;
+}
+
 std::optional<PmId> OnlineConsolidator::find_first_fit(
     const VmSpec& vm) const {
   for (std::size_t j = 0; j < pms_.size(); ++j) {
     const PmId pm{j};
-    const std::vector<VmSpec> hosted = hosted_specs(pm);
-    if (fits_with_reservation_specs(hosted, vm, pms_[j].capacity, table_))
-      return pm;
+    if (pm_admits(vm, pm)) return pm;
   }
   return std::nullopt;
 }
@@ -51,8 +74,10 @@ VmHandle OnlineConsolidator::install(const VmSpec& vm, PmId pm) {
     slot = slots_.size();
     slots_.emplace_back();
   }
-  slots_[slot] = Slot{vm, pm, true};
+  slots_[slot] = Slot{vm, pm, true, on_pm_[pm.value].size()};
   on_pm_[pm.value].push_back(slot);
+  rb_sum_[pm.value] += vm.rb;
+  re_max_[pm.value] = std::max(re_max_[pm.value], vm.re);
   ++live_count_;
   return VmHandle{slot};
 }
@@ -86,9 +111,22 @@ void OnlineConsolidator::remove_vm(VmHandle h) {
                  "remove_vm on an invalid or dead handle");
   Slot& slot = slots_[h.slot];
   auto& list = on_pm_[slot.pm.value];
-  const auto it = std::find(list.begin(), list.end(), h.slot);
-  BURSTQ_ASSERT(it != list.end(), "online PM lists out of sync");
-  list.erase(it);
+  const std::size_t pos = slot.pos;
+  BURSTQ_ASSERT(pos < list.size() && list[pos] == h.slot,
+                "online PM lists out of sync");
+  // Swap-remove; O(1) like Placement::unassign.
+  const std::size_t moved = list.back();
+  list[pos] = moved;
+  slots_[moved].pos = pos;
+  list.pop_back();
+  if (list.empty()) {
+    rb_sum_[slot.pm.value] = 0.0;
+    re_max_[slot.pm.value] = 0.0;
+  } else {
+    rb_sum_[slot.pm.value] -= slot.spec.rb;
+    if (slot.spec.re >= re_max_[slot.pm.value])
+      recompute_pm_aggregates(slot.pm);
+  }
   slot.live = false;
   free_slots_.push_back(h.slot);
   --live_count_;
@@ -121,10 +159,13 @@ std::size_t OnlineConsolidator::recalibrate(double tolerance) {
   for (std::size_t j = 0; j < pms_.size(); ++j) {
     const PmId pm{j};
     while (!on_pm_[j].empty()) {
-      const std::vector<VmSpec> hosted = hosted_specs(pm);
-      if (hosted.size() <= table_.max_vms_per_pm() &&
-          reserved_footprint_specs(hosted, table_) <=
-              pms_[j].capacity * (1.0 + kCapacityEpsilon))
+      const std::size_t k = on_pm_[j].size();
+      const Resource reserved =
+          re_max_[j] * static_cast<double>(table_.blocks(
+                           std::min(k, table_.max_vms_per_pm()))) +
+          rb_sum_[j];
+      if (k <= table_.max_vms_per_pm() &&
+          reserved <= pms_[j].capacity * (1.0 + kCapacityEpsilon))
         break;
       const std::size_t victim = on_pm_[j].back();
       on_pm_[j].pop_back();
@@ -132,6 +173,7 @@ std::size_t OnlineConsolidator::recalibrate(double tolerance) {
       --live_count_;
       const VmSpec spec = slots_[victim].spec;
       free_slots_.push_back(victim);
+      recompute_pm_aggregates(pm);
       // Re-admit elsewhere; count as one migration either way (if nowhere
       // fits the VM is dropped, which callers can detect via vms_hosted()).
       ++migrations;

@@ -79,10 +79,19 @@ class OnlineConsolidator {
     VmSpec spec;
     PmId pm;
     bool live{false};
+    std::size_t pos{0};  ///< index of this slot in on_pm_[pm]
   };
 
-  /// Gathers the hosted specs on one PM (helper for Eq. 17 checks).
+  /// Gathers the hosted specs on one PM (helper for the independent
+  /// walk-based invariant validation).
   [[nodiscard]] std::vector<VmSpec> hosted_specs(PmId pm) const;
+
+  /// Eq. (17) admission check against the cached per-PM aggregates; O(1).
+  [[nodiscard]] bool pm_admits(const VmSpec& vm, PmId pm) const;
+
+  /// Rebuilds rb_sum_/re_max_ for one PM from its slot list (used after
+  /// removals that may retire the max-Re member).
+  void recompute_pm_aggregates(PmId pm);
 
   std::optional<PmId> find_first_fit(const VmSpec& vm) const;
   VmHandle install(const VmSpec& vm, PmId pm);
@@ -94,6 +103,8 @@ class OnlineConsolidator {
   std::vector<Slot> slots_;
   std::vector<std::size_t> free_slots_;
   std::vector<std::vector<std::size_t>> on_pm_;  ///< slot ids per PM
+  std::vector<Resource> rb_sum_;  ///< per-PM cached sum of hosted Rb
+  std::vector<Resource> re_max_;  ///< per-PM cached max hosted Re
   std::size_t live_count_{0};
 };
 

@@ -1,6 +1,6 @@
 #include "placement/packing_variants.h"
 
-#include <limits>
+#include <algorithm>
 #include <string>
 
 #include "common/error.h"
@@ -9,76 +9,16 @@
 
 namespace burstq {
 
-PlacementResult next_fit_place(const ProblemInstance& inst,
-                               std::span<const std::size_t> order,
-                               const FitPredicate& fits) {
-  inst.validate();
-  BURSTQ_REQUIRE(order.size() == inst.n_vms(),
-                 "visit order must cover every VM exactly once");
-  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
-
-  std::size_t open = 0;
-  for (std::size_t vi : order) {
-    const VmId vm{vi};
-    bool placed = false;
-    while (open < inst.n_pms()) {
-      if (fits(result.placement, vm, PmId{open})) {
-        result.placement.assign(vm, PmId{open});
-        placed = true;
-        break;
-      }
-      ++open;  // close this PM forever
-    }
-    if (!placed) result.unplaced.push_back(vm);
-  }
-  return result;
-}
-
-PlacementResult worst_fit_place(const ProblemInstance& inst,
-                                std::span<const std::size_t> order,
-                                const FitPredicate& fits,
-                                const SlackFunction& slack) {
-  inst.validate();
-  BURSTQ_REQUIRE(order.size() == inst.n_vms(),
-                 "visit order must cover every VM exactly once");
-  PlacementResult result{Placement(inst.n_vms(), inst.n_pms()), {}};
-
-  for (std::size_t vi : order) {
-    const VmId vm{vi};
-    PmId best{};
-    double best_slack = -std::numeric_limits<double>::infinity();
-    bool best_used = false;
-    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
-      const PmId pm{j};
-      if (!fits(result.placement, vm, pm)) continue;
-      const bool used = result.placement.count_on(pm) > 0;
-      const double s = slack(result.placement, vm, pm);
-      // Prefer used PMs; among them (or among empty ones) take max slack.
-      if ((used && !best_used) ||
-          (used == best_used && s > best_slack)) {
-        best = pm;
-        best_slack = s;
-        best_used = used;
-      }
-    }
-    if (best.valid())
-      result.placement.assign(vm, best);
-    else
-      result.unplaced.push_back(vm);
-  }
-  return result;
-}
-
 PlacementResult queuing_pack(const ProblemInstance& inst,
                              const MapCalTable& table,
                              const std::string& heuristic,
                              std::size_t cluster_buckets) {
   inst.validate();
   const auto order = queuing_ffd_order(inst.vms, cluster_buckets);
-  const FitPredicate fits = [&](const Placement& p, VmId vm, PmId pm) {
+  const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
     return fits_with_reservation(inst, p, vm, pm, table);
   };
-  const SlackFunction slack = [&](const Placement& p, VmId vm, PmId pm) {
+  const auto slack = [&](const Placement& p, VmId vm, PmId pm) {
     const VmSpec& v = inst.vms[vm.value];
     const std::size_t k_new = p.count_on(pm) + 1;
     const Resource block = std::max(v.re, max_re_on(inst, p, pm));

@@ -5,9 +5,13 @@
 // (spreads load, best for balancing).  Implementing them under the same
 // Eq. 17 predicate isolates the heuristic choice — bench/ablation_packing
 // measures what FFD buys over the alternatives and what Best Fit adds.
+//
+// Like the first-fit/best-fit drivers these are templates over the
+// predicate so the feasibility check inlines into the scan loop.
 
 #pragma once
 
+#include <limits>
 #include <span>
 #include <string>
 
@@ -18,17 +22,65 @@ namespace burstq {
 
 /// Next-fit: keep one open PM; when the next VM does not fit, move on to
 /// the following PM and never look back.  O(n) placements.
+template <typename Fits>
 PlacementResult next_fit_place(const ProblemInstance& inst,
                                std::span<const std::size_t> order,
-                               const FitPredicate& fits);
+                               const Fits& fits) {
+  detail::validate_driver_inputs(inst, order);
+  PlacementResult result{Placement(inst), {}};
+
+  std::size_t open = 0;
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    bool placed = false;
+    while (open < inst.n_pms()) {
+      if (fits(result.placement, vm, PmId{open})) {
+        result.placement.assign(vm, PmId{open});
+        placed = true;
+        break;
+      }
+      ++open;  // close this PM forever
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+  return result;
+}
 
 /// Worst-fit: among feasible PMs pick the one with the *largest* slack
 /// (the opposite of best-fit), preferring already-used PMs over opening
 /// a new one only through the slack value itself.
+template <typename Fits, typename Slack>
 PlacementResult worst_fit_place(const ProblemInstance& inst,
                                 std::span<const std::size_t> order,
-                                const FitPredicate& fits,
-                                const SlackFunction& slack);
+                                const Fits& fits, const Slack& slack) {
+  detail::validate_driver_inputs(inst, order);
+  PlacementResult result{Placement(inst), {}};
+
+  for (std::size_t vi : order) {
+    const VmId vm{vi};
+    PmId best{};
+    double best_slack = -std::numeric_limits<double>::infinity();
+    bool best_used = false;
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (!fits(result.placement, vm, pm)) continue;
+      const bool used = result.placement.count_on(pm) > 0;
+      const double s = slack(result.placement, vm, pm);
+      // Prefer used PMs; among them (or among empty ones) take max slack.
+      if ((used && !best_used) ||
+          (used == best_used && s > best_slack)) {
+        best = pm;
+        best_slack = s;
+        best_used = used;
+      }
+    }
+    if (best.valid())
+      result.placement.assign(vm, best);
+    else
+      result.unplaced.push_back(vm);
+  }
+  return result;
+}
 
 /// Convenience: the four packing heuristics under Eq. 17 with the
 /// Algorithm-2 visit order.  `heuristic` is one of "first", "best",

@@ -1,15 +1,30 @@
 #include "placement/placement.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
 namespace burstq {
 
-Placement::Placement(std::size_t n_vms, std::size_t n_pms)
-    : pm_of_(n_vms), vms_on_(n_pms) {
+void Placement::init(std::size_t n_vms, std::size_t n_pms) {
   BURSTQ_REQUIRE(n_vms > 0, "placement needs at least one VM slot");
   BURSTQ_REQUIRE(n_pms > 0, "placement needs at least one PM slot");
+  pm_of_.resize(n_vms);
+  pos_in_pm_.resize(n_vms, 0);
+  vms_on_.resize(n_pms);
+  if (inst_ != nullptr) {
+    rb_sum_.assign(n_pms, 0.0);
+    re_max_.assign(n_pms, 0.0);
+  }
+}
+
+Placement::Placement(std::size_t n_vms, std::size_t n_pms) {
+  init(n_vms, n_pms);
+}
+
+Placement::Placement(const ProblemInstance& inst) : inst_(&inst) {
+  init(inst.n_vms(), inst.n_pms());
 }
 
 void Placement::assign(VmId vm, PmId pm) {
@@ -19,8 +34,14 @@ void Placement::assign(VmId vm, PmId pm) {
   pm_of_[vm.value] = pm;
   auto& list = vms_on_[pm.value];
   if (list.empty()) ++pms_used_;
+  pos_in_pm_[vm.value] = list.size();
   list.push_back(vm.value);
   ++vms_assigned_;
+  if (inst_ != nullptr) {
+    const VmSpec& spec = inst_->vms[vm.value];
+    rb_sum_[pm.value] += spec.rb;
+    re_max_[pm.value] = std::max(re_max_[pm.value], spec.re);
+  }
 }
 
 void Placement::unassign(VmId vm) {
@@ -28,12 +49,32 @@ void Placement::unassign(VmId vm) {
   const PmId pm = pm_of_[vm.value];
   BURSTQ_REQUIRE(pm.valid(), "VM is not assigned");
   auto& list = vms_on_[pm.value];
-  const auto it = std::find(list.begin(), list.end(), vm.value);
-  BURSTQ_ASSERT(it != list.end(), "assignment lists out of sync");
-  list.erase(it);
+  const std::size_t pos = pos_in_pm_[vm.value];
+  BURSTQ_ASSERT(pos < list.size() && list[pos] == vm.value,
+                "assignment lists out of sync");
+  // Swap-remove: move the last member into the hole.
+  const std::size_t moved = list.back();
+  list[pos] = moved;
+  pos_in_pm_[moved] = pos;
+  list.pop_back();
   if (list.empty()) --pms_used_;
   pm_of_[vm.value] = PmId{};
   --vms_assigned_;
+  if (inst_ != nullptr) {
+    const VmSpec& spec = inst_->vms[vm.value];
+    if (list.empty()) {
+      // Reset exactly so an emptied PM accumulates no float residue.
+      rb_sum_[pm.value] = 0.0;
+      re_max_[pm.value] = 0.0;
+    } else {
+      rb_sum_[pm.value] -= spec.rb;
+      if (spec.re >= re_max_[pm.value]) {
+        Resource m = 0.0;
+        for (std::size_t i : list) m = std::max(m, inst_->vms[i].re);
+        re_max_[pm.value] = m;
+      }
+    }
+  }
 }
 
 PmId Placement::pm_of(VmId vm) const {
@@ -46,19 +87,60 @@ const std::vector<std::size_t>& Placement::vms_on(PmId pm) const {
   return vms_on_[pm.value];
 }
 
-Resource total_rb_on(const ProblemInstance& inst, const Placement& placement,
-                     PmId pm) {
+Resource Placement::rb_sum_on(PmId pm) const {
+  BURSTQ_REQUIRE(inst_ != nullptr,
+                 "rb_sum_on requires an instance-bound placement");
+  BURSTQ_REQUIRE(pm.value < vms_on_.size(), "PM index out of range");
+  return rb_sum_[pm.value];
+}
+
+Resource Placement::re_max_on(PmId pm) const {
+  BURSTQ_REQUIRE(inst_ != nullptr,
+                 "re_max_on requires an instance-bound placement");
+  BURSTQ_REQUIRE(pm.value < vms_on_.size(), "PM index out of range");
+  return re_max_[pm.value];
+}
+
+Resource total_rb_on_walk(const ProblemInstance& inst,
+                          const Placement& placement, PmId pm) {
   Resource sum = 0.0;
   for (std::size_t i : placement.vms_on(pm)) sum += inst.vms[i].rb;
   return sum;
 }
 
-Resource max_re_on(const ProblemInstance& inst, const Placement& placement,
-                   PmId pm) {
+Resource max_re_on_walk(const ProblemInstance& inst,
+                        const Placement& placement, PmId pm) {
   Resource m = 0.0;
   for (std::size_t i : placement.vms_on(pm))
     m = std::max(m, inst.vms[i].re);
   return m;
+}
+
+Resource total_rb_on(const ProblemInstance& inst, const Placement& placement,
+                     PmId pm) {
+  if (placement.tracks_aggregates(inst)) return placement.rb_sum_on(pm);
+  return total_rb_on_walk(inst, placement, pm);
+}
+
+Resource max_re_on(const ProblemInstance& inst, const Placement& placement,
+                   PmId pm) {
+  if (placement.tracks_aggregates(inst)) return placement.re_max_on(pm);
+  return max_re_on_walk(inst, placement, pm);
+}
+
+bool aggregates_consistent(const ProblemInstance& inst,
+                           const Placement& placement, double rel_tol) {
+  if (!placement.tracks_aggregates(inst)) return true;
+  for (std::size_t j = 0; j < placement.n_pms(); ++j) {
+    const PmId pm{j};
+    if (placement.re_max_on(pm) != max_re_on_walk(inst, placement, pm))
+      return false;
+    const Resource cached = placement.rb_sum_on(pm);
+    const Resource walked = total_rb_on_walk(inst, placement, pm);
+    const Resource scale = std::max({std::abs(cached), std::abs(walked), 1.0});
+    if (std::abs(cached - walked) > rel_tol * scale) return false;
+  }
+  return true;
 }
 
 Resource reserved_footprint(const ProblemInstance& inst,

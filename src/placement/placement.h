@@ -1,8 +1,17 @@
 // The VM-to-PM mapping X (paper Eq. "X = [x_ij]") plus constraint checks.
 //
 // Stored as a dense assignment vector (one PmId per VM) with per-PM VM
-// lists maintained incrementally, so feasibility checks during first-fit
-// and online churn are O(VMs on that PM).
+// lists maintained incrementally.  Each VM also remembers its position in
+// its PM's list, so unassign() is a swap-remove in O(1) — the replan /
+// migration hot path never searches a list.
+//
+// A Placement may additionally be *bound* to a ProblemInstance (the
+// one-argument constructor).  A bound placement maintains per-PM aggregate
+// caches — VM count, sum of Rb, max Re — on every assign/unassign, which
+// makes the Eq. (17) feasibility check and the best-fit slack O(1) instead
+// of O(VMs on the PM).  The walk-based helpers (*_walk) are kept as the
+// debug-checked reference implementation; aggregates_consistent() compares
+// the two.
 
 #pragma once
 
@@ -19,12 +28,20 @@ namespace burstq {
 class Placement {
  public:
   /// Empty mapping over n VMs and m PMs; every VM starts unassigned.
+  /// Aggregates are not tracked (no spec data available).
   Placement(std::size_t n_vms, std::size_t n_pms);
 
-  /// Assigns `vm` to `pm`.  The VM must currently be unassigned.
+  /// Empty mapping bound to `inst`: per-PM (k, rb_sum, re_max) aggregates
+  /// are maintained incrementally.  `inst` must outlive this placement and
+  /// every copy of it that is still mutated.
+  explicit Placement(const ProblemInstance& inst);
+
+  /// Assigns `vm` to `pm`.  The VM must currently be unassigned.  O(1).
   void assign(VmId vm, PmId pm);
 
-  /// Removes `vm` from its PM.  The VM must currently be assigned.
+  /// Removes `vm` from its PM via swap-remove.  O(1) except when the VM
+  /// held the PM's max Re on a bound placement (then O(VMs on that PM) to
+  /// rescan).  Note the swap reorders vms_on(pm).
   void unassign(VmId vm);
 
   /// PM hosting `vm`; invalid Id when unassigned.
@@ -32,7 +49,8 @@ class Placement {
 
   [[nodiscard]] bool assigned(VmId vm) const { return pm_of(vm).valid(); }
 
-  /// Indices of VMs currently on `pm` (in assignment order).
+  /// Indices of VMs currently on `pm`.  Assignment order until the first
+  /// unassign on that PM; swap-removal may reorder afterwards.
   [[nodiscard]] const std::vector<std::size_t>& vms_on(PmId pm) const;
 
   [[nodiscard]] std::size_t count_on(PmId pm) const {
@@ -48,22 +66,60 @@ class Placement {
   [[nodiscard]] std::size_t n_vms() const { return pm_of_.size(); }
   [[nodiscard]] std::size_t n_pms() const { return vms_on_.size(); }
 
+  /// True when this placement maintains per-PM aggregates for `inst`
+  /// (i.e. it was bound to that same instance object).
+  [[nodiscard]] bool tracks_aggregates(const ProblemInstance& inst) const {
+    return inst_ == &inst;
+  }
+
+  /// Cached sum of Rb on `pm`.  Requires a bound placement.  Equals the
+  /// walk-based sum bit-for-bit as long as no VM was unassigned from the
+  /// PM; after churn it may differ by floating-point association noise.
+  [[nodiscard]] Resource rb_sum_on(PmId pm) const;
+
+  /// Cached max Re on `pm` (0 when empty).  Requires a bound placement.
+  /// Always exactly equal to the walk-based maximum.
+  [[nodiscard]] Resource re_max_on(PmId pm) const;
+
  private:
+  void init(std::size_t n_vms, std::size_t n_pms);
+
+  const ProblemInstance* inst_{nullptr};
   std::vector<PmId> pm_of_;
+  std::vector<std::size_t> pos_in_pm_;  ///< index of each VM in its PM list
   std::vector<std::vector<std::size_t>> vms_on_;
+  std::vector<Resource> rb_sum_;  ///< per-PM aggregate (bound only)
+  std::vector<Resource> re_max_;  ///< per-PM aggregate (bound only)
   std::size_t pms_used_{0};
   std::size_t vms_assigned_{0};
 };
 
-/// Aggregate Rb of the VMs on `pm`.
+/// Aggregate Rb of the VMs on `pm`.  O(1) on a placement bound to `inst`,
+/// otherwise a walk over the PM's VM list.
 Resource total_rb_on(const ProblemInstance& inst, const Placement& placement,
                      PmId pm);
 
 /// Largest Re of the VMs on `pm` (0 when empty) — the uniform block size
 /// the paper reserves ("conservatively set to the maximum Re of the hosted
-/// VMs").
+/// VMs").  O(1) on a placement bound to `inst`.
 Resource max_re_on(const ProblemInstance& inst, const Placement& placement,
                    PmId pm);
+
+/// Walk-based reference implementations of the two aggregates above.
+/// Always recompute from the VM list; used by tests and debug checks to
+/// validate the incremental caches.
+Resource total_rb_on_walk(const ProblemInstance& inst,
+                          const Placement& placement, PmId pm);
+Resource max_re_on_walk(const ProblemInstance& inst,
+                        const Placement& placement, PmId pm);
+
+/// True when every cached per-PM aggregate of a bound placement matches
+/// the walk-based recomputation: re_max exactly, rb_sum within `rel_tol`
+/// relative error (unassign churn reorders float additions).  Placements
+/// not bound to `inst` are vacuously consistent.
+bool aggregates_consistent(const ProblemInstance& inst,
+                           const Placement& placement,
+                           double rel_tol = 1e-9);
 
 /// Left-hand side of Eq. (17) for the PM as currently loaded: reserved
 /// queue size plus aggregate Rb.
@@ -73,7 +129,7 @@ Resource reserved_footprint(const ProblemInstance& inst,
 
 /// Eq. (17): can `vm` be added to `pm` under the reservation rule?
 /// False when the PM already hosts table.max_vms_per_pm() VMs (the paper's
-/// per-PM cap d).
+/// per-PM cap d).  O(1) on a placement bound to `inst`.
 bool fits_with_reservation(const ProblemInstance& inst,
                            const Placement& placement, VmId vm, PmId pm,
                            const MapCalTable& table);

@@ -48,7 +48,7 @@ PlacementResult queuing_ffd_quantile(const ProblemInstance& inst,
   inst.validate();
   options.validate();
   const auto order = queuing_ffd_order(inst.vms, options.cluster_buckets);
-  const FitPredicate fits = [&](const Placement& p, VmId vm, PmId pm) {
+  const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
     return fits_with_quantile_reservation(inst, p, vm, pm, options);
   };
   return first_fit_place(inst, order, fits);

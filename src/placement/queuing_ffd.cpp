@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "obs/obs.h"
 #include "placement/cluster.h"
+#include "placement/incremental.h"
 
 namespace burstq {
 
@@ -81,15 +82,14 @@ PlacementResult run_placement(const ProblemInstance& inst,
   const std::vector<std::size_t> order =
       queuing_ffd_order(inst.vms, options.cluster_buckets);
 
-  const FitPredicate fits = [&](const Placement& placement, VmId vm,
-                                PmId pm) {
+  const auto fits = [&](const Placement& placement, VmId vm, PmId pm) {
     return fits_with_reservation(inst, placement, vm, pm, table);
   };
 
   if (options.use_best_fit) {
-    const SlackFunction slack = [&](const Placement& placement, VmId vm,
-                                    PmId pm) {
+    const auto slack = [&](const Placement& placement, VmId vm, PmId pm) {
       // Slack after hypothetical insertion; smaller = tighter = "best".
+      // O(1): the driver's placement is instance-bound (see placement.h).
       const VmSpec& v = inst.vms[vm.value];
       const std::size_t k_new = placement.count_on(pm) + 1;
       const Resource block = std::max(v.re, max_re_on(inst, placement, pm));
@@ -103,7 +103,10 @@ PlacementResult run_placement(const ProblemInstance& inst,
       emit_placement_events(inst, order, result, table);
     return result;
   }
-  PlacementResult result = first_fit_place(inst, order, fits);
+  PlacementResult result =
+      options.engine == PlacementEngine::kIncremental
+          ? first_fit_place_reservation(inst, order, table)
+          : first_fit_place(inst, order, fits);
   if constexpr (obs::kEnabled)
     emit_placement_events(inst, order, result, table);
   return result;

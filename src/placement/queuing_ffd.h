@@ -24,6 +24,12 @@ namespace burstq {
 
 enum class RoundingPolicy { kMean, kConservative };
 
+/// Which first-fit driver Algorithm 2 uses.  kIncremental descends a
+/// per-PM slack tree (O(log m) per VM, see incremental.h) and produces
+/// placements bit-identical to kNaive, the straight O(m)-scan reference
+/// driver kept for verification and benchmarking.
+enum class PlacementEngine { kIncremental, kNaive };
+
 /// Rounds per-VM switch probabilities to one uniform pair (Section IV-E).
 OnOffParams round_uniform_params(const std::vector<VmSpec>& vms,
                                  RoundingPolicy policy = RoundingPolicy::kMean);
@@ -35,6 +41,7 @@ struct QueuingFfdOptions {
   StationaryMethod method{StationaryMethod::kGaussian};
   RoundingPolicy rounding{RoundingPolicy::kMean};
   bool use_best_fit{false};        ///< ablation: best-fit instead of first-fit
+  PlacementEngine engine{PlacementEngine::kIncremental};
 
   void validate() const;
 };

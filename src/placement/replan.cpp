@@ -34,12 +34,16 @@ MigrationPlan plan_migrations(const Placement& current,
 }
 
 void apply_plan(Placement& placement, const MigrationPlan& plan) {
+  // O(1) per move: Placement::unassign swap-removes via the stored
+  // position instead of searching the source PM's list.
+  BURSTQ_SPAN("placement.apply_plan");
   for (const auto& move : plan.moves) {
     BURSTQ_REQUIRE(placement.pm_of(move.vm) == move.from,
                    "plan is stale: VM is no longer on the expected PM");
     placement.unassign(move.vm);
     placement.assign(move.vm, move.to);
   }
+  BURSTQ_COUNT("replan.applied_moves", plan.moves.size());
 }
 
 ReplanResult replan(const ProblemInstance& inst, const Placement& current,

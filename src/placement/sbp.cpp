@@ -39,8 +39,8 @@ PlacementResult sbp_normal(const ProblemInstance& inst, double epsilon,
     return a < b;
   });
 
-  const FitPredicate fits = [&, z, max_vms_per_pm](const Placement& p,
-                                                   VmId vm, PmId pm) {
+  const auto fits = [&, z, max_vms_per_pm](const Placement& p, VmId vm,
+                                           PmId pm) {
     if (p.count_on(pm) + 1 > max_vms_per_pm) return false;
     double mean = sbp_mean_demand(inst.vms[vm.value]);
     double var = sbp_demand_variance(inst.vms[vm.value]);

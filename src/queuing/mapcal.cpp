@@ -1,6 +1,12 @@
 #include "queuing/mapcal.h"
 
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
 #include "common/error.h"
+#include "common/parallel.h"
 #include "obs/obs.h"
 
 namespace burstq {
@@ -15,6 +21,38 @@ namespace {
   }
   return "unknown";
 }
+
+/// Cache key: exact bit equality on the doubles — callers that re-solve
+/// "the same" setting pass the very same values (rounded params, option
+/// structs), and near-misses must not alias.
+struct TableKey {
+  std::size_t d{0};
+  double p_on{0.0};
+  double p_off{0.0};
+  double rho{0.0};
+  StationaryMethod method{StationaryMethod::kGaussian};
+
+  friend bool operator==(const TableKey&, const TableKey&) = default;
+};
+
+struct TableKeyHash {
+  std::size_t operator()(const TableKey& k) const noexcept {
+    auto mix = [](std::size_t seed, std::uint64_t v) {
+      return seed ^ (std::hash<std::uint64_t>{}(v) + 0x9e3779b97f4a7c15ULL +
+                     (seed << 6) + (seed >> 2));
+    };
+    std::size_t h = std::hash<std::size_t>{}(k.d);
+    h = mix(h, std::bit_cast<std::uint64_t>(k.p_on));
+    h = mix(h, std::bit_cast<std::uint64_t>(k.p_off));
+    h = mix(h, std::bit_cast<std::uint64_t>(k.rho));
+    h = mix(h, static_cast<std::uint64_t>(k.method));
+    return h;
+  }
+};
+
+/// Below this d the per-k solves are too small to amortize thread spawns;
+/// build serially.
+constexpr std::size_t kParallelBuildThreshold = 8;
 
 }  // namespace
 
@@ -61,34 +99,95 @@ std::size_t map_cal_blocks(std::size_t k, const OnOffParams& params,
   return map_cal(k, params, rho, method).blocks;
 }
 
-MapCalTable::MapCalTable(std::size_t max_vms_per_pm,
-                         const OnOffParams& params, double rho,
-                         StationaryMethod method)
-    : params_(params), rho_(rho) {
+namespace {
+
+// Process-wide memoized tables.  Values are type-erased so the free
+// cache-introspection functions below need no access to MapCalTable::Data.
+std::mutex& table_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<TableKey, std::shared_ptr<const void>, TableKeyHash>&
+table_cache() {
+  static std::unordered_map<TableKey, std::shared_ptr<const void>,
+                            TableKeyHash>
+      cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const MapCalTable::Data> MapCalTable::lookup_or_build(
+    std::size_t max_vms_per_pm, const OnOffParams& params, double rho,
+    StationaryMethod method) {
+  const TableKey key{max_vms_per_pm, params.p_on, params.p_off, rho, method};
+  {
+    std::lock_guard lock(table_cache_mutex());
+    const auto it = table_cache().find(key);
+    if (it != table_cache().end()) {
+      BURSTQ_COUNT("mapcal.table.cache_hits", 1);
+      return std::static_pointer_cast<const Data>(it->second);
+    }
+  }
+
+  // Miss: solve outside the lock (builds may be slow and should not
+  // serialize unrelated settings).  A concurrent duplicate build is
+  // harmless — first insert wins below.
   BURSTQ_SPAN("mapcal.table.build");
   BURSTQ_COUNT("mapcal.table.builds", 1);
+  auto data = std::make_shared<Data>();
+  data->params = params;
+  data->rho = rho;
+  data->method = method;
+  data->blocks.resize(max_vms_per_pm + 1, 0);
+  data->cvr_bounds.resize(max_vms_per_pm + 1, 0.0);
+  const auto solve_one = [&](std::size_t i) {
+    const std::size_t k = i + 1;
+    const MapCalResult r = map_cal(k, params, rho, method);
+    data->blocks[k] = r.blocks;
+    data->cvr_bounds[k] = r.cvr_bound;
+  };
+  if (max_vms_per_pm >= kParallelBuildThreshold)
+    parallel_for(max_vms_per_pm, solve_one);
+  else
+    for (std::size_t i = 0; i < max_vms_per_pm; ++i) solve_one(i);
+
+  std::lock_guard lock(table_cache_mutex());
+  const auto [it, inserted] =
+      table_cache().emplace(key, std::shared_ptr<const void>(data));
+  return std::static_pointer_cast<const Data>(it->second);
+}
+
+MapCalTable::MapCalTable(std::size_t max_vms_per_pm,
+                         const OnOffParams& params, double rho,
+                         StationaryMethod method) {
   BURSTQ_REQUIRE(max_vms_per_pm >= 1,
                  "MapCalTable requires max_vms_per_pm >= 1");
-  params_.validate();
+  params.validate();
   BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "MapCalTable requires rho in [0,1)");
-
-  blocks_.resize(max_vms_per_pm + 1, 0);
-  cvr_bounds_.resize(max_vms_per_pm + 1, 0.0);
-  for (std::size_t k = 1; k <= max_vms_per_pm; ++k) {
-    const MapCalResult r = map_cal(k, params_, rho_, method);
-    blocks_[k] = r.blocks;
-    cvr_bounds_[k] = r.cvr_bound;
-  }
+  data_ = lookup_or_build(max_vms_per_pm, params, rho, method);
 }
 
 std::size_t MapCalTable::blocks(std::size_t k) const {
-  BURSTQ_REQUIRE(k < blocks_.size(), "mapping(k) queried beyond table");
-  return blocks_[k];
+  BURSTQ_REQUIRE(k < data_->blocks.size(), "mapping(k) queried beyond table");
+  return data_->blocks[k];
 }
 
 double MapCalTable::cvr_bound(std::size_t k) const {
-  BURSTQ_REQUIRE(k < cvr_bounds_.size(), "cvr_bound(k) queried beyond table");
-  return cvr_bounds_[k];
+  BURSTQ_REQUIRE(k < data_->cvr_bounds.size(),
+                 "cvr_bound(k) queried beyond table");
+  return data_->cvr_bounds[k];
+}
+
+std::size_t mapcal_table_cache_size() {
+  std::lock_guard lock(table_cache_mutex());
+  return table_cache().size();
+}
+
+void mapcal_table_cache_clear() {
+  std::lock_guard lock(table_cache_mutex());
+  table_cache().clear();
 }
 
 }  // namespace burstq

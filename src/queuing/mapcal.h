@@ -10,11 +10,18 @@
 // The resulting CVR equals 1 - CDF(K) <= rho                    (Eq. 16).
 //
 // MapCalTable precomputes mapping(k) for k in [1, d] exactly as Algorithm 2
-// lines 1-6 do, so placement runs in O(1) per feasibility check.
+// lines 1-6 do, so placement runs in O(1) per feasibility check.  Tables
+// are memoized in a process-wide cache keyed by (d, params, rho, method):
+// constructing a table for a setting that was already solved reuses the
+// immutable precomputed data (zero new stationary solves — benches, sweeps
+// and the online consolidator stop re-solving identical chains), and
+// uncached builds fan the per-k solves out over parallel_for.  Copying a
+// MapCalTable is a shared_ptr copy.
 
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "markov/aggregate_chain.h"
@@ -52,7 +59,8 @@ std::size_t map_cal_blocks(std::size_t k, const OnOffParams& params,
 /// needed when k VMs share a PM.  Index 0 is 0 by definition.
 class MapCalTable {
  public:
-  /// Precomputes mapping(k) for k in [1, max_vms_per_pm].
+  /// Returns the memoized table for (max_vms_per_pm, params, rho, method),
+  /// solving the d stationary systems only on a cache miss.
   MapCalTable(std::size_t max_vms_per_pm, const OnOffParams& params,
               double rho,
               StationaryMethod method = StationaryMethod::kGaussian);
@@ -64,16 +72,36 @@ class MapCalTable {
   [[nodiscard]] double cvr_bound(std::size_t k) const;
 
   [[nodiscard]] std::size_t max_vms_per_pm() const {
-    return blocks_.size() - 1;
+    return data_->blocks.size() - 1;
   }
-  [[nodiscard]] const OnOffParams& params() const { return params_; }
-  [[nodiscard]] double rho() const { return rho_; }
+  [[nodiscard]] const OnOffParams& params() const { return data_->params; }
+  [[nodiscard]] double rho() const { return data_->rho; }
+  [[nodiscard]] StationaryMethod method() const { return data_->method; }
 
  private:
-  OnOffParams params_;
-  double rho_;
-  std::vector<std::size_t> blocks_;
-  std::vector<double> cvr_bounds_;
+  /// Immutable precomputed mapping shared between all tables (and cache
+  /// entries) with the same key.
+  struct Data {
+    OnOffParams params;
+    double rho{0.0};
+    StationaryMethod method{StationaryMethod::kGaussian};
+    std::vector<std::size_t> blocks;
+    std::vector<double> cvr_bounds;
+  };
+
+  static std::shared_ptr<const Data> lookup_or_build(
+      std::size_t max_vms_per_pm, const OnOffParams& params, double rho,
+      StationaryMethod method);
+
+  std::shared_ptr<const Data> data_;
 };
+
+/// Number of distinct (d, params, rho, method) settings currently
+/// memoized by the process-wide table cache.
+std::size_t mapcal_table_cache_size();
+
+/// Drops every memoized table (handles held by live MapCalTable objects
+/// stay valid).  Tests and benches use this to measure cold builds.
+void mapcal_table_cache_clear();
 
 }  // namespace burstq

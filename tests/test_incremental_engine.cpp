@@ -1,0 +1,327 @@
+// Property tests for the incremental placement engine: the slack-tree
+// first-fit must be bit-identical to the naive linear-scan driver, the
+// cached per-PM aggregates must track the walk-based reference through
+// arbitrary assign/unassign churn, and the MapCal table cache must make
+// repeated identical QueuingFFD runs solve-free.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/obs.h"
+#include "placement/cluster.h"
+#include "placement/first_fit.h"
+#include "placement/incremental.h"
+#include "placement/pm_slack_tree.h"
+#include "placement/queuing_ffd.h"
+#include "placement/spec.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kParams{0.02, 0.08};
+
+ProblemInstance random_churn_instance(std::size_t n, std::size_t m,
+                                      Rng& rng) {
+  return random_instance(n, m, kParams, InstanceRanges{}, rng);
+}
+
+void expect_identical(const ProblemInstance& inst, const PlacementResult& a,
+                      const PlacementResult& b, const char* what) {
+  EXPECT_EQ(a.unplaced, b.unplaced) << what;
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    ASSERT_EQ(a.placement.pm_of(VmId{i}), b.placement.pm_of(VmId{i}))
+        << what << ": VM " << i;
+}
+
+// --- Tentpole part 2: slack-tree first-fit == naive driver -------------
+
+TEST(IncrementalEngine, FirstFitMatchesNaiveOnRandomInstances) {
+  for (std::uint64_t seed : {1u, 17u, 98u, 4242u}) {
+    Rng rng(seed);
+    const auto inst = random_churn_instance(300, 60, rng);
+    const auto order = queuing_ffd_order(inst.vms, 8);
+    const MapCalTable table(12, kParams, 0.02);
+
+    const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
+      return fits_with_reservation(inst, p, vm, pm, table);
+    };
+    const auto naive = first_fit_place(inst, order, fits);
+    IncrementalStats stats;
+    const auto incr = first_fit_place_reservation(inst, order, table, &stats);
+    expect_identical(inst, naive, incr, "seed run");
+    // Saturated instances exercise the "no PM fits" path too.
+    EXPECT_GT(stats.tree_descents, 0u);
+    EXPECT_GE(stats.exact_checks, inst.n_vms() - incr.unplaced.size());
+  }
+}
+
+TEST(IncrementalEngine, FirstFitMatchesNaiveUnderLooseAndTightFleets) {
+  Rng rng(7);
+  for (const std::size_t m : {10u, 40u, 200u}) {
+    const auto inst = random_churn_instance(200, m, rng);
+    const auto order = queuing_ffd_order(inst.vms, 4);
+    const MapCalTable table(16, kParams, 0.01);
+    const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
+      return fits_with_reservation(inst, p, vm, pm, table);
+    };
+    expect_identical(inst, first_fit_place(inst, order, fits),
+                     first_fit_place_reservation(inst, order, table),
+                     "fleet size sweep");
+  }
+}
+
+TEST(IncrementalEngine, QueuingFfdEnginesAgree) {
+  Rng rng(55);
+  const auto inst = random_churn_instance(400, 80, rng);
+  QueuingFfdOptions naive_opt;
+  naive_opt.engine = PlacementEngine::kNaive;
+  QueuingFfdOptions incr_opt;
+  incr_opt.engine = PlacementEngine::kIncremental;
+  expect_identical(inst, queuing_ffd(inst, naive_opt).result,
+                   queuing_ffd(inst, incr_opt).result, "queuing_ffd");
+}
+
+// --- Satellite: best-fit on a bound placement keeps seed semantics -----
+
+TEST(IncrementalEngine, BestFitBoundMatchesWalkReference) {
+  Rng rng(31);
+  const auto inst = random_churn_instance(250, 50, rng);
+  const auto order = queuing_ffd_order(inst.vms, 8);
+  const MapCalTable table(12, kParams, 0.02);
+
+  const auto fits = [&](const Placement& p, VmId vm, PmId pm) {
+    return fits_with_reservation(inst, p, vm, pm, table);
+  };
+  const auto slack = [&](const Placement& p, VmId vm, PmId pm) {
+    const std::size_t k_new = p.vms_on(pm).size() + 1;
+    const Resource block =
+        std::max(inst.vms[vm.value].re, max_re_on(inst, p, pm));
+    return inst.pms[pm.value].capacity -
+           (block * static_cast<double>(table.blocks(k_new)) +
+            inst.vms[vm.value].rb + total_rb_on(inst, p, pm));
+  };
+  const auto bound = best_fit_place(inst, order, fits, slack);
+
+  // Reference: same predicate/slack arithmetic forced through the
+  // walk-based helpers on an unbound placement.
+  PlacementResult ref{Placement(inst.n_vms(), inst.n_pms()), {}};
+  for (const std::size_t vi : order) {
+    const VmId vm{vi};
+    PmId best{};
+    double best_slack = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+      const PmId pm{j};
+      if (!fits_with_reservation(inst, ref.placement, vm, pm, table))
+        continue;
+      const std::size_t k_new = ref.placement.vms_on(pm).size() + 1;
+      const Resource block = std::max(inst.vms[vm.value].re,
+                                      max_re_on_walk(inst, ref.placement, pm));
+      const double s =
+          inst.pms[pm.value].capacity -
+          (block * static_cast<double>(table.blocks(k_new)) +
+           inst.vms[vm.value].rb + total_rb_on_walk(inst, ref.placement, pm));
+      if (s < best_slack) {
+        best_slack = s;
+        best = pm;
+      }
+    }
+    if (best.valid())
+      ref.placement.assign(vm, best);
+    else
+      ref.unplaced.push_back(vm);
+  }
+  expect_identical(inst, ref, bound, "best-fit");
+}
+
+// --- Tentpole part 1: cached aggregates track the walk reference -------
+
+TEST(IncrementalEngine, AggregatesExactWithoutChurn) {
+  Rng rng(13);
+  const auto inst = random_churn_instance(120, 12, rng);
+  Placement p(inst);
+  for (std::size_t i = 0; i < inst.n_vms(); ++i)
+    p.assign(VmId{i}, PmId{i % inst.n_pms()});
+  for (std::size_t j = 0; j < inst.n_pms(); ++j) {
+    const PmId pm{j};
+    // Append-only assignment adds in list order, so the cached sum is
+    // bit-for-bit the walk sum, not merely close.
+    EXPECT_EQ(p.rb_sum_on(pm), total_rb_on_walk(inst, p, pm));
+    EXPECT_EQ(p.re_max_on(pm), max_re_on_walk(inst, p, pm));
+  }
+  EXPECT_TRUE(aggregates_consistent(inst, p));
+}
+
+TEST(IncrementalEngine, AggregatesConsistentUnderRandomChurn) {
+  Rng rng(999);
+  const auto inst = random_churn_instance(80, 8, rng);
+  Placement p(inst);
+  std::vector<std::size_t> assigned;
+
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const bool do_assign =
+        assigned.empty() ||
+        (assigned.size() < inst.n_vms() && rng.next_below(3) != 0);
+    if (do_assign) {
+      std::size_t vi = 0;
+      do {
+        vi = rng.next_below(inst.n_vms());
+      } while (p.assigned(VmId{vi}));
+      p.assign(VmId{vi}, PmId{rng.next_below(inst.n_pms())});
+      assigned.push_back(vi);
+    } else {
+      const std::size_t pick = rng.next_below(assigned.size());
+      const std::size_t vi = assigned[pick];
+      assigned[pick] = assigned.back();
+      assigned.pop_back();
+      p.unassign(VmId{vi});
+    }
+    ASSERT_TRUE(aggregates_consistent(inst, p)) << "step " << step;
+  }
+}
+
+// --- Satellite: O(1) unassign keeps positions and membership coherent --
+
+TEST(IncrementalEngine, SwapRemoveKeepsMembershipCoherent) {
+  Placement p(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) p.assign(VmId{i}, PmId{0});
+  // Remove from the middle: the tail VM must take the vacated slot.
+  p.unassign(VmId{1});
+  EXPECT_EQ(p.vms_on(PmId{0}), (std::vector<std::size_t>{0, 5, 2, 3, 4}));
+  p.unassign(VmId{5});  // the VM that was just swapped into the middle
+  EXPECT_EQ(p.vms_on(PmId{0}), (std::vector<std::size_t>{0, 4, 2, 3}));
+  // Every surviving VM still reports the right PM and can be moved again.
+  for (const std::size_t vi : {0u, 2u, 3u, 4u}) {
+    EXPECT_EQ(p.pm_of(VmId{vi}), PmId{0});
+    p.unassign(VmId{vi});
+    p.assign(VmId{vi}, PmId{1});
+    EXPECT_EQ(p.pm_of(VmId{vi}), PmId{1});
+  }
+  EXPECT_TRUE(p.vms_on(PmId{0}).empty());
+}
+
+// --- PmSlackTree unit coverage -----------------------------------------
+
+TEST(PmSlackTree, FindsLowestIndexAtOrAfterFrom) {
+  PmSlackTree tree({5.0, 1.0, 8.0, 3.0, 8.0});
+  EXPECT_EQ(tree.find_first_ge(4.0), 0u);
+  EXPECT_EQ(tree.find_first_ge(6.0), 2u);
+  EXPECT_EQ(tree.find_first_ge(6.0, 3), 4u);
+  EXPECT_EQ(tree.find_first_ge(9.0), PmSlackTree::npos);
+  EXPECT_EQ(tree.find_first_ge(1.0, 5), PmSlackTree::npos);
+  EXPECT_EQ(tree.find_first_ge(8.0, 2), 2u);
+}
+
+TEST(PmSlackTree, UpdateMovesTheAnswer) {
+  PmSlackTree tree({2.0, 2.0, 2.0, 2.0});
+  EXPECT_EQ(tree.find_first_ge(3.0), PmSlackTree::npos);
+  tree.update(2, 7.0);
+  EXPECT_EQ(tree.find_first_ge(3.0), 2u);
+  EXPECT_EQ(tree.key(2), 7.0);
+  tree.update(2, 0.0);
+  EXPECT_EQ(tree.find_first_ge(3.0), PmSlackTree::npos);
+  EXPECT_EQ(tree.find_first_ge(2.0, 1), 1u);
+}
+
+TEST(PmSlackTree, NonPowerOfTwoPaddingNeverMatches) {
+  // 5 leaves pad to 8; padding holds -inf so a threshold of any finite
+  // value (or even -inf itself... which no caller uses) cannot land there.
+  PmSlackTree tree({1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_EQ(tree.find_first_ge(1.0, 4), 4u);
+  EXPECT_EQ(tree.find_first_ge(0.0, 5), PmSlackTree::npos);
+}
+
+TEST(PmSlackTree, SingleElement) {
+  PmSlackTree tree({3.5});
+  EXPECT_EQ(tree.find_first_ge(3.0), 0u);
+  EXPECT_EQ(tree.find_first_ge(4.0), PmSlackTree::npos);
+  tree.update(0, 9.0);
+  EXPECT_EQ(tree.find_first_ge(4.0), 0u);
+}
+
+TEST(PmSlackTree, RandomizedAgainstLinearScan) {
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(60);
+    std::vector<double> keys(n);
+    for (auto& k : keys) k = rng.uniform(-5.0, 5.0);
+    PmSlackTree tree(keys);
+    for (int q = 0; q < 50; ++q) {
+      if (rng.next_below(2) == 0) {
+        const std::size_t i = rng.next_below(n);
+        keys[i] = rng.uniform(-5.0, 5.0);
+        tree.update(i, keys[i]);
+      }
+      const double threshold = rng.uniform(-5.0, 5.0);
+      const std::size_t from = rng.next_below(n + 2);
+      std::size_t expect = PmSlackTree::npos;
+      for (std::size_t i = from; i < n; ++i)
+        if (keys[i] >= threshold) {
+          expect = i;
+          break;
+        }
+      ASSERT_EQ(tree.find_first_ge(threshold, from), expect)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+// --- Tentpole part 3: MapCal memoization -------------------------------
+
+TEST(MapCalCache, SecondIdenticalRunPerformsNoNewSolves) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Rng rng(77);
+  const auto inst = random_churn_instance(150, 30, rng);
+  QueuingFfdOptions opt;
+  opt.rho = 0.017531;  // unique rho so other tests cannot pre-warm the key
+
+  const auto builds = [] {
+    const auto snap = obs::metrics().scrape();
+    const auto* c = snap.counter("mapcal.table.builds");
+    return c != nullptr ? c->value : 0;
+  };
+  const auto solves = [] {
+    const auto snap = obs::metrics().scrape();
+    const auto* c = snap.counter("mapcal.calls");
+    return c != nullptr ? c->value : 0;
+  };
+
+  const auto first = queuing_ffd(inst, opt);
+  const auto builds_after_first = builds();
+  const auto solves_after_first = solves();
+
+  const auto second = queuing_ffd(inst, opt);
+  EXPECT_EQ(builds() - builds_after_first, 0u)
+      << "identical options must hit the table cache";
+  EXPECT_EQ(solves() - solves_after_first, 0u)
+      << "a cache hit must not run MapCal";
+  expect_identical(inst, first.result, second.result, "cached run");
+}
+
+TEST(MapCalCache, DistinctKeysBuildDistinctTables) {
+  const std::size_t size_before = mapcal_table_cache_size();
+  const MapCalTable a(6, kParams, 0.031771);
+  EXPECT_EQ(mapcal_table_cache_size(), size_before + 1);
+  const MapCalTable b(6, kParams, 0.031771);  // same key: no growth
+  EXPECT_EQ(mapcal_table_cache_size(), size_before + 1);
+  const MapCalTable c(6, kParams, 0.031772);  // rho differs: new entry
+  EXPECT_EQ(mapcal_table_cache_size(), size_before + 2);
+  EXPECT_EQ(a.blocks(6), b.blocks(6));
+}
+
+TEST(MapCalCache, CachedTableMatchesFreshSolve) {
+  // A cache hit must return the same mapping a cold build produces.
+  const MapCalTable warm(8, kParams, 0.012345);
+  const MapCalTable hit(8, kParams, 0.012345);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(warm.blocks(k), hit.blocks(k));
+    EXPECT_EQ(warm.blocks(k), map_cal_blocks(k, kParams, 0.012345));
+  }
+}
+
+}  // namespace
+}  // namespace burstq
