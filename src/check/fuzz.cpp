@@ -1,0 +1,85 @@
+#include "check/fuzz.h"
+
+#include <array>
+
+#include "obs/obs.h"
+
+namespace burstq::check {
+
+namespace {
+
+constexpr std::array<OracleId, 4> kAllOracles = {
+    OracleId::kStationary, OracleId::kCvr, OracleId::kPlacement,
+    OracleId::kCache};
+
+bool oracle_selected(const FuzzOptions& options, OracleId id) {
+  switch (id) {
+    case OracleId::kStationary: return options.stationary;
+    case OracleId::kCvr: return options.cvr;
+    case OracleId::kPlacement: return options.placement;
+    case OracleId::kCache: return options.cache;
+  }
+  return false;
+}
+
+void run_case(const FuzzCase& c, const FuzzOptions& options,
+              FuzzSummary& summary) {
+  BURSTQ_SPAN("check.fuzz.case");
+  for (const OracleId id : kAllOracles) {
+    if (!oracle_selected(options, id)) continue;
+    const OracleReport report = run_oracle(id, c);
+    if (!report.ran) {
+      ++summary.oracle_skips;
+      BURSTQ_COUNT("check.fuzz.skips", 1);
+      continue;
+    }
+    ++summary.oracle_runs;
+    BURSTQ_COUNT("check.fuzz.oracle_runs", 1);
+    if (report.ok) continue;
+    BURSTQ_COUNT("check.fuzz.discrepancies", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fuzz.discrepancy",
+                 {"index", c.index}, {"seed", c.seed},
+                 {"oracle", oracle_name(id)},
+                 {"detail", std::string_view(report.detail)});
+    summary.discrepancies.push_back(
+        {c.index, c.seed, std::string(oracle_name(id)), report.detail});
+  }
+}
+
+void emit_summary([[maybe_unused]] const FuzzSummary& summary,
+                  [[maybe_unused]] std::uint64_t master_seed) {
+  BURSTQ_EVENT(obs::EventLevel::kDecisions, "fuzz.summary",
+               {"seed", master_seed}, {"instances", summary.instances},
+               {"oracle_runs", summary.oracle_runs},
+               {"oracle_skips", summary.oracle_skips},
+               {"discrepancies", summary.discrepancies.size()});
+}
+
+}  // namespace
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  BURSTQ_SPAN("check.fuzz.run");
+  FuzzSummary summary;
+  summary.instances = options.instances;
+  for (std::size_t i = 0; i < options.instances; ++i) {
+    const std::uint64_t case_seed = derive_case_seed(options.seed, i);
+    const FuzzCase c = generate_case(case_seed, i);
+    BURSTQ_COUNT("check.fuzz.instances", 1);
+    run_case(c, options, summary);
+  }
+  emit_summary(summary, options.seed);
+  return summary;
+}
+
+FuzzSummary replay_case(std::uint64_t case_seed,
+                        const FuzzOptions& options) {
+  FuzzSummary summary;
+  summary.instances = 1;
+  const FuzzCase c = generate_case(case_seed);
+  BURSTQ_COUNT("check.fuzz.instances", 1);
+  run_case(c, options, summary);
+  emit_summary(summary, case_seed);
+  return summary;
+}
+
+}  // namespace burstq::check

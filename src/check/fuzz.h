@@ -1,0 +1,59 @@
+// Fuzz harness: drives the boundary-biased generator through the
+// differential oracles and collects structured discrepancy reports.
+//
+// Determinism contract: run_fuzz(options) is a pure function of its
+// options — same seed, instance count and oracle selection produce the
+// same cases, the same oracle verdicts and the same summary, bit for bit.
+// Discrepancies carry the per-case seed; replay_case(seed) re-runs
+// exactly one case for debugging.
+//
+// Every discrepancy is also emitted on the global obs event log (kind
+// "fuzz.discrepancy", fields: index, seed, oracle, detail) so a CI run
+// with --obs-out leaves a machine-readable artifact, plus a final
+// "fuzz.summary" event.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+
+namespace burstq::check {
+
+struct FuzzOptions {
+  std::uint64_t seed{1};      ///< master seed; case i uses derive_case_seed
+  std::size_t instances{100};
+  bool stationary{true};      ///< oracle (a): backend agreement
+  bool cvr{true};             ///< oracle (b): bound vs simulation
+  bool placement{true};       ///< oracle (c): naive vs incremental engines
+  bool cache{true};           ///< oracle (d): table cache identity
+};
+
+/// One confirmed oracle failure, replayable via its case seed.
+struct FuzzDiscrepancy {
+  std::size_t index{0};
+  std::uint64_t case_seed{0};
+  std::string oracle;
+  std::string detail;
+};
+
+struct FuzzSummary {
+  std::size_t instances{0};
+  std::size_t oracle_runs{0};   ///< oracle executions that produced a verdict
+  std::size_t oracle_skips{0};  ///< gated-out executions (e.g. slow mixing)
+  std::vector<FuzzDiscrepancy> discrepancies;
+
+  [[nodiscard]] bool ok() const { return discrepancies.empty(); }
+};
+
+/// Runs `options.instances` cases through the selected oracles.
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+/// Re-runs the single case identified by `case_seed` (as quoted in a
+/// discrepancy report) through the selected oracles.
+FuzzSummary replay_case(std::uint64_t case_seed, const FuzzOptions& options);
+
+}  // namespace burstq::check

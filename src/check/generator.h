@@ -1,0 +1,46 @@
+// Deterministic, seed-driven generator of fuzz cases for the differential
+// oracles in check/oracles.h.
+//
+// The generator deliberately over-samples the *domain boundaries* of the
+// solver stack — switch probabilities at or near 0 and 1, equal
+// p_on/p_off (the periodic/slow-mixing families that crashed the kPower
+// backend), extreme rho, large k — plus uniform interiors, because that
+// is where Proposition 1's preconditions fray and where every historical
+// backend bug has lived.
+//
+// Reproducibility contract: a case is a pure function of its 64-bit case
+// seed, and case seeds are a pure function of (master seed, index) via
+// derive_case_seed.  A discrepancy report therefore only needs to quote
+// the case seed; `burstq_fuzz --replay <seed>` re-runs exactly that case.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "markov/onoff.h"
+
+namespace burstq::check {
+
+/// One generated fuzz case.  The chain-level oracles use (k, params, rho);
+/// the placement oracle additionally uses the instance dimensions.
+struct FuzzCase {
+  std::uint64_t seed{0};   ///< the case's own seed (replayable)
+  std::size_t index{0};    ///< position within the run (0 for replays)
+  std::size_t k{1};        ///< collocated VMs for the chain oracles
+  OnOffParams params;      ///< boundary-biased switch probabilities
+  double rho{0.01};        ///< CVR budget in [0, 1)
+  std::size_t n_vms{1};    ///< placement-oracle instance width
+  std::size_t n_pms{1};
+  std::size_t max_vms_per_pm{16};  ///< d for MapCal tables
+};
+
+/// SplitMix64-derived per-case seed: well-mixed, collision-free in
+/// practice, and stable across platforms and runs.
+std::uint64_t derive_case_seed(std::uint64_t master_seed,
+                               std::uint64_t index);
+
+/// Generates the case determined by `case_seed` (pure function).
+FuzzCase generate_case(std::uint64_t case_seed, std::size_t index = 0);
+
+}  // namespace burstq::check

@@ -1,0 +1,291 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "markov/aggregate_chain.h"
+#include "placement/first_fit.h"
+#include "placement/incremental.h"
+#include "placement/placement.h"
+#include "placement/spec.h"
+#include "queuing/mapcal.h"
+
+namespace burstq::check {
+
+namespace {
+
+/// Backend-agreement tolerances.  Gaussian elimination is accurate to
+/// ~1e-11 across the whole valid domain (measured at the 1e-6 and 1 - 1e-6
+/// boundaries); the damped power iteration stops on a successive-delta
+/// test, whose worst in-budget true error is delta/gap ~ 1e-13 / 4e-5.
+constexpr double kGaussianTol = 1e-9;
+constexpr double kPowerTol = 1e-8;
+
+/// Mixing gate for the simulation oracle: chains with relaxation time
+/// above this many slots cannot produce a meaningful empirical CVR inside
+/// a bounded run, so the oracle reports a skip instead of a noisy verdict.
+constexpr double kMaxRelaxationSlots = 20.0;
+
+/// Stream-separation constants XORed into the case seed so each oracle
+/// draws from an independent deterministic stream.
+constexpr std::uint64_t kCvrStream = 0x5bd1e995u;
+constexpr std::uint64_t kPlacementStream = 0xc2b2ae3du;
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::string describe(const FuzzCase& c) {
+  std::ostringstream oss;
+  oss << "k=" << c.k << " p_on=" << c.params.p_on
+      << " p_off=" << c.params.p_off << " rho=" << c.rho;
+  return oss.str();
+}
+
+OracleReport compare_results(const FuzzCase& c, const PlacementResult& a,
+                             const PlacementResult& b,
+                             std::string_view phase) {
+  if (a.unplaced != b.unplaced) {
+    std::ostringstream oss;
+    oss << describe(c) << " [" << phase << "] unplaced lists differ: "
+        << a.unplaced.size() << " vs " << b.unplaced.size();
+    return OracleReport::fail(oss.str());
+  }
+  for (std::size_t v = 0; v < a.placement.n_vms(); ++v) {
+    if (a.placement.pm_of(VmId{v}) != b.placement.pm_of(VmId{v})) {
+      std::ostringstream oss;
+      oss << describe(c) << " [" << phase << "] vm " << v
+          << " placed on pm " << a.placement.pm_of(VmId{v}).value
+          << " (naive) vs " << b.placement.pm_of(VmId{v}).value
+          << " (incremental)";
+      return OracleReport::fail(oss.str());
+    }
+  }
+  return OracleReport::pass();
+}
+
+}  // namespace
+
+std::string_view oracle_name(OracleId id) {
+  switch (id) {
+    case OracleId::kStationary: return "stationary";
+    case OracleId::kCvr: return "cvr";
+    case OracleId::kPlacement: return "placement";
+    case OracleId::kCache: return "cache";
+  }
+  return "unknown";
+}
+
+OracleReport check_stationary_backends(const FuzzCase& c) {
+  const auto closed = aggregate_stationary_distribution(
+      c.k, c.params, StationaryMethod::kClosedForm);
+  const auto gauss = aggregate_stationary_distribution(
+      c.k, c.params, StationaryMethod::kGaussian);
+  const auto power = aggregate_stationary_distribution(
+      c.k, c.params, StationaryMethod::kPower);
+
+  for (const auto* pi : {&closed, &gauss, &power}) {
+    if (pi->size() != c.k + 1)
+      return OracleReport::fail(describe(c) + " wrong distribution length");
+    double sum = 0.0;
+    for (double v : *pi) {
+      if (v < -1e-12 || !std::isfinite(v))
+        return OracleReport::fail(describe(c) +
+                                  " non-probability entry in distribution");
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+      return OracleReport::fail(describe(c) + " distribution sum off by " +
+                                std::to_string(sum - 1.0));
+  }
+
+  if (const double d = max_abs_diff(gauss, closed); d > kGaussianTol) {
+    std::ostringstream oss;
+    oss << describe(c) << " gaussian vs closed-form max diff " << d;
+    return OracleReport::fail(oss.str());
+  }
+  if (const double d = max_abs_diff(power, closed); d > kPowerTol) {
+    std::ostringstream oss;
+    oss << describe(c) << " power vs closed-form max diff " << d;
+    return OracleReport::fail(oss.str());
+  }
+  return OracleReport::pass();
+}
+
+OracleReport check_cvr_bound_vs_simulation(const FuzzCase& c) {
+  // Relaxation rate of the aggregate chain: eigenvalue moduli are
+  // |1 - s|^j with s = p_on + p_off, so the slowest mode decays at
+  // 1 - |1 - s| = min(s, 2 - s) per slot.  Both ends are slow: s -> 0
+  // (chains frozen in place) and s -> 2 (near-periodic even/odd classes;
+  // exactly 2 is non-ergodic, where a single run's time average
+  // legitimately differs from the stationary law).  Beyond the gate the
+  // empirical estimate is autocorrelation, not signal.
+  const double s = c.params.p_on + c.params.p_off;
+  const double rate = std::min(s, 2.0 - s);
+  if (rate * kMaxRelaxationSlots < 1.0)
+    return OracleReport::skip("chain mixes too slowly for simulation");
+  const double tau = 1.0 / rate;
+
+  const MapCalResult mc =
+      map_cal(c.k, c.params, c.rho, StationaryMethod::kGaussian);
+  if (mc.cvr_bound > c.rho + kCdfTieEpsilon) {
+    std::ostringstream oss;
+    oss << describe(c) << " cvr_bound " << mc.cvr_bound
+        << " exceeds budget rho";
+    return OracleReport::fail(oss.str());
+  }
+
+  const auto slots = static_cast<std::size_t>(
+      std::clamp(3000.0 * tau, 20000.0, 60000.0));
+  Rng rng(c.seed ^ kCvrStream);
+  const auto freq = simulate_occupancy(c.k, c.params, slots, rng);
+  double empirical = 0.0;
+  for (std::size_t m = mc.blocks + 1; m <= c.k; ++m) empirical += freq[m];
+
+  // Statistical tolerance: a binary process with autocorrelation time tau
+  // has Var[mean] ~ p(1-p) * 2 tau / slots; six sigmas plus an absolute
+  // floor keeps the oracle quiet on noise yet loud on real bound bugs
+  // (which are off by orders of magnitude, not thousandths).
+  const double p = std::max(mc.cvr_bound * (1.0 - mc.cvr_bound), 1e-6);
+  const double tol =
+      6.0 * std::sqrt(p * 2.0 * tau / static_cast<double>(slots)) + 2e-3;
+  if (std::abs(empirical - mc.cvr_bound) > tol) {
+    std::ostringstream oss;
+    oss << describe(c) << " empirical CVR " << empirical
+        << " vs analytic bound " << mc.cvr_bound << " (tol " << tol
+        << ", slots " << slots << ")";
+    return OracleReport::fail(oss.str());
+  }
+  return OracleReport::pass();
+}
+
+OracleReport check_placement_engines(const FuzzCase& c) {
+  Rng rng(c.seed ^ kPlacementStream);
+  const ProblemInstance inst =
+      random_instance(c.n_vms, c.n_pms, c.params, InstanceRanges{}, rng);
+  const MapCalTable table(c.max_vms_per_pm, c.params, c.rho,
+                          StationaryMethod::kClosedForm);
+
+  // Random visit order: the engines must agree for any order, not just
+  // the Rb-descending one Algorithm 2 uses.
+  std::vector<std::size_t> order(c.n_vms);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  const auto naive_fits = [&](const Placement& pl, VmId vm, PmId pm) {
+    return fits_with_reservation(inst, pl, vm, pm, table);
+  };
+  const PlacementResult naive = first_fit_place(inst, order, naive_fits);
+  const PlacementResult incr =
+      first_fit_place_reservation(inst, order, table);
+  if (auto r = compare_results(c, naive, incr, "full"); !r.ok) return r;
+  if (!placement_satisfies_reservation(inst, naive.placement, table))
+    return OracleReport::fail(describe(c) +
+                              " naive placement violates Eq. 17 post-check");
+
+  // Churn: drop a random ~35% of the VMs (the drivers require the order
+  // to cover the whole instance, so survivors become a reindexed
+  // sub-instance) and require the engines to agree on it too; then mutate
+  // a bound placement the same way and require its incremental aggregates
+  // to match the walk-based reference.
+  ProblemInstance shrunk;
+  shrunk.pms = inst.pms;
+  std::vector<std::size_t> suborder;
+  for (std::size_t vi : order)
+    if (!rng.bernoulli(0.35)) {
+      suborder.push_back(shrunk.vms.size());
+      shrunk.vms.push_back(inst.vms[vi]);
+    }
+  if (!shrunk.vms.empty()) {
+    const auto shrunk_fits = [&](const Placement& pl, VmId vm, PmId pm) {
+      return fits_with_reservation(shrunk, pl, vm, pm, table);
+    };
+    const PlacementResult naive2 =
+        first_fit_place(shrunk, suborder, shrunk_fits);
+    const PlacementResult incr2 =
+        first_fit_place_reservation(shrunk, suborder, table);
+    if (auto r = compare_results(c, naive2, incr2, "churn"); !r.ok) return r;
+  }
+
+  Placement churned = incr.placement;
+  for (std::size_t v = 0; v < churned.n_vms(); ++v)
+    if (churned.assigned(VmId{v}) && rng.bernoulli(0.35))
+      churned.unassign(VmId{v});
+  if (!aggregates_consistent(inst, churned))
+    return OracleReport::fail(
+        describe(c) + " churned placement aggregates diverge from walk");
+  return OracleReport::pass();
+}
+
+OracleReport check_mapcal_cache(const FuzzCase& c) {
+  const std::size_t d = c.max_vms_per_pm;
+  mapcal_table_cache_clear();
+
+  const MapCalTable cold(d, c.params, c.rho);
+  for (std::size_t k = 1; k <= d; ++k) {
+    const MapCalResult direct = map_cal(k, c.params, c.rho);
+    if (cold.blocks(k) != direct.blocks ||
+        !bits_equal(cold.cvr_bound(k), direct.cvr_bound)) {
+      std::ostringstream oss;
+      oss << describe(c) << " cold table k=" << k << " blocks/cvr ("
+          << cold.blocks(k) << ", " << cold.cvr_bound(k)
+          << ") != direct map_cal (" << direct.blocks << ", "
+          << direct.cvr_bound << ")";
+      return OracleReport::fail(oss.str());
+    }
+  }
+
+  const MapCalTable warm(d, c.params, c.rho);
+  for (std::size_t k = 1; k <= d; ++k) {
+    if (warm.blocks(k) != cold.blocks(k) ||
+        !bits_equal(warm.cvr_bound(k), cold.cvr_bound(k)))
+      return OracleReport::fail(describe(c) +
+                                " cache hit differs from cold solve");
+  }
+  if (mapcal_table_cache_size() != 1)
+    return OracleReport::fail(describe(c) +
+                              " re-build duplicated the cache entry");
+
+  // Value-equal keys must share one slot: -0.0 == 0.0, so a signed zero
+  // rho (or any double that only differs in bits that == ignores) must
+  // hash to the cached entry, not beside it.
+  if (c.rho == 0.0) {
+    const MapCalTable negzero(d, c.params, -0.0);
+    if (mapcal_table_cache_size() != 1)
+      return OracleReport::fail(
+          describe(c) + " rho=-0.0 duplicated the rho=0.0 cache entry");
+    if (negzero.blocks(d) != cold.blocks(d))
+      return OracleReport::fail(describe(c) +
+                                " rho=-0.0 lookup returned different data");
+  }
+  return OracleReport::pass();
+}
+
+OracleReport run_oracle(OracleId id, const FuzzCase& c) {
+  switch (id) {
+    case OracleId::kStationary: return check_stationary_backends(c);
+    case OracleId::kCvr: return check_cvr_bound_vs_simulation(c);
+    case OracleId::kPlacement: return check_placement_engines(c);
+    case OracleId::kCache: return check_mapcal_cache(c);
+  }
+  BURSTQ_ASSERT(false, "unknown OracleId");
+  return OracleReport::fail("unknown oracle");
+}
+
+}  // namespace burstq::check

@@ -1,0 +1,55 @@
+// Differential oracles: independent implementations of the same quantity
+// cross-checked on one fuzz case.  Each oracle is deterministic in the
+// case seed, so any discrepancy replays exactly.
+//
+//   kStationary — the three stationary backends (kGaussian / kPower /
+//                 kClosedForm) pinned pairwise within tolerance.
+//   kCvr        — map_cal's analytic CVR bound (Eq. 16) vs the empirical
+//                 CVR of simulate_occupancy, within a mixing-aware
+//                 statistical tolerance; gated out for chains too slow to
+//                 mix inside a bounded simulation.
+//   kPlacement  — naive linear-scan vs incremental slack-tree first-fit
+//                 engines bit-identical, before and after random churn.
+//   kCache      — MapCalTable cache hits bit-identical to cold solves,
+//                 cold solves bit-identical to direct map_cal calls, and
+//                 value-equal keys (-0.0 vs 0.0) never duplicating an
+//                 entry.  Mutates (clears) the process-wide table cache.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "check/generator.h"
+
+namespace burstq::check {
+
+enum class OracleId { kStationary, kCvr, kPlacement, kCache };
+
+/// "stationary" | "cvr" | "placement" | "cache".
+std::string_view oracle_name(OracleId id);
+
+/// Outcome of one oracle on one case.
+struct OracleReport {
+  bool ran{true};    ///< false when gated out (not counted as pass or fail)
+  bool ok{true};     ///< meaningful only when ran
+  std::string detail;  ///< human-readable mismatch description when !ok
+
+  static OracleReport pass() { return {}; }
+  static OracleReport skip(std::string why) {
+    return {false, true, std::move(why)};
+  }
+  static OracleReport fail(std::string what) {
+    return {true, false, std::move(what)};
+  }
+};
+
+OracleReport check_stationary_backends(const FuzzCase& c);
+OracleReport check_cvr_bound_vs_simulation(const FuzzCase& c);
+OracleReport check_placement_engines(const FuzzCase& c);
+OracleReport check_mapcal_cache(const FuzzCase& c);
+
+/// Dispatch by id.
+OracleReport run_oracle(OracleId id, const FuzzCase& c);
+
+}  // namespace burstq::check

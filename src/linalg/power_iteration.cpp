@@ -20,6 +20,10 @@ std::optional<PowerIterationResult> stationary_distribution_power(
 
   for (std::size_t it = 1; it <= max_iterations; ++it) {
     std::vector<double> next = p.left_multiply(pi);
+    // Damped step: pi (P + I)/2.  Same fixed point as P, but strictly
+    // aperiodic — periodic chains (e.g. theta(t) at p_on = p_off = 1,
+    // whose Pi0 P^t oscillates forever) now converge too.
+    for (std::size_t i = 0; i < n; ++i) next[i] = 0.5 * (next[i] + pi[i]);
     // Re-normalize to damp accumulated roundoff drift.
     double sum = 0.0;
     for (double v : next) sum += v;

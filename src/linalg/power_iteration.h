@@ -1,5 +1,8 @@
 // Power iteration on a stochastic matrix: the textbook definition of the
-// limiting distribution, Pi = lim Pi0 * P^t (paper Eq. 13).
+// limiting distribution, Pi = lim Pi0 * P^t (paper Eq. 13), evaluated on
+// the damped matrix (P + I)/2 so that periodic chains converge as well
+// (the Cesàro-style limit agrees with Eq. 13 whenever Eq. 13's limit
+// exists, and extends it to period-2 chains like p_on = p_off = 1).
 //
 // Algorithm 1 uses Gaussian elimination instead; we keep this direct method
 // as an independent oracle (tests assert both agree) and as the baseline in
@@ -20,9 +23,17 @@ struct PowerIterationResult {
   double residual{0.0};              ///< final max-abs change per step
 };
 
-/// Iterates pi_{t+1} = pi_t P from pi_0 = (1, 0, ..., 0) until the max-abs
-/// change drops below `tol` or `max_iterations` is reached.  Returns
-/// nullopt when it fails to converge (periodic or reducible chains).
+/// Iterates the *damped* update pi_{t+1} = pi_t (P + I)/2 from
+/// pi_0 = (1, 0, ..., 0) until the max-abs change drops below `tol` or
+/// `max_iterations` is reached.  (P + I)/2 has the same stationary vector
+/// as P but is strictly aperiodic — every eigenvalue lambda of P maps to
+/// (1 + lambda)/2, so the -1 mode of a periodic chain no longer
+/// oscillates and all valid chains contract.  Returns nullopt only when
+/// the iteration budget runs out before `tol` is met (slow-mixing chains
+/// whose damped spectral gap is below roughly 30/max_iterations; callers
+/// with a known gap should scale the budget or fall back to a direct
+/// solver).  On a reducible chain the iteration still converges, but to a
+/// pi_0-dependent vector; uniqueness needs irreducibility.
 /// Requires P square, row-stochastic.
 std::optional<PowerIterationResult> stationary_distribution_power(
     const Matrix& p, double tol = 1e-13, std::size_t max_iterations = 200000);

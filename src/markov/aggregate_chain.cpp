@@ -1,14 +1,41 @@
 #include "markov/aggregate_chain.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 #include "linalg/gaussian.h"
 #include "linalg/power_iteration.h"
+#include "obs/obs.h"
 #include "prob/binomial.h"
 #include "prob/combinatorics.h"
 
 namespace burstq {
+
+namespace {
+
+/// Hard ceiling on the power-iteration budget.  Chains whose damped
+/// spectral gap needs more steps than this (gap below ~4e-5) are solved by
+/// the Gaussian backend instead — burning tens of millions of matvecs to
+/// reproduce a result Gaussian elimination gets exactly is not a useful
+/// way to fail.
+constexpr std::size_t kPowerIterationCap = 1000000;
+
+/// e-folds of contraction requested from the damped iteration: e^-40 is
+/// ~4e-18, comfortably past the 1e-13 step tolerance even with modest
+/// constants in front of the leading mode.
+constexpr double kPowerIterationEfolds = 40.0;
+
+/// Gaussian-elimination solve shared by the kGaussian backend and the
+/// kPower slow-mixing fallback.
+std::vector<double> stationary_via_gaussian(const Matrix& p) {
+  auto pi = stationary_distribution_gaussian(p);
+  BURSTQ_ASSERT(pi.has_value(),
+                "Gaussian stationary solve failed on an irreducible chain");
+  return std::move(*pi);
+}
+
+}  // namespace
 
 Matrix aggregate_transition_matrix(std::size_t k, const OnOffParams& params) {
   params.validate();
@@ -38,6 +65,22 @@ Matrix aggregate_transition_matrix(std::size_t k, const OnOffParams& params) {
 std::vector<double> aggregate_stationary_distribution(
     std::size_t k, const OnOffParams& params, StationaryMethod method) {
   params.validate();
+  // p_on = p_off = 1 is the single point of the valid domain where theta(t)
+  // is *reducible* (theta(t+1) = k - theta(t) deterministically, closed
+  // classes {i, k - i}), so for k >= 2 the system Pi P = Pi has multiple
+  // solutions: Gaussian elimination degenerates and (damped) power
+  // iteration converges to a Pi0-dependent vector.  The model still
+  // determines a unique answer — the k chains are independent, and the
+  // stationary law at every interior point is Binomial(k, q), whose
+  // parameter-continuous extension Binomial(k, 1/2) satisfies Pi P = Pi at
+  // the corner exactly.  Return it for every backend.  (k = 1 stays
+  // irreducible — a plain 2-cycle — and needs no special case.)
+  if (params.p_on == 1.0 && params.p_off == 1.0 && k >= 2) {
+    BURSTQ_COUNT("markov.stationary.degenerate_corner", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "markov.degenerate_corner",
+                 {"k", k});
+    return binomial_pmf_vector(static_cast<std::int64_t>(k), 0.5);
+  }
   switch (method) {
     case StationaryMethod::kClosedForm:
       // theta is a sum of k independent Bernoulli(q) indicators in steady
@@ -46,16 +89,42 @@ std::vector<double> aggregate_stationary_distribution(
                                  params.stationary_on_probability());
     case StationaryMethod::kGaussian: {
       const Matrix p = aggregate_transition_matrix(k, params);
-      auto pi = stationary_distribution_gaussian(p);
-      BURSTQ_ASSERT(pi.has_value(),
-                    "Gaussian stationary solve failed on an irreducible chain");
-      return std::move(*pi);
+      return stationary_via_gaussian(p);
     }
     case StationaryMethod::kPower: {
       const Matrix p = aggregate_transition_matrix(k, params);
-      auto res = stationary_distribution_power(p);
-      BURSTQ_ASSERT(res.has_value(),
-                    "power iteration failed on an aperiodic chain");
+      // The eigenvalues of Eq. (12) are (1 - s)^j, j = 0..k, with
+      // s = p_on + p_off, so the damped iteration's slowest transient mode
+      // is (1 + lambda)/2 with lambda the largest positive power of 1 - s:
+      // j = 1 when s <= 1, j = 2 (present for k >= 2) when s > 1.  Size
+      // the budget to this known relaxation time instead of a fixed
+      // constant: the old fixed 200000-step budget made p_on = p_off =
+      // 1e-6 (gap ~1e-6, a *valid* slow-mixing chain per Proposition 1) a
+      // guaranteed crash.
+      const double s = params.p_on + params.p_off;
+      double slow = 1.0 - s;                                   // j = 1
+      if (s > 1.0) slow = k >= 2 ? (s - 1.0) * (s - 1.0) : 0.0;  // j = 2
+      const double gap = 0.5 * (1.0 - slow);
+      const double needed = std::ceil(kPowerIterationEfolds / gap);
+      if (needed > static_cast<double>(kPowerIterationCap)) {
+        BURSTQ_COUNT("markov.power.fallbacks", 1);
+        BURSTQ_EVENT(obs::EventLevel::kDecisions, "markov.power_fallback",
+                     {"k", k}, {"p_on", params.p_on},
+                     {"p_off", params.p_off}, {"gap", gap});
+        return stationary_via_gaussian(p);
+      }
+      const auto budget = std::max<std::size_t>(
+          200000, static_cast<std::size_t>(needed));
+      auto res = stationary_distribution_power(p, 1e-13, budget);
+      if (!res.has_value()) {
+        // The analytic budget should always suffice; treat an unexpected
+        // miss the same way as a predicted one rather than crashing.
+        BURSTQ_COUNT("markov.power.fallbacks", 1);
+        BURSTQ_EVENT(obs::EventLevel::kDecisions, "markov.power_fallback",
+                     {"k", k}, {"p_on", params.p_on},
+                     {"p_off", params.p_off}, {"gap", gap});
+        return stationary_via_gaussian(p);
+      }
       return std::move(res->distribution);
     }
   }

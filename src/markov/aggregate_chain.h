@@ -8,7 +8,9 @@
 //
 // Three stationary-distribution backends are provided:
 //   * kGaussian   — the paper's Algorithm 1 (Eq. 14 via Gaussian elimination)
-//   * kPower      — direct evaluation of Eq. (13), Pi = lim Pi0 P^t
+//   * kPower      — Eq. (13), Pi = lim Pi0 P^t, iterated on the damped
+//                   (P + I)/2 with a relaxation-scaled budget (falls back
+//                   to kGaussian for extreme slow-mixing params)
 //   * kClosedForm — Binomial(k, p_on/(p_on+p_off)), exact because the k
 //                   chains are independent
 // Tests pin all three to each other; benches compare their cost.
@@ -31,9 +33,23 @@ enum class StationaryMethod { kGaussian, kPower, kClosedForm };
 Matrix aggregate_transition_matrix(std::size_t k, const OnOffParams& params);
 
 /// Stationary distribution of theta(t), length k+1, computed with the
-/// chosen backend.  Throws InternalError if a numeric backend fails to
-/// produce a distribution (cannot happen for valid params — the chain is
-/// irreducible and aperiodic, Proposition 1 of the paper).
+/// chosen backend.  Total over the whole valid domain p_on, p_off in
+/// (0, 1].  Two boundary regimes need care (Proposition 1 gives neither
+/// aperiodicity nor, at one corner, irreducibility):
+///   * p_on = p_off = 1: theta(t+1) = k - theta(t) deterministically.
+///     For k = 1 the chain is irreducible but periodic — the damped
+///     (P + I)/2 iteration used by kPower handles it.  For k >= 2 it is
+///     reducible (closed classes {i, k-i}) and Pi P = Pi is not unique;
+///     every backend returns the parameter-continuous solution
+///     Binomial(k, 1/2), which satisfies Pi P = Pi exactly (counter
+///     `markov.stationary.degenerate_corner`).
+///   * Slow mixing (damped spectral gap below ~4e-5, e.g. p_on = p_off =
+///     1e-6): kPower's relaxation-scaled iteration budget would exceed its
+///     cap, so it falls back to the Gaussian backend instead of failing
+///     (counter `markov.power.fallbacks`, event `markov.power_fallback`).
+/// Throws InternalError only if the Gaussian elimination itself
+/// degenerates, which no valid params produce (fuzzed across the domain
+/// boundaries by `burstq_fuzz`).
 std::vector<double> aggregate_stationary_distribution(
     std::size_t k, const OnOffParams& params,
     StationaryMethod method = StationaryMethod::kGaussian);

@@ -22,7 +22,7 @@ namespace {
   return "unknown";
 }
 
-/// Cache key: exact bit equality on the doubles — callers that re-solve
+/// Cache key: exact value equality (double ==) — callers that re-solve
 /// "the same" setting pass the very same values (rounded params, option
 /// structs), and near-misses must not alias.
 struct TableKey {
@@ -35,6 +35,17 @@ struct TableKey {
   friend bool operator==(const TableKey&, const TableKey&) = default;
 };
 
+/// Canonical bit pattern of a double for hashing.  operator== on TableKey
+/// compares doubles with ==, under which -0.0 == +0.0 — but the two have
+/// different bit patterns, so a raw bit_cast would hash equal keys (e.g.
+/// rho = 0.0 vs rho = -0.0) into different buckets and the lookup would
+/// miss, silently duplicating a cache entry.  Collapse the zeros before
+/// casting.  NaN (the other ==/bits mismatch) cannot reach the cache:
+/// params and rho are validated.
+std::uint64_t canonical_double_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v);
+}
+
 struct TableKeyHash {
   std::size_t operator()(const TableKey& k) const noexcept {
     auto mix = [](std::size_t seed, std::uint64_t v) {
@@ -42,9 +53,9 @@ struct TableKeyHash {
                      (seed << 6) + (seed >> 2));
     };
     std::size_t h = std::hash<std::size_t>{}(k.d);
-    h = mix(h, std::bit_cast<std::uint64_t>(k.p_on));
-    h = mix(h, std::bit_cast<std::uint64_t>(k.p_off));
-    h = mix(h, std::bit_cast<std::uint64_t>(k.rho));
+    h = mix(h, canonical_double_bits(k.p_on));
+    h = mix(h, canonical_double_bits(k.p_off));
+    h = mix(h, canonical_double_bits(k.rho));
     h = mix(h, static_cast<std::uint64_t>(k.method));
     return h;
   }

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "markov/aggregate_chain.h"
+#include "obs/obs.h"
 #include "prob/binomial.h"
 #include "prob/combinatorics.h"
 
@@ -96,6 +97,86 @@ INSTANTIATE_TEST_SUITE_P(
         ParamTuple{8, 0.9, 0.1}, ParamTuple{8, 0.1, 0.9},
         ParamTuple{12, 0.05, 0.05}, ParamTuple{3, 0.99, 0.99},
         ParamTuple{24, 0.02, 0.2}, ParamTuple{6, 0.3, 0.7}));
+
+// Regression: the two valid-parameter families that used to crash the
+// kPower backend (ISSUE 3).  p_on = p_off = 1 makes theta(t+1) =
+// k - theta(t) — periodic for k = 1, reducible for k >= 2 — and
+// p_on = p_off = 1e-6 mixes far too slowly for any fixed iteration
+// budget.  Both must now return the Binomial stationary law, no throw.
+TEST(StationaryBoundary, PeriodicCornerMatchesClosedForm) {
+  for (std::size_t k : {1u, 2u, 4u, 16u, 64u}) {
+    const OnOffParams p{1.0, 1.0};
+    const auto closed = aggregate_stationary_distribution(
+        k, p, StationaryMethod::kClosedForm);
+    for (const auto method :
+         {StationaryMethod::kPower, StationaryMethod::kGaussian}) {
+      const auto pi = aggregate_stationary_distribution(k, p, method);
+      ASSERT_EQ(pi.size(), k + 1);
+      for (std::size_t i = 0; i <= k; ++i)
+        EXPECT_NEAR(pi[i], closed[i], 1e-9) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(StationaryBoundary, SlowMixingMatchesClosedForm) {
+  for (std::size_t k : {1u, 2u, 4u, 16u, 64u}) {
+    const OnOffParams p{1e-6, 1e-6};
+    const auto closed = aggregate_stationary_distribution(
+        k, p, StationaryMethod::kClosedForm);
+    for (const auto method :
+         {StationaryMethod::kPower, StationaryMethod::kGaussian}) {
+      const auto pi = aggregate_stationary_distribution(k, p, method);
+      ASSERT_EQ(pi.size(), k + 1);
+      for (std::size_t i = 0; i <= k; ++i)
+        EXPECT_NEAR(pi[i], closed[i], 1e-9) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(StationaryBoundary, SlowMixingPowerFallsBackWithCounter) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  auto& fallbacks = obs::metrics().counter("markov.power.fallbacks");
+  const auto before = fallbacks.value();
+  (void)aggregate_stationary_distribution(8, OnOffParams{1e-6, 1e-6},
+                                          StationaryMethod::kPower);
+  EXPECT_GT(fallbacks.value(), before)
+      << "slow-mixing kPower should fall back to Gaussian and count it";
+}
+
+// Boundary grid: every backend pinned to the closed form across the
+// probability extremes x k extremes of the valid domain (p = 1e-6 up to
+// exactly 1.0, k from 1 to 64).  This grid is exactly where Proposition
+// 1's preconditions fray; it must never crash and never disagree.
+class StationaryBoundaryGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(StationaryBoundaryGrid, AllBackendsAgreeAcrossK) {
+  const auto [p_on, p_off] = GetParam();
+  const OnOffParams p{p_on, p_off};
+  for (std::size_t k : {1u, 2u, 16u, 64u}) {
+    const auto closed = aggregate_stationary_distribution(
+        k, p, StationaryMethod::kClosedForm);
+    const auto gauss = aggregate_stationary_distribution(
+        k, p, StationaryMethod::kGaussian);
+    const auto power = aggregate_stationary_distribution(
+        k, p, StationaryMethod::kPower);
+    for (std::size_t i = 0; i <= k; ++i) {
+      EXPECT_NEAR(gauss[i], closed[i], 1e-9)
+          << "k=" << k << " i=" << i << " p=(" << p_on << "," << p_off << ")";
+      EXPECT_NEAR(power[i], closed[i], 1e-8)
+          << "k=" << k << " i=" << i << " p=(" << p_on << "," << p_off << ")";
+    }
+  }
+}
+
+namespace grid {
+constexpr double kBoundaryProbs[] = {1e-6, 1e-3, 0.5, 1.0 - 1e-3, 1.0};
+}  // namespace grid
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundaryGrid, StationaryBoundaryGrid,
+    ::testing::Combine(::testing::ValuesIn(grid::kBoundaryProbs),
+                       ::testing::ValuesIn(grid::kBoundaryProbs)));
 
 TEST(StationaryDistribution, ClosedFormIsBinomial) {
   const OnOffParams p{0.01, 0.09};

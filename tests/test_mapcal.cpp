@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <tuple>
 
 #include "common/error.h"
@@ -149,6 +151,36 @@ TEST(MapCalTable, StoresConfig) {
   const MapCalTable table(8, kPaperParams, 0.02);
   EXPECT_DOUBLE_EQ(table.rho(), 0.02);
   EXPECT_DOUBLE_EQ(table.params().p_on, 0.01);
+}
+
+TEST(MapCalTable, SignedZeroRhoSharesOneCacheEntry) {
+  // TableKey equality uses double ==, under which -0.0 == 0.0 — so the
+  // hash must collapse the two bit patterns as well, or the second build
+  // misses the cached entry and silently duplicates it.
+  mapcal_table_cache_clear();
+  const MapCalTable pos(6, kPaperParams, 0.0);
+  EXPECT_EQ(mapcal_table_cache_size(), 1u);
+  const MapCalTable neg(6, kPaperParams, -0.0);
+  EXPECT_EQ(mapcal_table_cache_size(), 1u)
+      << "rho = -0.0 must hit the rho = 0.0 entry, not sit beside it";
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_EQ(neg.blocks(k), pos.blocks(k));
+    EXPECT_DOUBLE_EQ(neg.cvr_bound(k), pos.cvr_bound(k));
+  }
+}
+
+TEST(MapCalTable, CacheHitBitIdenticalToColdSolve) {
+  mapcal_table_cache_clear();
+  const MapCalTable cold(8, kPaperParams, 0.01);
+  const MapCalTable warm(8, kPaperParams, 0.01);
+  EXPECT_EQ(mapcal_table_cache_size(), 1u);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(warm.blocks(k), cold.blocks(k));
+    // Bit-identical, not just close: the hit returns the same immutable
+    // data the cold build produced.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.cvr_bound(k)),
+              std::bit_cast<std::uint64_t>(cold.cvr_bound(k)));
+  }
 }
 
 TEST(MapCal, PaperParameterSanity) {

@@ -32,9 +32,24 @@ TEST(PowerIteration, AgreesWithGaussian) {
     EXPECT_NEAR(power->distribution[i], (*gauss)[i], 1e-9);
 }
 
-TEST(PowerIteration, PeriodicChainFailsToConverge) {
-  // Two-cycle: period 2, Pi0 P^t oscillates forever.
+TEST(PowerIteration, PeriodicChainConvergesViaDamping) {
+  // Two-cycle: period 2, Pi0 P^t oscillates forever — but the damped
+  // iterate (P + I)/2 is aperiodic with the same stationary vector, so
+  // the iteration now converges (this exact chain is theta(t) for k = 1,
+  // p_on = p_off = 1, a valid parameter point that used to crash).
   Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  auto res = stationary_distribution_power(p, 1e-13, 1000);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->distribution[0], 0.5, 1e-12);
+  EXPECT_NEAR(res->distribution[1], 0.5, 1e-12);
+}
+
+TEST(PowerIteration, SlowMixingChainExhaustsBudget) {
+  // Spectral gap ~1e-6: a 1000-step budget cannot converge; the caller
+  // (aggregate_stationary_distribution) is responsible for scaling the
+  // budget or falling back, and relies on nullopt here.
+  const double eps = 1e-6;
+  Matrix p{{1 - eps, eps}, {eps, 1 - eps}};
   EXPECT_FALSE(stationary_distribution_power(p, 1e-13, 1000).has_value());
 }
 
