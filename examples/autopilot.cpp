@@ -5,6 +5,13 @@
 // Arrival intensity follows a diurnal curve (quiet night, busy day),
 // tenants stay for a random lifetime, and the controller prints an
 // hourly ops dashboard.
+//
+// Chaos knobs: --fault-plan runs a scripted schedule of PM crashes,
+// recoveries, and solver outages against the controller (mig-abort and
+// mig-stall items are rejected — the controller has no in-flight copy
+// model); --fault-p-crash/--fault-p-recover add Markov-drawn PM churn
+// from --fault-seed.  Crashed PMs evacuate through Eq. (17); tenants
+// that fit nowhere queue and drain with exponential backoff.
 
 #include <cmath>
 #include <iostream>
@@ -13,6 +20,7 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "core/controller.h"
+#include "fault/injector.h"
 #include "obs/obs.h"
 #include "obs/summary.h"
 
@@ -26,6 +34,13 @@ int main(int argc, char** argv) {
   args.add_option("obs-level", "event level: off | decisions | detail",
                   "decisions");
   args.add_flag("obs-summary", "print a metrics digest on exit");
+  args.add_option("fault-plan",
+                  "scripted faults, e.g. "
+                  "\"crash@600:pm=3;solver@700:slots=100;recover@900:pm=3\"");
+  args.add_option("fault-p-crash", "per up-PM per-slot crash probability");
+  args.add_option("fault-p-recover",
+                  "per down-PM per-slot recovery probability");
+  args.add_option("fault-seed", "seed for the Markov fault draws", "1");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n" << args.usage();
     return 2;
@@ -43,8 +58,35 @@ int main(int argc, char** argv) {
   ControllerConfig cfg;
   cfg.maintenance_every = 360;  // every 3 hours of 30s slots
   cfg.maintenance_budget = 25;
-  CloudController cloud(std::vector<PmSpec>(120, PmSpec{90.0}), cfg,
+  const std::size_t n_pms = 120;
+  CloudController cloud(std::vector<PmSpec>(n_pms, PmSpec{90.0}), cfg,
                         Rng(20260704));
+
+  // Optional chaos: a FaultInjector replays the scripted/Markov schedule
+  // against the controller.  Its draws come from --fault-seed, so the
+  // workload stream below is identical with and without faults.
+  std::optional<fault::FaultInjector> chaos;
+  {
+    fault::FaultPlan plan;
+    if (args.has("fault-plan"))
+      plan = fault::parse_fault_plan(args.get("fault-plan"));
+    for (const auto& e : plan.scripted) {
+      if (e.kind == fault::FaultKind::kMigrationAbort ||
+          e.kind == fault::FaultKind::kMigrationStall) {
+        std::cerr << "error: autopilot supports crash/recover/solver "
+                     "fault-plan items only (the controller has no "
+                     "in-flight copy model)\n";
+        return 2;
+      }
+    }
+    if (args.has("fault-p-crash"))
+      plan.markov.p_crash = args.get_double("fault-p-crash");
+    if (args.has("fault-p-recover"))
+      plan.markov.p_recover = args.get_double("fault-p-recover");
+    plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+    plan.validate(n_pms);
+    if (plan.any()) chaos.emplace(plan, n_pms);
+  }
 
   Rng rng(1);
   struct LiveTenant {
@@ -86,6 +128,18 @@ int main(int argc, char** argv) {
         cloud.depart(t.id);
         return true;
       });
+      // Chaos schedule: crashes/recoveries land before the tick so the
+      // slot's scheduling and queue drain see the new fleet shape; a
+      // solver outage covers the whole tick (maintenance degrades to the
+      // stale table instead of aborting).
+      std::optional<ScopedSolverFault> solver_guard;
+      if (chaos) {
+        const fault::SlotFaults sf = chaos->advance(now);
+        for (std::size_t pm : sf.crashes) cloud.inject_pm_crash(PmId{pm});
+        for (std::size_t pm : sf.recoveries)
+          cloud.inject_pm_recover(PmId{pm});
+        solver_guard.emplace(sf.solver_fault);
+      }
       cloud.tick();
     }
 
@@ -110,6 +164,13 @@ int main(int argc, char** argv) {
             << " maintenance migrations across " << st.maintenance_windows
             << " windows, mean CVR " << st.mean_cvr << " (budget "
             << cfg.ffd.rho << ").\n";
+  if (chaos)
+    std::cout << "chaos summary: " << st.pm_crashes << " PM crashes, "
+              << st.pm_recoveries << " recoveries, " << st.evacuations
+              << " evacuations, " << st.evac_queued << " queued ("
+              << cloud.queued_tenants() << " still waiting), "
+              << st.retries << " retries, " << st.degraded_maintenance
+              << " degraded maintenance windows.\n";
   if (args.has("obs-out")) obs::events().close();
   if (args.flag("obs-summary")) obs::print_summary(std::cout);
   return cloud.reservation_invariant_holds() ? 0 : 1;

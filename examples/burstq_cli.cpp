@@ -9,6 +9,10 @@
 //       VM spec CSV on stdout (feed it back into `place`)
 //   burstq_cli replay  --log flight.jsonl
 //       re-derive CVR totals from a recorded flight log
+//   burstq_cli sim     --vms specs.csv [--slots N] [--fault-plan ...]
+//       place then run the dynamic cluster simulator, optionally with
+//       deterministic fault injection (PM crashes, migration faults,
+//       solver outages); key=value report on stdout
 //
 // Subcommands that do real work accept --obs-out FILE (record a
 // structured event log; .csv extension switches to the long CSV format),
@@ -26,6 +30,7 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "core/consolidator.h"
+#include "fault/plan.h"
 #include "fit/estimator.h"
 #include "fit/instance_io.h"
 #include "fit/trace_io.h"
@@ -34,6 +39,7 @@
 #include "placement/hetero_ffd.h"
 #include "placement/quantile_ffd.h"
 #include "placement/sbp.h"
+#include "sim/cluster_sim.h"
 #include "sim/flight.h"
 
 namespace {
@@ -42,11 +48,13 @@ using namespace burstq;
 
 int usage_all() {
   std::cerr
-      << "usage: burstq_cli <place|analyze|fit|replay> [options]\n"
+      << "usage: burstq_cli <place|analyze|fit|replay|sim> [options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
          "  replay   re-derive CVR totals from a recorded flight log\n"
+         "  sim      place + dynamic simulation with optional fault "
+         "injection\n"
          "run 'burstq_cli <subcommand> --help-usage x' for options\n";
   return 1;
 }
@@ -302,6 +310,129 @@ int cmd_fit(int argc, const char* const* argv) {
 
 }  // namespace
 
+/// Assembles a FaultPlan from --fault-plan / --fault-p-* / --fault-seed.
+/// Returns nullopt when no fault knob was given.
+std::optional<fault::FaultPlan> load_fault_plan(const ArgParser& args) {
+  fault::FaultPlan plan;
+  if (args.has("fault-plan"))
+    plan = fault::parse_fault_plan(args.get("fault-plan"));
+  if (args.has("fault-p-crash"))
+    plan.markov.p_crash = args.get_double("fault-p-crash");
+  if (args.has("fault-p-recover"))
+    plan.markov.p_recover = args.get_double("fault-p-recover");
+  if (args.has("fault-p-mig-fail"))
+    plan.markov.p_mig_fail = args.get_double("fault-p-mig-fail");
+  plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  plan.validate();
+  if (!plan.any()) return std::nullopt;
+  return plan;
+}
+
+ArgParser& add_fault_options(ArgParser& args) {
+  args.add_option("fault-plan",
+                  "scripted faults, e.g. "
+                  "\"crash@10:pm=2;solver@15:slots=20;recover@40:pm=2\"");
+  args.add_option("fault-p-crash", "per up-PM per-slot crash probability");
+  args.add_option("fault-p-recover",
+                  "per down-PM per-slot recovery probability");
+  args.add_option("fault-p-mig-fail",
+                  "per in-flight migration per-slot abort probability");
+  args.add_option("fault-seed", "seed for the Markov fault draws", "1");
+  return args;
+}
+
+int cmd_sim(int argc, const char* const* argv) {
+  ArgParser args("burstq_cli sim",
+                 "place a fleet, then run the dynamic cluster simulator "
+                 "with optional deterministic fault injection");
+  args.add_option("vms", "CSV of VM specs (p_on,p_off,rb,re)");
+  args.add_option("strategy", "queue | rp | rb | quantile", "queue");
+  args.add_option("capacity", "uniform PM capacity", "96");
+  args.add_option("pms", "PM pool size (default: one per VM)");
+  args.add_option("pms-file", "CSV of PM capacities");
+  args.add_option("rho", "CVR budget", "0.01");
+  args.add_option("d", "max VMs per PM", "16");
+  args.add_option("slots", "simulated slots", "100");
+  args.add_option("seed", "workload RNG seed", "42");
+  args.add_option("cost-slots", "live-migration copy cost in slots", "1");
+  args.add_option("cvr-window", "migration-trigger window in slots", "10");
+  add_fault_options(args);
+  add_obs_options(args);
+  if (!args.parse(argc, argv) || !args.has("vms")) {
+    std::cerr << (args.error().empty() ? "--vms is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+  open_obs(args);
+  obs::events().set_run_label("sim");
+
+  const auto inst = load_instance(args);
+  const auto opt = load_options(args);
+  const std::string strategy = args.get("strategy");
+  const PlacementResult placed = [&]() -> PlacementResult {
+    if (strategy == "queue") return queuing_ffd(inst, opt).result;
+    if (strategy == "rp") return ffd_by_peak(inst, opt.max_vms_per_pm);
+    if (strategy == "rb") return ffd_by_normal(inst, opt.max_vms_per_pm);
+    if (strategy == "quantile") {
+      QuantileFfdOptions qopt;
+      qopt.reservation.rho = opt.rho;
+      qopt.max_vms_per_pm = opt.max_vms_per_pm;
+      return queuing_ffd_quantile(inst, qopt);
+    }
+    throw InvalidArgument("unknown strategy: " + strategy);
+  }();
+  if (!placed.complete()) {
+    std::cerr << "error: " << placed.unplaced.size()
+              << " VMs could not be placed; grow the fleet (--pms) or "
+                 "capacity\n";
+    return 2;
+  }
+
+  SimConfig cfg;
+  cfg.slots = static_cast<std::size_t>(args.get_int("slots"));
+  cfg.policy.rho = opt.rho;
+  cfg.policy.max_vms_per_pm = opt.max_vms_per_pm;
+  cfg.policy.cost_slots =
+      static_cast<std::size_t>(args.get_int("cost-slots"));
+  cfg.policy.cvr_window =
+      static_cast<std::size_t>(args.get_int("cvr-window"));
+  cfg.faults = load_fault_plan(args);
+
+  ClusterSimulator sim(
+      inst, placed.placement, cfg,
+      Rng(static_cast<std::uint64_t>(args.get_int("seed"))));
+  const SimReport rep = sim.run();
+
+  // key=value lines: stable field order, deterministic values — two runs
+  // with identical seeds must produce byte-identical output.
+  std::cout << "strategy=" << strategy << "\n"
+            << "vms=" << inst.n_vms() << "\n"
+            << "slots=" << cfg.slots << "\n"
+            << "migrations=" << rep.total_migrations << "\n"
+            << "failed_migrations=" << rep.failed_migrations << "\n"
+            << "pms_used_end=" << rep.pms_used_end << "\n"
+            << "pms_used_max=" << rep.pms_used_max << "\n"
+            << "mean_cvr=" << rep.mean_cvr << "\n"
+            << "max_cvr=" << rep.max_cvr << "\n"
+            << "energy_wh=" << rep.energy_wh << "\n"
+            << "fault.pm_crashes=" << rep.faults.pm_crashes << "\n"
+            << "fault.pm_recoveries=" << rep.faults.pm_recoveries << "\n"
+            << "fault.evacuated=" << rep.faults.evacuated << "\n"
+            << "fault.enqueued=" << rep.faults.enqueued << "\n"
+            << "fault.queue_end=" << rep.faults.queue_end << "\n"
+            << "fault.retries=" << rep.faults.retries << "\n"
+            << "fault.migration_aborts=" << rep.faults.migration_aborts
+            << "\n"
+            << "fault.migration_stalls=" << rep.faults.migration_stalls
+            << "\n"
+            << "fault.solver_degraded=" << rep.faults.solver_degraded
+            << "\n"
+            << "fault.lost_vms=" << rep.faults.lost_vms << "\n";
+  finish_obs(args);
+  return rep.faults.lost_vms == 0 ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage_all();
   const std::string sub = argv[1];
@@ -310,6 +441,7 @@ int main(int argc, char** argv) {
     if (sub == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (sub == "fit") return cmd_fit(argc - 1, argv + 1);
     if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (sub == "sim") return cmd_sim(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -24,11 +24,11 @@ using burstq::check::FuzzOptions;
 using burstq::check::FuzzSummary;
 
 /// Parses "all" or a comma-separated subset of
-/// stationary,cvr,placement,cache into the option booleans.
+/// stationary,cvr,placement,cache,recovery into the option booleans.
 bool apply_oracle_selection(const std::string& text, FuzzOptions& options) {
   if (text == "all") return true;
   options.stationary = options.cvr = options.placement = options.cache =
-      false;
+      options.recovery = false;
   std::istringstream iss(text);
   std::string name;
   while (std::getline(iss, name, ',')) {
@@ -40,13 +40,15 @@ bool apply_oracle_selection(const std::string& text, FuzzOptions& options) {
       options.placement = true;
     } else if (name == "cache") {
       options.cache = true;
+    } else if (name == "recovery") {
+      options.recovery = true;
     } else {
       std::fprintf(stderr, "unknown oracle '%s'\n", name.c_str());
       return false;
     }
   }
   return options.stationary || options.cvr || options.placement ||
-         options.cache;
+         options.cache || options.recovery;
 }
 
 void print_summary(const FuzzSummary& summary) {
@@ -74,9 +76,10 @@ int main(int argc, char** argv) {
                  "differential fuzz oracle over the burstq solver stack");
   args.add_option("seed", "master seed; case i derives its own seed", "1");
   args.add_option("instances", "number of fuzz cases to run", "1000");
-  args.add_option("oracles",
-                  "'all' or comma list of stationary,cvr,placement,cache",
-                  "all");
+  args.add_option(
+      "oracles",
+      "'all' or comma list of stationary,cvr,placement,cache,recovery",
+      "all");
   args.add_option("replay",
                   "run the single case with this seed (decimal or 0x hex) "
                   "instead of a sweep");

@@ -8,9 +8,9 @@ namespace burstq::check {
 
 namespace {
 
-constexpr std::array<OracleId, 4> kAllOracles = {
+constexpr std::array<OracleId, 5> kAllOracles = {
     OracleId::kStationary, OracleId::kCvr, OracleId::kPlacement,
-    OracleId::kCache};
+    OracleId::kCache, OracleId::kRecovery};
 
 bool oracle_selected(const FuzzOptions& options, OracleId id) {
   switch (id) {
@@ -18,6 +18,7 @@ bool oracle_selected(const FuzzOptions& options, OracleId id) {
     case OracleId::kCvr: return options.cvr;
     case OracleId::kPlacement: return options.placement;
     case OracleId::kCache: return options.cache;
+    case OracleId::kRecovery: return options.recovery;
   }
   return false;
 }

@@ -30,6 +30,7 @@ struct FuzzOptions {
   bool cvr{true};             ///< oracle (b): bound vs simulation
   bool placement{true};       ///< oracle (c): naive vs incremental engines
   bool cache{true};           ///< oracle (d): table cache identity
+  bool recovery{true};        ///< oracle (e): fault-injection invariants
 };
 
 /// One confirmed oracle failure, replayable via its case seed.

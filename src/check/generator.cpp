@@ -66,6 +66,18 @@ FuzzCase generate_case(std::uint64_t case_seed, std::size_t index) {
   c.n_pms = static_cast<std::size_t>(rng.uniform_int(1, 40));
   constexpr std::array<std::size_t, 3> kDs = {4, 8, 16};
   c.max_vms_per_pm = kDs[rng.next_below(kDs.size())];
+
+  // Recovery scenario.  Drawn last: the draws above must stay bit-stable
+  // for a given case seed so old discrepancy reports keep replaying.
+  c.fault_slots = 30 + rng.next_below(31);       // 30..60
+  c.fault_crash_slot = 1 + rng.next_below(10);   // early crash
+  c.fault_recover_slot =
+      c.fault_crash_slot + 5 + rng.next_below(20);
+  c.fault_solver_slot = rng.next_below(c.fault_slots);
+  c.fault_solver_len = 1 + rng.next_below(15);
+  c.fault_p_mig_fail =
+      rng.bernoulli(0.5) ? 0.0 : 0.05 * rng.next_double();
+  c.fault_seed = rng.next_u64();
   return c;
 }
 

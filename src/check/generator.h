@@ -33,6 +33,16 @@ struct FuzzCase {
   std::size_t n_vms{1};    ///< placement-oracle instance width
   std::size_t n_pms{1};
   std::size_t max_vms_per_pm{16};  ///< d for MapCal tables
+
+  // Recovery-oracle scenario (drawn *after* every field above, so those
+  // stay bit-stable for a given seed across harness versions).
+  std::size_t fault_slots{40};         ///< simulated slots
+  std::size_t fault_crash_slot{5};     ///< scripted PM crash
+  std::size_t fault_recover_slot{20};  ///< scripted recovery of that PM
+  std::size_t fault_solver_slot{10};   ///< solver outage start
+  std::size_t fault_solver_len{10};    ///< solver outage length
+  double fault_p_mig_fail{0.0};        ///< Markov migration-abort prob
+  std::uint64_t fault_seed{0};         ///< FaultPlan seed
 };
 
 /// SplitMix64-derived per-case seed: well-mixed, collision-free in

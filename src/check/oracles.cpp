@@ -10,12 +10,15 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "fault/plan.h"
 #include "markov/aggregate_chain.h"
+#include "placement/baselines.h"
 #include "placement/first_fit.h"
 #include "placement/incremental.h"
 #include "placement/placement.h"
 #include "placement/spec.h"
 #include "queuing/mapcal.h"
+#include "sim/cluster_sim.h"
 
 namespace burstq::check {
 
@@ -37,6 +40,7 @@ constexpr double kMaxRelaxationSlots = 20.0;
 /// draws from an independent deterministic stream.
 constexpr std::uint64_t kCvrStream = 0x5bd1e995u;
 constexpr std::uint64_t kPlacementStream = 0xc2b2ae3du;
+constexpr std::uint64_t kRecoveryStream = 0x27d4eb2fu;
 
 double max_abs_diff(const std::vector<double>& a,
                     const std::vector<double>& b) {
@@ -87,6 +91,7 @@ std::string_view oracle_name(OracleId id) {
     case OracleId::kCvr: return "cvr";
     case OracleId::kPlacement: return "placement";
     case OracleId::kCache: return "cache";
+    case OracleId::kRecovery: return "recovery";
   }
   return "unknown";
 }
@@ -277,12 +282,114 @@ OracleReport check_mapcal_cache(const FuzzCase& c) {
   return OracleReport::pass();
 }
 
+OracleReport check_recovery_invariants(const FuzzCase& c) {
+  // Clamp to a fleet where a crash leaves at least one survivor PM, and
+  // keep the per-case cost bounded (the simulator runs twice below).
+  const std::size_t n_pms = std::max<std::size_t>(c.n_pms, 2);
+  Rng rng(c.seed ^ kRecoveryStream);
+  const ProblemInstance inst =
+      random_instance(c.n_vms, n_pms, c.params, InstanceRanges{}, rng);
+  const PlacementResult seeded = ffd_by_peak(inst);
+  if (!seeded.complete())
+    return OracleReport::skip("starved fleet: no complete initial placement");
+  const std::uint64_t sim_seed = rng.next_u64();
+
+  // Scripted crash-and-recover of one PM, one solver outage, plus an
+  // optional Markov migration-abort stream — sorted by slot as the
+  // injector requires.
+  fault::FaultPlan plan;
+  plan.seed = c.fault_seed;
+  plan.markov.p_mig_fail = c.fault_p_mig_fail;
+  const std::size_t victim_pm = c.fault_seed % n_pms;
+  plan.scripted.push_back(
+      {c.fault_crash_slot, fault::FaultKind::kPmCrash, victim_pm, 0});
+  plan.scripted.push_back(
+      {c.fault_recover_slot, fault::FaultKind::kPmRecover, victim_pm, 0});
+  plan.scripted.push_back({c.fault_solver_slot,
+                           fault::FaultKind::kSolverOutage, fault::kNoPm,
+                           c.fault_solver_len});
+  std::sort(plan.scripted.begin(), plan.scripted.end(),
+            [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+              return a.slot < b.slot;
+            });
+  plan.validate(n_pms);
+
+  SimConfig cfg;
+  cfg.slots = c.fault_slots;
+  cfg.policy.rho = c.rho;
+  cfg.faults = plan;
+
+  const auto run_once = [&] {
+    // The MapCalTable memo cache is process-wide: a first run warming it
+    // would change which ladder rung the second run's admissions hit
+    // during the solver outage.  Start both runs cold.
+    mapcal_table_cache_clear();
+    ClusterSimulator sim(inst, seeded.placement, cfg, Rng(sim_seed));
+    return std::pair<SimReport, Placement>(sim.run(), sim.placement());
+  };
+  const auto [rep, final_pl] = run_once();
+
+  std::ostringstream oss;
+  oss << describe(c) << " n_vms=" << c.n_vms << " n_pms=" << n_pms
+      << " crash@" << c.fault_crash_slot << " recover@"
+      << c.fault_recover_slot << " solver@" << c.fault_solver_slot << "+"
+      << c.fault_solver_len << " slots=" << c.fault_slots;
+  const std::string scenario = oss.str();
+
+  if (rep.faults.lost_vms != 0)
+    return OracleReport::fail(scenario + " lost " +
+                              std::to_string(rep.faults.lost_vms) + " VMs");
+  if (final_pl.vms_assigned() + rep.faults.queue_end != inst.n_vms()) {
+    std::ostringstream o2;
+    o2 << scenario << " conservation broke: " << final_pl.vms_assigned()
+       << " assigned + " << rep.faults.queue_end << " queued != "
+       << inst.n_vms() << " VMs";
+    return OracleReport::fail(o2.str());
+  }
+  if (!aggregates_consistent(inst, final_pl))
+    return OracleReport::fail(
+        scenario + " per-PM aggregates diverge from a fresh walk");
+  if (rep.faults.pm_crashes == 0)
+    return OracleReport::fail(scenario + " scripted crash never fired");
+
+  // Replay determinism: a second run from the same seed must be
+  // bit-identical — report and final placement alike.
+  const auto [rep2, final2] = run_once();
+  const bool reports_match =
+      rep.total_migrations == rep2.total_migrations &&
+      rep.failed_migrations == rep2.failed_migrations &&
+      rep.pms_used_end == rep2.pms_used_end &&
+      rep.pms_used_max == rep2.pms_used_max &&
+      bits_equal(rep.mean_cvr, rep2.mean_cvr) &&
+      bits_equal(rep.max_cvr, rep2.max_cvr) &&
+      bits_equal(rep.energy_wh, rep2.energy_wh) &&
+      rep.faults.pm_crashes == rep2.faults.pm_crashes &&
+      rep.faults.pm_recoveries == rep2.faults.pm_recoveries &&
+      rep.faults.evacuated == rep2.faults.evacuated &&
+      rep.faults.enqueued == rep2.faults.enqueued &&
+      rep.faults.queue_end == rep2.faults.queue_end &&
+      rep.faults.retries == rep2.faults.retries &&
+      rep.faults.migration_aborts == rep2.faults.migration_aborts &&
+      rep.faults.migration_stalls == rep2.faults.migration_stalls &&
+      rep.faults.solver_degraded == rep2.faults.solver_degraded;
+  if (!reports_match)
+    return OracleReport::fail(scenario +
+                              " same-seed replay produced a different report");
+  for (std::size_t v = 0; v < inst.n_vms(); ++v)
+    if (final_pl.pm_of(VmId{v}) != final2.pm_of(VmId{v}))
+      return OracleReport::fail(
+          scenario + " same-seed replay placed vm " + std::to_string(v) +
+          " differently");
+  return OracleReport::pass();
+}
+
 OracleReport run_oracle(OracleId id, const FuzzCase& c) {
   switch (id) {
     case OracleId::kStationary: return check_stationary_backends(c);
     case OracleId::kCvr: return check_cvr_bound_vs_simulation(c);
     case OracleId::kPlacement: return check_placement_engines(c);
     case OracleId::kCache: return check_mapcal_cache(c);
+    case OracleId::kRecovery: return check_recovery_invariants(c);
   }
   BURSTQ_ASSERT(false, "unknown OracleId");
   return OracleReport::fail("unknown oracle");

@@ -14,6 +14,12 @@
 //                 cold solves bit-identical to direct map_cal calls, and
 //                 value-equal keys (-0.0 vs 0.0) never duplicating an
 //                 entry.  Mutates (clears) the process-wide table cache.
+//   kRecovery   — ClusterSimulator under a scripted crash/recover/solver
+//                 fault plan: zero lost VMs, every VM hosted or queued at
+//                 the end, per-PM aggregates consistent, and the whole
+//                 run bit-identical when repeated from the same seed.
+//                 Mutates (clears) the process-wide table cache so cache
+//                 warmth from run 1 cannot change run 2's ladder path.
 
 #pragma once
 
@@ -24,9 +30,9 @@
 
 namespace burstq::check {
 
-enum class OracleId { kStationary, kCvr, kPlacement, kCache };
+enum class OracleId { kStationary, kCvr, kPlacement, kCache, kRecovery };
 
-/// "stationary" | "cvr" | "placement" | "cache".
+/// "stationary" | "cvr" | "placement" | "cache" | "recovery".
 std::string_view oracle_name(OracleId id);
 
 /// Outcome of one oracle on one case.
@@ -48,6 +54,7 @@ OracleReport check_stationary_backends(const FuzzCase& c);
 OracleReport check_cvr_bound_vs_simulation(const FuzzCase& c);
 OracleReport check_placement_engines(const FuzzCase& c);
 OracleReport check_mapcal_cache(const FuzzCase& c);
+OracleReport check_recovery_invariants(const FuzzCase& c);
 
 /// Dispatch by id.
 OracleReport run_oracle(OracleId id, const FuzzCase& c);

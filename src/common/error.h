@@ -26,6 +26,16 @@ class InternalError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown when a solver backend is (transiently) unavailable — today only
+/// by the MapCal fault-injection hook used for chaos testing.  Unlike
+/// InvalidArgument this is a *retryable* condition: callers on the
+/// recovery path catch it and degrade to a wider reservation instead of
+/// aborting (see fault/degrade.h).
+class SolverUnavailable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_invalid(const std::string& what) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "placement/budget.h"
 #include "placement/placement.h"
 
@@ -12,6 +13,7 @@ void ControllerConfig::validate() const {
   ffd.validate();
   policy.validate();
   power.validate();
+  recovery.validate();
   BURSTQ_REQUIRE(sigma_seconds > 0.0, "slot length must be positive");
 }
 
@@ -23,6 +25,7 @@ CloudController::CloudController(std::vector<PmSpec> pms,
       table_(config.ffd.max_vms_per_pm, OnOffParams{}, config.ffd.rho,
              config.ffd.method),
       on_pm_(pms_.size()),
+      up_(pms_.size(), 1),
       tracker_(pms_.empty() ? 1 : pms_.size(), config.policy.cvr_window),
       meter_(config.power, config.sigma_seconds) {
   BURSTQ_REQUIRE(!pms_.empty(), "controller needs at least one PM");
@@ -39,6 +42,7 @@ std::vector<VmSpec> CloudController::hosted_specs(PmId pm) const {
 
 std::optional<PmId> CloudController::first_fit(const VmSpec& vm) const {
   for (std::size_t j = 0; j < pms_.size(); ++j) {
+    if (!up_[j]) continue;
     const PmId pm{j};
     if (fits_with_reservation_specs(hosted_specs(pm), vm,
                                     pms_[j].capacity, table_))
@@ -79,14 +83,109 @@ void CloudController::depart(TenantId id) {
       id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live,
       "depart on an invalid or dead tenant");
   Tenant& t = tenants_[id.slot];
-  auto& list = on_pm_[t.pm.value];
-  const auto it = std::find(list.begin(), list.end(), id.slot);
-  BURSTQ_ASSERT(it != list.end(), "controller PM lists out of sync");
-  list.erase(it);
+  if (t.pm.valid()) {
+    auto& list = on_pm_[t.pm.value];
+    const auto it = std::find(list.begin(), list.end(), id.slot);
+    BURSTQ_ASSERT(it != list.end(), "controller PM lists out of sync");
+    list.erase(it);
+  } else {
+    // Parked in the post-crash admission queue; departing just removes it.
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const QueuedTenant& q) { return q.slot == id.slot; });
+    BURSTQ_ASSERT(it != queue_.end(), "unplaced tenant missing from queue");
+    queue_.erase(it);
+  }
   t.live = false;
   free_slots_.push_back(id.slot);
   ++stats_.departures;
   --stats_.vms_hosted;
+}
+
+void CloudController::inject_pm_crash(PmId pm) {
+  BURSTQ_REQUIRE(pm.valid() && pm.value < pms_.size(),
+                 "inject_pm_crash on an out-of-range PM");
+  if (!up_[pm.value]) return;
+  up_[pm.value] = 0;
+  ++stats_.pm_crashes;
+  BURSTQ_COUNT("fault.pm.crashes", 1);
+  BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.crash",
+               {"t", stats_.slots}, {"pm", pm.value});
+
+  // Evacuate: the crashed PM's list is consumed up front so first_fit
+  // never counts the dead host's tenants against anything.
+  const std::vector<std::size_t> victims = std::move(on_pm_[pm.value]);
+  on_pm_[pm.value].clear();
+  for (std::size_t s : victims) {
+    Tenant& t = tenants_[s];
+    t.pm = PmId{};
+    if (const auto target = first_fit(t.spec)) {
+      t.pm = *target;
+      on_pm_[target->value].push_back(s);
+      ++stats_.evacuations;
+      BURSTQ_COUNT("fault.evacuations", 1);
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.evacuate",
+                   {"t", stats_.slots}, {"tenant", s}, {"from", pm.value},
+                   {"to", target->value});
+    } else {
+      queue_.push_back(QueuedTenant{
+          s, 0, stats_.slots + config_.recovery.backoff_base_slots});
+      ++stats_.evac_queued;
+      BURSTQ_COUNT("fault.queue.enqueued", 1);
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.queue.enqueue",
+                   {"t", stats_.slots}, {"tenant", s},
+                   {"reason", "no-feasible-pm"});
+    }
+  }
+}
+
+void CloudController::inject_pm_recover(PmId pm) {
+  BURSTQ_REQUIRE(pm.valid() && pm.value < pms_.size(),
+                 "inject_pm_recover on an out-of-range PM");
+  if (up_[pm.value]) return;
+  up_[pm.value] = 1;
+  ++stats_.pm_recoveries;
+  BURSTQ_COUNT("fault.pm.recoveries", 1);
+  BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.recover",
+               {"t", stats_.slots}, {"pm", pm.value});
+}
+
+std::size_t CloudController::backoff_delay(std::size_t retries) const {
+  const std::size_t cap = config_.recovery.backoff_cap_slots;
+  std::size_t delay = config_.recovery.backoff_base_slots;
+  const std::size_t exponent =
+      std::min(retries, config_.recovery.max_retries);
+  for (std::size_t i = 0; i < exponent && delay < cap; ++i) delay *= 2;
+  return std::min(delay, cap);
+}
+
+void CloudController::drain_queue() {
+  for (auto& q : queue_) {
+    if (q.next_attempt > stats_.slots) continue;
+    ++q.retries;
+    ++stats_.retries;
+    BURSTQ_COUNT("migration.retries", 1);
+    Tenant& t = tenants_[q.slot];
+    if (const auto target = first_fit(t.spec)) {
+      t.pm = *target;
+      on_pm_[target->value].push_back(q.slot);
+      BURSTQ_COUNT("fault.queue.drained", 1);
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.queue.admit",
+                   {"t", stats_.slots}, {"tenant", q.slot},
+                   {"pm", target->value}, {"retries", q.retries});
+      q.slot = static_cast<std::size_t>(-1);  // admitted; erased below
+    } else {
+      q.next_attempt = stats_.slots + backoff_delay(q.retries);
+    }
+  }
+  std::erase_if(queue_, [](const QueuedTenant& q) {
+    return q.slot == static_cast<std::size_t>(-1);
+  });
+}
+
+bool CloudController::fleet_degraded() const {
+  return !queue_.empty() ||
+         std::find(up_.begin(), up_.end(), std::uint8_t{0}) != up_.end();
 }
 
 void CloudController::run_scheduler(const std::vector<Resource>& /*load*/,
@@ -125,6 +224,7 @@ void CloudController::run_scheduler(const std::vector<Resource>& /*load*/,
     for (std::size_t p = 0; p < pms_.size(); ++p) {
       const PmId cand{p};
       if (cand == source) continue;
+      if (!up_[p]) continue;
       if (fits_with_reservation_specs(hosted_specs(cand), victim.spec,
                                       pms_[p].capacity, table_)) {
         target = cand;
@@ -163,8 +263,17 @@ void CloudController::run_maintenance() {
   }
   const OnOffParams rounded =
       round_uniform_params(live, config_.ffd.rounding);
-  table_ = MapCalTable(config_.ffd.max_vms_per_pm, rounded,
-                       config_.ffd.rho, config_.ffd.method);
+  try {
+    table_ = MapCalTable(config_.ffd.max_vms_per_pm, rounded,
+                         config_.ffd.rho, config_.ffd.method);
+  } catch (const SolverUnavailable&) {
+    // Solver outage mid-maintenance: keep consolidating with the previous
+    // (stale but sound) table rather than aborting the window.
+    ++stats_.degraded_maintenance;
+    BURSTQ_COUNT("fault.solver.degraded", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.solver.degrade",
+                 {"t", stats_.slots}, {"level", "stale-table"});
+  }
 
   // Compact instance + placement view for the budget consolidator.
   ProblemInstance inst;
@@ -211,14 +320,19 @@ void CloudController::tick() {
   // 3. Dynamic scheduling.
   run_scheduler(load, load);
 
+  // 3b. Crash victims whose backoff expired retry placement.
+  if (!queue_.empty()) drain_queue();
+
   // 4. Energy.
   for (std::size_t j = 0; j < pms_.size(); ++j) {
     if (on_pm_[j].empty()) continue;
     meter_.add_pm_slot(load[j] / pms_[j].capacity);
   }
 
-  // 5. Maintenance window.
-  if (config_.maintenance_every > 0 &&
+  // 5. Maintenance window — deferred while the fleet is degraded (a down
+  // PM or queued tenants): consolidation would fight the recovery path
+  // and the compact placement view below requires every tenant placed.
+  if (config_.maintenance_every > 0 && !fleet_degraded() &&
       stats_.slots % config_.maintenance_every == 0)
     run_maintenance();
 
@@ -252,11 +366,24 @@ const VmSpec& CloudController::spec_of(TenantId id) const {
 bool CloudController::reservation_invariant_holds() const {
   for (std::size_t j = 0; j < pms_.size(); ++j) {
     const auto hosted = hosted_specs(PmId{j});
+    if (!up_[j] && !hosted.empty()) return false;  // dead PMs host nothing
     if (hosted.empty()) continue;
     if (hosted.size() > table_.max_vms_per_pm()) return false;
     if (reserved_footprint_specs(hosted, table_) >
         pms_[j].capacity * (1.0 + kCapacityEpsilon))
       return false;
+  }
+  // Recovery invariant: every live tenant is placed on an up PM or queued.
+  for (std::size_t s = 0; s < tenants_.size(); ++s) {
+    const Tenant& t = tenants_[s];
+    if (!t.live) continue;
+    if (t.pm.valid()) {
+      if (!up_[t.pm.value]) return false;
+    } else if (std::none_of(
+                   queue_.begin(), queue_.end(),
+                   [s](const QueuedTenant& q) { return q.slot == s; })) {
+      return false;
+    }
   }
   return true;
 }

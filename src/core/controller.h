@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/recovery.h"
 #include "placement/queuing_ffd.h"
 #include "queuing/mapcal.h"
 #include "sim/energy.h"
@@ -36,6 +37,9 @@ struct ControllerConfig {
   std::size_t maintenance_every{0};
   /// Live-migration budget per maintenance window.
   std::size_t maintenance_budget{20};
+  /// Backoff discipline for tenants displaced by a PM crash that fit
+  /// nowhere immediately (inject_pm_crash).
+  fault::RecoveryPolicy recovery{};
 
   void validate() const;
 };
@@ -61,6 +65,13 @@ struct ControllerStats {
   std::size_t maintenance_migrations{0};
   std::size_t failed_migrations{0};
   std::size_t maintenance_windows{0};
+  std::size_t pm_crashes{0};     ///< inject_pm_crash calls that took effect
+  std::size_t pm_recoveries{0};
+  std::size_t evacuations{0};    ///< crash victims re-placed immediately
+  std::size_t evac_queued{0};    ///< crash victims that had to queue
+  std::size_t retries{0};        ///< queue placement attempts (backoff)
+  std::size_t degraded_maintenance{0};  ///< table recalibrations skipped
+                                        ///< because the solver was down
   double mean_cvr{0.0};  ///< cumulative, over PMs that hosted VMs
   double max_cvr{0.0};
   double energy_wh{0.0};
@@ -84,12 +95,31 @@ class CloudController {
   /// consolidation.
   void tick();
 
+  /// Marks a PM failed.  Hosted tenants evacuate first-fit over the
+  /// remaining up PMs under Eq. (17); those that fit nowhere join an
+  /// admission queue drained with exponential backoff on later ticks
+  /// (a queued tenant is parked: its chain does not advance and it loads
+  /// no PM until re-placed).  Idempotent on an already-down PM.
+  void inject_pm_crash(PmId pm);
+
+  /// Brings a failed PM back up; queued tenants may drain onto it on the
+  /// next tick.  Idempotent on an up PM.
+  void inject_pm_recover(PmId pm);
+
+  [[nodiscard]] bool pm_up(PmId pm) const { return up_[pm.value] != 0; }
+  /// Tenants awaiting re-placement after a crash.
+  [[nodiscard]] std::size_t queued_tenants() const { return queue_.size(); }
+
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pms_used() const;
+  /// The hosting PM; an *invalid* PmId while the tenant sits in the
+  /// post-crash admission queue.
   [[nodiscard]] PmId pm_of(TenantId id) const;
   [[nodiscard]] const VmSpec& spec_of(TenantId id) const;
 
-  /// Verifies the reservation invariant over the current fleet.
+  /// Verifies the reservation invariant over the current fleet, including
+  /// that no down PM hosts tenants and every live tenant is either placed
+  /// on an up PM or queued.
   [[nodiscard]] bool reservation_invariant_holds() const;
 
  private:
@@ -100,11 +130,20 @@ class CloudController {
     bool live{false};
   };
 
+  struct QueuedTenant {
+    std::size_t slot{0};
+    std::size_t retries{0};
+    std::size_t next_attempt{0};  ///< earliest tick (stats_.slots) to retry
+  };
+
   [[nodiscard]] std::vector<VmSpec> hosted_specs(PmId pm) const;
   std::optional<PmId> first_fit(const VmSpec& vm) const;
   void run_scheduler(const std::vector<Resource>& load,
                      std::vector<Resource>& mutable_load);
   void run_maintenance();
+  void drain_queue();
+  [[nodiscard]] std::size_t backoff_delay(std::size_t retries) const;
+  [[nodiscard]] bool fleet_degraded() const;
 
   std::vector<PmSpec> pms_;
   ControllerConfig config_;
@@ -113,6 +152,8 @@ class CloudController {
   std::vector<Tenant> tenants_;
   std::vector<std::size_t> free_slots_;
   std::vector<std::vector<std::size_t>> on_pm_;  ///< tenant slots per PM
+  std::vector<std::uint8_t> up_;                 ///< PM liveness (1 = up)
+  std::vector<QueuedTenant> queue_;              ///< FIFO, crash victims
   CvrTracker tracker_;
   EnergyMeter meter_;
   ControllerStats stats_;

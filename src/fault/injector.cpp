@@ -1,0 +1,104 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace burstq::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_pms)
+    : plan_(std::move(plan)), rng_(plan_.seed), up_(n_pms, 1) {
+  BURSTQ_REQUIRE(n_pms >= 1, "fault injector needs at least one PM");
+  plan_.validate(n_pms);
+}
+
+SlotFaults FaultInjector::advance(std::size_t slot) {
+  BURSTQ_REQUIRE(slot == last_slot_ + 1,
+                 "FaultInjector::advance must visit slots in order");
+  last_slot_ = slot;
+
+  SlotFaults out;
+
+  // Scripted events due this slot.
+  while (next_scripted_ < plan_.scripted.size() &&
+         plan_.scripted[next_scripted_].slot == slot) {
+    const FaultEvent& e = plan_.scripted[next_scripted_++];
+    switch (e.kind) {
+      case FaultKind::kPmCrash:
+        if (up_[e.pm]) out.crashes.push_back(e.pm);
+        break;
+      case FaultKind::kPmRecover:
+        if (!up_[e.pm]) out.recoveries.push_back(e.pm);
+        break;
+      case FaultKind::kMigrationAbort:
+        out.abort_migrations = true;
+        break;
+      case FaultKind::kMigrationStall:
+        out.stall_slots += e.duration;
+        break;
+      case FaultKind::kSolverOutage:
+        solver_down_until_ = std::max(solver_down_until_, slot + e.duration);
+        BURSTQ_COUNT("fault.solver.outages", 1);
+        BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.solver.outage",
+                     {"t", slot}, {"slots", e.duration});
+        break;
+    }
+  }
+
+  // Markov draws.  Fixed PM-index order keeps the stream deterministic.
+  // Scripted crashes land before Markov ones, so the clamp below (which
+  // pops from the back) only ever sheds Markov-drawn crashes: scripted
+  // plans may deliberately take the whole fleet down, the random model
+  // must not — a zero-capacity cluster makes every invariant vacuous.
+  const std::size_t scripted_crashes = out.crashes.size();
+  if (plan_.markov.p_crash > 0.0)
+    for (std::size_t j = 0; j < up_.size(); ++j)
+      if (up_[j] && rng_.bernoulli(plan_.markov.p_crash) &&
+          std::find(out.crashes.begin(), out.crashes.end(), j) ==
+              out.crashes.end())
+        out.crashes.push_back(j);
+  if (plan_.markov.p_recover > 0.0)
+    for (std::size_t j = 0; j < up_.size(); ++j)
+      if (!up_[j] && rng_.bernoulli(plan_.markov.p_recover) &&
+          std::find(out.recoveries.begin(), out.recoveries.end(), j) ==
+              out.recoveries.end())
+        out.recoveries.push_back(j);
+  while (out.crashes.size() > scripted_crashes &&
+         out.crashes.size() >= up_count())
+    out.crashes.pop_back();
+
+  for (std::size_t j : out.crashes) {
+    up_[j] = 0;
+    BURSTQ_COUNT("fault.pm.crashes", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.crash", {"t", slot},
+                 {"pm", j});
+  }
+  for (std::size_t j : out.recoveries) {
+    up_[j] = 1;
+    BURSTQ_COUNT("fault.pm.recoveries", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.recover",
+                 {"t", slot}, {"pm", j});
+  }
+
+  out.solver_fault = slot < solver_down_until_;
+  return out;
+}
+
+bool FaultInjector::draw_migration_abort() {
+  if (plan_.markov.p_mig_fail <= 0.0) return false;
+  return rng_.bernoulli(plan_.markov.p_mig_fail);
+}
+
+std::size_t FaultInjector::up_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(up_.begin(), up_.end(),
+                    [](std::uint8_t u) { return u != 0; }));
+}
+
+bool FaultInjector::solver_fault_active() const {
+  return last_slot_ != static_cast<std::size_t>(-1) &&
+         last_slot_ < solver_down_until_;
+}
+
+}  // namespace burstq::fault

@@ -1,0 +1,66 @@
+// FaultInjector — turns a FaultPlan into concrete per-slot fault actions.
+//
+// Deterministic by construction: scripted events fire at their slot, and
+// Markov draws come from the injector's own Rng (seeded from the plan), so
+// the *workload* random stream of a simulation is untouched by fault
+// injection — the same scenario seed produces the same demands whether or
+// not faults are enabled, and the same fault seed produces the same fault
+// schedule, bit for bit.
+//
+// The injector also owns PM liveness (up/down) and the solver-outage
+// window, and emits the `fault.pm.*` / `fault.solver.*` obs events.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/plan.h"
+
+namespace burstq::fault {
+
+/// Everything that goes wrong in one slot; consumed by the simulator.
+struct SlotFaults {
+  std::vector<std::size_t> crashes;     ///< PMs that fail this slot
+  std::vector<std::size_t> recoveries;  ///< PMs that come back this slot
+  bool abort_migrations{false};  ///< scripted: abort every in-flight copy
+  std::size_t stall_slots{0};    ///< scripted: extend in-flight copies
+  bool solver_fault{false};      ///< MapCal solves fail during this slot
+};
+
+class FaultInjector {
+ public:
+  /// `n_pms` bounds the scripted pm indices (validated) and sizes the
+  /// liveness vector; all PMs start up.
+  FaultInjector(FaultPlan plan, std::size_t n_pms);
+
+  /// Computes the faults for `slot` and updates PM liveness.  Slots must
+  /// be visited in increasing order starting at 0.
+  SlotFaults advance(std::size_t slot);
+
+  /// Per in-flight migration per slot: does this copy abort?  Draws from
+  /// the injector's Rng (Markov p_mig_fail); call once per copy per slot.
+  [[nodiscard]] bool draw_migration_abort();
+
+  [[nodiscard]] bool pm_up(std::size_t pm) const { return up_[pm] != 0; }
+  /// Byte-per-PM (1 = up) so callers can view it as std::span<const
+  /// std::uint8_t> — std::vector<bool> is bit-packed and cannot back a span.
+  [[nodiscard]] const std::vector<std::uint8_t>& up_mask() const {
+    return up_;
+  }
+  [[nodiscard]] std::size_t up_count() const;
+  [[nodiscard]] bool solver_fault_active() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::uint8_t> up_;
+  std::size_t next_scripted_{0};
+  std::size_t last_slot_{static_cast<std::size_t>(-1)};
+  std::size_t solver_down_until_{0};  ///< outage active while slot < this
+};
+
+}  // namespace burstq::fault

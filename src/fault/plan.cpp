@@ -1,0 +1,178 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace burstq::fault {
+
+namespace {
+
+[[noreturn]] void bad_item(std::string_view item, std::string_view why) {
+  std::string message = "malformed --fault-plan item '";
+  message += item;
+  message += "': ";
+  message += why;
+  message +=
+      " (expected e.g. crash@10:pm=2, recover@40:pm=2, mig-abort@12, "
+      "mig-stall@12:slots=3, solver@15:slots=20)";
+  throw InvalidArgument(message);
+}
+
+std::size_t parse_size(std::string_view item, std::string_view text,
+                       std::string_view what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    std::string why = "'";
+    why += text;
+    why += "' is not a valid ";
+    why += what;
+    bad_item(item, why);
+  }
+  return value;
+}
+
+/// Parses the optional ":key=value" suffix; exactly one key is accepted
+/// per kind, so a single pair covers the whole grammar.
+std::size_t parse_kv(std::string_view item, std::string_view suffix,
+                     std::string_view key) {
+  const std::size_t eq = suffix.find('=');
+  if (eq == std::string_view::npos) {
+    std::string why = "expected ";
+    why += key;
+    why += "=<number> after ':'";
+    bad_item(item, why);
+  }
+  if (suffix.substr(0, eq) != key) {
+    std::string why = "unknown key '";
+    why += suffix.substr(0, eq);
+    why += "' (this kind takes ";
+    why += key;
+    why += "=)";
+    bad_item(item, why);
+  }
+  return parse_size(item, suffix.substr(eq + 1), key);
+}
+
+FaultEvent parse_item(std::string_view item) {
+  const std::size_t at = item.find('@');
+  if (at == std::string_view::npos)
+    bad_item(item, "missing '@<slot>'");
+  const std::string_view kind_text = item.substr(0, at);
+  std::string_view rest = item.substr(at + 1);
+  std::string_view suffix;
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    suffix = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+
+  FaultEvent event;
+  event.slot = parse_size(item, rest, "slot");
+  if (kind_text == "crash" || kind_text == "recover") {
+    event.kind = kind_text == "crash" ? FaultKind::kPmCrash
+                                      : FaultKind::kPmRecover;
+    if (suffix.empty()) bad_item(item, "missing ':pm=<index>'");
+    event.pm = parse_kv(item, suffix, "pm");
+  } else if (kind_text == "mig-abort") {
+    event.kind = FaultKind::kMigrationAbort;
+    if (!suffix.empty()) bad_item(item, "mig-abort takes no ':key=value'");
+  } else if (kind_text == "mig-stall" || kind_text == "solver") {
+    event.kind = kind_text == "mig-stall" ? FaultKind::kMigrationStall
+                                          : FaultKind::kSolverOutage;
+    if (suffix.empty()) bad_item(item, "missing ':slots=<count>'");
+    event.duration = parse_kv(item, suffix, "slots");
+    if (event.duration == 0)
+      bad_item(item, "slots must be >= 1 (0 would be a silent no-op)");
+  } else {
+    std::string why = "unknown fault kind '";
+    why += kind_text;
+    why += "'";
+    bad_item(item, why);
+  }
+  return event;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPmCrash: return "crash";
+    case FaultKind::kPmRecover: return "recover";
+    case FaultKind::kMigrationAbort: return "mig-abort";
+    case FaultKind::kMigrationStall: return "mig-stall";
+    case FaultKind::kSolverOutage: return "solver";
+  }
+  return "unknown";
+}
+
+void MarkovFaultModel::validate() const {
+  BURSTQ_REQUIRE(p_crash >= 0.0 && p_crash <= 1.0,
+                 "fault p_crash must be a probability in [0, 1]");
+  BURSTQ_REQUIRE(p_recover >= 0.0 && p_recover <= 1.0,
+                 "fault p_recover must be a probability in [0, 1]");
+  BURSTQ_REQUIRE(p_mig_fail >= 0.0 && p_mig_fail <= 1.0,
+                 "fault p_mig_fail must be a probability in [0, 1]");
+  BURSTQ_REQUIRE(p_crash == 0.0 || p_recover > 0.0,
+                 "fault p_crash > 0 with p_recover == 0 would strand the "
+                 "whole fleet; give crashed PMs a recovery probability");
+}
+
+void FaultPlan::validate(std::size_t n_pms) const {
+  markov.validate();
+  for (const FaultEvent& e : scripted) {
+    const bool targets_pm =
+        e.kind == FaultKind::kPmCrash || e.kind == FaultKind::kPmRecover;
+    if (targets_pm) {
+      BURSTQ_REQUIRE(e.pm != kNoPm,
+                     "scripted crash/recover events need a pm index");
+      if (n_pms != kNoPm && e.pm >= n_pms) {
+        std::string message = "scripted fault targets pm ";
+        message += std::to_string(e.pm);
+        message += " but the fleet has only ";
+        message += std::to_string(n_pms);
+        message += " PMs";
+        throw InvalidArgument(message);
+      }
+    }
+    const bool needs_duration = e.kind == FaultKind::kMigrationStall ||
+                                e.kind == FaultKind::kSolverOutage;
+    if (needs_duration)
+      BURSTQ_REQUIRE(e.duration >= 1,
+                     "mig-stall/solver events need slots >= 1");
+  }
+  BURSTQ_REQUIRE(
+      std::is_sorted(scripted.begin(), scripted.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.slot < b.slot;
+                     }),
+      "scripted fault events must be sorted by slot");
+}
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(start, end - start);
+    if (!item.empty()) plan.scripted.push_back(parse_item(item));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  if (plan.scripted.empty())
+    throw InvalidArgument(
+        "--fault-plan '" + std::string(spec) +
+        "' contains no fault items (example: crash@10:pm=2;recover@40:pm=2)");
+  std::stable_sort(plan.scripted.begin(), plan.scripted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+  plan.validate();
+  return plan;
+}
+
+}  // namespace burstq::fault

@@ -1,0 +1,90 @@
+// Fault model for chaos testing the consolidation stack.
+//
+// A FaultPlan describes *what goes wrong and when* in a simulated
+// cluster, from two composable sources:
+//
+//   * scripted events — an explicit, slot-stamped list (PM crashes and
+//     recoveries, migration aborts/stalls, solver outages), parseable
+//     from the compact `--fault-plan` CLI grammar below;
+//   * a Markov model — per-slot crash/recover/migration-failure
+//     probabilities drawn from the plan's own seeded Rng, so fault
+//     arrivals are random yet bit-reproducible.
+//
+// Grammar (semicolon-separated items, whitespace-free):
+//
+//   crash@SLOT:pm=J        PM J fails at SLOT (hosted VMs must be evacuated)
+//   recover@SLOT:pm=J      PM J comes back at SLOT
+//   mig-abort@SLOT         every in-flight migration aborts at SLOT
+//   mig-stall@SLOT:slots=N in-flight copies take N extra slots
+//   solver@SLOT:slots=N    MapCal solves fail for N slots starting at SLOT
+//
+// e.g. --fault-plan "crash@10:pm=2;solver@15:slots=20;recover@40:pm=2"
+//
+// Malformed items throw InvalidArgument with a message naming the
+// offending item and what a correct one looks like — never a silent
+// default.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace burstq::fault {
+
+inline constexpr std::size_t kNoPm = static_cast<std::size_t>(-1);
+
+enum class FaultKind {
+  kPmCrash,
+  kPmRecover,
+  kMigrationAbort,
+  kMigrationStall,
+  kSolverOutage,
+};
+
+/// "crash" | "recover" | "mig-abort" | "mig-stall" | "solver".
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One scripted fault.
+struct FaultEvent {
+  std::size_t slot{0};
+  FaultKind kind{FaultKind::kPmCrash};
+  std::size_t pm{kNoPm};     ///< crash/recover target
+  std::size_t duration{0};   ///< stall extra slots / solver outage length
+};
+
+/// Per-slot fault probabilities (all default 0 = fault-free).
+struct MarkovFaultModel {
+  double p_crash{0.0};     ///< per up-PM per-slot crash probability
+  double p_recover{0.0};   ///< per down-PM per-slot recovery probability
+  double p_mig_fail{0.0};  ///< per in-flight migration per-slot abort prob
+
+  [[nodiscard]] bool any() const {
+    return p_crash > 0.0 || p_mig_fail > 0.0;
+  }
+  void validate() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> scripted;  ///< kept sorted by slot (stable)
+  MarkovFaultModel markov;
+  std::uint64_t seed{0};  ///< drives the Markov draws, nothing else
+
+  [[nodiscard]] bool any() const {
+    return !scripted.empty() || markov.any();
+  }
+
+  /// Checks probabilities, event shapes, and (when n_pms is known) that
+  /// every scripted pm index is in range.  Pass kNoPm to skip the range
+  /// check (e.g. right after parsing, before the fleet size is known).
+  void validate(std::size_t n_pms = kNoPm) const;
+};
+
+/// Parses the `--fault-plan` grammar documented above.  The returned
+/// plan's scripted events are sorted by slot (stable).  Throws
+/// InvalidArgument on malformed input, naming the bad item.
+FaultPlan parse_fault_plan(std::string_view spec);
+
+}  // namespace burstq::fault

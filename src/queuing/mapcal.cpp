@@ -1,5 +1,6 @@
 #include "queuing/mapcal.h"
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <mutex>
@@ -65,7 +66,26 @@ struct TableKeyHash {
 /// build serially.
 constexpr std::size_t kParallelBuildThreshold = 8;
 
+std::atomic<bool>& solver_fault_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+[[noreturn]] void throw_solver_fault(const char* where) {
+  BURSTQ_COUNT("fault.solver.faults", 1);
+  throw SolverUnavailable(std::string(where) +
+                          ": injected MapCal solver fault");
+}
+
 }  // namespace
+
+void mapcal_set_solver_fault(bool enabled) {
+  solver_fault_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool mapcal_solver_fault_enabled() {
+  return solver_fault_flag().load(std::memory_order_relaxed);
+}
 
 MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
                      StationaryMethod method) {
@@ -73,6 +93,8 @@ MapCalResult map_cal(std::size_t k, const OnOffParams& params, double rho,
   BURSTQ_REQUIRE(k >= 1, "map_cal requires at least one VM");
   BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "map_cal requires rho in [0, 1)");
   params.validate();
+
+  if (mapcal_solver_fault_enabled()) throw_solver_fault("map_cal");
 
   BURSTQ_COUNT("mapcal.calls", 1);
   BURSTQ_HIST("mapcal.k", k);
@@ -141,6 +163,11 @@ std::shared_ptr<const MapCalTable::Data> MapCalTable::lookup_or_build(
       return std::static_pointer_cast<const Data>(it->second);
     }
   }
+
+  // A cache miss needs real solves; during an injected solver outage the
+  // miss path fails here, *before* any work, while hits above keep
+  // serving (the ladder's first rung).
+  if (mapcal_solver_fault_enabled()) throw_solver_fault("MapCalTable");
 
   // Miss: solve outside the lock (builds may be slow and should not
   // serialize unrelated settings).  A concurrent duplicate build is

@@ -96,6 +96,30 @@ class MapCalTable {
   std::shared_ptr<const Data> data_;
 };
 
+/// Chaos hook for fault injection (src/fault): while enabled, map_cal()
+/// and *uncached* MapCalTable builds throw SolverUnavailable.  Memoized
+/// tables keep resolving (a cache hit needs no solve), which is the first
+/// rung of the degradation ladder in fault/degrade.h.  Counter
+/// `fault.solver.faults` increments per injected throw.  Process-wide;
+/// intended for tests and the fault injector, not concurrent toggling.
+void mapcal_set_solver_fault(bool enabled);
+[[nodiscard]] bool mapcal_solver_fault_enabled();
+
+/// RAII toggle for mapcal_set_solver_fault (restores the previous state).
+class ScopedSolverFault {
+ public:
+  explicit ScopedSolverFault(bool enabled = true)
+      : previous_(mapcal_solver_fault_enabled()) {
+    mapcal_set_solver_fault(enabled);
+  }
+  ~ScopedSolverFault() { mapcal_set_solver_fault(previous_); }
+  ScopedSolverFault(const ScopedSolverFault&) = delete;
+  ScopedSolverFault& operator=(const ScopedSolverFault&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Number of distinct (d, params, rho, method) settings currently
 /// memoized by the process-wide table cache.
 std::size_t mapcal_table_cache_size();

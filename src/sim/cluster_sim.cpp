@@ -16,6 +16,8 @@ void SimConfig::validate() const {
   BURSTQ_REQUIRE(users_per_unit > 0.0, "users_per_unit must be positive");
   policy.validate();
   power.validate();
+  if (faults) faults->validate();
+  recovery.validate();
 }
 
 ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
@@ -44,6 +46,14 @@ ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
                                config_.policy.rho);
   }
 
+  if (config_.faults && config_.faults->any()) {
+    injector_.emplace(*config_.faults, inst.n_pms());
+    rounded_ = round_uniform_params(inst.vms);
+    recovery_.emplace(inst, config_.recovery, config_.policy.max_vms_per_pm,
+                      config_.policy.rho, StationaryMethod::kGaussian);
+    aborted_once_.assign(inst.n_vms(), false);
+  }
+
   if (config_.webserver_workload) {
     web_.reserve(inst.n_vms());
     for (const auto& v : inst.vms) {
@@ -57,6 +67,71 @@ ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
       web_.emplace_back(wp);
     }
   }
+}
+
+void ClusterSimulator::apply_faults(const fault::SlotFaults& sf,
+                                    std::size_t t, SimReport& report) {
+  const std::span<const std::uint8_t> up(injector_->up_mask());
+
+  // Stalls: every live copy takes longer.
+  if (sf.stall_slots > 0 && !in_flight_.empty()) {
+    for (auto& f : in_flight_) f.remaining += sf.stall_slots;
+    report.faults.migration_stalls += in_flight_.size();
+    BURSTQ_COUNT("fault.migration.stalls", in_flight_.size());
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.migration.stall",
+                 {"t", t}, {"copies", in_flight_.size()},
+                 {"extra", sf.stall_slots});
+  }
+
+  // PM crashes: in-flight copies touching the dead PM die with it, then
+  // hosted VMs evacuate through the reservation ladder (or queue).
+  for (std::size_t j : sf.crashes) {
+    ++report.faults.pm_crashes;
+    std::erase_if(in_flight_, [&](const InFlight& f) {
+      if (f.source_pm == j) return true;  // copy source gone; move is final
+      if (placement_.pm_of(VmId{f.vm}) == PmId{j}) {
+        // Target died mid-copy: the copy is void; the VM is evacuated
+        // below along with everything else hosted on j.
+        aborted_once_[f.vm] = true;
+        ++report.faults.migration_aborts;
+        BURSTQ_COUNT("fault.migration.aborts", 1);
+        BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.migration.abort",
+                     {"t", t}, {"vm", f.vm}, {"reason", "target-crash"});
+        return true;
+      }
+      return false;
+    });
+    report.faults.evacuated +=
+        recovery_->evacuate(placement_, PmId{j}, up, rounded_, t);
+  }
+  report.faults.pm_recoveries += sf.recoveries.size();
+
+  // Scripted / Markov migration aborts: the VM rolls back to its source
+  // (which is up — copies from a crashed source were dropped above and at
+  // every earlier crash).
+  std::erase_if(in_flight_, [&](const InFlight& f) {
+    const bool abort =
+        sf.abort_migrations || injector_->draw_migration_abort();
+    if (!abort) return false;
+    placement_.unassign(VmId{f.vm});
+    placement_.assign(VmId{f.vm}, PmId{f.source_pm});
+    aborted_once_[f.vm] = true;
+    ++report.faults.migration_aborts;
+    BURSTQ_COUNT("fault.migration.aborts", 1);
+    BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.migration.abort",
+                 {"t", t}, {"vm", f.vm}, {"to", f.source_pm},
+                 {"reason", sf.abort_migrations ? "scripted" : "markov"});
+    return true;
+  });
+
+  // Queued VMs whose backoff expired get another attempt; capacity may
+  // have returned via the recoveries above or load churn.
+  if (!recovery_->queue().empty())
+    recovery_->drain(placement_, up, rounded_, t);
+
+  BURSTQ_ASSERT(recovery_->invariant_holds(placement_, up),
+                "recovery invariant violated: a VM is neither hosted on an "
+                "up PM nor queued");
 }
 
 void ClusterSimulator::compute_loads(std::vector<Resource>& load,
@@ -107,6 +182,18 @@ SimReport ClusterSimulator::run() {
         demand_cache_[i] = web_[i].sample_demand(states[i], rng_);
       }
     }
+
+    // Fault injection happens between demand sampling and load accounting
+    // so this slot's loads already reflect evacuations and rollbacks.  The
+    // solver-fault guard stays armed for the whole slot — the scheduler
+    // below must degrade, not abort, while the outage lasts.
+    std::optional<ScopedSolverFault> solver_guard;
+    if (injector_) {
+      const fault::SlotFaults sf = injector_->advance(t);
+      solver_guard.emplace(sf.solver_fault);
+      apply_faults(sf, t, report);
+    }
+
     compute_loads(load, demand_cache_);
 
     // 3. violation bookkeeping (only PMs that actually carry load state).
@@ -144,11 +231,15 @@ SimReport ClusterSimulator::run() {
         BURSTQ_ASSERT(victim.has_value(), "non-empty PM had no victim");
         const Resource vdemand = demand_cache_[victim->value];
 
+        const std::span<const std::uint8_t> up =
+            injector_ ? std::span<const std::uint8_t>(injector_->up_mask())
+                      : std::span<const std::uint8_t>{};
         std::optional<PmId> target;
         if (config_.policy.target == TargetSelection::kReservationAware) {
           for (std::size_t p = 0; p < m; ++p) {
             const PmId cand{p};
             if (cand == source) continue;
+            if (!up.empty() && !up[p]) continue;
             if (fits_with_reservation(*inst_, placement_, *victim, cand,
                                       *reservation_table_)) {
               target = cand;
@@ -160,24 +251,27 @@ SimReport ClusterSimulator::run() {
           for (std::size_t p = 0; p < m; ++p)
             counts[p] = placement_.count_on(PmId{p});
           target = select_target(source, vdemand, load, capacity, counts,
-                                 config_.policy.max_vms_per_pm);
+                                 config_.policy.max_vms_per_pm, up);
         }
 
         if (target) {
           placement_.unassign(*victim);
           placement_.assign(*victim, *target);
           load[target->value] += vdemand;
-          if (config_.policy.cost_slots > 0) {
-            // Source keeps carrying the copy for cost_slots more slots.
-            in_flight_.push_back(
-                InFlight{victim->value, j, config_.policy.cost_slots});
-          } else {
-            load[j] -= vdemand;
-          }
+          // Source keeps carrying the copy for cost_slots (>= 1) slots.
+          in_flight_.push_back(
+              InFlight{victim->value, j, config_.policy.cost_slots});
           report.events.push_back(MigrationEvent{
               static_cast<TimeSlot>(t), *victim, source, *target});
           ++migrations_this_slot;
           BURSTQ_COUNT("sim.migrations", 1);
+          if (!aborted_once_.empty() && aborted_once_[victim->value]) {
+            // Re-moving a VM whose previous copy was rolled back by a
+            // fault is a retry, not a fresh migration.
+            aborted_once_[victim->value] = false;
+            ++report.faults.retries;
+            BURSTQ_COUNT("migration.retries", 1);
+          }
           BURSTQ_EVENT(obs::EventLevel::kDecisions, "migration", {"t", t},
                        {"vm", victim->value}, {"from", j},
                        {"to", target->value}, {"ok", true});
@@ -234,6 +328,20 @@ SimReport ClusterSimulator::run() {
   report.mean_cvr = tracker.mean_cvr();
   report.max_cvr = tracker.max_cvr();
   report.energy_wh = meter.watt_hours();
+  if (recovery_) {
+    report.faults.queue_end = recovery_->queue().size();
+    report.faults.enqueued = recovery_->enqueued_total();
+    report.faults.retries += recovery_->retries_total();
+    report.faults.solver_degraded = recovery_->ladder().degraded_decisions();
+    for (std::size_t i = 0; i < inst_->n_vms(); ++i) {
+      const PmId pm = placement_.pm_of(VmId{i});
+      const bool hosted_up = pm.valid() && injector_->pm_up(pm.value);
+      const bool queued = std::any_of(
+          recovery_->queue().begin(), recovery_->queue().end(),
+          [i](const fault::QueuedVm& q) { return q.vm == i; });
+      if (!hosted_up && !queued) ++report.faults.lost_vms;
+    }
+  }
   return report;
 }
 

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
 #include "placement/placement.h"
 #include "placement/spec.h"
 #include "sim/energy.h"
@@ -46,8 +48,30 @@ struct SimConfig {
   double users_per_unit{100.0};   ///< web mode: users per resource unit
   bool start_stationary{true};    ///< draw initial states from steady state
   bool enable_migration{true};    ///< false = pure CVR observation (Fig 6)
+  /// Chaos schedule (fault/plan.h); nullopt = fault-free run.  The plan's
+  /// own seed drives fault draws, so the workload stream is identical with
+  /// and without faults.
+  std::optional<fault::FaultPlan> faults;
+  fault::RecoveryPolicy recovery{};  ///< evacuation/backoff under faults
 
   void validate() const;
+};
+
+/// What the fault injection did and what recovery did about it.  All
+/// zeros on a fault-free run.
+struct FaultReport {
+  std::size_t pm_crashes{0};
+  std::size_t pm_recoveries{0};
+  std::size_t evacuated{0};  ///< crash victims re-placed immediately
+  std::size_t enqueued{0};   ///< crash victims that had to wait in queue
+  std::size_t queue_end{0};  ///< VMs still queued at the final slot
+  std::size_t retries{0};    ///< queue drain attempts (migration.retries)
+  std::size_t migration_aborts{0};  ///< in-flight copies rolled back
+  std::size_t migration_stalls{0};  ///< in-flight copies extended
+  std::size_t solver_degraded{0};   ///< admissions decided below rung 1
+  /// VMs neither hosted on an up PM nor queued at the end.  The recovery
+  /// invariant guarantees 0; anything else is a bug.
+  std::size_t lost_vms{0};
 };
 
 struct SimReport {
@@ -65,6 +89,7 @@ struct SimReport {
   double mean_cvr{0.0};        ///< over PMs that hosted VMs at some point
   double max_cvr{0.0};
   double energy_wh{0.0};
+  FaultReport faults;          ///< all zeros when SimConfig::faults unset
 };
 
 class ClusterSimulator {
@@ -86,6 +111,11 @@ class ClusterSimulator {
   [[nodiscard]] Resource vm_demand(std::size_t i) const;
   void compute_loads(std::vector<Resource>& load,
                      std::vector<Resource>& demand) const;
+  /// Applies this slot's faults: stalls and aborts in-flight copies,
+  /// evacuates crashed PMs through the recovery controller, drains the
+  /// admission queue.  Mutates placement_ and in_flight_.
+  void apply_faults(const fault::SlotFaults& sf, std::size_t t,
+                    SimReport& report);
 
   const ProblemInstance* inst_;
   Placement placement_;
@@ -103,6 +133,14 @@ class ClusterSimulator {
   std::vector<InFlight> in_flight_;
   /// Present only under TargetSelection::kReservationAware.
   std::optional<MapCalTable> reservation_table_;
+  /// Present only when SimConfig::faults is set.
+  std::optional<fault::FaultInjector> injector_;
+  std::optional<fault::RecoveryController> recovery_;
+  OnOffParams rounded_{};  ///< uniform params for recovery Eq. (17) checks
+  /// VMs whose last migration was rolled back by a fault; the next
+  /// scheduler move of such a VM counts `migration.retries` instead of a
+  /// plain first-attempt migration.
+  std::vector<bool> aborted_once_;
   bool ran_{false};
 };
 

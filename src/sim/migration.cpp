@@ -8,13 +8,22 @@ namespace burstq {
 
 void MigrationPolicy::validate() const {
   BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
-  BURSTQ_REQUIRE(cvr_window > 0, "CVR window must be positive");
+  BURSTQ_REQUIRE(cvr_window > 0,
+                 "cvr_window must be >= 1 slot (a zero-length window would "
+                 "make the migration trigger see no history at all)");
+  BURSTQ_REQUIRE(cost_slots > 0,
+                 "cost_slots must be >= 1 (a live migration occupies the "
+                 "source PM for at least one copy slot; 0 would silently "
+                 "model free migrations)");
   BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
 }
 
 std::optional<VmId> select_victim(std::span<const std::size_t> vms_on_pm,
                                   std::span<const Resource> demand,
                                   std::span<const VmState> state) {
+  // Strictly-greater on demand plus lowest-VmId on ties: the winner is a
+  // pure function of (demand, state) regardless of vms_on_pm order, which
+  // swap-remove churn permutes freely.
   std::optional<VmId> best_on;
   Resource best_on_demand = -1.0;
   std::optional<VmId> best_any;
@@ -22,11 +31,14 @@ std::optional<VmId> select_victim(std::span<const std::size_t> vms_on_pm,
 
   for (std::size_t i : vms_on_pm) {
     const Resource d = demand[i];
-    if (state[i] == VmState::kOn && d > best_on_demand) {
+    if (state[i] == VmState::kOn &&
+        (d > best_on_demand ||
+         (d == best_on_demand && i < best_on->value))) {
       best_on_demand = d;
       best_on = VmId{i};
     }
-    if (d > best_any_demand) {
+    if (d > best_any_demand ||
+        (d == best_any_demand && i < best_any->value)) {
       best_any_demand = d;
       best_any = VmId{i};
     }
@@ -46,11 +58,11 @@ std::optional<VmId> select_victim_policy(
   double best_key = 0.0;
   for (std::size_t i : vms_on_pm) {
     // kSmallestRb minimizes rb (less memory to copy); kLargestRe evicts
-    // the biggest potential spike.
+    // the biggest potential spike.  Lowest VmId wins equal keys.
     const double key = policy == VictimSelection::kSmallestRb
                            ? -inst.vms[i].rb
                            : inst.vms[i].re;
-    if (!best || key > best_key) {
+    if (!best || key > best_key || (key == best_key && i < best->value)) {
       best_key = key;
       best = VmId{i};
     }
@@ -62,14 +74,18 @@ std::optional<PmId> select_target(PmId source, Resource victim_demand,
                                   std::span<const Resource> pm_load,
                                   std::span<const Resource> pm_capacity,
                                   std::span<const std::size_t> pm_vm_count,
-                                  std::size_t max_vms) {
+                                  std::size_t max_vms,
+                                  std::span<const std::uint8_t> pm_up) {
   BURSTQ_REQUIRE(pm_load.size() == pm_capacity.size() &&
                      pm_load.size() == pm_vm_count.size(),
                  "per-PM spans must agree in length");
+  BURSTQ_REQUIRE(pm_up.empty() || pm_up.size() == pm_load.size(),
+                 "pm_up mask must be empty or match the PM count");
   BURSTQ_COUNT("sim.target_searches", 1);
   for (std::size_t j = 0; j < pm_load.size(); ++j) {
     const PmId pm{j};
     if (pm == source) continue;
+    if (!pm_up.empty() && !pm_up[j]) continue;
     if (pm_vm_count[j] + 1 > max_vms) continue;
     if (pm_load[j] + victim_demand <=
         pm_capacity[j] * (1.0 + kCapacityEpsilon))

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -39,8 +40,11 @@ enum class TargetSelection {
 
 struct MigrationPolicy {
   double rho{0.01};            ///< CVR trigger threshold
-  std::size_t cvr_window{10};  ///< sliding-window length (slots)
-  std::size_t cost_slots{1};   ///< slots during which the VM loads both PMs
+  std::size_t cvr_window{10};  ///< sliding-window length (slots); >= 1
+  /// Slots during which the VM loads both PMs.  Must be >= 1: a live
+  /// migration always occupies the source for at least one copy slot
+  /// (validate() rejects 0 rather than silently modelling free moves).
+  std::size_t cost_slots{1};
   std::size_t max_vms_per_pm{16};
   VictimSelection victim{VictimSelection::kLargestOnDemand};
   TargetSelection target{TargetSelection::kObservedLoad};
@@ -53,13 +57,17 @@ struct MigrationPolicy {
 /// Preference order: the ON VM with the largest current demand (evicting
 /// the spiking VM frees the most and it is the one local resizing could
 /// not absorb); if no VM is ON (noise-driven overload), the largest-demand
-/// VM overall.  Returns nullopt when the PM hosts nothing.
+/// VM overall.  Equal demands tie-break on the *lowest VmId*, independent
+/// of the order of `vms_on_pm` — PM lists get reordered by swap-removes,
+/// and fault replay / fuzz --replay must stay bit-reproducible across
+/// that churn.  Returns nullopt when the PM hosts nothing.
 std::optional<VmId> select_victim(std::span<const std::size_t> vms_on_pm,
                                   std::span<const Resource> demand,
                                   std::span<const VmState> state);
 
 /// Policy-dispatched victim selection.  kLargestOnDemand delegates to
-/// select_victim above; kSmallestRb / kLargestRe rank by the static spec.
+/// select_victim above; kSmallestRb / kLargestRe rank by the static spec
+/// with the same lowest-VmId tie-break on equal keys.
 std::optional<VmId> select_victim_policy(
     VictimSelection policy, const ProblemInstance& inst,
     std::span<const std::size_t> vms_on_pm, std::span<const Resource> demand,
@@ -68,11 +76,14 @@ std::optional<VmId> select_victim_policy(
 /// Chooses the destination PM by observed load: the first PM (by index)
 /// other than `source` with fewer than `max_vms` VMs whose current
 /// aggregate demand plus the victim's demand stays within capacity.
-/// Returns nullopt when no PM qualifies.
+/// A non-empty `pm_up` mask (byte per PM, nonzero = up) excludes down PMs
+/// (fault injection); empty means every PM is a candidate.  Returns
+/// nullopt when no PM qualifies.
 std::optional<PmId> select_target(PmId source, Resource victim_demand,
                                   std::span<const Resource> pm_load,
                                   std::span<const Resource> pm_capacity,
                                   std::span<const std::size_t> pm_vm_count,
-                                  std::size_t max_vms);
+                                  std::size_t max_vms,
+                                  std::span<const std::uint8_t> pm_up = {});
 
 }  // namespace burstq

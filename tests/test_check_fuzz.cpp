@@ -74,7 +74,7 @@ TEST(FuzzOracles, PassOnTheHistoricalCrashFamilies) {
     c.max_vms_per_pm = 8;
     for (const OracleId id :
          {OracleId::kStationary, OracleId::kCvr, OracleId::kPlacement,
-          OracleId::kCache}) {
+          OracleId::kCache, OracleId::kRecovery}) {
       const OracleReport r = run_oracle(id, c);
       EXPECT_TRUE(!r.ran || r.ok)
           << oracle_name(id) << " failed on p=(" << p_on << "," << p_off
@@ -117,8 +117,8 @@ TEST(FuzzHarness, SmallSweepIsCleanAndCountsAddUp) {
                                     ? ""
                                     : summary.discrepancies[0].detail);
   EXPECT_EQ(summary.instances, 25u);
-  // Four oracles per case; each either ran or was gated out.
-  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 4u * 25u);
+  // Five oracles per case; each either ran or was gated out.
+  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 5u * 25u);
 }
 
 TEST(FuzzHarness, RerunsAreIdentical) {
@@ -139,14 +139,15 @@ TEST(FuzzHarness, ReplaySingleCase) {
   const FuzzSummary summary = replay_case(seed, options);
   EXPECT_EQ(summary.instances, 1u);
   EXPECT_TRUE(summary.ok());
-  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 3u);
+  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 4u);
 }
 
 TEST(FuzzHarness, OracleSelectionIsHonoured) {
   FuzzOptions options;
   options.seed = 2;
   options.instances = 10;
-  options.cvr = options.placement = options.cache = false;
+  options.cvr = options.placement = options.cache = options.recovery =
+      false;
   const FuzzSummary summary = run_fuzz(options);
   // The stationary oracle never gates out.
   EXPECT_EQ(summary.oracle_runs, 10u);

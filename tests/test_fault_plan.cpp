@@ -1,0 +1,198 @@
+// Fault-plan grammar, validation, and injector determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+
+namespace burstq::fault {
+namespace {
+
+// --- parser: the documented grammar round-trips -----------------------
+
+TEST(FaultPlanParse, FullGrammar) {
+  const FaultPlan plan = parse_fault_plan(
+      "crash@10:pm=2;solver@15:slots=20;mig-abort@18;"
+      "mig-stall@20:slots=3;recover@40:pm=2");
+  ASSERT_EQ(plan.scripted.size(), 5u);
+  EXPECT_EQ(plan.scripted[0].kind, FaultKind::kPmCrash);
+  EXPECT_EQ(plan.scripted[0].slot, 10u);
+  EXPECT_EQ(plan.scripted[0].pm, 2u);
+  EXPECT_EQ(plan.scripted[1].kind, FaultKind::kSolverOutage);
+  EXPECT_EQ(plan.scripted[1].duration, 20u);
+  EXPECT_EQ(plan.scripted[2].kind, FaultKind::kMigrationAbort);
+  EXPECT_EQ(plan.scripted[3].kind, FaultKind::kMigrationStall);
+  EXPECT_EQ(plan.scripted[3].duration, 3u);
+  EXPECT_EQ(plan.scripted[4].kind, FaultKind::kPmRecover);
+  EXPECT_EQ(plan.scripted[4].slot, 40u);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlanParse, SortsEventsBySlot) {
+  const FaultPlan plan =
+      parse_fault_plan("recover@40:pm=1;crash@5:pm=1;mig-abort@20");
+  ASSERT_EQ(plan.scripted.size(), 3u);
+  EXPECT_EQ(plan.scripted[0].slot, 5u);
+  EXPECT_EQ(plan.scripted[1].slot, 20u);
+  EXPECT_EQ(plan.scripted[2].slot, 40u);
+}
+
+TEST(FaultPlanParse, MalformedItemsNameTheOffender) {
+  // Each bad spec throws InvalidArgument whose message quotes the item —
+  // actionable errors, never a silent default.
+  const char* bad[] = {
+      "crash@10",              // crash without :pm=
+      "crash@10:slots=3",      // wrong key for the kind
+      "crash:pm=2",            // missing @slot
+      "crash@x:pm=2",          // non-numeric slot
+      "crash@10:pm=two",       // non-numeric pm
+      "mig-abort@5:pm=1",      // mig-abort takes no suffix
+      "mig-stall@5",           // stall without :slots=
+      "mig-stall@5:slots=0",   // zero-length stall is a silent no-op
+      "solver@5:slots=0",      // same for solver outages
+      "explode@5",             // unknown kind
+      "",                      // nothing at all
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)parse_fault_plan(spec), InvalidArgument)
+        << "accepted: '" << spec << "'";
+  }
+  try {
+    (void)parse_fault_plan("crash@10");
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("crash@10"), std::string::npos)
+        << "error message should quote the offending item: " << e.what();
+  }
+}
+
+// --- validation -------------------------------------------------------
+
+TEST(FaultPlanValidate, RejectsOutOfRangeProbabilities) {
+  FaultPlan plan;
+  plan.markov.p_crash = 1.5;
+  plan.markov.p_recover = 0.5;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan.markov.p_crash = -0.1;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+TEST(FaultPlanValidate, RejectsCrashWithoutRecovery) {
+  // p_crash > 0 with p_recover == 0 monotonically drains the fleet.
+  FaultPlan plan;
+  plan.markov.p_crash = 0.01;
+  plan.markov.p_recover = 0.0;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan.markov.p_recover = 0.1;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidate, RejectsPmIndexBeyondFleet) {
+  const FaultPlan plan = parse_fault_plan("crash@1:pm=7");
+  EXPECT_NO_THROW(plan.validate());  // fleet size unknown: range unchecked
+  EXPECT_THROW(plan.validate(4), InvalidArgument);
+  EXPECT_NO_THROW(plan.validate(8));
+}
+
+// --- injector ---------------------------------------------------------
+
+TEST(FaultInjector, ScriptedEventsFireAtTheirSlot) {
+  const FaultPlan plan = parse_fault_plan(
+      "crash@2:pm=1;solver@3:slots=2;mig-stall@4:slots=5;recover@5:pm=1");
+  FaultInjector inj(plan, 3);
+  EXPECT_TRUE(inj.pm_up(1));
+
+  EXPECT_TRUE(inj.advance(0).crashes.empty());
+  EXPECT_TRUE(inj.advance(1).crashes.empty());
+
+  const SlotFaults s2 = inj.advance(2);
+  ASSERT_EQ(s2.crashes.size(), 1u);
+  EXPECT_EQ(s2.crashes[0], 1u);
+  EXPECT_FALSE(inj.pm_up(1));
+  EXPECT_EQ(inj.up_count(), 2u);
+
+  EXPECT_TRUE(inj.advance(3).solver_fault);
+  const SlotFaults s4 = inj.advance(4);
+  EXPECT_TRUE(s4.solver_fault);  // outage covers slots [3, 5)
+  EXPECT_EQ(s4.stall_slots, 5u);
+
+  const SlotFaults s5 = inj.advance(5);
+  EXPECT_FALSE(s5.solver_fault);
+  ASSERT_EQ(s5.recoveries.size(), 1u);
+  EXPECT_EQ(s5.recoveries[0], 1u);
+  EXPECT_TRUE(inj.pm_up(1));
+  EXPECT_EQ(inj.up_count(), 3u);
+}
+
+TEST(FaultInjector, CrashOfDownPmAndRecoverOfUpPmAreNoOps) {
+  const FaultPlan plan =
+      parse_fault_plan("crash@1:pm=0;crash@2:pm=0;recover@3:pm=1");
+  FaultInjector inj(plan, 2);
+  EXPECT_TRUE(inj.advance(0).crashes.empty());
+  EXPECT_EQ(inj.advance(1).crashes.size(), 1u);
+  EXPECT_TRUE(inj.advance(2).crashes.empty());  // pm 0 already down
+  EXPECT_TRUE(inj.advance(3).recoveries.empty());  // pm 1 already up
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.markov.p_crash = 0.08;
+  plan.markov.p_recover = 0.3;
+  plan.markov.p_mig_fail = 0.1;
+  plan.seed = 321;
+
+  const auto record = [&] {
+    FaultInjector inj(plan, 10);
+    std::vector<std::size_t> trace;
+    for (std::size_t t = 0; t < 200; ++t) {
+      const SlotFaults sf = inj.advance(t);
+      for (std::size_t pm : sf.crashes) trace.push_back(2000 + t * 10 + pm);
+      for (std::size_t pm : sf.recoveries)
+        trace.push_back(4000 + t * 10 + pm);
+      trace.push_back(inj.draw_migration_abort() ? 1 : 0);
+    }
+    return trace;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(FaultInjector, MarkovCrashesNeverTakeTheLastPmDown) {
+  // The clamp sheds Markov-drawn crashes so the fleet never hits zero up
+  // PMs by chance alone (a scripted plan may still kill everything).
+  FaultPlan plan;
+  plan.markov.p_crash = 1.0;  // every up PM "fails" every slot
+  plan.markov.p_recover = 1e-9;
+  plan.seed = 7;
+  FaultInjector inj(plan, 4);
+  for (std::size_t t = 0; t < 50; ++t) {
+    (void)inj.advance(t);
+    EXPECT_GE(inj.up_count(), 1u) << "slot " << t;
+  }
+}
+
+TEST(FaultInjector, NoMigrationFaultMeansNoRngConsumption) {
+  // With p_mig_fail == 0, draw_migration_abort must not advance the Rng:
+  // two runs that differ only in how often they ask must stay in lockstep.
+  FaultPlan plan;
+  plan.markov.p_crash = 0.05;
+  plan.markov.p_recover = 0.5;
+  plan.seed = 99;
+
+  const auto trace = [&](std::size_t extra_draws) {
+    FaultInjector inj(plan, 6);
+    std::vector<std::size_t> crashes;
+    for (std::size_t t = 0; t < 100; ++t) {
+      const SlotFaults sf = inj.advance(t);
+      crashes.insert(crashes.end(), sf.crashes.begin(), sf.crashes.end());
+      for (std::size_t i = 0; i < extra_draws; ++i)
+        EXPECT_FALSE(inj.draw_migration_abort());
+    }
+    return crashes;
+  };
+  EXPECT_EQ(trace(0), trace(5));
+}
+
+}  // namespace
+}  // namespace burstq::fault

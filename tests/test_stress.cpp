@@ -136,7 +136,7 @@ TEST_P(StrategyStress, SimulatorConservesVms) {
   SimConfig cfg;
   cfg.slots = 60;
   cfg.webserver_workload = (GetParam() % 2) == 0;
-  cfg.policy.cost_slots = GetParam() % 3;  // exercise 0-cost migrations too
+  cfg.policy.cost_slots = 1 + GetParam() % 3;  // validate() rejects 0
   ClusterSimulator sim(inst, placed.placement, cfg, rng.split());
   const auto rep = sim.run();
   ASSERT_EQ(sim.placement().vms_assigned(), inst.n_vms());
