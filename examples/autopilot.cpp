@@ -13,15 +13,19 @@
 // from --fault-seed.  Crashed PMs evacuate through Eq. (17); tenants
 // that fit nowhere queue and drain with exponential backoff.
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "common/args.h"
 #include "common/table.h"
 #include "core/controller.h"
 #include "fault/injector.h"
+#include "obs/exporter.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "obs/summary.h"
 
 int main(int argc, char** argv) {
@@ -41,6 +45,12 @@ int main(int argc, char** argv) {
   args.add_option("fault-p-recover",
                   "per down-PM per-slot recovery probability");
   args.add_option("fault-seed", "seed for the Markov fault draws", "1");
+  args.add_option("hours", "hours of operation to simulate", "24");
+  args.add_option("pace-ms",
+                  "sleep this many ms per slot (lets a scraper watch a "
+                  "run in flight; 0 = full speed)",
+                  "0");
+  obs::add_telemetry_options(args);
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n" << args.usage();
     return 2;
@@ -55,10 +65,38 @@ int main(int argc, char** argv) {
     obs::events().set_run_label("autopilot");
   }
 
+  const auto hours = static_cast<std::size_t>(args.get_int("hours"));
+  const auto pace_ms = static_cast<std::size_t>(args.get_int("pace-ms"));
+  if (hours == 0) {
+    std::cerr << "error: --hours must be > 0\n";
+    return 2;
+  }
+
   ControllerConfig cfg;
   cfg.maintenance_every = 360;  // every 3 hours of 30s slots
   cfg.maintenance_budget = 25;
   const std::size_t n_pms = 120;
+
+  // SLO watch: fast = 5 min of 30 s slots, slow = 1 h, against the
+  // admission rule's own rho budget.
+  obs::SloOptions slo_opts;
+  slo_opts.rho = cfg.ffd.rho;
+  slo_opts.fast_window = 10;
+  slo_opts.slow_window = 120;
+  obs::SloTracker slo(n_pms, slo_opts);
+  cfg.slo = &slo;
+
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  try {
+    telemetry = obs::start_telemetry_from_args(args, &slo);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (telemetry)
+    std::cerr << "telemetry: serving /metrics /healthz /slo on 127.0.0.1:"
+              << telemetry->port() << "\n";
+
   CloudController cloud(std::vector<PmSpec>(n_pms, PmSpec{90.0}), cfg,
                         Rng(20260704));
 
@@ -100,7 +138,7 @@ int main(int argc, char** argv) {
                           "runtime migs", "maint migs", "mean CVR",
                           "energy (kWh)"});
 
-  for (std::size_t hour = 0; hour < 24; ++hour) {
+  for (std::size_t hour = 0; hour < hours; ++hour) {
     // Diurnal arrival rate: 0.05/slot at 4am .. 0.6/slot at 2pm.
     const double day_phase =
         0.5 - 0.5 * std::cos(2.0 * 3.14159265358979 *
@@ -141,6 +179,8 @@ int main(int argc, char** argv) {
         solver_guard.emplace(sf.solver_fault);
       }
       cloud.tick();
+      if (pace_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
     }
 
     const auto& st = cloud.stats();
@@ -153,7 +193,8 @@ int main(int argc, char** argv) {
          ConsoleTable::num(st.mean_cvr, 4),
          ConsoleTable::num(st.energy_wh / 1000.0, 2)});
   }
-  dashboard.set_title("autopilot: 24h of closed-loop operation");
+  dashboard.set_title("autopilot: " + std::to_string(hours) +
+                      "h of closed-loop operation");
   dashboard.print(std::cout);
 
   const auto& st = cloud.stats();
@@ -171,6 +212,14 @@ int main(int argc, char** argv) {
               << cloud.queued_tenants() << " still waiting), "
               << st.retries << " retries, " << st.degraded_maintenance
               << " degraded maintenance windows.\n";
+  const obs::SloReport slo_report = slo.report();
+  std::cout << "slo: verdict=" << slo_report.verdict()
+            << " cvr=" << slo_report.cumulative.cvr << " (budget "
+            << slo_opts.rho << "), burn fast=" << slo_report.fast.burn
+            << " slow=" << slo_report.slow.burn << ", "
+            << slo_report.breaches << " breach episodes.\n";
+
+  if (telemetry) telemetry->stop();
   if (args.has("obs-out")) obs::events().close();
   if (args.flag("obs-summary")) obs::print_summary(std::cout);
   return cloud.reservation_invariant_holds() ? 0 : 1;

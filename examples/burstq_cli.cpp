@@ -34,7 +34,9 @@
 #include "fit/estimator.h"
 #include "fit/instance_io.h"
 #include "fit/trace_io.h"
+#include "obs/exporter.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "obs/summary.h"
 #include "placement/hetero_ffd.h"
 #include "placement/quantile_ffd.h"
@@ -238,6 +240,8 @@ int cmd_replay(int argc, const char* const* argv) {
                  "(JSONL, recorded at --obs-level detail)");
   args.add_option("log", "flight-recorder JSONL file");
   args.add_flag("per-pm", "also emit per-PM CVR CSV on stdout");
+  args.add_option("slo-fast", "fast SLO window in slots", "10");
+  args.add_option("slo-slow", "slow SLO window in slots", "120");
   if (!args.parse(argc, argv) || !args.has("log")) {
     std::cerr << (args.error().empty() ? "--log is required" : args.error())
               << "\n\n"
@@ -245,7 +249,10 @@ int cmd_replay(int argc, const char* const* argv) {
     return 1;
   }
 
-  const auto segments = replay_flight_log(args.get("log"));
+  obs::SloOptions slo_opts;  // rho is taken from each recorded header
+  slo_opts.fast_window = static_cast<std::size_t>(args.get_int("slo-fast"));
+  slo_opts.slow_window = static_cast<std::size_t>(args.get_int("slo-slow"));
+  const auto segments = replay_flight_log(args.get("log"), &slo_opts);
   if (segments.empty()) {
     std::cerr << "no sim.config segments in " << args.get("log")
               << " (was the run recorded at --obs-level detail?)\n";
@@ -264,6 +271,27 @@ int cmd_replay(int argc, const char* const* argv) {
                    std::to_string(seg.window_resets)});
   }
   table.print(std::cerr);
+
+  // SLO audit: observed CVR vs the run's recorded rho budget, per window.
+  ConsoleTable slo_table({"run", "rho", "cum CVR", "fast burn", "slow burn",
+                          "breaches", "PMs > rho", "verdict"});
+  bool slo_ok = true;
+  for (const auto& seg : segments) {
+    if (!seg.slo) continue;
+    const obs::SloReport r = seg.slo->report();
+    std::size_t pms_above = 0;
+    for (const auto& pm : r.pms) pms_above += pm.above_rho ? 1 : 0;
+    slo_table.add_row({seg.label, ConsoleTable::num(r.rho, 4),
+                       ConsoleTable::num(r.cumulative.cvr, 4),
+                       ConsoleTable::num(r.fast.burn, 2),
+                       ConsoleTable::num(r.slow.burn, 2),
+                       std::to_string(r.breaches),
+                       std::to_string(pms_above), r.verdict()});
+    if (!r.ok()) slo_ok = false;
+  }
+  slo_table.set_title("SLO audit (observed CVR vs recorded rho)");
+  slo_table.print(std::cerr);
+  std::cerr << "slo.verdict=" << (slo_ok ? "PASS" : "FAIL") << "\n";
 
   if (args.flag("per-pm")) {
     std::cout << "run,pm,observed_slots,violations,cvr,windowed_cvr\n";
@@ -356,8 +384,11 @@ int cmd_sim(int argc, const char* const* argv) {
   args.add_option("seed", "workload RNG seed", "42");
   args.add_option("cost-slots", "live-migration copy cost in slots", "1");
   args.add_option("cvr-window", "migration-trigger window in slots", "10");
+  args.add_option("slo-fast", "fast SLO window in slots", "10");
+  args.add_option("slo-slow", "slow SLO window in slots", "120");
   add_fault_options(args);
   add_obs_options(args);
+  obs::add_telemetry_options(args);
   if (!args.parse(argc, argv) || !args.has("vms")) {
     std::cerr << (args.error().empty() ? "--vms is required" : args.error())
               << "\n\n"
@@ -399,10 +430,25 @@ int cmd_sim(int argc, const char* const* argv) {
       static_cast<std::size_t>(args.get_int("cvr-window"));
   cfg.faults = load_fault_plan(args);
 
+  obs::SloOptions slo_opts;
+  slo_opts.rho = opt.rho;
+  slo_opts.fast_window = static_cast<std::size_t>(args.get_int("slo-fast"));
+  slo_opts.slow_window = static_cast<std::size_t>(args.get_int("slo-slow"));
+  obs::SloTracker slo(inst.n_pms(), slo_opts);
+  cfg.slo = &slo;
+
+  std::unique_ptr<obs::TelemetryExporter> telemetry =
+      obs::start_telemetry_from_args(args, &slo);
+  if (telemetry)
+    std::cerr << "telemetry: serving /metrics /healthz /slo on 127.0.0.1:"
+              << telemetry->port() << "\n";
+
   ClusterSimulator sim(
       inst, placed.placement, cfg,
       Rng(static_cast<std::uint64_t>(args.get_int("seed"))));
   const SimReport rep = sim.run();
+  if (telemetry) telemetry->stop();
+  const obs::SloReport slo_rep = slo.report();
 
   // key=value lines: stable field order, deterministic values — two runs
   // with identical seeds must produce byte-identical output.
@@ -428,7 +474,8 @@ int cmd_sim(int argc, const char* const* argv) {
             << "\n"
             << "fault.solver_degraded=" << rep.faults.solver_degraded
             << "\n"
-            << "fault.lost_vms=" << rep.faults.lost_vms << "\n";
+            << "fault.lost_vms=" << rep.faults.lost_vms << "\n"
+            << slo_rep.render();
   finish_obs(args);
   return rep.faults.lost_vms == 0 ? 0 : 1;
 }

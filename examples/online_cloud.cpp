@@ -9,12 +9,34 @@
 #include <iostream>
 #include <vector>
 
+#include "common/args.h"
 #include "common/table.h"
+#include "obs/exporter.h"
 #include "placement/online.h"
 #include "placement/replan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace burstq;
+
+  ArgParser args("online_cloud",
+                 "a day of online arrivals/departures/recalibration");
+  obs::add_telemetry_options(args);
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  // No per-slot violation loop here, so no SLO tracker — /metrics and
+  // /healthz still expose the placement/solver instrumentation.
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  try {
+    telemetry = obs::start_telemetry_from_args(args);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (telemetry)
+    std::cerr << "telemetry: serving /metrics /healthz on 127.0.0.1:"
+              << telemetry->port() << "\n";
 
   OnlineConsolidator cloud(std::vector<PmSpec>(200, PmSpec{90.0}),
                            QueuingFfdOptions{}, OnOffParams{0.01, 0.09});

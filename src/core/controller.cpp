@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "placement/budget.h"
 #include "placement/placement.h"
 
@@ -31,6 +32,9 @@ CloudController::CloudController(std::vector<PmSpec> pms,
   BURSTQ_REQUIRE(!pms_.empty(), "controller needs at least one PM");
   config_.validate();
   for (const auto& p : pms_) p.validate();
+  BURSTQ_REQUIRE(config_.slo == nullptr ||
+                     config_.slo->n_pms() == pms_.size(),
+                 "SLO tracker PM count must match the fleet");
 }
 
 std::vector<VmSpec> CloudController::hosted_specs(PmId pm) const {
@@ -313,9 +317,12 @@ void CloudController::tick() {
   // 2. Violation bookkeeping.
   for (std::size_t j = 0; j < pms_.size(); ++j) {
     if (on_pm_[j].empty()) continue;
-    tracker_.record(PmId{j},
-                    load[j] > pms_[j].capacity * (1.0 + kCapacityEpsilon));
+    const bool violated =
+        load[j] > pms_[j].capacity * (1.0 + kCapacityEpsilon);
+    tracker_.record(PmId{j}, violated);
+    if (config_.slo != nullptr) config_.slo->record(PmId{j}, violated);
   }
+  if (config_.slo != nullptr) config_.slo->end_slot();
 
   // 3. Dynamic scheduling.
   run_scheduler(load, load);

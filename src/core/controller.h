@@ -28,6 +28,10 @@
 
 namespace burstq {
 
+namespace obs {
+class SloTracker;
+}
+
 struct ControllerConfig {
   QueuingFfdOptions ffd{};        ///< admission rule (rho, d, clustering)
   MigrationPolicy policy{};       ///< runtime scheduler
@@ -40,6 +44,9 @@ struct ControllerConfig {
   /// Backoff discipline for tenants displaced by a PM crash that fit
   /// nowhere immediately (inject_pm_crash).
   fault::RecoveryPolicy recovery{};
+  /// Optional SLO tracker (obs/slo.h); not owned, must outlive the
+  /// controller.  Mirrors every tick's per-PM violation verdicts.
+  obs::SloTracker* slo{nullptr};
 
   void validate() const;
 };

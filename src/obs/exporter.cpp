@@ -1,0 +1,178 @@
+#include "obs/exporter.h"
+
+#include <utility>
+
+#include "obs/registry.h"
+
+#ifndef BURSTQ_NO_OBS
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/http_server.h"
+#include "obs/prometheus.h"
+
+namespace burstq::obs {
+
+struct TelemetryExporter::Impl {
+  TelemetryOptions opt;
+  HttpServer server;
+
+  mutable std::mutex mu;
+  MetricsSnapshot snap;                          ///< latest refresh
+  std::map<std::string, std::uint64_t> deltas;   ///< counter change
+  std::uint64_t refreshes{0};
+
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stopping{false};
+  std::thread refresher;
+
+  void refresh() {
+    MetricsSnapshot next = metrics().scrape();
+    std::lock_guard<std::mutex> lock(mu);
+    std::map<std::string, std::uint64_t> next_deltas;
+    for (const CounterSample& c : next.counters) {
+      const CounterSample* prev = snap.counter(c.name);
+      const std::uint64_t before = prev == nullptr ? 0 : prev->value;
+      // Counters are monotone per shard but a racing reset() can shrink
+      // the merged value; clamp instead of wrapping around.
+      next_deltas[c.name] = c.value >= before ? c.value - before : 0;
+    }
+    snap = std::move(next);
+    deltas = std::move(next_deltas);
+    ++refreshes;
+  }
+
+  [[nodiscard]] std::string render_metrics() const {
+    std::lock_guard<std::mutex> lock(mu);
+    std::string out = "# burstq telemetry: service=" + opt.service +
+                      " refreshes=" + std::to_string(refreshes) + "\n";
+    out += render_prometheus(snap);
+    const PrometheusOptions popt;
+    for (const auto& [name, delta] : deltas) {
+      const std::string base = popt.prefix + sanitize_metric_name(name);
+      out += "# TYPE " + base + "_delta gauge\n";
+      out += base + "_delta " + std::to_string(delta) + "\n";
+    }
+    out += "# TYPE " + popt.prefix + "exporter_refreshes_total counter\n";
+    out += popt.prefix + "exporter_refreshes_total " +
+           std::to_string(refreshes) + "\n";
+    out += "# TYPE " + popt.prefix + "exporter_interval_ms gauge\n";
+    out += popt.prefix + "exporter_interval_ms " +
+           std::to_string(opt.interval.count()) + "\n";
+    return out;
+  }
+
+  [[nodiscard]] std::string render_slo() const {
+    return opt.slo == nullptr ? std::string{} : opt.slo->report().render();
+  }
+};
+
+TelemetryExporter::TelemetryExporter(TelemetryOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  BURSTQ_REQUIRE(options.interval.count() > 0,
+                 "telemetry: interval must be positive");
+  impl_->opt = std::move(options);
+  impl_->refresh();  // /metrics is never empty-before-first-tick
+
+  Impl* impl = impl_.get();
+  impl_->server.handle("/metrics", [impl](const std::string&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        impl->render_metrics()};
+  });
+  impl_->server.handle("/healthz", [](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  impl_->server.handle("/slo", [impl](const std::string&) {
+    std::string body = impl->render_slo();
+    if (body.empty())
+      return HttpResponse{404, "text/plain; charset=utf-8",
+                          "no SLO tracker attached\n"};
+    return HttpResponse{200, "text/plain; charset=utf-8", std::move(body)};
+  });
+  impl_->server.start(impl_->opt.port);
+
+  impl_->refresher = std::thread([impl] {
+    std::unique_lock<std::mutex> lock(impl->stop_mu);
+    while (!impl->stop_cv.wait_for(lock, impl->opt.interval,
+                                   [impl] { return impl->stopping; })) {
+      lock.unlock();
+      impl->refresh();
+      lock.lock();
+    }
+  });
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+void TelemetryExporter::stop() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stop_mu);
+    impl_->stopping = true;
+  }
+  impl_->stop_cv.notify_all();
+  if (impl_->refresher.joinable()) impl_->refresher.join();
+  impl_->server.stop();
+}
+
+std::uint16_t TelemetryExporter::port() const { return impl_->server.port(); }
+
+std::uint64_t TelemetryExporter::requests_served() const {
+  return impl_->server.requests_served();
+}
+
+std::uint64_t TelemetryExporter::refreshes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->refreshes;
+}
+
+std::string TelemetryExporter::render_metrics() const {
+  impl_->refresh();  // tests want current values, not the last tick's
+  return impl_->render_metrics();
+}
+
+std::string TelemetryExporter::render_slo() const {
+  return impl_->render_slo();
+}
+
+}  // namespace burstq::obs
+
+#endif  // BURSTQ_NO_OBS
+
+namespace burstq::obs {
+
+void add_telemetry_options(ArgParser& args) {
+  args.add_option("telemetry-port",
+                  "serve /metrics, /healthz, /slo on 127.0.0.1:<port> "
+                  "(0 = ephemeral; omit to disable)");
+  args.add_option("telemetry-interval",
+                  "telemetry snapshot refresh period in ms", "1000");
+}
+
+std::unique_ptr<TelemetryExporter> start_telemetry_from_args(
+    const ArgParser& args, const SloTracker* slo) {
+  if (!args.has("telemetry-port")) return nullptr;
+#ifdef BURSTQ_NO_OBS
+  (void)slo;
+  throw InvalidArgument(
+      "--telemetry-port requires an instrumented build; this binary was "
+      "compiled with BURSTQ_NO_OBS=ON");
+#else
+  const long long port = args.get_int("telemetry-port");
+  BURSTQ_REQUIRE(port >= 0 && port <= 65535,
+                 "--telemetry-port must be in [0, 65535]");
+  const long long interval = args.get_int("telemetry-interval");
+  BURSTQ_REQUIRE(interval > 0, "--telemetry-interval must be > 0 ms");
+  TelemetryOptions opt;
+  opt.port = static_cast<std::uint16_t>(port);
+  opt.interval = std::chrono::milliseconds(interval);
+  opt.slo = slo;
+  return std::make_unique<TelemetryExporter>(opt);
+#endif
+}
+
+}  // namespace burstq::obs

@@ -1,0 +1,103 @@
+// TelemetryExporter — periodic snapshot export over HTTP.
+//
+// A background refresh thread scrapes the process-wide metrics registry
+// every `interval` and caches the snapshot; the HTTP server (one acceptor
+// thread) serves it on demand:
+//
+//   GET /metrics  Prometheus text format (exposition 0.0.4).  Counters
+//                 are cumulative as usual, and each counter additionally
+//                 gets a `<prefix><name>_delta` gauge holding its change
+//                 since the previous refresh — the scrape-to-scrape rate
+//                 numerator without server-side state.  Gauges are
+//                 last-write-wins.
+//   GET /healthz  "ok\n" — liveness for smoke tests and orchestration.
+//   GET /slo      key=value SLO report (404 when no tracker is attached).
+//
+// Under -DBURSTQ_NO_OBS the class is an inline stub whose start() throws
+// InvalidArgument, and start_telemetry_from_args() rejects
+// --telemetry-port with a clear message; no socket or thread code links.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/args.h"
+#include "common/error.h"
+#include "obs/slo.h"
+
+namespace burstq::obs {
+
+struct TelemetryOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port{0};
+  /// Snapshot refresh period.
+  std::chrono::milliseconds interval{1000};
+  /// Optional SLO tracker backing /slo.  Not owned; must outlive the
+  /// exporter.
+  const SloTracker* slo{nullptr};
+  /// Reported as the `service` label-free info gauge comment in /metrics.
+  std::string service{"burstq"};
+};
+
+#ifndef BURSTQ_NO_OBS
+
+class TelemetryExporter {
+ public:
+  /// Binds the port and starts the refresh + acceptor threads.  Throws
+  /// InvalidArgument when the port cannot be bound.
+  explicit TelemetryExporter(TelemetryOptions options);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Stops both threads.  Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] std::uint64_t requests_served() const;
+  [[nodiscard]] std::uint64_t refreshes() const;
+
+  /// The exact /metrics and /slo bodies (exposed for tests, which check
+  /// rendering without sockets).
+  [[nodiscard]] std::string render_metrics() const;
+  [[nodiscard]] std::string render_slo() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // BURSTQ_NO_OBS
+
+class TelemetryExporter {
+ public:
+  [[noreturn]] explicit TelemetryExporter(TelemetryOptions) {
+    throw InvalidArgument(
+        "telemetry exporter unavailable: built with BURSTQ_NO_OBS");
+  }
+  void stop() {}
+  [[nodiscard]] std::uint16_t port() const { return 0; }
+  [[nodiscard]] std::uint64_t requests_served() const { return 0; }
+  [[nodiscard]] std::uint64_t refreshes() const { return 0; }
+  [[nodiscard]] std::string render_metrics() const { return {}; }
+  [[nodiscard]] std::string render_slo() const { return {}; }
+};
+
+#endif  // BURSTQ_NO_OBS
+
+/// Declares --telemetry-port and --telemetry-interval on `args` (shared
+/// by autopilot, online_cloud and burstq_cli sim).
+void add_telemetry_options(ArgParser& args);
+
+/// Starts an exporter when --telemetry-port was supplied; returns nullptr
+/// otherwise.  Throws InvalidArgument for a malformed port/interval, and
+/// under BURSTQ_NO_OBS whenever a port is requested (uninstrumented
+/// builds must fail loudly, not silently serve an empty registry).
+std::unique_ptr<TelemetryExporter> start_telemetry_from_args(
+    const ArgParser& args, const SloTracker* slo = nullptr);
+
+}  // namespace burstq::obs

@@ -1,0 +1,80 @@
+// Dependency-free blocking HTTP/1.1 server for the telemetry endpoints:
+// POSIX sockets, one acceptor thread, loopback only, GET only, exact
+// path routing, Connection: close.  Deliberately tiny — it serves
+// /metrics, /healthz and /slo to a scraper, nothing more.
+//
+// Under -DBURSTQ_NO_OBS the implementation file compiles to nothing and
+// this header provides an inline stub whose start() throws, so no socket
+// code is linked into uninstrumented builds while callers still compile.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/error.h"
+
+namespace burstq::obs {
+
+struct HttpResponse {
+  int status{200};
+  std::string content_type{"text/plain; charset=utf-8"};
+  std::string body;
+};
+
+/// Handlers receive the request path (query string stripped).
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+#ifndef BURSTQ_NO_OBS
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match route.  Call before start().
+  void handle(std::string path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// launches the acceptor thread.  Throws InvalidArgument when the
+  /// address cannot be bound or the server is already running.
+  void start(std::uint16_t port);
+
+  /// Stops accepting, joins the acceptor thread.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  /// Bound port; 0 before start().
+  [[nodiscard]] std::uint16_t port() const;
+  /// Requests served since start (for tests and exporter self-metrics).
+  [[nodiscard]] std::uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  Impl* impl_{nullptr};  ///< allocated on start(), freed on stop()
+  std::map<std::string, HttpHandler> routes_;
+};
+
+#else  // BURSTQ_NO_OBS
+
+class HttpServer {
+ public:
+  void handle(const std::string&, HttpHandler) {}
+  [[noreturn]] void start(std::uint16_t) {
+    throw InvalidArgument(
+        "telemetry HTTP server unavailable: built with BURSTQ_NO_OBS");
+  }
+  void stop() {}
+  [[nodiscard]] bool running() const { return false; }
+  [[nodiscard]] std::uint16_t port() const { return 0; }
+  [[nodiscard]] std::uint64_t requests_served() const { return 0; }
+};
+
+#endif  // BURSTQ_NO_OBS
+
+}  // namespace burstq::obs

@@ -1,0 +1,362 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace burstq::obs {
+
+namespace {
+
+/// Round-trippable decimal of a double: "%g" when it parses back exactly
+/// (gives "0.95", not "0.94999999999999996"), "%.17g" otherwise.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool valid_name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':')
+    return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+void append_series(std::string& out, const std::string& name,
+                   std::string_view labels, const std::string& value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void append_header(std::string& out, const std::string& family,
+                   std::string_view type, std::string_view help) {
+  out += "# HELP " + family + " ";
+  out += help;
+  out += '\n';
+  out += "# TYPE " + family + " ";
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (valid_name_char(c, /*first=*/false) && !(i == 0 && c == ':'))
+      out += c;
+    else
+      out += '_';
+  }
+  if (out.empty() || !valid_name_char(out.front(), /*first=*/true))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap,
+                              const PrometheusOptions& options) {
+  std::string out;
+
+  for (const auto& c : snap.counters) {
+    const std::string family =
+        options.prefix + sanitize_metric_name(c.name) + "_total";
+    append_header(out, family, "counter",
+                  "burstq counter \"" + c.name + "\"");
+    append_series(out, family, "", std::to_string(c.value));
+  }
+
+  for (const auto& g : snap.gauges) {
+    const std::string family = options.prefix + sanitize_metric_name(g.name);
+    append_header(out, family, "gauge", "burstq gauge \"" + g.name + "\"");
+    append_series(out, family, "", fmt_double(g.value));
+  }
+
+  for (const auto& h : snap.histograms) {
+    const std::string family = options.prefix + sanitize_metric_name(h.name);
+    append_header(out, family, "histogram",
+                  "burstq histogram \"" + h.name + "\"");
+    // Cumulative coarse buckets, stopping at the bucket holding max
+    // (every later bucket would repeat the total count).
+    std::uint64_t cum = 0;
+    if (h.hist.count > 0) {
+      const std::size_t last = Histogram::bucket_of(h.hist.max);
+      for (std::size_t b = 0; b <= last; ++b) {
+        cum += h.hist.buckets[b];
+        // Upper bound of coarse bucket b: 0 for b == 0, else 2^b - 1.
+        const std::uint64_t le =
+            b == 0 ? 0 : (b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1);
+        append_series(out, family + "_bucket",
+                      "le=\"" + std::to_string(le) + "\"",
+                      std::to_string(cum));
+      }
+    }
+    append_series(out, family + "_bucket", "le=\"+Inf\"",
+                  std::to_string(h.hist.count));
+    append_series(out, family + "_sum", "", std::to_string(h.hist.sum));
+    append_series(out, family + "_count", "", std::to_string(h.hist.count));
+
+    if (!options.quantiles.empty()) {
+      const std::string qfamily = family + "_quantiles";
+      append_header(out, qfamily, "summary",
+                    "streaming-sketch quantiles of \"" + h.name + "\"");
+      for (const double q : options.quantiles)
+        append_series(out, qfamily, "quantile=\"" + fmt_double(q) + "\"",
+                      fmt_double(h.hist.quantile(q)));
+      append_series(out, qfamily + "_sum", "", std::to_string(h.hist.sum));
+      append_series(out, qfamily + "_count", "",
+                    std::to_string(h.hist.count));
+    }
+  }
+
+  for (const auto& s : snap.spans) {
+    const std::string base = options.prefix + sanitize_metric_name(s.name);
+    append_header(out, base + "_calls_total", "counter",
+                  "calls of span \"" + s.name + "\"");
+    append_series(out, base + "_calls_total", "", std::to_string(s.calls));
+    append_header(out, base + "_wall_seconds_total", "counter",
+                  "inclusive wall time of span \"" + s.name + "\"");
+    append_series(out, base + "_wall_seconds_total", "",
+                  fmt_double(static_cast<double>(s.total_ns) / 1e9));
+    append_header(out, base + "_self_seconds_total", "counter",
+                  "exclusive wall time of span \"" + s.name + "\"");
+    append_series(out, base + "_self_seconds_total", "",
+                  fmt_double(static_cast<double>(s.self_ns) / 1e9));
+    append_header(out, base + "_max_seconds", "gauge",
+                  "longest single call of span \"" + s.name + "\"");
+    append_series(out, base + "_max_seconds", "",
+                  fmt_double(static_cast<double>(s.max_ns) / 1e9));
+  }
+
+  return out;
+}
+
+namespace {
+
+struct LineParser {
+  std::string_view line;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool done() const { return pos >= line.size(); }
+  [[nodiscard]] char peek() const { return line[pos]; }
+  void skip_spaces() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  /// Consumes a metric/label name; empty result means no valid name.
+  std::string_view name() {
+    const std::size_t start = pos;
+    while (!done() && valid_name_char(peek(), pos == start)) ++pos;
+    return line.substr(start, pos - start);
+  }
+};
+
+/// Parses a sample value ("3.14", "+Inf", "NaN", ...); nullopt on junk.
+std::optional<double> parse_value(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string term(text);
+  char* end = nullptr;
+  const double v = std::strtod(term.c_str(), &end);
+  if (end != term.c_str() + term.size()) return std::nullopt;
+  return v;
+}
+
+struct FamilyState {
+  std::string type;          ///< "" until a TYPE line is seen
+  bool has_samples{false};
+  bool type_after_sample{false};
+  std::vector<std::pair<double, double>> le_buckets;  ///< histogram only
+  std::optional<double> count_value;
+};
+
+/// Family a sample name belongs to, honouring histogram/summary member
+/// suffixes (_bucket/_sum/_count map back to their declared family).
+std::string family_of(const std::string& sample,
+                      const std::map<std::string, FamilyState>& families) {
+  for (const std::string_view suffix :
+       {"_bucket", "_sum", "_count"}) {
+    if (sample.size() > suffix.size() &&
+        sample.compare(sample.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      const std::string stem =
+          sample.substr(0, sample.size() - suffix.size());
+      const auto it = families.find(stem);
+      if (it != families.end() && (it->second.type == "histogram" ||
+                                   it->second.type == "summary"))
+        return stem;
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_exposition(std::string_view text) {
+  if (!text.empty() && text.back() != '\n')
+    return "exposition must end with a newline";
+
+  std::map<std::string, FamilyState> families;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+
+  const auto fail = [&](const std::string& msg) {
+    return "line " + std::to_string(line_no) + ": " + msg;
+  };
+
+  while (start < text.size()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+
+    if (line.front() == '#') {
+      LineParser p{line, 1};
+      p.skip_spaces();
+      const std::size_t kw_start = p.pos;
+      while (!p.done() && p.peek() != ' ') ++p.pos;
+      const std::string_view kw =
+          line.substr(kw_start, p.pos - kw_start);
+      if (kw != "HELP" && kw != "TYPE") continue;  // free-form comment
+      p.skip_spaces();
+      const std::string fam(p.name());
+      if (fam.empty()) return fail("missing metric name after # " +
+                                   std::string(kw));
+      p.skip_spaces();
+      if (kw == "TYPE") {
+        const std::string_view type = line.substr(p.pos);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          return fail("unknown TYPE \"" + std::string(type) + "\"");
+        FamilyState& st = families[fam];
+        if (!st.type.empty()) return fail("duplicate TYPE for " + fam);
+        if (st.has_samples)
+          return fail("TYPE for " + fam + " after its samples");
+        st.type = type;
+      }
+      continue;
+    }
+
+    // Sample line: name [{labels}] value [timestamp]
+    LineParser p{line, 0};
+    const std::string name(p.name());
+    if (name.empty()) return fail("invalid metric name");
+    std::optional<double> le;
+    std::optional<double> quantile;
+    if (!p.done() && p.peek() == '{') {
+      ++p.pos;
+      while (true) {
+        p.skip_spaces();
+        if (!p.done() && p.peek() == '}') {
+          ++p.pos;
+          break;
+        }
+        const std::string label(p.name());
+        if (label.empty() || label.find(':') != std::string::npos)
+          return fail("invalid label name");
+        if (p.done() || p.peek() != '=')
+          return fail("expected '=' after label " + label);
+        ++p.pos;
+        if (p.done() || p.peek() != '"')
+          return fail("label value must be quoted");
+        ++p.pos;
+        std::string value;
+        bool closed = false;
+        while (!p.done()) {
+          const char c = p.peek();
+          ++p.pos;
+          if (c == '\\') {
+            if (p.done()) return fail("dangling escape in label value");
+            const char e = p.peek();
+            ++p.pos;
+            if (e != '\\' && e != '"' && e != 'n')
+              return fail("bad escape in label value");
+            value += e == 'n' ? '\n' : e;
+          } else if (c == '"') {
+            closed = true;
+            break;
+          } else {
+            value += c;
+          }
+        }
+        if (!closed) return fail("unterminated label value");
+        if (label == "le") le = parse_value(value);
+        if (label == "quantile") {
+          quantile = parse_value(value);
+          if (!quantile || *quantile < 0.0 || *quantile > 1.0)
+            return fail("quantile label outside [0,1]");
+        }
+        p.skip_spaces();
+        if (!p.done() && p.peek() == ',') ++p.pos;
+      }
+    }
+    p.skip_spaces();
+    const std::size_t val_start = p.pos;
+    while (!p.done() && p.peek() != ' ' && p.peek() != '\t') ++p.pos;
+    const auto value =
+        parse_value(line.substr(val_start, p.pos - val_start));
+    if (!value) return fail("unparseable sample value");
+    p.skip_spaces();
+    if (!p.done()) {  // optional integer timestamp
+      const std::size_t ts_start = p.pos;
+      while (!p.done() && p.peek() != ' ') ++p.pos;
+      const std::string ts(line.substr(ts_start, p.pos - ts_start));
+      char* end = nullptr;
+      (void)std::strtoll(ts.c_str(), &end, 10);
+      if (end != ts.c_str() + ts.size())
+        return fail("malformed timestamp");
+      p.skip_spaces();
+      if (!p.done()) return fail("trailing garbage after timestamp");
+    }
+
+    const std::string fam = family_of(name, families);
+    FamilyState& st = families[fam];
+    st.has_samples = true;
+    if (st.type == "histogram" && name == fam + "_bucket") {
+      if (!le) return fail("histogram bucket without le label");
+      st.le_buckets.emplace_back(*le, *value);
+    }
+    if ((st.type == "histogram" || st.type == "summary") &&
+        name == fam + "_count")
+      st.count_value = *value;
+    if (st.type == "summary" && name == fam && !quantile)
+      return fail("summary sample without quantile label");
+  }
+
+  // Cross-line histogram checks.
+  for (auto& [fam, st] : families) {
+    if (st.type != "histogram" || st.le_buckets.empty()) continue;
+    auto buckets = st.le_buckets;
+    std::sort(buckets.begin(), buckets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double prev = -1.0;
+    for (const auto& [bound, cum] : buckets) {
+      if (cum < prev)
+        return "histogram " + fam + ": non-monotone cumulative buckets";
+      prev = cum;
+    }
+    if (!std::isinf(buckets.back().first))
+      return "histogram " + fam + ": missing le=\"+Inf\" bucket";
+    if (st.count_value && *st.count_value != buckets.back().second)
+      return "histogram " + fam + ": _count != +Inf bucket";
+  }
+  return std::nullopt;
+}
+
+}  // namespace burstq::obs

@@ -1,0 +1,57 @@
+// Prometheus text-format (exposition format 0.0.4) rendering of a
+// MetricsSnapshot, plus a small standalone validator used by tests and
+// the CI smoke job (no external dependencies).
+//
+// Mapping:
+//   counter  c            -> <prefix><name>_total            (counter)
+//   gauge    g            -> <prefix><name>                  (gauge)
+//   histogram h           -> <prefix><name>                  (histogram)
+//                             cumulative _bucket{le="..."} over the
+//                             coarse log2 buckets, plus _sum / _count
+//                          -> <prefix><name>_quantiles       (summary)
+//                             {quantile="0.5"|"0.95"|"0.99"} from the
+//                             streaming sketch
+//   span     s            -> <prefix><name>_calls_total      (counter)
+//                          -> <prefix><name>_wall_seconds_total
+//                          -> <prefix><name>_self_seconds_total
+//                          -> <prefix><name>_max_seconds     (gauge)
+//
+// Dots (and any other character outside [a-zA-Z0-9_:]) in burstq metric
+// names become underscores: "mapcal.solve" -> "burstq_mapcal_solve".
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace burstq::obs {
+
+struct PrometheusOptions {
+  std::string prefix{"burstq_"};
+  /// Quantiles rendered into each histogram's companion summary family.
+  std::vector<double> quantiles{0.5, 0.95, 0.99};
+};
+
+/// Maps a dot-separated burstq metric name onto the Prometheus name
+/// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: invalid characters become '_' and a
+/// leading digit gains a '_' prefix.  The result excludes `prefix`.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Renders the snapshot as exposition text.  An empty snapshot renders
+/// to an empty string (a valid exposition document).
+[[nodiscard]] std::string render_prometheus(
+    const MetricsSnapshot& snap, const PrometheusOptions& options = {});
+
+/// Validates exposition text line by line: metric-name grammar, label
+/// syntax, parseable values, TYPE-before-samples discipline, cumulative
+/// le-bucket monotonicity and _count == the +Inf bucket for histograms,
+/// quantile labels in [0,1] for summaries.  Returns nullopt when valid,
+/// otherwise a "line N: ..." diagnostic.
+[[nodiscard]] std::optional<std::string> validate_exposition(
+    std::string_view text);
+
+}  // namespace burstq::obs

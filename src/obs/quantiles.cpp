@@ -1,0 +1,62 @@
+#include "obs/quantiles.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace burstq::obs {
+
+std::size_t sketch_bucket_of(std::uint64_t v) noexcept {
+  if (v < 2 * kSketchSubBuckets) return static_cast<std::size_t>(v);
+  const auto width = static_cast<std::size_t>(std::bit_width(v));
+  if (width > kSketchMaxWidth) return kSketchBuckets - 1;
+  // Octave 0 holds widths kSketchSubBits + 2; the sub-bucket is the
+  // kSketchSubBits bits right below the leading one.
+  const std::size_t octave = width - (kSketchSubBits + 2);
+  const std::size_t sub =
+      static_cast<std::size_t>(v >> (width - 1 - kSketchSubBits)) &
+      (kSketchSubBuckets - 1);
+  return 2 * kSketchSubBuckets + octave * kSketchSubBuckets + sub;
+}
+
+std::uint64_t sketch_bucket_lower(std::size_t b) noexcept {
+  if (b < 2 * kSketchSubBuckets) return b;
+  const std::size_t octave = (b - 2 * kSketchSubBuckets) / kSketchSubBuckets;
+  const std::size_t sub = (b - 2 * kSketchSubBuckets) % kSketchSubBuckets;
+  // Width w = octave + kSketchSubBits + 2; value = (2^kSubBits + sub)
+  // shifted so its bit width is w.
+  return (static_cast<std::uint64_t>(kSketchSubBuckets + sub))
+         << (octave + 1);
+}
+
+std::uint64_t sketch_bucket_upper(std::size_t b) noexcept {
+  if (b < 2 * kSketchSubBuckets) return b;
+  if (b >= kSketchBuckets - 1) return UINT64_MAX;
+  return sketch_bucket_lower(b + 1) - 1;
+}
+
+double SketchSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kSketchBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      if (b < 2 * kSketchSubBuckets)  // exact small values
+        return static_cast<double>(b);
+      const double lo = static_cast<double>(sketch_bucket_lower(b));
+      const double hi = static_cast<double>(sketch_bucket_upper(b));
+      const double mid = lo + (hi - lo) / 2.0;
+      // The true observation lies in [lo, hi] and also in [min, max].
+      return std::clamp(mid, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace burstq::obs

@@ -1,0 +1,63 @@
+// Fixed-precision streaming-quantile sketch: an HDR-style histogram that
+// subdivides every power-of-two octave into 2^kSketchSubBits linear
+// sub-buckets.  Values below 2 * kSketchSubBuckets are stored exactly;
+// everything else lands in a bucket whose width is at most 1/16 of its
+// lower bound, so any quantile estimate carries a bounded *relative*
+// error (kSketchRelativeError) without retaining samples.
+//
+// The sketch is pure index arithmetic — no allocation, no floating
+// point on the record path — so obs::Histogram embeds one per shard and
+// keeps its relaxed-atomic update discipline (see obs/registry.h).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace burstq::obs {
+
+/// Sub-bucket resolution: each octave [2^(w-1), 2^w) splits into
+/// 2^kSketchSubBits equal slices.
+inline constexpr std::size_t kSketchSubBits = 4;
+inline constexpr std::size_t kSketchSubBuckets = std::size_t{1}
+                                                 << kSketchSubBits;
+
+/// Values of bit width above this clamp into the last bucket (2^48 ns is
+/// ~78 hours — far beyond any timing or size this library records).
+inline constexpr std::size_t kSketchMaxWidth = 48;
+
+/// Total bucket count: 2 * kSketchSubBuckets exact small values plus
+/// kSketchSubBuckets per octave for widths (kSketchSubBits + 2)
+/// .. kSketchMaxWidth.
+inline constexpr std::size_t kSketchBuckets =
+    2 * kSketchSubBuckets +
+    (kSketchMaxWidth - kSketchSubBits - 1) * kSketchSubBuckets;
+
+/// Worst-case relative error of quantile estimates (bucket width over
+/// bucket lower bound, halved by the midpoint rule).
+inline constexpr double kSketchRelativeError =
+    1.0 / static_cast<double>(2 * kSketchSubBuckets);
+
+/// Bucket index of a value.  Branch-light: one bit_width plus shifts.
+[[nodiscard]] std::size_t sketch_bucket_of(std::uint64_t v) noexcept;
+
+/// Smallest value mapping to bucket `b`.
+[[nodiscard]] std::uint64_t sketch_bucket_lower(std::size_t b) noexcept;
+
+/// Largest value mapping to bucket `b` (UINT64_MAX for the last bucket).
+[[nodiscard]] std::uint64_t sketch_bucket_upper(std::size_t b) noexcept;
+
+/// Merged sketch counts plus the exact scalars every histogram tracks.
+/// quantile() walks the counts once; exact for q=0 / q=1 and for values
+/// below 2 * kSketchSubBuckets, within kSketchRelativeError otherwise.
+struct SketchSnapshot {
+  std::uint64_t count{0};
+  std::uint64_t min{0};  ///< 0 when count == 0
+  std::uint64_t max{0};
+  std::array<std::uint64_t, kSketchBuckets> counts{};
+
+  [[nodiscard]] double quantile(double q) const;
+};
+
+}  // namespace burstq::obs

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 #include <thread>
 
 namespace burstq::obs {
@@ -55,8 +54,7 @@ std::size_t Histogram::bucket_of(std::uint64_t v) noexcept {
 
 void Histogram::record(std::uint64_t v) noexcept {
   Shard& s = shards_[detail::shard_index()];
-  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
-  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.buckets[sketch_bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
   detail::atomic_min(s.min, v);
   detail::atomic_max(s.max, v);
@@ -66,45 +64,35 @@ HistogramSnapshot Histogram::snapshot() const noexcept {
   HistogramSnapshot out;
   std::uint64_t mn = UINT64_MAX;
   for (const auto& s : shards_) {
-    out.count += s.count.load(std::memory_order_relaxed);
     out.sum += s.sum.load(std::memory_order_relaxed);
     mn = std::min(mn, s.min.load(std::memory_order_relaxed));
     out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
-    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
-      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kSketchBuckets; ++b)
+      out.sketch.counts[b] += s.buckets[b].load(std::memory_order_relaxed);
   }
+  // Count derived from the merged buckets, never a separate cell, so a
+  // mid-record scrape can't see sum(buckets) != count (the validator
+  // checks exactly this via the +Inf bucket).
+  for (const std::uint64_t c : out.sketch.counts) out.count += c;
   out.min = out.count == 0 ? 0 : mn;
+  out.sketch.count = out.count;
+  out.sketch.min = out.min;
+  out.sketch.max = out.max;
+  // Derive the coarse log2 view: every fine bucket lies entirely inside
+  // one coarse bucket (its values share a bit width), so projecting by
+  // the bucket's lower bound is exact.
+  for (std::size_t b = 0; b < kSketchBuckets; ++b)
+    out.buckets[bucket_of(sketch_bucket_lower(b))] += out.sketch.counts[b];
   return out;
 }
 
 void Histogram::reset() noexcept {
   for (auto& s : shards_) {
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
-    s.count.store(0, std::memory_order_relaxed);
     s.sum.store(0, std::memory_order_relaxed);
     s.min.store(UINT64_MAX, std::memory_order_relaxed);
     s.max.store(0, std::memory_order_relaxed);
   }
-}
-
-double HistogramSnapshot::approx_quantile(double q) const {
-  if (count == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  if (q <= 0.0) return static_cast<double>(min);
-  if (q >= 1.0) return static_cast<double>(max);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
-    seen += buckets[b];
-    if (seen >= rank) {
-      // Upper bound of bucket b: 0 for b == 0, else 2^b - 1.
-      if (b == 0) return 0.0;
-      const double hi = std::ldexp(1.0, static_cast<int>(b)) - 1.0;
-      return std::min(hi, static_cast<double>(max));
-    }
-  }
-  return static_cast<double>(max);
 }
 
 void SpanStat::record(std::uint64_t wall_ns, std::uint64_t self_ns) noexcept {

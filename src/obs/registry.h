@@ -8,10 +8,12 @@
 // (BURSTQ_COUNT and friends in obs/obs.h do exactly that behind a
 // function-local static).
 //
-// Histograms use fixed log2 buckets: bucket 0 counts zeros, bucket b
-// counts values whose bit width is b (i.e. [2^(b-1), 2^b)).  That is
-// coarse but branch-free and needs no configuration — timings in
-// nanoseconds and solver sizes both land in sensible buckets.
+// Histograms record into a fixed-precision streaming-quantile sketch
+// (obs/quantiles.h): HDR-style log2 octaves subdivided into linear
+// sub-buckets, so snapshots report p50/p95/p99 within a bounded relative
+// error without storing samples.  The legacy coarse log2 view (bucket 0
+// counts zeros, bucket b counts values of bit width b) is still derived
+// at snapshot time for compact exposition buckets and old consumers.
 
 #pragma once
 
@@ -25,6 +27,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/quantiles.h"
 
 namespace burstq::obs {
 
@@ -84,31 +88,43 @@ struct HistogramSnapshot {
   std::uint64_t sum{0};
   std::uint64_t min{0};  ///< 0 when count == 0
   std::uint64_t max{0};
+  /// Coarse log2 view, derived from the sketch (bucket b = bit width b).
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  /// Fine sub-bucket counts (obs/quantiles.h); count/min/max duplicated.
+  SketchSnapshot sketch{};
 
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Bucket-resolution quantile estimate (upper bound of the bucket the
-  /// q-th observation falls in); exact for min/max queries q=0 / q=1.
-  [[nodiscard]] double approx_quantile(double q) const;
+  /// Streaming-quantile estimate from the sketch: exact at q=0 / q=1 and
+  /// for small values, within kSketchRelativeError otherwise.
+  [[nodiscard]] double quantile(double q) const { return sketch.quantile(q); }
+  /// Backwards-compatible alias for quantile().
+  [[nodiscard]] double approx_quantile(double q) const {
+    return quantile(q);
+  }
 };
 
-/// Fixed log2-bucket histogram of non-negative integer observations.
+/// Histogram of non-negative integer observations over the fixed
+/// sub-bucketed sketch of obs/quantiles.h.
 class Histogram {
  public:
   void record(std::uint64_t v) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
   void reset() noexcept;
 
-  /// Bucket index of a value (exposed for tests).
+  /// Coarse log2 bucket index of a value (exposed for tests and for the
+  /// derived HistogramSnapshot::buckets view).
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept;
 
  private:
+  // No separate count cell: a concurrent scrape summing buckets and a
+  // count updated by a different store could disagree mid-record, which
+  // renders as a non-monotone +Inf bucket.  The count is derived from
+  // the bucket sums at snapshot time instead, so the two always agree.
   struct alignas(64) Shard {
-    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
-    std::atomic<std::uint64_t> count{0};
+    std::array<std::atomic<std::uint64_t>, kSketchBuckets> buckets{};
     std::atomic<std::uint64_t> sum{0};
     std::atomic<std::uint64_t> min{UINT64_MAX};
     std::atomic<std::uint64_t> max{0};

@@ -76,12 +76,14 @@ void print_summary(std::ostream& os, const MetricsSnapshot& snap,
   }
 
   if (!snap.histograms.empty()) {
-    ConsoleTable table({"histogram", "count", "mean", "p50", "p99", "max"});
+    ConsoleTable table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
     for (const auto& h : snap.histograms)
       table.add_row({h.name, std::to_string(h.hist.count),
                      ConsoleTable::num(h.hist.mean(), 1),
-                     ConsoleTable::num(h.hist.approx_quantile(0.5), 0),
-                     ConsoleTable::num(h.hist.approx_quantile(0.99), 0),
+                     ConsoleTable::num(h.hist.quantile(0.5), 0),
+                     ConsoleTable::num(h.hist.quantile(0.95), 0),
+                     ConsoleTable::num(h.hist.quantile(0.99), 0),
                      std::to_string(h.hist.max)});
     table.set_title("histograms");
     table.print(os);
@@ -96,20 +98,18 @@ void write_summary_csv(const std::string& path,
                        const MetricsSnapshot& snap) {
   CsvWriter csv(path);
   csv.row({"type", "name", "value", "calls", "total_ns", "self_ns", "mean",
-           "p50", "p99", "max"});
+           "p50", "p95", "p99", "max"});
   for (const auto& c : snap.counters) {
     csv.begin_row();
     csv.field("counter").field(c.name).field(static_cast<std::size_t>(
         c.value));
-    csv.field("").field("").field("").field("").field("").field("").field(
-        "");
+    for (int i = 0; i < 8; ++i) csv.field("");
     csv.end_row();
   }
   for (const auto& g : snap.gauges) {
     csv.begin_row();
     csv.field("gauge").field(g.name).field(g.value);
-    csv.field("").field("").field("").field("").field("").field("").field(
-        "");
+    for (int i = 0; i < 8; ++i) csv.field("");
     csv.end_row();
   }
   for (const auto& s : snap.spans) {
@@ -122,7 +122,7 @@ void write_summary_csv(const std::string& path,
                                ? 0.0
                                : static_cast<double>(s.total_ns) /
                                      static_cast<double>(s.calls);
-    csv.field(mean_ns).field("").field("").field(
+    csv.field(mean_ns).field("").field("").field("").field(
         static_cast<std::size_t>(s.max_ns));
     csv.end_row();
   }
@@ -131,8 +131,9 @@ void write_summary_csv(const std::string& path,
     csv.field("histogram").field(h.name).field("");
     csv.field(static_cast<std::size_t>(h.hist.count)).field("").field("");
     csv.field(h.hist.mean())
-        .field(h.hist.approx_quantile(0.5))
-        .field(h.hist.approx_quantile(0.99))
+        .field(h.hist.quantile(0.5))
+        .field(h.hist.quantile(0.95))
+        .field(h.hist.quantile(0.99))
         .field(static_cast<std::size_t>(h.hist.max));
     csv.end_row();
   }

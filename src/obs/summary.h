@@ -27,8 +27,9 @@ void print_summary(std::ostream& os, const MetricsSnapshot& snap,
 void print_summary(std::ostream& os, const SummaryOptions& options = {});
 
 /// Dumps every metric in `snap` as CSV rows:
-///   type,name,value,calls,total_ns,self_ns,mean,p50,p99,max
-/// (columns unused by a metric type are left empty).
+///   type,name,value,calls,total_ns,self_ns,mean,p50,p95,p99,max
+/// (columns unused by a metric type are left empty).  Histogram
+/// quantiles come from the streaming sketch (obs/quantiles.h).
 void write_summary_csv(const std::string& path, const MetricsSnapshot& snap);
 
 }  // namespace burstq::obs

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "placement/queuing_ffd.h"
 #include "sim/flight.h"
 
@@ -35,6 +36,9 @@ ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
                  "initial placement must assign every VM");
   BURSTQ_REQUIRE(initial.n_pms() == inst.n_pms(),
                  "placement PM count must match the instance");
+  BURSTQ_REQUIRE(config_.slo == nullptr ||
+                     config_.slo->n_pms() == inst.n_pms(),
+                 "SLO tracker PM count must match the instance");
 
   if (config_.policy.target == TargetSelection::kReservationAware) {
     // The burstiness-aware scheduler judges targets by Eq. (17); size the
@@ -207,12 +211,14 @@ SimReport ClusterSimulator::run() {
       const bool violated =
           load[j] > capacity[j] * (1.0 + kCapacityEpsilon);
       tracker.record(PmId{j}, violated);
+      if (config_.slo != nullptr) config_.slo->record(PmId{j}, violated);
       if (violated) ++violations_this_slot;
       if (recorder.enabled()) {
         obs_active.push_back(j);
         if (violated) obs_violated.push_back(j);
       }
     }
+    if (config_.slo != nullptr) config_.slo->end_slot();
     recorder.slot(t, obs_active, obs_violated);
     BURSTQ_COUNT("sim.slot_violations", violations_this_slot);
 

@@ -35,6 +35,10 @@
 
 namespace burstq {
 
+namespace obs {
+class SloTracker;
+}
+
 struct SimConfig {
   std::size_t slots{100};         ///< evaluation period (paper: 100 sigma)
   double sigma_seconds{30.0};     ///< slot length
@@ -53,6 +57,11 @@ struct SimConfig {
   /// and without faults.
   std::optional<fault::FaultPlan> faults;
   fault::RecoveryPolicy recovery{};  ///< evacuation/backoff under faults
+  /// Optional SLO tracker (obs/slo.h); not owned, must outlive run().
+  /// Every slot mirrors the per-PM violation verdicts into it and closes
+  /// the tracker slot — unlike CvrTracker its windows never reset on
+  /// migration, so it reports what tenants actually experienced.
+  obs::SloTracker* slo{nullptr};
 
   void validate() const;
 };

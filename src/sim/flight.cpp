@@ -75,7 +75,8 @@ void FlightSlotRecorder::slot(std::size_t t,
 #endif  // BURSTQ_NO_OBS
 
 std::vector<FlightReplaySegment> replay_flight_log(
-    const std::vector<obs::RecordedEvent>& events) {
+    const std::vector<obs::RecordedEvent>& events,
+    const obs::SloOptions* slo) {
   std::vector<FlightReplaySegment> segments;
   std::vector<std::size_t> active;  // carried across delta-encoded slots
 
@@ -94,6 +95,13 @@ std::vector<FlightReplaySegment> replay_flight_log(
       segments.emplace_back(std::string(ev.str("label")), n_pms, window,
                             static_cast<std::size_t>(ev.integer("slots")),
                             ev.num("rho"));
+      if (slo != nullptr) {
+        obs::SloOptions opts = *slo;
+        // The recorded run's own budget is the objective being audited.
+        if (segments.back().rho > 0.0) opts.rho = segments.back().rho;
+        segments.back().slo =
+            std::make_unique<obs::SloTracker>(n_pms, opts);
+      }
       active.clear();
     } else if (ev.kind == "slot.obs") {
       FlightReplaySegment& seg = current();
@@ -108,7 +116,9 @@ std::vector<FlightReplaySegment> replay_flight_log(
         while (vit != violated.end() && *vit < pm) ++vit;
         const bool hit = vit != violated.end() && *vit == pm;
         seg.tracker.record(PmId{pm}, hit);
+        if (seg.slo) seg.slo->record(PmId{pm}, hit);
       }
+      if (seg.slo) seg.slo->end_slot();
       ++seg.slots_seen;
     } else if (ev.kind == "window.reset") {
       FlightReplaySegment& seg = current();
@@ -128,8 +138,9 @@ std::vector<FlightReplaySegment> replay_flight_log(
   return segments;
 }
 
-std::vector<FlightReplaySegment> replay_flight_log(const std::string& path) {
-  return replay_flight_log(obs::read_events_jsonl(path));
+std::vector<FlightReplaySegment> replay_flight_log(
+    const std::string& path, const obs::SloOptions* slo) {
+  return replay_flight_log(obs::read_events_jsonl(path), slo);
 }
 
 }  // namespace burstq

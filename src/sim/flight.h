@@ -22,12 +22,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/jsonl.h"
 #include "obs/obs.h"
+#include "obs/slo.h"
 #include "sim/metrics.h"
 
 namespace burstq {
@@ -92,6 +94,11 @@ struct FlightReplaySegment {
   std::size_t declared_slots;
   double rho;
   CvrTracker tracker;          ///< re-derived violation bookkeeping
+  /// SLO audit re-derived from the same stream (only when replay was
+  /// given SloOptions).  rho comes from the recorded header; windows and
+  /// breach threshold from the options.  window.reset events do NOT touch
+  /// it — the SLO measures what tenants saw, cooldowns notwithstanding.
+  std::unique_ptr<obs::SloTracker> slo;
   std::size_t slots_seen{0};
   std::size_t migrations{0};
   std::size_t failed_migrations{0};
@@ -100,11 +107,15 @@ struct FlightReplaySegment {
 
 /// Replays a recorded event stream.  Throws InvalidArgument on schema
 /// violations (slot.obs before any sim.config, PM ids out of range).
+/// When `slo` is non-null every segment additionally re-derives an SLO
+/// verdict (FlightReplaySegment::slo) from its slot.obs events.
 std::vector<FlightReplaySegment> replay_flight_log(
-    const std::vector<obs::RecordedEvent>& events);
+    const std::vector<obs::RecordedEvent>& events,
+    const obs::SloOptions* slo = nullptr);
 
 /// Convenience: read_events_jsonl + replay.
-std::vector<FlightReplaySegment> replay_flight_log(const std::string& path);
+std::vector<FlightReplaySegment> replay_flight_log(
+    const std::string& path, const obs::SloOptions* slo = nullptr);
 
 /// Parses the space-separated id lists used by `slot.obs` (exposed for
 /// tests).

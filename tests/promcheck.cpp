@@ -1,0 +1,37 @@
+// promcheck: read a Prometheus text-exposition document from stdin and
+// validate it with obs::validate_exposition.  Exit 0 if valid, 1 with a
+// diagnostic on stderr otherwise.  Used by the telemetry-smoke CI job to
+// check live /metrics scrapes without external dependencies.
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/prometheus.h"
+
+int main() {
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  const std::string doc = buf.str();
+  const std::optional<std::string> err =
+      burstq::obs::validate_exposition(doc);
+  if (err.has_value()) {
+    std::cerr << "promcheck: INVALID exposition: " << *err << "\n";
+    return 1;
+  }
+  std::size_t samples = 0;
+  std::size_t families = 0;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0)
+      ++families;
+    else if (line[0] != '#')
+      ++samples;
+  }
+  std::cerr << "promcheck: OK (" << families << " families, " << samples
+            << " samples)\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// HttpServer (obs/http_server.h): real loopback GETs against an
+// ephemeral port, routing, error statuses, and clean shutdown.  Under
+// -DBURSTQ_NO_OBS the server is a stub whose start() throws — those
+// tests skip, and one verifies the stub's refusal.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "obs/http_server.h"
+#include "obs/obs.h"
+
+namespace burstq::obs {
+namespace {
+
+/// Blocking one-shot HTTP client: sends `request` verbatim, returns the
+/// full response (headers + body).
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+      0)
+      << std::strerror(errno);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return raw_request(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+TEST(HttpServer, ServesRoutesOnEphemeralPort) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/hello", [](const std::string& path) {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        "hi from " + path + "\n"};
+  });
+  server.start(0);
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string resp = get(server.port(), "/hello");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 15"), std::string::npos);
+  EXPECT_NE(resp.find("hi from /hello\n"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, QueryStringIsStripped) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/metrics", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "m\n"};
+  });
+  server.start(0);
+  const std::string resp = get(server.port(), "/metrics?format=text");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/known", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "k\n"};
+  });
+  server.start(0);
+  EXPECT_NE(get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+TEST(HttpServer, NonGetIs405AndJunkIs400) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/x", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "x\n"};
+  });
+  server.start(0);
+  EXPECT_NE(
+      raw_request(server.port(), "POST /x HTTP/1.1\r\nHost: x\r\n\r\n")
+          .find("HTTP/1.1 405"),
+      std::string::npos);
+  EXPECT_NE(raw_request(server.port(), "garbage\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/x", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "x\n"};
+  });
+  server.start(0);
+  server.stop();
+  server.stop();  // idempotent
+  server.start(0);
+  EXPECT_NE(get(server.port(), "/x").find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, DoubleStartThrows) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.start(0);
+  EXPECT_THROW(server.start(0), InvalidArgument);
+  server.stop();
+}
+
+#ifdef BURSTQ_NO_OBS
+TEST(HttpServer, NoObsStubRefusesToStart) {
+  HttpServer server;
+  EXPECT_THROW(server.start(0), InvalidArgument);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+#endif
+
+}  // namespace
+}  // namespace burstq::obs

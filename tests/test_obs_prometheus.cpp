@@ -1,0 +1,190 @@
+// Prometheus exposition rendering + the standalone validator
+// (obs/prometheus.h): name sanitization, the counter/gauge/histogram/
+// span mappings, and the edge cases the telemetry endpoint must survive
+// (empty registry, zero-observation histograms, adversarial documents).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/prometheus.h"
+#include "obs/registry.h"
+
+namespace burstq::obs {
+namespace {
+
+TEST(Sanitize, DotsBecomeUnderscores) {
+  EXPECT_EQ(sanitize_metric_name("mapcal.solve"), "mapcal_solve");
+  EXPECT_EQ(sanitize_metric_name("fault.slo.breaches"),
+            "fault_slo_breaches");
+  EXPECT_EQ(sanitize_metric_name("obs.slo.cvr_burn_fast"),
+            "obs_slo_cvr_burn_fast");
+}
+
+TEST(Sanitize, InvalidCharactersAndLeadingDigits) {
+  EXPECT_EQ(sanitize_metric_name("a-b c%d"), "a_b_c_d");
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+  EXPECT_EQ(sanitize_metric_name(":colon"), "_colon");
+  EXPECT_EQ(sanitize_metric_name("ok_name"), "ok_name");
+}
+
+TEST(Render, EmptyRegistryIsValidEmptyDocument) {
+  const MetricsSnapshot snap;
+  const std::string text = render_prometheus(snap);
+  EXPECT_TRUE(text.empty());
+  EXPECT_EQ(validate_exposition(text), std::nullopt);
+}
+
+TEST(Render, CounterAndGauge) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"sim.migrations", 42});
+  snap.gauges.push_back({"slo.cvr.fast", 0.0125});
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("# TYPE burstq_sim_migrations_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_sim_migrations_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE burstq_slo_cvr_fast gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_slo_cvr_fast 0.0125\n"), std::string::npos);
+  EXPECT_EQ(validate_exposition(text), std::nullopt) <<
+      *validate_exposition(text);
+}
+
+TEST(Render, HistogramBucketsAreCumulativeAndValid) {
+  Histogram h;
+  h.record(1);
+  h.record(3);
+  h.record(200);
+  MetricsSnapshot snap;
+  snap.histograms.push_back({"mapcal.k", h.snapshot()});
+  const std::string text = render_prometheus(snap);
+  // le="1" covers {0,1}; the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("burstq_mapcal_k_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_k_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_k_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_k_sum 204\n"), std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_k_count 3\n"), std::string::npos);
+  // Companion summary carries the sketch quantiles.
+  EXPECT_NE(text.find("# TYPE burstq_mapcal_k_quantiles summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_k_quantiles{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_EQ(validate_exposition(text), std::nullopt)
+      << *validate_exposition(text);
+}
+
+TEST(Render, ZeroObservationHistogram) {
+  Histogram h;  // never recorded into
+  MetricsSnapshot snap;
+  snap.histograms.push_back({"sim.empty", h.snapshot()});
+  const std::string text = render_prometheus(snap);
+  // Only the +Inf bucket appears; _count and the bucket agree at 0.
+  EXPECT_NE(text.find("burstq_sim_empty_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_sim_empty_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("le=\"0\""), std::string::npos);
+  EXPECT_EQ(validate_exposition(text), std::nullopt)
+      << *validate_exposition(text);
+}
+
+TEST(Render, SpanFamilies) {
+  MetricsSnapshot snap;
+  snap.spans.push_back({"mapcal.solve", 7, 3500000000ULL, 2000000000ULL,
+                        900000000ULL});
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("burstq_mapcal_solve_calls_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_solve_wall_seconds_total 3.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_solve_self_seconds_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("burstq_mapcal_solve_max_seconds 0.9"),
+            std::string::npos);
+  EXPECT_EQ(validate_exposition(text), std::nullopt)
+      << *validate_exposition(text);
+}
+
+TEST(Render, LiveRegistryRoundTripsThroughValidator) {
+  metrics().reset();
+  metrics().counter("promtest.count").add(5);
+  metrics().gauge("promtest.gauge").set(-1.5);
+  metrics().histogram("promtest.hist").record(1000);
+  metrics().span("promtest.span").record(1000, 800);
+  const std::string text = render_prometheus(metrics().scrape());
+  EXPECT_EQ(validate_exposition(text), std::nullopt)
+      << *validate_exposition(text);
+  metrics().reset();
+}
+
+TEST(Validate, AcceptsCommentsBlanksAndTimestamps) {
+  EXPECT_EQ(validate_exposition(""), std::nullopt);
+  EXPECT_EQ(validate_exposition("# a free-form comment\n\nx 1\n"),
+            std::nullopt);
+  EXPECT_EQ(validate_exposition("x{a=\"b\"} 1 1712345678\n"),
+            std::nullopt);
+  EXPECT_EQ(validate_exposition("x NaN\ny +Inf\n"), std::nullopt);
+  EXPECT_EQ(validate_exposition("x{a=\"line\\nbreak\",b=\"q\\\"q\"} 1\n"),
+            std::nullopt);
+}
+
+TEST(Validate, RejectsMalformedDocuments) {
+  EXPECT_TRUE(validate_exposition("x 1").has_value());  // no newline
+  EXPECT_TRUE(validate_exposition("1badname 2\n").has_value());
+  EXPECT_TRUE(validate_exposition("x notanumber\n").has_value());
+  EXPECT_TRUE(validate_exposition("x{a=b} 1\n").has_value());  // unquoted
+  EXPECT_TRUE(validate_exposition("x{a=\"b} 1\n").has_value());
+  EXPECT_TRUE(
+      validate_exposition("# TYPE x wibble\nx 1\n").has_value());
+  EXPECT_TRUE(validate_exposition("x 1 12.5\n").has_value());  // bad ts
+  // TYPE after its own samples.
+  EXPECT_TRUE(
+      validate_exposition("x 1\n# TYPE x counter\n").has_value());
+  // Duplicate TYPE.
+  EXPECT_TRUE(
+      validate_exposition("# TYPE x counter\n# TYPE x counter\nx 1\n")
+          .has_value());
+  // Summary sample without a quantile label.
+  EXPECT_TRUE(
+      validate_exposition("# TYPE s summary\ns 1\n").has_value());
+  // Quantile outside [0,1].
+  EXPECT_TRUE(
+      validate_exposition("# TYPE s summary\ns{quantile=\"1.5\"} 1\n")
+          .has_value());
+}
+
+TEST(Validate, HistogramCrossLineChecks) {
+  // Non-monotone cumulative buckets.
+  EXPECT_TRUE(validate_exposition("# TYPE h histogram\n"
+                                  "h_bucket{le=\"1\"} 5\n"
+                                  "h_bucket{le=\"2\"} 3\n"
+                                  "h_bucket{le=\"+Inf\"} 5\n"
+                                  "h_count 5\n")
+                  .has_value());
+  // Missing +Inf.
+  EXPECT_TRUE(validate_exposition("# TYPE h histogram\n"
+                                  "h_bucket{le=\"1\"} 5\n"
+                                  "h_count 5\n")
+                  .has_value());
+  // _count disagrees with the +Inf bucket.
+  EXPECT_TRUE(validate_exposition("# TYPE h histogram\n"
+                                  "h_bucket{le=\"+Inf\"} 5\n"
+                                  "h_count 6\n")
+                  .has_value());
+  // A well-formed histogram passes.
+  EXPECT_EQ(validate_exposition("# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 2\n"
+                                "h_bucket{le=\"+Inf\"} 5\n"
+                                "h_sum 17\n"
+                                "h_count 5\n"),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace burstq::obs

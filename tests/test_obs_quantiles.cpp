@@ -1,0 +1,156 @@
+// Streaming-quantile sketch (obs/quantiles.h): index math, bounds, and
+// the accuracy guarantee that makes histogram p50/p95/p99 trustworthy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/quantiles.h"
+#include "obs/registry.h"
+
+namespace burstq::obs {
+namespace {
+
+TEST(SketchIndex, ExactBelowThirtyTwo) {
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(sketch_bucket_of(v), v);
+    EXPECT_EQ(sketch_bucket_lower(v), v);
+    EXPECT_EQ(sketch_bucket_upper(v), v);
+  }
+}
+
+TEST(SketchIndex, BucketsAreMonotoneAndContiguous) {
+  // Every bucket's lower bound is exactly one past the previous bucket's
+  // upper bound: no gaps, no overlaps.
+  for (std::size_t b = 1; b < kSketchBuckets; ++b) {
+    EXPECT_EQ(sketch_bucket_lower(b), sketch_bucket_upper(b - 1) + 1)
+        << "bucket " << b;
+    EXPECT_LE(sketch_bucket_lower(b), sketch_bucket_upper(b));
+  }
+}
+
+TEST(SketchIndex, EveryValueMapsInsideItsBucket) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform draws cover every octave.
+    const double exp = rng.uniform(0.0, 45.0);
+    const auto v = static_cast<std::uint64_t>(std::pow(2.0, exp));
+    const std::size_t b = sketch_bucket_of(v);
+    ASSERT_LT(b, kSketchBuckets);
+    EXPECT_GE(v, sketch_bucket_lower(b));
+    EXPECT_LE(v, sketch_bucket_upper(b));
+  }
+}
+
+TEST(SketchIndex, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(sketch_bucket_of(UINT64_MAX), kSketchBuckets - 1);
+  EXPECT_GE(UINT64_MAX, sketch_bucket_lower(kSketchBuckets - 1));
+}
+
+TEST(SketchIndex, RelativeWidthBound) {
+  // Above the exact range, bucket width / lower bound <= 2^-4: the
+  // midpoint rule then errs by at most 1/32 relative.
+  for (std::size_t b = 32; b + 1 < kSketchBuckets; ++b) {
+    const double lo = static_cast<double>(sketch_bucket_lower(b));
+    const double width =
+        static_cast<double>(sketch_bucket_upper(b) - sketch_bucket_lower(b) + 1);
+    EXPECT_LE(width / lo, 1.0 / 16.0 + 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(SketchSnapshot, EmptyQuantileIsZero) {
+  SketchSnapshot s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(1.0), 0.0);
+}
+
+TEST(SketchSnapshot, SingleValue) {
+  Histogram h;
+  h.record(1234567);
+  const HistogramSnapshot s = h.snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, 1234567.0, 1234567.0 * kSketchRelativeError) << q;
+  }
+  // Extremes clamp to the true min/max, making q=0 and q=1 exact.
+  EXPECT_EQ(s.quantile(0.0), 1234567.0);
+  EXPECT_EQ(s.quantile(1.0), 1234567.0);
+}
+
+TEST(SketchSnapshot, ExactForSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v)
+    for (std::uint64_t k = 0; k <= v; ++k) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  // 528 observations; values < 32 land in exact unit buckets.
+  const std::vector<double> qs = {0.1, 0.5, 0.9, 0.99};
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t v = 0; v < 32; ++v)
+    for (std::uint64_t k = 0; k <= v; ++k) all.push_back(v);
+  std::sort(all.begin(), all.end());
+  for (double q : qs) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(all.size())));
+    const std::uint64_t expect = all[rank == 0 ? 0 : rank - 1];
+    EXPECT_EQ(s.quantile(q), static_cast<double>(expect)) << "q=" << q;
+  }
+}
+
+TEST(SketchSnapshot, RelativeErrorOnLogUniformSamples) {
+  Histogram h;
+  Rng rng(99);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v =
+        static_cast<std::uint64_t>(std::pow(2.0, rng.uniform(5.0, 40.0)));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot s = h.snapshot();
+  for (double q : {0.5, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double truth = static_cast<double>(samples[rank - 1]);
+    EXPECT_NEAR(s.quantile(q), truth, truth * kSketchRelativeError)
+        << "q=" << q;
+  }
+}
+
+TEST(SketchSnapshot, QuantileMonotoneInQ) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i)
+    h.record(rng.next_below(std::uint64_t{1} << 20));
+  const HistogramSnapshot s = h.snapshot();
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double cur = s.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(SketchSnapshot, CoarseViewConsistentWithSketch) {
+  // Every fine bucket lies wholly inside one coarse log2 bucket, so the
+  // derived coarse counts must sum to the same total.
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i)
+    h.record(rng.next_below(std::uint64_t{1} << 30));
+  const HistogramSnapshot s = h.snapshot();
+  std::uint64_t coarse_total = 0;
+  for (const auto c : s.buckets) coarse_total += c;
+  std::uint64_t fine_total = 0;
+  for (const auto c : s.sketch.counts) fine_total += c;
+  EXPECT_EQ(coarse_total, s.count);
+  EXPECT_EQ(fine_total, s.count);
+}
+
+}  // namespace
+}  // namespace burstq::obs

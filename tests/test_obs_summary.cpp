@@ -1,0 +1,147 @@
+// Summary emitters (obs/summary.h): the console digest and the CSV dump,
+// including the sketch-backed p50/p95/p99 columns added alongside the
+// Prometheus exporter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/summary.h"
+
+namespace burstq::obs {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) rows.push_back(split_csv_line(line));
+  return rows;
+}
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"sim.migrations", 42});
+  snap.gauges.push_back({"slo.cvr.fast", 0.0125});
+  snap.spans.push_back(
+      {"mapcal.solve", 4, 8000000ULL, 6000000ULL, 3000000ULL});
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  snap.histograms.push_back({"mapcal.k", h.snapshot()});
+  return snap;
+}
+
+TEST(SummaryCsv, HeaderHasElevenColumnsIncludingP95) {
+  const std::string path = testing::TempDir() + "summary_header.csv";
+  write_summary_csv(path, sample_snapshot());
+  const auto rows = read_csv(path);
+  ASSERT_FALSE(rows.empty());
+  const std::vector<std::string> want = {
+      "type", "name",     "value",   "calls", "total_ns", "self_ns",
+      "mean", "p50",      "p95",     "p99",   "max"};
+  EXPECT_EQ(rows[0], want);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryCsv, EveryRowHasHeaderArity) {
+  const std::string path = testing::TempDir() + "summary_arity.csv";
+  write_summary_csv(path, sample_snapshot());
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 5u);  // header + counter + gauge + span + hist
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 11u);
+  std::remove(path.c_str());
+}
+
+TEST(SummaryCsv, RowsRoundTripTheSnapshot) {
+  const std::string path = testing::TempDir() + "summary_roundtrip.csv";
+  const MetricsSnapshot snap = sample_snapshot();
+  write_summary_csv(path, snap);
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 5u);
+
+  // Counter: value filled, timing/quantile columns empty.
+  EXPECT_EQ(rows[1][0], "counter");
+  EXPECT_EQ(rows[1][1], "sim.migrations");
+  EXPECT_EQ(rows[1][2], "42");
+  for (std::size_t i = 3; i < 11; ++i) EXPECT_EQ(rows[1][i], "");
+
+  // Gauge.
+  EXPECT_EQ(rows[2][0], "gauge");
+  EXPECT_EQ(rows[2][1], "slo.cvr.fast");
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][2]), 0.0125);
+
+  // Span: calls/total/self/mean/max filled, quantiles empty.
+  EXPECT_EQ(rows[3][0], "span");
+  EXPECT_EQ(rows[3][1], "mapcal.solve");
+  EXPECT_EQ(rows[3][3], "4");
+  EXPECT_EQ(rows[3][4], "8000000");
+  EXPECT_EQ(rows[3][5], "6000000");
+  EXPECT_DOUBLE_EQ(std::stod(rows[3][6]), 2000000.0);
+  EXPECT_EQ(rows[3][7], "");
+  EXPECT_EQ(rows[3][8], "");
+  EXPECT_EQ(rows[3][9], "");
+  EXPECT_EQ(rows[3][10], "3000000");
+
+  // Histogram: count + sketch quantiles; p50 <= p95 <= p99 <= max.
+  EXPECT_EQ(rows[4][0], "histogram");
+  EXPECT_EQ(rows[4][1], "mapcal.k");
+  EXPECT_EQ(rows[4][3], "100");
+  const double p50 = std::stod(rows[4][7]);
+  const double p95 = std::stod(rows[4][8]);
+  const double p99 = std::stod(rows[4][9]);
+  const double mx = std::stod(rows[4][10]);
+  EXPECT_DOUBLE_EQ(std::stod(rows[4][6]), snap.histograms[0].hist.mean());
+  EXPECT_DOUBLE_EQ(p50, snap.histograms[0].hist.quantile(0.5));
+  EXPECT_DOUBLE_EQ(p95, snap.histograms[0].hist.quantile(0.95));
+  EXPECT_DOUBLE_EQ(p99, snap.histograms[0].hist.quantile(0.99));
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, mx);
+  EXPECT_DOUBLE_EQ(mx, 100.0);
+  // Uniform 1..100: sketch quantiles are exact for values < 32 and
+  // within 1/16 relative width above, so p50 is near 50.
+  EXPECT_NEAR(p50, 50.0, 50.0 / 16.0 + 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(PrintSummary, ConsoleDigestCarriesQuantileColumns) {
+  std::ostringstream os;
+  print_summary(os, sample_snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("observability summary"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  EXPECT_NE(text.find("mapcal.k"), std::string::npos);
+  EXPECT_NE(text.find("sim.migrations"), std::string::npos);
+}
+
+TEST(PrintSummary, EmptySnapshotPrintsNote) {
+  std::ostringstream os;
+  print_summary(os, MetricsSnapshot{});
+  EXPECT_NE(os.str().find("no metrics recorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace burstq::obs
