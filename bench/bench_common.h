@@ -45,6 +45,9 @@ inline void banner(const std::string& text) {
 
 /// Scrapes the metrics registry, prints the span/counter summary to
 /// stdout and writes the full snapshot to `<out_dir>/<name>_obs.csv`.
+/// The CSV leads with a `meta,trace_format,<fmt>` row naming the event
+/// sink format the run recorded ("none" when no sink was opened), so
+/// BENCH comparisons across formats stay self-describing.
 /// Call once at the end of a harness; a no-op table under BURSTQ_NO_OBS.
 inline void emit_obs_summary(const std::string& name) {
   const obs::MetricsSnapshot snap = obs::metrics().scrape();
@@ -52,7 +55,8 @@ inline void emit_obs_summary(const std::string& name) {
   opts.title = name + " observability";
   obs::print_summary(std::cout, snap, opts);
   if (!snap.empty())
-    obs::write_summary_csv(out_dir() + "/" + name + "_obs.csv", snap);
+    obs::write_summary_csv(out_dir() + "/" + name + "_obs.csv", snap,
+                           {{"trace_format", obs::events().sink_format_name()}});
 }
 
 }  // namespace burstq::bench

@@ -134,8 +134,9 @@ int main(int argc, char** argv) {
   ArgParser args("fig6_cvr", "Figure 6 CVR experiment + flight recorder");
   args.add_option("slots", "slots to simulate per strategy", "20000");
   args.add_option("obs-out",
-                  "record a flight log here (.jsonl, or .csv for the "
-                  "long-format dump) and self-verify the replay");
+                  "record a flight log here (.jsonl, .csv for the "
+                  "long-format dump, .btrc for binary columnar) and "
+                  "self-verify the replay");
   args.add_option("obs-level", "event level: off|decisions|detail",
                   "detail");
   if (!args.parse(argc, argv)) {
@@ -159,14 +160,13 @@ int main(int argc, char** argv) {
   }
   if (recording) {
     obs_path = args.get("obs-out");
-    if (obs_path.size() >= 4 &&
-        obs_path.compare(obs_path.size() - 4, 4, ".csv") == 0)
-      obs_format = obs::EventFormat::kCsv;
+    obs_format = obs::event_format_from_path(obs_path);
     obs::events().open(obs_path, obs_format, obs_level);
   }
-  // Replay needs the per-slot detail stream in the parseable format.
+  // Replay needs the per-slot detail stream in a replayable format —
+  // JSONL or BTRC, but not the string-typed long CSV.
   const bool verifying = recording &&
-                         obs_format == obs::EventFormat::kJsonl &&
+                         obs_format != obs::EventFormat::kCsv &&
                          obs_level >= obs::EventLevel::kDetail &&
                          obs::kEnabled;
   std::vector<ExpectedSegment> expected;

@@ -1,7 +1,7 @@
 // Telemetry overhead study: what does the observability layer cost on
 // the hot paths, and does scraping a live run perturb it?
 //
-// Four measurements:
+// Five measurements:
 //
 //   primitives   ns/op for the BURSTQ_COUNT / GAUGE / HIST / SPAN macros
 //                plus a full registry scrape and a Prometheus render.
@@ -18,20 +18,30 @@
 //                scrape() + render_prometheus() throughout.  The report
 //                must still match the baseline bit-for-bit, proving a
 //                /metrics scraper cannot perturb a deterministic run.
+//   recorder     the same run again with the flight recorder at detail
+//                level, once per sink format (JSONL, BTRC, BTRC+LZ):
+//                write throughput, on-disk bytes, and full read-back
+//                throughput.  Emits BENCH_trace.json with the headline
+//                BTRC-vs-JSONL size reduction and read speedup; skipped
+//                (with a stub JSON) under -DBURSTQ_NO_OBS since a
+//                stripped build records no events.
 //
 // CI builds this twice (default and -DBURSTQ_NO_OBS=ON) and compares the
 // two BENCH_obs.json files: the instrumented slot loop must stay within
 // a few percent of the stripped build.
 //
-// Output: console table + BENCH_obs.json in bench_out/ (BURSTQ_OUT_DIR).
+// Output: console tables + BENCH_obs.json and BENCH_trace.json in
+// bench_out/ (BURSTQ_OUT_DIR).
 //
 // Usage: obs_overhead [--smoke] [--vms N] [--slots N]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <iostream>
 #include <string>
@@ -40,7 +50,10 @@
 
 #include "bench_common.h"
 #include "common/args.h"
+#include "obs/event_log.h"
+#include "obs/jsonl.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/slo.h"
@@ -263,6 +276,102 @@ int main(int argc, char** argv) {
          << ",\n    \"deterministic\": true\n  }\n}\n";
   }
   std::cout << "\nwrote " << json_path << "\n";
+
+  // ---- flight recorder formats: JSONL vs BTRC on a detail trace ------
+  banner("flight recorder formats (detail trace, " + std::to_string(slots) +
+         " slots)");
+  const std::string trace_json_path =
+      burstq::bench::out_dir() + "/BENCH_trace.json";
+  if (!obs::kEnabled) {
+    // A stripped build emits no events; recording an empty trace would
+    // produce meaningless ratios.  Leave a stub so CI artifact globs and
+    // cross-build comparisons still find the file.
+    std::ofstream json(trace_json_path);
+    json << "{\n  \"bench\": \"obs_overhead.trace\",\n"
+         << "  \"obs_enabled\": false,\n  \"skipped\": true\n}\n";
+    std::cout << "flight recorder stripped (BURSTQ_NO_OBS); wrote stub "
+              << trace_json_path << "\n";
+  } else {
+    struct FormatResult {
+      std::string name;
+      std::string path;
+      bool compress{false};
+      double write_s{0.0};
+      double read_s{0.0};
+      std::uint64_t bytes{0};
+      std::size_t events{0};
+    };
+    std::vector<FormatResult> fmts{
+        {"jsonl", burstq::bench::out_dir() + "/trace_bench.jsonl", false},
+        {"btrc", burstq::bench::out_dir() + "/trace_bench.btrc", false},
+        {"btrc+lz", burstq::bench::out_dir() + "/trace_bench_lz.btrc",
+         true}};
+    for (auto& f : fmts) {
+      f.write_s = time_s([&] {
+        obs::events().open(f.path, obs::event_format_from_path(f.path),
+                           obs::EventLevel::kDetail, f.compress);
+        SimConfig cfg;
+        cfg.slots = slots;
+        ClusterSimulator sim(inst, placed, cfg, Rng(42));
+        (void)sim.run();
+        obs::events().close();
+      });
+      {
+        std::ifstream in(f.path, std::ios::binary | std::ios::ate);
+        f.bytes = static_cast<std::uint64_t>(in.tellg());
+      }
+      // Min-of-N read timing: a single cold read is dominated by page
+      // cache and allocator warm-up noise; the minimum is the stable
+      // decode cost the formats are actually being compared on.
+      std::vector<obs::RecordedEvent> readback;
+      f.read_s = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 5; ++rep) {
+        const double s =
+            time_s([&] { readback = obs::read_events_auto(f.path); });
+        f.read_s = std::min(f.read_s, s);
+      }
+      f.events = readback.size();
+    }
+    const FormatResult& jsonl = fmts[0];
+    const FormatResult& btrc = fmts[1];
+    const double size_reduction =
+        1.0 - static_cast<double>(btrc.bytes) /
+                  static_cast<double>(jsonl.bytes);
+    const double read_speedup = jsonl.read_s / btrc.read_s;
+
+    ConsoleTable trace_table(
+        {"format", "bytes", "write s", "read s", "read Mev/s"});
+    for (const auto& f : fmts)
+      trace_table.add_row(
+          {f.name, std::to_string(f.bytes), ConsoleTable::num(f.write_s, 3),
+           ConsoleTable::num(f.read_s, 3),
+           ConsoleTable::num(static_cast<double>(f.events) / f.read_s / 1e6,
+                             2)});
+    trace_table.set_title(
+        "btrc vs jsonl: " +
+        ConsoleTable::num(size_reduction * 100.0, 1) + "% smaller, " +
+        ConsoleTable::num(read_speedup, 1) + "x read speedup (" +
+        std::to_string(jsonl.events) + " events)");
+    trace_table.print(std::cout);
+
+    std::ofstream json(trace_json_path);
+    json << "{\n  \"bench\": \"obs_overhead.trace\",\n"
+         << "  \"obs_enabled\": true,\n  \"slots\": " << slots
+         << ",\n  \"events\": " << jsonl.events << ",\n  \"formats\": {\n";
+    for (std::size_t i = 0; i < fmts.size(); ++i) {
+      const auto& f = fmts[i];
+      json << "    \"" << f.name << "\": {\n"
+           << "      \"bytes\": " << f.bytes
+           << ",\n      \"write_seconds\": " << f.write_s
+           << ",\n      \"read_seconds\": " << f.read_s
+           << ",\n      \"read_events_per_second\": "
+           << static_cast<double>(f.events) / f.read_s << "\n    }"
+           << (i + 1 < fmts.size() ? "," : "") << "\n";
+    }
+    json << "  },\n  \"btrc_size_reduction\": " << size_reduction
+         << ",\n  \"btrc_read_speedup\": " << read_speedup << "\n}\n";
+    std::cout << "wrote " << trace_json_path << "\n";
+  }
 
   burstq::bench::emit_obs_summary("obs_overhead");
   return 0;

@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
 
   ArgParser args("autopilot", "24h closed-loop operation demo");
   args.add_option("obs-out",
-                  "record a structured event log here (.jsonl, or .csv "
-                  "for the long format)");
+                  "record a structured event log here (.jsonl, .csv for "
+                  "the long format, .btrc for binary columnar)");
   args.add_option("obs-level", "event level: off | decisions | detail",
                   "decisions");
   args.add_flag("obs-summary", "print a metrics digest on exit");
@@ -57,11 +57,8 @@ int main(int argc, char** argv) {
   }
   if (args.has("obs-out")) {
     const std::string path = args.get("obs-out");
-    const bool csv = path.size() >= 4 &&
-                     path.compare(path.size() - 4, 4, ".csv") == 0;
-    obs::events().open(
-        path, csv ? obs::EventFormat::kCsv : obs::EventFormat::kJsonl,
-        obs::parse_event_level(args.get("obs-level")));
+    obs::events().open(path, obs::event_format_from_path(path),
+                       obs::parse_event_level(args.get("obs-level")));
     obs::events().set_run_label("autopilot");
   }
 

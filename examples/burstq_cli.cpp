@@ -7,15 +7,20 @@
 //   burstq_cli fit     --trace demands.csv
 //       estimate (p_on,p_off,rb,re) per VM from a demand trace;
 //       VM spec CSV on stdout (feed it back into `place`)
-//   burstq_cli replay  --log flight.jsonl
+//   burstq_cli replay  --log flight.jsonl|flight.btrc
 //       re-derive CVR totals from a recorded flight log
 //   burstq_cli sim     --vms specs.csv [--slots N] [--fault-plan ...]
 //       place then run the dynamic cluster simulator, optionally with
 //       deterministic fault injection (PM crashes, migration faults,
 //       solver outages); key=value report on stdout
+//   burstq_cli trace   <header|head|tail|tocsv> --log FILE [-n N]
+//       inspect a recorded flight log without a custom reader: header
+//       prints the BTRC schema, head/tail/tocsv print events as
+//       pipe-friendly id,kind,key,value CSV (any recorded format)
 //
 // Subcommands that do real work accept --obs-out FILE (record a
-// structured event log; .csv extension switches to the long CSV format),
+// structured event log; a .csv extension switches to the long CSV
+// format, .btrc to the binary columnar flight-recorder format),
 // --obs-level off|decisions|detail, and --obs-summary (print a metrics
 // digest to stderr on exit).
 //
@@ -28,6 +33,7 @@
 #include <sstream>
 
 #include "common/args.h"
+#include "common/csv.h"
 #include "common/table.h"
 #include "core/consolidator.h"
 #include "fault/plan.h"
@@ -38,6 +44,7 @@
 #include "obs/obs.h"
 #include "obs/slo.h"
 #include "obs/summary.h"
+#include "obs/trace.h"
 #include "placement/hetero_ffd.h"
 #include "placement/quantile_ffd.h"
 #include "placement/sbp.h"
@@ -50,23 +57,27 @@ using namespace burstq;
 
 int usage_all() {
   std::cerr
-      << "usage: burstq_cli <place|analyze|fit|replay|sim> [options]\n"
+      << "usage: burstq_cli <place|analyze|fit|replay|sim|trace> [options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
          "  replay   re-derive CVR totals from a recorded flight log\n"
          "  sim      place + dynamic simulation with optional fault "
          "injection\n"
+         "  trace    inspect a recorded flight log "
+         "(header|head|tail|tocsv)\n"
          "run 'burstq_cli <subcommand> --help-usage x' for options\n";
   return 1;
 }
 
 ArgParser& add_obs_options(ArgParser& args) {
   args.add_option("obs-out",
-                  "record a structured event log here (.jsonl; a .csv "
-                  "extension selects the long CSV format)");
+                  "record a structured event log here (.jsonl; .csv selects "
+                  "the long CSV format, .btrc the binary columnar format)");
   args.add_option("obs-level", "event level: off | decisions | detail",
                   "decisions");
+  args.add_flag("obs-compress",
+                "LZ-compress BTRC blocks (.btrc sinks only)");
   args.add_flag("obs-summary", "print a metrics digest to stderr on exit");
   return args;
 }
@@ -75,11 +86,9 @@ ArgParser& add_obs_options(ArgParser& args) {
 void open_obs(const ArgParser& args) {
   if (!args.has("obs-out")) return;
   const std::string path = args.get("obs-out");
-  const bool csv = path.size() >= 4 &&
-                   path.compare(path.size() - 4, 4, ".csv") == 0;
-  obs::events().open(path,
-                     csv ? obs::EventFormat::kCsv : obs::EventFormat::kJsonl,
-                     obs::parse_event_level(args.get("obs-level")));
+  obs::events().open(path, obs::event_format_from_path(path),
+                     obs::parse_event_level(args.get("obs-level")),
+                     args.flag("obs-compress"));
 }
 
 /// Closes the event log and honours --obs-summary.
@@ -237,8 +246,8 @@ int cmd_analyze(int argc, const char* const* argv) {
 int cmd_replay(int argc, const char* const* argv) {
   ArgParser args("burstq_cli replay",
                  "re-derive CVR totals from a recorded flight log "
-                 "(JSONL, recorded at --obs-level detail)");
-  args.add_option("log", "flight-recorder JSONL file");
+                 "(JSONL or BTRC, recorded at --obs-level detail)");
+  args.add_option("log", "flight-recorder file (.jsonl or .btrc)");
   args.add_flag("per-pm", "also emit per-PM CVR CSV on stdout");
   args.add_option("slo-fast", "fast SLO window in slots", "10");
   args.add_option("slo-slow", "slow SLO window in slots", "120");
@@ -306,6 +315,134 @@ int cmd_replay(int argc, const char* const* argv) {
                   << seg.tracker.windowed_cvr(pm) << "\n";
       }
   }
+  return 0;
+}
+
+/// Renders one decoded value the way the CSV sink would have written it.
+std::string trace_value_text(const obs::EventValue& v) {
+  switch (v.tag) {
+    case obs::EventValue::Tag::kNumber: return csv_format(v.num);
+    case obs::EventValue::Tag::kString: return v.str;
+    case obs::EventValue::Tag::kBool: return v.b ? "true" : "false";
+    case obs::EventValue::Tag::kNull: return "null";
+  }
+  return {};
+}
+
+/// Prints events as long-format CSV rows (same layout as the CSV sink:
+/// a key-less kind row, then one row per field).  `first_id` numbers the
+/// first event — tail uses the absolute position in the file.
+void print_events_csv(std::ostream& os,
+                      const std::vector<obs::RecordedEvent>& events,
+                      std::uint64_t first_id) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::RecordedEvent& ev = events[i];
+    const std::string id_kind =
+        std::to_string(first_id + i) + ',' + csv_escape(ev.kind) + ',';
+    os << id_kind << ",\n";
+    for (const auto& [key, value] : ev.fields)
+      os << id_kind << csv_escape(key) << ','
+         << csv_escape(trace_value_text(value)) << '\n';
+  }
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  const std::string verb = argc >= 2 ? argv[1] : "";
+  const bool known_verb = verb == "header" || verb == "head" ||
+                          verb == "tail" || verb == "tocsv";
+  ArgParser args("burstq_cli trace " + (known_verb ? verb : "<verb>"),
+                 "inspect a recorded flight log; header shows the BTRC "
+                 "schema, head/tail/tocsv emit id,kind,key,value CSV");
+  args.add_option("log", "recorded flight log (.btrc, .jsonl, or .csv)");
+  args.add_option("n", "events for head/tail", "10");
+  args.add_alias('n', "n");
+  if (!known_verb) {
+    std::cerr << "usage: burstq_cli trace <header|head|tail|tocsv> "
+                 "--log FILE [-n N]\n";
+    return 1;
+  }
+  if (!args.parse(argc - 1, argv + 1) || !args.has("log")) {
+    std::cerr << (args.error().empty() ? "--log is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+  if (!obs::kEnabled) {
+    std::cerr << "error: 'trace' is unavailable in this binary: it was "
+                 "built with -DBURSTQ_NO_OBS, which strips the flight "
+                 "recorder; rebuild without BURSTQ_NO_OBS\n";
+    return 2;
+  }
+  const std::string path = args.get("log");
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+
+  if (verb == "header") {
+    const obs::EventFormat format = obs::sniff_event_format(path);
+    if (format != obs::EventFormat::kBinary) {
+      std::cerr << "error: " << path << " is "
+                << obs::format_name(format)
+                << ", not BTRC; 'trace header' reads the binary schema "
+                   "(use head/tocsv for text logs)\n";
+      return 1;
+    }
+    const obs::TraceFileInfo info = obs::read_trace_info(path);
+    std::cout << "version=" << static_cast<int>(info.version) << "\n"
+              << "compressed=" << (info.compressed ? "true" : "false")
+              << "\n"
+              << "events=" << info.events << "\n"
+              << "data_blocks=" << info.data_blocks << "\n"
+              << "schema_blocks=" << info.schema_blocks << "\n"
+              << "kinds=" << info.kinds.size() << "\n"
+              << "kind_id,kind,rows,column,type\n";
+    for (const auto& kind : info.kinds)
+      for (const auto& col : kind.columns)
+        std::cout << kind.id << ',' << csv_escape(kind.name) << ','
+                  << kind.rows << ',' << csv_escape(col.name) << ','
+                  << col.type_name() << '\n';
+    return 0;
+  }
+
+  std::cout << "id,kind,key,value\n";
+  if (verb == "tocsv") {
+    print_events_csv(std::cout, obs::read_events_auto(path), 0);
+    return 0;
+  }
+  if (verb == "head") {
+    // Pull blocks only until enough events arrived, so head of a huge
+    // trace stays cheap.
+    if (obs::sniff_event_format(path) == obs::EventFormat::kBinary) {
+      obs::TraceReader reader(path);
+      std::vector<obs::RecordedEvent> events;
+      while (events.size() < n && reader.next_block(events)) {
+      }
+      if (events.size() > n) events.resize(n);
+      print_events_csv(std::cout, events, 0);
+    } else {
+      auto events = obs::read_events_auto(path);
+      if (events.size() > n) events.resize(n);
+      print_events_csv(std::cout, events, 0);
+    }
+    return 0;
+  }
+  // tail: stream blocks, keeping a bounded window of the last n events.
+  std::vector<obs::RecordedEvent> window;
+  std::uint64_t total = 0;
+  if (obs::sniff_event_format(path) == obs::EventFormat::kBinary) {
+    obs::TraceReader reader(path);
+    while (reader.next_block(window)) {
+      if (window.size() > n)
+        window.erase(window.begin(),
+                     window.end() - static_cast<std::ptrdiff_t>(n));
+    }
+    total = reader.info().events;
+  } else {
+    window = obs::read_events_auto(path);
+    total = window.size();
+    if (window.size() > n)
+      window.erase(window.begin(),
+                   window.end() - static_cast<std::ptrdiff_t>(n));
+  }
+  print_events_csv(std::cout, window, total - window.size());
   return 0;
 }
 
@@ -489,6 +626,7 @@ int main(int argc, char** argv) {
     if (sub == "fit") return cmd_fit(argc - 1, argv + 1);
     if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
     if (sub == "sim") return cmd_sim(argc - 1, argv + 1);
+    if (sub == "trace") return cmd_trace(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

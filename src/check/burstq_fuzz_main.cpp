@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
                   "instead of a sweep");
   args.add_option("obs-out",
                   "record fuzz.discrepancy/fuzz.summary events here "
-                  "(.jsonl; .csv selects CSV)");
+                  "(.jsonl; .csv selects CSV, .btrc binary columnar)");
   args.add_option("obs-level", "event level: off | decisions | detail",
                   "decisions");
   if (!args.parse(argc, argv)) {
@@ -103,11 +103,8 @@ int main(int argc, char** argv) {
 
     if (args.has("obs-out")) {
       const std::string path = args.get("obs-out");
-      const bool csv = path.size() >= 4 &&
-                       path.compare(path.size() - 4, 4, ".csv") == 0;
-      obs::events().open(
-          path, csv ? obs::EventFormat::kCsv : obs::EventFormat::kJsonl,
-          obs::parse_event_level(args.get("obs-level")));
+      obs::events().open(path, obs::event_format_from_path(path),
+                         obs::parse_event_level(args.get("obs-level")));
     }
 
     FuzzSummary summary;

@@ -25,6 +25,14 @@ ArgParser& ArgParser::add_flag(const std::string& key,
   return *this;
 }
 
+ArgParser& ArgParser::add_alias(char c, const std::string& key) {
+  BURSTQ_REQUIRE(find(key) != nullptr,
+                 "alias -" + std::string(1, c) + " for undeclared --" + key);
+  BURSTQ_REQUIRE(aliases_.emplace(c, key).second,
+                 "duplicate alias -" + std::string(1, c));
+  return *this;
+}
+
 const ArgParser::Spec* ArgParser::find(const std::string& key) const {
   for (const auto& [k, spec] : specs_)
     if (k == key) return &spec;
@@ -37,11 +45,20 @@ bool ArgParser::parse(int argc, const char* const* argv) {
   error_.clear();
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) {
+    std::string key;
+    if (token.rfind("--", 0) == 0) {
+      key = token.substr(2);
+    } else if (token.size() == 2 && token[0] == '-') {
+      const auto it = aliases_.find(token[1]);
+      if (it == aliases_.end()) {
+        error_ = "unknown option " + token;
+        return false;
+      }
+      key = it->second;
+    } else {
       error_ = "unexpected positional argument: " + token;
       return false;
     }
-    const std::string key = token.substr(2);
     const Spec* spec = find(key);
     if (spec == nullptr) {
       error_ = "unknown option --" + key;
@@ -104,6 +121,8 @@ std::string ArgParser::usage() const {
   oss << "usage: " << program_ << " [options]\n" << description_ << "\n\n";
   for (const auto& [key, spec] : specs_) {
     oss << "  --" << key;
+    for (const auto& [c, aliased] : aliases_)
+      if (aliased == key) oss << " | -" << c;
     if (!spec.is_flag) oss << " <value>";
     oss << "  " << spec.help;
     if (spec.default_value) oss << " (default: " << *spec.default_value << ")";

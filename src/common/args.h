@@ -1,8 +1,9 @@
 // Minimal command-line flag parser for the example tools.
 //
 // Supports "--key value" pairs and boolean "--flag" switches declared up
-// front, with typed accessors, defaults, and a generated usage string.
-// Deliberately tiny: the CLI tools need exactly this and nothing more.
+// front, with typed accessors, defaults, optional single-letter aliases
+// ("-n 5"), and a generated usage string.  Deliberately tiny: the CLI
+// tools need exactly this and nothing more.
 
 #pragma once
 
@@ -25,6 +26,10 @@ class ArgParser {
 
   /// Declares a boolean --key switch (no value).
   ArgParser& add_flag(const std::string& key, const std::string& help);
+
+  /// Registers `-c` as shorthand for an already-declared --key, so
+  /// pipe-style tools can take "-n 20" like their unix counterparts.
+  ArgParser& add_alias(char c, const std::string& key);
 
   /// Parses argv.  Returns false (and sets error()) on unknown keys,
   /// missing values, or a missing required option.
@@ -52,6 +57,7 @@ class ArgParser {
   std::string program_;
   std::string description_;
   std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<char, std::string> aliases_;
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> flags_;
   std::string error_;

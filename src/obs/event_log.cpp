@@ -4,6 +4,8 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace burstq::obs {
 
@@ -13,6 +15,21 @@ EventLevel parse_event_level(std::string_view text) {
   if (text == "detail" || text == "2") return EventLevel::kDetail;
   throw InvalidArgument("unknown event level: " + std::string(text) +
                         " (expected off|decisions|detail)");
+}
+
+std::string_view format_name(EventFormat format) noexcept {
+  switch (format) {
+    case EventFormat::kJsonl: return "jsonl";
+    case EventFormat::kCsv: return "csv";
+    case EventFormat::kBinary: return "btrc";
+  }
+  return "?";
+}
+
+EventFormat event_format_from_path(std::string_view path) noexcept {
+  if (path.ends_with(".btrc")) return EventFormat::kBinary;
+  if (path.ends_with(".csv")) return EventFormat::kCsv;
+  return EventFormat::kJsonl;
 }
 
 std::string json_escape(std::string_view s) {
@@ -56,19 +73,60 @@ std::string value_text(const Field& f) {
 
 }  // namespace
 
+EventLog::EventLog() = default;
+
 EventLog::~EventLog() { close(); }
 
 void EventLog::open(const std::string& path, EventFormat format,
-                    EventLevel level) {
+                    EventLevel level, bool compress) {
   const std::scoped_lock lock(mu_);
   if (out_.is_open()) out_.close();
-  out_.open(path, std::ios::out | std::ios::trunc);
-  BURSTQ_REQUIRE(out_.is_open(), "cannot open event log: " + path);
+  if (writer_ != nullptr) {
+    writer_->close();
+    sync_trace_counters_locked();
+    writer_.reset();
+  }
   format_ = format;
+  if (format_ == EventFormat::kBinary) {
+    TraceWriteOptions opts;
+    opts.compress = compress;
+    writer_ = std::make_unique<TraceWriter>(path, opts);
+  } else {
+    out_.open(path, std::ios::out | std::ios::trunc);
+    BURSTQ_REQUIRE(out_.is_open(), "cannot open event log: " + path);
+  }
   next_id_ = 0;
   written_.store(0, std::memory_order_relaxed);
   if (format_ == EventFormat::kCsv) out_ << "id,kind,key,value\n";
+
+  // Recorder self-metrics, one counter family per sink format.
+  sink_format_name_ = std::string(format_name(format_));
+  bytes_counter_ =
+      &metrics().counter("obs.trace.bytes_written." + sink_format_name_);
+  events_counter_ =
+      &metrics().counter("obs.trace.events_written." + sink_format_name_);
+  blocks_counter_ =
+      format_ == EventFormat::kBinary
+          ? &metrics().counter("obs.trace.blocks_flushed.btrc")
+          : nullptr;
+  synced_bytes_ = 0;
+  synced_blocks_ = 0;
+  if (format_ == EventFormat::kBinary) sync_trace_counters_locked();
+
   level_.store(static_cast<int>(level), std::memory_order_release);
+}
+
+// Mirrors the TraceWriter's running totals into the obs.trace.* counters
+// (delta since the last sync, so reopen/close never double-counts).
+void EventLog::sync_trace_counters_locked() {
+  if (writer_ == nullptr || bytes_counter_ == nullptr) return;
+  const std::uint64_t bytes = writer_->bytes_written();
+  const std::uint64_t blocks = writer_->blocks_flushed();
+  if (bytes > synced_bytes_) bytes_counter_->add(bytes - synced_bytes_);
+  if (blocks_counter_ != nullptr && blocks > synced_blocks_)
+    blocks_counter_->add(blocks - synced_blocks_);
+  synced_bytes_ = bytes;
+  synced_blocks_ = blocks;
 }
 
 void EventLog::close() {
@@ -79,11 +137,20 @@ void EventLog::close() {
     out_.flush();
     out_.close();
   }
+  if (writer_ != nullptr) {
+    writer_->close();
+    sync_trace_counters_locked();
+    writer_.reset();
+  }
 }
 
 void EventLog::flush() {
   const std::scoped_lock lock(mu_);
   if (out_.is_open()) out_.flush();
+  if (writer_ != nullptr) {
+    writer_->flush();
+    sync_trace_counters_locked();
+  }
 }
 
 void EventLog::emit(EventLevel level, std::string_view kind,
@@ -110,16 +177,25 @@ void EventLog::emit(EventLevel level, std::string_view kind,
   }
 
   const std::scoped_lock lock(mu_);
-  if (!out_.is_open()) return;
-  if (format_ == EventFormat::kJsonl) {
-    out_ << line;
+  if (format_ == EventFormat::kBinary) {
+    if (writer_ == nullptr) return;
+    writer_->append(kind, fields);
+    sync_trace_counters_locked();
   } else {
-    const std::uint64_t id = next_id_++;
-    out_ << id << ',' << csv_escape(kind) << ",,\n";
-    for (const Field& f : fields)
-      out_ << id << ',' << csv_escape(kind) << ',' << csv_escape(f.key)
-           << ',' << csv_escape(value_text(f)) << '\n';
+    if (!out_.is_open()) return;
+    if (format_ == EventFormat::kCsv) {
+      const std::uint64_t id = next_id_++;
+      const std::string id_kind =
+          std::to_string(id) + ',' + csv_escape(kind) + ',';
+      line = id_kind + ",\n";
+      for (const Field& f : fields)
+        line += id_kind + csv_escape(f.key) + ',' +
+                csv_escape(value_text(f)) + '\n';
+    }
+    out_ << line;
+    if (bytes_counter_ != nullptr) bytes_counter_->add(line.size());
   }
+  if (events_counter_ != nullptr) events_counter_->add(1);
   written_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -131,6 +207,11 @@ void EventLog::set_run_label(std::string label) {
 std::string EventLog::run_label() const {
   const std::scoped_lock lock(mu_);
   return run_label_;
+}
+
+std::string EventLog::sink_format_name() const {
+  const std::scoped_lock lock(mu_);
+  return sink_format_name_;
 }
 
 EventLog& events() {

@@ -1,5 +1,6 @@
 #include "obs/jsonl.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -148,35 +149,41 @@ bool parse_value(Cursor& cur, EventValue& out, std::string& error) {
   return true;
 }
 
-}  // namespace
+/// Parses one line into `ev` (cleared first).  kBlank means a
+/// whitespace-only line; kError sets `error`.
+enum class LineParse { kEvent, kBlank, kError };
 
-std::optional<RecordedEvent> parse_event_line(std::string_view line,
-                                              std::string* error) {
+LineParse parse_line_into(std::string_view line, RecordedEvent& ev,
+                          std::string& error) {
+  ev.kind.clear();
+  ev.fields.clear();
   std::string err;
-  const auto fail = [&](const std::string& what) -> std::optional<RecordedEvent> {
-    if (error != nullptr) *error = what;
-    return std::nullopt;
+  const auto fail = [&](std::string what) {
+    error = std::move(what);
+    return LineParse::kError;
   };
 
   Cursor cur{line, 0};
   cur.skip_ws();
-  if (cur.done()) return fail("");  // blank line, not an error
+  if (cur.done()) return LineParse::kBlank;
   if (!cur.consume('{')) return fail("expected '{'");
 
-  RecordedEvent ev;
   if (cur.consume('}')) return fail("event without a kind");
   while (true) {
     std::string key;
     if (!parse_string(cur, key, err)) return fail(err);
     if (!cur.consume(':')) return fail("expected ':'");
-    EventValue value;
-    if (!parse_value(cur, value, err)) return fail(err);
     if (key == "kind") {
+      EventValue value;
+      if (!parse_value(cur, value, err)) return fail(err);
       if (value.tag != EventValue::Tag::kString)
         return fail("kind must be a string");
-      ev.kind = value.str;
+      ev.kind = std::move(value.str);
     } else {
-      ev.fields.emplace_back(std::move(key), std::move(value));
+      // Parse straight into the field slot — values are never moved.
+      auto& field = ev.fields.emplace_back();
+      field.first = std::move(key);
+      if (!parse_value(cur, field.second, err)) return fail(err);
     }
     if (cur.consume(',')) continue;
     if (cur.consume('}')) break;
@@ -185,26 +192,153 @@ std::optional<RecordedEvent> parse_event_line(std::string_view line,
   cur.skip_ws();
   if (!cur.done()) return fail("trailing characters after '}'");
   if (ev.kind.empty()) return fail("event without a kind");
-  return ev;
+  return LineParse::kEvent;
 }
 
-std::vector<RecordedEvent> read_events_jsonl(const std::string& path) {
+}  // namespace
+
+std::optional<RecordedEvent> parse_event_line(std::string_view line,
+                                              std::string* error) {
+  RecordedEvent ev;
+  std::string err;
+  const LineParse result = parse_line_into(line, ev, err);
+  if (result == LineParse::kEvent) return ev;
+  if (error != nullptr) *error = result == LineParse::kBlank ? "" : err;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Splits one RFC 4180 record (possibly spanning several physical lines
+/// when quoted fields embed newlines) into fields.  `in` has already
+/// yielded `line` via getline; more lines are pulled as needed.  Returns
+/// false on an unterminated quoted field at end of file.
+bool split_csv_record(std::istream& in, std::string line,
+                      std::vector<std::string>& fields) {
+  fields.clear();
+  fields.emplace_back();
+  bool quoted = false;
+  std::size_t i = 0;
+  while (true) {
+    if (i == line.size()) {
+      if (!quoted) return true;
+      // Quoted field continues on the next physical line.
+      std::string next;
+      if (!std::getline(in, next)) return false;
+      fields.back() += '\n';
+      line = std::move(next);
+      i = 0;
+      continue;
+    }
+    const char c = line[i++];
+    if (quoted) {
+      if (c != '"') {
+        fields.back() += c;
+      } else if (i < line.size() && line[i] == '"') {
+        fields.back() += '"';
+        ++i;
+      } else {
+        quoted = false;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.emplace_back();
+    } else {
+      fields.back() += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RecordedEvent> read_events_csv(const std::string& path) {
   std::ifstream in(path);
   BURSTQ_REQUIRE(in.is_open(), "cannot open event log: " + path);
 
   std::vector<RecordedEvent> out;
   std::string line;
+  std::vector<std::string> fields;
   std::size_t line_no = 0;
+  bool saw_header = false;
+  std::string current_id;
+  const auto fail = [&](const std::string& what) {
+    throw InvalidArgument(path + ":" + std::to_string(line_no) + ": " + what);
+  };
   while (std::getline(in, line)) {
     ++line_no;
-    std::string error;
-    auto ev = parse_event_line(line, &error);
-    if (!ev) {
-      if (error.empty()) continue;  // blank line
-      throw InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
-                            error);
+    // CRLF tolerance on the header line only — a trailing \r inside a
+    // data record may be quoted field content and must survive.
+    if (!saw_header && !line.empty() && line.back() == '\r')
+      line.pop_back();
+    if (line.empty()) continue;
+    if (!split_csv_record(in, std::move(line), fields))
+      fail("unterminated quoted field");
+    line = {};
+    if (!saw_header) {
+      if (fields != std::vector<std::string>{"id", "kind", "key", "value"})
+        fail("expected header id,kind,key,value");
+      saw_header = true;
+      continue;
     }
-    out.push_back(std::move(*ev));
+    if (fields.size() != 4) fail("expected 4 columns, got " +
+                                 std::to_string(fields.size()));
+    std::string& id = fields[0];
+    std::string& kind = fields[1];
+    std::string& key = fields[2];
+    std::string& value = fields[3];
+    if (kind.empty()) fail("row without a kind");
+    if (out.empty() || id != current_id) {
+      // A fresh id opens a new event; its first row carries the kind.
+      if (!key.empty() || !value.empty())
+        fail("event must start with its kind row");
+      RecordedEvent ev;
+      ev.kind = std::move(kind);
+      out.push_back(std::move(ev));
+      current_id = std::move(id);
+      continue;
+    }
+    if (kind != out.back().kind) fail("kind changed within one event id");
+    EventValue v;
+    v.tag = EventValue::Tag::kString;
+    v.str = std::move(value);
+    out.back().fields.emplace_back(std::move(key), std::move(v));
+  }
+  return out;
+}
+
+std::vector<RecordedEvent> read_events_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open event log: " + path);
+
+  // Slurp once: the newline count sizes the output up front, so events
+  // parse in place and are never moved by vector growth.
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  BURSTQ_REQUIRE(len >= 0, "cannot read event log: " + path);
+  text.resize(static_cast<std::size_t>(len));
+  in.seekg(0);
+  in.read(text.data(), len);
+
+  std::vector<RecordedEvent> out;
+  out.reserve(static_cast<std::size_t>(
+                  std::count(text.begin(), text.end(), '\n')) +
+              1);
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  std::string error;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    const std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    const LineParse result = parse_line_into(line, out.emplace_back(), error);
+    if (result == LineParse::kEvent) continue;
+    out.pop_back();
+    if (result == LineParse::kBlank) continue;  // blank line
+    throw InvalidArgument(path + ":" + std::to_string(line_no) + ": " + error);
   }
   return out;
 }

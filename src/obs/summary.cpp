@@ -94,11 +94,18 @@ void print_summary(std::ostream& os, const SummaryOptions& options) {
   print_summary(os, metrics().scrape(), options);
 }
 
-void write_summary_csv(const std::string& path,
-                       const MetricsSnapshot& snap) {
+void write_summary_csv(
+    const std::string& path, const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
   CsvWriter csv(path);
   csv.row({"type", "name", "value", "calls", "total_ns", "self_ns", "mean",
            "p50", "p95", "p99", "max"});
+  for (const auto& [key, value] : meta) {
+    csv.begin_row();
+    csv.field("meta").field(key).field(value);
+    for (int i = 0; i < 8; ++i) csv.field("");
+    csv.end_row();
+  }
   for (const auto& c : snap.counters) {
     csv.begin_row();
     csv.field("counter").field(c.name).field(static_cast<std::size_t>(

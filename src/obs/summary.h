@@ -7,6 +7,8 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/registry.h"
 
@@ -30,6 +32,11 @@ void print_summary(std::ostream& os, const SummaryOptions& options = {});
 ///   type,name,value,calls,total_ns,self_ns,mean,p50,p95,p99,max
 /// (columns unused by a metric type are left empty).  Histogram
 /// quantiles come from the streaming sketch (obs/quantiles.h).
-void write_summary_csv(const std::string& path, const MetricsSnapshot& snap);
+/// `meta` rows, when given, lead the dump as `meta,<key>,<value>,...` so
+/// a summary is self-describing (e.g. which trace format the run
+/// recorded — BENCH comparisons across formats need this).
+void write_summary_csv(
+    const std::string& path, const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::string>>& meta = {});
 
 }  // namespace burstq::obs

@@ -1,0 +1,125 @@
+#include "obs/trace_codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace burstq::obs::trace_detail {
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+bool get_f64(std::string_view data, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(data, pos, bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 1u << 16;
+constexpr std::size_t kHashBits = 15;
+
+std::uint32_t hash4(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string lz_compress(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() / 2 + 16);
+  std::array<std::size_t, 1u << kHashBits> head;
+  head.fill(SIZE_MAX);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  const auto emit_group = [&](std::size_t match_len, std::size_t offset) {
+    put_varint(out, pos - literal_start);
+    out.append(raw.data() + literal_start, pos - literal_start);
+    put_varint(out, match_len);
+    if (match_len != 0) put_varint(out, offset);
+  };
+
+  while (pos + kMinMatch <= raw.size()) {
+    const std::uint32_t h = hash4(raw.data() + pos);
+    const std::size_t cand = head[h];
+    head[h] = pos;
+    if (cand != SIZE_MAX && pos - cand <= kMaxOffset &&
+        std::memcmp(raw.data() + cand, raw.data() + pos, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (pos + len < raw.size() && raw[cand + len] == raw[pos + len])
+        ++len;
+      emit_group(len, pos - cand);
+      // Index a couple of positions inside the match so back-to-back
+      // repeats still find each other, without paying a full re-scan.
+      const std::size_t next = pos + len;
+      for (std::size_t p = pos + 1; p < next && p + kMinMatch <= raw.size();
+           p += (len > 32 ? 7 : 1))
+        head[hash4(raw.data() + p)] = p;
+      pos = next;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = raw.size();
+  emit_group(0, 0);  // trailing literals, match_len 0 terminates
+  return out;
+}
+
+bool lz_decompress(std::string_view compressed, std::size_t raw_size,
+                   std::string& out) {
+  out.clear();
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  while (true) {
+    std::uint64_t literal_len = 0;
+    if (!get_varint(compressed, pos, literal_len)) return false;
+    if (literal_len > compressed.size() - pos) return false;
+    out.append(compressed.data() + pos,
+               static_cast<std::size_t>(literal_len));
+    pos += static_cast<std::size_t>(literal_len);
+    std::uint64_t match_len = 0;
+    if (!get_varint(compressed, pos, match_len)) return false;
+    if (match_len == 0) break;
+    std::uint64_t offset = 0;
+    if (!get_varint(compressed, pos, offset)) return false;
+    if (offset == 0 || offset > out.size()) return false;
+    if (out.size() + match_len > raw_size) return false;
+    // Overlapping copies are the RLE case; byte-by-byte is required.
+    std::size_t from = out.size() - static_cast<std::size_t>(offset);
+    for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[from++]);
+  }
+  return pos == compressed.size() && out.size() == raw_size;
+}
+
+}  // namespace burstq::obs::trace_detail

@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace burstq {
 
@@ -140,7 +141,15 @@ std::vector<FlightReplaySegment> replay_flight_log(
 
 std::vector<FlightReplaySegment> replay_flight_log(
     const std::string& path, const obs::SloOptions* slo) {
-  return replay_flight_log(obs::read_events_jsonl(path), slo);
+  obs::EventFormat format = obs::EventFormat::kJsonl;
+  auto events = obs::read_events_auto(path, &format);
+  // The long-CSV sink is string-typed end to end, so replaying it would
+  // silently re-derive CVR from parsed text.  Refuse rather than guess.
+  if (format == obs::EventFormat::kCsv)
+    throw InvalidArgument(
+        path + ": CSV event logs are lossy (string-typed) and cannot be "
+               "replayed; record JSONL or BTRC instead");
+  return replay_flight_log(events, slo);
 }
 
 }  // namespace burstq

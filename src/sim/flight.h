@@ -113,7 +113,10 @@ std::vector<FlightReplaySegment> replay_flight_log(
     const std::vector<obs::RecordedEvent>& events,
     const obs::SloOptions* slo = nullptr);
 
-/// Convenience: read_events_jsonl + replay.
+/// Convenience: read_events_auto + replay — consumes JSONL or BTRC
+/// directly (both decode to the same event stream, so the CVR and SLO
+/// verdicts are bit-identical).  Throws InvalidArgument for CSV logs,
+/// which are string-typed and not replayable.
 std::vector<FlightReplaySegment> replay_flight_log(
     const std::string& path, const obs::SloOptions* slo = nullptr);
 

@@ -100,6 +100,32 @@ TEST(ArgParser, DuplicateDeclarationThrows) {
   EXPECT_THROW(p.add_flag("x", "h3"), InvalidArgument);
 }
 
+TEST(ArgParser, ShortAliasResolvesToOption) {
+  ArgParser p("t", "d");
+  p.add_option("n", "events", "10");
+  p.add_alias('n', "n");
+  const char* argv[] = {"t", "-n", "25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("n"), 25);
+  EXPECT_NE(p.usage().find("-n"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownShortOptionFails) {
+  ArgParser p("t", "d");
+  p.add_option("n", "events", "10");
+  const char* argv[] = {"t", "-n", "25"};
+  EXPECT_FALSE(p.parse(3, argv));
+  EXPECT_NE(p.error().find("-n"), std::string::npos);
+}
+
+TEST(ArgParser, AliasForUndeclaredOptionThrows) {
+  ArgParser p("t", "d");
+  EXPECT_THROW(p.add_alias('x', "missing"), InvalidArgument);
+  p.add_option("n", "events");
+  p.add_alias('n', "n");
+  EXPECT_THROW(p.add_alias('n', "n"), InvalidArgument);  // duplicate
+}
+
 TEST(ArgParser, ReparseResetsState) {
   auto p = make_parser();
   const char* argv1[] = {"tool", "--verbose"};
