@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/controller.h"
 #include "fault/injector.h"
@@ -50,11 +51,25 @@ int main(int argc, char** argv) {
                   "sleep this many ms per slot (lets a scraper watch a "
                   "run in flight; 0 = full speed)",
                   "0");
+  args.add_option("threads",
+                  "worker threads for parallel stages "
+                  "(0 = BURSTQ_THREADS or hardware)",
+                  "0");
+  args.add_option("shards",
+                  "PM shards for admission routing (0 = auto from the "
+                  "fleet size)",
+                  "1");
+  args.add_option("decision-budget",
+                  "max exact Eq. 17 checks per admission decision "
+                  "(0 = unlimited)",
+                  "0");
   obs::add_telemetry_options(args);
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n" << args.usage();
     return 2;
   }
+  if (const auto t = static_cast<std::size_t>(args.get_int("threads")))
+    set_thread_count_override(t);
   if (args.has("obs-out")) {
     const std::string path = args.get("obs-out");
     obs::events().open(path, obs::event_format_from_path(path),
@@ -72,6 +87,10 @@ int main(int argc, char** argv) {
   ControllerConfig cfg;
   cfg.maintenance_every = 360;  // every 3 hours of 30s slots
   cfg.maintenance_budget = 25;
+  cfg.ffd.sharded.shards =
+      static_cast<std::size_t>(args.get_int("shards"));
+  cfg.ffd.sharded.decision_budget =
+      static_cast<std::size_t>(args.get_int("decision-budget"));
   const std::size_t n_pms = 120;
 
   // SLO watch: fast = 5 min of 30 s slots, slow = 1 h, against the

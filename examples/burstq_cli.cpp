@@ -34,6 +34,7 @@
 
 #include "common/args.h"
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/consolidator.h"
 #include "fault/plan.h"
@@ -97,6 +98,20 @@ void finish_obs(const ArgParser& args) {
   if (args.flag("obs-summary")) obs::print_summary(std::cerr);
 }
 
+ArgParser& add_thread_option(ArgParser& args) {
+  args.add_option("threads",
+                  "worker threads for parallel stages "
+                  "(0 = BURSTQ_THREADS or hardware)",
+                  "0");
+  return args;
+}
+
+/// Applies --threads via the process-wide override (common/parallel.h).
+void apply_thread_option(const ArgParser& args) {
+  const auto t = static_cast<std::size_t>(args.get_int("threads"));
+  if (t > 0) set_thread_count_override(t);
+}
+
 ProblemInstance load_instance(const ArgParser& args) {
   ProblemInstance inst;
   inst.vms = read_vm_specs_csv(args.get("vms"));
@@ -115,6 +130,24 @@ QueuingFfdOptions load_options(const ArgParser& args) {
   QueuingFfdOptions opt;
   opt.rho = args.get_double("rho");
   opt.max_vms_per_pm = static_cast<std::size_t>(args.get_int("d"));
+  // --engine/--shards are only declared by `place`; has() is false for
+  // subcommands that never registered them.
+  if (args.has("engine")) {
+    const std::string engine = args.get("engine");
+    if (engine == "incremental") {
+      opt.engine = PlacementEngine::kIncremental;
+    } else if (engine == "naive") {
+      opt.engine = PlacementEngine::kNaive;
+    } else if (engine == "sharded") {
+      opt.engine = PlacementEngine::kSharded;
+    } else {
+      throw InvalidArgument("unknown engine: " + engine);
+    }
+  }
+  if (args.has("shards"))
+    opt.sharded.shards = static_cast<std::size_t>(args.get_int("shards"));
+  if (args.has("threads"))
+    opt.sharded.threads = static_cast<std::size_t>(args.get_int("threads"));
   return opt;
 }
 
@@ -129,7 +162,15 @@ int cmd_place(int argc, const char* const* argv) {
   args.add_option("pms-file", "CSV of PM capacities");
   args.add_option("rho", "CVR budget", "0.01");
   args.add_option("d", "max VMs per PM", "16");
+  args.add_option("engine",
+                  "queue-strategy driver: incremental | naive | sharded",
+                  "incremental");
+  args.add_option("shards",
+                  "PM shards for the sharded engine (0 = auto from the "
+                  "fleet size)",
+                  "1");
   args.add_flag("quiet", "suppress the stderr summary");
+  add_thread_option(args);
   add_obs_options(args);
   if (!args.parse(argc, argv) || !args.has("vms")) {
     std::cerr << (args.error().empty() ? "--vms is required" : args.error())
@@ -137,6 +178,7 @@ int cmd_place(int argc, const char* const* argv) {
               << args.usage();
     return 1;
   }
+  apply_thread_option(args);
   open_obs(args);
 
   const auto inst = load_instance(args);
@@ -523,6 +565,7 @@ int cmd_sim(int argc, const char* const* argv) {
   args.add_option("cvr-window", "migration-trigger window in slots", "10");
   args.add_option("slo-fast", "fast SLO window in slots", "10");
   args.add_option("slo-slow", "slow SLO window in slots", "120");
+  add_thread_option(args);
   add_fault_options(args);
   add_obs_options(args);
   obs::add_telemetry_options(args);
@@ -532,6 +575,7 @@ int cmd_sim(int argc, const char* const* argv) {
               << args.usage();
     return 1;
   }
+  apply_thread_option(args);
   open_obs(args);
   obs::events().set_run_label("sim");
 

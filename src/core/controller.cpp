@@ -1,11 +1,13 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
 #include "placement/budget.h"
+#include "placement/incremental.h"
 #include "placement/placement.h"
 
 namespace burstq {
@@ -35,6 +37,38 @@ CloudController::CloudController(std::vector<PmSpec> pms,
   BURSTQ_REQUIRE(config_.slo == nullptr ||
                      config_.slo->n_pms() == pms_.size(),
                  "SLO tracker PM count must match the fleet");
+  index_.reset(pms_.size(), config_.ffd.sharded.shards);
+  refresh_all_keys();
+}
+
+std::size_t CloudController::next_home() {
+  const std::size_t home = route_seq_ % index_.shard_count();
+  ++route_seq_;
+  return home;
+}
+
+void CloudController::refresh_key(PmId pm) {
+  if (!up_[pm.value]) {
+    index_.set_key(pm.value, -std::numeric_limits<double>::infinity());
+    return;
+  }
+  // The controller keeps no per-PM aggregate caches (the hosted lists are
+  // short — at most d = max_vms_per_pm entries), so the key is recomputed
+  // by a bounded walk.
+  Resource rb_sum = 0.0;
+  Resource re_max = 0.0;
+  for (std::size_t s : on_pm_[pm.value]) {
+    rb_sum += tenants_[s].spec.rb;
+    re_max = std::max(re_max, tenants_[s].spec.re);
+  }
+  index_.set_key(pm.value,
+                 conservative_admit_key(pms_[pm.value].capacity,
+                                        on_pm_[pm.value].size(), rb_sum,
+                                        re_max, table_));
+}
+
+void CloudController::refresh_all_keys() {
+  for (std::size_t j = 0; j < pms_.size(); ++j) refresh_key(PmId{j});
 }
 
 std::vector<VmSpec> CloudController::hosted_specs(PmId pm) const {
@@ -44,20 +78,26 @@ std::vector<VmSpec> CloudController::hosted_specs(PmId pm) const {
   return out;
 }
 
-std::optional<PmId> CloudController::first_fit(const VmSpec& vm) const {
-  for (std::size_t j = 0; j < pms_.size(); ++j) {
-    if (!up_[j]) continue;
-    const PmId pm{j};
-    if (fits_with_reservation_specs(hosted_specs(pm), vm,
-                                    pms_[j].capacity, table_))
-      return pm;
-  }
-  return std::nullopt;
+std::optional<PmId> CloudController::first_fit(const VmSpec& vm,
+                                               std::size_t home, PmId skip) {
+  const auto outcome = index_.route(
+      vm.rb, home,
+      [&](std::size_t j) {
+        if (skip.valid() && j == skip.value) return false;
+        // Down PMs never reach here: their key is -inf.
+        return fits_with_reservation_specs(hosted_specs(PmId{j}), vm,
+                                           pms_[j].capacity, table_);
+      },
+      config_.ffd.sharded.decision_budget);
+  if (outcome.budget_exhausted)
+    BURSTQ_COUNT("placement.shard.budget_exhausted", 1);
+  if (outcome.pm == ShardedAdmitIndex::npos) return std::nullopt;
+  return PmId{outcome.pm};
 }
 
 std::optional<TenantId> CloudController::admit(const VmSpec& vm) {
   vm.validate();
-  const auto pm = first_fit(vm);
+  const auto pm = first_fit(vm, next_home());
   if (!pm) {
     ++stats_.rejections;
     return std::nullopt;
@@ -77,6 +117,7 @@ std::optional<TenantId> CloudController::admit(const VmSpec& vm) {
   t.pm = *pm;
   t.live = true;
   on_pm_[pm->value].push_back(slot);
+  refresh_key(*pm);
   ++stats_.admissions;
   ++stats_.vms_hosted;
   return TenantId{slot};
@@ -92,6 +133,7 @@ void CloudController::depart(TenantId id) {
     const auto it = std::find(list.begin(), list.end(), id.slot);
     BURSTQ_ASSERT(it != list.end(), "controller PM lists out of sync");
     list.erase(it);
+    refresh_key(t.pm);
   } else {
     // Parked in the post-crash admission queue; departing just removes it.
     const auto it = std::find_if(
@@ -106,11 +148,74 @@ void CloudController::depart(TenantId id) {
   --stats_.vms_hosted;
 }
 
+bool CloudController::resize(TenantId id, const VmSpec& new_spec) {
+  BURSTQ_REQUIRE(
+      id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live,
+      "resize on an invalid or dead tenant");
+  new_spec.validate();
+  Tenant& t = tenants_[id.slot];
+  const bool chain_restart = !(t.spec.onoff.p_on == new_spec.onoff.p_on &&
+                               t.spec.onoff.p_off == new_spec.onoff.p_off);
+
+  if (!t.pm.valid()) {
+    // Parked in the post-crash queue: just swap the spec; the queue drain
+    // re-places it under the new size.
+    t.spec = new_spec;
+  } else {
+    const PmId pm = t.pm;
+    // Fast path: the current PM still satisfies Eq. (17) with the
+    // resized spec alongside its unchanged co-residents.
+    std::vector<VmSpec> others;
+    others.reserve(on_pm_[pm.value].size() - 1);
+    for (std::size_t s : on_pm_[pm.value])
+      if (s != id.slot) others.push_back(tenants_[s].spec);
+    if (fits_with_reservation_specs(others, new_spec, pms_[pm.value].capacity,
+                                    table_)) {
+      t.spec = new_spec;
+      refresh_key(pm);
+    } else {
+      // Detach, then route the resized tenant with its current PM's shard
+      // as home (locality-preserving and deterministic).
+      auto& list = on_pm_[pm.value];
+      list.erase(std::find(list.begin(), list.end(), id.slot));
+      refresh_key(pm);
+      const auto target = first_fit(new_spec, index_.shard_of(pm.value));
+      if (!target) {
+        // Roll back: the original spec on the original PM is always
+        // feasible (that exact hosted set satisfied Eq. 17 before).
+        on_pm_[pm.value].push_back(id.slot);
+        refresh_key(pm);
+        ++stats_.resize_rejections;
+        BURSTQ_COUNT("controller.resize.rejected", 1);
+        return false;
+      }
+      t.spec = new_spec;
+      t.pm = *target;
+      on_pm_[target->value].push_back(id.slot);
+      refresh_key(*target);
+      ++stats_.resize_migrations;
+      BURSTQ_COUNT("controller.resize.moved", 1);
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "resize.migrate",
+                   {"t", stats_.slots}, {"tenant", id.slot},
+                   {"from", pm.value}, {"to", target->value});
+    }
+  }
+
+  if (chain_restart) {
+    t.chain = OnOffChain(new_spec.onoff);
+    t.chain.reset_stationary(rng_);
+  }
+  ++stats_.resizes;
+  BURSTQ_COUNT("controller.resizes", 1);
+  return true;
+}
+
 void CloudController::inject_pm_crash(PmId pm) {
   BURSTQ_REQUIRE(pm.valid() && pm.value < pms_.size(),
                  "inject_pm_crash on an out-of-range PM");
   if (!up_[pm.value]) return;
   up_[pm.value] = 0;
+  refresh_key(pm);  // -inf: routing skips the dead host entirely
   ++stats_.pm_crashes;
   BURSTQ_COUNT("fault.pm.crashes", 1);
   BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.crash",
@@ -123,9 +228,10 @@ void CloudController::inject_pm_crash(PmId pm) {
   for (std::size_t s : victims) {
     Tenant& t = tenants_[s];
     t.pm = PmId{};
-    if (const auto target = first_fit(t.spec)) {
+    if (const auto target = first_fit(t.spec, 0)) {
       t.pm = *target;
       on_pm_[target->value].push_back(s);
+      refresh_key(*target);
       ++stats_.evacuations;
       BURSTQ_COUNT("fault.evacuations", 1);
       BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.evacuate",
@@ -148,6 +254,7 @@ void CloudController::inject_pm_recover(PmId pm) {
                  "inject_pm_recover on an out-of-range PM");
   if (up_[pm.value]) return;
   up_[pm.value] = 1;
+  refresh_key(pm);
   ++stats_.pm_recoveries;
   BURSTQ_COUNT("fault.pm.recoveries", 1);
   BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.pm.recover",
@@ -170,9 +277,10 @@ void CloudController::drain_queue() {
     ++stats_.retries;
     BURSTQ_COUNT("migration.retries", 1);
     Tenant& t = tenants_[q.slot];
-    if (const auto target = first_fit(t.spec)) {
+    if (const auto target = first_fit(t.spec, 0)) {
       t.pm = *target;
       on_pm_[target->value].push_back(q.slot);
+      refresh_key(*target);
       BURSTQ_COUNT("fault.queue.drained", 1);
       BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.queue.admit",
                    {"t", stats_.slots}, {"tenant", q.slot},
@@ -223,23 +331,16 @@ void CloudController::run_scheduler(const std::vector<Resource>& /*load*/,
     const double vdemand = victim.spec.demand(victim.chain.state());
 
     // Target: reservation-aware by default in the controller — this is
-    // the burstiness-aware component an operator deploys.
-    std::optional<PmId> target;
-    for (std::size_t p = 0; p < pms_.size(); ++p) {
-      const PmId cand{p};
-      if (cand == source) continue;
-      if (!up_[p]) continue;
-      if (fits_with_reservation_specs(hosted_specs(cand), victim.spec,
-                                      pms_[p].capacity, table_)) {
-        target = cand;
-        break;
-      }
-    }
+    // the burstiness-aware component an operator deploys.  Routed through
+    // the shard index like an arrival, skipping the violating source.
+    const std::optional<PmId> target = first_fit(victim.spec, 0, source);
     if (target) {
       auto& list = on_pm_[j];
       list.erase(std::find(list.begin(), list.end(), victim_slot));
       on_pm_[target->value].push_back(victim_slot);
       victim.pm = *target;
+      refresh_key(source);
+      refresh_key(*target);
       mutable_load[j] -= vdemand;
       mutable_load[target->value] += vdemand;
       ++stats_.runtime_migrations;
@@ -299,6 +400,10 @@ void CloudController::run_maintenance() {
     tenants_[s].pm = move.to;
     ++stats_.maintenance_migrations;
   }
+
+  // The table may have changed and the moves touched many PMs: rebuild
+  // every admissibility key once, at the end of the window.
+  refresh_all_keys();
 }
 
 void CloudController::tick() {

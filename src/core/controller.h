@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "fault/recovery.h"
 #include "placement/queuing_ffd.h"
+#include "placement/sharded.h"
 #include "queuing/mapcal.h"
 #include "sim/energy.h"
 #include "sim/metrics.h"
@@ -68,6 +69,9 @@ struct ControllerStats {
   std::size_t admissions{0};
   std::size_t rejections{0};
   std::size_t departures{0};
+  std::size_t resizes{0};            ///< successful resize() calls
+  std::size_t resize_migrations{0};  ///< resizes that had to move the VM
+  std::size_t resize_rejections{0};  ///< resizes rolled back (no PM fits)
   std::size_t runtime_migrations{0};   ///< scheduler-triggered
   std::size_t maintenance_migrations{0};
   std::size_t failed_migrations{0};
@@ -96,6 +100,15 @@ class CloudController {
 
   /// Removes a VM.  Throws on dead/invalid handles.
   void depart(TenantId id);
+
+  /// Resizes a live tenant to `new_spec`.  Stays on its PM when Eq. (17)
+  /// still holds there; otherwise it is migrated like a fresh arrival
+  /// (home shard = its current PM's).  When nothing fits, the original
+  /// spec is restored in place (always feasible) and false is returned.
+  /// Queued tenants just swap their spec (they are re-placed on drain).
+  /// Changing the ON/OFF parameters restarts the tenant's chain from its
+  /// stationary distribution.
+  bool resize(TenantId id, const VmSpec& new_spec);
 
   /// Advances one slot: workload step, violation bookkeeping, dynamic
   /// scheduling, energy metering, and — when due — the maintenance
@@ -144,7 +157,23 @@ class CloudController {
   };
 
   [[nodiscard]] std::vector<VmSpec> hosted_specs(PmId pm) const;
-  std::optional<PmId> first_fit(const VmSpec& vm) const;
+
+  /// Routes `vm` through the shard index (sharded.h): home shard first,
+  /// then the remaining shards in fixed order, confirming candidates with
+  /// the exact Eq. (17) walk and honouring the decision budget.  `skip`
+  /// excludes one PM (the scheduler's migration source).  With one shard
+  /// and no budget this is exactly the legacy linear scan over up PMs.
+  std::optional<PmId> first_fit(const VmSpec& vm, std::size_t home,
+                                PmId skip = PmId{});
+
+  /// Next round-robin home shard for arrivals.
+  std::size_t next_home();
+
+  /// Recomputes the admissibility key of one PM (all PMs) in the shard
+  /// index: -inf while the PM is down, else the conservative slack under
+  /// the current table and hosted set.
+  void refresh_key(PmId pm);
+  void refresh_all_keys();
   void run_scheduler(const std::vector<Resource>& load,
                      std::vector<Resource>& mutable_load);
   void run_maintenance();
@@ -160,6 +189,8 @@ class CloudController {
   std::vector<std::size_t> free_slots_;
   std::vector<std::vector<std::size_t>> on_pm_;  ///< tenant slots per PM
   std::vector<std::uint8_t> up_;                 ///< PM liveness (1 = up)
+  ShardedAdmitIndex index_;   ///< per-shard slack trees (down PMs: -inf)
+  std::size_t route_seq_{0};  ///< round-robin arrival counter
   std::vector<QueuedTenant> queue_;              ///< FIFO, crash victims
   CvrTracker tracker_;
   EnergyMeter meter_;

@@ -1,6 +1,7 @@
 #include "placement/incremental.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
@@ -9,25 +10,27 @@
 
 namespace burstq {
 
-namespace {
-
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-/// Conservative admissibility key of PM j given its cached aggregates.
-/// -inf once the per-PM VM cap is reached.
-double admissible_key(const ProblemInstance& inst, const Placement& placement,
-                      PmId pm, const MapCalTable& table) {
-  const std::size_t k_new = placement.count_on(pm) + 1;
-  if (k_new > table.max_vms_per_pm()) return kNegInf;
-  const double cap = inst.pms[pm.value].capacity;
+double conservative_admit_key(double capacity, std::size_t vm_count,
+                              double rb_sum, double re_max,
+                              const MapCalTable& table) {
+  const std::size_t k_new = vm_count + 1;
+  if (k_new > table.max_vms_per_pm())
+    return -std::numeric_limits<double>::infinity();
   const double reserved =
-      placement.re_max_on(pm) * static_cast<double>(table.blocks(k_new)) +
-      placement.rb_sum_on(pm);
-  const double slack = cap * (1.0 + kCapacityEpsilon) - reserved;
-  return slack + kSlackFilterMargin * (std::abs(cap) + std::abs(reserved) + 1.0);
+      re_max * static_cast<double>(table.blocks(k_new)) + rb_sum;
+  const double slack = capacity * (1.0 + kCapacityEpsilon) - reserved;
+  return slack +
+         kSlackFilterMargin * (std::abs(capacity) + std::abs(reserved) + 1.0);
 }
 
-}  // namespace
+double conservative_admit_key(const ProblemInstance& inst,
+                              const Placement& placement, PmId pm,
+                              const MapCalTable& table) {
+  return conservative_admit_key(inst.pms[pm.value].capacity,
+                                placement.count_on(pm),
+                                placement.rb_sum_on(pm),
+                                placement.re_max_on(pm), table);
+}
 
 PlacementResult first_fit_place_reservation(const ProblemInstance& inst,
                                             std::span<const std::size_t> order,
@@ -40,7 +43,7 @@ PlacementResult first_fit_place_reservation(const ProblemInstance& inst,
 
   std::vector<double> keys(inst.n_pms());
   for (std::size_t j = 0; j < keys.size(); ++j)
-    keys[j] = admissible_key(inst, placement, PmId{j}, table);
+    keys[j] = conservative_admit_key(inst, placement, PmId{j}, table);
   PmSlackTree tree(std::move(keys));
 
   std::size_t descents = 0;
@@ -58,7 +61,7 @@ PlacementResult first_fit_place_reservation(const ProblemInstance& inst,
       ++checks;
       if (fits_with_reservation(inst, placement, vm, pm, table)) {
         placement.assign(vm, pm);
-        tree.update(j, admissible_key(inst, placement, pm, table));
+        tree.update(j, conservative_admit_key(inst, placement, pm, table));
         placed = true;
         break;
       }

@@ -37,6 +37,22 @@ namespace burstq {
 /// only admits extra exact confirmations, never wrong placements).
 inline constexpr double kSlackFilterMargin = 1e-9;
 
+/// Conservative admissibility key of a PM with the given capacity and
+/// load aggregates: an upper bound on the largest Rb the PM could still
+/// admit under Eq. (17).  -inf once the per-PM VM cap is reached.  Shared
+/// by the incremental engine, the sharded engine (sharded.h), and the
+/// online/controller admit indices — all of them must compute the exact
+/// same key for their slack trees to agree bit-for-bit.
+double conservative_admit_key(double capacity, std::size_t vm_count,
+                              double rb_sum, double re_max,
+                              const MapCalTable& table);
+
+/// Convenience overload reading the aggregates off an instance-bound
+/// placement.
+double conservative_admit_key(const ProblemInstance& inst,
+                              const Placement& placement, PmId pm,
+                              const MapCalTable& table);
+
 /// Per-run statistics of the incremental engine (also exported as obs
 /// counters; the struct serves callers compiled with BURSTQ_NO_OBS).
 struct IncrementalStats {

@@ -5,7 +5,9 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "placement/cluster.h"
+#include "placement/incremental.h"
 #include "placement/placement.h"
 
 namespace burstq {
@@ -24,6 +26,26 @@ OnlineConsolidator::OnlineConsolidator(std::vector<PmSpec> pms,
   BURSTQ_REQUIRE(!pms_.empty(), "online consolidator needs at least one PM");
   options_.validate();
   for (const auto& p : pms_) p.validate();
+  index_.reset(pms_.size(), options_.sharded.shards);
+  refresh_all_keys();
+}
+
+std::size_t OnlineConsolidator::next_home() {
+  const std::size_t home = route_seq_ % index_.shard_count();
+  ++route_seq_;
+  return home;
+}
+
+void OnlineConsolidator::refresh_key(PmId pm) {
+  index_.set_key(pm.value,
+                 conservative_admit_key(pms_[pm.value].capacity,
+                                        on_pm_[pm.value].size(),
+                                        rb_sum_[pm.value], re_max_[pm.value],
+                                        table_));
+}
+
+void OnlineConsolidator::refresh_all_keys() {
+  for (std::size_t j = 0; j < pms_.size(); ++j) refresh_key(PmId{j});
 }
 
 std::vector<VmSpec> OnlineConsolidator::hosted_specs(PmId pm) const {
@@ -56,13 +78,16 @@ void OnlineConsolidator::recompute_pm_aggregates(PmId pm) {
   re_max_[pm.value] = re;
 }
 
-std::optional<PmId> OnlineConsolidator::find_first_fit(
-    const VmSpec& vm) const {
-  for (std::size_t j = 0; j < pms_.size(); ++j) {
-    const PmId pm{j};
-    if (pm_admits(vm, pm)) return pm;
-  }
-  return std::nullopt;
+std::optional<PmId> OnlineConsolidator::find_first_fit(const VmSpec& vm,
+                                                       std::size_t home) {
+  const auto outcome = index_.route(
+      vm.rb, home,
+      [&](std::size_t j) { return pm_admits(vm, PmId{j}); },
+      options_.sharded.decision_budget);
+  if (outcome.budget_exhausted)
+    BURSTQ_COUNT("placement.shard.budget_exhausted", 1);
+  if (outcome.pm == ShardedAdmitIndex::npos) return std::nullopt;
+  return PmId{outcome.pm};
 }
 
 VmHandle OnlineConsolidator::install(const VmSpec& vm, PmId pm) {
@@ -78,13 +103,14 @@ VmHandle OnlineConsolidator::install(const VmSpec& vm, PmId pm) {
   on_pm_[pm.value].push_back(slot);
   rb_sum_[pm.value] += vm.rb;
   re_max_[pm.value] = std::max(re_max_[pm.value], vm.re);
+  refresh_key(pm);
   ++live_count_;
   return VmHandle{slot};
 }
 
 std::optional<VmHandle> OnlineConsolidator::add_vm(const VmSpec& vm) {
   vm.validate();
-  const auto pm = find_first_fit(vm);
+  const auto pm = find_first_fit(vm, next_home());
   if (!pm) return std::nullopt;
   return install(vm, *pm);
 }
@@ -100,7 +126,7 @@ std::vector<std::optional<VmHandle>> OnlineConsolidator::add_batch(
   const std::vector<std::size_t> order =
       queuing_ffd_order(batch, options_.cluster_buckets);
   for (std::size_t idx : order) {
-    const auto pm = find_first_fit(batch[idx]);
+    const auto pm = find_first_fit(batch[idx], next_home());
     if (pm) handles[idx] = install(batch[idx], *pm);
   }
   return handles;
@@ -127,12 +153,67 @@ void OnlineConsolidator::remove_vm(VmHandle h) {
     if (slot.spec.re >= re_max_[slot.pm.value])
       recompute_pm_aggregates(slot.pm);
   }
+  refresh_key(slot.pm);
   slot.live = false;
   free_slots_.push_back(h.slot);
   --live_count_;
   // The queue size on the PM is implicitly "recalculated": reservation is
   // a pure function of the remaining hosted set, which just shrank, so the
   // invariant can only get slacker.
+}
+
+bool OnlineConsolidator::resize_vm(VmHandle h, const VmSpec& new_spec) {
+  BURSTQ_REQUIRE(h.valid() && h.slot < slots_.size() && slots_[h.slot].live,
+                 "resize_vm on an invalid or dead handle");
+  new_spec.validate();
+  Slot& slot = slots_[h.slot];
+  const PmId pm = slot.pm;
+
+  // Fast path: current PM still satisfies Eq. (17) with the resized spec
+  // (its co-residents unchanged) — resize in place, no migration.
+  std::vector<VmSpec> others;
+  others.reserve(on_pm_[pm.value].size() - 1);
+  for (std::size_t s : on_pm_[pm.value])
+    if (s != h.slot) others.push_back(slots_[s].spec);
+  if (fits_with_reservation_specs(others, new_spec, pms_[pm.value].capacity,
+                                  table_)) {
+    slot.spec = new_spec;
+    recompute_pm_aggregates(pm);
+    refresh_key(pm);
+    BURSTQ_COUNT("online.resize.inplace", 1);
+    return true;
+  }
+
+  // Detach, then route the resized spec like an arrival whose home shard
+  // is the current PM's (locality-preserving and deterministic).
+  auto& list = on_pm_[pm.value];
+  const std::size_t pos = slot.pos;
+  const std::size_t moved = list.back();
+  list[pos] = moved;
+  slots_[moved].pos = pos;
+  list.pop_back();
+  recompute_pm_aggregates(pm);
+  refresh_key(pm);
+
+  const auto target = find_first_fit(new_spec, index_.shard_of(pm.value));
+  const VmSpec& chosen_spec = target ? new_spec : slot.spec;
+  const PmId chosen_pm = target ? *target : pm;
+  // On failure the original spec goes back to the original PM — always
+  // feasible, since that exact hosted set satisfied Eq. (17) before.
+  slot.spec = chosen_spec;
+  slot.pm = chosen_pm;
+  slot.pos = on_pm_[chosen_pm.value].size();
+  on_pm_[chosen_pm.value].push_back(h.slot);
+  rb_sum_[chosen_pm.value] += chosen_spec.rb;
+  re_max_[chosen_pm.value] =
+      std::max(re_max_[chosen_pm.value], chosen_spec.re);
+  refresh_key(chosen_pm);
+  // Two call sites on purpose: BURSTQ_COUNT caches the counter per line.
+  if (target)
+    BURSTQ_COUNT("online.resize.moved", 1);
+  else
+    BURSTQ_COUNT("online.resize.rejected", 1);
+  return target.has_value();
 }
 
 std::size_t OnlineConsolidator::recalibrate(double tolerance) {
@@ -151,6 +232,8 @@ std::size_t OnlineConsolidator::recalibrate(double tolerance) {
   params_ = fresh;
   table_ = MapCalTable(options_.max_vms_per_pm, params_, options_.rho,
                        options_.method);
+  // Every key depends on the mapping table; rebuild the whole index.
+  refresh_all_keys();
 
   // Repair pass: a burstier population can make existing PMs violate
   // Eq. (17) under the new table.  Evict newest-first (cheapest to move in
@@ -174,6 +257,7 @@ std::size_t OnlineConsolidator::recalibrate(double tolerance) {
       const VmSpec spec = slots_[victim].spec;
       free_slots_.push_back(victim);
       recompute_pm_aggregates(pm);
+      refresh_key(pm);
       // Re-admit elsewhere; count as one migration either way (if nowhere
       // fits the VM is dropped, which callers can detect via vms_hosted()).
       ++migrations;

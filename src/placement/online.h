@@ -12,6 +12,15 @@
 // those rules, plus the periodic recalibration: when the rounded
 // parameters drift, the mapping table is rebuilt and PMs whose reservation
 // no longer fits are repaired by migrating their most-recently-added VMs.
+//
+// Placement decisions go through a ShardedAdmitIndex (sharded.h): the PM
+// fleet is split into options.sharded.shards contiguous shards, arrivals
+// are routed round-robin to a home shard and spill across the remaining
+// shards in fixed order, and options.sharded.decision_budget bounds the
+// exact Eq. (17) confirmations per decision (bounded-latency admission).
+// With the defaults — one shard, no budget — every decision is exactly
+// the legacy linear first-fit scan: the conservative key filter never
+// hides a feasible PM, so the first exact-confirmed PM is the same.
 
 #pragma once
 
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "placement/queuing_ffd.h"
+#include "placement/sharded.h"
 #include "placement/spec.h"
 
 namespace burstq {
@@ -54,6 +64,15 @@ class OnlineConsolidator {
   /// Removes a VM.  The freed queue size on its PM shrinks automatically
   /// (reservation is a function of the remaining VMs).
   void remove_vm(VmHandle h);
+
+  /// Resizes a live VM to `new_spec`.  Fast path: if the current PM still
+  /// satisfies Eq. (17) with the resized spec, the VM stays put.
+  /// Otherwise it is detached and routed like a fresh arrival (home =
+  /// its current PM's shard); if no PM admits the new spec the original
+  /// spec is restored on the original PM (always feasible — the PM was
+  /// valid before) and false is returned.  The handle stays valid in
+  /// every case.
+  bool resize_vm(VmHandle h, const VmSpec& new_spec);
 
   /// Recomputes the rounded (p_on, p_off) from the VMs currently hosted;
   /// if they moved by more than `tolerance` (absolute, either component),
@@ -93,7 +112,20 @@ class OnlineConsolidator {
   /// removals that may retire the max-Re member).
   void recompute_pm_aggregates(PmId pm);
 
-  std::optional<PmId> find_first_fit(const VmSpec& vm) const;
+  /// Routes `vm` through the shard index: home shard first, then the
+  /// remaining shards in fixed order, confirming candidates with
+  /// pm_admits and honouring the decision budget.  With one shard this
+  /// is exactly the legacy linear first-fit.
+  std::optional<PmId> find_first_fit(const VmSpec& vm, std::size_t home);
+
+  /// Next round-robin home shard (advances a deterministic counter).
+  std::size_t next_home();
+
+  /// Recomputes the conservative admissibility key of one PM (all PMs)
+  /// in the shard index from the cached aggregates.
+  void refresh_key(PmId pm);
+  void refresh_all_keys();
+
   VmHandle install(const VmSpec& vm, PmId pm);
 
   std::vector<PmSpec> pms_;
@@ -105,6 +137,8 @@ class OnlineConsolidator {
   std::vector<std::vector<std::size_t>> on_pm_;  ///< slot ids per PM
   std::vector<Resource> rb_sum_;  ///< per-PM cached sum of hosted Rb
   std::vector<Resource> re_max_;  ///< per-PM cached max hosted Re
+  ShardedAdmitIndex index_;       ///< per-shard slack trees over the keys
+  std::size_t route_seq_{0};      ///< round-robin arrival counter
   std::size_t live_count_{0};
 };
 

@@ -43,6 +43,7 @@ void QueuingFfdOptions::validate() const {
   BURSTQ_REQUIRE(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
   BURSTQ_REQUIRE(max_vms_per_pm >= 1, "d must be at least 1");
   BURSTQ_REQUIRE(cluster_buckets >= 1, "need at least one cluster bucket");
+  sharded.validate();
 }
 
 namespace {
@@ -103,10 +104,17 @@ PlacementResult run_placement(const ProblemInstance& inst,
       emit_placement_events(inst, order, result, table);
     return result;
   }
-  PlacementResult result =
-      options.engine == PlacementEngine::kIncremental
-          ? first_fit_place_reservation(inst, order, table)
-          : first_fit_place(inst, order, fits);
+  PlacementResult result = [&] {
+    switch (options.engine) {
+      case PlacementEngine::kIncremental:
+        return first_fit_place_reservation(inst, order, table);
+      case PlacementEngine::kSharded:
+        return sharded_place_reservation(inst, order, table, options.sharded);
+      case PlacementEngine::kNaive:
+        break;
+    }
+    return first_fit_place(inst, order, fits);
+  }();
   if constexpr (obs::kEnabled)
     emit_placement_events(inst, order, result, table);
   return result;

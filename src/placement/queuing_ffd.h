@@ -17,6 +17,7 @@
 
 #include "placement/first_fit.h"
 #include "placement/placement.h"
+#include "placement/sharded.h"
 #include "placement/spec.h"
 #include "queuing/mapcal.h"
 
@@ -27,8 +28,11 @@ enum class RoundingPolicy { kMean, kConservative };
 /// Which first-fit driver Algorithm 2 uses.  kIncremental descends a
 /// per-PM slack tree (O(log m) per VM, see incremental.h) and produces
 /// placements bit-identical to kNaive, the straight O(m)-scan reference
-/// driver kept for verification and benchmarking.
-enum class PlacementEngine { kIncremental, kNaive };
+/// driver kept for verification and benchmarking.  kSharded partitions
+/// the PM fleet and places in parallel (sharded.h); with one shard it is
+/// bit-identical to kIncremental, and its results never depend on the
+/// thread count.
+enum class PlacementEngine { kIncremental, kNaive, kSharded };
 
 /// Rounds per-VM switch probabilities to one uniform pair (Section IV-E).
 OnOffParams round_uniform_params(const std::vector<VmSpec>& vms,
@@ -42,6 +46,7 @@ struct QueuingFfdOptions {
   RoundingPolicy rounding{RoundingPolicy::kMean};
   bool use_best_fit{false};        ///< ablation: best-fit instead of first-fit
   PlacementEngine engine{PlacementEngine::kIncremental};
+  ShardedOptions sharded{};        ///< used when engine == kSharded
 
   void validate() const;
 };

@@ -1,0 +1,164 @@
+// Sharded parallel placement engine for the Eq. (17) reservation rule.
+//
+// The incremental engine (incremental.h) is a single sequential pass over
+// one global PmSlackTree — fast per decision, but single-threaded.  This
+// engine partitions the PM fleet into S contiguous shards, each with its
+// own slack tree and per-PM (k, rb_sum, re_max) aggregates, and places
+// VMs in parallel:
+//
+//   phase 1  VM at rank r in the Algorithm-2 visit order belongs to home
+//            shard r mod S.  Each shard runs the exact incremental
+//            first-fit over *its own* PMs for its VMs, in rank order.
+//            Shards touch disjoint state, so the S shard tasks execute
+//            concurrently on the common/parallel.h pool; tasks are
+//            claimed dynamically off a shared counter, so idle workers
+//            steal whatever shard is next (placement.shard.steals).
+//   phase 2  VMs the home shard rejected ("spills") are reconciled
+//            sequentially in global rank order against shards in fixed
+//            order 0..S-1.  Because the reservation predicate is monotone
+//            in PM load, one pass is complete: a VM no shard accepts now
+//            will never fit later.
+//   phase 3  The final Placement is materialized by replaying recorded
+//            assignments in global rank order, so per-PM float aggregates
+//            accumulate in a deterministic order.
+//
+// Determinism contract: the result is a pure function of (instance, visit
+// order, shard count).  The thread count NEVER changes the result — it
+// only changes which worker executes which shard task.  With S = 1 the
+// engine degenerates to one sequential pass over one global tree and is
+// bit-identical to first_fit_place_reservation (same keys, same
+// arithmetic, same visit order, same unplaced order).  For S > 1 the
+// semantics differ from global first-fit by design (each VM first-fits
+// within its home shard, then spills across shards in fixed order); the
+// trade is documented in docs/PERFORMANCE.md.
+//
+// Shard count is deliberately NOT derived from the thread count — that
+// would make results depend on the machine.  `shards = 0` auto-sizes from
+// the PM count alone (resolve_shard_count).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "placement/first_fit.h"
+#include "placement/pm_slack_tree.h"
+#include "queuing/mapcal.h"
+
+namespace burstq {
+
+struct ShardedOptions {
+  /// Number of PM shards.  1 (default) = bit-identical to the incremental
+  /// engine; 0 = auto-size from the PM count (never from threads).
+  std::size_t shards{1};
+  /// Worker threads for the parallel phase (0 = default_thread_count()).
+  /// Never affects results.
+  std::size_t threads{0};
+  /// Max exact Eq. (17) confirmations per placement decision; 0 =
+  /// unlimited.  A decision that exhausts its budget gives up (spill in
+  /// phase 1, unplaced in phase 2) — deterministic, since the budget
+  /// counts checks, not time.
+  std::size_t decision_budget{0};
+
+  void validate() const;
+};
+
+/// Per-run statistics, also exported as placement.shard.* obs metrics.
+struct ShardedStats {
+  std::size_t shards{0};            ///< resolved shard count
+  std::size_t threads{0};           ///< resolved worker count
+  std::size_t local_placed{0};      ///< VMs placed by their home shard
+  std::size_t spills{0};            ///< VMs rejected by their home shard
+  std::size_t reconcile_placed{0};  ///< spills placed by reconciliation
+  std::size_t reconcile_passes{0};  ///< 0 or 1 (one pass is complete)
+  std::size_t steals{0};            ///< shard tasks run by a foreign worker
+  std::size_t budget_exhausted{0};  ///< decisions aborted by the budget
+  std::size_t tree_descents{0};     ///< slack-tree queries, all phases
+  std::size_t exact_checks{0};      ///< exact Eq. (17) confirmations
+};
+
+/// Deterministic shard count for `n_pms` PMs.  `requested` > 0 is clamped
+/// to [1, n_pms]; 0 auto-sizes from the PM count alone (one shard per
+/// ~256 PMs, capped at 64) so results never depend on the machine.
+std::size_t resolve_shard_count(std::size_t n_pms, std::size_t requested);
+
+/// A forest of per-shard PmSlackTrees over conservative admissibility
+/// keys, with fixed-order cross-shard routing.  The offline engine uses
+/// it for its parallel phase (each shard task touches only its own tree,
+/// so concurrent set_key on distinct shards is race-free); the online
+/// consolidator and the controller use route() for bounded-latency
+/// arrivals.  Keys are maintained by the owner via set_key — the index
+/// stores no aggregates itself.
+class ShardedAdmitIndex {
+ public:
+  static constexpr std::size_t npos = PmSlackTree::npos;
+
+  ShardedAdmitIndex() = default;
+
+  /// Builds the forest over `n_pms` PMs in `shards` contiguous shards
+  /// (resolved via resolve_shard_count).  All keys start at `initial_key`.
+  ShardedAdmitIndex(std::size_t n_pms, std::size_t shards,
+                    double initial_key = 0.0);
+
+  void reset(std::size_t n_pms, std::size_t shards,
+             double initial_key = 0.0);
+
+  [[nodiscard]] std::size_t n_pms() const { return n_pms_; }
+  [[nodiscard]] std::size_t shard_count() const { return offsets_.size(); }
+  [[nodiscard]] bool empty() const { return n_pms_ == 0; }
+
+  /// Shard owning global PM `pm`.
+  [[nodiscard]] std::size_t shard_of(std::size_t pm) const;
+
+  /// [first, last) global PM range of `shard`.
+  [[nodiscard]] std::size_t shard_begin(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_end(std::size_t shard) const;
+
+  /// Replaces the key of global PM `pm`.  Touches only that PM's shard
+  /// tree — concurrent calls for PMs in distinct shards do not race.
+  void set_key(std::size_t pm, double key);
+
+  [[nodiscard]] double key(std::size_t pm) const;
+
+  /// Lowest global PM index j >= from inside `shard` with key >= need,
+  /// or npos.  `from` is a global PM index (clamped into the shard).
+  [[nodiscard]] std::size_t find_in_shard(std::size_t shard, double need,
+                                          std::size_t from = 0) const;
+
+  struct RouteOutcome {
+    std::size_t pm{npos};          ///< chosen PM, or npos
+    bool budget_exhausted{false};  ///< gave up because of the budget
+    std::size_t tree_descents{0};
+    std::size_t exact_checks{0};
+  };
+
+  /// First-fit routing with cross-shard spill: scans `home` first, then
+  /// shards 0..S-1 in fixed order (skipping home), confirming each
+  /// key-admissible candidate with `exact(pm)`.  Stops after `budget`
+  /// exact checks when budget > 0.  Deterministic given (keys, home).
+  /// With S = 1 this is exactly the incremental engine's tree-filtered
+  /// linear first-fit over all PMs.
+  [[nodiscard]] RouteOutcome route(
+      double need, std::size_t home,
+      const std::function<bool(std::size_t)>& exact,
+      std::size_t budget = 0) const;
+
+ private:
+  std::size_t n_pms_{0};
+  std::vector<std::size_t> offsets_;  ///< first global PM of each shard
+  std::vector<PmSlackTree> trees_;    ///< one per shard, local indices
+};
+
+/// Sharded parallel first-fit under Eq. (17).  See the file comment for
+/// the phase structure and the determinism contract.  With
+/// options.shards == 1 and decision_budget == 0 the result is
+/// bit-identical to first_fit_place_reservation(inst, order, table).
+PlacementResult sharded_place_reservation(const ProblemInstance& inst,
+                                          std::span<const std::size_t> order,
+                                          const MapCalTable& table,
+                                          const ShardedOptions& options = {},
+                                          ShardedStats* stats = nullptr);
+
+}  // namespace burstq

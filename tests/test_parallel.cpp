@@ -73,5 +73,60 @@ TEST(ParallelFor, ResultsIndependentOfThreadCount) {
   EXPECT_EQ(compute(1), compute(7));
 }
 
+TEST(ParallelForWorkers, WorkerIndexInRangeAndAllIndicesCovered) {
+  const std::size_t n = 5000;
+  const std::size_t threads = 4;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<bool> worker_out_of_range{false};
+  parallel_for_workers(
+      n,
+      [&](std::size_t i, std::size_t w) {
+        if (w >= threads) worker_out_of_range.store(true);
+        hits[i].fetch_add(1);
+      },
+      threads);
+  EXPECT_FALSE(worker_out_of_range.load());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForWorkers, SingleThreadReportsWorkerZeroInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_workers(
+      4,
+      [&](std::size_t i, std::size_t w) {
+        EXPECT_EQ(w, 0u);
+        order.push_back(i);
+      },
+      1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadCount, OverrideWinsOverEverything) {
+  set_thread_count_override(3);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  set_thread_count_override(0);  // clear
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadCount, EnvVariableRespectedWhenNoOverride) {
+  set_thread_count_override(0);
+  ::setenv("BURSTQ_THREADS", "5", 1);
+  EXPECT_EQ(default_thread_count(), 5u);
+  ::setenv("BURSTQ_THREADS", "not-a-number", 1);
+  EXPECT_GE(default_thread_count(), 1u);  // garbage falls through to hardware
+  ::unsetenv("BURSTQ_THREADS");
+}
+
+TEST(ThreadCount, OverrideBeatsEnv) {
+  ::setenv("BURSTQ_THREADS", "7", 1);
+  set_thread_count_override(2);
+  EXPECT_EQ(default_thread_count(), 2u);
+  set_thread_count_override(0);
+  EXPECT_EQ(default_thread_count(), 7u);
+  ::unsetenv("BURSTQ_THREADS");
+}
+
 }  // namespace
 }  // namespace burstq
