@@ -16,7 +16,14 @@
 //   burstq_cli trace   <header|head|tail|tocsv> --log FILE [-n N]
 //       inspect a recorded flight log without a custom reader: header
 //       prints the BTRC schema, head/tail/tocsv print events as
-//       pipe-friendly id,kind,key,value CSV (any recorded format)
+//       pipe-friendly id,kind,key,value CSV (any recorded format);
+//       head --at-offset N resolves a harness trace pointer (reads
+//       from byte N instead of the file start)
+//   burstq_cli harness <run|list|report> ...
+//       the scenario + invariants harness ("physics CI"): run executes
+//       scenario files and writes per-invariant JSON reports plus
+//       flight-recorder traces, list inventories scenarios or the
+//       invariant catalog, report re-renders written reports
 //
 // Subcommands that do real work accept --obs-out FILE (record a
 // structured event log; a .csv extension switches to the long CSV
@@ -24,10 +31,12 @@
 // --obs-level off|decisions|detail, and --obs-summary (print a metrics
 // digest to stderr on exit).
 //
-// Exit codes: 0 success, 1 bad usage/input, 2 some VMs could not be
-// placed (place subcommand only).
+// Exit codes: 0 success, 1 bad usage/input/abort, 2 some VMs could not
+// be placed (place subcommand only), 3 a harness invariant failed.
 
+#include <algorithm>
 #include <charconv>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,6 +50,7 @@
 #include "fit/estimator.h"
 #include "fit/instance_io.h"
 #include "fit/trace_io.h"
+#include "harness/runner.h"
 #include "obs/exporter.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
@@ -58,7 +68,8 @@ using namespace burstq;
 
 int usage_all() {
   std::cerr
-      << "usage: burstq_cli <place|analyze|fit|replay|sim|trace> [options]\n"
+      << "usage: burstq_cli <place|analyze|fit|replay|sim|trace|harness> "
+         "[options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
@@ -67,6 +78,7 @@ int usage_all() {
          "injection\n"
          "  trace    inspect a recorded flight log "
          "(header|head|tail|tocsv)\n"
+         "  harness  scenario + invariants harness (run|list|report)\n"
          "run 'burstq_cli <subcommand> --help-usage x' for options\n";
   return 1;
 }
@@ -398,6 +410,9 @@ int cmd_trace(int argc, const char* const* argv) {
   args.add_option("log", "recorded flight log (.btrc, .jsonl, or .csv)");
   args.add_option("n", "events for head/tail", "10");
   args.add_alias('n', "n");
+  args.add_option("at-offset",
+                  "head only: start at this byte offset (a harness report "
+                  "trace_pointer; BTRC block boundary or JSONL line start)");
   if (!known_verb) {
     std::cerr << "usage: burstq_cli trace <header|head|tail|tocsv> "
                  "--log FILE [-n N]\n";
@@ -450,6 +465,15 @@ int cmd_trace(int argc, const char* const* argv) {
     return 0;
   }
   if (verb == "head") {
+    if (args.has("at-offset")) {
+      // Resolve a harness trace pointer: decode n events starting at
+      // the recorded byte offset.  Ids are relative to the offset.
+      const auto offset =
+          static_cast<std::uint64_t>(args.get_int("at-offset"));
+      print_events_csv(std::cout,
+                       obs::read_events_at_offset(path, offset, n), 0);
+      return 0;
+    }
     // Pull blocks only until enough events arrived, so head of a huge
     // trace stays cheap.
     if (obs::sniff_event_format(path) == obs::EventFormat::kBinary) {
@@ -661,6 +685,163 @@ int cmd_sim(int argc, const char* const* argv) {
   return rep.faults.lost_vms == 0 ? 0 : 1;
 }
 
+/// One line per scenario plus one per invariant, key=value formatted and
+/// deterministic (shared by `harness run` and `harness report`).
+void print_report_summary(const harness::ScenarioReport& rep) {
+  std::cout << "scenario=" << rep.scenario << " status=" << rep.status
+            << " slots=" << rep.slots_completed << "/" << rep.slots
+            << " trace=" << rep.trace_file << " events=" << rep.trace_events
+            << "\n";
+  if (rep.status == "abort")
+    std::cout << "  abort_reason=" << rep.abort_reason << "\n";
+  for (const auto& inv : rep.invariants) {
+    std::cout << "  invariant=" << harness::invariant_name(inv.kind)
+              << " verdict=" << (inv.pass ? "PASS" : "FAIL")
+              << " worst=" << csv_format(inv.worst) << " threshold="
+              << harness::invariant_op_name(inv.op)
+              << csv_format(inv.threshold);
+    if (inv.window)
+      std::cout << " window=" << inv.window->first << ".."
+                << inv.window->second;
+    if (inv.trace)
+      std::cout << " trace_offset=" << inv.trace->offset
+                << " event_index=" << inv.trace->event_index;
+    std::cout << "\n";
+  }
+}
+
+/// Collects the input files of a harness verb: --scenario/--report FILE
+/// plus every `*.ext` under --dir, sorted by name for deterministic
+/// ordering.
+std::vector<std::string> harness_inputs(const ArgParser& args,
+                                        const std::string& file_key,
+                                        std::string_view ext) {
+  std::vector<std::string> files;
+  if (args.has(file_key)) files.push_back(args.get(file_key));
+  if (args.has("dir")) {
+    const std::string dir = args.get("dir");
+    if (!std::filesystem::is_directory(dir))
+      throw InvalidArgument("--dir " + dir + " is not a directory");
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > ext.size() &&
+          name.compare(name.size() - ext.size(), ext.size(), ext) == 0)
+        files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_harness(int argc, const char* const* argv) {
+  const std::string verb = argc >= 2 ? argv[1] : "";
+  const bool known_verb = verb == "run" || verb == "list" ||
+                          verb == "report";
+  ArgParser args("burstq_cli harness " + (known_verb ? verb : "<verb>"),
+                 "scenario + invariants harness: run executes scenario "
+                 "files and writes one JSON verdict per invariant next to "
+                 "the flight-recorder trace; list inventories scenarios "
+                 "(--catalog: the invariant catalog); report re-renders "
+                 "written reports");
+  args.add_option("scenario", "one scenario file (run/list)");
+  args.add_option("dir",
+                  "directory of inputs (run/list: *.scn; report: "
+                  "*.report.json)");
+  args.add_option("out", "output directory for reports and traces", ".");
+  args.add_option("trace-format", "trace sink: jsonl | btrc", "jsonl");
+  args.add_flag("compress", "LZ-compress BTRC trace blocks");
+  args.add_flag("catalog", "list: print the invariant catalog instead");
+  args.add_option("report", "one report file (report verb)");
+  if (!known_verb) {
+    std::cerr << "usage: burstq_cli harness <run|list|report> "
+                 "[--scenario FILE | --dir DIR] [--out DIR] [options]\n";
+    return 1;
+  }
+  if (!args.parse(argc - 1, argv + 1)) {
+    std::cerr << args.error() << "\n\n" << args.usage();
+    return 1;
+  }
+
+  if (verb == "list") {
+    if (args.flag("catalog")) {
+      std::cout << "name,description\n";
+      for (const auto& info : harness::invariant_catalog())
+        std::cout << info.name << "," << csv_escape(info.description)
+                  << "\n";
+      return 0;
+    }
+    const auto files = harness_inputs(args, "scenario", ".scn");
+    if (files.empty()) {
+      std::cerr << "nothing to list: pass --scenario FILE or --dir DIR "
+                   "(or --catalog)\n";
+      return 1;
+    }
+    std::cout << "name,slots,vms,pms,strategy,phases,faults,invariants,"
+                 "file\n";
+    for (const auto& file : files) {
+      const harness::Scenario sc = harness::parse_scenario_file(file);
+      std::cout << sc.name << "," << sc.slots << "," << sc.n_vms << ","
+                << sc.n_pms << "," << sc.strategy << "," << sc.phases.size()
+                << "," << sc.faults.scripted.size() << ","
+                << sc.invariants.size() << "," << csv_escape(file) << "\n";
+    }
+    return 0;
+  }
+
+  if (verb == "report") {
+    const auto files = harness_inputs(args, "report", ".report.json");
+    if (files.empty()) {
+      std::cerr << "nothing to report: pass --report FILE or --dir DIR\n";
+      return 1;
+    }
+    bool any_fail = false;
+    bool any_abort = false;
+    for (const auto& file : files) {
+      const harness::ScenarioReport rep = harness::load_report(file);
+      print_report_summary(rep);
+      if (rep.status == "abort") any_abort = true;
+      if (!rep.all_pass() && rep.status != "abort") any_fail = true;
+    }
+    return any_abort ? 1 : any_fail ? 3 : 0;
+  }
+
+  // run
+  const auto files = harness_inputs(args, "scenario", ".scn");
+  if (files.empty()) {
+    std::cerr << "nothing to run: pass --scenario FILE or --dir DIR\n";
+    return 1;
+  }
+  harness::HarnessOptions opt;
+  opt.out_dir = args.get("out");
+  const std::string tf = args.get("trace-format");
+  if (tf == "btrc") {
+    opt.trace_format = obs::EventFormat::kBinary;
+  } else if (tf == "jsonl") {
+    opt.trace_format = obs::EventFormat::kJsonl;
+  } else {
+    throw InvalidArgument("unknown --trace-format '" + tf +
+                          "' (jsonl | btrc)");
+  }
+  opt.compress = args.flag("compress");
+  if (!std::filesystem::is_directory(opt.out_dir))
+    throw InvalidArgument("--out " + opt.out_dir +
+                          " is not a directory (create it first)");
+  bool any_fail = false;
+  bool any_abort = false;
+  for (const auto& file : files) {
+    const harness::Scenario sc = harness::parse_scenario_file(file);
+    const harness::RunSummary run = harness::run_scenario(sc, opt);
+    print_report_summary(run.report);
+    std::cerr << "report: " << run.report_path << "\n";
+    if (run.report.status == "abort") {
+      any_abort = true;
+    } else if (!run.report.all_pass()) {
+      any_fail = true;
+    }
+  }
+  return any_abort ? 1 : any_fail ? 3 : 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage_all();
   const std::string sub = argv[1];
@@ -671,8 +852,16 @@ int main(int argc, char** argv) {
     if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
     if (sub == "sim") return cmd_sim(argc - 1, argv + 1);
     if (sub == "trace") return cmd_trace(argc - 1, argv + 1);
+    if (sub == "harness") return cmd_harness(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {
+    // Finalize any open event sink so an aborted command never leaves a
+    // truncated trace behind (the BTRC writer buffers partial blocks).
+    obs::events().close();
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    obs::events().close();
+    std::cerr << "internal error: " << e.what() << "\n";
     return 1;
   }
   return usage_all();

@@ -87,8 +87,12 @@ std::vector<TableIRow> table_i_rows(SpikePattern p) {
 
 ProblemInstance table_i_instance(SpikePattern p, std::size_t n_vms,
                                  std::size_t n_pms,
-                                 const OnOffParams& params, Rng& rng) {
+                                 const OnOffParams& params, Rng& rng,
+                                 const InstanceRanges& ranges) {
   BURSTQ_REQUIRE(n_vms > 0 && n_pms > 0, "instance must be non-empty");
+  BURSTQ_REQUIRE(ranges.capacity_lo > 0.0 &&
+                     ranges.capacity_lo <= ranges.capacity_hi,
+                 "capacity range must satisfy 0 < lo <= hi");
   params.validate();
   const std::vector<TableIRow> rows = table_i_rows(p);
   BURSTQ_ASSERT(!rows.empty(), "pattern has no Table I rows");
@@ -101,7 +105,8 @@ ProblemInstance table_i_instance(SpikePattern p, std::size_t n_vms,
   }
   inst.pms.reserve(n_pms);
   for (std::size_t j = 0; j < n_pms; ++j)
-    inst.pms.push_back(PmSpec{rng.uniform(80.0, 100.0)});
+    inst.pms.push_back(
+        PmSpec{rng.uniform(ranges.capacity_lo, ranges.capacity_hi)});
   return inst;
 }
 

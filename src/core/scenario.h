@@ -60,11 +60,17 @@ std::vector<TableIRow> table_i();
 std::vector<TableIRow> table_i_rows(SpikePattern p);
 
 /// Builds a Figure-9-style instance: n VMs drawn uniformly from the
-/// pattern's Table I rows, m PMs with capacity uniform in [80, 100],
-/// shared OnOffParams.
+/// pattern's Table I rows, m PMs with capacity uniform in
+/// [ranges.capacity_lo, ranges.capacity_hi) (the InstanceRanges defaults
+/// reproduce the paper's [80, 100]), shared OnOffParams.  Capacity is
+/// routed through InstanceRanges so scenario files and the Figure 5
+/// generator share one source of truth instead of a second hardcoded
+/// range.
 ProblemInstance table_i_instance(SpikePattern p, std::size_t n_vms,
                                  std::size_t n_pms,
-                                 const OnOffParams& params, Rng& rng);
+                                 const OnOffParams& params, Rng& rng,
+                                 const InstanceRanges& ranges =
+                                     InstanceRanges{});
 
 /// Builds a Figure-5-style instance from the pattern's uniform ranges.
 ProblemInstance pattern_instance(SpikePattern p, std::size_t n_vms,

@@ -121,9 +121,43 @@ void MarkovFaultModel::validate() const {
                  "whole fleet; give crashed PMs a recovery probability");
 }
 
-void FaultPlan::validate(std::size_t n_pms) const {
+namespace {
+
+std::string event_text(const FaultEvent& e) {
+  std::string out(fault_kind_name(e.kind));
+  out += '@';
+  out += std::to_string(e.slot);
+  if (e.pm != kNoPm) out += ":pm=" + std::to_string(e.pm);
+  if (e.duration != 0) out += ":slots=" + std::to_string(e.duration);
+  return out;
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t n_pms, std::size_t horizon) const {
   markov.validate();
+  // Events are sorted by slot, so duplicates cluster into same-slot runs;
+  // compare all pairs within a run (runs are tiny in practice).
+  for (std::size_t k = 0; k < scripted.size(); ++k) {
+    const FaultEvent& a = scripted[k];
+    for (std::size_t l = k + 1;
+         l < scripted.size() && scripted[l].slot == a.slot; ++l) {
+      const FaultEvent& b = scripted[l];
+      if (a.kind == b.kind && a.pm == b.pm && a.duration == b.duration) {
+        throw InvalidArgument("duplicate scripted fault '" + event_text(a) +
+                              "': the same event would fire twice; drop "
+                              "one occurrence");
+      }
+    }
+  }
   for (const FaultEvent& e : scripted) {
+    if (horizon != kNoSlot && e.slot >= horizon) {
+      throw InvalidArgument(
+          "scripted fault '" + event_text(e) + "' is outside the horizon (" +
+          std::to_string(horizon) +
+          " slots): it would silently never fire; move it below slot " +
+          std::to_string(horizon) + " or lengthen the run");
+    }
     const bool targets_pm =
         e.kind == FaultKind::kPmCrash || e.kind == FaultKind::kPmRecover;
     if (targets_pm) {

@@ -35,6 +35,8 @@
 namespace burstq::fault {
 
 inline constexpr std::size_t kNoPm = static_cast<std::size_t>(-1);
+/// Sentinel for "no horizon known" in FaultPlan::validate.
+inline constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
 enum class FaultKind {
   kPmCrash,
@@ -76,10 +78,15 @@ struct FaultPlan {
     return !scripted.empty() || markov.any();
   }
 
-  /// Checks probabilities, event shapes, and (when n_pms is known) that
-  /// every scripted pm index is in range.  Pass kNoPm to skip the range
-  /// check (e.g. right after parsing, before the fleet size is known).
-  void validate(std::size_t n_pms = kNoPm) const;
+  /// Checks probabilities, event shapes, exact-duplicate scripted events
+  /// (a doubled item would fire twice, silently), and — when known — that
+  /// every scripted pm index is in range and every scripted slot lies
+  /// inside the simulation horizon (an out-of-horizon event would never
+  /// fire, silently).  Pass kNoPm / kNoSlot to skip the respective check
+  /// (e.g. right after parsing, before fleet size and run length are
+  /// known).
+  void validate(std::size_t n_pms = kNoPm,
+                std::size_t horizon = kNoSlot) const;
 };
 
 /// Parses the `--fault-plan` grammar documented above.  The returned

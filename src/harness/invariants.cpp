@@ -1,0 +1,163 @@
+#include "harness/invariants.h"
+
+#include "common/error.h"
+
+namespace burstq::harness {
+
+std::string_view invariant_name(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kClusterCvr: return "cluster_cvr";
+    case InvariantKind::kPmCvr: return "pm_cvr";
+    case InvariantKind::kLostVms: return "lost_vms";
+    case InvariantKind::kMigrationsPerSlot: return "migrations_per_slot";
+    case InvariantKind::kVmFlaps: return "vm_flaps";
+    case InvariantKind::kSloFastBurn: return "slo_fast_burn";
+    case InvariantKind::kSloSlowBurn: return "slo_slow_burn";
+  }
+  return "?";
+}
+
+std::string_view invariant_op_name(InvariantOp op) {
+  return op == InvariantOp::kLe ? "<=" : "==";
+}
+
+std::optional<InvariantKind> invariant_from_name(std::string_view name) {
+  for (const InvariantInfo& info : invariant_catalog())
+    if (info.name == name) return info.kind;
+  return std::nullopt;
+}
+
+std::optional<InvariantOp> invariant_op_from_name(std::string_view name) {
+  if (name == "<=") return InvariantOp::kLe;
+  if (name == "==") return InvariantOp::kEq;
+  return std::nullopt;
+}
+
+const std::vector<InvariantInfo>& invariant_catalog() {
+  static const std::vector<InvariantInfo> catalog = {
+      {InvariantKind::kClusterCvr, "cluster_cvr",
+       "cumulative cluster-wide capacity violation ratio (Eq. 4)"},
+      {InvariantKind::kPmCvr, "pm_cvr",
+       "worst per-PM cumulative CVR — the Eq. 16/17 per-machine budget"},
+      {InvariantKind::kLostVms, "lost_vms",
+       "VMs neither hosted nor queued at the end (conservation; use == 0)"},
+      {InvariantKind::kMigrationsPerSlot, "migrations_per_slot",
+       "successful migrations in any single slot (migration storms)"},
+      {InvariantKind::kVmFlaps, "vm_flaps",
+       "migrations of the most-moved VM (placement flapping)"},
+      {InvariantKind::kSloFastBurn, "slo_fast_burn",
+       "worst fast-window SLO burn rate (observed CVR / rho)"},
+      {InvariantKind::kSloSlowBurn, "slo_slow_burn",
+       "worst slow-window SLO burn rate (observed CVR / rho)"},
+  };
+  return catalog;
+}
+
+namespace {
+
+bool breaches(InvariantOp op, double v, double threshold) {
+  return op == InvariantOp::kLe ? v > threshold : v != threshold;
+}
+
+/// Per-slot quantity (migrations, burn rates, flap counts): the verdict
+/// is about the worst single slot; the window spans the first through
+/// the last breaching slot.
+template <typename T>
+InvariantResult evaluate_max_series(InvariantOp op, double threshold,
+                                    const std::vector<T>& series) {
+  InvariantResult r;
+  r.op = op;
+  r.threshold = threshold;
+  bool any_breach = false;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const double v = static_cast<double>(series[t]);
+    if (t == 0 || v > r.worst) {
+      r.worst = v;
+      r.worst_slot = t;
+    }
+    if (breaches(op, v, threshold)) {
+      if (!any_breach) first = t;
+      last = t;
+      any_breach = true;
+    }
+  }
+  r.pass = !any_breach;
+  if (any_breach) r.window = {first, last};
+  return r;
+}
+
+/// Cumulative ratio (cluster/per-PM CVR, Eq. 4): the verdict is about
+/// the FINAL value — a max-over-slots verdict would trip on early-run
+/// small-denominator noise (one violated PM-slot at t=0 reads as a
+/// running CVR of 1.0 that later dilutes away).  On failure the window
+/// is the trailing run of slots over which the running value stayed in
+/// breach through the end — the stretch that explains the verdict.
+InvariantResult evaluate_final_series(InvariantOp op, double threshold,
+                                      const std::vector<double>& series) {
+  InvariantResult r;
+  r.op = op;
+  r.threshold = threshold;
+  if (series.empty()) {
+    r.pass = op == InvariantOp::kLe ? 0.0 <= threshold : 0.0 == threshold;
+    return r;
+  }
+  r.worst = series.back();
+  r.worst_slot = series.size() - 1;
+  r.pass = !breaches(op, r.worst, threshold);
+  if (!r.pass) {
+    std::size_t begin = series.size() - 1;
+    while (begin > 0 && breaches(op, series[begin - 1], threshold)) --begin;
+    r.window = {begin, series.size() - 1};
+  }
+  return r;
+}
+
+}  // namespace
+
+InvariantResult evaluate_invariant(InvariantKind kind, InvariantOp op,
+                                   double threshold,
+                                   const SlotSeries& series) {
+  InvariantResult r;
+  switch (kind) {
+    case InvariantKind::kClusterCvr:
+      r = evaluate_final_series(op, threshold, series.cluster_cvr);
+      break;
+    case InvariantKind::kPmCvr:
+      r = evaluate_final_series(op, threshold, series.worst_pm_cvr);
+      break;
+    case InvariantKind::kMigrationsPerSlot:
+      r = evaluate_max_series(op, threshold, series.migrations);
+      break;
+    case InvariantKind::kVmFlaps:
+      r = evaluate_max_series(op, threshold, series.max_vm_moves);
+      break;
+    case InvariantKind::kSloFastBurn:
+      r = evaluate_max_series(op, threshold, series.fast_burn);
+      break;
+    case InvariantKind::kSloSlowBurn:
+      r = evaluate_max_series(op, threshold, series.slow_burn);
+      break;
+    case InvariantKind::kLostVms: {
+      // End-of-run conservation quantity, not a series: the verdict is
+      // about the final count; the window (when failing) is pinned to
+      // the last completed slot so the trace pointer lands where the
+      // books were closed.
+      r.op = op;
+      r.threshold = threshold;
+      r.worst = static_cast<double>(series.lost_vms);
+      const std::size_t slots = series.cluster_cvr.size();
+      r.worst_slot = slots == 0 ? 0 : slots - 1;
+      r.pass = op == InvariantOp::kLe ? r.worst <= threshold
+                                      : r.worst == threshold;
+      if (!r.pass) r.window = {r.worst_slot, r.worst_slot};
+      r.kind = kind;
+      return r;
+    }
+  }
+  r.kind = kind;
+  return r;
+}
+
+}  // namespace burstq::harness

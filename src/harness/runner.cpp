@@ -1,0 +1,274 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/jsonl.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "placement/baselines.h"
+#include "queuing/mapcal.h"
+#include "placement/queuing_ffd.h"
+#include "placement/sbp.h"
+#include "sim/cluster_sim.h"
+
+namespace burstq::harness {
+
+namespace {
+
+PlacementResult place_fleet(const Scenario& sc,
+                            const ProblemInstance& inst) {
+  if (sc.strategy == "queue") {
+    QueuingFfdOptions opt;
+    opt.rho = sc.rho;
+    opt.max_vms_per_pm = sc.max_vms_per_pm;
+    return queuing_ffd(inst, opt).result;
+  }
+  if (sc.strategy == "rp") return ffd_by_peak(inst, sc.max_vms_per_pm);
+  if (sc.strategy == "rb") return ffd_by_normal(inst, sc.max_vms_per_pm);
+  if (sc.strategy == "rbex")
+    return ffd_reserved(inst, 0.3, sc.max_vms_per_pm);
+  if (sc.strategy == "sbp")
+    return sbp_normal(inst, sc.rho, sc.max_vms_per_pm);
+  throw InvalidArgument("unknown strategy: " + sc.strategy);
+}
+
+/// Streams the finalized trace once: resolves a TracePointer for every
+/// slot in `targets` (the first slot.obs event at that `t`; BTRC
+/// pointers use the containing block's boundary so `trace head
+/// --at-offset` can start decoding there) and counts the total events.
+std::uint64_t scan_trace(const std::string& path,
+                         std::map<std::size_t, TracePointer>& targets) {
+  const obs::EventFormat format = obs::sniff_event_format(path);
+  std::uint64_t total = 0;
+  auto match = [&](const obs::RecordedEvent& ev, std::uint64_t offset,
+                   std::uint64_t index) {
+    if (ev.kind != "slot.obs") return;
+    const auto t = static_cast<std::size_t>(ev.integer("t"));
+    const auto it = targets.find(t);
+    if (it == targets.end() || it->second.offset != 0 ||
+        it->second.event_index != 0)
+      return;
+    it->second = TracePointer{offset, index, t};
+  };
+
+  if (format == obs::EventFormat::kBinary) {
+    obs::TraceReader reader(path);
+    std::vector<obs::RecordedEvent> block;
+    while (true) {
+      const std::uint64_t block_start = reader.valid_offset();
+      block.clear();
+      if (!reader.next_block(block)) break;
+      for (std::size_t i = 0; i < block.size(); ++i)
+        match(block[i], block_start, total + i);
+      total += block.size();
+    }
+    return total;
+  }
+
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open trace file: " + path);
+  std::string line;
+  std::uint64_t offset = 0;
+  while (std::getline(in, line)) {
+    const std::uint64_t line_start = offset;
+    offset += line.size() + 1;  // getline consumed the newline
+    std::string error;
+    const auto ev = obs::parse_event_line(line, &error);
+    if (!ev) continue;  // blank or foreign line: not this harness's trace
+    match(*ev, line_start, total);
+    ++total;
+  }
+  return total;
+}
+
+}  // namespace
+
+RunSummary run_scenario(const Scenario& sc, const HarnessOptions& opt) {
+  sc.validate();
+  RunSummary out;
+  const std::string trace_ext =
+      opt.trace_format == obs::EventFormat::kBinary ? ".trace.btrc"
+                                                    : ".trace.jsonl";
+  out.trace_path = opt.out_dir + "/" + sc.name + trace_ext;
+  out.report_path = opt.out_dir + "/" + sc.name + ".report.json";
+
+  ScenarioReport& report = out.report;
+  report.scenario = sc.name;
+  report.seed = sc.seed;
+  report.slots = sc.slots;
+  // Reports reference the trace by basename so two same-seed runs are
+  // byte-identical regardless of where --out points.
+  report.trace_file = sc.name + trace_ext;
+  report.trace_format =
+      std::string(obs::format_name(opt.trace_format));
+
+  // The trace must exist (and later: be finalized) no matter how the run
+  // ends; open it before anything that can throw.
+  obs::events().open(out.trace_path, opt.trace_format,
+                     obs::EventLevel::kDetail, opt.compress);
+  obs::events().set_run_label("harness/" + sc.name);
+
+  // A scenario's trace must not depend on what else ran in this process:
+  // a warm MapCal cache would swallow the mapcal events a cold run
+  // emits, breaking the byte-identical contract for back-to-back runs.
+  mapcal_table_cache_clear();
+
+  SlotSeries series;
+  obs::SloTracker slo(sc.n_pms, [&] {
+    obs::SloOptions slo_opt;
+    slo_opt.rho = sc.rho;
+    slo_opt.fast_window = sc.slo_fast;
+    slo_opt.slow_window = sc.slo_slow;
+    return slo_opt;
+  }());
+
+  std::string abort_reason;
+  std::vector<MigrationEvent> migration_events;
+  bool completed = false;
+  try {
+    Rng rng(sc.seed);
+    ProblemInstance inst = table_i_instance(
+        sc.pattern, sc.n_vms, sc.n_pms, sc.onoff, rng, [&] {
+          InstanceRanges ranges;
+          ranges.capacity_lo = sc.capacity_lo;
+          ranges.capacity_hi = sc.capacity_hi;
+          return ranges;
+        }());
+
+    const PlacementResult placed = place_fleet(sc, inst);
+    BURSTQ_REQUIRE(placed.complete(),
+                   std::to_string(placed.unplaced.size()) +
+                       " VMs could not be placed; grow pms=, capacity, or "
+                       "relax rho in the scenario");
+
+    SimConfig cfg;
+    cfg.slots = sc.slots;
+    cfg.policy.rho = sc.rho;
+    cfg.policy.max_vms_per_pm = sc.max_vms_per_pm;
+    cfg.policy.cvr_window = sc.migration_window;
+    cfg.policy.cost_slots = sc.migration_cost;
+    if (sc.faults.any()) cfg.faults = sc.faults;
+    cfg.slo = &slo;
+    cfg.workload_phases = sc.phases;
+
+    // Per-slot bookkeeping: running cumulative CVR cluster-wide and for
+    // the worst PM, so breach windows come out in slots, not just a
+    // final scalar.
+    std::vector<std::size_t> pm_observed(sc.n_pms, 0);
+    std::vector<std::size_t> pm_violated(sc.n_pms, 0);
+    std::size_t cluster_observed = 0;
+    std::size_t cluster_violated = 0;
+    cfg.on_slot = [&](const SlotObservation& ob) {
+      cluster_observed += ob.active->size();
+      cluster_violated += ob.violated->size();
+      for (const std::size_t pm : *ob.active) ++pm_observed[pm];
+      for (const std::size_t pm : *ob.violated) ++pm_violated[pm];
+      // Current (not running-max) worst per-PM cumulative CVR: the
+      // ratio dilutes as observations accumulate, and the invariant is
+      // about where the books stand, not a transient.
+      double worst_pm = 0.0;
+      for (std::size_t pm = 0; pm < sc.n_pms; ++pm)
+        if (pm_violated[pm] > 0)
+          worst_pm = std::max(
+              worst_pm, static_cast<double>(pm_violated[pm]) /
+                            static_cast<double>(pm_observed[pm]));
+      series.cluster_cvr.push_back(
+          cluster_observed == 0
+              ? 0.0
+              : static_cast<double>(cluster_violated) /
+                    static_cast<double>(cluster_observed));
+      series.worst_pm_cvr.push_back(worst_pm);
+      series.migrations.push_back(ob.migrations);
+      const obs::SloReport slo_now = slo.report();
+      series.fast_burn.push_back(slo_now.fast.burn);
+      series.slow_burn.push_back(slo_now.slow.burn);
+    };
+
+    ClusterSimulator sim(inst, placed.placement, cfg, rng.split());
+    const SimReport rep = sim.run();
+    series.lost_vms = rep.faults.lost_vms;
+    migration_events = rep.events;
+    completed = true;
+  } catch (const std::exception& e) {
+    abort_reason = e.what();
+  }
+
+  // Finalize the trace FIRST — on abort this is what makes the report's
+  // pointers resolvable at all.
+  obs::events().close();
+  obs::events().set_run_label("");
+
+  report.slots_completed = series.cluster_cvr.size();
+
+  // Flap bookkeeping: running max per-VM successful-migration count.
+  // Derived from the migration log post-run (the observer only sees
+  // counts); an aborted run has no log and the series stays empty.
+  {
+    std::map<std::size_t, std::size_t> moves;
+    std::size_t running_max = 0;
+    std::size_t next = 0;
+    std::sort(migration_events.begin(), migration_events.end(),
+              [](const MigrationEvent& a, const MigrationEvent& b) {
+                return a.slot < b.slot;
+              });
+    series.max_vm_moves.assign(report.slots_completed, 0);
+    for (std::size_t t = 0; t < report.slots_completed; ++t) {
+      while (next < migration_events.size() &&
+             migration_events[next].slot <= static_cast<TimeSlot>(t)) {
+        if (!migration_events[next].failed())
+          running_max = std::max(
+              running_max, ++moves[migration_events[next].vm.value]);
+        ++next;
+      }
+      series.max_vm_moves[t] = running_max;
+    }
+  }
+
+  std::map<std::size_t, TracePointer> pointer_targets;
+  for (const ScenarioInvariant& inv : sc.invariants) {
+    InvariantResult r =
+        evaluate_invariant(inv.kind, inv.op, inv.threshold, series);
+    if (r.window) pointer_targets.emplace(r.window->first, TracePointer{});
+    report.invariants.push_back(r);
+  }
+
+  report.trace_events = scan_trace(out.trace_path, pointer_targets);
+  bool all_pass = true;
+  for (InvariantResult& r : report.invariants) {
+    if (!r.pass) all_pass = false;
+    if (!r.window) continue;
+    const auto it = pointer_targets.find(r.window->first);
+    // offset==0 && event_index==0 means the scan never saw a slot.obs at
+    // that t (e.g. an obs-stripped build): leave the pointer absent
+    // rather than pointing at the file header.
+    if (it != pointer_targets.end() &&
+        (it->second.offset != 0 || it->second.event_index != 0))
+      r.trace = it->second;
+  }
+
+  if (!completed) {
+    report.status = "abort";
+    report.abort_reason = abort_reason;
+  } else {
+    report.status = all_pass ? "pass" : "fail";
+  }
+
+  BURSTQ_COUNT("harness.scenarios_run", 1);
+  BURSTQ_COUNT("harness.invariants_checked", report.invariants.size());
+  std::size_t failed = 0;
+  for (const InvariantResult& r : report.invariants)
+    if (!r.pass) ++failed;
+  if (failed > 0) BURSTQ_COUNT("harness.invariants_failed", failed);
+  if (!completed) BURSTQ_COUNT("harness.aborts", 1);
+
+  write_report(report, out.report_path);
+  return out;
+}
+
+}  // namespace burstq::harness

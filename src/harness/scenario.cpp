@@ -1,0 +1,445 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace burstq::harness {
+
+namespace {
+
+/// One whitespace-separated token with its 1-based source column.
+struct Token {
+  std::string_view text;
+  std::size_t col{0};
+};
+
+/// Parser state shared by the statement handlers: the scenario being
+/// built, positions for error messages, and first-seen lines so a
+/// duplicated singleton statement names where it was set first.
+struct Parser {
+  Scenario sc;
+  std::string source;
+  std::size_t line{0};
+
+  // first-seen source line per singleton keyword; 0 = not seen yet
+  std::size_t seen_scenario{0}, seen_seed{0}, seen_slots{0}, seen_rho{0},
+      seen_d{0}, seen_strategy{0}, seen_topology{0}, seen_capacity{0},
+      seen_workload{0}, seen_fault_markov{0}, seen_migration{0},
+      seen_slo{0};
+
+  // source lines of order-sensitive statements, validated post-parse
+  std::vector<std::size_t> phase_lines;
+  std::vector<std::size_t> fault_lines;
+  std::vector<std::size_t> invariant_lines;
+
+  [[noreturn]] void fail(std::size_t col, const std::string& what) const {
+    throw InvalidArgument(source + ":" + std::to_string(line) + ":" +
+                          std::to_string(col) + ": " + what);
+  }
+  [[noreturn]] void fail_at(std::size_t at_line, std::size_t col,
+                            const std::string& what) const {
+    throw InvalidArgument(source + ":" + std::to_string(at_line) + ":" +
+                          std::to_string(col) + ": " + what);
+  }
+};
+
+
+/// Builds "head'quoted'tail" without the const-char* + temporary-string
+/// concatenation GCC 12 flags with a spurious -Wrestrict.
+std::string msg(std::string_view head, std::string_view quoted,
+                std::string_view tail) {
+  std::string out(head);
+  out += '\'';
+  out += quoted;
+  out += '\'';
+  out += tail;
+  return out;
+}
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == ' ' || text[i] == '\t') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '#') break;  // comment runs to end of line
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
+           text[i] != '#')
+      ++i;
+    out.push_back({text.substr(start, i - start), start + 1});
+  }
+  return out;
+}
+
+double parse_number(const Parser& p, const Token& tok,
+                    std::string_view what) {
+  double value = 0.0;
+  const char* begin = tok.text.data();
+  const char* end = begin + tok.text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    p.fail(tok.col, msg("", tok.text, " is not a valid ") +
+                        std::string(what));
+  return value;
+}
+
+std::size_t parse_count(const Parser& p, const Token& tok,
+                        std::string_view what) {
+  std::size_t value = 0;
+  const char* begin = tok.text.data();
+  const char* end = begin + tok.text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    p.fail(tok.col, msg("", tok.text, " is not a valid ") +
+                        std::string(what) + " (non-negative integer)");
+  return value;
+}
+
+/// Splits `key=value`; errors name the token, not just the line.
+std::pair<std::string_view, Token> split_kv(const Parser& p,
+                                            const Token& tok) {
+  const std::size_t eq = tok.text.find('=');
+  if (eq == std::string_view::npos || eq == 0 ||
+      eq + 1 == tok.text.size())
+    p.fail(tok.col, msg("expected key=value, got ", tok.text, ""));
+  return {tok.text.substr(0, eq),
+          Token{tok.text.substr(eq + 1), tok.col + eq + 1}};
+}
+
+void require_seen(Parser& p, std::size_t& seen, const Token& keyword) {
+  if (seen != 0)
+    p.fail(keyword.col, msg("duplicate ", keyword.text,
+                            " (first set at line ") +
+                            std::to_string(seen) + ")");
+  seen = p.line;
+}
+
+void no_trailing(const Parser& p, const std::vector<Token>& toks,
+                 std::size_t used) {
+  if (toks.size() > used)
+    p.fail(toks[used].col, msg("unexpected trailing token ",
+                               toks[used].text,
+                               " after a complete statement"));
+}
+
+/// `value` in statements that take exactly one operand.
+const Token& sole_operand(const Parser& p, const std::vector<Token>& toks) {
+  if (toks.size() < 2)
+    p.fail(toks[0].col + toks[0].text.size(),
+           msg("", toks[0].text, " needs a value"));
+  no_trailing(p, toks, 2);
+  return toks[1];
+}
+
+void handle_topology(Parser& p, const std::vector<Token>& toks) {
+  require_seen(p, p.seen_topology, toks[0]);
+  bool got_vms = false;
+  bool got_pms = false;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const auto [key, value] = split_kv(p, toks[i]);
+    if (key == "vms") {
+      p.sc.n_vms = parse_count(p, value, "vms count");
+      got_vms = true;
+    } else if (key == "pms") {
+      p.sc.n_pms = parse_count(p, value, "pms count");
+      got_pms = true;
+    } else if (key == "pattern") {
+      if (value.text == "equal") {
+        p.sc.pattern = SpikePattern::kEqual;
+      } else if (value.text == "small") {
+        p.sc.pattern = SpikePattern::kSmallSpike;
+      } else if (value.text == "large") {
+        p.sc.pattern = SpikePattern::kLargeSpike;
+      } else {
+        p.fail(value.col, msg("unknown pattern ", value.text,
+                              " (equal | small | large)"));
+      }
+    } else {
+      p.fail(toks[i].col, msg("unknown topology key ", key,
+                              " (vms | pms | pattern)"));
+    }
+  }
+  if (!got_vms || !got_pms)
+    p.fail(toks[0].col, "topology needs both vms= and pms=");
+}
+
+void handle_phase(Parser& p, const std::vector<Token>& toks) {
+  WorkloadPhase phase;
+  bool got_at = false;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const auto [key, value] = split_kv(p, toks[i]);
+    if (key == "at") {
+      phase.slot = parse_count(p, value, "phase slot");
+      got_at = true;
+    } else if (key == "p_on") {
+      phase.p_on = parse_number(p, value, "probability");
+    } else if (key == "p_off") {
+      phase.p_off = parse_number(p, value, "probability");
+    } else {
+      p.fail(toks[i].col, msg("unknown phase key ", key,
+                              " (at | p_on | p_off)"));
+    }
+  }
+  if (!got_at) p.fail(toks[0].col, "phase needs at=<slot>");
+  if (!phase.p_on && !phase.p_off)
+    p.fail(toks[0].col, "phase must override p_on, p_off, or both");
+  p.sc.phases.push_back(phase);
+  p.phase_lines.push_back(p.line);
+}
+
+void handle_fault_markov(Parser& p, const std::vector<Token>& toks) {
+  require_seen(p, p.seen_fault_markov, toks[0]);
+  if (toks.size() < 2)
+    p.fail(toks[0].col, "fault-markov needs at least one key=value");
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const auto [key, value] = split_kv(p, toks[i]);
+    if (key == "p_crash") {
+      p.sc.faults.markov.p_crash = parse_number(p, value, "probability");
+    } else if (key == "p_recover") {
+      p.sc.faults.markov.p_recover = parse_number(p, value, "probability");
+    } else if (key == "p_mig_fail") {
+      p.sc.faults.markov.p_mig_fail = parse_number(p, value, "probability");
+    } else if (key == "seed") {
+      p.sc.faults.seed =
+          static_cast<std::uint64_t>(parse_count(p, value, "seed"));
+    } else {
+      p.fail(toks[i].col,
+             msg("unknown fault-markov key ", key,
+                 " (p_crash | p_recover | p_mig_fail | seed)"));
+    }
+  }
+}
+
+void handle_invariant(Parser& p, const std::vector<Token>& toks) {
+  if (toks.size() < 4)
+    p.fail(toks[0].col + toks[0].text.size(),
+           "invariant needs NAME <=|== VALUE");
+  no_trailing(p, toks, 4);
+  ScenarioInvariant inv;
+  const auto kind = invariant_from_name(toks[1].text);
+  if (!kind) {
+    std::string known;
+    for (const InvariantInfo& info : invariant_catalog()) {
+      if (!known.empty()) known += " | ";
+      known += info.name;
+    }
+    p.fail(toks[1].col, msg("unknown invariant ", toks[1].text,
+                            " (") + known + ")");
+  }
+  inv.kind = *kind;
+  const auto op = invariant_op_from_name(toks[2].text);
+  if (!op)
+    p.fail(toks[2].col, msg("unknown comparison ", toks[2].text,
+                            " (<= | ==)"));
+  inv.op = *op;
+  inv.threshold = parse_number(p, toks[3], "threshold");
+  inv.line = p.line;
+  for (std::size_t i = 0; i < p.sc.invariants.size(); ++i)
+    if (p.sc.invariants[i].kind == inv.kind)
+      p.fail(toks[1].col, msg("duplicate invariant ", toks[1].text,
+                              " (first set at line ") +
+                              std::to_string(p.sc.invariants[i].line) + ")");
+  p.sc.invariants.push_back(inv);
+  p.invariant_lines.push_back(p.line);
+}
+
+void handle_statement(Parser& p, const std::vector<Token>& toks) {
+  const Token& kw = toks[0];
+  if (kw.text == "scenario") {
+    require_seen(p, p.seen_scenario, kw);
+    const Token& name = sole_operand(p, toks);
+    p.sc.name = std::string(name.text);
+  } else if (kw.text == "seed") {
+    require_seen(p, p.seen_seed, kw);
+    p.sc.seed = static_cast<std::uint64_t>(
+        parse_count(p, sole_operand(p, toks), "seed"));
+  } else if (kw.text == "slots") {
+    require_seen(p, p.seen_slots, kw);
+    p.sc.slots = parse_count(p, sole_operand(p, toks), "slot count");
+  } else if (kw.text == "rho") {
+    require_seen(p, p.seen_rho, kw);
+    p.sc.rho = parse_number(p, sole_operand(p, toks), "rho");
+  } else if (kw.text == "max-vms-per-pm") {
+    require_seen(p, p.seen_d, kw);
+    p.sc.max_vms_per_pm =
+        parse_count(p, sole_operand(p, toks), "max-vms-per-pm");
+  } else if (kw.text == "strategy") {
+    require_seen(p, p.seen_strategy, kw);
+    const Token& value = sole_operand(p, toks);
+    if (value.text != "queue" && value.text != "rp" && value.text != "rb" &&
+        value.text != "rbex" && value.text != "sbp")
+      p.fail(value.col, msg("unknown strategy ", value.text,
+                            " (queue | rp | rb | rbex | sbp)"));
+    p.sc.strategy = std::string(value.text);
+  } else if (kw.text == "topology") {
+    handle_topology(p, toks);
+  } else if (kw.text == "capacity") {
+    require_seen(p, p.seen_capacity, kw);
+    if (toks.size() < 3)
+      p.fail(kw.col + kw.text.size(), "capacity needs LO HI");
+    no_trailing(p, toks, 3);
+    p.sc.capacity_lo = parse_number(p, toks[1], "capacity");
+    p.sc.capacity_hi = parse_number(p, toks[2], "capacity");
+  } else if (kw.text == "workload") {
+    require_seen(p, p.seen_workload, kw);
+    if (toks.size() < 2)
+      p.fail(kw.col + kw.text.size(),
+             "workload needs p_on= and/or p_off=");
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const auto [key, value] = split_kv(p, toks[i]);
+      if (key == "p_on") {
+        p.sc.onoff.p_on = parse_number(p, value, "probability");
+      } else if (key == "p_off") {
+        p.sc.onoff.p_off = parse_number(p, value, "probability");
+      } else {
+        p.fail(toks[i].col, msg("unknown workload key ", key,
+                                " (p_on | p_off)"));
+      }
+    }
+  } else if (kw.text == "phase") {
+    handle_phase(p, toks);
+  } else if (kw.text == "fault") {
+    const Token& item = sole_operand(p, toks);
+    // Reuse the --fault-plan item grammar; re-anchor its error to the
+    // token position so the message stays file:line:col-actionable.
+    try {
+      fault::FaultPlan one = fault::parse_fault_plan(item.text);
+      p.sc.faults.scripted.push_back(one.scripted.front());
+    } catch (const InvalidArgument& e) {
+      p.fail(item.col, e.what());
+    }
+    p.fault_lines.push_back(p.line);
+  } else if (kw.text == "fault-markov") {
+    handle_fault_markov(p, toks);
+  } else if (kw.text == "migration") {
+    require_seen(p, p.seen_migration, kw);
+    if (toks.size() < 2)
+      p.fail(kw.col + kw.text.size(),
+             "migration needs window= and/or cost=");
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const auto [key, value] = split_kv(p, toks[i]);
+      if (key == "window") {
+        p.sc.migration_window = parse_count(p, value, "window");
+      } else if (key == "cost") {
+        p.sc.migration_cost = parse_count(p, value, "cost");
+      } else {
+        p.fail(toks[i].col, msg("unknown migration key ", key,
+                                " (window | cost)"));
+      }
+    }
+  } else if (kw.text == "slo") {
+    require_seen(p, p.seen_slo, kw);
+    if (toks.size() < 2)
+      p.fail(kw.col + kw.text.size(), "slo needs fast= and/or slow=");
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const auto [key, value] = split_kv(p, toks[i]);
+      if (key == "fast") {
+        p.sc.slo_fast = parse_count(p, value, "window");
+      } else if (key == "slow") {
+        p.sc.slo_slow = parse_count(p, value, "window");
+      } else {
+        p.fail(toks[i].col, msg("unknown slo key ", key,
+                                " (fast | slow)"));
+      }
+    }
+  } else if (kw.text == "invariant") {
+    handle_invariant(p, toks);
+  } else {
+    p.fail(kw.col, msg("unknown keyword ", kw.text, ""));
+  }
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  BURSTQ_REQUIRE(!name.empty(), "scenario has no name");
+  BURSTQ_REQUIRE(slots > 0, "scenario needs slots > 0");
+  BURSTQ_REQUIRE(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
+  BURSTQ_REQUIRE(n_vms > 0 && n_pms > 0,
+                 "topology needs vms >= 1 and pms >= 1");
+  BURSTQ_REQUIRE(max_vms_per_pm >= 1, "max-vms-per-pm must be >= 1");
+  BURSTQ_REQUIRE(capacity_lo > 0.0 && capacity_lo <= capacity_hi,
+                 "capacity range must satisfy 0 < lo <= hi");
+  BURSTQ_REQUIRE(migration_window >= 1, "migration window must be >= 1");
+  BURSTQ_REQUIRE(migration_cost >= 1, "migration cost must be >= 1");
+  BURSTQ_REQUIRE(slo_fast >= 1 && slo_slow >= slo_fast,
+                 "slo windows must satisfy 1 <= fast <= slow");
+  BURSTQ_REQUIRE(!invariants.empty(),
+                 "scenario declares no invariants; a run nothing checks "
+                 "is not a scenario");
+  onoff.validate();
+  for (const WorkloadPhase& phase : phases) phase.validate();
+  faults.validate(n_pms, slots);
+}
+
+Scenario parse_scenario_text(std::string_view text, std::string source) {
+  Parser p;
+  p.source = std::move(source);
+  p.sc.source = p.source;
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++p.line;
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::vector<Token> toks = tokenize(line);
+    if (!toks.empty()) {
+      if (p.seen_scenario == 0 && toks[0].text != "scenario")
+        p.fail(toks[0].col,
+               msg("the first statement must be 'scenario NAME', got ",
+                   toks[0].text, ""));
+      handle_statement(p, toks);
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (p.seen_scenario == 0) {
+    p.line = 1;
+    p.fail(1, "empty scenario: no 'scenario NAME' statement");
+  }
+
+  // Positional checks the statements could not do alone (slots may be
+  // declared after the phases/faults that reference it).
+  for (std::size_t i = 0; i < p.sc.phases.size(); ++i) {
+    p.line = p.phase_lines[i];
+    if (p.sc.phases[i].slot >= p.sc.slots)
+      p.fail(1, "phase at=" + std::to_string(p.sc.phases[i].slot) +
+                    " is outside the horizon (slots=" +
+                    std::to_string(p.sc.slots) + "); it would never apply");
+    if (i > 0 && p.sc.phases[i].slot <= p.sc.phases[i - 1].slot)
+      p.fail(1, "phases must have strictly ascending at= slots (previous "
+                "phase is at=" +
+                    std::to_string(p.sc.phases[i - 1].slot) + ")");
+  }
+  std::stable_sort(p.sc.faults.scripted.begin(), p.sc.faults.scripted.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+  try {
+    p.sc.validate();
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(p.source + ": " + e.what());
+  }
+  return p.sc;
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  BURSTQ_REQUIRE(in.is_open(), "cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str(), path);
+}
+
+}  // namespace burstq::harness

@@ -1,0 +1,98 @@
+// Declarative scenario files — the input half of the invariants harness
+// ("physics CI").
+//
+// A scenario file describes one deterministic cluster experiment:
+// topology (fleet size, spike pattern, capacities), a workload timeline
+// (piecewise-constant ON-OFF phases), a fault script (the FaultPlan
+// grammar from fault/plan.h, one event per `fault` statement), and the
+// invariant thresholds the run must satisfy.  The runner (harness/
+// runner.h) drives ClusterSimulator from a Scenario and emits one JSON
+// verdict per invariant.
+//
+// Grammar — line-oriented keyword statements, `#` starts a comment:
+//
+//   scenario NAME                      required, first statement
+//   seed N                             workload/instance RNG seed
+//   slots N                            simulation horizon
+//   rho X                              CVR budget (Eq. 16/17)
+//   max-vms-per-pm N                   the paper's per-PM cap d
+//   strategy queue|rp|rb|rbex|sbp      initial placement strategy
+//   topology vms=N pms=M pattern=equal|small|large
+//   capacity LO HI                     PM capacity uniform range
+//   workload p_on=X p_off=Y            baseline ON-OFF parameters
+//   phase at=T [p_on=X] [p_off=Y]      timeline override from slot T on
+//   fault ITEM                         one --fault-plan item, e.g.
+//                                      crash@10:pm=2 (see fault/plan.h)
+//   fault-markov [p_crash=X] [p_recover=Y] [p_mig_fail=Z] [seed=N]
+//   migration [window=N] [cost=N]      trigger window / copy cost slots
+//   slo [fast=N] [slow=N]              SLO burn-rate windows
+//   invariant NAME <=|== VALUE         threshold (harness/invariants.h)
+//
+// Every parse error is positioned: the exception message starts with
+// `path:line:col:` and names the offending token, so a broken scenario
+// fails CI with an actionable pointer instead of a stack trace.
+// Rejected loudly: unknown keywords, unknown key=value keys, duplicate
+// singleton statements, trailing garbage after a complete statement,
+// phases/faults at or beyond the horizon, and non-ascending phases.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "fault/plan.h"
+#include "harness/invariants.h"
+#include "sim/workload_gen.h"
+
+namespace burstq::harness {
+
+/// One `invariant` statement, with its source line for error reporting.
+struct ScenarioInvariant {
+  InvariantKind kind{InvariantKind::kClusterCvr};
+  InvariantOp op{InvariantOp::kLe};
+  double threshold{0.0};
+  std::size_t line{0};  ///< 1-based source line of the statement
+};
+
+/// A parsed scenario, ready for harness::run_scenario.
+struct Scenario {
+  std::string name;
+  std::string source;  ///< path (or label) the scenario was parsed from
+  std::uint64_t seed{42};
+  std::size_t slots{100};
+  double rho{0.01};
+  std::size_t max_vms_per_pm{16};
+  std::string strategy{"queue"};
+  std::size_t n_vms{20};
+  std::size_t n_pms{10};
+  SpikePattern pattern{SpikePattern::kEqual};
+  double capacity_lo{80.0};
+  double capacity_hi{100.0};
+  OnOffParams onoff{0.01, 0.09};  ///< the paper's default burstiness
+  std::vector<WorkloadPhase> phases;  ///< ascending, all < slots
+  fault::FaultPlan faults;  ///< empty scripted list + zero Markov = none
+  std::size_t migration_window{10};
+  std::size_t migration_cost{1};
+  std::size_t slo_fast{10};
+  std::size_t slo_slow{120};
+  std::vector<ScenarioInvariant> invariants;
+
+  /// Cross-statement checks the parser cannot do line-locally (ranges,
+  /// probability validity, at least one invariant).  parse_scenario_*
+  /// already calls this; exposed for programmatically built scenarios.
+  void validate() const;
+};
+
+/// Parses a scenario from text.  `source` labels error messages (use the
+/// file path, or something like "<inline>" for tests).  Throws
+/// InvalidArgument with a `source:line:col:` prefix on any error.
+Scenario parse_scenario_text(std::string_view text, std::string source);
+
+/// Reads and parses a scenario file.  Throws InvalidArgument when the
+/// file cannot be opened, and like parse_scenario_text on bad content.
+Scenario parse_scenario_file(const std::string& path);
+
+}  // namespace burstq::harness

@@ -46,6 +46,15 @@ class OnOffChain {
   [[nodiscard]] bool on() const { return state_ == VmState::kOn; }
   [[nodiscard]] const OnOffParams& params() const { return params_; }
 
+  /// Swaps the switch probabilities mid-simulation, keeping the current
+  /// state.  Models non-stationary workloads (flash crowds, diurnal
+  /// waves) where every tenant's burstiness shifts at a known slot.
+  /// Validates the new params.
+  void set_params(OnOffParams params) {
+    params.validate();
+    params_ = params;
+  }
+
   /// Advances one slot; returns the new state.
   VmState step(Rng& rng);
 

@@ -176,4 +176,16 @@ EventFormat sniff_event_format(const std::string& path);
 std::vector<RecordedEvent> read_events_auto(const std::string& path,
                                             EventFormat* format = nullptr);
 
+/// Resolves a trace pointer (as emitted in harness invariant reports):
+/// reads up to `max_events` events starting at byte `offset` of the
+/// trace.  For BTRC files the offset must be a block boundary — the
+/// start of a schema or data block, i.e. a value TraceReader reports as
+/// valid_offset(); for JSONL it must be the start of a line.  Throws
+/// InvalidArgument when the offset lands mid-block/mid-line, points past
+/// the end of the file, or the file is a long-CSV event log (which has
+/// no stable per-event offsets).
+std::vector<RecordedEvent> read_events_at_offset(const std::string& path,
+                                                 std::uint64_t offset,
+                                                 std::size_t max_events);
+
 }  // namespace burstq::obs

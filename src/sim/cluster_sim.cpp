@@ -17,8 +17,19 @@ void SimConfig::validate() const {
   BURSTQ_REQUIRE(users_per_unit > 0.0, "users_per_unit must be positive");
   policy.validate();
   power.validate();
-  if (faults) faults->validate();
+  if (faults) faults->validate(fault::kNoPm, slots);
   recovery.validate();
+  for (std::size_t i = 0; i < workload_phases.size(); ++i) {
+    workload_phases[i].validate();
+    BURSTQ_REQUIRE(workload_phases[i].slot < slots,
+                   "workload phase at slot " +
+                       std::to_string(workload_phases[i].slot) +
+                       " is outside the horizon (slots=" +
+                       std::to_string(slots) + ")");
+    BURSTQ_REQUIRE(
+        i == 0 || workload_phases[i - 1].slot < workload_phases[i].slot,
+        "workload phases must have strictly ascending slots");
+  }
 }
 
 ClusterSimulator::ClusterSimulator(const ProblemInstance& inst,
@@ -170,8 +181,21 @@ SimReport ClusterSimulator::run() {
   std::vector<std::size_t> obs_active;
   std::vector<std::size_t> obs_violated;
 
+  // The harness observer needs the per-slot id lists even when no
+  // detail-level trace sink is open.
+  const bool observe = recorder.enabled() || config_.on_slot != nullptr;
+
   for (std::size_t t = 0; t < config_.slots; ++t) {
     BURSTQ_SPAN("sim.slot");
+    // Workload timeline: a phase at slot t shapes the transitions *into*
+    // slot t (applied before the step that produces slot t's states).
+    while (next_phase_ < config_.workload_phases.size() &&
+           config_.workload_phases[next_phase_].slot <= t) {
+      ensemble_.apply_phase(config_.workload_phases[next_phase_]);
+      BURSTQ_EVENT(obs::EventLevel::kDecisions, "workload.phase", {"t", t},
+                   {"phase", next_phase_});
+      ++next_phase_;
+    }
     if (t > 0) ensemble_.step();
 
     // 1-2. demands and per-PM loads.
@@ -202,7 +226,7 @@ SimReport ClusterSimulator::run() {
 
     // 3. violation bookkeeping (only PMs that actually carry load state).
     std::size_t violations_this_slot = 0;
-    if (recorder.enabled()) {
+    if (observe) {
       obs_active.clear();
       obs_violated.clear();
     }
@@ -213,7 +237,7 @@ SimReport ClusterSimulator::run() {
       tracker.record(PmId{j}, violated);
       if (config_.slo != nullptr) config_.slo->record(PmId{j}, violated);
       if (violated) ++violations_this_slot;
-      if (recorder.enabled()) {
+      if (observe) {
         obs_active.push_back(j);
         if (violated) obs_violated.push_back(j);
       }
@@ -225,6 +249,7 @@ SimReport ClusterSimulator::run() {
     // 4. dynamic scheduling: one eviction per PM per slot when the recent
     // CVR breaches rho.
     std::size_t migrations_this_slot = 0;
+    const std::size_t failed_before = report.failed_migrations;
     if (config_.enable_migration) {
       for (std::size_t j = 0; j < m; ++j) {
         const PmId source{j};
@@ -322,6 +347,18 @@ SimReport ClusterSimulator::run() {
     // 6. migration copies complete.
     for (auto& f : in_flight_) --f.remaining;
     std::erase_if(in_flight_, [](const InFlight& f) { return f.remaining == 0; });
+
+    // 7. hand the closed slot to the harness observer.
+    if (config_.on_slot) {
+      SlotObservation ob;
+      ob.t = t;
+      ob.active = &obs_active;
+      ob.violated = &obs_violated;
+      ob.migrations = migrations_this_slot;
+      ob.failed_migrations = report.failed_migrations - failed_before;
+      ob.pms_used = used;
+      config_.on_slot(ob);
+    }
   }
 
   report.pms_used_end = report.pms_used_timeline.back();

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -38,6 +39,21 @@ namespace burstq {
 namespace obs {
 class SloTracker;
 }
+
+/// End-of-slot snapshot handed to SimConfig::on_slot.  The id vectors are
+/// borrowed from the simulator and valid only for the duration of the
+/// callback — copy what must outlive it.
+struct SlotObservation {
+  std::size_t t{0};
+  /// PM ids that hosted at least one VM this slot (ascending) — exactly
+  /// the set whose violation verdicts entered the CVR/SLO trackers.
+  const std::vector<std::size_t>* active{nullptr};
+  /// The subset of `active` that violated capacity (ascending).
+  const std::vector<std::size_t>* violated{nullptr};
+  std::size_t migrations{0};         ///< successful migrations this slot
+  std::size_t failed_migrations{0};  ///< failed triggers this slot
+  std::size_t pms_used{0};           ///< active PMs (incl. copy sources)
+};
 
 struct SimConfig {
   std::size_t slots{100};         ///< evaluation period (paper: 100 sigma)
@@ -62,6 +78,17 @@ struct SimConfig {
   /// the tracker slot — unlike CvrTracker its windows never reset on
   /// migration, so it reports what tenants actually experienced.
   obs::SloTracker* slo{nullptr};
+  /// Piecewise-constant workload timeline: each phase overrides every
+  /// chain's switch probabilities from its slot on (ascending unique
+  /// slots, all < `slots`).  A phase at slot t shapes the transitions
+  /// *into* slot t — phase slot 0 cannot retroactively change the
+  /// initial state draw.  Empty = stationary parameters throughout.
+  std::vector<WorkloadPhase> workload_phases;
+  /// Invoked at the end of every simulated slot (after SLO bookkeeping
+  /// and scheduling) with that slot's observation.  The scenario harness
+  /// uses this to evaluate invariants without re-deriving state from the
+  /// trace.  Must not throw; null = disabled.
+  std::function<void(const SlotObservation&)> on_slot;
 
   void validate() const;
 };
@@ -150,6 +177,7 @@ class ClusterSimulator {
   /// scheduler move of such a VM counts `migration.retries` instead of a
   /// plain first-attempt migration.
   std::vector<bool> aborted_once_;
+  std::size_t next_phase_{0};  ///< first workload phase not yet applied
   bool ran_{false};
 };
 

@@ -16,8 +16,27 @@ WorkloadEnsemble::WorkloadEnsemble(const ProblemInstance& inst, Rng rng,
   }
 }
 
+void WorkloadPhase::validate() const {
+  BURSTQ_REQUIRE(p_on.has_value() || p_off.has_value(),
+                 "a workload phase must override p_on, p_off, or both");
+  OnOffParams probe;
+  if (p_on) probe.p_on = *p_on;
+  if (p_off) probe.p_off = *p_off;
+  probe.validate();
+}
+
 void WorkloadEnsemble::step() {
   for (auto& c : chains_) c.step(rng_);
+}
+
+void WorkloadEnsemble::apply_phase(const WorkloadPhase& phase) {
+  phase.validate();
+  for (auto& c : chains_) {
+    OnOffParams p = c.params();
+    if (phase.p_on) p.p_on = *phase.p_on;
+    if (phase.p_off) p.p_off = *phase.p_off;
+    c.set_params(p);
+  }
 }
 
 Resource WorkloadEnsemble::demand(std::size_t vm) const {

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +15,22 @@
 #include "placement/spec.h"
 
 namespace burstq {
+
+/// One step of a piecewise-constant workload timeline: from `slot` on,
+/// every chain's switch probabilities are overridden by the components
+/// set here (absent components keep each chain's current value, so a
+/// phase can raise p_on cluster-wide while leaving spike durations
+/// heterogeneous).  This is the simplest correlated-burst model: a
+/// common modulator that shifts every tenant at once — exactly what the
+/// paper's independent ON-OFF assumption cannot express.
+struct WorkloadPhase {
+  std::size_t slot{0};
+  std::optional<double> p_on;
+  std::optional<double> p_off;
+
+  /// Requires at least one component and valid probabilities.
+  void validate() const;
+};
 
 class WorkloadEnsemble {
  public:
@@ -25,6 +42,12 @@ class WorkloadEnsemble {
 
   /// Advances every chain one slot.
   void step();
+
+  /// Applies a timeline phase to every chain (states are untouched, so
+  /// the demand stream stays continuous across the switch).  RNG
+  /// consumption is unaffected: step() draws exactly one variate per
+  /// chain regardless of parameters.
+  void apply_phase(const WorkloadPhase& phase);
 
   /// Demand of VM i at the current slot.
   [[nodiscard]] Resource demand(std::size_t vm) const;

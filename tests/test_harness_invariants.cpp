@@ -1,0 +1,216 @@
+// Invariant catalog and evaluation semantics: inclusive thresholds
+// (exactly-met passes, epsilon-over fails), peak-vs-final worst-case
+// rules, violation windows, and graceful degradation on empty series.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "harness/invariants.h"
+
+namespace burstq::harness {
+namespace {
+
+// --- catalog ----------------------------------------------------------
+
+TEST(InvariantCatalog, NamesRoundTrip) {
+  const auto& catalog = invariant_catalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  for (const InvariantInfo& info : catalog) {
+    EXPECT_EQ(info.name, invariant_name(info.kind));
+    const auto back = invariant_from_name(info.name);
+    ASSERT_TRUE(back.has_value()) << info.name;
+    EXPECT_EQ(*back, info.kind);
+    EXPECT_FALSE(info.description.empty());
+  }
+}
+
+TEST(InvariantCatalog, UnknownNamesAreNullopt) {
+  EXPECT_FALSE(invariant_from_name("not_a_thing").has_value());
+  EXPECT_FALSE(invariant_from_name("").has_value());
+  EXPECT_FALSE(invariant_op_from_name(">=").has_value());
+  EXPECT_FALSE(invariant_op_from_name("=").has_value());
+}
+
+TEST(InvariantCatalog, OpNamesRoundTrip) {
+  EXPECT_EQ(invariant_op_name(InvariantOp::kLe), "<=");
+  EXPECT_EQ(invariant_op_name(InvariantOp::kEq), "==");
+  EXPECT_EQ(invariant_op_from_name("<="), InvariantOp::kLe);
+  EXPECT_EQ(invariant_op_from_name("=="), InvariantOp::kEq);
+}
+
+// --- inclusive comparison boundary ------------------------------------
+
+SlotSeries migration_series(std::vector<std::size_t> migrations) {
+  SlotSeries s;
+  const std::size_t n = migrations.size();
+  s.migrations = std::move(migrations);
+  s.cluster_cvr.assign(n, 0.0);
+  s.worst_pm_cvr.assign(n, 0.0);
+  s.fast_burn.assign(n, 0.0);
+  s.slow_burn.assign(n, 0.0);
+  s.max_vm_moves.assign(n, 0);
+  return s;
+}
+
+TEST(InvariantEval, ExactlyMetThresholdPasses) {
+  // The budget IS the contract: observing exactly the threshold passes.
+  const SlotSeries s = migration_series({1, 3, 2});
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kMigrationsPerSlot, InvariantOp::kLe, 3.0, s);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.worst, 3.0);
+  EXPECT_EQ(r.worst_slot, 1u);
+  EXPECT_FALSE(r.window.has_value());
+  EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(InvariantEval, EpsilonOverThresholdFails) {
+  SlotSeries s = migration_series({0, 0, 0});
+  s.fast_burn = {0.0, 1.0 + 1e-12, 0.0};
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kSloFastBurn, InvariantOp::kLe, 1.0, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_GT(r.worst, 1.0);
+  EXPECT_EQ(r.worst_slot, 1u);
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_EQ(r.window->first, 1u);
+  EXPECT_EQ(r.window->second, 1u);
+}
+
+// --- per-slot quantities: peak value, [first, last] breach window -----
+
+TEST(InvariantEval, PerSlotWindowSpansFirstToLastBreach) {
+  const SlotSeries s = migration_series({0, 5, 1, 7, 0});
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kMigrationsPerSlot, InvariantOp::kLe, 2.0, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.worst, 7.0);
+  EXPECT_EQ(r.worst_slot, 3u);
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_EQ(r.window->first, 1u);   // first breach
+  EXPECT_EQ(r.window->second, 3u);  // last breach (slot 2 dipped back)
+}
+
+TEST(InvariantEval, WorstSlotIsFirstSlotReachingPeak) {
+  const SlotSeries s = migration_series({4, 1, 4});
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kMigrationsPerSlot, InvariantOp::kLe, 10.0, s);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.worst, 4.0);
+  EXPECT_EQ(r.worst_slot, 0u);
+}
+
+// --- cumulative ratios: FINAL value verdict, trailing breach window ---
+
+TEST(InvariantEval, CvrVerdictUsesFinalValueNotEarlyNoise) {
+  // One violation at t=0 makes the running ratio 1.0 before the
+  // denominator grows.  The final value is the honest Eq. 4 number, so
+  // a run that settles inside the budget passes.
+  SlotSeries s = migration_series({0, 0, 0, 0});
+  s.cluster_cvr = {1.0, 0.5, 0.1, 0.01};
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kClusterCvr, InvariantOp::kLe, 0.05, s);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.worst, 0.01);
+  EXPECT_EQ(r.worst_slot, 3u);
+  EXPECT_FALSE(r.window.has_value());
+}
+
+TEST(InvariantEval, CvrFailureWindowIsTrailingBreachRun) {
+  SlotSeries s = migration_series({0, 0, 0, 0, 0});
+  s.cluster_cvr = {0.2, 0.01, 0.04, 0.09, 0.08};
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kClusterCvr, InvariantOp::kLe, 0.05, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.worst, 0.08);  // final value, not the t=0 spike
+  EXPECT_EQ(r.worst_slot, 4u);
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_EQ(r.window->first, 3u);  // trailing contiguous breach only
+  EXPECT_EQ(r.window->second, 4u);
+}
+
+TEST(InvariantEval, PmCvrUsesSameFinalValueRule) {
+  SlotSeries s = migration_series({0, 0, 0});
+  s.worst_pm_cvr = {0.5, 0.2, 0.3};
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kPmCvr, InvariantOp::kLe, 0.25, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.worst, 0.3);
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_EQ(r.window->first, 2u);
+  EXPECT_EQ(r.window->second, 2u);
+}
+
+// --- lost_vms: end-of-run equality ------------------------------------
+
+TEST(InvariantEval, LostVmsZeroPasses) {
+  SlotSeries s = migration_series({0, 0});
+  s.lost_vms = 0;
+  const InvariantResult r = evaluate_invariant(InvariantKind::kLostVms,
+                                               InvariantOp::kEq, 0.0, s);
+  EXPECT_EQ(r.kind, InvariantKind::kLostVms);
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.worst, 0.0);
+  EXPECT_FALSE(r.window.has_value());
+}
+
+TEST(InvariantEval, LostVmsNonzeroFailsPinnedToLastSlot) {
+  SlotSeries s = migration_series({0, 0, 0});
+  s.lost_vms = 2;
+  const InvariantResult r = evaluate_invariant(InvariantKind::kLostVms,
+                                               InvariantOp::kEq, 0.0, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.worst, 2.0);
+  EXPECT_EQ(r.worst_slot, 2u);
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_EQ(r.window->first, 2u);
+  EXPECT_EQ(r.window->second, 2u);
+}
+
+TEST(InvariantEval, EqualityOpBreachesInBothDirections) {
+  SlotSeries s = migration_series({2, 2});
+  const InvariantResult below = evaluate_invariant(
+      InvariantKind::kMigrationsPerSlot, InvariantOp::kEq, 3.0, s);
+  EXPECT_FALSE(below.pass);  // 2 != 3 breaches even though 2 < 3
+  const InvariantResult exact = evaluate_invariant(
+      InvariantKind::kMigrationsPerSlot, InvariantOp::kEq, 2.0, s);
+  EXPECT_TRUE(exact.pass);
+}
+
+// --- empty timeline (aborted before any slot completed) ---------------
+
+TEST(InvariantEval, EmptySeriesPassesEverySlotInvariant) {
+  const SlotSeries s;  // no slots completed
+  for (const InvariantInfo& info : invariant_catalog()) {
+    if (info.kind == InvariantKind::kLostVms) continue;
+    const InvariantResult r =
+        evaluate_invariant(info.kind, InvariantOp::kLe, 0.0, s);
+    EXPECT_TRUE(r.pass) << info.name;
+    EXPECT_EQ(r.worst, 0.0) << info.name;
+    EXPECT_FALSE(r.window.has_value()) << info.name;
+  }
+}
+
+TEST(InvariantEval, EmptySeriesStillChecksLostVms) {
+  SlotSeries s;
+  s.lost_vms = 1;
+  const InvariantResult r = evaluate_invariant(InvariantKind::kLostVms,
+                                               InvariantOp::kEq, 0.0, s);
+  EXPECT_FALSE(r.pass);
+  EXPECT_EQ(r.worst, 1.0);
+}
+
+// --- result metadata --------------------------------------------------
+
+TEST(InvariantEval, ResultEchoesKindOpThreshold) {
+  const SlotSeries s = migration_series({1});
+  const InvariantResult r = evaluate_invariant(
+      InvariantKind::kVmFlaps, InvariantOp::kLe, 5.0, s);
+  EXPECT_EQ(r.kind, InvariantKind::kVmFlaps);
+  EXPECT_EQ(r.op, InvariantOp::kLe);
+  EXPECT_EQ(r.threshold, 5.0);
+}
+
+}  // namespace
+}  // namespace burstq::harness

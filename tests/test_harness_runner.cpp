@@ -1,0 +1,279 @@
+// End-to-end harness runs: reports round-trip, same-seed runs are
+// byte-identical, failing invariants carry resolvable trace pointers,
+// and aborted runs still finalize their trace and write a report.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "obs/jsonl.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace burstq::harness {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Scenario quiet_scenario() {
+  return parse_scenario_text(
+      "scenario quiet\n"
+      "seed 11\n"
+      "slots 30\n"
+      "rho 0.05\n"
+      "topology vms=12 pms=6 pattern=equal\n"
+      "workload p_on=0.02 p_off=0.10\n"
+      "invariant cluster_cvr <= 0.05\n"
+      "invariant lost_vms == 0\n",
+      "<quiet>");
+}
+
+/// Hot enough that cluster_cvr > 0.0001 is certain to breach.
+Scenario breached_scenario() {
+  return parse_scenario_text(
+      "scenario breached\n"
+      "seed 3\n"
+      "slots 60\n"
+      "rho 0.05\n"
+      "topology vms=40 pms=20 pattern=large\n"
+      "workload p_on=0.05 p_off=0.05\n"
+      "phase at=20 p_on=0.6 p_off=0.01\n"
+      "invariant cluster_cvr <= 0.0001\n"
+      "invariant lost_vms == 0\n",
+      "<breached>");
+}
+
+// --- passing run ------------------------------------------------------
+
+TEST(HarnessRunner, PassingRunWritesLoadableReport) {
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_pass");
+  const RunSummary run = run_scenario(quiet_scenario(), opt);
+
+  EXPECT_EQ(run.report.status, "pass");
+  EXPECT_TRUE(run.report.all_pass());
+  EXPECT_EQ(run.report.slots_completed, 30u);
+  EXPECT_EQ(run.report.trace_file, "quiet.trace.jsonl");
+  if (obs::kEnabled) {
+    EXPECT_GT(run.report.trace_events, 0u);
+  }
+
+  const ScenarioReport loaded = load_report(run.report_path);
+  EXPECT_EQ(loaded.scenario, "quiet");
+  EXPECT_EQ(loaded.seed, 11u);
+  EXPECT_EQ(loaded.status, "pass");
+  ASSERT_EQ(loaded.invariants.size(), 2u);
+  EXPECT_EQ(loaded.invariants[0].kind, InvariantKind::kClusterCvr);
+  EXPECT_TRUE(loaded.invariants[0].pass);
+
+  // The trace next to the report reads back whole.  (Under
+  // BURSTQ_NO_OBS the trace is legitimately empty.)
+  if (obs::kEnabled) {
+    const auto events = obs::read_events_auto(run.trace_path);
+    EXPECT_EQ(events.size(), run.report.trace_events);
+  }
+}
+
+TEST(HarnessRunner, EmptyTimelineRuns) {
+  // No phases, no faults, a one-slot horizon: the degenerate scenario
+  // still produces a full report rather than tripping on empty series.
+  const Scenario sc = parse_scenario_text(
+      "scenario tiny\nslots 1\nrho 0.5\n"
+      "topology vms=4 pms=4 pattern=equal\n"
+      "invariant cluster_cvr <= 0.5\ninvariant lost_vms == 0\n",
+      "<tiny>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_tiny");
+  const RunSummary run = run_scenario(sc, opt);
+  EXPECT_EQ(run.report.status, "pass");
+  EXPECT_EQ(run.report.slots_completed, 1u);
+}
+
+TEST(HarnessRunner, FaultOnLastSlotCompletes) {
+  const Scenario sc = parse_scenario_text(
+      "scenario last_slot\nseed 5\nslots 20\nrho 0.10\n"
+      "topology vms=12 pms=6 pattern=equal\n"
+      "workload p_on=0.02 p_off=0.10\n"
+      "fault crash@19:pm=0\n"
+      "invariant lost_vms == 0\n",
+      "<last_slot>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_last");
+  const RunSummary run = run_scenario(sc, opt);
+  EXPECT_EQ(run.report.slots_completed, 20u);
+  EXPECT_NE(run.report.status, "abort");
+}
+
+// --- determinism ------------------------------------------------------
+
+TEST(HarnessRunner, SameSeedRunsAreByteIdentical) {
+  HarnessOptions a;
+  a.out_dir = temp_dir("hr_det_a");
+  HarnessOptions b;
+  b.out_dir = temp_dir("hr_det_b");
+  const RunSummary ra = run_scenario(breached_scenario(), a);
+  const RunSummary rb = run_scenario(breached_scenario(), b);
+
+  const std::string report_a = slurp(ra.report_path);
+  ASSERT_FALSE(report_a.empty());
+  EXPECT_EQ(report_a, slurp(rb.report_path));
+  EXPECT_EQ(slurp(ra.trace_path), slurp(rb.trace_path));
+}
+
+// --- failing run: named invariant + resolvable trace pointer ----------
+
+TEST(HarnessRunner, BrokenScenarioNamesInvariantWithValidWindow) {
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_fail");
+  const RunSummary run = run_scenario(breached_scenario(), opt);
+
+  EXPECT_EQ(run.report.status, "fail");
+  EXPECT_FALSE(run.report.all_pass());
+
+  const InvariantResult* failed = nullptr;
+  for (const InvariantResult& r : run.report.invariants)
+    if (!r.pass) failed = &r;
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->kind, InvariantKind::kClusterCvr);
+  EXPECT_GT(failed->worst, failed->threshold);
+
+  ASSERT_TRUE(failed->window.has_value());
+  EXPECT_LE(failed->window->first, failed->window->second);
+  EXPECT_LT(failed->window->second, run.report.slots_completed);
+
+  // The report text names the invariant for CI log grepping.
+  EXPECT_NE(slurp(run.report_path).find("\"cluster_cvr\""),
+            std::string::npos);
+}
+
+TEST(HarnessRunner, TracePointerResolvesToWindowStart) {
+  if (!obs::kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_ptr");
+  const RunSummary run = run_scenario(breached_scenario(), opt);
+
+  const InvariantResult* failed = nullptr;
+  for (const InvariantResult& r : run.report.invariants)
+    if (!r.pass) failed = &r;
+  ASSERT_NE(failed, nullptr);
+  ASSERT_TRUE(failed->trace.has_value());
+
+  // JSONL pointers are exact: reading at the offset yields the slot.obs
+  // event of the window's first slot.
+  const auto events =
+      obs::read_events_at_offset(run.trace_path, failed->trace->offset, 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "slot.obs");
+  EXPECT_EQ(events[0].integer("t"),
+            static_cast<std::int64_t>(failed->window->first));
+  EXPECT_EQ(failed->trace->slot, failed->window->first);
+}
+
+TEST(HarnessRunner, BtrcTracePointerLandsOnBlockBoundary) {
+  if (!obs::kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_btrc");
+  opt.trace_format = obs::EventFormat::kBinary;
+  const RunSummary run = run_scenario(breached_scenario(), opt);
+
+  EXPECT_EQ(run.report.trace_format, "btrc");
+  const InvariantResult* failed = nullptr;
+  for (const InvariantResult& r : run.report.invariants)
+    if (!r.pass) failed = &r;
+  ASSERT_NE(failed, nullptr);
+  ASSERT_TRUE(failed->trace.has_value());
+
+  // A BTRC pointer is a block boundary: reading there must succeed and
+  // the stream from that point must contain the window-start slot.obs.
+  const auto events = obs::read_events_at_offset(
+      run.trace_path, failed->trace->offset, 4096);
+  ASSERT_FALSE(events.empty());
+  bool found = false;
+  for (const auto& e : events)
+    if (e.kind == "slot.obs" &&
+        e.integer("t") ==
+            static_cast<std::int64_t>(failed->window->first))
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+// --- abort safety -----------------------------------------------------
+
+TEST(HarnessRunner, AbortWritesReportAndFinalizesTrace) {
+  // 40 VMs cannot fit on 2 PMs under any budget: placement aborts
+  // before the first slot.
+  const Scenario sc = parse_scenario_text(
+      "scenario doomed\nslots 50\nrho 0.05\n"
+      "topology vms=40 pms=2 pattern=large\n"
+      "invariant lost_vms == 0\n",
+      "<doomed>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_abort");
+  const RunSummary run = run_scenario(sc, opt);
+
+  EXPECT_EQ(run.report.status, "abort");
+  EXPECT_FALSE(run.report.abort_reason.empty());
+  EXPECT_EQ(run.report.slots_completed, 0u);
+
+  // The report exists on disk and round-trips.
+  const ScenarioReport loaded = load_report(run.report_path);
+  EXPECT_EQ(loaded.status, "abort");
+  EXPECT_EQ(loaded.abort_reason, run.report.abort_reason);
+
+  // The partial trace was flushed and finalized — every event written
+  // before the abort reads back.
+  if (obs::kEnabled) {
+    const auto events = obs::read_events_auto(run.trace_path);
+    EXPECT_EQ(events.size(), run.report.trace_events);
+    EXPECT_GT(events.size(), 0u);
+  }
+}
+
+TEST(HarnessRunner, AbortFinalizesBtrcPartialBlock) {
+  // Same abort, binary trace: the buffered partial block must be
+  // flushed on close or the trace would be unreadable.
+  const Scenario sc = parse_scenario_text(
+      "scenario doomed_btrc\nslots 50\nrho 0.05\n"
+      "topology vms=40 pms=2 pattern=large\n"
+      "invariant lost_vms == 0\n",
+      "<doomed_btrc>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_abort_btrc");
+  opt.trace_format = obs::EventFormat::kBinary;
+  const RunSummary run = run_scenario(sc, opt);
+
+  EXPECT_EQ(run.report.status, "abort");
+  if (!obs::kEnabled) return;
+  const auto events = obs::read_events_btrc(run.trace_path);
+  EXPECT_EQ(events.size(), run.report.trace_events);
+  EXPECT_GT(events.size(), 0u);
+}
+
+// --- failure modes ----------------------------------------------------
+
+TEST(HarnessRunner, UnwritableOutputDirectoryThrows) {
+  HarnessOptions opt;
+  opt.out_dir = "/nonexistent/harness/out";
+  EXPECT_THROW((void)run_scenario(quiet_scenario(), opt), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace burstq::harness

@@ -1,0 +1,269 @@
+// Scenario-file grammar: the documented statements parse, defaults hold,
+// and every malformed input dies with a positioned (source:line:col)
+// actionable error instead of a silent default.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "harness/scenario.h"
+
+namespace burstq::harness {
+namespace {
+
+Scenario parse(std::string_view text) {
+  return parse_scenario_text(text, "<test>");
+}
+
+/// Asserts `text` fails to parse and the message carries the expected
+/// position prefix and a fragment of the explanation.
+void expect_error(std::string_view text, std::string_view position,
+                  std::string_view fragment) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected InvalidArgument for: " << text;
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::string("<test>:") + std::string(position)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+// --- the documented grammar round-trips -------------------------------
+
+TEST(ScenarioParse, FullGrammar) {
+  const Scenario sc = parse(R"(# full-grammar scenario
+scenario kitchen_sink
+seed 7
+slots 50
+rho 0.02
+max-vms-per-pm 12
+strategy rbex
+topology vms=30 pms=12 pattern=large
+capacity 70 90
+workload p_on=0.03 p_off=0.11
+phase at=10 p_on=0.2
+phase at=20 p_on=0.03 p_off=0.11
+fault crash@15:pm=2
+fault recover@40:pm=2
+fault mig-stall@25:slots=3
+fault-markov p_crash=0.001 p_recover=0.2 p_mig_fail=0.05 seed=9
+migration window=8 cost=2
+slo fast=5 slow=40
+invariant cluster_cvr <= 0.02
+invariant lost_vms == 0
+)");
+  EXPECT_EQ(sc.name, "kitchen_sink");
+  EXPECT_EQ(sc.source, "<test>");
+  EXPECT_EQ(sc.seed, 7u);
+  EXPECT_EQ(sc.slots, 50u);
+  EXPECT_EQ(sc.rho, 0.02);
+  EXPECT_EQ(sc.max_vms_per_pm, 12u);
+  EXPECT_EQ(sc.strategy, "rbex");
+  EXPECT_EQ(sc.n_vms, 30u);
+  EXPECT_EQ(sc.n_pms, 12u);
+  EXPECT_EQ(sc.pattern, SpikePattern::kLargeSpike);
+  EXPECT_EQ(sc.capacity_lo, 70.0);
+  EXPECT_EQ(sc.capacity_hi, 90.0);
+  EXPECT_EQ(sc.onoff.p_on, 0.03);
+  EXPECT_EQ(sc.onoff.p_off, 0.11);
+  ASSERT_EQ(sc.phases.size(), 2u);
+  EXPECT_EQ(sc.phases[0].slot, 10u);
+  ASSERT_TRUE(sc.phases[0].p_on.has_value());
+  EXPECT_EQ(*sc.phases[0].p_on, 0.2);
+  EXPECT_FALSE(sc.phases[0].p_off.has_value());
+  ASSERT_EQ(sc.faults.scripted.size(), 3u);
+  EXPECT_EQ(sc.faults.scripted[0].slot, 15u);
+  EXPECT_EQ(sc.faults.markov.p_mig_fail, 0.05);
+  EXPECT_EQ(sc.migration_window, 8u);
+  EXPECT_EQ(sc.migration_cost, 2u);
+  EXPECT_EQ(sc.slo_fast, 5u);
+  EXPECT_EQ(sc.slo_slow, 40u);
+  ASSERT_EQ(sc.invariants.size(), 2u);
+  EXPECT_EQ(sc.invariants[0].kind, InvariantKind::kClusterCvr);
+  EXPECT_EQ(sc.invariants[0].op, InvariantOp::kLe);
+  EXPECT_EQ(sc.invariants[0].threshold, 0.02);
+  EXPECT_EQ(sc.invariants[1].kind, InvariantKind::kLostVms);
+  EXPECT_EQ(sc.invariants[1].op, InvariantOp::kEq);
+}
+
+TEST(ScenarioParse, DefaultsHoldWhenOmitted) {
+  const Scenario sc = parse(
+      "scenario minimal\n"
+      "invariant lost_vms == 0\n");
+  EXPECT_EQ(sc.seed, 42u);
+  EXPECT_EQ(sc.slots, 100u);
+  EXPECT_EQ(sc.rho, 0.01);
+  EXPECT_EQ(sc.max_vms_per_pm, 16u);
+  EXPECT_EQ(sc.strategy, "queue");
+  EXPECT_EQ(sc.n_vms, 20u);
+  EXPECT_EQ(sc.n_pms, 10u);
+  EXPECT_EQ(sc.pattern, SpikePattern::kEqual);
+  EXPECT_EQ(sc.capacity_lo, 80.0);
+  EXPECT_EQ(sc.capacity_hi, 100.0);
+  EXPECT_TRUE(sc.phases.empty());
+  EXPECT_FALSE(sc.faults.any());
+}
+
+TEST(ScenarioParse, CommentsAndBlankLinesIgnored) {
+  const Scenario sc = parse(
+      "\n"
+      "# leading comment\n"
+      "scenario commented   # trailing comment\n"
+      "\t \n"
+      "seed 3 # another\n"
+      "invariant lost_vms == 0\n");
+  EXPECT_EQ(sc.name, "commented");
+  EXPECT_EQ(sc.seed, 3u);
+}
+
+// --- positioned errors ------------------------------------------------
+
+TEST(ScenarioParse, FirstStatementMustBeScenario) {
+  expect_error("seed 3\n", "1:1", "first statement must be 'scenario");
+}
+
+TEST(ScenarioParse, DuplicateSingletonNamesFirstLine) {
+  expect_error(
+      "scenario dup\nseed 3\nseed 4\ninvariant lost_vms == 0\n", "3:1",
+      "duplicate 'seed' (first set at line 2)");
+}
+
+TEST(ScenarioParse, TrailingGarbageNamesTheToken) {
+  expect_error("scenario t\nseed 3 oops\ninvariant lost_vms == 0\n",
+               "2:8", "unexpected trailing token 'oops'");
+}
+
+TEST(ScenarioParse, UnknownKeywordNamed) {
+  expect_error("scenario t\nfrobnicate 3\ninvariant lost_vms == 0\n",
+               "2:1", "unknown keyword 'frobnicate'");
+}
+
+TEST(ScenarioParse, BadNumberPointsAtTheValueColumn) {
+  // "12x" starts at column 6 of "seed 12x".
+  expect_error("scenario t\nseed 12x\ninvariant lost_vms == 0\n", "2:6",
+               "'12x' is not a valid");
+}
+
+TEST(ScenarioParse, UnknownKeyValueKeyNamed) {
+  expect_error(
+      "scenario t\ntopology vms=4 pms=2 shape=equal\n"
+      "invariant lost_vms == 0\n",
+      "2:22", "unknown topology key 'shape'");
+}
+
+TEST(ScenarioParse, MalformedKeyValueRejected) {
+  expect_error("scenario t\ntopology vms=4 pms=\ninvariant lost_vms == 0\n",
+               "2:16", "expected key=value");
+}
+
+TEST(ScenarioParse, UnknownInvariantListsKnownNames) {
+  expect_error("scenario t\ninvariant cvr <= 0.1\n", "2:11",
+               "unknown invariant 'cvr'");
+}
+
+TEST(ScenarioParse, UnknownComparisonRejected) {
+  expect_error("scenario t\ninvariant lost_vms >= 0\n", "2:20",
+               "unknown comparison '>='");
+}
+
+TEST(ScenarioParse, DuplicateInvariantNamesFirstLine) {
+  expect_error(
+      "scenario t\ninvariant lost_vms == 0\ninvariant lost_vms == 1\n",
+      "3:11", "duplicate invariant 'lost_vms' (first set at line 2)");
+}
+
+// --- out-of-horizon and ordering checks -------------------------------
+
+TEST(ScenarioParse, PhaseAtOrBeyondHorizonRejected) {
+  expect_error(
+      "scenario t\nslots 20\nphase at=20 p_on=0.5\n"
+      "invariant lost_vms == 0\n",
+      "3:1", "horizon");
+}
+
+TEST(ScenarioParse, NonAscendingPhasesRejected) {
+  expect_error(
+      "scenario t\nslots 50\nphase at=20 p_on=0.5\nphase at=10 p_on=0.2\n"
+      "invariant lost_vms == 0\n",
+      "4:1", "ascending");
+}
+
+TEST(ScenarioParse, FaultBeyondHorizonRejected) {
+  EXPECT_THROW((void)parse("scenario t\nslots 20\nfault crash@25:pm=1\n"
+                           "invariant lost_vms == 0\n"),
+               InvalidArgument);
+}
+
+TEST(ScenarioParse, FaultPmOutOfRangeRejected) {
+  EXPECT_THROW((void)parse("scenario t\ntopology vms=8 pms=4 pattern=equal\n"
+                           "fault crash@5:pm=9\ninvariant lost_vms == 0\n"),
+               InvalidArgument);
+}
+
+TEST(ScenarioParse, FaultOnLastSlotIsLegal) {
+  const Scenario sc = parse(
+      "scenario t\nslots 20\nfault crash@19:pm=1\n"
+      "invariant lost_vms == 0\n");
+  ASSERT_EQ(sc.faults.scripted.size(), 1u);
+  EXPECT_EQ(sc.faults.scripted[0].slot, 19u);
+}
+
+// --- cross-statement validation ---------------------------------------
+
+TEST(ScenarioParse, AtLeastOneInvariantRequired) {
+  EXPECT_THROW((void)parse("scenario t\nseed 3\n"), InvalidArgument);
+}
+
+TEST(ScenarioParse, CapacityRangeValidated) {
+  EXPECT_THROW(
+      (void)parse("scenario t\ncapacity 100 80\ninvariant lost_vms == 0\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioParse, RhoOutsideUnitIntervalRejected) {
+  EXPECT_THROW(
+      (void)parse("scenario t\nrho 1.5\ninvariant lost_vms == 0\n"),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)parse("scenario t\nrho 0\ninvariant lost_vms == 0\n"),
+      InvalidArgument);
+}
+
+TEST(ScenarioParse, UnknownStrategyRejected) {
+  expect_error("scenario t\nstrategy greedy\ninvariant lost_vms == 0\n",
+               "2:10", "unknown strategy 'greedy'");
+}
+
+// --- file loading -----------------------------------------------------
+
+TEST(ScenarioParse, MissingFileThrowsWithPath) {
+  try {
+    (void)parse_scenario_file("/nonexistent/dir/nope.scn");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("nope.scn"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParse, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "bad_scn_test.scn";
+  {
+    std::ofstream out(path);
+    out << "scenario bad\nseed oops\ninvariant lost_vms == 0\n";
+  }
+  try {
+    (void)parse_scenario_file(path);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":2:6:"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace burstq::harness
