@@ -24,12 +24,18 @@
 //       scenario files and writes per-invariant JSON reports plus
 //       flight-recorder traces, list inventories scenarios or the
 //       invariant catalog, report re-renders written reports
+//   burstq_cli state   <inspect|restore|snapshot> --dir DIR
+//       tooling over a crash-durable state directory (src/durable):
+//       inspect inventories snapshots and journals (including torn
+//       tails), restore dry-runs a recovery and prints where it would
+//       resume, snapshot exports a verified snapshot blob to a file
 //
 // Subcommands that do real work accept --obs-out FILE (record a
 // structured event log; a .csv extension switches to the long CSV
 // format, .btrc to the binary columnar flight-recorder format),
-// --obs-level off|decisions|detail, and --obs-summary (print a metrics
-// digest to stderr on exit).
+// --obs-level off|decisions|detail, --obs-fsync (fsync the sink on
+// every flush), and --obs-summary (print a metrics digest to stderr on
+// exit).
 //
 // Exit codes: 0 success, 1 bad usage/input/abort, 2 some VMs could not
 // be placed (place subcommand only), 3 a harness invariant failed.
@@ -46,6 +52,9 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/consolidator.h"
+#include "durable/durable.h"
+#include "durable/snapshot.h"
+#include "durable/wal.h"
 #include "fault/plan.h"
 #include "fit/estimator.h"
 #include "fit/instance_io.h"
@@ -68,8 +77,8 @@ using namespace burstq;
 
 int usage_all() {
   std::cerr
-      << "usage: burstq_cli <place|analyze|fit|replay|sim|trace|harness> "
-         "[options]\n"
+      << "usage: burstq_cli "
+         "<place|analyze|fit|replay|sim|trace|harness|state> [options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
@@ -79,6 +88,8 @@ int usage_all() {
          "  trace    inspect a recorded flight log "
          "(header|head|tail|tocsv)\n"
          "  harness  scenario + invariants harness (run|list|report)\n"
+         "  state    inspect/fsck/export a crash-durable state dir "
+         "(inspect|restore|snapshot)\n"
          "run 'burstq_cli <subcommand> --help-usage x' for options\n";
   return 1;
 }
@@ -91,17 +102,21 @@ ArgParser& add_obs_options(ArgParser& args) {
                   "decisions");
   args.add_flag("obs-compress",
                 "LZ-compress BTRC blocks (.btrc sinks only)");
+  args.add_flag("obs-fsync",
+                "fsync the event sink on every flush (durability for the "
+                "trace itself; counted as obs.trace.fsyncs)");
   args.add_flag("obs-summary", "print a metrics digest to stderr on exit");
   return args;
 }
 
-/// Opens the global event log per --obs-out/--obs-level.
+/// Opens the global event log per --obs-out/--obs-level/--obs-fsync.
 void open_obs(const ArgParser& args) {
   if (!args.has("obs-out")) return;
   const std::string path = args.get("obs-out");
   obs::events().open(path, obs::event_format_from_path(path),
                      obs::parse_event_level(args.get("obs-level")),
                      args.flag("obs-compress"));
+  if (args.flag("obs-fsync")) obs::events().set_fsync(true);
 }
 
 /// Closes the event log and honours --obs-summary.
@@ -553,6 +568,8 @@ std::optional<fault::FaultPlan> load_fault_plan(const ArgParser& args) {
     plan.markov.p_recover = args.get_double("fault-p-recover");
   if (args.has("fault-p-mig-fail"))
     plan.markov.p_mig_fail = args.get_double("fault-p-mig-fail");
+  if (args.has("fault-p-kill"))
+    plan.markov.p_kill = args.get_double("fault-p-kill");
   plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
   plan.validate();
   if (!plan.any()) return std::nullopt;
@@ -568,7 +585,19 @@ ArgParser& add_fault_options(ArgParser& args) {
                   "per down-PM per-slot recovery probability");
   args.add_option("fault-p-mig-fail",
                   "per in-flight migration per-slot abort probability");
+  args.add_option("fault-p-kill",
+                  "per-slot process-kill probability (requires "
+                  "--durable-dir)");
   args.add_option("fault-seed", "seed for the Markov fault draws", "1");
+  return args;
+}
+
+ArgParser& add_durability_options(ArgParser& args) {
+  args.add_option("durable-dir",
+                  "crash-durable state directory (snapshots + WAL); "
+                  "required for kill faults, wiped at start of run");
+  args.add_option("durable-every", "snapshot cadence in slots", "25");
+  args.add_flag("durable-fsync", "fsync snapshot and WAL writes");
   return args;
 }
 
@@ -591,6 +620,7 @@ int cmd_sim(int argc, const char* const* argv) {
   args.add_option("slo-slow", "slow SLO window in slots", "120");
   add_thread_option(args);
   add_fault_options(args);
+  add_durability_options(args);
   add_obs_options(args);
   obs::add_telemetry_options(args);
   if (!args.parse(argc, argv) || !args.has("vms")) {
@@ -635,6 +665,22 @@ int cmd_sim(int argc, const char* const* argv) {
       static_cast<std::size_t>(args.get_int("cvr-window"));
   cfg.faults = load_fault_plan(args);
 
+  const bool has_kills = cfg.faults && cfg.faults->has_kills();
+  if (has_kills && !args.has("durable-dir"))
+    throw InvalidArgument(
+        "kill faults need a restore path: pass --durable-dir DIR");
+  if (args.has("durable-dir")) {
+    durable::DurabilityConfig dur;
+    dur.dir = args.get("durable-dir");
+    dur.snapshot_every =
+        static_cast<std::size_t>(args.get_int("durable-every"));
+    dur.fsync = args.flag("durable-fsync");
+    dur.validate();
+    // Stale state from an earlier run must never leak into a restore.
+    std::filesystem::remove_all(dur.dir);
+    cfg.durability = dur;
+  }
+
   obs::SloOptions slo_opts;
   slo_opts.rho = opt.rho;
   slo_opts.fast_window = static_cast<std::size_t>(args.get_int("slo-fast"));
@@ -648,10 +694,30 @@ int cmd_sim(int argc, const char* const* argv) {
     std::cerr << "telemetry: serving /metrics /healthz /slo on 127.0.0.1:"
               << telemetry->port() << "\n";
 
-  ClusterSimulator sim(
-      inst, placed.placement, cfg,
-      Rng(static_cast<std::uint64_t>(args.get_int("seed"))));
-  const SimReport rep = sim.run();
+  // Kill-restore loop: a fired kill point throws SimKilled; restore from
+  // the durable directory and resume until the run completes.  The final
+  // report is byte-identical to an uninterrupted run (the durability
+  // contract), so the key=value output below stays deterministic.
+  const Rng sim_rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  std::size_t restores = 0;
+  std::size_t worst_replay = 0;
+  const SimReport rep = [&] {
+    for (;;) {
+      ClusterSimulator sim(inst, placed.placement, cfg, sim_rng);
+      if (restores > 0) {
+        const ClusterSimulator::RestoreInfo info =
+            sim.restore_from_durable();
+        worst_replay = std::max(worst_replay, info.replay_slots);
+      }
+      try {
+        return sim.run();
+      } catch (const durable::SimKilled& k) {
+        ++restores;
+        std::cerr << "kill point fired at slot " << k.slot
+                  << "; restoring from " << cfg.durability->dir << "\n";
+      }
+    }
+  }();
   if (telemetry) telemetry->stop();
   const obs::SloReport slo_rep = slo.report();
 
@@ -679,10 +745,147 @@ int cmd_sim(int argc, const char* const* argv) {
             << "\n"
             << "fault.solver_degraded=" << rep.faults.solver_degraded
             << "\n"
-            << "fault.lost_vms=" << rep.faults.lost_vms << "\n"
-            << slo_rep.render();
+            << "fault.lost_vms=" << rep.faults.lost_vms << "\n";
+  if (cfg.durability)
+    std::cout << "durable.restores=" << restores << "\n"
+              << "durable.replay_slots=" << worst_replay << "\n";
+  std::cout << slo_rep.render();
   finish_obs(args);
   return rep.faults.lost_vms == 0 ? 0 : 1;
+}
+
+/// Walks a durable state dir and prints one line per snapshot/WAL pair.
+/// Integrity problems are *reported*, not thrown — inspect is the tool
+/// you reach for when something is already wrong.
+int state_inspect(const durable::SnapshotStore& store) {
+  const auto slots = store.snapshot_slots();
+  if (slots.empty()) {
+    std::cerr << "no snapshots in " << store.dir() << "\n";
+    return 1;
+  }
+  std::cout << "slot,snapshot_bytes,blob_bytes,snapshot_status,"
+               "wal_groups,wal_records,wal_valid_bytes,wal_status\n";
+  for (const std::size_t slot : slots) {
+    const std::string snap = store.snapshot_path(slot);
+    std::uintmax_t snap_bytes = 0;
+    {
+      std::error_code ec;
+      snap_bytes = std::filesystem::file_size(snap, ec);
+    }
+    std::size_t blob_bytes = 0;
+    std::string status = "ok";
+    try {
+      blob_bytes = durable::SnapshotStore::load_file(snap).blob.size();
+    } catch (const durable::CorruptState& e) {
+      status = std::string("corrupt: ") + e.what();
+    }
+    const durable::WalScan scan = durable::scan_wal(store.wal_path(slot));
+    std::size_t records = 0;
+    for (const auto& g : scan.groups) records += g.records.size();
+    const std::string wal_status = !scan.present
+                                       ? (scan.torn ? "bad-header" : "absent")
+                                       : (scan.torn ? "torn-tail" : "ok");
+    std::cout << slot << ',' << snap_bytes << ',' << blob_bytes << ','
+              << csv_escape(status) << ',' << scan.groups.size() << ','
+              << records << ',' << scan.valid_bytes << ',' << wal_status
+              << '\n';
+  }
+  return 0;
+}
+
+/// Dry-runs a recovery: verifies the newest snapshot loads and reports
+/// the slot a restore would resume at.  This is the fsck you run before
+/// trusting a state directory.
+int state_restore(const durable::SnapshotStore& store) {
+  std::optional<durable::SnapshotStore::Loaded> loaded;
+  try {
+    loaded = store.load_newest();
+  } catch (const durable::CorruptState& e) {
+    std::cerr << "restore would FAIL: " << e.what() << "\n";
+    return 1;
+  }
+  if (!loaded) {
+    std::cerr << "restore would FAIL: no snapshot in " << store.dir()
+              << "\n";
+    return 1;
+  }
+  const durable::WalScan scan = durable::scan_wal(store.wal_path(loaded->slot));
+  // Only the consecutive suffix replays (a gap means a lost group).
+  std::size_t replay = 0;
+  while (replay < scan.groups.size() &&
+         scan.groups[replay].slot == loaded->slot + replay)
+    ++replay;
+  std::cout << "snapshot=" << loaded->path << "\n"
+            << "snapshot_slot=" << loaded->slot << "\n"
+            << "blob_bytes=" << loaded->blob.size() << "\n"
+            << "replay_slots=" << replay << "\n"
+            << "resume_slot=" << loaded->slot + replay << "\n"
+            << "wal_torn=" << (scan.torn ? "true" : "false") << "\n"
+            << "verdict=OK\n";
+  return 0;
+}
+
+int cmd_state(int argc, const char* const* argv) {
+  const std::string verb = argc >= 2 ? argv[1] : "";
+  const bool known_verb =
+      verb == "inspect" || verb == "restore" || verb == "snapshot";
+  ArgParser args("burstq_cli state " + (known_verb ? verb : "<verb>"),
+                 "tooling over a crash-durable state directory: inspect "
+                 "inventories snapshots and journals, restore dry-runs a "
+                 "recovery, snapshot exports a verified blob");
+  args.add_option("dir", "durable state directory (snap-*.bqss, wal-*.bqwl)");
+  args.add_option("out", "snapshot verb: write the blob to this file");
+  args.add_option("slot",
+                  "snapshot verb: export this slot (default: newest)");
+  if (!known_verb) {
+    std::cerr << "usage: burstq_cli state <inspect|restore|snapshot> "
+                 "--dir DIR [--out FILE] [--slot N]\n";
+    return 1;
+  }
+  if (!args.parse(argc - 1, argv + 1) || !args.has("dir")) {
+    std::cerr << (args.error().empty() ? "--dir is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+  const std::string dir = args.get("dir");
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "--dir " << dir << " is not a directory\n";
+    return 1;
+  }
+  const durable::SnapshotStore store(dir, false);
+
+  if (verb == "inspect") return state_inspect(store);
+  if (verb == "restore") return state_restore(store);
+
+  // snapshot: export one verified blob.
+  if (!args.has("out")) {
+    std::cerr << "state snapshot needs --out FILE\n";
+    return 1;
+  }
+  durable::SnapshotStore::Loaded loaded;
+  if (args.has("slot")) {
+    const auto slot = static_cast<std::size_t>(args.get_int("slot"));
+    loaded = durable::SnapshotStore::load_file(store.snapshot_path(slot));
+  } else {
+    auto newest = store.load_newest();
+    if (!newest) {
+      std::cerr << "no snapshot in " << dir << "\n";
+      return 1;
+    }
+    loaded = std::move(*newest);
+  }
+  std::ofstream out(args.get("out"), std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "cannot open --out " << args.get("out") << "\n";
+    return 1;
+  }
+  out.write(loaded.blob.data(),
+            static_cast<std::streamsize>(loaded.blob.size()));
+  out.close();
+  std::cerr << "exported slot " << loaded.slot << " (" << loaded.blob.size()
+            << " bytes) from " << loaded.path << "\n";
+  return 0;
 }
 
 /// One line per scenario plus one per invariant, key=value formatted and
@@ -853,6 +1056,7 @@ int main(int argc, char** argv) {
     if (sub == "sim") return cmd_sim(argc - 1, argv + 1);
     if (sub == "trace") return cmd_trace(argc - 1, argv + 1);
     if (sub == "harness") return cmd_harness(argc - 1, argv + 1);
+    if (sub == "state") return cmd_state(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {
     // Finalize any open event sink so an aborted command never leaves a
     // truncated trace behind (the BTRC writer buffers partial blocks).

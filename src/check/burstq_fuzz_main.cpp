@@ -24,11 +24,12 @@ using burstq::check::FuzzOptions;
 using burstq::check::FuzzSummary;
 
 /// Parses "all" or a comma-separated subset of
-/// stationary,cvr,placement,cache,recovery into the option booleans.
+/// stationary,cvr,placement,cache,recovery,durability into the option
+/// booleans.
 bool apply_oracle_selection(const std::string& text, FuzzOptions& options) {
   if (text == "all") return true;
   options.stationary = options.cvr = options.placement = options.cache =
-      options.recovery = false;
+      options.recovery = options.durability = false;
   std::istringstream iss(text);
   std::string name;
   while (std::getline(iss, name, ',')) {
@@ -42,13 +43,15 @@ bool apply_oracle_selection(const std::string& text, FuzzOptions& options) {
       options.cache = true;
     } else if (name == "recovery") {
       options.recovery = true;
+    } else if (name == "durability") {
+      options.durability = true;
     } else {
       std::fprintf(stderr, "unknown oracle '%s'\n", name.c_str());
       return false;
     }
   }
   return options.stationary || options.cvr || options.placement ||
-         options.cache || options.recovery;
+         options.cache || options.recovery || options.durability;
 }
 
 void print_summary(const FuzzSummary& summary) {
@@ -60,9 +63,11 @@ void print_summary(const FuzzSummary& summary) {
                  static_cast<unsigned long long>(d.case_seed),
                  d.detail.c_str());
   std::printf(
-      "burstq_fuzz: %zu instance(s), %zu oracle run(s), %zu skip(s), "
+      "burstq_fuzz: %zu instance(s)%s, %zu oracle run(s), %zu skip(s), "
       "%zu discrepanc%s\n",
-      summary.instances, summary.oracle_runs, summary.oracle_skips,
+      summary.instances,
+      summary.stopped_early ? " (stopped early: wall-clock budget)" : "",
+      summary.oracle_runs, summary.oracle_skips,
       summary.discrepancies.size(),
       summary.discrepancies.size() == 1 ? "y" : "ies");
 }
@@ -76,10 +81,14 @@ int main(int argc, char** argv) {
                  "differential fuzz oracle over the burstq solver stack");
   args.add_option("seed", "master seed; case i derives its own seed", "1");
   args.add_option("instances", "number of fuzz cases to run", "1000");
-  args.add_option(
-      "oracles",
-      "'all' or comma list of stationary,cvr,placement,cache,recovery",
-      "all");
+  args.add_option("oracles",
+                  "'all' or comma list of stationary,cvr,placement,cache,"
+                  "recovery,durability",
+                  "all");
+  args.add_option("max-seconds",
+                  "wall-clock budget; the sweep stops cleanly at the next "
+                  "case boundary and prints a partial summary (0 = off)",
+                  "0");
   args.add_option("replay",
                   "run the single case with this seed (decimal or 0x hex) "
                   "instead of a sweep");
@@ -99,6 +108,11 @@ int main(int argc, char** argv) {
     options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
     options.instances =
         static_cast<std::size_t>(args.get_int("instances"));
+    options.max_seconds = args.get_double("max-seconds");
+    if (options.max_seconds < 0.0) {
+      std::fprintf(stderr, "--max-seconds must be >= 0\n");
+      return 2;
+    }
     if (!apply_oracle_selection(args.get("oracles"), options)) return 2;
 
     if (args.has("obs-out")) {

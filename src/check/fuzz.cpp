@@ -1,6 +1,7 @@
 #include "check/fuzz.h"
 
 #include <array>
+#include <chrono>
 
 #include "obs/obs.h"
 
@@ -8,9 +9,9 @@ namespace burstq::check {
 
 namespace {
 
-constexpr std::array<OracleId, 5> kAllOracles = {
-    OracleId::kStationary, OracleId::kCvr, OracleId::kPlacement,
-    OracleId::kCache, OracleId::kRecovery};
+constexpr std::array<OracleId, 6> kAllOracles = {
+    OracleId::kStationary, OracleId::kCvr,      OracleId::kPlacement,
+    OracleId::kCache,      OracleId::kRecovery, OracleId::kDurability};
 
 bool oracle_selected(const FuzzOptions& options, OracleId id) {
   switch (id) {
@@ -19,6 +20,7 @@ bool oracle_selected(const FuzzOptions& options, OracleId id) {
     case OracleId::kPlacement: return options.placement;
     case OracleId::kCache: return options.cache;
     case OracleId::kRecovery: return options.recovery;
+    case OracleId::kDurability: return options.durability;
   }
   return false;
 }
@@ -53,6 +55,7 @@ void emit_summary([[maybe_unused]] const FuzzSummary& summary,
                {"seed", master_seed}, {"instances", summary.instances},
                {"oracle_runs", summary.oracle_runs},
                {"oracle_skips", summary.oracle_skips},
+               {"stopped_early", summary.stopped_early},
                {"discrepancies", summary.discrepancies.size()});
 }
 
@@ -60,11 +63,23 @@ void emit_summary([[maybe_unused]] const FuzzSummary& summary,
 
 FuzzSummary run_fuzz(const FuzzOptions& options) {
   BURSTQ_SPAN("check.fuzz.run");
+  const auto start = std::chrono::steady_clock::now();
   FuzzSummary summary;
-  summary.instances = options.instances;
   for (std::size_t i = 0; i < options.instances; ++i) {
+    // The wall-clock budget is checked only at case boundaries, so every
+    // started case still gets its full verdict.
+    if (options.max_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.max_seconds) {
+        summary.stopped_early = true;
+        BURSTQ_COUNT("check.fuzz.budget_stops", 1);
+        break;
+      }
+    }
     const std::uint64_t case_seed = derive_case_seed(options.seed, i);
     const FuzzCase c = generate_case(case_seed, i);
+    ++summary.instances;
     BURSTQ_COUNT("check.fuzz.instances", 1);
     run_case(c, options, summary);
   }

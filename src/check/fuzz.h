@@ -31,6 +31,13 @@ struct FuzzOptions {
   bool placement{true};       ///< oracle (c): naive vs incremental engines
   bool cache{true};           ///< oracle (d): table cache identity
   bool recovery{true};        ///< oracle (e): fault-injection invariants
+  bool durability{true};      ///< oracle (f): kill-restart persistence
+  /// Wall-clock budget in seconds; 0 = unlimited.  The sweep stops
+  /// cleanly at the first case *boundary* past the budget and reports a
+  /// partial summary (stopped_early set, instances = cases actually
+  /// run).  Verdicts of completed cases are unaffected — only how many
+  /// cases run is time-dependent.
+  double max_seconds{0.0};
 };
 
 /// One confirmed oracle failure, replayable via its case seed.
@@ -42,9 +49,10 @@ struct FuzzDiscrepancy {
 };
 
 struct FuzzSummary {
-  std::size_t instances{0};
+  std::size_t instances{0};     ///< cases actually run (may stop early)
   std::size_t oracle_runs{0};   ///< oracle executions that produced a verdict
   std::size_t oracle_skips{0};  ///< gated-out executions (e.g. slow mixing)
+  bool stopped_early{false};    ///< the max_seconds budget expired
   std::vector<FuzzDiscrepancy> discrepancies;
 
   [[nodiscard]] bool ok() const { return discrepancies.empty(); }

@@ -4,12 +4,18 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <numeric>
 #include <sstream>
 #include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "durable/durable.h"
+#include "durable/snapshot.h"
+#include "durable/state_codec.h"
 #include "fault/plan.h"
 #include "markov/aggregate_chain.h"
 #include "placement/baselines.h"
@@ -41,6 +47,7 @@ constexpr double kMaxRelaxationSlots = 20.0;
 constexpr std::uint64_t kCvrStream = 0x5bd1e995u;
 constexpr std::uint64_t kPlacementStream = 0xc2b2ae3du;
 constexpr std::uint64_t kRecoveryStream = 0x27d4eb2fu;
+constexpr std::uint64_t kDurabilityStream = 0x165667b1u;
 
 double max_abs_diff(const std::vector<double>& a,
                     const std::vector<double>& b) {
@@ -92,6 +99,7 @@ std::string_view oracle_name(OracleId id) {
     case OracleId::kPlacement: return "placement";
     case OracleId::kCache: return "cache";
     case OracleId::kRecovery: return "recovery";
+    case OracleId::kDurability: return "durability";
   }
   return "unknown";
 }
@@ -383,6 +391,232 @@ OracleReport check_recovery_invariants(const FuzzCase& c) {
   return OracleReport::pass();
 }
 
+namespace {
+
+/// Serializes every SimReport field (scalars, timelines, the migration
+/// log, per-PM CVR vectors, fault counters) into a byte string so two
+/// reports can be compared bit-exactly with one operator==.
+std::string encode_report(const SimReport& r) {
+  durable::StateWriter w;
+  w.varint(r.total_migrations);
+  w.varint(r.failed_migrations);
+  w.varint(r.pms_used_end);
+  w.varint(r.pms_used_max);
+  w.size_vec(r.pms_used_timeline);
+  w.size_vec(r.migrations_per_slot);
+  w.varint(r.events.size());
+  for (const MigrationEvent& e : r.events) {
+    w.varint(static_cast<std::size_t>(e.slot));
+    w.varint(e.vm.value);
+    w.varint(e.from.value + 1);  // invalid (failed migration) wraps to 0
+    w.varint(e.to.value + 1);
+  }
+  w.f64_vec(r.pm_cvr);
+  w.f64_vec(r.pm_windowed_cvr_end);
+  w.f64(r.mean_cvr);
+  w.f64(r.max_cvr);
+  w.f64(r.energy_wh);
+  w.varint(r.faults.pm_crashes);
+  w.varint(r.faults.pm_recoveries);
+  w.varint(r.faults.evacuated);
+  w.varint(r.faults.enqueued);
+  w.varint(r.faults.queue_end);
+  w.varint(r.faults.retries);
+  w.varint(r.faults.migration_aborts);
+  w.varint(r.faults.migration_stalls);
+  w.varint(r.faults.solver_degraded);
+  w.varint(r.faults.lost_vms);
+  return w.take();
+}
+
+/// Removes the oracle's per-case state directories on every exit path.
+struct ScopedDirs {
+  std::vector<std::string> dirs;
+  std::string add(std::string d) {
+    std::filesystem::remove_all(d);
+    dirs.push_back(d);
+    return dirs.back();
+  }
+  ~ScopedDirs() {
+    for (const std::string& d : dirs) {
+      std::error_code ec;
+      std::filesystem::remove_all(d, ec);
+    }
+  }
+};
+
+}  // namespace
+
+OracleReport check_durability_contract(const FuzzCase& c) {
+  const std::size_t n_pms = std::max<std::size_t>(c.n_pms, 2);
+  Rng rng(c.seed ^ kDurabilityStream);
+  const ProblemInstance inst =
+      random_instance(c.n_vms, n_pms, c.params, InstanceRanges{}, rng);
+  const PlacementResult seeded = ffd_by_peak(inst);
+  if (!seeded.complete())
+    return OracleReport::skip("starved fleet: no complete initial placement");
+  const std::uint64_t sim_seed = rng.next_u64();
+
+  const std::size_t slots = std::max<std::size_t>(c.fault_slots, 8);
+  const std::size_t kill_slot = 1 + c.fault_seed % (slots - 1);
+  const std::size_t cadence = 1 + (c.fault_seed >> 8) % 12;
+  const std::size_t victim_pm = c.fault_seed % n_pms;
+
+  std::ostringstream oss;
+  oss << describe(c) << " n_vms=" << c.n_vms << " n_pms=" << n_pms
+      << " slots=" << slots << " kill@" << kill_slot << " cadence="
+      << cadence << " crash@" << c.fault_crash_slot << " recover@"
+      << c.fault_recover_slot;
+  const std::string scenario = oss.str();
+
+  // PM churn plus a Markov migration-abort stream keeps the state the
+  // snapshot must capture non-trivial; no solver outage here because the
+  // ladder path depends on the process-wide table cache, which a restore
+  // legitimately re-warms.
+  const auto make_plan = [&](bool with_kill) {
+    fault::FaultPlan plan;
+    plan.seed = c.fault_seed;
+    plan.markov.p_mig_fail = c.fault_p_mig_fail;
+    plan.scripted.push_back(
+        {c.fault_crash_slot, fault::FaultKind::kPmCrash, victim_pm, 0});
+    plan.scripted.push_back(
+        {c.fault_recover_slot, fault::FaultKind::kPmRecover, victim_pm, 0});
+    if (with_kill)
+      plan.scripted.push_back(
+          {kill_slot, fault::FaultKind::kKill, fault::kNoPm, 0});
+    std::sort(plan.scripted.begin(), plan.scripted.end(),
+              [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                return a.slot < b.slot;
+              });
+    plan.validate(n_pms);
+    return plan;
+  };
+
+  ScopedDirs tmp;
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("burstq_fuzz_durability_" + std::to_string(c.seed)))
+          .string();
+
+  const auto make_cfg = [&](bool with_kill, const std::string& dir) {
+    SimConfig cfg;
+    cfg.slots = slots;
+    cfg.policy.rho = c.rho;
+    cfg.faults = make_plan(with_kill);
+    durable::DurabilityConfig dur;
+    dur.dir = dir;
+    dur.snapshot_every = cadence;
+    cfg.durability = dur;
+    return cfg;
+  };
+
+  // `mutate` runs between the kill and the restore (torn-tail /
+  // corruption injection); returns the report of the completed run.
+  const auto run_with_restores =
+      [&](const SimConfig& cfg,
+          const std::function<void(const std::string&)>& mutate,
+          std::size_t& restores) {
+        mapcal_table_cache_clear();
+        for (;;) {
+          ClusterSimulator sim(inst, seeded.placement, cfg, Rng(sim_seed));
+          if (restores > 0) (void)sim.restore_from_durable();
+          try {
+            SimReport rep = sim.run();
+            return std::pair<SimReport, Placement>(std::move(rep),
+                                                   sim.placement());
+          } catch (const durable::SimKilled&) {
+            if (restores == 0 && mutate) mutate(cfg.durability->dir);
+            ++restores;
+          }
+        }
+      };
+
+  // Baseline: durability on, no kill.
+  const SimConfig base_cfg = make_cfg(false, tmp.add(root + ".base"));
+  mapcal_table_cache_clear();
+  ClusterSimulator base(inst, seeded.placement, base_cfg, Rng(sim_seed));
+  const std::string want = encode_report(base.run());
+  const Placement want_pl = base.placement();
+
+  // Kill-restart: the restored run must match the baseline byte for byte.
+  const SimConfig kill_cfg = make_cfg(true, tmp.add(root + ".kill"));
+  std::size_t restores = 0;
+  const auto [rep, pl] = run_with_restores(kill_cfg, nullptr, restores);
+  if (restores == 0)
+    return OracleReport::fail(scenario + " scripted kill never fired");
+  if (encode_report(rep) != want)
+    return OracleReport::fail(
+        scenario + " kill-restart report differs from uninterrupted run");
+  for (std::size_t v = 0; v < inst.n_vms(); ++v)
+    if (pl.pm_of(VmId{v}) != want_pl.pm_of(VmId{v}))
+      return OracleReport::fail(scenario + " kill-restart placed vm " +
+                                std::to_string(v) + " differently");
+
+  // Torn tail: chop the journal mid-frame before restoring.  The torn
+  // group is discarded, the slot re-executes, and the run still
+  // converges to the baseline.
+  const std::string torn_dir = tmp.add(root + ".torn");
+  const SimConfig torn_cfg = make_cfg(true, torn_dir);
+  const auto tear = [&](const std::string& dir) {
+    const durable::SnapshotStore store(dir, false);
+    const auto snap_slots = store.snapshot_slots();
+    if (snap_slots.empty()) return;
+    const std::string wal = store.wal_path(snap_slots.back());
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(wal, ec);
+    // Leave the 12-byte header intact: the scanner treats a torn *group*
+    // as recoverable tail damage, but this oracle should not manufacture
+    // a torn header.
+    if (!ec && size > 16) std::filesystem::resize_file(wal, size - 3, ec);
+  };
+  std::size_t torn_restores = 0;
+  const auto [torn_rep, torn_pl] =
+      run_with_restores(torn_cfg, tear, torn_restores);
+  if (encode_report(torn_rep) != want)
+    return OracleReport::fail(
+        scenario + " torn-WAL recovery diverged from the baseline run");
+
+  // Bit-flipped snapshot: the restore must refuse loudly, never resume
+  // from garbage.
+  const std::string flip_dir = tmp.add(root + ".flip");
+  const SimConfig flip_cfg = make_cfg(true, flip_dir);
+  mapcal_table_cache_clear();
+  try {
+    ClusterSimulator sim(inst, seeded.placement, flip_cfg, Rng(sim_seed));
+    sim.run();
+    return OracleReport::fail(scenario + " scripted kill never fired");
+  } catch (const durable::SimKilled&) {
+  }
+  {
+    const durable::SnapshotStore store(flip_dir, false);
+    const auto snap_slots = store.snapshot_slots();
+    if (!snap_slots.empty()) {
+      const std::string snap = store.snapshot_path(snap_slots.back());
+      std::fstream f(snap,
+                     std::ios::in | std::ios::out | std::ios::binary);
+      f.seekg(0, std::ios::end);
+      const auto end = static_cast<std::size_t>(f.tellg());
+      const std::size_t at = 24 + (end - 24) / 2;  // mid-blob, past header
+      f.seekg(static_cast<std::streamoff>(at));
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x10);
+      f.seekp(static_cast<std::streamoff>(at));
+      f.write(&byte, 1);
+      f.flush();
+
+      ClusterSimulator sim(inst, seeded.placement, flip_cfg, Rng(sim_seed));
+      try {
+        (void)sim.restore_from_durable();
+        return OracleReport::fail(
+            scenario + " bit-flipped snapshot restored without an error");
+      } catch (const durable::CorruptState&) {
+      }
+    }
+  }
+  return OracleReport::pass();
+}
+
 OracleReport run_oracle(OracleId id, const FuzzCase& c) {
   switch (id) {
     case OracleId::kStationary: return check_stationary_backends(c);
@@ -390,6 +624,7 @@ OracleReport run_oracle(OracleId id, const FuzzCase& c) {
     case OracleId::kPlacement: return check_placement_engines(c);
     case OracleId::kCache: return check_mapcal_cache(c);
     case OracleId::kRecovery: return check_recovery_invariants(c);
+    case OracleId::kDurability: return check_durability_contract(c);
   }
   BURSTQ_ASSERT(false, "unknown OracleId");
   return OracleReport::fail("unknown oracle");

@@ -20,6 +20,14 @@
 //                 run bit-identical when repeated from the same seed.
 //                 Mutates (clears) the process-wide table cache so cache
 //                 warmth from run 1 cannot change run 2's ladder path.
+//   kDurability — the crash-durable persistence contract (src/durable):
+//                 a run killed mid-flight and restored from snapshot+WAL
+//                 produces the byte-identical report and final placement
+//                 of the uninterrupted run; a torn WAL tail recovers the
+//                 valid prefix and still converges; a bit-flipped
+//                 snapshot fails loudly instead of restoring garbage.
+//                 Writes per-case state under the system temp directory
+//                 (removed on exit) and clears the table cache.
 
 #pragma once
 
@@ -30,9 +38,17 @@
 
 namespace burstq::check {
 
-enum class OracleId { kStationary, kCvr, kPlacement, kCache, kRecovery };
+enum class OracleId {
+  kStationary,
+  kCvr,
+  kPlacement,
+  kCache,
+  kRecovery,
+  kDurability,
+};
 
-/// "stationary" | "cvr" | "placement" | "cache" | "recovery".
+/// "stationary" | "cvr" | "placement" | "cache" | "recovery" |
+/// "durability".
 std::string_view oracle_name(OracleId id);
 
 /// Outcome of one oracle on one case.
@@ -55,6 +71,7 @@ OracleReport check_cvr_bound_vs_simulation(const FuzzCase& c);
 OracleReport check_placement_engines(const FuzzCase& c);
 OracleReport check_mapcal_cache(const FuzzCase& c);
 OracleReport check_recovery_invariants(const FuzzCase& c);
+OracleReport check_durability_contract(const FuzzCase& c);
 
 /// Dispatch by id.
 OracleReport run_oracle(OracleId id, const FuzzCase& c);

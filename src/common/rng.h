@@ -61,6 +61,16 @@ class Rng {
   /// repeated splits yield distinct streams.
   Rng split();
 
+  /// Raw state words, for durable snapshots: restoring via set_state()
+  /// resumes the exact stream, so a snapshot-and-replay run draws the
+  /// same variates as the uninterrupted one.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    BURSTQ_REQUIRE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+                   "xoshiro state must not be all-zero");
+    state_ = s;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "durable/state_codec.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
 #include "placement/budget.h"
@@ -371,6 +372,7 @@ void CloudController::run_maintenance() {
   try {
     table_ = MapCalTable(config_.ffd.max_vms_per_pm, rounded,
                          config_.ffd.rho, config_.ffd.method);
+    table_params_ = rounded;
   } catch (const SolverUnavailable&) {
     // Solver outage mid-maintenance: keep consolidating with the previous
     // (stale but sound) table rather than aborting the window.
@@ -498,6 +500,246 @@ bool CloudController::reservation_invariant_holds() const {
     }
   }
   return true;
+}
+
+namespace {
+
+/// Digest of the construction arguments the blob does NOT carry: a
+/// restore into a differently-configured controller must fail loudly,
+/// not deserialize garbage.
+std::uint32_t controller_config_crc(const std::vector<PmSpec>& pms,
+                                    const ControllerConfig& config) {
+  durable::StateWriter cfg;
+  cfg.varint(pms.size());
+  for (const PmSpec& p : pms) cfg.f64(p.capacity);
+  cfg.varint(config.ffd.max_vms_per_pm);
+  cfg.f64(config.ffd.rho);
+  cfg.varint(config.ffd.sharded.shards);
+  cfg.varint(config.policy.cvr_window);
+  cfg.varint(config.maintenance_every);
+  cfg.boolean(config.slo != nullptr);
+  return obs::trace_detail::crc32(cfg.data());
+}
+
+}  // namespace
+
+std::string CloudController::export_state() const {
+  durable::StateWriter w;
+  w.u64(1);  // blob version
+  w.u32(controller_config_crc(pms_, config_));
+
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  w.f64(table_params_.p_on);
+  w.f64(table_params_.p_off);
+
+  w.varint(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    w.boolean(t.live);
+    if (!t.live) continue;  // the slot is on the free list
+    w.f64(t.spec.onoff.p_on);
+    w.f64(t.spec.onoff.p_off);
+    w.f64(t.spec.rb);
+    w.f64(t.spec.re);
+    w.u8(static_cast<std::uint8_t>(t.chain.state()));
+    w.varint(t.pm.valid() ? t.pm.value + 1 : 0);
+  }
+  w.size_vec(free_slots_);
+  w.varint(on_pm_.size());
+  for (const auto& list : on_pm_) w.size_vec(list);
+  w.varint(up_.size());
+  for (const std::uint8_t b : up_) w.u8(b);
+  w.varint(route_seq_);
+
+  w.varint(queue_.size());
+  for (const QueuedTenant& q : queue_) {
+    w.varint(q.slot);
+    w.varint(q.retries);
+    w.varint(q.next_attempt);
+  }
+
+  const CvrTrackerState ts = tracker_.export_state();
+  w.varint(ts.pms.size());
+  for (const auto& pm : ts.pms) {
+    w.varint(pm.observed);
+    w.varint(pm.violated);
+    w.varint(pm.window.size());
+    for (const std::uint8_t b : pm.window) w.u8(b);
+  }
+  w.f64(meter_.joules());
+
+  w.varint(stats_.slots);
+  w.varint(stats_.vms_hosted);
+  w.varint(stats_.pms_used);
+  w.varint(stats_.admissions);
+  w.varint(stats_.rejections);
+  w.varint(stats_.departures);
+  w.varint(stats_.resizes);
+  w.varint(stats_.resize_migrations);
+  w.varint(stats_.resize_rejections);
+  w.varint(stats_.runtime_migrations);
+  w.varint(stats_.maintenance_migrations);
+  w.varint(stats_.failed_migrations);
+  w.varint(stats_.maintenance_windows);
+  w.varint(stats_.pm_crashes);
+  w.varint(stats_.pm_recoveries);
+  w.varint(stats_.evacuations);
+  w.varint(stats_.evac_queued);
+  w.varint(stats_.retries);
+  w.varint(stats_.degraded_maintenance);
+  w.f64(stats_.mean_cvr);
+  w.f64(stats_.max_cvr);
+  w.f64(stats_.energy_wh);
+
+  w.boolean(config_.slo != nullptr);
+  if (config_.slo != nullptr) {
+    const obs::SloTrackerState ss = config_.slo->export_state();
+    w.varint(ss.pms.size());
+    for (const auto& pm : ss.pms) {
+      w.varint(pm.observed);
+      w.varint(pm.violated);
+      w.varint(pm.ring.size());
+      for (const std::uint8_t b : pm.ring) w.u8(b);
+      w.varint(pm.ring_observed);
+      w.varint(pm.ring_violated);
+    }
+    w.varint(ss.cur.size());
+    for (const std::uint8_t b : ss.cur) w.u8(b);
+    w.varint(ss.cluster_ring.size());
+    for (const auto& [o, v] : ss.cluster_ring) {
+      w.u32(o);
+      w.u32(v);
+    }
+    w.varint(ss.slots);
+    w.varint(ss.fast_obs);
+    w.varint(ss.fast_viol);
+    w.varint(ss.slow_obs);
+    w.varint(ss.slow_viol);
+    w.varint(ss.cum_obs);
+    w.varint(ss.cum_viol);
+    w.varint(ss.breaches);
+    w.boolean(ss.breaching);
+  }
+
+  return w.take();
+}
+
+void CloudController::import_state(std::string_view blob) {
+  durable::StateReader r(blob, "controller state");
+  if (r.u64() != 1) r.fail("unsupported controller state version");
+  if (r.u32() != controller_config_crc(pms_, config_))
+    r.fail("construction arguments do not match the stored state");
+
+  std::array<std::uint64_t, 4> rs{};
+  for (std::uint64_t& s : rs) s = r.u64();
+  rng_.set_state(rs);
+  table_params_.p_on = r.f64();
+  table_params_.p_off = r.f64();
+  table_ = MapCalTable(config_.ffd.max_vms_per_pm, table_params_,
+                       config_.ffd.rho, config_.ffd.method);
+
+  const std::size_t n_tenants = r.varint();
+  tenants_.assign(n_tenants, Tenant{});
+  for (Tenant& t : tenants_) {
+    t.live = r.boolean();
+    if (!t.live) continue;
+    t.spec.onoff.p_on = r.f64();
+    t.spec.onoff.p_off = r.f64();
+    t.spec.rb = r.f64();
+    t.spec.re = r.f64();
+    t.chain = OnOffChain(t.spec.onoff,
+                         static_cast<VmState>(r.u8()));
+    const std::size_t pm = r.varint();
+    t.pm = pm == 0 ? PmId{} : PmId{pm - 1};
+  }
+  free_slots_ = r.size_vec();
+  if (r.varint() != pms_.size()) r.fail("PM list count mismatch");
+  for (auto& list : on_pm_) list = r.size_vec();
+  if (r.varint() != pms_.size()) r.fail("PM liveness count mismatch");
+  for (std::uint8_t& b : up_) b = r.u8();
+  route_seq_ = r.varint();
+
+  queue_.assign(r.varint(), QueuedTenant{});
+  for (QueuedTenant& q : queue_) {
+    q.slot = r.varint();
+    q.retries = r.varint();
+    q.next_attempt = r.varint();
+  }
+
+  CvrTrackerState ts;
+  ts.pms.resize(r.varint());
+  if (ts.pms.size() != tracker_.n_pms())
+    r.fail("CVR tracker PM count mismatch");
+  for (auto& pm : ts.pms) {
+    pm.observed = r.varint();
+    pm.violated = r.varint();
+    pm.window.resize(r.varint());
+    for (std::uint8_t& b : pm.window) b = r.u8();
+  }
+  tracker_.import_state(ts);
+  meter_.restore_joules(r.f64());
+
+  stats_.slots = r.varint();
+  stats_.vms_hosted = r.varint();
+  stats_.pms_used = r.varint();
+  stats_.admissions = r.varint();
+  stats_.rejections = r.varint();
+  stats_.departures = r.varint();
+  stats_.resizes = r.varint();
+  stats_.resize_migrations = r.varint();
+  stats_.resize_rejections = r.varint();
+  stats_.runtime_migrations = r.varint();
+  stats_.maintenance_migrations = r.varint();
+  stats_.failed_migrations = r.varint();
+  stats_.maintenance_windows = r.varint();
+  stats_.pm_crashes = r.varint();
+  stats_.pm_recoveries = r.varint();
+  stats_.evacuations = r.varint();
+  stats_.evac_queued = r.varint();
+  stats_.retries = r.varint();
+  stats_.degraded_maintenance = r.varint();
+  stats_.mean_cvr = r.f64();
+  stats_.max_cvr = r.f64();
+  stats_.energy_wh = r.f64();
+
+  const bool has_slo = r.boolean();
+  if (has_slo != (config_.slo != nullptr))
+    r.fail("SLO tracker presence mismatch");
+  if (has_slo) {
+    obs::SloTrackerState ss;
+    ss.pms.resize(r.varint());
+    for (auto& pm : ss.pms) {
+      pm.observed = r.varint();
+      pm.violated = r.varint();
+      pm.ring.resize(r.varint());
+      for (std::uint8_t& b : pm.ring) b = r.u8();
+      pm.ring_observed = r.varint();
+      pm.ring_violated = r.varint();
+    }
+    ss.cur.resize(r.varint());
+    for (std::uint8_t& b : ss.cur) b = r.u8();
+    ss.cluster_ring.resize(r.varint());
+    for (auto& [o, v] : ss.cluster_ring) {
+      o = r.u32();
+      v = r.u32();
+    }
+    ss.slots = r.varint();
+    ss.fast_obs = r.varint();
+    ss.fast_viol = r.varint();
+    ss.slow_obs = r.varint();
+    ss.slow_viol = r.varint();
+    ss.cum_obs = r.varint();
+    ss.cum_viol = r.varint();
+    ss.breaches = r.varint();
+    ss.breaching = r.boolean();
+    config_.slo->import_state(ss);
+  }
+  r.expect_done();
+
+  // Derived structures are rebuilt, never deserialized: the shard index
+  // and per-PM admissibility keys follow from the restored hosted sets
+  // and liveness exactly as in the constructor.
+  index_.reset(pms_.size(), config_.ffd.sharded.shards);
+  refresh_all_keys();
 }
 
 }  // namespace burstq

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -127,6 +129,12 @@ class CloudController {
   void inject_pm_recover(PmId pm);
 
   [[nodiscard]] bool pm_up(PmId pm) const { return up_[pm.value] != 0; }
+  [[nodiscard]] std::size_t n_pms() const { return pms_.size(); }
+  /// True when `id` names a live (admitted, not departed) tenant — the
+  /// validity precondition of depart/resize/pm_of/spec_of.
+  [[nodiscard]] bool tenant_live(TenantId id) const {
+    return id.valid() && id.slot < tenants_.size() && tenants_[id.slot].live;
+  }
   /// Tenants awaiting re-placement after a crash.
   [[nodiscard]] std::size_t queued_tenants() const { return queue_.size(); }
 
@@ -141,6 +149,17 @@ class CloudController {
   /// that no down PM hosts tenants and every live tenant is either placed
   /// on an up PM or queued.
   [[nodiscard]] bool reservation_invariant_holds() const;
+
+  /// Serializes the complete controller state (RNG, tenants and chains,
+  /// PM liveness, queue, trackers, stats) as a durable snapshot blob.
+  /// The mapping table itself is not serialized — the ON-OFF parameters
+  /// it was calibrated with are, and import rebuilds it.
+  [[nodiscard]] std::string export_state() const;
+
+  /// Restores export_state() bytes into a controller constructed with
+  /// the SAME fleet and config.  Throws durable::CorruptState on a
+  /// truncated/garbled blob or a construction-argument mismatch.
+  void import_state(std::string_view blob);
 
  private:
   struct Tenant {
@@ -185,6 +204,9 @@ class CloudController {
   ControllerConfig config_;
   Rng rng_;
   MapCalTable table_;
+  /// The uniform params table_ was last calibrated with (maintenance
+  /// recalibrates); serialized so import_state can rebuild the table.
+  OnOffParams table_params_{};
   std::vector<Tenant> tenants_;
   std::vector<std::size_t> free_slots_;
   std::vector<std::vector<std::size_t>> on_pm_;  ///< tenant slots per PM

@@ -1,0 +1,207 @@
+#include "durable/controller_store.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "durable/state_codec.h"
+#include "obs/obs.h"
+
+namespace burstq::durable {
+
+namespace {
+
+std::string encode_spec(const VmSpec& vm) {
+  StateWriter w;
+  w.f64(vm.onoff.p_on);
+  w.f64(vm.onoff.p_off);
+  w.f64(vm.rb);
+  w.f64(vm.re);
+  return w.take();
+}
+
+VmSpec decode_spec(StateReader& r) {
+  VmSpec vm;
+  vm.onoff.p_on = r.f64();
+  vm.onoff.p_off = r.f64();
+  vm.rb = r.f64();
+  vm.re = r.f64();
+  return vm;
+}
+
+std::string encode_tenant(TenantId id) {
+  StateWriter w;
+  w.varint(id.slot);
+  return w.take();
+}
+
+std::string encode_resize(TenantId id, const VmSpec& vm) {
+  StateWriter w;
+  w.varint(id.slot);
+  w.f64(vm.onoff.p_on);
+  w.f64(vm.onoff.p_off);
+  w.f64(vm.rb);
+  w.f64(vm.re);
+  return w.take();
+}
+
+std::string encode_pm(PmId pm) {
+  StateWriter w;
+  w.varint(pm.value);
+  return w.take();
+}
+
+}  // namespace
+
+DurableController::DurableController(std::vector<PmSpec> pms,
+                                     ControllerConfig config, Rng rng,
+                                     DurabilityConfig durability)
+    : ctrl_(std::move(pms), config, rng),
+      durability_(std::move(durability)),
+      store_((durability_.validate(), durability_.dir), durability_.fsync) {}
+
+bool DurableController::has_state() const {
+  return !store_.snapshot_slots().empty();
+}
+
+void DurableController::maybe_checkpoint() {
+  // During replay the snapshot and journal epochs already exist; writing
+  // them again would truncate the very WAL being verified.
+  if (op_seq_ < replay_upto_) return;
+  if (op_seq_ % durability_.snapshot_every != 0 && wal_ != nullptr) return;
+  store_.write_snapshot(op_seq_, ctrl_.export_state());
+  wal_ = std::make_unique<WalWriter>(store_.wal_path(op_seq_), op_seq_,
+                                     durability_.fsync);
+  wal_base_op_ = op_seq_;
+  store_.prune(2);
+  BURSTQ_COUNT("durable.ctrl.snapshots", 1);
+}
+
+void DurableController::commit_op(WalRecord type, std::string payload) {
+  maybe_checkpoint();
+  wal_->append(type, std::move(payload));
+  const std::string bytes = wal_->commit(op_seq_, 0);
+  if (op_seq_ < replay_upto_) {
+    const std::size_t idx = op_seq_ - wal_base_op_;
+    BURSTQ_ASSERT(idx < verify_groups_.size(),
+                  "replay op outside the verified WAL range");
+    if (bytes != verify_groups_[idx].bytes)
+      throw CorruptState("WAL divergence at op " + std::to_string(op_seq_) +
+                         ": re-applied op does not match the journal (" +
+                         wal_->path() + ")");
+  }
+  ++op_seq_;
+  BURSTQ_COUNT("durable.ctrl.ops", 1);
+}
+
+std::optional<TenantId> DurableController::admit(const VmSpec& vm) {
+  vm.validate();  // before journaling: a bad spec must not enter the log
+  commit_op(WalRecord::kOpAdmit, encode_spec(vm));
+  return ctrl_.admit(vm);
+}
+
+void DurableController::depart(TenantId id) {
+  BURSTQ_REQUIRE(ctrl_.tenant_live(id),
+                 "depart on an invalid or dead tenant");
+  commit_op(WalRecord::kOpDepart, encode_tenant(id));
+  ctrl_.depart(id);
+}
+
+bool DurableController::resize(TenantId id, const VmSpec& new_spec) {
+  BURSTQ_REQUIRE(ctrl_.tenant_live(id),
+                 "resize on an invalid or dead tenant");
+  new_spec.validate();
+  commit_op(WalRecord::kOpResize, encode_resize(id, new_spec));
+  return ctrl_.resize(id, new_spec);
+}
+
+void DurableController::tick() {
+  commit_op(WalRecord::kOpTick, std::string());
+  ctrl_.tick();
+}
+
+void DurableController::inject_pm_crash(PmId pm) {
+  BURSTQ_REQUIRE(pm.valid() && pm.value < ctrl_.n_pms(),
+                 "inject_pm_crash on an out-of-range PM");
+  commit_op(WalRecord::kOpCrash, encode_pm(pm));
+  ctrl_.inject_pm_crash(pm);
+}
+
+void DurableController::inject_pm_recover(PmId pm) {
+  BURSTQ_REQUIRE(pm.valid() && pm.value < ctrl_.n_pms(),
+                 "inject_pm_recover on an out-of-range PM");
+  commit_op(WalRecord::kOpRecover, encode_pm(pm));
+  ctrl_.inject_pm_recover(pm);
+}
+
+void DurableController::replay_op(WalRecord type,
+                                  const std::string& payload) {
+  StateReader r(payload, "controller wal record");
+  switch (type) {
+    case WalRecord::kOpAdmit:
+      (void)admit(decode_spec(r));
+      return;
+    case WalRecord::kOpDepart:
+      depart(TenantId{static_cast<std::size_t>(r.varint())});
+      return;
+    case WalRecord::kOpResize: {
+      const TenantId id{static_cast<std::size_t>(r.varint())};
+      (void)resize(id, decode_spec(r));
+      return;
+    }
+    case WalRecord::kOpTick:
+      tick();
+      return;
+    case WalRecord::kOpCrash:
+      inject_pm_crash(PmId{static_cast<std::size_t>(r.varint())});
+      return;
+    case WalRecord::kOpRecover:
+      inject_pm_recover(PmId{static_cast<std::size_t>(r.varint())});
+      return;
+    default:
+      throw CorruptState("controller WAL carries a non-op record (type " +
+                         std::to_string(static_cast<int>(type)) + ")");
+  }
+}
+
+DurableController::RecoverInfo DurableController::recover() {
+  BURSTQ_REQUIRE(op_seq_ == 0 && wal_ == nullptr,
+                 "recover() must run before any op on a fresh controller");
+  const auto loaded = store_.load_newest();
+  if (!loaded)
+    throw CorruptState("no snapshot to recover from in " + store_.dir());
+  ctrl_.import_state(loaded->blob);
+  op_seq_ = loaded->slot;
+  wal_base_op_ = loaded->slot;
+
+  // Keep only the consecutive op suffix: a gap means a lost group, and
+  // everything after it never committed from this state.
+  WalScan scan = scan_wal(store_.wal_path(loaded->slot));
+  verify_groups_.clear();
+  if (scan.present) {
+    for (std::size_t i = 0; i < scan.groups.size(); ++i) {
+      if (scan.groups[i].slot != loaded->slot + i) break;
+      verify_groups_.push_back(std::move(scan.groups[i]));
+    }
+  }
+  replay_upto_ = loaded->slot + verify_groups_.size();
+
+  // Recreate the journal epoch and re-apply the suffix through the
+  // public methods: each op re-journals and commit_op byte-verifies it
+  // against the pre-crash group, so the journal stays complete for a
+  // repeated crash mid-replay.
+  wal_ = std::make_unique<WalWriter>(store_.wal_path(loaded->slot),
+                                     loaded->slot, durability_.fsync);
+  for (const WalGroup& g : verify_groups_) {
+    if (g.records.size() != 1)
+      throw CorruptState("controller WAL group at op " +
+                         std::to_string(g.slot) +
+                         " does not hold exactly one op record");
+    replay_op(g.records.front().first, g.records.front().second);
+  }
+
+  BURSTQ_COUNT("durable.ctrl.restores", 1);
+  BURSTQ_COUNT("durable.ctrl.replayed_ops", verify_groups_.size());
+  return RecoverInfo{loaded->slot, verify_groups_.size()};
+}
+
+}  // namespace burstq::durable

@@ -1,0 +1,61 @@
+// Crash-consistent persistence for online cluster state.
+//
+// The durable layer gives a long-running consolidator a recovery story:
+// every state mutation is journaled to a write-ahead log *before* it is
+// applied, and a periodic snapshot checkpoint (full placement, per-PM
+// aggregates, recovery queues, SLO windows) truncates the journal tail.
+// Recovery loads the newest valid snapshot, replays the WAL suffix
+// through the existing mutation paths, discards any torn final record,
+// and resumes.
+//
+// Hard contract (asserted by tests and the crash-chaos CI job): a run
+// killed at ANY injected kill-point and then restored produces a final
+// harness report byte-identical to the uninterrupted same-seed run.
+//
+// On-disk formats (both reuse the BTRC byte codecs from obs/trace_codec.h
+// and are CRC-protected):
+//   snap-<slot>.bqss  versioned snapshot, written tmp-then-rename
+//   wal-<slot>.bqwl   journal of slot groups committed after that snapshot
+// See docs/RESILIENCE.md ("Durability & crash recovery") for the layouts.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace burstq::durable {
+
+/// Where and how often to persist.  `dir` is created on demand; each
+/// simulator/controller instance owns its directory exclusively.
+struct DurabilityConfig {
+  std::string dir;
+  /// Snapshot cadence in slots (simulator) or ops (controller).  A
+  /// checkpoint is taken at every slot t with t % snapshot_every == 0,
+  /// including t = 0, so there is always a base snapshot to restore.
+  std::size_t snapshot_every{25};
+  /// fsync() snapshot and WAL writes.  Off by default: the determinism
+  /// tests kill in-process (buffers survive), and CI machines are slow
+  /// at fsync.  Production deployments facing real power loss want it.
+  bool fsync{false};
+
+  void validate() const;
+};
+
+/// Raised when a FaultPlan kill-point fires inside the simulator.
+/// Deliberately NOT derived from std::exception: generic catch blocks
+/// (harness abort handling, fuzz oracles) must never swallow a kill —
+/// only the restore loop that opted into durability catches it.
+struct SimKilled {
+  std::size_t slot{0};
+};
+
+/// Snapshot or irrecoverable journal corruption.  Always loud, always
+/// names the file and byte offset; there is no silent fallback past a
+/// corrupt snapshot (a torn WAL *tail* is recoverable and is not this).
+class CorruptState : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace burstq::durable

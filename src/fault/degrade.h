@@ -67,6 +67,14 @@ class ReservationLadder {
   [[nodiscard]] std::size_t max_vms_per_pm() const { return d_; }
   [[nodiscard]] double rho() const { return rho_; }
 
+  /// Restores counters from a durable snapshot (the ladder is otherwise
+  /// stateless: rung choice is re-derived per admits() call).
+  void restore_counters(ReserveLevel last_level,
+                        std::size_t degraded_decisions) {
+    last_level_ = last_level;
+    degraded_decisions_ = degraded_decisions;
+  }
+
  private:
   /// Rungs 1-2; throws SolverUnavailable when the build faults.
   [[nodiscard]] bool admits_with_table(std::span<const VmSpec> hosted,

@@ -43,6 +43,9 @@ SlotFaults FaultInjector::advance(std::size_t slot) {
         BURSTQ_EVENT(obs::EventLevel::kDecisions, "fault.solver.outage",
                      {"t", slot}, {"slots", e.duration});
         break;
+      case FaultKind::kKill:
+        out.kill = true;
+        break;
     }
   }
 
@@ -67,6 +70,15 @@ SlotFaults FaultInjector::advance(std::size_t slot) {
   while (out.crashes.size() > scripted_crashes &&
          out.crashes.size() >= up_count())
     out.crashes.pop_back();
+  if (plan_.markov.p_kill > 0.0 && rng_.bernoulli(plan_.markov.p_kill))
+    out.kill = true;
+  // A kill that already fired (journaled and restored from) must not
+  // fire again during replay; its RNG draw above still happened, so the
+  // fault stream past the kill is unchanged.  No event is emitted for a
+  // kill: whatever the dying slot wrote is truncated on restore, and a
+  // kill-free baseline run must stay byte-identical.
+  if (slot < kill_suppress_before_) out.kill = false;
+  if (out.kill) BURSTQ_COUNT("fault.kills", 1);
 
   for (std::size_t j : out.crashes) {
     up_[j] = 0;

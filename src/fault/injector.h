@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -28,6 +29,16 @@ struct SlotFaults {
   bool abort_migrations{false};  ///< scripted: abort every in-flight copy
   std::size_t stall_slots{0};    ///< scripted: extend in-flight copies
   bool solver_fault{false};      ///< MapCal solves fail during this slot
+  bool kill{false};              ///< the consolidator process dies here
+};
+
+/// Serializable FaultInjector contents for durable snapshots.
+struct FaultInjectorState {
+  std::array<std::uint64_t, 4> rng{};
+  std::vector<std::uint8_t> up;
+  std::size_t next_scripted{0};
+  std::size_t last_slot{static_cast<std::size_t>(-1)};
+  std::size_t solver_down_until{0};
 };
 
 class FaultInjector {
@@ -54,6 +65,34 @@ class FaultInjector {
   [[nodiscard]] bool solver_fault_active() const;
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+  [[nodiscard]] FaultInjectorState export_state() const {
+    FaultInjectorState st;
+    st.rng = rng_.state();
+    st.up = up_;
+    st.next_scripted = next_scripted_;
+    st.last_slot = last_slot_;
+    st.solver_down_until = solver_down_until_;
+    return st;
+  }
+
+  void import_state(const FaultInjectorState& st) {
+    BURSTQ_REQUIRE(st.up.size() == up_.size(),
+                   "fault injector state PM count mismatch");
+    rng_.set_state(st.rng);
+    up_ = st.up;
+    next_scripted_ = st.next_scripted;
+    last_slot_ = st.last_slot;
+    solver_down_until_ = st.solver_down_until;
+  }
+
+  /// Suppresses kill faults at every slot < `slot`.  Set after a durable
+  /// restore to one past the kill slot: the kill that already fired (and
+  /// was journaled through) must not fire again during replay, while
+  /// later kill-points stay live so repeated kill/restore cycles work.
+  void suppress_kills_before(std::size_t slot) {
+    kill_suppress_before_ = slot;
+  }
+
  private:
   FaultPlan plan_;
   Rng rng_;
@@ -61,6 +100,7 @@ class FaultInjector {
   std::size_t next_scripted_{0};
   std::size_t last_slot_{static_cast<std::size_t>(-1)};
   std::size_t solver_down_until_{0};  ///< outage active while slot < this
+  std::size_t kill_suppress_before_{0};  ///< see suppress_kills_before
 };
 
 }  // namespace burstq::fault

@@ -16,7 +16,7 @@ namespace {
   message += why;
   message +=
       " (expected e.g. crash@10:pm=2, recover@40:pm=2, mig-abort@12, "
-      "mig-stall@12:slots=3, solver@15:slots=20)";
+      "mig-stall@12:slots=3, solver@15:slots=20, kill@30)";
   throw InvalidArgument(message);
 }
 
@@ -80,6 +80,9 @@ FaultEvent parse_item(std::string_view item) {
   } else if (kind_text == "mig-abort") {
     event.kind = FaultKind::kMigrationAbort;
     if (!suffix.empty()) bad_item(item, "mig-abort takes no ':key=value'");
+  } else if (kind_text == "kill") {
+    event.kind = FaultKind::kKill;
+    if (!suffix.empty()) bad_item(item, "kill takes no ':key=value'");
   } else if (kind_text == "mig-stall" || kind_text == "solver") {
     event.kind = kind_text == "mig-stall" ? FaultKind::kMigrationStall
                                           : FaultKind::kSolverOutage;
@@ -105,6 +108,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kMigrationAbort: return "mig-abort";
     case FaultKind::kMigrationStall: return "mig-stall";
     case FaultKind::kSolverOutage: return "solver";
+    case FaultKind::kKill: return "kill";
   }
   return "unknown";
 }
@@ -116,6 +120,8 @@ void MarkovFaultModel::validate() const {
                  "fault p_recover must be a probability in [0, 1]");
   BURSTQ_REQUIRE(p_mig_fail >= 0.0 && p_mig_fail <= 1.0,
                  "fault p_mig_fail must be a probability in [0, 1]");
+  BURSTQ_REQUIRE(p_kill >= 0.0 && p_kill <= 1.0,
+                 "fault p_kill must be a probability in [0, 1]");
   BURSTQ_REQUIRE(p_crash == 0.0 || p_recover > 0.0,
                  "fault p_crash > 0 with p_recover == 0 would strand the "
                  "whole fleet; give crashed PMs a recovery probability");

@@ -17,6 +17,10 @@
 //   mig-abort@SLOT         every in-flight migration aborts at SLOT
 //   mig-stall@SLOT:slots=N in-flight copies take N extra slots
 //   solver@SLOT:slots=N    MapCal solves fail for N slots starting at SLOT
+//   kill@SLOT              the consolidator process dies at SLOT (executed
+//                          as a deterministic in-process abort; the durable
+//                          layer restores from snapshot + WAL — see
+//                          durable/durable.h)
 //
 // e.g. --fault-plan "crash@10:pm=2;solver@15:slots=20;recover@40:pm=2"
 //
@@ -44,9 +48,10 @@ enum class FaultKind {
   kMigrationAbort,
   kMigrationStall,
   kSolverOutage,
+  kKill,
 };
 
-/// "crash" | "recover" | "mig-abort" | "mig-stall" | "solver".
+/// "crash" | "recover" | "mig-abort" | "mig-stall" | "solver" | "kill".
 std::string_view fault_kind_name(FaultKind kind);
 
 /// One scripted fault.
@@ -62,9 +67,10 @@ struct MarkovFaultModel {
   double p_crash{0.0};     ///< per up-PM per-slot crash probability
   double p_recover{0.0};   ///< per down-PM per-slot recovery probability
   double p_mig_fail{0.0};  ///< per in-flight migration per-slot abort prob
+  double p_kill{0.0};      ///< per-slot process-kill probability
 
   [[nodiscard]] bool any() const {
-    return p_crash > 0.0 || p_mig_fail > 0.0;
+    return p_crash > 0.0 || p_mig_fail > 0.0 || p_kill > 0.0;
   }
   void validate() const;
 };
@@ -76,6 +82,16 @@ struct FaultPlan {
 
   [[nodiscard]] bool any() const {
     return !scripted.empty() || markov.any();
+  }
+
+  /// True when the plan can kill the process (scripted kill@ or Markov
+  /// p_kill > 0).  Such a plan requires durability to be configured: a
+  /// kill without a restore path would just lose the run.
+  [[nodiscard]] bool has_kills() const {
+    if (markov.p_kill > 0.0) return true;
+    for (const FaultEvent& e : scripted)
+      if (e.kind == FaultKind::kKill) return true;
+    return false;
   }
 
   /// Checks probabilities, event shapes, exact-duplicate scripted events

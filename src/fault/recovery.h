@@ -46,6 +46,15 @@ struct QueuedVm {
   std::size_t next_attempt{0};  ///< earliest slot for the next attempt
 };
 
+/// Serializable RecoveryController contents for durable snapshots.
+struct RecoveryControllerState {
+  std::vector<QueuedVm> queue;
+  std::size_t retries_total{0};
+  std::size_t enqueued_total{0};
+  ReserveLevel ladder_last_level{ReserveLevel::kTable};
+  std::size_t ladder_degraded_decisions{0};
+};
+
 class RecoveryController {
  public:
   /// Operates on `inst` (outliving the controller) with Eq. (17) checks
@@ -76,6 +85,24 @@ class RecoveryController {
   /// (Debug builds assert this per slot; the fuzz oracle checks it too.)
   [[nodiscard]] bool invariant_holds(const Placement& placement,
                                      std::span<const std::uint8_t> pm_up) const;
+
+  [[nodiscard]] RecoveryControllerState export_state() const {
+    RecoveryControllerState st;
+    st.queue = queue_;
+    st.retries_total = retries_total_;
+    st.enqueued_total = enqueued_total_;
+    st.ladder_last_level = ladder_.last_level();
+    st.ladder_degraded_decisions = ladder_.degraded_decisions();
+    return st;
+  }
+
+  void import_state(const RecoveryControllerState& st) {
+    queue_ = st.queue;
+    retries_total_ = st.retries_total;
+    enqueued_total_ = st.enqueued_total;
+    ladder_.restore_counters(st.ladder_last_level,
+                             st.ladder_degraded_decisions);
+  }
 
  private:
   /// First-fit over up PMs under the ladder; kNoPm-style nullopt when

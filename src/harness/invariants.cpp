@@ -13,6 +13,8 @@ std::string_view invariant_name(InvariantKind kind) {
     case InvariantKind::kVmFlaps: return "vm_flaps";
     case InvariantKind::kSloFastBurn: return "slo_fast_burn";
     case InvariantKind::kSloSlowBurn: return "slo_slow_burn";
+    case InvariantKind::kRecoveryReplaySlots:
+      return "recovery_replay_slots";
   }
   return "?";
 }
@@ -49,6 +51,8 @@ const std::vector<InvariantInfo>& invariant_catalog() {
        "worst fast-window SLO burn rate (observed CVR / rho)"},
       {InvariantKind::kSloSlowBurn, "slo_slow_burn",
        "worst slow-window SLO burn rate (observed CVR / rho)"},
+      {InvariantKind::kRecoveryReplaySlots, "recovery_replay_slots",
+       "largest WAL replay (slots) any kill-restore performed"},
   };
   return catalog;
 }
@@ -139,14 +143,18 @@ InvariantResult evaluate_invariant(InvariantKind kind, InvariantOp op,
     case InvariantKind::kSloSlowBurn:
       r = evaluate_max_series(op, threshold, series.slow_burn);
       break;
-    case InvariantKind::kLostVms: {
-      // End-of-run conservation quantity, not a series: the verdict is
-      // about the final count; the window (when failing) is pinned to
-      // the last completed slot so the trace pointer lands where the
-      // books were closed.
+    case InvariantKind::kLostVms:
+    case InvariantKind::kRecoveryReplaySlots: {
+      // End-of-run scalar quantities, not series: the verdict is about
+      // the final value (lost-VM count, or the worst single restore's
+      // replay length); the window (when failing) is pinned to the last
+      // completed slot so the trace pointer lands where the books were
+      // closed.
       r.op = op;
       r.threshold = threshold;
-      r.worst = static_cast<double>(series.lost_vms);
+      r.worst = static_cast<double>(kind == InvariantKind::kLostVms
+                                        ? series.lost_vms
+                                        : series.recovery_replay_slots);
       const std::size_t slots = series.cluster_cvr.size();
       r.worst_slot = slots == 0 ? 0 : slots - 1;
       r.pass = op == InvariantOp::kLe ? r.worst <= threshold

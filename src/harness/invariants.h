@@ -29,6 +29,7 @@ enum class InvariantKind {
   kVmFlaps,            ///< migrations of the most-moved VM (flapping)
   kSloFastBurn,        ///< fast-window SLO burn rate (cvr / rho)
   kSloSlowBurn,        ///< slow-window SLO burn rate
+  kRecoveryReplaySlots,  ///< worst WAL replay length over kill-restores
 };
 
 enum class InvariantOp { kLe, kEq };
@@ -99,6 +100,10 @@ struct SlotSeries {
   /// Running max per-VM migration count per slot (flap bookkeeping).
   std::vector<std::size_t> max_vm_moves;
   std::size_t lost_vms{0};  ///< from the final FaultReport (0 until then)
+  /// Largest WAL replay (in slots) any single kill-restore performed; 0
+  /// on runs with no kills.  Bounds how far the newest snapshot lagged
+  /// behind the kill point — it must stay under the snapshot cadence.
+  std::size_t recovery_replay_slots{0};
 };
 
 /// Evaluates one invariant against the collected series.  Pure: same

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <vector>
 
 #include "common/error.h"
+#include "durable/durable.h"
 #include "obs/jsonl.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
@@ -157,6 +159,20 @@ RunSummary run_scenario(const Scenario& sc, const HarnessOptions& opt) {
     cfg.slo = &slo;
     cfg.workload_phases = sc.phases;
 
+    // Durability: a `durability` statement opts in explicitly; a fault
+    // plan with kill-points turns it on implicitly (a kill without a
+    // restore path would just lose the run).  The state directory is
+    // scenario-private and wiped up front — stale snapshots from an
+    // earlier run must never leak into this one's restores.
+    if (sc.durability || sc.faults.has_kills()) {
+      durable::DurabilityConfig dur;
+      dur.dir = opt.out_dir + "/" + sc.name + ".durable";
+      dur.snapshot_every = sc.durability_every;
+      dur.fsync = sc.durability_fsync;
+      std::filesystem::remove_all(dur.dir);
+      cfg.durability = dur;
+    }
+
     // Per-slot bookkeeping: running cumulative CVR cluster-wide and for
     // the worst PM, so breach windows come out in slots, not just a
     // final scalar.
@@ -190,10 +206,45 @@ RunSummary run_scenario(const Scenario& sc, const HarnessOptions& opt) {
       series.slow_burn.push_back(slo_now.slow.burn);
     };
 
-    ClusterSimulator sim(inst, placed.placement, cfg, rng.split());
-    const SimReport rep = sim.run();
-    series.lost_vms = rep.faults.lost_vms;
-    migration_events = rep.events;
+    // Kill-restore loop.  A kill-point (fault kill@SLOT / Markov p_kill)
+    // surfaces as durable::SimKilled — deliberately not a std::exception,
+    // so the abort handler below can never swallow it.  Each restore
+    // builds a FRESH simulator from the same arguments (the RNG is split
+    // once: every construction must consume the identical stream), zeroes
+    // the accumulators, and restore_from_durable() re-fires on_slot for
+    // every pre-snapshot slot — so the series rebuilds exactly and the
+    // final report is byte-identical to an uninterrupted run.
+    const Rng sim_rng = rng.split();
+    std::size_t worst_replay = 0;
+    bool restore = false;
+    for (;;) {
+      pm_observed.assign(sc.n_pms, 0);
+      pm_violated.assign(sc.n_pms, 0);
+      cluster_observed = 0;
+      cluster_violated = 0;
+      series.cluster_cvr.clear();
+      series.worst_pm_cvr.clear();
+      series.migrations.clear();
+      series.fast_burn.clear();
+      series.slow_burn.clear();
+
+      ClusterSimulator sim(inst, placed.placement, cfg, sim_rng);
+      if (restore) {
+        const ClusterSimulator::RestoreInfo info =
+            sim.restore_from_durable();
+        worst_replay = std::max(worst_replay, info.replay_slots);
+        BURSTQ_COUNT("harness.restores", 1);
+      }
+      try {
+        const SimReport rep = sim.run();
+        series.lost_vms = rep.faults.lost_vms;
+        migration_events = rep.events;
+        break;
+      } catch (const durable::SimKilled&) {
+        restore = true;
+      }
+    }
+    series.recovery_replay_slots = worst_replay;
     completed = true;
   } catch (const std::exception& e) {
     abort_reason = e.what();

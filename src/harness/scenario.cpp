@@ -31,7 +31,7 @@ struct Parser {
   std::size_t seen_scenario{0}, seen_seed{0}, seen_slots{0}, seen_rho{0},
       seen_d{0}, seen_strategy{0}, seen_topology{0}, seen_capacity{0},
       seen_workload{0}, seen_fault_markov{0}, seen_migration{0},
-      seen_slo{0};
+      seen_slo{0}, seen_durability{0};
 
   // source lines of order-sensitive statements, validated post-parse
   std::vector<std::size_t> phase_lines;
@@ -208,13 +208,15 @@ void handle_fault_markov(Parser& p, const std::vector<Token>& toks) {
       p.sc.faults.markov.p_recover = parse_number(p, value, "probability");
     } else if (key == "p_mig_fail") {
       p.sc.faults.markov.p_mig_fail = parse_number(p, value, "probability");
+    } else if (key == "p_kill") {
+      p.sc.faults.markov.p_kill = parse_number(p, value, "probability");
     } else if (key == "seed") {
       p.sc.faults.seed =
           static_cast<std::uint64_t>(parse_count(p, value, "seed"));
     } else {
       p.fail(toks[i].col,
              msg("unknown fault-markov key ", key,
-                 " (p_crash | p_recover | p_mig_fail | seed)"));
+                 " (p_crash | p_recover | p_mig_fail | p_kill | seed)"));
     }
   }
 }
@@ -351,6 +353,27 @@ void handle_statement(Parser& p, const std::vector<Token>& toks) {
                                 " (fast | slow)"));
       }
     }
+  } else if (kw.text == "durability") {
+    require_seen(p, p.seen_durability, kw);
+    p.sc.durability = true;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const auto [key, value] = split_kv(p, toks[i]);
+      if (key == "every") {
+        p.sc.durability_every = parse_count(p, value, "snapshot cadence");
+      } else if (key == "fsync") {
+        if (value.text == "on") {
+          p.sc.durability_fsync = true;
+        } else if (value.text == "off") {
+          p.sc.durability_fsync = false;
+        } else {
+          p.fail(value.col,
+                 msg("bad fsync value ", value.text, " (on | off)"));
+        }
+      } else {
+        p.fail(toks[i].col, msg("unknown durability key ", key,
+                                " (every | fsync)"));
+      }
+    }
   } else if (kw.text == "invariant") {
     handle_invariant(p, toks);
   } else {
@@ -373,6 +396,8 @@ void Scenario::validate() const {
   BURSTQ_REQUIRE(migration_cost >= 1, "migration cost must be >= 1");
   BURSTQ_REQUIRE(slo_fast >= 1 && slo_slow >= slo_fast,
                  "slo windows must satisfy 1 <= fast <= slow");
+  BURSTQ_REQUIRE(durability_every >= 1,
+                 "durability every= must be >= 1");
   BURSTQ_REQUIRE(!invariants.empty(),
                  "scenario declares no invariants; a run nothing checks "
                  "is not a scenario");

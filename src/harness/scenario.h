@@ -23,9 +23,14 @@
 //   phase at=T [p_on=X] [p_off=Y]      timeline override from slot T on
 //   fault ITEM                         one --fault-plan item, e.g.
 //                                      crash@10:pm=2 (see fault/plan.h)
-//   fault-markov [p_crash=X] [p_recover=Y] [p_mig_fail=Z] [seed=N]
+//   fault-markov [p_crash=X] [p_recover=Y] [p_mig_fail=Z] [p_kill=K]
+//                [seed=N]
 //   migration [window=N] [cost=N]      trigger window / copy cost slots
 //   slo [fast=N] [slow=N]              SLO burn-rate windows
+//   durability [every=N] [fsync=on|off]  snapshot cadence for crash
+//                                      recovery (durable/durable.h); the
+//                                      runner auto-enables it (every=25)
+//                                      whenever the fault plan has kills
 //   invariant NAME <=|== VALUE         threshold (harness/invariants.h)
 //
 // Every parse error is positioned: the exception message starts with
@@ -78,6 +83,12 @@ struct Scenario {
   std::size_t migration_cost{1};
   std::size_t slo_fast{10};
   std::size_t slo_slow{120};
+  /// From the `durability` statement; the runner also turns this on
+  /// implicitly (with the defaults below) when `faults.has_kills()` — a
+  /// kill-point without a restore path would just lose the run.
+  bool durability{false};
+  std::size_t durability_every{25};
+  bool durability_fsync{false};
   std::vector<ScenarioInvariant> invariants;
 
   /// Cross-statement checks the parser cannot do line-locally (ranges,

@@ -1,11 +1,17 @@
 #include "obs/event_log.h"
 
 #include <cmath>
+#include <filesystem>
 
 #include "common/csv.h"
 #include "common/error.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace burstq::obs {
 
@@ -97,6 +103,7 @@ void EventLog::open(const std::string& path, EventFormat format,
   }
   next_id_ = 0;
   written_.store(0, std::memory_order_relaxed);
+  path_ = path;
   if (format_ == EventFormat::kCsv) out_ << "id,kind,key,value\n";
 
   // Recorder self-metrics, one counter family per sink format.
@@ -135,9 +142,12 @@ void EventLog::close() {
                std::memory_order_release);
   if (out_.is_open()) {
     out_.flush();
+    fsync_locked();
     out_.close();
   }
   if (writer_ != nullptr) {
+    writer_->flush();
+    fsync_locked();
     writer_->close();
     sync_trace_counters_locked();
     writer_.reset();
@@ -151,6 +161,82 @@ void EventLog::flush() {
     writer_->flush();
     sync_trace_counters_locked();
   }
+  if (out_.is_open() || writer_ != nullptr) fsync_locked();
+}
+
+void EventLog::set_fsync(bool on) {
+  const std::scoped_lock lock(mu_);
+  fsync_ = on;
+}
+
+// Durability for the trace itself (--obs-fsync): the C++ stream has no
+// portable fd, so sync through a short-lived side descriptor on the same
+// path.  Only runs on explicit flush()/close(), which are rare.
+void EventLog::fsync_locked() {
+#if !defined(_WIN32)
+  if (!fsync_ || path_.empty()) return;
+  const int fd = ::open(path_.c_str(), O_WRONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+  ++fsyncs_;
+  metrics().counter("obs.trace.fsyncs").add(1);
+#endif
+}
+
+EventLog::Checkpoint EventLog::checkpoint() {
+  const std::scoped_lock lock(mu_);
+  Checkpoint cp;
+  if (writer_ != nullptr) {
+    writer_->flush();  // a block boundary: everything on disk, not buffered
+    sync_trace_counters_locked();
+    cp.valid = true;
+    cp.format = EventFormat::kBinary;
+    cp.path = path_;
+    cp.bytes = writer_->bytes_written();
+    cp.blocks = writer_->blocks_flushed();
+  } else if (out_.is_open()) {
+    out_.flush();
+    cp.valid = true;
+    cp.format = format_;
+    cp.path = path_;
+    cp.bytes = static_cast<std::uint64_t>(out_.tellp());
+    cp.next_id = next_id_;
+  } else {
+    return cp;  // no sink open: callers treat the checkpoint as absent
+  }
+  cp.events = written_.load(std::memory_order_relaxed);
+  return cp;
+}
+
+void EventLog::rewind(const Checkpoint& cp) {
+  const std::scoped_lock lock(mu_);
+  if (!cp.valid) return;
+  BURSTQ_REQUIRE(cp.path == path_,
+                 "rewind target is not the open sink: " + cp.path);
+  BURSTQ_REQUIRE(cp.format == format_, "rewind across sink formats");
+  if (format_ == EventFormat::kBinary) {
+    BURSTQ_REQUIRE(writer_ != nullptr, "rewind: no BTRC writer open");
+    const TraceWriteOptions opts = writer_->options();
+    writer_->abandon();  // buffered tail is exactly what we are discarding
+    writer_.reset();
+    std::filesystem::resize_file(path_, cp.bytes);
+    writer_ =
+        std::make_unique<TraceWriter>(path_, opts, TraceWriter::kResume);
+    synced_bytes_ = writer_->bytes_written();
+    synced_blocks_ = writer_->blocks_flushed();
+  } else {
+    BURSTQ_REQUIRE(out_.is_open(), "rewind: no text sink open");
+    out_.flush();
+    out_.close();
+    std::filesystem::resize_file(path_, cp.bytes);
+    out_.open(path_, std::ios::out | std::ios::app);
+    BURSTQ_REQUIRE(out_.is_open(),
+                   "rewind: cannot reopen event log: " + path_);
+    next_id_ = cp.next_id;
+  }
+  written_.store(cp.events, std::memory_order_relaxed);
+  metrics().counter("obs.trace.rewinds").add(1);
 }
 
 void EventLog::emit(EventLevel level, std::string_view kind,

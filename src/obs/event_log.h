@@ -128,8 +128,39 @@ class EventLog {
   /// post-run artifact writers (bench obs summaries) can label output.
   [[nodiscard]] std::string sink_format_name() const;
 
+  /// fsync() the sink file on every flush()/close() (the --obs-fsync
+  /// knob): flight-recorder traces get the same power-loss durability
+  /// as the WAL.  Takes effect at the next flush; counted as
+  /// `obs.trace.fsyncs`.
+  void set_fsync(bool on);
+
+  /// A durable rewind point in the open sink: everything the log has
+  /// flushed so far.  Captured by checkpoint() (which flushes first, so
+  /// `bytes` is a clean boundary — for BTRC, a block boundary), consumed
+  /// by rewind().
+  struct Checkpoint {
+    bool valid{false};  ///< false when no sink was open — rewind no-ops
+    EventFormat format{EventFormat::kJsonl};
+    std::string path;
+    std::uint64_t bytes{0};
+    std::uint64_t events{0};
+    std::uint64_t blocks{0};   ///< BTRC only
+    std::uint64_t next_id{0};  ///< CSV only
+  };
+
+  [[nodiscard]] Checkpoint checkpoint();
+
+  /// Truncates the open sink back to `cp`: events emitted after the
+  /// checkpoint vanish from the file, and subsequent emits append as if
+  /// they never happened.  This is how a durable restore discards the
+  /// killed run's partial tail while keeping one continuous, eventually
+  /// byte-identical trace.  No-op when `cp.valid` is false; requires the
+  /// same sink (path and format) to still be open otherwise.
+  void rewind(const Checkpoint& cp);
+
  private:
   void sync_trace_counters_locked();
+  void fsync_locked();
 
   mutable std::mutex mu_;
   std::ofstream out_;
@@ -139,7 +170,10 @@ class EventLog {
   std::atomic<std::uint64_t> written_{0};
   std::uint64_t next_id_{0};
   std::string run_label_;
+  std::string path_;
   std::string sink_format_name_{"none"};
+  bool fsync_{false};
+  std::uint64_t fsyncs_{0};
   // Recorder self-metrics (obs.trace.*) for the current sink, plus the
   // last writer totals already mirrored into them.
   Counter* bytes_counter_{nullptr};

@@ -28,6 +28,10 @@ const char* reason_phrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
     default:
       return "Error";
   }
@@ -51,6 +55,7 @@ void write_all(int fd, std::string_view data) {
 struct HttpServer::Impl {
   int listen_fd{-1};
   std::uint16_t port{0};
+  int read_timeout_ms{5000};
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> served{0};
   std::thread acceptor;
@@ -62,6 +67,13 @@ void HttpServer::handle(std::string path, HttpHandler handler) {
   BURSTQ_REQUIRE(impl_ == nullptr,
                  "HttpServer routes must be registered before start()");
   routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::set_read_timeout_ms(int ms) {
+  BURSTQ_REQUIRE(impl_ == nullptr,
+                 "HttpServer read timeout must be set before start()");
+  BURSTQ_REQUIRE(ms > 0, "HttpServer read timeout must be positive");
+  read_timeout_ms_ = ms;
 }
 
 void HttpServer::start(std::uint16_t port) {
@@ -91,6 +103,7 @@ void HttpServer::start(std::uint16_t port) {
   impl_ = new Impl();
   impl_->listen_fd = fd;
   impl_->port = ntohs(addr.sin_port);
+  impl_->read_timeout_ms = read_timeout_ms_;
   Impl* impl = impl_;
   const std::map<std::string, HttpHandler>* routes = &routes_;
   impl->acceptor = std::thread([impl, routes] {
@@ -100,23 +113,48 @@ void HttpServer::start(std::uint16_t port) {
         if (errno == EINTR) continue;
         break;  // listen socket shut down by stop()
       }
+      // A stalled client must not pin the single acceptor thread: cap
+      // how long each recv may block before we give up on the head.
+      timeval timeout{};
+      timeout.tv_sec = impl->read_timeout_ms / 1000;
+      timeout.tv_usec = (impl->read_timeout_ms % 1000) * 1000;
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof timeout);
+
       // Read the request head (we never accept bodies).
       std::string req;
       char buf[1024];
+      bool timed_out = false;
       while (req.size() < kMaxRequestBytes &&
              req.find("\r\n\r\n") == std::string::npos) {
         const ssize_t n = ::recv(conn, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          timed_out = true;
+          break;
+        }
         if (n <= 0) break;
         req.append(buf, static_cast<std::size_t>(n));
       }
+      const bool head_complete =
+          req.find("\r\n\r\n") != std::string::npos;
 
       HttpResponse resp;
       const std::size_t line_end = req.find("\r\n");
       const std::size_t sp1 = req.find(' ');
       const std::size_t sp2 =
           sp1 == std::string::npos ? sp1 : req.find(' ', sp1 + 1);
-      if (line_end == std::string::npos || sp1 == std::string::npos ||
-          sp2 == std::string::npos || sp2 > line_end) {
+      if (timed_out && !head_complete) {
+        resp = HttpResponse{408, "text/plain; charset=utf-8",
+                            "request head not received in time\n"};
+      } else if (!head_complete && req.size() >= kMaxRequestBytes) {
+        resp = HttpResponse{431, "text/plain; charset=utf-8",
+                            "request head exceeds " +
+                                std::to_string(kMaxRequestBytes) +
+                                " bytes\n"};
+      } else if (line_end == std::string::npos ||
+                 sp1 == std::string::npos ||
+                 sp2 == std::string::npos || sp2 > line_end) {
         resp = HttpResponse{400, "text/plain; charset=utf-8",
                             "malformed request\n"};
       } else if (req.substr(0, sp1) != "GET") {

@@ -40,6 +40,12 @@ class HttpServer {
   /// Registers an exact-match route.  Call before start().
   void handle(std::string path, HttpHandler handler);
 
+  /// Per-connection read timeout (SO_RCVTIMEO).  A client that connects
+  /// but never completes its request head gets 408 after this long
+  /// instead of holding the acceptor thread forever.  Call before
+  /// start(); defaults to 5000 ms.
+  void set_read_timeout_ms(int ms);
+
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
   /// launches the acceptor thread.  Throws InvalidArgument when the
   /// address cannot be bound or the server is already running.
@@ -58,6 +64,7 @@ class HttpServer {
   struct Impl;
   Impl* impl_{nullptr};  ///< allocated on start(), freed on stop()
   std::map<std::string, HttpHandler> routes_;
+  int read_timeout_ms_{5000};
 };
 
 #else  // BURSTQ_NO_OBS
@@ -65,6 +72,7 @@ class HttpServer {
 class HttpServer {
  public:
   void handle(const std::string&, HttpHandler) {}
+  void set_read_timeout_ms(int) {}
   [[noreturn]] void start(std::uint16_t) {
     throw InvalidArgument(
         "telemetry HTTP server unavailable: built with BURSTQ_NO_OBS");

@@ -203,4 +203,56 @@ std::size_t SloTracker::slots() const {
   return slots_;
 }
 
+SloTrackerState SloTracker::export_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloTrackerState st;
+  st.pms.reserve(pms_.size());
+  for (const PerPm& p : pms_) {
+    SloTrackerState::PerPm out;
+    out.observed = p.observed;
+    out.violated = p.violated;
+    out.ring = p.ring;
+    out.ring_observed = p.ring_observed;
+    out.ring_violated = p.ring_violated;
+    st.pms.push_back(std::move(out));
+  }
+  st.cur = cur_;
+  st.cluster_ring = cluster_ring_;
+  st.slots = slots_;
+  st.fast_obs = fast_obs_;
+  st.fast_viol = fast_viol_;
+  st.slow_obs = slow_obs_;
+  st.slow_viol = slow_viol_;
+  st.cum_obs = cum_obs_;
+  st.cum_viol = cum_viol_;
+  st.breaches = breaches_;
+  st.breaching = breaching_;
+  return st;
+}
+
+void SloTracker::import_state(const SloTrackerState& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BURSTQ_REQUIRE(st.pms.size() == pms_.size(),
+                 "SloTracker state PM count mismatch");
+  for (std::size_t j = 0; j < pms_.size(); ++j) {
+    PerPm& p = pms_[j];
+    p.observed = st.pms[j].observed;
+    p.violated = st.pms[j].violated;
+    p.ring = st.pms[j].ring;
+    p.ring_observed = st.pms[j].ring_observed;
+    p.ring_violated = st.pms[j].ring_violated;
+  }
+  cur_ = st.cur;
+  cluster_ring_ = st.cluster_ring;
+  slots_ = st.slots;
+  fast_obs_ = st.fast_obs;
+  fast_viol_ = st.fast_viol;
+  slow_obs_ = st.slow_obs;
+  slow_viol_ = st.slow_viol;
+  cum_obs_ = st.cum_obs;
+  cum_viol_ = st.cum_viol;
+  breaches_ = st.breaches;
+  breaching_ = st.breaching;
+}
+
 }  // namespace burstq::obs

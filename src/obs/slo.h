@@ -82,6 +82,27 @@ struct SloReport {
   [[nodiscard]] std::string render() const;
 };
 
+/// Serializable SloTracker contents for durable snapshots: everything
+/// behind the mutex, verbatim.
+struct SloTrackerState {
+  struct PerPm {
+    std::size_t observed{0};
+    std::size_t violated{0};
+    std::vector<std::uint8_t> ring;
+    std::size_t ring_observed{0};
+    std::size_t ring_violated{0};
+  };
+  std::vector<PerPm> pms;
+  std::vector<std::uint8_t> cur;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cluster_ring;
+  std::size_t slots{0};
+  std::size_t fast_obs{0}, fast_viol{0};
+  std::size_t slow_obs{0}, slow_viol{0};
+  std::size_t cum_obs{0}, cum_viol{0};
+  std::size_t breaches{0};
+  bool breaching{false};
+};
+
 class SloTracker {
  public:
   /// Tracks `n_pms` machines.  Throws InvalidArgument on n_pms == 0 or
@@ -100,6 +121,9 @@ class SloTracker {
   [[nodiscard]] const SloOptions& options() const { return opt_; }
   [[nodiscard]] std::size_t n_pms() const;
   [[nodiscard]] std::size_t slots() const;
+
+  [[nodiscard]] SloTrackerState export_state() const;
+  void import_state(const SloTrackerState& st);
 
  private:
   enum : std::uint8_t { kUnobserved = 0, kOk = 1, kViolated = 2 };

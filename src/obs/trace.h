@@ -62,6 +62,19 @@ class TraceWriter {
   /// Opens `path` (truncating) and writes the file header.  Throws
   /// InvalidArgument when the file cannot be opened.
   explicit TraceWriter(const std::string& path, TraceWriteOptions opts = {});
+
+  /// Tag type selecting the resume constructor below.
+  struct ResumeTag {};
+  static constexpr ResumeTag kResume{};
+
+  /// Reopens an existing BTRC file for appending.  The file must end on
+  /// a block boundary (flush() guarantees one; the durable layer rewinds
+  /// by truncating to a checkpointed boundary).  The file is rescanned to
+  /// rebuild the announced schema and running totals, so appended blocks
+  /// reference kind/column ids consistently and the resumed byte stream
+  /// is identical to one written without the interruption.
+  TraceWriter(const std::string& path, TraceWriteOptions opts, ResumeTag);
+
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
@@ -75,6 +88,12 @@ class TraceWriter {
   void flush();
   void close();
 
+  /// Closes the output stream WITHOUT flushing buffered rows — used when
+  /// the buffered tail is being deliberately discarded (durable rewind
+  /// truncates the file right after).
+  void abandon();
+
+  [[nodiscard]] const TraceWriteOptions& options() const { return opts_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
   [[nodiscard]] std::uint64_t events_written() const { return events_; }
   [[nodiscard]] std::uint64_t blocks_flushed() const { return blocks_; }

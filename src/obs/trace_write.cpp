@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <filesystem>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -73,7 +74,39 @@ TraceWriter::TraceWriter(const std::string& path, TraceWriteOptions opts)
   bytes_ += header.size();
 }
 
+TraceWriter::TraceWriter(const std::string& path, TraceWriteOptions opts,
+                         ResumeTag)
+    : path_(path), opts_(opts) {
+  // Rescan the file (which must end on a block boundary) to rebuild the
+  // announced schema in exact kind-id / column order — appended data
+  // blocks must reference the same ids a continuous run would have used.
+  const TraceFileInfo info = read_trace_info(path);
+  for (const TraceKindInfo& k : info.kinds) {
+    KindBuf kb;
+    kb.name = k.name;
+    kb.announced = true;
+    for (const TraceColumnInfo& c : k.columns) {
+      ColumnBuf col;
+      col.name = c.name;
+      col.tag = c.type;
+      col.announced = true;
+      kb.cols.push_back(std::move(col));
+    }
+    kinds_.push_back(std::move(kb));
+  }
+  events_ = info.events;
+  blocks_ = info.data_blocks + info.schema_blocks;
+  bytes_ = std::filesystem::file_size(path);
+  out_.open(path, std::ios::out | std::ios::app | std::ios::binary);
+  BURSTQ_REQUIRE(out_.is_open(),
+                 "cannot reopen trace file for resume: " + path);
+}
+
 TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::abandon() {
+  if (out_.is_open()) out_.close();
+}
 
 void TraceWriter::append(std::string_view kind,
                          std::initializer_list<Field> fields) {

@@ -101,6 +101,43 @@ Resource Placement::re_max_on(PmId pm) const {
   return re_max_[pm.value];
 }
 
+PlacementState Placement::export_state() const {
+  PlacementState st;
+  st.pm_of = pm_of_;
+  st.vms_on = vms_on_;
+  st.bound = inst_ != nullptr;
+  st.rb_sum = rb_sum_;
+  st.re_max = re_max_;
+  return st;
+}
+
+void Placement::restore_state(const PlacementState& st) {
+  BURSTQ_REQUIRE(st.pm_of.size() == pm_of_.size(),
+                 "placement state VM count mismatch");
+  BURSTQ_REQUIRE(st.vms_on.size() == vms_on_.size(),
+                 "placement state PM count mismatch");
+  pm_of_ = st.pm_of;
+  vms_on_ = st.vms_on;
+  pms_used_ = 0;
+  vms_assigned_ = 0;
+  for (std::size_t pm = 0; pm < vms_on_.size(); ++pm) {
+    if (!vms_on_[pm].empty()) ++pms_used_;
+    for (std::size_t pos = 0; pos < vms_on_[pm].size(); ++pos) {
+      const std::size_t vm = vms_on_[pm][pos];
+      BURSTQ_REQUIRE(vm < pm_of_.size() && pm_of_[vm].value == pm,
+                     "placement state lists disagree with pm_of");
+      pos_in_pm_[vm] = pos;
+      ++vms_assigned_;
+    }
+  }
+  if (inst_ != nullptr) {
+    BURSTQ_REQUIRE(st.bound,
+                   "bound placement restored from unbound state");
+    rb_sum_ = st.rb_sum;
+    re_max_ = st.re_max;
+  }
+}
+
 Resource total_rb_on_walk(const ProblemInstance& inst,
                           const Placement& placement, PmId pm) {
   Resource sum = 0.0;

@@ -25,6 +25,19 @@
 
 namespace burstq {
 
+/// Serializable contents of a Placement for durable snapshots.  Per-PM
+/// list ORDER and the raw aggregate doubles are preserved exactly:
+/// unassign's swap-remove reorders lists and rb_sum_ carries float-
+/// association noise, so re-deriving either from pm_of alone would
+/// diverge from the uninterrupted run.
+struct PlacementState {
+  std::vector<PmId> pm_of;
+  std::vector<std::vector<std::size_t>> vms_on;
+  bool bound{false};  ///< aggregates below are populated
+  std::vector<Resource> rb_sum;
+  std::vector<Resource> re_max;
+};
+
 class Placement {
  public:
   /// Empty mapping over n VMs and m PMs; every VM starts unassigned.
@@ -80,6 +93,13 @@ class Placement {
   /// Cached max Re on `pm` (0 when empty).  Requires a bound placement.
   /// Always exactly equal to the walk-based maximum.
   [[nodiscard]] Resource re_max_on(PmId pm) const;
+
+  /// Durable-snapshot export/import.  restore_state() replaces the whole
+  /// mapping; derived indices (pos_in_pm_, pms_used_, vms_assigned_) are
+  /// rebuilt from the lists.  The placement keeps its current binding —
+  /// aggregates in the state are only applied to a bound placement.
+  [[nodiscard]] PlacementState export_state() const;
+  void restore_state(const PlacementState& st);
 
  private:
   void init(std::size_t n_vms, std::size_t n_pms);

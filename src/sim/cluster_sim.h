@@ -20,15 +20,20 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/rng.h"
+#include "durable/durable.h"
+#include "durable/snapshot.h"
+#include "durable/wal.h"
 #include "fault/injector.h"
 #include "fault/recovery.h"
 #include "placement/placement.h"
 #include "placement/spec.h"
 #include "sim/energy.h"
+#include "sim/flight.h"
 #include "sim/metrics.h"
 #include "sim/migration.h"
 #include "sim/webserver.h"
@@ -53,6 +58,10 @@ struct SlotObservation {
   std::size_t migrations{0};         ///< successful migrations this slot
   std::size_t failed_migrations{0};  ///< failed triggers this slot
   std::size_t pms_used{0};           ///< active PMs (incl. copy sources)
+  /// SLO burn rates after this slot closed (0 when no SLO tracker is
+  /// attached) — lets harness invariants watch the alerting signals.
+  double fast_burn{0.0};
+  double slow_burn{0.0};
 };
 
 struct SimConfig {
@@ -89,6 +98,12 @@ struct SimConfig {
   /// uses this to evaluate invariants without re-deriving state from the
   /// trace.  Must not throw; null = disabled.
   std::function<void(const SlotObservation&)> on_slot;
+  /// Crash-durable persistence (src/durable): snapshot checkpoints plus a
+  /// write-ahead journal, enabling kill-restart recovery with a
+  /// byte-identical final report.  Required whenever the fault plan
+  /// schedules kills (validate() enforces this — a kill without a way
+  /// back is a guaranteed hang, not chaos testing).
+  std::optional<durable::DurabilityConfig> durability;
 
   void validate() const;
 };
@@ -137,8 +152,27 @@ class ClusterSimulator {
                    SimConfig config, Rng rng);
 
   /// Runs the configured number of slots and returns the report.
-  /// Callable once.
+  /// Callable once.  When SimConfig::durability is set and a kill fault
+  /// fires, throws durable::SimKilled — catch it, construct a fresh
+  /// simulator with the same arguments, restore_from_durable(), and call
+  /// run() again; the resumed run produces the byte-identical report and
+  /// trace of an uninterrupted run.
   SimReport run();
+
+  /// What a restore did, for the `recovery_replay_slots` invariant.
+  struct RestoreInfo {
+    std::size_t snapshot_slot{0};  ///< slot the snapshot was taken at
+    std::size_t replay_slots{0};   ///< WAL-verified slots re-executed
+  };
+
+  /// Restores state from the newest snapshot + WAL suffix under
+  /// SimConfig::durability->dir.  Must be called before run() on a
+  /// freshly constructed simulator with identical construction
+  /// arguments.  Rewinds the global event log to the checkpoint the
+  /// snapshot recorded and re-fires SimConfig::on_slot for every slot
+  /// before the snapshot.  Throws durable::CorruptState when no valid
+  /// snapshot exists or the stored state is inconsistent.
+  RestoreInfo restore_from_durable();
 
   /// Current (possibly migrated) placement; valid after run().
   [[nodiscard]] const Placement& placement() const { return placement_; }
@@ -147,6 +181,16 @@ class ClusterSimulator {
   [[nodiscard]] Resource vm_demand(std::size_t i) const;
   void compute_loads(std::vector<Resource>& load,
                      std::vector<Resource>& demand) const;
+  /// Writes a snapshot + rotates the WAL when slot `t` is a checkpoint
+  /// boundary (top of slot, before any slot-t work).
+  void maybe_checkpoint(std::size_t t);
+  /// Serializes the complete simulator state at the top of slot `t`.
+  [[nodiscard]] std::string encode_state(std::size_t t);
+  void journal(durable::WalRecord type, std::string payload);
+  /// Frames + commits this slot's journal group; during replay verifies
+  /// it byte-for-byte against the pre-kill WAL (divergence is loud).
+  void commit_slot(std::size_t t);
+  [[nodiscard]] std::uint32_t placement_crc() const;
   /// Applies this slot's faults: stalls and aborts in-flight copies,
   /// evacuates crashed PMs through the recovery controller, drains the
   /// admission queue.  Mutates placement_ and in_flight_.
@@ -179,6 +223,40 @@ class ClusterSimulator {
   std::vector<bool> aborted_once_;
   std::size_t next_phase_{0};  ///< first workload phase not yet applied
   bool ran_{false};
+
+  // Run-long accumulators, members (not run() locals) so a durable
+  // snapshot can capture and a restore can overwrite them.  Optionals:
+  // emplaced in the ctor body after SimConfig::validate() so a bad
+  // config still fails with the config error message.
+  std::optional<CvrTracker> tracker_;
+  std::optional<EnergyMeter> meter_;
+  SimReport report_;
+  /// Emplaced at the END of construction so its `sim.config` event is the
+  /// last ctor-time emission; a restore rewinds the log right past it.
+  std::optional<FlightSlotRecorder> recorder_;
+  std::size_t start_slot_{0};  ///< run() resumes here after a restore
+
+  // Durable persistence (present only when config_.durability is set).
+  std::optional<durable::SnapshotStore> store_;
+  std::unique_ptr<durable::WalWriter> wal_;
+  std::size_t wal_base_slot_{0};
+  /// Pre-kill WAL groups to verify against during replay, indexed by
+  /// slot - wal_base_slot_; replay covers [start_slot_, replay_upto_).
+  std::vector<durable::WalGroup> verify_groups_;
+  std::size_t replay_upto_{0};
+
+  /// Per-slot observations retained for snapshots: a restore re-fires
+  /// them through on_slot so harness accumulators rebuild exactly.
+  struct StoredObs {
+    std::vector<std::size_t> active;
+    std::vector<std::size_t> violated;
+    std::size_t migrations{0};
+    std::size_t failed_migrations{0};
+    std::size_t pms_used{0};
+    double fast_burn{0.0};
+    double slow_burn{0.0};
+  };
+  std::vector<StoredObs> history_;
 };
 
 /// Convenience for the Figure 6 experiment: per-PM cumulative CVR of a

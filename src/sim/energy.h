@@ -51,6 +51,10 @@ class EnergyMeter {
   [[nodiscard]] double joules() const { return joules_; }
   [[nodiscard]] double watt_hours() const { return joules_ / 3600.0; }
 
+  /// Restores the accumulator from a durable snapshot (exact bit
+  /// pattern, so resumed accounting matches the uninterrupted run).
+  void restore_joules(double joules) { joules_ = joules; }
+
  private:
   PowerModel model_;
   double slot_seconds_;

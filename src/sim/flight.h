@@ -56,6 +56,18 @@ class FlightSlotRecorder {
   void slot(std::size_t t, const std::vector<std::size_t>& active,
             const std::vector<std::size_t>& violated);
 
+  // Delta-encoding state, for durable snapshots: the restored recorder
+  // must keep eliding the `active` field exactly where the uninterrupted
+  // run would have.
+  [[nodiscard]] bool first() const { return first_; }
+  [[nodiscard]] const std::vector<std::size_t>& last_active() const {
+    return last_active_;
+  }
+  void restore_state(bool first, std::vector<std::size_t> last_active) {
+    first_ = first;
+    last_active_ = std::move(last_active);
+  }
+
  private:
   bool enabled_{false};
   bool first_{true};
@@ -71,6 +83,12 @@ class FlightSlotRecorder {
   [[nodiscard]] bool enabled() const { return false; }
   void slot(std::size_t, const std::vector<std::size_t>&,
             const std::vector<std::size_t>&) {}
+  [[nodiscard]] bool first() const { return true; }
+  [[nodiscard]] const std::vector<std::size_t>& last_active() const {
+    static const std::vector<std::size_t> kEmpty;
+    return kEmpty;
+  }
+  void restore_state(bool, std::vector<std::size_t>) {}
 };
 
 #endif  // BURSTQ_NO_OBS

@@ -8,12 +8,24 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "common/error.h"
 #include "common/types.h"
 
 namespace burstq {
+
+/// Serializable CvrTracker contents for durable snapshots.
+struct CvrTrackerState {
+  struct PerPm {
+    std::size_t observed{0};
+    std::size_t violated{0};
+    std::vector<std::uint8_t> window;  ///< oldest-first slot outcomes
+  };
+  std::vector<PerPm> pms;
+};
 
 /// Per-PM violation bookkeeping.
 class CvrTracker {
@@ -42,6 +54,38 @@ class CvrTracker {
   [[nodiscard]] double mean_cvr() const;
   /// Largest cumulative CVR over all PMs.
   [[nodiscard]] double max_cvr() const;
+
+  [[nodiscard]] CvrTrackerState export_state() const {
+    CvrTrackerState st;
+    st.pms.reserve(total_.size());
+    for (const PerPm& pm : total_) {
+      CvrTrackerState::PerPm out;
+      out.observed = pm.observed;
+      out.violated = pm.violated;
+      // Element-wise (not assign()) — GCC 12's stringop-overflow analysis
+      // false-positives on deque<bool> -> vector<uint8_t> range copies.
+      out.window.reserve(pm.window.size());
+      for (const bool v : pm.window) out.window.push_back(v ? 1 : 0);
+      st.pms.push_back(std::move(out));
+    }
+    return st;
+  }
+
+  void import_state(const CvrTrackerState& st) {
+    BURSTQ_REQUIRE(st.pms.size() == total_.size(),
+                   "CvrTracker state PM count mismatch");
+    for (std::size_t i = 0; i < total_.size(); ++i) {
+      PerPm& pm = total_[i];
+      pm.observed = st.pms[i].observed;
+      pm.violated = st.pms[i].violated;
+      pm.window.clear();
+      pm.window_violations = 0;
+      for (const std::uint8_t v : st.pms[i].window) {
+        pm.window.push_back(v != 0);
+        if (v != 0) ++pm.window_violations;
+      }
+    }
+  }
 
  private:
   struct PerPm {

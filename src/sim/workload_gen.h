@@ -60,6 +60,21 @@ class WorkloadEnsemble {
 
   [[nodiscard]] std::size_t n_vms() const { return chains_.size(); }
 
+  // Durable-snapshot access: the ensemble is fully determined by its RNG
+  // stream plus each chain's (possibly phase-overridden) parameters and
+  // state, so restore writes those back directly rather than replaying
+  // the phase history.
+  [[nodiscard]] const Rng& rng() const { return rng_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const OnOffChain& chain(std::size_t vm) const {
+    return chains_[vm];
+  }
+  void restore_chain(std::size_t vm, const OnOffParams& params,
+                     VmState state) {
+    chains_[vm].set_params(params);
+    chains_[vm].reset(state);
+  }
+
  private:
   const ProblemInstance* inst_;
   Rng rng_;

@@ -74,7 +74,7 @@ TEST(FuzzOracles, PassOnTheHistoricalCrashFamilies) {
     c.max_vms_per_pm = 8;
     for (const OracleId id :
          {OracleId::kStationary, OracleId::kCvr, OracleId::kPlacement,
-          OracleId::kCache, OracleId::kRecovery}) {
+          OracleId::kCache, OracleId::kRecovery, OracleId::kDurability}) {
       const OracleReport r = run_oracle(id, c);
       EXPECT_TRUE(!r.ran || r.ok)
           << oracle_name(id) << " failed on p=(" << p_on << "," << p_off
@@ -117,8 +117,9 @@ TEST(FuzzHarness, SmallSweepIsCleanAndCountsAddUp) {
                                     ? ""
                                     : summary.discrepancies[0].detail);
   EXPECT_EQ(summary.instances, 25u);
-  // Five oracles per case; each either ran or was gated out.
-  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 5u * 25u);
+  EXPECT_FALSE(summary.stopped_early);
+  // Six oracles per case; each either ran or was gated out.
+  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 6u * 25u);
 }
 
 TEST(FuzzHarness, RerunsAreIdentical) {
@@ -139,7 +140,7 @@ TEST(FuzzHarness, ReplaySingleCase) {
   const FuzzSummary summary = replay_case(seed, options);
   EXPECT_EQ(summary.instances, 1u);
   EXPECT_TRUE(summary.ok());
-  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 4u);
+  EXPECT_EQ(summary.oracle_runs + summary.oracle_skips, 5u);
 }
 
 TEST(FuzzHarness, OracleSelectionIsHonoured) {
@@ -147,11 +148,41 @@ TEST(FuzzHarness, OracleSelectionIsHonoured) {
   options.seed = 2;
   options.instances = 10;
   options.cvr = options.placement = options.cache = options.recovery =
-      false;
+      options.durability = false;
   const FuzzSummary summary = run_fuzz(options);
   // The stationary oracle never gates out.
   EXPECT_EQ(summary.oracle_runs, 10u);
   EXPECT_EQ(summary.oracle_skips, 0u);
+}
+
+TEST(FuzzHarness, MaxSecondsStopsAtACaseBoundary) {
+  FuzzOptions options;
+  options.seed = 9;
+  options.instances = 100000;
+  options.max_seconds = 1e-9;  // expires before the first boundary check
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_TRUE(summary.stopped_early);
+  EXPECT_LT(summary.instances, options.instances);
+  EXPECT_TRUE(summary.ok());
+}
+
+TEST(FuzzOracles, DurabilityOracleAcceptsAHealthyCase) {
+  FuzzCase c;
+  c.seed = 4242;
+  c.k = 8;
+  c.params = OnOffParams{0.1, 0.3};
+  c.rho = 0.05;
+  c.n_vms = 24;
+  c.n_pms = 8;
+  c.max_vms_per_pm = 8;
+  c.fault_slots = 30;
+  c.fault_crash_slot = 6;
+  c.fault_recover_slot = 18;
+  c.fault_p_mig_fail = 0.05;
+  c.fault_seed = 17;
+  const OracleReport r = check_durability_contract(c);
+  EXPECT_TRUE(r.ran) << r.detail;
+  EXPECT_TRUE(r.ok) << r.detail;
 }
 
 }  // namespace

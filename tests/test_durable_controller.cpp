@@ -1,0 +1,332 @@
+// Crash-durability of the closed-loop controller: every public op is
+// journaled before it is applied, a snapshot checkpoint lands every N
+// ops, and recover() = newest snapshot + op-suffix replay through the
+// same public methods.  The contract mirrors the simulator's: a
+// controller killed between ANY two ops and recovered reaches the exact
+// same state (byte-identical export_state) as one never interrupted.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/controller.h"
+#include "durable/controller_store.h"
+#include "durable/durable.h"
+#include "durable/snapshot.h"
+#include "obs/slo.h"
+
+namespace burstq {
+namespace {
+
+const OnOffParams kP{0.05, 0.12};
+
+std::vector<PmSpec> pms(std::size_t m, double cap = 60.0) {
+  return std::vector<PmSpec>(m, PmSpec{cap});
+}
+
+VmSpec vm(double rb, double re, OnOffParams p = kP) {
+  return VmSpec{p, rb, re};
+}
+
+ControllerConfig base_config() {
+  ControllerConfig c;
+  c.maintenance_every = 10;  // exercise table recalibration mid-run
+  return c;
+}
+
+/// The scripted op stream: a pure function of the op index, so the
+/// uninterrupted run and any kill-restart run apply the same sequence.
+/// Mixes admits, ticks, resizes, departs, and a PM crash/recover pair;
+/// decisions that consult controller state (is tenant 0 live?) are
+/// deterministic too — both runs see identical state at every index.
+void apply_op(durable::DurableController& d, std::size_t i) {
+  const TenantId t{(i / 7) % 3};
+  switch (i % 7) {
+    case 0:
+    case 4:
+      (void)d.admit(vm(6.0 + static_cast<double>(i % 5), 5.0));
+      return;
+    case 2:
+      if (d.controller().tenant_live(t)) {
+        (void)d.resize(t, vm(7.0 + static_cast<double>(i % 3), 6.0));
+        return;
+      }
+      d.tick();
+      return;
+    case 5:
+      if (i == 12) {
+        d.inject_pm_crash(PmId{1});
+        return;
+      }
+      if (i == 26) {
+        d.inject_pm_recover(PmId{1});
+        return;
+      }
+      if (i > 20 && d.controller().tenant_live(t)) {
+        d.depart(t);
+        return;
+      }
+      d.tick();
+      return;
+    default:
+      d.tick();
+      return;
+  }
+}
+
+class DurableControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "durable_ctrl_" + info->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void reset_dir() { std::filesystem::remove_all(dir_); }
+
+  durable::DurabilityConfig dcfg(std::size_t every = 8) {
+    durable::DurabilityConfig d;
+    d.dir = dir_;
+    d.snapshot_every = every;
+    return d;
+  }
+
+  durable::DurableController fresh(std::size_t every = 8,
+                                   std::size_t fleet = 6) {
+    return durable::DurableController(pms(fleet), base_config(), Rng(77),
+                                      dcfg(every));
+  }
+
+  /// Final state of the 40-op script with no interruption.
+  std::string uninterrupted_state() {
+    reset_dir();
+    durable::DurableController d = fresh();
+    for (std::size_t i = 0; i < 40; ++i) apply_op(d, i);
+    std::string state = d.controller().export_state();
+    reset_dir();
+    return state;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableControllerTest, OpsAreJournaledAndSnapshotsPruned) {
+  durable::DurableController d = fresh();
+  EXPECT_FALSE(d.has_state());
+  for (std::size_t i = 0; i < 40; ++i) apply_op(d, i);
+  EXPECT_EQ(d.op_seq(), 40u);
+  EXPECT_TRUE(d.has_state());
+
+  // Checkpoints landed at ops 0, 8, 16, 24, 32; prune keeps the two
+  // newest snapshot/WAL pairs.
+  const durable::SnapshotStore store(dir_, false);
+  const std::vector<std::size_t> slots = store.snapshot_slots();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0], 24u);
+  EXPECT_EQ(slots[1], 32u);
+  EXPECT_TRUE(std::filesystem::exists(store.wal_path(32)));
+}
+
+TEST_F(DurableControllerTest, KillRestartStateIsByteIdentical) {
+  const std::string want = uninterrupted_state();
+
+  // Kill on a snapshot boundary, mid-window, and on the last op.
+  for (const std::size_t kill : {8u, 13u, 39u}) {
+    reset_dir();
+    {
+      durable::DurableController b = fresh();
+      for (std::size_t i = 0; i < kill; ++i) apply_op(b, i);
+    }  // "power loss": the instance goes away, the directory stays
+
+    durable::DurableController c = fresh();
+    ASSERT_TRUE(c.has_state());
+    const auto info = c.recover();
+    EXPECT_EQ(info.snapshot_op + info.replayed_ops, kill);
+    EXPECT_LT(info.replayed_ops, 8u + 1u);  // never more than a window
+    EXPECT_EQ(c.op_seq(), kill);
+
+    for (std::size_t i = kill; i < 40; ++i) apply_op(c, i);
+    EXPECT_EQ(c.controller().export_state(), want)
+        << "diverged after kill at op " << kill;
+    EXPECT_TRUE(c.controller().reservation_invariant_holds());
+  }
+}
+
+TEST_F(DurableControllerTest, MultipleKillsStillConverge) {
+  const std::string want = uninterrupted_state();
+
+  reset_dir();
+  {
+    durable::DurableController a = fresh();
+    for (std::size_t i = 0; i < 5; ++i) apply_op(a, i);
+  }
+  std::size_t resumed = 0;
+  {
+    durable::DurableController b = fresh();
+    resumed = b.recover().snapshot_op + 5 - 5;  // snapshot 0, replay 5
+    EXPECT_EQ(b.op_seq(), 5u);
+    for (std::size_t i = 5; i < 23; ++i) apply_op(b, i);
+  }
+  durable::DurableController c = fresh();
+  const auto info = c.recover();
+  EXPECT_EQ(info.snapshot_op, 16u);
+  EXPECT_EQ(c.op_seq(), 23u);
+  for (std::size_t i = 23; i < 40; ++i) apply_op(c, i);
+  EXPECT_EQ(c.controller().export_state(), want);
+  (void)resumed;
+}
+
+TEST_F(DurableControllerTest, MidWindowRecoverReplaysExactSuffix) {
+  {
+    durable::DurableController a = fresh();
+    for (std::size_t i = 0; i < 13; ++i) apply_op(a, i);
+  }
+  durable::DurableController b = fresh();
+  const auto info = b.recover();
+  EXPECT_EQ(info.snapshot_op, 8u);
+  EXPECT_EQ(info.replayed_ops, 5u);
+}
+
+TEST_F(DurableControllerTest, TornWalTailRecoversValidPrefix) {
+  const std::string want = uninterrupted_state();
+
+  reset_dir();
+  {
+    durable::DurableController a = fresh();
+    for (std::size_t i = 0; i < 13; ++i) apply_op(a, i);
+  }
+  // Chop the journal mid-frame: the final committed group (op 12) turns
+  // into a torn tail and must be discarded, not rejected as corruption.
+  const durable::SnapshotStore store(dir_, false);
+  const std::string wal = store.wal_path(8);
+  const auto size = std::filesystem::file_size(wal);
+  std::filesystem::resize_file(wal, size - 3);
+
+  durable::DurableController b = fresh();
+  const auto info = b.recover();
+  EXPECT_EQ(info.snapshot_op, 8u);
+  EXPECT_EQ(info.replayed_ops, 4u);
+  EXPECT_EQ(b.op_seq(), 12u);
+
+  // The discarded op is simply re-applied by the continuing script; the
+  // final state still converges to the uninterrupted run.
+  for (std::size_t i = 12; i < 40; ++i) apply_op(b, i);
+  EXPECT_EQ(b.controller().export_state(), want);
+}
+
+TEST_F(DurableControllerTest, CorruptSnapshotFailsLoudlyWithOffset) {
+  {
+    durable::DurableController a = fresh();
+    for (std::size_t i = 0; i < 13; ++i) apply_op(a, i);
+  }
+  const durable::SnapshotStore store(dir_, false);
+  const std::string snap = store.snapshot_path(8);
+  {
+    std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  durable::DurableController b = fresh();
+  try {
+    (void)b.recover();
+    FAIL() << "corrupt snapshot must not recover";
+  } catch (const durable::CorruptState& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt at byte"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DurableControllerTest, RecoverIntoDifferentFleetIsRejected) {
+  {
+    durable::DurableController a = fresh();
+    for (std::size_t i = 0; i < 10; ++i) apply_op(a, i);
+  }
+  durable::DurableController b = fresh(8, 5);  // one PM fewer
+  EXPECT_THROW((void)b.recover(), durable::CorruptState);
+}
+
+TEST_F(DurableControllerTest, RecoverWithoutStateThrows) {
+  durable::DurableController d = fresh();
+  EXPECT_FALSE(d.has_state());
+  EXPECT_THROW((void)d.recover(), durable::CorruptState);
+}
+
+TEST_F(DurableControllerTest, InvalidOpsAreNotJournaled) {
+  durable::DurableController d = fresh();
+  (void)d.admit(vm(6.0, 5.0));
+  const std::size_t before = d.op_seq();
+  EXPECT_THROW(d.depart(TenantId{99}), InvalidArgument);
+  EXPECT_THROW((void)d.resize(TenantId{99}, vm(6.0, 5.0)),
+               InvalidArgument);
+  EXPECT_THROW(d.inject_pm_crash(PmId{42}), InvalidArgument);
+  // A rejected op never reached the journal: the sequence is unchanged
+  // and a recover replays only valid ops.
+  EXPECT_EQ(d.op_seq(), before);
+}
+
+// --- CloudController state round-trip (no journal) --------------------
+
+TEST(ControllerState, ExportImportRoundTripsAndStaysInLockstep) {
+  obs::SloOptions so;
+  so.rho = 0.05;
+  obs::SloTracker slo_a(6, so);
+  obs::SloTracker slo_b(6, so);
+  ControllerConfig cfg_a = base_config();
+  cfg_a.slo = &slo_a;
+  ControllerConfig cfg_b = base_config();
+  cfg_b.slo = &slo_b;
+
+  CloudController a(pms(6), cfg_a, Rng(5));
+  for (int i = 0; i < 6; ++i) (void)a.admit(vm(6.0 + i, 5.0));
+  for (int i = 0; i < 15; ++i) a.tick();
+  a.inject_pm_crash(PmId{2});
+  for (int i = 0; i < 3; ++i) a.tick();
+
+  const std::string blob = a.export_state();
+  CloudController b(pms(6), cfg_b, Rng(999));  // seed overwritten by import
+  b.import_state(blob);
+  EXPECT_EQ(b.export_state(), blob);
+
+  // Lockstep from here: identical restored state + identical inputs
+  // must evolve identically (RNG state came over in the blob).
+  a.inject_pm_recover(PmId{2});
+  b.inject_pm_recover(PmId{2});
+  for (int i = 0; i < 12; ++i) {
+    a.tick();
+    b.tick();
+  }
+  EXPECT_EQ(b.export_state(), a.export_state());
+  EXPECT_EQ(a.stats().runtime_migrations, b.stats().runtime_migrations);
+  EXPECT_EQ(a.stats().energy_wh, b.stats().energy_wh);
+}
+
+TEST(ControllerState, TruncatedBlobFailsLoudly) {
+  CloudController a(pms(4), base_config(), Rng(5));
+  (void)a.admit(vm(6.0, 5.0));
+  const std::string blob = a.export_state();
+  CloudController b(pms(4), base_config(), Rng(5));
+  try {
+    b.import_state(std::string_view(blob).substr(0, blob.size() / 2));
+    FAIL() << "truncated blob must not import";
+  } catch (const durable::CorruptState& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt at byte"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace burstq

@@ -1,0 +1,188 @@
+// WAL framing, torn-tail tolerance, and bit-flip recovery
+// (durable/wal.h).  The contract under test: every committed group
+// survives byte-exact, and ANY damage past the last valid group is
+// silently discarded as a torn tail — never an exception, never a
+// partial record.
+
+#include "durable/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "durable/state_codec.h"
+
+namespace burstq::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("burstq_wal_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "wal-0.bqwl").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  void write_file(const std::string& data) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+std::string payload_bytes(std::uint64_t a, std::uint64_t b) {
+  StateWriter w;
+  w.varint(a);
+  w.varint(b);
+  return w.take();
+}
+
+TEST_F(WalTest, RoundTripsCommittedGroups) {
+  std::string g0, g1;
+  {
+    WalWriter wal(path_, 10, /*fsync=*/false);
+    wal.append(WalRecord::kMigrate, payload_bytes(3, 7));
+    wal.append(WalRecord::kCrash, payload_bytes(1, 0));
+    g0 = wal.commit(11, 0xABCD);
+    g1 = wal.commit(12, 0x1234);  // empty group: a slot with no mutations
+    EXPECT_EQ(wal.groups_committed(), 2u);
+  }
+
+  const WalScan scan = scan_wal(path_);
+  ASSERT_TRUE(scan.present);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.base_slot, 10u);
+  ASSERT_EQ(scan.groups.size(), 2u);
+
+  EXPECT_EQ(scan.groups[0].slot, 11u);
+  EXPECT_EQ(scan.groups[0].state_crc, 0xABCDu);
+  ASSERT_EQ(scan.groups[0].records.size(), 2u);
+  EXPECT_EQ(scan.groups[0].records[0].first, WalRecord::kMigrate);
+  EXPECT_EQ(scan.groups[0].records[0].second, payload_bytes(3, 7));
+  EXPECT_EQ(scan.groups[0].records[1].first, WalRecord::kCrash);
+  EXPECT_EQ(scan.groups[0].bytes, g0);
+
+  EXPECT_EQ(scan.groups[1].slot, 12u);
+  EXPECT_TRUE(scan.groups[1].records.empty());
+  EXPECT_EQ(scan.groups[1].bytes, g1);
+  EXPECT_EQ(scan.valid_bytes, read_file().size());
+}
+
+TEST_F(WalTest, MissingFileScansEmpty) {
+  const WalScan scan = scan_wal((dir_ / "absent.bqwl").string());
+  EXPECT_FALSE(scan.present);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_TRUE(scan.groups.empty());
+}
+
+TEST_F(WalTest, DiscardPendingDropsUncommittedRecords) {
+  {
+    WalWriter wal(path_, 0, false);
+    wal.append(WalRecord::kMigrate, payload_bytes(1, 2));
+    wal.discard_pending();  // killed slot: partial work must vanish
+    wal.commit(1, 0);
+  }
+  const WalScan scan = scan_wal(path_);
+  ASSERT_EQ(scan.groups.size(), 1u);
+  EXPECT_TRUE(scan.groups[0].records.empty());
+}
+
+TEST_F(WalTest, TornTailKeepsValidPrefix) {
+  std::uint64_t full_size = 0;
+  std::uint64_t one_group_size = 0;
+  {
+    WalWriter wal(path_, 0, false);
+    wal.append(WalRecord::kQueue, payload_bytes(5, 5));
+    wal.commit(1, 1);
+    one_group_size = wal.bytes_written();
+    wal.append(WalRecord::kRecover, payload_bytes(6, 6));
+    wal.commit(2, 2);
+    full_size = wal.bytes_written();
+  }
+  const std::string data = read_file();
+  ASSERT_EQ(data.size(), full_size);
+
+  // Truncate at every byte boundary inside the second group: the first
+  // group must always survive, the second must never half-appear.
+  for (std::size_t cut = one_group_size; cut < full_size; ++cut) {
+    write_file(data.substr(0, cut));
+    const WalScan scan = scan_wal(path_);
+    ASSERT_TRUE(scan.present) << "cut=" << cut;
+    ASSERT_EQ(scan.groups.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(scan.groups[0].slot, 1u);
+    EXPECT_EQ(scan.torn, cut != one_group_size) << "cut=" << cut;
+    EXPECT_EQ(scan.valid_bytes, one_group_size) << "cut=" << cut;
+  }
+}
+
+TEST_F(WalTest, BitFlipInTailGroupDiscardsOnlyThatGroup) {
+  std::uint64_t one_group_size = 0;
+  {
+    WalWriter wal(path_, 0, false);
+    wal.commit(1, 1);
+    one_group_size = wal.bytes_written();
+    wal.append(WalRecord::kAbort, payload_bytes(9, 9));
+    wal.commit(2, 2);
+  }
+  std::string data = read_file();
+  // Flip one bit in every byte of the trailing group (frame and payload).
+  for (std::size_t i = one_group_size; i < data.size(); ++i) {
+    std::string damaged = data;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x10);
+    write_file(damaged);
+    const WalScan scan = scan_wal(path_);
+    ASSERT_TRUE(scan.present) << "byte=" << i;
+    EXPECT_TRUE(scan.torn) << "byte=" << i;
+    ASSERT_EQ(scan.groups.size(), 1u) << "byte=" << i;
+    EXPECT_EQ(scan.groups[0].slot, 1u);
+  }
+}
+
+TEST_F(WalTest, DamagedHeaderIsNotPresent) {
+  { WalWriter wal(path_, 0, false); }
+  std::string data = read_file();
+  data[0] = 'X';
+  write_file(data);
+  const WalScan scan = scan_wal(path_);
+  EXPECT_FALSE(scan.present);
+  EXPECT_TRUE(scan.torn);
+}
+
+TEST_F(WalTest, CommitBytesAreDeterministic) {
+  const std::string p = payload_bytes(4, 2);
+  std::string first, second;
+  {
+    WalWriter wal(path_, 3, false);
+    wal.append(WalRecord::kStall, p);
+    first = wal.commit(4, 77);
+  }
+  {
+    WalWriter wal(path_, 3, false);
+    wal.append(WalRecord::kStall, p);
+    second = wal.commit(4, 77);
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace burstq::durable

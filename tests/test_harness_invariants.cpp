@@ -15,7 +15,7 @@ namespace {
 
 TEST(InvariantCatalog, NamesRoundTrip) {
   const auto& catalog = invariant_catalog();
-  ASSERT_EQ(catalog.size(), 7u);
+  ASSERT_EQ(catalog.size(), 8u);
   for (const InvariantInfo& info : catalog) {
     EXPECT_EQ(info.name, invariant_name(info.kind));
     const auto back = invariant_from_name(info.name);
@@ -30,6 +30,23 @@ TEST(InvariantCatalog, UnknownNamesAreNullopt) {
   EXPECT_FALSE(invariant_from_name("").has_value());
   EXPECT_FALSE(invariant_op_from_name(">=").has_value());
   EXPECT_FALSE(invariant_op_from_name("=").has_value());
+}
+
+TEST(InvariantCatalog, RecoveryReplaySlotsEvaluatesFinalScalar) {
+  SlotSeries s;
+  s.cluster_cvr.assign(40, 0.0);
+  s.recovery_replay_slots = 13;
+  InvariantResult pass = evaluate_invariant(
+      InvariantKind::kRecoveryReplaySlots, InvariantOp::kLe, 20.0, s);
+  EXPECT_TRUE(pass.pass);
+  EXPECT_EQ(pass.worst, 13.0);
+  EXPECT_FALSE(pass.window.has_value());
+
+  InvariantResult fail = evaluate_invariant(
+      InvariantKind::kRecoveryReplaySlots, InvariantOp::kLe, 10.0, s);
+  EXPECT_FALSE(fail.pass);
+  ASSERT_TRUE(fail.window.has_value());
+  EXPECT_EQ(fail.window->first, 39u);
 }
 
 TEST(InvariantCatalog, OpNamesRoundTrip) {

@@ -138,6 +138,112 @@ TEST(HarnessRunner, SameSeedRunsAreByteIdentical) {
   EXPECT_EQ(slurp(ra.trace_path), slurp(rb.trace_path));
 }
 
+// --- kill-restart durability ------------------------------------------
+
+/// Kills early/mid/late with a PM crash in between; durability cadence
+/// 20 so every restore replays at most 20 slots.  `kills` toggles the
+/// kill-points; everything else (including the durability statement and
+/// invariant set) is held identical so reports can be byte-compared.
+Scenario power_loss_scenario(bool kills) {
+  std::string text =
+      "scenario power_loss\n"
+      "seed 21\n"
+      "slots 60\n"
+      "rho 0.08\n"
+      "topology vms=24 pms=12 pattern=small\n"
+      "workload p_on=0.05 p_off=0.12\n"
+      "fault crash@15:pm=2\n"
+      "fault recover@40:pm=2\n"
+      "durability every=20\n"
+      "invariant cluster_cvr <= 0.2\n"
+      "invariant lost_vms == 0\n";
+  if (kills) text += "fault kill@5\nfault kill@33\nfault kill@58\n";
+  return parse_scenario_text(text, "<power_loss>");
+}
+
+TEST(HarnessRunner, KillRestartReportMatchesUninterruptedRun) {
+  HarnessOptions killed;
+  killed.out_dir = temp_dir("hr_kill_a");
+  HarnessOptions plain;
+  plain.out_dir = temp_dir("hr_kill_b");
+  const RunSummary rk = run_scenario(power_loss_scenario(true), killed);
+  const RunSummary rp = run_scenario(power_loss_scenario(false), plain);
+
+  EXPECT_NE(rk.report.status, "abort") << rk.report.abort_reason;
+  EXPECT_EQ(rk.report.slots_completed, 60u);
+
+  // The hard durability contract, end to end: three kills and restores
+  // later, report AND trace are byte-identical to the run that was
+  // never interrupted.
+  const std::string report_killed = slurp(rk.report_path);
+  ASSERT_FALSE(report_killed.empty());
+  EXPECT_EQ(report_killed, slurp(rp.report_path));
+  EXPECT_EQ(slurp(rk.trace_path), slurp(rp.trace_path));
+}
+
+TEST(HarnessRunner, KillRestartRunsAreByteIdentical) {
+  // Two killed runs in different directories also agree — the restore
+  // path itself is deterministic.
+  HarnessOptions a;
+  a.out_dir = temp_dir("hr_kill_det_a");
+  HarnessOptions b;
+  b.out_dir = temp_dir("hr_kill_det_b");
+  const RunSummary ra = run_scenario(power_loss_scenario(true), a);
+  const RunSummary rb = run_scenario(power_loss_scenario(true), b);
+  EXPECT_EQ(slurp(ra.report_path), slurp(rb.report_path));
+  EXPECT_EQ(slurp(ra.trace_path), slurp(rb.trace_path));
+}
+
+TEST(HarnessRunner, RecoveryReplaySlotsInvariantObservesRestores) {
+  // kill@33 with cadence 20 restores from snap-20: 13 slots of replay.
+  // The invariant sees the worst restore and stays under the cadence.
+  Scenario sc = parse_scenario_text(
+      "scenario replay_bound\n"
+      "seed 21\n"
+      "slots 40\n"
+      "rho 0.2\n"
+      "topology vms=12 pms=6 pattern=equal\n"
+      "workload p_on=0.05 p_off=0.12\n"
+      "fault kill@33\n"
+      "durability every=20\n"
+      "invariant lost_vms == 0\n"
+      "invariant recovery_replay_slots <= 20\n",
+      "<replay_bound>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_replay");
+  const RunSummary run = run_scenario(sc, opt);
+  ASSERT_NE(run.report.status, "abort") << run.report.abort_reason;
+
+  const InvariantResult* replay = nullptr;
+  for (const InvariantResult& r : run.report.invariants)
+    if (r.kind == InvariantKind::kRecoveryReplaySlots) replay = &r;
+  ASSERT_NE(replay, nullptr);
+  EXPECT_TRUE(replay->pass);
+  EXPECT_EQ(replay->worst, 13.0);
+}
+
+TEST(HarnessRunner, KillsWithoutDurabilityStatementAutoEnable) {
+  // No `durability` statement: has_kills() turns it on with defaults;
+  // the run must complete rather than abort on SimConfig validation.
+  Scenario sc = parse_scenario_text(
+      "scenario auto_durable\n"
+      "seed 7\n"
+      "slots 30\n"
+      "rho 0.2\n"
+      "topology vms=12 pms=6 pattern=equal\n"
+      "workload p_on=0.05 p_off=0.12\n"
+      "fault kill@11\n"
+      "invariant lost_vms == 0\n",
+      "<auto_durable>");
+  HarnessOptions opt;
+  opt.out_dir = temp_dir("hr_auto");
+  const RunSummary run = run_scenario(sc, opt);
+  EXPECT_NE(run.report.status, "abort") << run.report.abort_reason;
+  EXPECT_EQ(run.report.slots_completed, 30u);
+  EXPECT_TRUE(std::filesystem::exists(opt.out_dir +
+                                      "/auto_durable.durable"));
+}
+
 // --- failing run: named invariant + resolvable trace pointer ----------
 
 TEST(HarnessRunner, BrokenScenarioNamesInvariantWithValidWindow) {

@@ -91,6 +91,45 @@ invariant lost_vms == 0
   EXPECT_EQ(sc.invariants[1].op, InvariantOp::kEq);
 }
 
+TEST(ScenarioParse, DurabilityAndKillsParse) {
+  const Scenario sc = parse(
+      "scenario durable\n"
+      "slots 50\n"
+      "fault kill@12\n"
+      "fault-markov p_kill=0.01 seed=3\n"
+      "durability every=10 fsync=on\n"
+      "invariant recovery_replay_slots <= 10\n");
+  EXPECT_TRUE(sc.durability);
+  EXPECT_EQ(sc.durability_every, 10u);
+  EXPECT_TRUE(sc.durability_fsync);
+  EXPECT_TRUE(sc.faults.has_kills());
+  EXPECT_EQ(sc.faults.markov.p_kill, 0.01);
+  ASSERT_EQ(sc.invariants.size(), 1u);
+  EXPECT_EQ(sc.invariants[0].kind, InvariantKind::kRecoveryReplaySlots);
+}
+
+TEST(ScenarioParse, DurabilityDefaultsAndBareStatement) {
+  const Scenario sc = parse(
+      "scenario durable_bare\n"
+      "durability\n"
+      "invariant lost_vms == 0\n");
+  EXPECT_TRUE(sc.durability);
+  EXPECT_EQ(sc.durability_every, 25u);
+  EXPECT_FALSE(sc.durability_fsync);
+}
+
+TEST(ScenarioParse, DurabilityBadValuesRejected) {
+  expect_error(
+      "scenario d\ndurability fsync=maybe\ninvariant lost_vms == 0\n",
+      "2:18", "bad fsync value 'maybe'");
+  expect_error(
+      "scenario d\ndurability cadence=5\ninvariant lost_vms == 0\n",
+      "2:12", "unknown durability key 'cadence'");
+  expect_error(
+      "scenario d\ndurability every=0\ninvariant lost_vms == 0\n", "",
+      "durability every= must be >= 1");
+}
+
 TEST(ScenarioParse, DefaultsHoldWhenOmitted) {
   const Scenario sc = parse(
       "scenario minimal\n"

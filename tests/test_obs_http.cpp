@@ -111,6 +111,49 @@ TEST(HttpServer, NonGetIs405AndJunkIs400) {
             std::string::npos);
 }
 
+TEST(HttpServer, StalledClientGets408AfterReadTimeout) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/x", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "x\n"};
+  });
+  server.set_read_timeout_ms(100);
+  server.start(0);
+  // Send a partial head and then go silent: the server must give up
+  // after the read timeout and answer 408 instead of blocking forever.
+  const std::string resp = raw_request(server.port(), "GET /x HTT");
+  EXPECT_NE(resp.find("HTTP/1.1 408 Request Timeout"), std::string::npos)
+      << resp;
+  // The acceptor thread is free again: a normal request still works.
+  EXPECT_NE(get(server.port(), "/x").find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, OversizedHeadGets431) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  server.handle("/x", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "x\n"};
+  });
+  server.start(0);
+  // Exactly the head cap (8192 bytes) with no terminator: the server
+  // must stop reading at the cap and reject rather than parse.
+  const std::string resp =
+      raw_request(server.port(), std::string(8192, 'a'));
+  EXPECT_NE(resp.find("HTTP/1.1 431 Request Header Fields Too Large"),
+            std::string::npos)
+      << resp.substr(0, 120);
+  EXPECT_NE(get(server.port(), "/x").find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, ReadTimeoutMustBeSetBeforeStartAndPositive) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  HttpServer server;
+  EXPECT_THROW(server.set_read_timeout_ms(0), InvalidArgument);
+  server.start(0);
+  EXPECT_THROW(server.set_read_timeout_ms(50), InvalidArgument);
+  server.stop();
+}
+
 TEST(HttpServer, StopIsIdempotentAndRestartable) {
   if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
   HttpServer server;

@@ -374,6 +374,65 @@ TEST(TraceCorruption, BadMagicAndVersionRejected) {
   EXPECT_THROW(read_events_btrc(path), InvalidArgument);
 }
 
+// ---- degenerate files ------------------------------------------------
+
+TEST(TraceDegenerate, ZeroEventFileReadsBackEmpty) {
+  const std::string path = temp_path("zero.btrc");
+  {
+    TraceWriter w(path);
+    EXPECT_EQ(w.events_written(), 0u);
+  }
+  EXPECT_TRUE(read_events_btrc(path).empty());
+  const TraceFileInfo info = read_trace_info(path);
+  EXPECT_EQ(info.events, 0u);
+  EXPECT_EQ(info.data_blocks, 0u);
+  EXPECT_TRUE(info.kinds.empty());
+}
+
+TEST(TraceDegenerate, HeaderOnlyFileIsEmptyNotAnError) {
+  // The 8-byte header with nothing after it — what a process killed
+  // right after open() leaves behind.
+  const std::string path = temp_path("header_only.btrc");
+  std::string header = "BTRC";
+  header += '\x01';
+  header += std::string("\x00\x00\x00", 3);
+  spit(path, header);
+  EXPECT_TRUE(read_events_btrc(path).empty());
+  TraceReader reader(path);
+  std::vector<RecordedEvent> events;
+  EXPECT_FALSE(reader.next_block(events));
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(reader.valid_offset(), 8u);
+}
+
+TEST(TraceDegenerate, SinglePartialBlockYieldsNoEventsAndNamesHeader) {
+  // A file whose ONLY block is torn (killed mid first flush): the
+  // streaming reader — the path `trace tail` walks — must surface zero
+  // events and report the header end (offset 8) as the last valid byte.
+  const std::string path = temp_path("one_block.btrc");
+  {
+    TraceWriter w(path);
+    for (int i = 0; i < 20; ++i) w.append("e", {{"t", i}});
+  }
+  const std::string whole = slurp(path);
+  ASSERT_GT(whole.size(), 12u);
+  const std::string torn = temp_path("one_block_torn.btrc");
+  spit(torn, whole.substr(0, 12));  // header + 4 stray bytes
+
+  TraceReader reader(torn);
+  std::vector<RecordedEvent> events;
+  EXPECT_THROW(reader.next_block(events), InvalidArgument);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(reader.valid_offset(), 8u);
+  try {
+    read_events_btrc(torn);
+    FAIL() << "torn single-block file must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
 // ---- format dispatch -------------------------------------------------
 
 TEST(FormatDispatch, SniffsAllThreeFormats) {
