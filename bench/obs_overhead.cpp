@@ -252,6 +252,61 @@ int main(int argc, char** argv) {
                        std::to_string(scrapes.load()) + ")");
   loop_table.print(std::cout);
 
+  // ---- span-event emission: off vs sampled vs full -------------------
+  // The same slot loop with a detail-level BTRC sink open, at three
+  // span-event sampling rates.  Row "off" prices the sink alone; the
+  // deltas price span.begin/span.end emission.  Virtual clock keeps the
+  // recorded trace deterministic (and its cost is the same atomic
+  // fetch_add the wall path pays for ids anyway).
+  struct SpanRow {
+    std::string name;
+    std::uint32_t every{0};
+    double seconds{0.0};
+    std::uint64_t emitted{0};
+    std::uint64_t dropped{0};
+  };
+  std::vector<SpanRow> span_rows{
+      {"off", 0}, {"sampled 1/64", 64}, {"full", 1}};
+  if (obs::kEnabled) {
+    banner("span events (slot loop + detail sink, " +
+           std::to_string(slots) + " slots)");
+    const auto counter_value = [](const char* name) -> std::uint64_t {
+      const obs::MetricsSnapshot snap = obs::metrics().scrape();
+      const obs::CounterSample* c = snap.counter(name);
+      return c == nullptr ? 0 : c->value;
+    };
+    const std::string span_trace =
+        burstq::bench::out_dir() + "/span_bench.btrc";
+    for (auto& row : span_rows) {
+      const std::uint64_t emitted0 =
+          counter_value("obs.span.events_emitted");
+      const std::uint64_t dropped0 =
+          counter_value("obs.span.events_dropped");
+      obs::set_span_events({row.every, /*virtual_clock=*/true});
+      row.seconds = time_s([&] {
+        obs::events().open(span_trace, obs::EventFormat::kBinary,
+                           obs::EventLevel::kDetail, false);
+        SimConfig cfg;
+        cfg.slots = slots;
+        ClusterSimulator sim(inst, placed, cfg, Rng(42));
+        (void)sim.run();
+        obs::events().close();
+      });
+      obs::set_span_events({});
+      row.emitted = counter_value("obs.span.events_emitted") - emitted0;
+      row.dropped = counter_value("obs.span.events_dropped") - dropped0;
+    }
+    ConsoleTable span_table(
+        {"sampling", "seconds", "ns/slot", "events", "dropped"});
+    for (const auto& row : span_rows)
+      span_table.add_row(
+          {row.name, ConsoleTable::num(row.seconds, 3),
+           ConsoleTable::num(row.seconds * 1e9 / d_slots, 0),
+           std::to_string(row.emitted), std::to_string(row.dropped)});
+    span_table.set_title("span.begin/span.end emission cost");
+    span_table.print(std::cout);
+  }
+
   const std::string json_path =
       burstq::bench::out_dir() + "/BENCH_obs.json";
   {
@@ -273,7 +328,20 @@ int main(int argc, char** argv) {
          << ",\n    \"repeat_ns_per_slot\": " << repeat_s * 1e9 / d_slots
          << ",\n    \"scraped_ns_per_slot\": " << scraped_s * 1e9 / d_slots
          << ",\n    \"scrapes_during_run\": " << scrapes.load()
-         << ",\n    \"deterministic\": true\n  }\n}\n";
+         << ",\n    \"deterministic\": true\n  },\n"
+         << "  \"span_events\": {\n"
+         << "    \"skipped\": " << (obs::kEnabled ? "false" : "true");
+    if (obs::kEnabled) {
+      json << ",\n    \"off_ns_per_slot\": "
+           << span_rows[0].seconds * 1e9 / d_slots
+           << ",\n    \"sampled64_ns_per_slot\": "
+           << span_rows[1].seconds * 1e9 / d_slots
+           << ",\n    \"full_ns_per_slot\": "
+           << span_rows[2].seconds * 1e9 / d_slots
+           << ",\n    \"sampled64_events\": " << span_rows[1].emitted
+           << ",\n    \"full_events\": " << span_rows[2].emitted;
+    }
+    json << "\n  }\n}\n";
   }
   std::cout << "\nwrote " << json_path << "\n";
 

@@ -13,12 +13,21 @@
 //       place then run the dynamic cluster simulator, optionally with
 //       deterministic fault injection (PM crashes, migration faults,
 //       solver outages); key=value report on stdout
-//   burstq_cli trace   <header|head|tail|tocsv> --log FILE [-n N]
-//       inspect a recorded flight log without a custom reader: header
-//       prints the BTRC schema, head/tail/tocsv print events as
-//       pipe-friendly id,kind,key,value CSV (any recorded format);
-//       head --at-offset N resolves a harness trace pointer (reads
-//       from byte N instead of the file start)
+//   burstq_cli trace   <header|head|tail|tocsv|query|profile|flame>
+//       inspect and analyze a recorded flight log without a custom
+//       reader: header prints the BTRC schema, head/tail/tocsv print
+//       events as pipe-friendly id,kind,key,value CSV (any recorded
+//       format); head/tail --at-offset N resolve a harness or `slo
+//       explain` trace pointer (read from byte N instead of the file
+//       start); query filters events with a small expression language
+//       ("kind=slot.obs, t>=57, t<=70"); profile reconstructs the
+//       sampled span tree (inclusive/exclusive time, per-slot critical
+//       paths); flame emits collapsed stacks for flamegraph.pl and,
+//       with --svg, a self-contained SVG flame graph
+//   burstq_cli slo     explain --log FILE
+//       re-derive SLO breach episodes from a recorded trace (flight
+//       replay) and explain each one: window, dominant events/spans,
+//       top violating PMs, byte-offset trace pointers
 //   burstq_cli harness <run|list|report> ...
 //       the scenario + invariants harness ("physics CI"): run executes
 //       scenario files and writes per-invariant JSON reports plus
@@ -34,7 +43,10 @@
 // structured event log; a .csv extension switches to the long CSV
 // format, .btrc to the binary columnar flight-recorder format),
 // --obs-level off|decisions|detail, --obs-fsync (fsync the sink on
-// every flush), and --obs-summary (print a metrics digest to stderr on
+// every flush), --obs-span-sample N (emit one span in N as
+// span.begin/span.end events; 0 = off), --obs-span-clock wall|virtual
+// (virtual = deterministic tick timestamps for byte-identical
+// profiles), and --obs-summary (print a metrics digest to stderr on
 // exit).
 //
 // Exit codes: 0 success, 1 bad usage/input/abort, 2 some VMs could not
@@ -45,6 +57,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "common/args.h"
@@ -62,6 +75,8 @@
 #include "harness/runner.h"
 #include "obs/exporter.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/query.h"
 #include "obs/slo.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
@@ -78,15 +93,18 @@ using namespace burstq;
 int usage_all() {
   std::cerr
       << "usage: burstq_cli "
-         "<place|analyze|fit|replay|sim|trace|harness|state> [options]\n"
+         "<place|analyze|fit|replay|sim|trace|slo|harness|state> "
+         "[options]\n"
          "  place    consolidate VM specs onto a PM fleet\n"
          "  analyze  report per-PM reservations of an existing mapping\n"
          "  fit      estimate ON-OFF specs from a demand trace CSV\n"
          "  replay   re-derive CVR totals from a recorded flight log\n"
          "  sim      place + dynamic simulation with optional fault "
          "injection\n"
-         "  trace    inspect a recorded flight log "
-         "(header|head|tail|tocsv)\n"
+         "  trace    inspect/analyze a recorded flight log "
+         "(header|head|tail|tocsv|query|profile|flame)\n"
+         "  slo      explain SLO breach episodes from a recorded trace "
+         "(explain)\n"
          "  harness  scenario + invariants harness (run|list|report)\n"
          "  state    inspect/fsck/export a crash-durable state dir "
          "(inspect|restore|snapshot)\n"
@@ -105,12 +123,32 @@ ArgParser& add_obs_options(ArgParser& args) {
   args.add_flag("obs-fsync",
                 "fsync the event sink on every flush (durability for the "
                 "trace itself; counted as obs.trace.fsyncs)");
+  args.add_option("obs-span-sample",
+                  "emit one span in N as span.begin/span.end events "
+                  "(0 = off; needs a detail-level sink)",
+                  "0");
+  args.add_option("obs-span-clock",
+                  "span event timestamps: wall | virtual (virtual = "
+                  "deterministic tick, for byte-identical profiles)",
+                  "wall");
   args.add_flag("obs-summary", "print a metrics digest to stderr on exit");
   return args;
 }
 
-/// Opens the global event log per --obs-out/--obs-level/--obs-fsync.
+/// Opens the global event log per --obs-out/--obs-level/--obs-fsync and
+/// configures span-event sampling.
 void open_obs(const ArgParser& args) {
+  obs::SpanEventOptions span_opt;
+  span_opt.sample_every =
+      static_cast<std::uint32_t>(args.get_int("obs-span-sample"));
+  const std::string clock = args.get("obs-span-clock");
+  if (clock == "virtual") {
+    span_opt.virtual_clock = true;
+  } else if (clock != "wall") {
+    throw InvalidArgument("--obs-span-clock must be wall or virtual, got '" +
+                          clock + "'");
+  }
+  obs::set_span_events(span_opt);
   if (!args.has("obs-out")) return;
   const std::string path = args.get("obs-out");
   obs::events().open(path, obs::event_format_from_path(path),
@@ -418,19 +456,36 @@ void print_events_csv(std::ostream& os,
 int cmd_trace(int argc, const char* const* argv) {
   const std::string verb = argc >= 2 ? argv[1] : "";
   const bool known_verb = verb == "header" || verb == "head" ||
-                          verb == "tail" || verb == "tocsv";
+                          verb == "tail" || verb == "tocsv" ||
+                          verb == "query" || verb == "profile" ||
+                          verb == "flame";
   ArgParser args("burstq_cli trace " + (known_verb ? verb : "<verb>"),
-                 "inspect a recorded flight log; header shows the BTRC "
-                 "schema, head/tail/tocsv emit id,kind,key,value CSV");
+                 "inspect or analyze a recorded flight log; header shows "
+                 "the BTRC schema, head/tail/tocsv/query emit "
+                 "id,kind,key,value CSV, profile/flame aggregate span "
+                 "events");
   args.add_option("log", "recorded flight log (.btrc, .jsonl, or .csv)");
   args.add_option("n", "events for head/tail", "10");
   args.add_alias('n', "n");
   args.add_option("at-offset",
-                  "head only: start at this byte offset (a harness report "
+                  "head/tail: start at this byte offset (a harness report "
                   "trace_pointer; BTRC block boundary or JSONL line start)");
+  args.add_option("where",
+                  "query: filter expression, comma = AND; clauses "
+                  "key<op>value with op in = != < <= > >=; 'kind' matches "
+                  "the event kind (e.g. \"kind=slot.obs,viol>0\")");
+  args.add_option("limit", "query: stop after N matching events", "0");
+  args.add_flag("count", "query: print only the match count");
+  args.add_option("top", "profile: rows per table", "24");
+  args.add_flag("collapsed",
+                "profile: print collapsed stacks (flamegraph input) "
+                "instead of the report");
+  args.add_option("svg", "flame: also write a self-contained SVG here");
+  args.add_option("title", "flame: SVG title (default: trace stem)");
   if (!known_verb) {
-    std::cerr << "usage: burstq_cli trace <header|head|tail|tocsv> "
-                 "--log FILE [-n N]\n";
+    std::cerr << "usage: burstq_cli trace "
+                 "<header|head|tail|tocsv|query|profile|flame> "
+                 "--log FILE [-n N] [--where EXPR] [--svg FILE]\n";
     return 1;
   }
   if (!args.parse(argc - 1, argv + 1) || !args.has("log")) {
@@ -474,6 +529,54 @@ int cmd_trace(int argc, const char* const* argv) {
     return 0;
   }
 
+  if (verb == "profile" || verb == "flame") {
+    const obs::SpanProfile prof = obs::profile_trace(path);
+    if (verb == "profile") {
+      if (args.flag("collapsed")) {
+        std::cout << prof.render_collapsed();
+      } else {
+        obs::SpanProfileOptions popt;
+        popt.top = static_cast<std::size_t>(args.get_int("top"));
+        std::cout << prof.render(popt);
+      }
+      return 0;
+    }
+    // flame: collapsed stacks on stdout, optional SVG on the side.
+    std::cout << prof.render_collapsed();
+    if (args.has("svg")) {
+      const std::string title =
+          args.has("title")
+              ? args.get("title")
+              : std::filesystem::path(path).stem().string();
+      const std::string svg = obs::render_flame_svg(prof.collapsed, title);
+      std::ofstream out(args.get("svg"), std::ios::binary);
+      BURSTQ_REQUIRE(out.good(),
+                     "cannot open --svg output: " + args.get("svg"));
+      out << svg;
+      std::cerr << "flame.svg=" << args.get("svg")
+                << " stacks=" << prof.collapsed.size() << "\n";
+    }
+    return 0;
+  }
+
+  if (verb == "query") {
+    const obs::Query query = obs::Query::parse(args.get("where"));
+    const auto limit = static_cast<std::uint64_t>(args.get_int("limit"));
+    const bool count_only = args.flag("count");
+    if (!count_only) std::cout << "id,kind,key,value\n";
+    std::uint64_t matched = 0;
+    obs::scan_events(path, [&](const obs::RecordedEvent& ev,
+                               std::uint64_t /*offset*/,
+                               std::uint64_t index) {
+      if (!query.matches(ev)) return true;
+      ++matched;
+      if (!count_only) print_events_csv(std::cout, {ev}, index);
+      return limit == 0 || matched < limit;
+    });
+    if (count_only) std::cout << "matches=" << matched << "\n";
+    return 0;
+  }
+
   std::cout << "id,kind,key,value\n";
   if (verb == "tocsv") {
     print_events_csv(std::cout, obs::read_events_auto(path), 0);
@@ -506,6 +609,20 @@ int cmd_trace(int argc, const char* const* argv) {
     return 0;
   }
   // tail: stream blocks, keeping a bounded window of the last n events.
+  if (args.has("at-offset")) {
+    // Last n events at-or-after the pointer; ids are relative to the
+    // offset (parity with head --at-offset).
+    const auto offset =
+        static_cast<std::uint64_t>(args.get_int("at-offset"));
+    std::vector<obs::RecordedEvent> events = obs::read_events_at_offset(
+        path, offset, std::numeric_limits<std::size_t>::max());
+    const std::uint64_t total_after = events.size();
+    if (events.size() > n)
+      events.erase(events.begin(),
+                   events.end() - static_cast<std::ptrdiff_t>(n));
+    print_events_csv(std::cout, events, total_after - events.size());
+    return 0;
+  }
   std::vector<obs::RecordedEvent> window;
   std::uint64_t total = 0;
   if (obs::sniff_event_format(path) == obs::EventFormat::kBinary) {
@@ -524,6 +641,45 @@ int cmd_trace(int argc, const char* const* argv) {
                    window.end() - static_cast<std::ptrdiff_t>(n));
   }
   print_events_csv(std::cout, window, total - window.size());
+  return 0;
+}
+
+int cmd_slo(int argc, const char* const* argv) {
+  const std::string verb = argc >= 2 ? argv[1] : "";
+  const bool known_verb = verb == "explain";
+  ArgParser args("burstq_cli slo " + (known_verb ? verb : "<verb>"),
+                 "re-derive SLO breach episodes from a recorded flight "
+                 "log and explain each one (dominant events/spans, top "
+                 "violating PMs, trace pointers)");
+  args.add_option("log", "recorded flight log (.btrc or .jsonl)");
+  args.add_option("slo-fast", "fast burn-rate window in slots", "10");
+  args.add_option("slo-slow", "slow burn-rate window in slots", "120");
+  args.add_option("slo-burn",
+                  "burn-rate threshold that opens a breach episode",
+                  "1.0");
+  args.add_option("top", "events/spans/PMs listed per episode", "8");
+  args.add_flag("no-pointers",
+                "omit 'pointer trace_offset=' lines (reports become "
+                "comparable across trace formats)");
+  if (!known_verb) {
+    std::cerr << "usage: burstq_cli slo explain --log FILE [--top N]\n";
+    return 1;
+  }
+  if (!args.parse(argc - 1, argv + 1) || !args.has("log")) {
+    std::cerr << (args.error().empty() ? "--log is required" : args.error())
+              << "\n\n"
+              << args.usage();
+    return 1;
+  }
+  SloExplainOptions opt;
+  opt.slo.fast_window =
+      static_cast<std::size_t>(args.get_int("slo-fast"));
+  opt.slo.slow_window =
+      static_cast<std::size_t>(args.get_int("slo-slow"));
+  opt.slo.breach_burn = args.get_double("slo-burn");
+  opt.top = static_cast<std::size_t>(args.get_int("top"));
+  opt.pointers = !args.flag("no-pointers");
+  std::cout << explain_slo_breaches(args.get("log"), opt);
   return 0;
 }
 
@@ -1055,6 +1211,7 @@ int main(int argc, char** argv) {
     if (sub == "replay") return cmd_replay(argc - 1, argv + 1);
     if (sub == "sim") return cmd_sim(argc - 1, argv + 1);
     if (sub == "trace") return cmd_trace(argc - 1, argv + 1);
+    if (sub == "slo") return cmd_slo(argc - 1, argv + 1);
     if (sub == "harness") return cmd_harness(argc - 1, argv + 1);
     if (sub == "state") return cmd_state(argc - 1, argv + 1);
   } catch (const InvalidArgument& e) {

@@ -11,6 +11,7 @@
 #include "durable/durable.h"
 #include "obs/jsonl.h"
 #include "obs/obs.h"
+#include "obs/query.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
 #include "placement/baselines.h"
@@ -40,53 +41,24 @@ PlacementResult place_fleet(const Scenario& sc,
   throw InvalidArgument("unknown strategy: " + sc.strategy);
 }
 
-/// Streams the finalized trace once: resolves a TracePointer for every
-/// slot in `targets` (the first slot.obs event at that `t`; BTRC
+/// Streams the finalized trace once (obs::scan_events — JSONL
+/// line-by-line, BTRC block-by-block): resolves a TracePointer for
+/// every slot in `targets` (the first slot.obs event at that `t`; BTRC
 /// pointers use the containing block's boundary so `trace head
 /// --at-offset` can start decoding there) and counts the total events.
 std::uint64_t scan_trace(const std::string& path,
                          std::map<std::size_t, TracePointer>& targets) {
-  const obs::EventFormat format = obs::sniff_event_format(path);
-  std::uint64_t total = 0;
-  auto match = [&](const obs::RecordedEvent& ev, std::uint64_t offset,
-                   std::uint64_t index) {
-    if (ev.kind != "slot.obs") return;
-    const auto t = static_cast<std::size_t>(ev.integer("t"));
-    const auto it = targets.find(t);
-    if (it == targets.end() || it->second.offset != 0 ||
-        it->second.event_index != 0)
-      return;
-    it->second = TracePointer{offset, index, t};
-  };
-
-  if (format == obs::EventFormat::kBinary) {
-    obs::TraceReader reader(path);
-    std::vector<obs::RecordedEvent> block;
-    while (true) {
-      const std::uint64_t block_start = reader.valid_offset();
-      block.clear();
-      if (!reader.next_block(block)) break;
-      for (std::size_t i = 0; i < block.size(); ++i)
-        match(block[i], block_start, total + i);
-      total += block.size();
-    }
-    return total;
-  }
-
-  std::ifstream in(path, std::ios::in | std::ios::binary);
-  BURSTQ_REQUIRE(in.is_open(), "cannot open trace file: " + path);
-  std::string line;
-  std::uint64_t offset = 0;
-  while (std::getline(in, line)) {
-    const std::uint64_t line_start = offset;
-    offset += line.size() + 1;  // getline consumed the newline
-    std::string error;
-    const auto ev = obs::parse_event_line(line, &error);
-    if (!ev) continue;  // blank or foreign line: not this harness's trace
-    match(*ev, line_start, total);
-    ++total;
-  }
-  return total;
+  return obs::scan_events(
+      path, [&targets](const obs::RecordedEvent& ev, std::uint64_t offset,
+                       std::uint64_t index) {
+        if (ev.kind != "slot.obs") return true;
+        const auto t = static_cast<std::size_t>(ev.integer("t"));
+        const auto it = targets.find(t);
+        if (it != targets.end() && it->second.offset == 0 &&
+            it->second.event_index == 0)
+          it->second = TracePointer{offset, index, t};
+        return true;
+      });
 }
 
 }  // namespace

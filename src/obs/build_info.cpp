@@ -1,0 +1,32 @@
+#include "obs/build_info.h"
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace burstq::obs {
+
+#ifndef BURSTQ_VERSION
+#define BURSTQ_VERSION "0.0.0-dev"
+#endif
+
+std::string_view build_version() noexcept { return BURSTQ_VERSION; }
+
+bool build_obs_enabled() noexcept { return kEnabled; }
+
+std::string build_info_text() {
+  std::string out;
+  out += "build.version=" + std::string(build_version()) + "\n";
+  out += "build.obs=" + std::string(kEnabled ? "1" : "0") + "\n";
+  out += "build.trace_format_version=" +
+         std::to_string(static_cast<int>(kTraceVersion)) + "\n";
+  return out;
+}
+
+void register_build_info_metrics() {
+  BURSTQ_GAUGE("obs.build.info", 1.0);
+  BURSTQ_GAUGE("obs.build.obs_enabled", kEnabled ? 1.0 : 0.0);
+  BURSTQ_GAUGE("obs.build.trace_format_version",
+               static_cast<double>(kTraceVersion));
+}
+
+}  // namespace burstq::obs

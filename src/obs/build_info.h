@@ -1,0 +1,32 @@
+// Build identity for /healthz and the obs.build.info gauge family.
+//
+// The version string is injected by CMake (-DBURSTQ_VERSION="x.y.z"
+// from the project() version); a bare compile without it reports
+// "0.0.0-dev" so the header stays usable in ad-hoc builds.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace burstq::obs {
+
+/// Project version, e.g. "1.0.0".
+[[nodiscard]] std::string_view build_version() noexcept;
+
+/// True when the binary was built with instrumentation (not
+/// -DBURSTQ_NO_OBS).
+[[nodiscard]] bool build_obs_enabled() noexcept;
+
+/// Deterministic key=value lines describing the build:
+///   build.version=1.0.0
+///   build.obs=1
+///   build.trace_format_version=1
+[[nodiscard]] std::string build_info_text();
+
+/// Publishes the obs.build.* gauge family into the metrics registry:
+/// obs.build.info (always 1), obs.build.obs_enabled, and
+/// obs.build.trace_format_version.  Idempotent.
+void register_build_info_metrics();
+
+}  // namespace burstq::obs

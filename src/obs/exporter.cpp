@@ -6,11 +6,13 @@
 
 #ifndef BURSTQ_NO_OBS
 
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 #include <thread>
 
+#include "obs/build_info.h"
 #include "obs/http_server.h"
 #include "obs/prometheus.h"
 
@@ -19,6 +21,15 @@ namespace burstq::obs {
 struct TelemetryExporter::Impl {
   TelemetryOptions opt;
   HttpServer server;
+  std::chrono::steady_clock::time_point started{
+      std::chrono::steady_clock::now()};
+
+  [[nodiscard]] std::uint64_t uptime_seconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+  }
 
   mutable std::mutex mu;
   MetricsSnapshot snap;                          ///< latest refresh
@@ -76,6 +87,9 @@ TelemetryExporter::TelemetryExporter(TelemetryOptions options)
   BURSTQ_REQUIRE(options.interval.count() > 0,
                  "telemetry: interval must be positive");
   impl_->opt = std::move(options);
+  // Build identity travels with every scrape (obs.build.* gauges) and
+  // with /healthz, so a dashboard can tell which binary it watches.
+  register_build_info_metrics();
   impl_->refresh();  // /metrics is never empty-before-first-tick
 
   Impl* impl = impl_.get();
@@ -83,8 +97,13 @@ TelemetryExporter::TelemetryExporter(TelemetryOptions options)
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         impl->render_metrics()};
   });
-  impl_->server.handle("/healthz", [](const std::string&) {
-    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  impl_->server.handle("/healthz", [impl](const std::string&) {
+    // First line stays exactly "ok" — liveness probes grep for it.
+    std::string body = "ok\n";
+    body += build_info_text();
+    body += "uptime_seconds=" + std::to_string(impl->uptime_seconds()) +
+            "\n";
+    return HttpResponse{200, "text/plain; charset=utf-8", std::move(body)};
   });
   impl_->server.handle("/slo", [impl](const std::string&) {
     std::string body = impl->render_slo();

@@ -43,13 +43,16 @@ inline constexpr bool kEnabled = false;
 #ifndef BURSTQ_NO_OBS
 
 /// Times the enclosing scope under `name`.  One per scope (per line).
+/// Named spans also emit sampled span.begin/span.end events when
+/// obs::set_span_events enabled them (off by default).
 #define BURSTQ_SPAN(name)                                                  \
   static ::burstq::obs::SpanStat& BURSTQ_OBS_CONCAT(burstq_span_stat_,     \
                                                     __LINE__) =            \
       ::burstq::obs::metrics().span(name);                                 \
   const ::burstq::obs::ScopedSpan BURSTQ_OBS_CONCAT(                       \
       burstq_span_guard_, __LINE__)(BURSTQ_OBS_CONCAT(burstq_span_stat_,   \
-                                                      __LINE__))
+                                                      __LINE__),           \
+                                    name)
 
 /// Adds `n` to the counter `name`.
 #define BURSTQ_COUNT(name, n)                                             \

@@ -1,0 +1,335 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.h"
+#include "obs/query.h"
+
+namespace burstq::obs {
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string i64(std::int64_t v) { return std::to_string(v); }
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Deterministic warm color per span name.
+std::string flame_color(std::string_view name) {
+  const std::uint64_t h = fnv1a(name);
+  const unsigned hue = static_cast<unsigned>(h % 50);          // 10..59
+  const unsigned sat = static_cast<unsigned>((h >> 8) % 21);   // 70..90
+  const unsigned lig = static_cast<unsigned>((h >> 16) % 11);  // 52..62
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "hsl(%u,%u%%,%u%%)", 10 + hue, 70 + sat,
+                52 + lig);
+  return buf;
+}
+
+struct FlameNode {
+  std::map<std::string, FlameNode> kids;  // name asc: deterministic layout
+  std::uint64_t self{0};
+  std::uint64_t total{0};
+};
+
+std::uint64_t fill_totals(FlameNode& node) {
+  node.total = node.self;
+  for (auto& [name, kid] : node.kids) node.total += fill_totals(kid);
+  return node.total;
+}
+
+std::size_t tree_depth(const FlameNode& node) {
+  std::size_t best = 0;
+  for (const auto& [name, kid] : node.kids)
+    best = std::max(best, tree_depth(kid));
+  return best + 1;
+}
+
+}  // namespace
+
+void SpanTreeBuilder::add(const RecordedEvent& ev) {
+  ++events_;
+  if (ev.kind == "sim.config") {
+    cur_slot_ = 0;
+    return;
+  }
+  if (ev.kind == "slot.obs") {
+    cur_slot_ = ev.integer("t") + 1;
+    return;
+  }
+  if (ev.kind == "span.begin") {
+    ++span_events_;
+    const auto id = static_cast<std::uint64_t>(ev.integer("id"));
+    if (id == 0) return;
+    Frame f;
+    f.name = std::string(ev.str("name"));
+    f.begin_t = static_cast<std::uint64_t>(ev.integer("t_ns"));
+    f.slot = cur_slot_;
+    f.parent = static_cast<std::uint64_t>(ev.integer("parent"));
+    const auto pit = f.parent != 0 ? open_.find(f.parent) : open_.end();
+    f.stack =
+        pit != open_.end() ? pit->second.stack + ";" + f.name : f.name;
+    open_[id] = std::move(f);
+    return;
+  }
+  if (ev.kind != "span.end") return;
+  ++span_events_;
+  const auto id = static_cast<std::uint64_t>(ev.integer("id"));
+  const auto it = open_.find(id);
+  if (it == open_.end()) {
+    ++unmatched_ends_;
+    return;
+  }
+  Frame f = std::move(it->second);
+  open_.erase(it);
+  const auto end_t = static_cast<std::uint64_t>(ev.integer("t_ns"));
+  const std::uint64_t incl = end_t > f.begin_t ? end_t - f.begin_t : 0;
+  const std::uint64_t excl = incl > f.child_ns ? incl - f.child_ns : 0;
+  ++spans_;
+
+  NameAgg& agg = names_[f.name];
+  ++agg.calls;
+  agg.incl_ns += incl;
+  agg.excl_ns += excl;
+  agg.max_incl_ns = std::max(agg.max_incl_ns, incl);
+
+  collapsed_[f.stack] += excl;
+
+  const std::string crit = f.best_child_path.empty()
+                               ? f.name
+                               : f.name + ";" + f.best_child_path;
+  SlotProfileRow& row = slots_[f.slot];
+  row.slot = f.slot;
+  ++row.spans;
+  const auto pit = f.parent != 0 ? open_.find(f.parent) : open_.end();
+  if (pit != open_.end()) {
+    Frame& p = pit->second;
+    p.child_ns += incl;
+    if (incl > p.best_child_incl) {
+      p.best_child_incl = incl;
+      p.best_child_path = crit;
+    }
+  } else {
+    row.root_incl_ns += incl;
+    if (incl > row.critical_ns ||
+        (incl == row.critical_ns && row.critical_path.empty())) {
+      row.critical_ns = incl;
+      row.critical_path = crit;
+    }
+  }
+  if (hook_) hook_(f.name, f.slot, incl, excl);
+}
+
+SpanProfile SpanTreeBuilder::finish() {
+  SpanProfile p;
+  p.events = events_;
+  p.span_events = span_events_;
+  p.spans = spans_;
+  p.unmatched_ends = unmatched_ends_;
+  p.unclosed = open_.size();
+
+  p.by_name.reserve(names_.size());
+  for (auto& [name, agg] : names_)
+    p.by_name.push_back({name, agg.calls, agg.incl_ns, agg.excl_ns,
+                         agg.max_incl_ns});
+  std::sort(p.by_name.begin(), p.by_name.end(),
+            [](const SpanNameRow& a, const SpanNameRow& b) {
+              if (a.excl_ns != b.excl_ns) return a.excl_ns > b.excl_ns;
+              return a.name < b.name;
+            });
+
+  p.slots.reserve(slots_.size());
+  for (auto& [slot, row] : slots_) p.slots.push_back(std::move(row));
+  std::sort(p.slots.begin(), p.slots.end(),
+            [](const SlotProfileRow& a, const SlotProfileRow& b) {
+              return a.slot < b.slot;
+            });
+
+  p.collapsed.reserve(collapsed_.size());
+  for (auto& [stack, ns] : collapsed_) p.collapsed.push_back({stack, ns});
+  std::sort(p.collapsed.begin(), p.collapsed.end(),
+            [](const CollapsedStack& a, const CollapsedStack& b) {
+              return a.stack < b.stack;
+            });
+
+  open_.clear();
+  names_.clear();
+  slots_.clear();
+  collapsed_.clear();
+  return p;
+}
+
+std::string SpanProfile::render(const SpanProfileOptions& opt) const {
+  std::string out;
+  out += "profile.schema=burstq.profile/v1\n";
+  out += "profile.events=" + u64(events) + "\n";
+  out += "profile.span_events=" + u64(span_events) + "\n";
+  out += "profile.spans=" + u64(spans) + "\n";
+  out += "profile.unmatched_ends=" + u64(unmatched_ends) + "\n";
+  out += "profile.unclosed=" + u64(unclosed) + "\n";
+  out += "profile.names=" + u64(by_name.size()) + "\n";
+  out += "profile.slots=" + u64(slots.size()) + "\n";
+
+  out += "name calls incl_ns excl_ns max_incl_ns\n";
+  const std::size_t n_names = std::min(opt.top, by_name.size());
+  for (std::size_t i = 0; i < n_names; ++i) {
+    const SpanNameRow& r = by_name[i];
+    out += r.name + " " + u64(r.calls) + " " + u64(r.incl_ns) + " " +
+           u64(r.excl_ns) + " " + u64(r.max_incl_ns) + "\n";
+  }
+  if (by_name.size() > n_names)
+    out += "profile.names_omitted=" + u64(by_name.size() - n_names) + "\n";
+
+  // The slot table caps to the `top` most expensive slots (by summed
+  // root inclusive time) but prints them in slot order.
+  std::vector<const SlotProfileRow*> picked;
+  picked.reserve(slots.size());
+  for (const SlotProfileRow& r : slots) picked.push_back(&r);
+  if (picked.size() > opt.top) {
+    std::sort(picked.begin(), picked.end(),
+              [](const SlotProfileRow* a, const SlotProfileRow* b) {
+                if (a->root_incl_ns != b->root_incl_ns)
+                  return a->root_incl_ns > b->root_incl_ns;
+                return a->slot < b->slot;
+              });
+    picked.resize(opt.top);
+    std::sort(picked.begin(), picked.end(),
+              [](const SlotProfileRow* a, const SlotProfileRow* b) {
+                return a->slot < b->slot;
+              });
+  }
+  out += "slot spans root_incl_ns critical_ns critical_path\n";
+  for (const SlotProfileRow* r : picked) {
+    out += i64(r->slot) + " " + u64(r->spans) + " " + u64(r->root_incl_ns) +
+           " " + u64(r->critical_ns) + " " +
+           (r->critical_path.empty() ? "-" : r->critical_path) + "\n";
+  }
+  if (slots.size() > picked.size())
+    out += "profile.slots_omitted=" + u64(slots.size() - picked.size()) +
+           "\n";
+  return out;
+}
+
+std::string SpanProfile::render_collapsed() const {
+  std::string out;
+  for (const CollapsedStack& s : collapsed)
+    out += s.stack + " " + u64(s.self_ns) + "\n";
+  return out;
+}
+
+SpanProfile profile_trace(const std::string& path) {
+  SpanTreeBuilder builder;
+  scan_events(path, [&builder](const RecordedEvent& ev, std::uint64_t,
+                               std::uint64_t) {
+    builder.add(ev);
+    return true;
+  });
+  return builder.finish();
+}
+
+namespace {
+
+void emit_flame_boxes(std::string& out, const FlameNode& node,
+                      const std::string& name, double x, double width,
+                      std::size_t depth, std::uint64_t grand_total) {
+  if (width < 0.25) return;
+  const double y = 34.0 + static_cast<double>(depth) * 16.0;
+  const double share =
+      grand_total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(node.total) /
+                static_cast<double>(grand_total);
+  out += "<g><title>" + xml_escape(name) + " (" + u64(node.total) +
+         " ns, " + pct(share) + "%)</title>\n";
+  out += "<rect x=\"" + pct(x) + "\" y=\"" + pct(y) + "\" width=\"" +
+         pct(width) + "\" height=\"15\" rx=\"1\" fill=\"" +
+         flame_color(name) + "\"/>\n";
+  if (width >= 30.0) {
+    const std::size_t max_chars = static_cast<std::size_t>(width / 7.0);
+    std::string label = name;
+    if (label.size() > max_chars) {
+      label.resize(max_chars > 2 ? max_chars - 2 : 0);
+      label += "..";
+    }
+    out += "<text x=\"" + pct(x + 3.0) + "\" y=\"" + pct(y + 11.5) +
+           "\" font-size=\"11\" font-family=\"monospace\">" +
+           xml_escape(label) + "</text>\n";
+  }
+  out += "</g>\n";
+  if (node.total == 0) return;
+  double cx = x;
+  for (const auto& [kid_name, kid] : node.kids) {
+    const double kw = width * static_cast<double>(kid.total) /
+                      static_cast<double>(node.total);
+    emit_flame_boxes(out, kid, kid_name, cx, kw, depth + 1, grand_total);
+    cx += kw;
+  }
+}
+
+}  // namespace
+
+std::string render_flame_svg(const std::vector<CollapsedStack>& stacks,
+                             const std::string& title) {
+  FlameNode root;
+  for (const CollapsedStack& s : stacks) {
+    FlameNode* node = &root;
+    std::size_t pos = 0;
+    while (pos <= s.stack.size()) {
+      std::size_t sep = s.stack.find(';', pos);
+      if (sep == std::string::npos) sep = s.stack.size();
+      node = &node->kids[s.stack.substr(pos, sep - pos)];
+      pos = sep + 1;
+    }
+    node->self += s.self_ns;
+  }
+  fill_totals(root);
+  const std::size_t depth = root.kids.empty() ? 1 : tree_depth(root);
+  constexpr double kWidth = 1200.0;
+  const double height = 34.0 + static_cast<double>(depth + 1) * 16.0 + 8.0;
+
+  std::string out;
+  out += "<?xml version=\"1.0\" standalone=\"no\"?>\n";
+  out += "<svg version=\"1.1\" width=\"" + pct(kWidth) + "\" height=\"" +
+         pct(height) + "\" xmlns=\"http://www.w3.org/2000/svg\">\n";
+  out += "<rect x=\"0\" y=\"0\" width=\"" + pct(kWidth) + "\" height=\"" +
+         pct(height) + "\" fill=\"#f8f8f8\"/>\n";
+  out += "<text x=\"8\" y=\"20\" font-size=\"13\" "
+         "font-family=\"monospace\">burstq flame graph: " +
+         xml_escape(title) + " (" + u64(root.total) + " ns total)</text>\n";
+  emit_flame_boxes(out, root, "all", 0.0, kWidth, 0, root.total);
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace burstq::obs

@@ -151,15 +151,30 @@ void SloTracker::end_slot() {
     if (fast_burn > opt_.breach_burn && slow_burn > opt_.breach_burn) {
       breaching_ = true;
       ++breaches_;
+      episodes_.push_back(
+          {slots_ - 1, slots_ - 1, true, fast_burn, slow_burn});
       BURSTQ_COUNT("fault.slo.breaches", 1);
       BURSTQ_EVENT(EventLevel::kDecisions, "slo.breach",
                    {"slot", slots_ - 1}, {"fast_burn", fast_burn},
                    {"slow_burn", slow_burn}, {"rho", opt_.rho});
     }
-  } else if (fast_burn <= opt_.breach_burn) {
-    breaching_ = false;
-    BURSTQ_EVENT(EventLevel::kDecisions, "slo.recover",
-                 {"slot", slots_ - 1}, {"fast_burn", fast_burn});
+  } else {
+    // The episode list can be empty here after import_state (episodes
+    // are not part of the durable schema); breach accounting still
+    // works, we just cannot attribute this episode's window.
+    if (!episodes_.empty() && episodes_.back().open) {
+      SloEpisode& ep = episodes_.back();
+      ep.end_slot = slots_ - 1;
+      ep.peak_fast_burn = std::max(ep.peak_fast_burn, fast_burn);
+      ep.peak_slow_burn = std::max(ep.peak_slow_burn, slow_burn);
+    }
+    if (fast_burn <= opt_.breach_burn) {
+      breaching_ = false;
+      if (!episodes_.empty() && episodes_.back().open)
+        episodes_.back().open = false;
+      BURSTQ_EVENT(EventLevel::kDecisions, "slo.recover",
+                   {"slot", slots_ - 1}, {"fast_burn", fast_burn});
+    }
   }
 }
 
@@ -201,6 +216,11 @@ std::size_t SloTracker::n_pms() const { return pms_.size(); }
 std::size_t SloTracker::slots() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_;
+}
+
+std::vector<SloEpisode> SloTracker::episodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return episodes_;
 }
 
 SloTrackerState SloTracker::export_state() const {
@@ -253,6 +273,9 @@ void SloTracker::import_state(const SloTrackerState& st) {
   cum_viol_ = st.cum_viol;
   breaches_ = st.breaches;
   breaching_ = st.breaching;
+  // Episodes are an in-memory diagnostic; the durable schema cannot
+  // carry them, so a restored tracker starts with an empty list.
+  episodes_.clear();
 }
 
 }  // namespace burstq::obs

@@ -62,6 +62,20 @@ struct SloPmStats {
   bool above_rho{false};      ///< cumulative CVR exceeds rho
 };
 
+/// One breach episode as the fast+slow alerting rule saw it.  For a
+/// closed episode `end_slot` is the recovery slot (where `slo.recover`
+/// fired); an episode still open when the run ended keeps the last
+/// breaching slot and `open == true`.  Episodes are an in-memory
+/// diagnostic for `slo explain` — they are NOT part of SloTrackerState,
+/// so durable snapshots and their byte format are untouched.
+struct SloEpisode {
+  std::size_t begin_slot{0};
+  std::size_t end_slot{0};
+  bool open{false};
+  double peak_fast_burn{0.0};
+  double peak_slow_burn{0.0};
+};
+
 struct SloReport {
   double rho{0.0};
   std::size_t slots{0};  ///< end_slot() calls so far
@@ -122,6 +136,10 @@ class SloTracker {
   [[nodiscard]] std::size_t n_pms() const;
   [[nodiscard]] std::size_t slots() const;
 
+  /// Breach episodes recorded so far, oldest first.  Cleared by
+  /// import_state (the durable state schema cannot reconstruct them).
+  [[nodiscard]] std::vector<SloEpisode> episodes() const;
+
   [[nodiscard]] SloTrackerState export_state() const;
   void import_state(const SloTrackerState& st);
 
@@ -151,6 +169,7 @@ class SloTracker {
   std::size_t cum_obs_{0}, cum_viol_{0};
   std::size_t breaches_{0};
   bool breaching_{false};
+  std::vector<SloEpisode> episodes_;
 };
 
 }  // namespace burstq::obs

@@ -1,13 +1,80 @@
 #include "obs/span.h"
 
+#include <atomic>
+
+#include "obs/event_log.h"
+
 namespace burstq::obs {
 
 namespace {
 
 thread_local ScopedSpan* tls_current = nullptr;
 thread_local std::size_t tls_depth = 0;
+/// Per-thread sampling sequence: one span in `sample_every` emits.
+thread_local std::uint32_t tls_sample_seq = 0;
+
+// Packed so the hot path (sampling off) pays exactly one relaxed load.
+std::atomic<std::uint32_t> g_sample_every{0};
+std::atomic<bool> g_virtual_clock{false};
+/// Next span id minus one.  Ids are process-wide, start at 1, and are
+/// unique within a recording session — a reader can treat an id as a
+/// unique span identity even across threads.  `set_span_events`
+/// restarts the counter so same-seed recordings are byte-identical
+/// even within one process (ids and virtual ticks would otherwise
+/// keep growing and shift every byte offset after the first run).
+std::atomic<std::uint64_t> g_next_span_id{0};
+/// Virtual-clock tick: one increment per span event emitted.  Restarts
+/// with the id counter, for the same reason.
+std::atomic<std::uint64_t> g_virtual_tick{0};
+std::atomic<std::uint64_t> g_next_thread_index{0};
+
+/// Small dense per-thread index (assigned on first emission, so the
+/// main thread of a single-threaded run is always 0).
+std::uint64_t thread_index() noexcept {
+  thread_local const std::uint64_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+Counter& emitted_counter() {
+  static Counter& c = metrics().counter("obs.span.events_emitted");
+  return c;
+}
+
+Counter& dropped_counter() {
+  static Counter& c = metrics().counter("obs.span.events_dropped");
+  return c;
+}
+
+/// Event timestamp: the wall-clock value unless the virtual clock is on,
+/// in which case each event gets the next global tick (strictly
+/// increasing across the process, so begin < end always holds).
+std::uint64_t event_time(std::uint64_t wall) noexcept {
+  if (!g_virtual_clock.load(std::memory_order_relaxed)) return wall;
+  return g_virtual_tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 }  // namespace
+
+void set_span_events(SpanEventOptions opt) noexcept {
+  g_virtual_clock.store(opt.virtual_clock, std::memory_order_relaxed);
+  g_sample_every.store(opt.sample_every, std::memory_order_relaxed);
+  // Each call opens a fresh recording session: ids restart at 1 and the
+  // virtual clock at tick 1, so a second same-seed recording in the same
+  // process emits byte-identical events (and therefore identical trace
+  // offsets in derived reports).  The calling thread's sampling phase
+  // restarts too; other threads' phases are their own.
+  g_next_span_id.store(0, std::memory_order_relaxed);
+  g_virtual_tick.store(0, std::memory_order_relaxed);
+  tls_sample_seq = 0;
+}
+
+SpanEventOptions span_event_options() noexcept {
+  SpanEventOptions opt;
+  opt.sample_every = g_sample_every.load(std::memory_order_relaxed);
+  opt.virtual_clock = g_virtual_clock.load(std::memory_order_relaxed);
+  return opt;
+}
 
 ScopedSpan::ScopedSpan(SpanStat& stat) noexcept
     : stat_(&stat), parent_(tls_current), start_ns_(now_ns()) {
@@ -15,8 +82,42 @@ ScopedSpan::ScopedSpan(SpanStat& stat) noexcept
   ++tls_depth;
 }
 
+ScopedSpan::ScopedSpan(SpanStat& stat, std::string_view name) noexcept
+    : ScopedSpan(stat) {
+  const std::uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every == 0) return;
+  if (!events().enabled(EventLevel::kDetail)) return;
+  if (++tls_sample_seq % every != 0) {
+    dropped_counter().add(1);
+    return;
+  }
+  event_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Parent link: the nearest ancestor on this thread that itself emitted
+  // (unsampled ancestors are transparent), so the recorded tree is
+  // always well-formed whatever the sampling rate.
+  std::uint64_t parent_id = 0;
+  for (const ScopedSpan* p = parent_; p != nullptr; p = p->parent_) {
+    if (p->event_id_ != 0) {
+      parent_id = p->event_id_;
+      break;
+    }
+  }
+  events().emit(EventLevel::kDetail, "span.begin",
+                {{"id", event_id_},
+                 {"parent", parent_id},
+                 {"thread", thread_index()},
+                 {"name", name},
+                 {"t_ns", event_time(start_ns_)}});
+  emitted_counter().add(1);
+}
+
 ScopedSpan::~ScopedSpan() {
   const std::uint64_t end = now_ns();
+  if (event_id_ != 0 && events().enabled(EventLevel::kDetail)) {
+    events().emit(EventLevel::kDetail, "span.end",
+                  {{"id", event_id_}, {"t_ns", event_time(end)}});
+    emitted_counter().add(1);
+  }
   const std::uint64_t wall = end > start_ns_ ? end - start_ns_ : 0;
   const std::uint64_t self = wall > child_ns_ ? wall - child_ns_ : 0;
   stat_->record(wall, self);

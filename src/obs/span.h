@@ -6,11 +6,25 @@
 // Prefer the BURSTQ_SPAN("layer.operation") macro in obs/obs.h — it
 // resolves the SpanStat once per call site and vanishes entirely under
 // -DBURSTQ_NO_OBS.
+//
+// Span *events*: when sampling is enabled (set_span_events), a named
+// span additionally emits `span.begin`/`span.end` records through the
+// process event log at EventLevel::kDetail, so offline tooling
+// (obs/profile.h, `burstq_cli trace profile|flame`) can reconstruct the
+// call tree time-resolved.  Sampling is off by default — the only cost
+// on the hot path is one relaxed atomic load per span.  Span ids are
+// allocated from one process-wide atomic (never torn, unique within a
+// recording session; each set_span_events call restarts the id and
+// virtual-clock counters so same-seed recordings are byte-identical
+// even within one process); the recorded parent id is the nearest
+// *emitted* ancestor on the same thread, so parent links stay
+// consistent under any sampling rate.
 
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <string_view>
 
 #include "obs/registry.h"
 
@@ -24,10 +38,30 @@ namespace burstq::obs {
           .count());
 }
 
+/// Span-event emission knobs (the --obs-span-sample / --obs-span-clock
+/// CLI flags).  See docs/TRACE_FORMAT.md for the recorded schema.
+struct SpanEventOptions {
+  /// 0 = off (default); N >= 1 = emit one span in N per thread.
+  std::uint32_t sample_every{0};
+  /// Replace wall-clock t_ns with a process-wide deterministic tick
+  /// (one increment per span event).  Same-seed runs then record
+  /// byte-identical durations, which is what the profile/explain
+  /// byte-identity contract is built on.
+  bool virtual_clock{false};
+};
+
+/// Installs the process-wide span-event configuration.  Thread-safe;
+/// takes effect for spans opened after the call.
+void set_span_events(SpanEventOptions opt) noexcept;
+[[nodiscard]] SpanEventOptions span_event_options() noexcept;
+
 /// Times the enclosing scope and records into `stat` on destruction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(SpanStat& stat) noexcept;
+  /// Named spans (the BURSTQ_SPAN macro) are eligible for span-event
+  /// emission; the unnamed overload above never emits.
+  ScopedSpan(SpanStat& stat, std::string_view name) noexcept;
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -42,6 +76,7 @@ class ScopedSpan {
   ScopedSpan* parent_;
   std::uint64_t start_ns_;
   std::uint64_t child_ns_{0};
+  std::uint64_t event_id_{0};  ///< nonzero when span.begin was emitted
 };
 
 }  // namespace burstq::obs

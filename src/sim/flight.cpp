@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <map>
 
 #include "common/error.h"
+#include "obs/profile.h"
+#include "obs/query.h"
 #include "obs/trace.h"
 
 namespace burstq {
@@ -137,6 +141,208 @@ std::vector<FlightReplaySegment> replay_flight_log(
     // Other kinds (place, mapcal, replan, ...) are not part of CVR replay.
   }
   return segments;
+}
+
+namespace {
+
+std::string fmt6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Basename without its last extension, so a JSONL and a BTRC recording
+/// of the same run ("run.jsonl" / "run.btrc") label their reports
+/// identically.
+std::string trace_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || dot == 0) return base;
+  return base.substr(0, dot);
+}
+
+}  // namespace
+
+std::string explain_slo_breaches(const std::string& path,
+                                 const SloExplainOptions& opt) {
+  const obs::EventFormat format = obs::sniff_event_format(path);
+  if (format == obs::EventFormat::kCsv)
+    throw InvalidArgument(
+        path + ": CSV event logs are lossy (string-typed) and cannot be "
+               "replayed; record JSONL or BTRC instead");
+
+  // Pass 1: the existing flight replay re-derives the SLO audit (and
+  // with it the breach episodes) per recorded segment.
+  const std::vector<FlightReplaySegment> segments =
+      replay_flight_log(path, &opt.slo);
+
+  struct SpanAgg {
+    std::uint64_t calls{0};
+    std::uint64_t incl_ns{0};
+    std::uint64_t excl_ns{0};
+  };
+  struct EpisodeAgg {
+    obs::SloEpisode ep;
+    bool have_pointer{false};
+    std::uint64_t offset{0};
+    std::uint64_t event_index{0};
+    std::map<std::string, std::uint64_t> kinds;
+    std::map<std::string, SpanAgg> spans;
+    /// pm -> (violations, observed) within the window
+    std::map<std::size_t, std::pair<std::uint64_t, std::uint64_t>> pms;
+  };
+  std::vector<std::vector<EpisodeAgg>> episodes(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (!segments[i].slo) continue;
+    for (const obs::SloEpisode& ep : segments[i].slo->episodes()) {
+      EpisodeAgg agg;
+      agg.ep = ep;
+      episodes[i].push_back(std::move(agg));
+    }
+  }
+
+  // Pass 2: one streaming scan attributes events, spans, and per-PM
+  // violations to each episode's slot window.  An event "belongs to"
+  // the slot being processed when it was emitted: slot.obs carries its
+  // own t; everything else gets the slot after the last slot.obs (the
+  // same rule SpanTreeBuilder applies to span begins).
+  std::size_t seg = static_cast<std::size_t>(-1);
+  std::int64_t cur_slot = -1;
+  std::vector<std::size_t> active;  // delta-decoded like replay
+  obs::SpanTreeBuilder builder;
+  builder.set_hook([&](std::string_view name, std::int64_t slot,
+                       std::uint64_t incl_ns, std::uint64_t excl_ns) {
+    if (seg >= episodes.size() || slot < 0) return;
+    const auto s = static_cast<std::size_t>(slot);
+    for (EpisodeAgg& agg : episodes[seg]) {
+      if (s < agg.ep.begin_slot || s > agg.ep.end_slot) continue;
+      SpanAgg& sa = agg.spans[std::string(name)];
+      ++sa.calls;
+      sa.incl_ns += incl_ns;
+      sa.excl_ns += excl_ns;
+    }
+  });
+
+  const std::uint64_t total = obs::scan_events(
+      path, [&](const obs::RecordedEvent& ev, std::uint64_t offset,
+                std::uint64_t index) {
+        std::int64_t slot = cur_slot;
+        if (ev.kind == "sim.config") {
+          seg = seg == static_cast<std::size_t>(-1) ? 0 : seg + 1;
+          cur_slot = 0;
+          active.clear();
+          slot = -1;  // headers belong to no window
+        } else if (ev.kind == "slot.obs") {
+          slot = ev.integer("t");
+          cur_slot = slot + 1;
+          if (ev.has("active")) active = parse_id_list(ev.str("active"));
+        }
+        builder.add(ev);
+        if (seg < episodes.size() && slot >= 0 &&
+            ev.kind != "span.begin" && ev.kind != "span.end") {
+          const auto s = static_cast<std::size_t>(slot);
+          for (EpisodeAgg& agg : episodes[seg]) {
+            if (s < agg.ep.begin_slot || s > agg.ep.end_slot) continue;
+            ++agg.kinds[ev.kind];
+            if (ev.kind != "slot.obs") continue;
+            if (!agg.have_pointer && s == agg.ep.begin_slot) {
+              agg.have_pointer = true;
+              agg.offset = offset;
+              agg.event_index = index;
+            }
+            for (std::size_t pm : active) ++agg.pms[pm].second;
+            for (std::size_t pm : parse_id_list(ev.str("viol")))
+              ++agg.pms[pm].first;
+          }
+        }
+        return true;
+      });
+
+  // Deterministic rendering: every list has a total order.
+  std::string out;
+  out += "slo.explain.schema=burstq.slo.explain/v1\n";
+  out += "slo.explain.trace=" + trace_stem(path) + "\n";
+  out += "slo.explain.format=" + std::string(obs::format_name(format)) +
+         "\n";
+  out += "slo.explain.events=" + std::to_string(total) + "\n";
+  out += "slo.explain.fast_window=" + std::to_string(opt.slo.fast_window) +
+         "\n";
+  out += "slo.explain.slow_window=" + std::to_string(opt.slo.slow_window) +
+         "\n";
+  out += "slo.explain.breach_burn=" + fmt6(opt.slo.breach_burn) + "\n";
+  out += "slo.explain.segments=" + std::to_string(segments.size()) + "\n";
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const FlightReplaySegment& s = segments[i];
+    const obs::SloReport report =
+        s.slo ? s.slo->report() : obs::SloReport{};
+    out += "segment=" + std::to_string(i) + " label=" + s.label +
+           " rho=" + fmt6(s.rho) + " n_pms=" + std::to_string(s.n_pms) +
+           " slots=" + std::to_string(s.slots_seen) +
+           " migrations=" + std::to_string(s.migrations) +
+           " breaches=" + std::to_string(report.breaches) +
+           " verdict=" + report.verdict() + "\n";
+    for (std::size_t k = 0; k < episodes[i].size(); ++k) {
+      const EpisodeAgg& agg = episodes[i][k];
+      const obs::SloEpisode& ep = agg.ep;
+      out += "episode=" + std::to_string(k) + " window=" +
+             std::to_string(ep.begin_slot) + ".." +
+             std::to_string(ep.end_slot) + " slots=" +
+             std::to_string(ep.end_slot - ep.begin_slot + 1) +
+             " open=" + (ep.open ? "1" : "0") +
+             " peak_fast_burn=" + fmt6(ep.peak_fast_burn) +
+             " peak_slow_burn=" + fmt6(ep.peak_slow_burn) + "\n";
+      if (opt.pointers && agg.have_pointer)
+        out += "pointer trace_offset=" + std::to_string(agg.offset) +
+               " event_index=" + std::to_string(agg.event_index) +
+               " slot=" + std::to_string(ep.begin_slot) + "\n";
+
+      std::vector<std::pair<std::string, std::uint64_t>> kinds(
+          agg.kinds.begin(), agg.kinds.end());
+      std::sort(kinds.begin(), kinds.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      for (std::size_t j = 0; j < std::min(opt.top, kinds.size()); ++j)
+        out += "event kind=" + kinds[j].first +
+               " count=" + std::to_string(kinds[j].second) + "\n";
+
+      std::vector<std::pair<std::string, SpanAgg>> spans(
+          agg.spans.begin(), agg.spans.end());
+      std::sort(spans.begin(), spans.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second.incl_ns != b.second.incl_ns)
+                    return a.second.incl_ns > b.second.incl_ns;
+                  return a.first < b.first;
+                });
+      for (std::size_t j = 0; j < std::min(opt.top, spans.size()); ++j)
+        out += "span name=" + spans[j].first +
+               " calls=" + std::to_string(spans[j].second.calls) +
+               " incl_ns=" + std::to_string(spans[j].second.incl_ns) +
+               " excl_ns=" + std::to_string(spans[j].second.excl_ns) +
+               "\n";
+
+      std::vector<std::pair<std::size_t, std::pair<std::uint64_t,
+                                                   std::uint64_t>>>
+          pms;
+      for (const auto& [pm, counts] : agg.pms)
+        if (counts.first > 0) pms.push_back({pm, counts});
+      std::sort(pms.begin(), pms.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second.first != b.second.first)
+                    return a.second.first > b.second.first;
+                  return a.first < b.first;
+                });
+      for (std::size_t j = 0; j < std::min(opt.top, pms.size()); ++j)
+        out += "pm pm=" + std::to_string(pms[j].first) +
+               " violations=" + std::to_string(pms[j].second.first) +
+               " observed=" + std::to_string(pms[j].second.second) + "\n";
+    }
+  }
+  return out;
 }
 
 std::vector<FlightReplaySegment> replay_flight_log(

@@ -142,4 +142,29 @@ std::vector<FlightReplaySegment> replay_flight_log(
 /// tests).
 std::vector<std::size_t> parse_id_list(std::string_view text);
 
+/// Options for explain_slo_breaches (the `burstq_cli slo explain`
+/// engine).
+struct SloExplainOptions {
+  /// Window/threshold configuration for the re-derived SLO audit; rho
+  /// is overridden per segment by the recorded sim.config header.
+  obs::SloOptions slo{};
+  /// Max event kinds / span names / violating PMs listed per episode.
+  std::size_t top{8};
+  /// Include byte-offset trace pointers (resolvable with `trace
+  /// head|tail --at-offset`).  Pointer lines are the only part of the
+  /// report that differs between a JSONL and a BTRC recording of the
+  /// same run, so diff-based tooling can turn them off.
+  bool pointers{true};
+};
+
+/// Re-derives SLO breach episodes from a recorded trace (existing
+/// flight replay) and explains each one: the episode window, a byte
+/// offset pointer to its first slot, the dominant event kinds and spans
+/// inside the window, and the top violating PMs.  Deterministic: the
+/// same trace renders byte-identically, and with the virtual span clock
+/// two same-seed runs do too.  Throws InvalidArgument on CSV logs and
+/// on unreadable/corrupt traces.
+std::string explain_slo_breaches(const std::string& path,
+                                 const SloExplainOptions& opt = {});
+
 }  // namespace burstq

@@ -12,11 +12,14 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/exporter.h"
+#include "obs/jsonl.h"
 #include "obs/obs.h"
 #include "obs/prometheus.h"
 #include "obs/registry.h"
@@ -111,6 +114,60 @@ TEST(ObsConcurrency, SloTrackerRecordVsReport) {
   stop.store(true, std::memory_order_relaxed);
   reader.join();
   EXPECT_EQ(slo.report().slots, 2000u);
+}
+
+TEST(ObsConcurrency, SpanEventEmissionAcrossThreads) {
+  if (!kEnabled) GTEST_SKIP() << "BURSTQ_NO_OBS build";
+  const std::string path = testing::TempDir() + "span_events_mt.jsonl";
+  events().open(path, EventFormat::kJsonl, EventLevel::kDetail);
+  set_span_events({1, /*virtual_clock=*/true});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 250;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        BURSTQ_SPAN("mtspan.outer");
+        { BURSTQ_SPAN("mtspan.inner"); }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  set_span_events({});
+  events().close();
+
+  // Replay the log per thread: ids unique process-wide, begin/end
+  // strictly LIFO per thread, parents point at the enclosing open span
+  // of the same thread.
+  std::map<std::int64_t, std::int64_t> thread_of;  // span id -> thread
+  std::map<std::int64_t, std::vector<std::int64_t>> stacks;
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const RecordedEvent& e : read_events_jsonl(path)) {
+    if (e.kind == "span.begin") {
+      ++begins;
+      const std::int64_t id = e.integer("id");
+      const std::int64_t thread = e.integer("thread");
+      ASSERT_EQ(thread_of.count(id), 0u) << "duplicate span id " << id;
+      thread_of[id] = thread;
+      auto& stack = stacks[thread];
+      EXPECT_EQ(e.integer("parent"), stack.empty() ? 0 : stack.back());
+      stack.push_back(id);
+    } else if (e.kind == "span.end") {
+      ++ends;
+      const std::int64_t id = e.integer("id");
+      ASSERT_EQ(thread_of.count(id), 1u) << "end without begin";
+      auto& stack = stacks[thread_of[id]];
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), id) << "span ends must nest (LIFO)";
+      stack.pop_back();
+    }
+  }
+  EXPECT_EQ(begins, static_cast<std::size_t>(kThreads) * kIters * 2);
+  EXPECT_EQ(ends, begins);
+  for (const auto& [thread, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "thread " << thread << " left spans open";
 }
 
 TEST(ObsConcurrency, ExporterUnderConcurrentScrapes) {

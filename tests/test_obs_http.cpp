@@ -14,8 +14,11 @@
 #include <string>
 
 #include "common/error.h"
+#include "obs/build_info.h"
+#include "obs/exporter.h"
 #include "obs/http_server.h"
 #include "obs/obs.h"
+#include "obs/registry.h"
 
 namespace burstq::obs {
 namespace {
@@ -182,6 +185,54 @@ TEST(HttpServer, NoObsStubRefusesToStart) {
   EXPECT_THROW(server.start(0), InvalidArgument);
   EXPECT_FALSE(server.running());
   EXPECT_EQ(server.port(), 0);
+}
+#endif
+
+TEST(BuildInfo, TextCarriesVersionObsAndTraceFormat) {
+  const std::string text = build_info_text();
+  EXPECT_NE(text.find("build.version=" + std::string(build_version())),
+            std::string::npos);
+  EXPECT_NE(text.find("build.obs="), std::string::npos);
+  EXPECT_NE(text.find("build.trace_format_version="), std::string::npos);
+  EXPECT_FALSE(std::string(build_version()).empty());
+  EXPECT_EQ(build_obs_enabled(), kEnabled);
+}
+
+TEST(BuildInfo, RegistersGaugeFamilyIdempotently) {
+  register_build_info_metrics();
+  register_build_info_metrics();  // second call must not duplicate
+  const MetricsSnapshot snap = metrics().scrape();
+  double info = -1.0;
+  std::size_t info_gauges = 0;
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.name == "obs.build.info") {
+      info = g.value;
+      ++info_gauges;
+    }
+  }
+  if (kEnabled) {
+    EXPECT_EQ(info_gauges, 1u);
+    EXPECT_EQ(info, 1.0);
+  } else {
+    EXPECT_EQ(info_gauges, 0u);  // gauges compile out with the macros
+  }
+}
+
+#ifndef BURSTQ_NO_OBS
+TEST(TelemetryExporter, HealthzReportsBuildAndUptime) {
+  TelemetryOptions opt;
+  opt.port = 0;
+  TelemetryExporter exporter(opt);
+  const std::string resp = get(exporter.port(), "/healthz");
+  // First line stays exactly "ok" — liveness probes grep for it.
+  EXPECT_NE(resp.find("\r\n\r\nok\n"), std::string::npos);
+  EXPECT_NE(resp.find("build.version=" + std::string(build_version())),
+            std::string::npos);
+  EXPECT_NE(resp.find("uptime_seconds="), std::string::npos);
+  // The scrape surface exposes the same identity as a gauge family.
+  EXPECT_NE(exporter.render_metrics().find("burstq_obs_build_info 1"),
+            std::string::npos);
+  exporter.stop();
 }
 #endif
 
